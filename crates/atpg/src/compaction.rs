@@ -1,0 +1,161 @@
+//! Static test-set compaction.
+//!
+//! ATPG emits one test sequence per targeted fault; most sequences detect
+//! many other faults as a side effect. Reverse-order restoration keeps a
+//! sequence only if it detects at least one fault that no later-kept
+//! sequence covers — the classic compaction pass every test generator
+//! ships with, here implemented on top of the workspace's fault
+//! simulator.
+
+use fires_netlist::{Circuit, Fault, LineGraph};
+use fires_sim::{simulate_fault, Logic3};
+
+/// Result of compacting a test set.
+#[derive(Clone, Debug, Default)]
+pub struct CompactionResult {
+    /// Indices (into the original test list) of the kept sequences, in
+    /// application order.
+    pub kept: Vec<usize>,
+    /// Faults covered before compaction.
+    pub covered_before: usize,
+    /// Faults covered after compaction (never less than before).
+    pub covered_after: usize,
+}
+
+impl CompactionResult {
+    /// Fraction of sequences dropped, in `[0, 1]`.
+    pub fn reduction(&self, original: usize) -> f64 {
+        if original == 0 {
+            return 0.0;
+        }
+        1.0 - self.kept.len() as f64 / original as f64
+    }
+}
+
+/// Reverse-order restoration: walk the test list from the last sequence to
+/// the first, keep a sequence iff it detects a fault not yet covered by
+/// the kept set.
+///
+/// Detection uses the same conservative criterion as the rest of the
+/// workspace, so the compacted set provably covers every fault the full
+/// set covered.
+///
+/// # Example
+///
+/// ```
+/// use fires_atpg::compact_tests;
+/// use fires_netlist::{bench, Fault, FaultList, LineGraph};
+/// use fires_sim::Logic3;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let lines = LineGraph::build(&c);
+/// let faults: Vec<Fault> = FaultList::full(&lines).iter().collect();
+/// // Two redundant copies of the same exhaustive test.
+/// let tests = vec![
+///     vec![vec![Logic3::Zero], vec![Logic3::One]],
+///     vec![vec![Logic3::Zero], vec![Logic3::One]],
+/// ];
+/// let result = compact_tests(&c, &lines, &faults, &tests);
+/// assert_eq!(result.kept.len(), 1);
+/// assert_eq!(result.covered_after, result.covered_before);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compact_tests(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    faults: &[Fault],
+    tests: &[Vec<Vec<Logic3>>],
+) -> CompactionResult {
+    // Coverage matrix: which faults each sequence detects.
+    let detects: Vec<Vec<bool>> = tests
+        .iter()
+        .map(|t| {
+            faults
+                .iter()
+                .map(|&f| simulate_fault(circuit, lines, f, t).is_some())
+                .collect()
+        })
+        .collect();
+    let covered_before = (0..faults.len())
+        .filter(|&fi| detects.iter().any(|row| row[fi]))
+        .count();
+
+    let mut covered = vec![false; faults.len()];
+    let mut kept_rev: Vec<usize> = Vec::new();
+    for ti in (0..tests.len()).rev() {
+        let new = detects[ti]
+            .iter()
+            .enumerate()
+            .any(|(fi, &d)| d && !covered[fi]);
+        if new {
+            kept_rev.push(ti);
+            for (fi, &d) in detects[ti].iter().enumerate() {
+                if d {
+                    covered[fi] = true;
+                }
+            }
+        }
+    }
+    kept_rev.reverse();
+    let covered_after = covered.iter().filter(|&&c| c).count();
+    CompactionResult {
+        kept: kept_rev,
+        covered_before,
+        covered_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::{bench, FaultList};
+    use fires_sim::Logic3::{One, Zero};
+
+    use super::*;
+    use crate::{Atpg, AtpgConfig};
+
+    #[test]
+    fn compaction_never_loses_coverage() {
+        let c = bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(y)\nz = AND(a, b)\ny = XOR(a, b)\n",
+        )
+        .unwrap();
+        let lines = LineGraph::build(&c);
+        let faults: Vec<Fault> = FaultList::full(&lines).iter().collect();
+        let atpg = Atpg::new(&c, &lines, AtpgConfig::default());
+        let tests: Vec<Vec<Vec<Logic3>>> = faults
+            .iter()
+            .filter_map(|&f| match atpg.run_fault(f) {
+                crate::AtpgResult::TestFound(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert!(!tests.is_empty());
+        let result = compact_tests(&c, &lines, &faults, &tests);
+        assert_eq!(result.covered_after, result.covered_before);
+        assert!(result.kept.len() <= tests.len());
+        assert!(result.reduction(tests.len()) >= 0.0);
+    }
+
+    #[test]
+    fn duplicate_tests_collapse_to_one() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let lines = LineGraph::build(&c);
+        let faults: Vec<Fault> = FaultList::full(&lines).iter().collect();
+        let t = vec![vec![Zero], vec![One]];
+        let tests = vec![t.clone(), t.clone(), t];
+        let result = compact_tests(&c, &lines, &faults, &tests);
+        assert_eq!(result.kept.len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let lines = LineGraph::build(&c);
+        let result = compact_tests(&c, &lines, &[], &[]);
+        assert!(result.kept.is_empty());
+        assert_eq!(result.covered_before, 0);
+        assert_eq!(result.reduction(0), 0.0);
+    }
+}

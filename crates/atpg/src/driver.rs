@@ -1,0 +1,305 @@
+//! The per-fault and per-campaign ATPG drivers.
+
+use std::time::{Duration, Instant};
+
+use fires_netlist::{Circuit, Fault, LineGraph};
+use fires_sim::Logic3;
+
+use crate::podem::{Podem, SearchOutcome};
+
+/// Budgets for one ATPG run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AtpgConfig {
+    /// Maximum number of time frames to unroll.
+    pub max_unroll: usize,
+    /// Backtrack budget per fault (summed over unroll depths).
+    pub backtrack_limit: u64,
+    /// Wall-clock budget per fault.
+    pub time_limit: Duration,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            max_unroll: 16,
+            backtrack_limit: 10_000,
+            time_limit: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Outcome of targeting one fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AtpgResult {
+    /// A test sequence, one binary input vector per clock cycle. The test
+    /// detects the fault for every power-up state pair (Definition 1).
+    TestFound(Vec<Vec<Logic3>>),
+    /// The complete decision space up to `frames` time frames was
+    /// exhausted without a test. For a combinational circuit this proves
+    /// redundancy; for a sequential circuit it proves untestability
+    /// *within the unroll bound* (the comparator tools in the paper make
+    /// the same kind of bounded claim in their per-fault budget).
+    Untestable {
+        /// The unroll bound that was exhausted.
+        frames: usize,
+    },
+    /// The backtrack or time budget ran out before a verdict.
+    Aborted {
+        /// Backtracks consumed when the search gave up.
+        backtracks: u64,
+    },
+}
+
+impl AtpgResult {
+    /// `true` for [`AtpgResult::TestFound`].
+    pub fn is_detected(&self) -> bool {
+        matches!(self, AtpgResult::TestFound(_))
+    }
+
+    /// `true` for [`AtpgResult::Untestable`].
+    pub fn is_untestable(&self) -> bool {
+        matches!(self, AtpgResult::Untestable { .. })
+    }
+
+    /// `true` for [`AtpgResult::Aborted`].
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, AtpgResult::Aborted { .. })
+    }
+}
+
+/// Per-fault statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AtpgStats {
+    /// Backtracks consumed.
+    pub backtracks: u64,
+    /// Wall-clock time spent on this fault.
+    pub elapsed: Duration,
+}
+
+/// Aggregate of a multi-fault campaign (one row of Tables 3–4).
+#[derive(Clone, Debug, Default)]
+pub struct CampaignSummary {
+    /// Per-fault results, aligned with the targeted fault order.
+    pub results: Vec<AtpgResult>,
+    /// Per-fault statistics.
+    pub stats: Vec<AtpgStats>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl CampaignSummary {
+    /// Number of faults proven untestable.
+    pub fn num_untestable(&self) -> usize {
+        self.results.iter().filter(|r| r.is_untestable()).count()
+    }
+
+    /// Number of aborted faults.
+    pub fn num_aborted(&self) -> usize {
+        self.results.iter().filter(|r| r.is_aborted()).count()
+    }
+
+    /// Number of detected faults.
+    pub fn num_detected(&self) -> usize {
+        self.results.iter().filter(|r| r.is_detected()).count()
+    }
+}
+
+/// A deterministic sequential test generator over the iterative-array
+/// model (see the crate docs for scope and guarantees).
+#[derive(Clone, Debug)]
+pub struct Atpg<'c> {
+    circuit: &'c Circuit,
+    lines: &'c LineGraph,
+    config: AtpgConfig,
+}
+
+impl<'c> Atpg<'c> {
+    /// Creates a generator with the given budgets.
+    pub fn new(circuit: &'c Circuit, lines: &'c LineGraph, config: AtpgConfig) -> Self {
+        Atpg {
+            circuit,
+            lines,
+            config,
+        }
+    }
+
+    /// Targets a single fault.
+    pub fn run_fault(&self, fault: Fault) -> AtpgResult {
+        self.run_fault_with_stats(fault).0
+    }
+
+    /// Targets a single fault, also returning effort statistics.
+    pub fn run_fault_with_stats(&self, fault: Fault) -> (AtpgResult, AtpgStats) {
+        let start = Instant::now();
+        let deadline = start + self.config.time_limit;
+        let mut backtracks_total = 0u64;
+        // Unroll schedule: 1, 2, 4, ... max (finding short tests early is
+        // much cheaper; the final depth provides the bounded-untestable
+        // verdict).
+        let mut depths: Vec<usize> = std::iter::successors(Some(1usize), |&d| Some(d * 2))
+            .take_while(|&d| d < self.config.max_unroll)
+            .collect();
+        depths.push(self.config.max_unroll);
+        let mut outcome = AtpgResult::Untestable {
+            frames: self.config.max_unroll,
+        };
+        for &frames in &depths {
+            let budget_left = self.config.backtrack_limit.saturating_sub(backtracks_total);
+            let mut podem = Podem::new(
+                self.circuit,
+                self.lines,
+                fault,
+                frames,
+                budget_left,
+                deadline,
+            );
+            let result = podem.search();
+            backtracks_total += podem.backtracks_used;
+            match result {
+                SearchOutcome::Found(test) => {
+                    outcome = AtpgResult::TestFound(test);
+                    break;
+                }
+                SearchOutcome::Exhausted => {
+                    // Keep going: a deeper unroll may still find a test.
+                }
+                SearchOutcome::Aborted => {
+                    outcome = AtpgResult::Aborted {
+                        backtracks: backtracks_total,
+                    };
+                    break;
+                }
+            }
+        }
+        let stats = AtpgStats {
+            backtracks: backtracks_total,
+            elapsed: start.elapsed(),
+        };
+        (outcome, stats)
+    }
+
+    /// Targets a list of faults (a Table 3/4 style campaign).
+    pub fn run_faults(&self, faults: &[Fault]) -> CampaignSummary {
+        let start = Instant::now();
+        let mut summary = CampaignSummary::default();
+        for &f in faults {
+            let (r, s) = self.run_fault_with_stats(f);
+            summary.results.push(r);
+            summary.stats.push(s);
+        }
+        summary.elapsed = start.elapsed();
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::{bench, FaultList};
+    use fires_sim::simulate_fault;
+
+    use super::*;
+
+    fn cfg() -> AtpgConfig {
+        AtpgConfig {
+            max_unroll: 8,
+            backtrack_limit: 5_000,
+            time_limit: Duration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn combinational_test_generation() {
+        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let atpg = Atpg::new(&c, &lg, cfg());
+        for fault in FaultList::full(&lg).iter() {
+            match atpg.run_fault(fault) {
+                AtpgResult::TestFound(test) => {
+                    // Every generated test must replay in the fault simulator.
+                    assert!(
+                        simulate_fault(&c, &lg, fault, &test).is_some(),
+                        "test for {} does not replay",
+                        fault.display(&lg, &c)
+                    );
+                }
+                other => panic!("AND gate fault should be testable: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_redundancy_is_proven() {
+        // z = AND(a, NOT(a)) = 0: z s-a-0 is undetectable.
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let atpg = Atpg::new(&c, &lg, cfg());
+        let z = lg.stem_of(c.find("z").unwrap());
+        assert!(atpg.run_fault(Fault::sa0(z)).is_untestable());
+        assert!(atpg.run_fault(Fault::sa1(z)).is_detected());
+    }
+
+    #[test]
+    fn sequential_test_crosses_frames() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = AND(q, a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let atpg = Atpg::new(&c, &lg, cfg());
+        let q = lg.stem_of(c.find("q").unwrap());
+        match atpg.run_fault(Fault::sa0(q)) {
+            AtpgResult::TestFound(test) => {
+                assert!(test.len() >= 2, "needs a state-setting cycle");
+                assert!(simulate_fault(&c, &lg, Fault::sa0(q), &test).is_some());
+            }
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_fault_is_not_detected() {
+        // The paper's 1-cycle redundant fault: ATPG must not find a test
+        // (it either proves bounded untestability or aborts).
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let atpg = Atpg::new(&c, &lg, cfg());
+        let c_stem = lg.stem_of(c.find("c").unwrap());
+        let c1 = lg.line(c_stem).branches()[0];
+        let r = atpg.run_fault(Fault::sa1(c1));
+        assert!(!r.is_detected(), "untestable fault detected: {r:?}");
+    }
+
+    #[test]
+    fn campaign_summary_counts() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let atpg = Atpg::new(&c, &lg, cfg());
+        let faults = FaultList::full(&lg);
+        let summary = atpg.run_faults(faults.as_slice());
+        assert_eq!(summary.results.len(), faults.len());
+        assert_eq!(
+            summary.num_detected() + summary.num_untestable() + summary.num_aborted(),
+            faults.len()
+        );
+        assert!(summary.num_untestable() >= 1);
+        assert!(summary.num_detected() >= 1);
+    }
+
+    #[test]
+    fn tiny_budget_aborts() {
+        let c = fires_circuits::iscas::s27();
+        let lg = LineGraph::build(&c);
+        let atpg = Atpg::new(
+            &c,
+            &lg,
+            AtpgConfig {
+                max_unroll: 16,
+                backtrack_limit: 0,
+                time_limit: Duration::from_nanos(1),
+            },
+        );
+        let faults = FaultList::full(&lg);
+        let summary = atpg.run_faults(&faults.as_slice()[..8]);
+        assert!(summary.num_aborted() >= 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic sequential ATPG over the iterative-array model.
+//!
+//! This crate is the reproduction's stand-in for the closed-source
+//! comparators of the paper's Tables 3 and 4 (GENTEST \[27\] and HITEC
+//! \[28\]): a PODEM-style branch-and-bound test generator working on the
+//! time-frame–expanded circuit with unknown (X) initial state, a
+//! per-fault backtrack budget and a per-fault time budget.
+//!
+//! Semantics match the rest of the workspace: a test is a sequence of
+//! binary input vectors whose good response is binary and faulty response
+//! is the opposite binary value at some output — detection for *every*
+//! power-up state pair (Definition 1 of the paper). Consequently:
+//!
+//! * [`AtpgResult::TestFound`] tests always replay under
+//!   [`fires_sim::simulate_fault`];
+//! * [`AtpgResult::Untestable`] means the search space for the given
+//!   unroll bound was exhausted — a genuine untestability proof for
+//!   combinational circuits, and a bounded proof for sequential ones;
+//! * [`AtpgResult::Aborted`] mirrors the "Abo." columns of Tables 3–4.
+//!
+//! # Example
+//!
+//! ```
+//! use fires_atpg::{Atpg, AtpgConfig, AtpgResult};
+//! use fires_netlist::{bench, Fault, LineGraph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = AND(q, a)\n")?;
+//! let lines = LineGraph::build(&c);
+//! let atpg = Atpg::new(&c, &lines, AtpgConfig::default());
+//! let q = lines.stem_of(c.find("q").unwrap());
+//! match atpg.run_fault(Fault::sa0(q)) {
+//!     AtpgResult::TestFound(test) => assert!(test.len() >= 2),
+//!     other => panic!("expected a test, got {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compaction;
+mod driver;
+mod logic5;
+mod podem;
+mod unrolled;
+
+pub use compaction::{compact_tests, CompactionResult};
+pub use driver::{Atpg, AtpgConfig, AtpgResult, AtpgStats, CampaignSummary};
+pub use logic5::V5;
+pub use unrolled::UnrolledSim;

@@ -1,0 +1,164 @@
+//! The 5-valued D-calculus, represented as a good/faulty pair of 3-valued
+//! components.
+
+use fires_sim::Logic3;
+use std::fmt;
+
+/// A composite value tracking the good and faulty machines at once.
+///
+/// The classical five values map as follows: `0 = (0,0)`, `1 = (1,1)`,
+/// `D = (1,0)`, `D̄ = (0,1)`, `X` = any pair with an unknown component.
+/// Working with the explicit pair keeps every gate rule correct by
+/// construction (each component evaluates independently in Kleene logic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct V5 {
+    /// The fault-free machine's value.
+    pub good: Logic3,
+    /// The faulty machine's value.
+    pub faulty: Logic3,
+}
+
+impl V5 {
+    /// Both components unknown.
+    pub const X: V5 = V5 {
+        good: Logic3::X,
+        faulty: Logic3::X,
+    };
+
+    /// Constant 0 in both machines.
+    pub const ZERO: V5 = V5 {
+        good: Logic3::Zero,
+        faulty: Logic3::Zero,
+    };
+
+    /// Constant 1 in both machines.
+    pub const ONE: V5 = V5 {
+        good: Logic3::One,
+        faulty: Logic3::One,
+    };
+
+    /// The classical `D`: good 1, faulty 0.
+    pub const D: V5 = V5 {
+        good: Logic3::One,
+        faulty: Logic3::Zero,
+    };
+
+    /// The classical `D̄`: good 0, faulty 1.
+    pub const DBAR: V5 = V5 {
+        good: Logic3::Zero,
+        faulty: Logic3::One,
+    };
+
+    /// Builds an equal-in-both-machines value from a bool.
+    pub fn both(v: bool) -> V5 {
+        if v {
+            V5::ONE
+        } else {
+            V5::ZERO
+        }
+    }
+
+    /// `true` when the value carries a definite fault effect (`D` or `D̄`).
+    pub fn is_fault_effect(self) -> bool {
+        self.good.definitely_differs(self.faulty)
+    }
+
+    /// `true` when either component is unknown.
+    pub fn has_x(self) -> bool {
+        !self.good.is_binary() || !self.faulty.is_binary()
+    }
+
+    /// Componentwise negation. (Named like the D-calculus operation; the
+    /// inherent method is intentional — `V5` is not a smart pointer and
+    /// implements no `std::ops` traits.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> V5 {
+        V5 {
+            good: !self.good,
+            faulty: !self.faulty,
+        }
+    }
+
+    /// Componentwise conjunction.
+    pub fn and(self, o: V5) -> V5 {
+        V5 {
+            good: self.good.and(o.good),
+            faulty: self.faulty.and(o.faulty),
+        }
+    }
+
+    /// Componentwise disjunction.
+    pub fn or(self, o: V5) -> V5 {
+        V5 {
+            good: self.good.or(o.good),
+            faulty: self.faulty.or(o.faulty),
+        }
+    }
+
+    /// Componentwise exclusive-or.
+    pub fn xor(self, o: V5) -> V5 {
+        V5 {
+            good: self.good.xor(o.good),
+            faulty: self.faulty.xor(o.faulty),
+        }
+    }
+}
+
+impl From<Logic3> for V5 {
+    fn from(v: Logic3) -> V5 {
+        V5 { good: v, faulty: v }
+    }
+}
+
+impl fmt::Display for V5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match (self.good, self.faulty) {
+            (Logic3::Zero, Logic3::Zero) => "0",
+            (Logic3::One, Logic3::One) => "1",
+            (Logic3::One, Logic3::Zero) => "D",
+            (Logic3::Zero, Logic3::One) => "D'",
+            _ => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_algebra_basics() {
+        assert_eq!(V5::D.and(V5::ONE), V5::D);
+        assert_eq!(V5::D.and(V5::ZERO), V5::ZERO);
+        assert_eq!(V5::D.and(V5::DBAR), V5::ZERO);
+        assert_eq!(V5::D.or(V5::DBAR), V5::ONE);
+        assert_eq!(V5::D.not(), V5::DBAR);
+        assert_eq!(V5::D.xor(V5::DBAR), V5::ONE);
+        assert_eq!(V5::D.xor(V5::D), V5::ZERO);
+    }
+
+    #[test]
+    fn x_absorbs() {
+        assert!(V5::X.and(V5::ONE).has_x());
+        assert_eq!(V5::X.and(V5::ZERO), V5::ZERO);
+        assert_eq!(V5::X.or(V5::ONE), V5::ONE);
+        assert!(V5::D.and(V5::X).has_x());
+    }
+
+    #[test]
+    fn fault_effect_detection() {
+        assert!(V5::D.is_fault_effect());
+        assert!(V5::DBAR.is_fault_effect());
+        assert!(!V5::ONE.is_fault_effect());
+        assert!(!V5::X.is_fault_effect());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(V5::D.to_string(), "D");
+        assert_eq!(V5::DBAR.to_string(), "D'");
+        assert_eq!(V5::X.to_string(), "X");
+        assert_eq!(V5::both(true).to_string(), "1");
+    }
+}

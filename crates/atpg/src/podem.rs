@@ -1,0 +1,263 @@
+//! The PODEM branch-and-bound search over primary-input assignments of the
+//! unrolled model.
+
+use std::time::Instant;
+
+use fires_netlist::{Circuit, Fault, GateKind, LineGraph, NodeId};
+use fires_sim::Logic3;
+
+use crate::unrolled::UnrolledSim;
+
+/// Outcome of one bounded search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum SearchOutcome {
+    /// A test sequence (one binary vector per frame).
+    Found(Vec<Vec<Logic3>>),
+    /// The whole decision space for this unroll depth was explored.
+    Exhausted,
+    /// Backtrack or time budget ran out.
+    Aborted,
+}
+
+struct Decision {
+    frame: usize,
+    pi: usize,
+    flipped: bool,
+}
+
+pub(crate) struct Podem<'c> {
+    circuit: &'c Circuit,
+    sim: UnrolledSim<'c>,
+    assignment: Vec<Vec<Logic3>>,
+    decisions: Vec<Decision>,
+    backtracks: u64,
+    backtrack_limit: u64,
+    deadline: Instant,
+    pub(crate) backtracks_used: u64,
+}
+
+impl<'c> Podem<'c> {
+    pub(crate) fn new(
+        circuit: &'c Circuit,
+        lines: &'c LineGraph,
+        fault: Fault,
+        frames: usize,
+        backtrack_limit: u64,
+        deadline: Instant,
+    ) -> Self {
+        Podem {
+            circuit,
+            sim: UnrolledSim::new(circuit, lines, fault, frames),
+            assignment: vec![vec![Logic3::X; circuit.num_inputs()]; frames],
+            decisions: Vec::new(),
+            backtracks: 0,
+            backtrack_limit,
+            deadline,
+            backtracks_used: 0,
+        }
+    }
+
+    pub(crate) fn search(&mut self) -> SearchOutcome {
+        loop {
+            if self.backtracks > self.backtrack_limit || Instant::now() >= self.deadline {
+                self.backtracks_used = self.backtracks;
+                return SearchOutcome::Aborted;
+            }
+            self.sim.simulate(&self.assignment);
+            if let Some(d) = self.sim.first_detection_frame() {
+                self.backtracks_used = self.backtracks;
+                return SearchOutcome::Found(self.extract_test(d));
+            }
+            let candidates = self.objective_candidates();
+            let mut progressed = false;
+            if !candidates.is_empty() {
+                for (frame, node, value) in candidates {
+                    if let Some((f, pi, v)) = self.backtrace(frame, node, value) {
+                        self.assignment[f][pi] = Logic3::from(v);
+                        self.decisions.push(Decision {
+                            frame: f,
+                            pi,
+                            flipped: false,
+                        });
+                        progressed = true;
+                        break;
+                    }
+                }
+                // Completeness fallback: objectives exist but none reaches
+                // an unassigned input through the X-path heuristic — just
+                // pick any free input so the decision tree stays complete.
+                if !progressed {
+                    'outer: for f in 0..self.assignment.len() {
+                        for pi in 0..self.assignment[f].len() {
+                            if self.assignment[f][pi] == Logic3::X {
+                                self.assignment[f][pi] = Logic3::Zero;
+                                self.decisions.push(Decision {
+                                    frame: f,
+                                    pi,
+                                    flipped: false,
+                                });
+                                progressed = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed && !self.backtrack() {
+                self.backtracks_used = self.backtracks;
+                return SearchOutcome::Exhausted;
+            }
+        }
+    }
+
+    /// PODEM objectives, best first: activate the fault if no effect
+    /// exists yet, else push the D-frontier. An empty list means the
+    /// current assignment can never detect the fault (sound reason to
+    /// backtrack).
+    fn objective_candidates(&self) -> Vec<(usize, NodeId, bool)> {
+        let fault_site = self.site_node();
+        let mut cands = Vec::new();
+        if !self.sim.any_fault_effect() {
+            // Activation: the good value at the site must become the
+            // complement of the stuck value in some frame.
+            let want = !self.stuck_value();
+            for f in 0..self.sim.frames() {
+                if self.sim.site_good_value(f) == Logic3::X {
+                    cands.push((f, fault_site, want));
+                }
+            }
+            return cands;
+        }
+        // Propagation: unblock D-frontier gates.
+        for (f, gate) in self.sim.d_frontier() {
+            let kind = self.circuit.node(gate).kind();
+            let want = kind.controlling_value().map(|c| !c).unwrap_or(false);
+            for pin in 0..self.circuit.node(gate).fanin().len() {
+                let src = self.circuit.node(gate).fanin()[pin];
+                let v = self.sim.value(f, src);
+                if !v.is_fault_effect() && v.has_x() {
+                    cands.push((f, src, want));
+                }
+            }
+        }
+        cands
+    }
+
+    /// Walks an objective back to an unassigned primary input, crossing
+    /// flip-flops into earlier frames. Returns `(frame, pi index, value)`.
+    fn backtrace(&self, frame: usize, node: NodeId, value: bool) -> Option<(usize, usize, bool)> {
+        let mut f = frame;
+        let mut n = node;
+        let mut v = value;
+        loop {
+            let kind = self.circuit.node(n).kind();
+            match kind {
+                GateKind::Input => {
+                    let pi = self
+                        .circuit
+                        .inputs()
+                        .iter()
+                        .position(|&p| p == n)
+                        .expect("input exists");
+                    return if self.assignment[f][pi] == Logic3::X {
+                        Some((f, pi, v))
+                    } else {
+                        None // already assigned: objective unreachable here
+                    };
+                }
+                GateKind::Dff => {
+                    if f == 0 {
+                        return None; // would constrain the unknown power-up state
+                    }
+                    f -= 1;
+                    n = self.circuit.node(n).fanin()[0];
+                }
+                GateKind::Const0 | GateKind::Const1 => return None,
+                _ => {
+                    let v_core = v ^ kind.is_inverting();
+                    let fanin = self.circuit.node(n).fanin();
+                    // Choose the next input to follow.
+                    let pick_x = fanin
+                        .iter()
+                        .copied()
+                        .find(|&s| self.sim.value(f, s).good == Logic3::X);
+                    let (next, next_v) = match kind {
+                        GateKind::Not | GateKind::Buf => (fanin[0], v_core),
+                        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                            let c = kind.controlling_value().expect("controlling");
+                            if v_core == c {
+                                // One controlling input suffices.
+                                (pick_x?, c)
+                            } else {
+                                // Every input must be noncontrolling: fix
+                                // the first unknown one.
+                                (pick_x?, !c)
+                            }
+                        }
+                        GateKind::Xor | GateKind::Xnor => {
+                            let target = pick_x?;
+                            // Aim for parity assuming other unknowns at 0.
+                            let mut parity = v_core;
+                            for &s in fanin {
+                                if s != target {
+                                    if let Some(b) = self.sim.value(f, s).good.to_bool() {
+                                        parity ^= b;
+                                    }
+                                }
+                            }
+                            (target, parity)
+                        }
+                        _ => return None,
+                    };
+                    n = next;
+                    v = next_v;
+                }
+            }
+        }
+    }
+
+    fn backtrack(&mut self) -> bool {
+        while let Some(mut d) = self.decisions.pop() {
+            if d.flipped {
+                self.assignment[d.frame][d.pi] = Logic3::X;
+                continue;
+            }
+            let old = self.assignment[d.frame][d.pi];
+            self.assignment[d.frame][d.pi] = match old {
+                Logic3::Zero => Logic3::One,
+                Logic3::One => Logic3::Zero,
+                Logic3::X => Logic3::One,
+            };
+            d.flipped = true;
+            self.decisions.push(d);
+            self.backtracks += 1;
+            return true;
+        }
+        false
+    }
+
+    fn extract_test(&self, detection_frame: usize) -> Vec<Vec<Logic3>> {
+        self.assignment[..=detection_frame]
+            .iter()
+            .map(|frame| {
+                frame
+                    .iter()
+                    .map(|&v| if v == Logic3::X { Logic3::Zero } else { v })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The node whose stem value activates the fault (objectives target
+    /// the good machine's value there).
+    fn site_node(&self) -> NodeId {
+        match self.sim.fault_line_kind() {
+            fires_netlist::LineKind::Stem { node }
+            | fires_netlist::LineKind::Branch { node, .. } => node,
+        }
+    }
+
+    fn stuck_value(&self) -> bool {
+        self.sim.fault_stuck()
+    }
+}

@@ -1,0 +1,269 @@
+//! 5-valued simulation of the time-frame–expanded circuit.
+
+use fires_netlist::{Circuit, Fault, GateKind, LineGraph, NodeId};
+use fires_sim::Logic3;
+
+use crate::V5;
+
+/// Simulates `frames` copies of the combinational core with the fault
+/// injected in every copy and the frame-0 flip-flops at X (unknown
+/// power-up state).
+///
+/// Primary-input assignments form a `frames × PIs` matrix of 3-valued
+/// values (X = not yet assigned by the search).
+#[derive(Clone, Debug)]
+pub struct UnrolledSim<'c> {
+    circuit: &'c Circuit,
+    lines: &'c LineGraph,
+    fault: Fault,
+    frames: usize,
+    /// `values[frame][node]` after the last `simulate`.
+    values: Vec<Vec<V5>>,
+}
+
+impl<'c> UnrolledSim<'c> {
+    /// Creates a simulator for `frames` time frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames == 0`.
+    pub fn new(circuit: &'c Circuit, lines: &'c LineGraph, fault: Fault, frames: usize) -> Self {
+        assert!(frames >= 1, "need at least one time frame");
+        UnrolledSim {
+            circuit,
+            lines,
+            fault,
+            frames,
+            values: vec![vec![V5::X; circuit.num_nodes()]; frames],
+        }
+    }
+
+    /// Number of unrolled frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Re-evaluates every frame for the given input matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimensions do not match `frames × PIs`.
+    pub fn simulate(&mut self, inputs: &[Vec<Logic3>]) {
+        assert_eq!(inputs.len(), self.frames, "frame count mismatch");
+        let mut state: Vec<V5> = vec![V5::X; self.circuit.num_dffs()];
+        for (f, frame_inputs) in inputs.iter().enumerate() {
+            assert_eq!(frame_inputs.len(), self.circuit.num_inputs(), "PI width");
+            let mut values = std::mem::take(&mut self.values[f]);
+            for (i, &pi) in self.circuit.inputs().iter().enumerate() {
+                values[pi.index()] = V5::from(frame_inputs[i]);
+            }
+            for (i, &ff) in self.circuit.dffs().iter().enumerate() {
+                values[ff.index()] = state[i];
+            }
+            for &id in self.circuit.topo_order() {
+                let kind = self.circuit.node(id).kind();
+                let v = match kind {
+                    GateKind::Input | GateKind::Dff => values[id.index()],
+                    GateKind::Const0 => V5::ZERO,
+                    GateKind::Const1 => V5::ONE,
+                    _ => self.eval_gate(id, &values),
+                };
+                values[id.index()] = self.apply_stem_fault(id, v);
+            }
+            // Capture next state through possibly faulty branch lines.
+            let mut next = Vec::with_capacity(state.len());
+            for &ff in self.circuit.dffs() {
+                next.push(self.pin_value(ff, 0, &values));
+            }
+            state = next;
+            self.values[f] = values;
+        }
+    }
+
+    fn eval_gate(&self, id: NodeId, values: &[V5]) -> V5 {
+        let node = self.circuit.node(id);
+        let kind = node.kind();
+        let mut acc = match kind {
+            GateKind::And | GateKind::Nand => V5::ONE,
+            _ => V5::ZERO,
+        };
+        for pin in 0..node.fanin().len() {
+            let v = self.pin_value(id, pin, values);
+            acc = match kind {
+                GateKind::And | GateKind::Nand => acc.and(v),
+                GateKind::Or | GateKind::Nor => acc.or(v),
+                GateKind::Xor | GateKind::Xnor => acc.xor(v),
+                GateKind::Not | GateKind::Buf => v,
+                _ => unreachable!("sources handled by caller"),
+            };
+        }
+        if kind.is_inverting() {
+            acc.not()
+        } else {
+            acc
+        }
+    }
+
+    fn apply_stem_fault(&self, id: NodeId, v: V5) -> V5 {
+        if self.lines.stem_of(id) == self.fault.line {
+            V5 {
+                good: v.good,
+                faulty: Logic3::from(self.fault.stuck.as_bool()),
+            }
+        } else {
+            v
+        }
+    }
+
+    fn pin_value(&self, node: NodeId, pin: usize, values: &[V5]) -> V5 {
+        let src = self.circuit.node(node).fanin()[pin];
+        let v = values[src.index()];
+        if self.lines.in_line(node, pin) == self.fault.line {
+            V5 {
+                good: v.good,
+                faulty: Logic3::from(self.fault.stuck.as_bool()),
+            }
+        } else {
+            v
+        }
+    }
+
+    /// The value of `node` in frame `frame` after the last `simulate`.
+    pub fn value(&self, frame: usize, node: NodeId) -> V5 {
+        self.values[frame][node.index()]
+    }
+
+    /// Whether some primary output in some frame shows a definite fault
+    /// effect (good and faulty both binary and different).
+    pub fn detected(&self) -> bool {
+        self.first_detection_frame().is_some()
+    }
+
+    /// The earliest frame whose outputs show a definite fault effect.
+    pub fn first_detection_frame(&self) -> Option<usize> {
+        (0..self.frames).find(|&f| {
+            self.circuit
+                .outputs()
+                .iter()
+                .any(|&po| self.values[f][po.index()].is_fault_effect())
+        })
+    }
+
+    /// Whether any line in any frame carries a definite fault effect.
+    pub fn any_fault_effect(&self) -> bool {
+        (0..self.frames).any(|f| {
+            self.circuit
+                .node_ids()
+                .any(|n| self.values[f][n.index()].is_fault_effect())
+        })
+    }
+
+    /// The kind of the faulty line (stem or branch).
+    pub fn fault_line_kind(&self) -> fires_netlist::LineKind {
+        self.lines.line(self.fault.line).kind()
+    }
+
+    /// The boolean stuck value of the injected fault.
+    pub fn fault_stuck(&self) -> bool {
+        self.fault.stuck.as_bool()
+    }
+
+    /// The *good-machine* value seen at the fault site in `frame` (the
+    /// stem value of the faulty line's driver).
+    pub fn site_good_value(&self, frame: usize) -> Logic3 {
+        let node = match self.lines.line(self.fault.line).kind() {
+            fires_netlist::LineKind::Stem { node }
+            | fires_netlist::LineKind::Branch { node, .. } => node,
+        };
+        self.values[frame][node.index()].good
+    }
+
+    /// Gates forming the D-frontier: their output has an unknown
+    /// component while at least one input carries a fault effect.
+    pub fn d_frontier(&self) -> Vec<(usize, NodeId)> {
+        let mut frontier = Vec::new();
+        for f in 0..self.frames {
+            for id in self.circuit.node_ids() {
+                let kind = self.circuit.node(id).kind();
+                // Flip-flops are not frontier gates: a fault effect at a D
+                // pin crosses into the next frame automatically.
+                if !kind.is_logic() {
+                    continue;
+                }
+                if !self.values[f][id.index()].has_x() {
+                    continue;
+                }
+                let any_d = (0..self.circuit.node(id).fanin().len())
+                    .any(|pin| self.pin_value(id, pin, &self.values[f]).is_fault_effect());
+                if any_d {
+                    frontier.push((f, id));
+                }
+            }
+        }
+        frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::bench;
+
+    use super::*;
+    use fires_sim::Logic3::{One, X, Zero};
+
+    #[test]
+    fn combinational_detection() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let z = lg.stem_of(c.find("z").unwrap());
+        let mut sim = UnrolledSim::new(&c, &lg, Fault::sa0(z), 1);
+        sim.simulate(&[vec![Zero]]);
+        assert!(sim.detected()); // good z = 1, faulty z = 0
+        sim.simulate(&[vec![One]]);
+        assert!(!sim.detected());
+    }
+
+    #[test]
+    fn x_initial_state_blocks_first_frame() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = AND(q, a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let q = lg.stem_of(c.find("q").unwrap());
+        let mut sim = UnrolledSim::new(&c, &lg, Fault::sa0(q), 2);
+        // Frame 0: q is X in the good machine, no detection possible.
+        sim.simulate(&[vec![One], vec![One]]);
+        assert!(sim.detected(), "second frame detects once q is set");
+        let mut sim1 = UnrolledSim::new(&c, &lg, Fault::sa0(q), 1);
+        sim1.simulate(&[vec![One]]);
+        assert!(!sim1.detected());
+    }
+
+    #[test]
+    fn site_value_and_frontier() {
+        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nm = BUFF(a)\nz = AND(m, b)\n")
+            .unwrap();
+        let lg = LineGraph::build(&c);
+        let m = lg.stem_of(c.find("m").unwrap());
+        let mut sim = UnrolledSim::new(&c, &lg, Fault::sa0(m), 1);
+        // Activated (a = 1) but b unassigned: z is the D-frontier.
+        sim.simulate(&[vec![One, X]]);
+        assert_eq!(sim.site_good_value(0), One);
+        let frontier = sim.d_frontier();
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].1, c.find("z").unwrap());
+        assert!(!sim.detected());
+    }
+
+    #[test]
+    fn fault_effect_crosses_frames_through_ffs() {
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nm = BUFF(a)\nq = DFF(m)\nz = BUFF(q)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let m = lg.stem_of(c.find("m").unwrap());
+        let mut sim = UnrolledSim::new(&c, &lg, Fault::sa0(m), 2);
+        sim.simulate(&[vec![One], vec![X]]);
+        // The D captured in frame 0 reaches z in frame 1.
+        assert!(sim.detected());
+    }
+}

@@ -1,0 +1,96 @@
+//! Cross-checks of the ATPG's verdicts against the exact state-space
+//! classifier on tiny circuits.
+
+use std::time::Duration;
+
+use fires_atpg::{Atpg, AtpgConfig, AtpgResult};
+use fires_circuits::generators::{random_sequential, RandomConfig};
+use fires_netlist::{FaultList, LineGraph};
+use fires_verify::{classify, Limits};
+use proptest::prelude::*;
+
+fn config() -> AtpgConfig {
+    AtpgConfig {
+        max_unroll: 10,
+        backtrack_limit: 20_000,
+        time_limit: Duration::from_secs(2),
+    }
+}
+
+fn limits() -> Limits {
+    Limits {
+        max_ffs: 4,
+        max_inputs: 4,
+        budget: 300_000,
+        detect_max_ffs: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// A generated test detects the fault for *every* pair of power-up
+    /// states (our 3-valued tests are Definition-1 tests), so the exact
+    /// classifier must agree the fault is detectable.
+    #[test]
+    fn test_found_implies_detectable(seed in 0u64..500) {
+        let circuit = random_sequential(&RandomConfig {
+            seed,
+            inputs: 3,
+            gates: 15,
+            ffs: 2,
+            outputs: 2,
+            fig3: 0,
+            chains: (0, 0),
+            conflicts: 1,
+        });
+        prop_assume!(circuit.num_dffs() <= 3);
+        let lines = LineGraph::build(&circuit);
+        let atpg = Atpg::new(&circuit, &lines, config());
+        for fault in FaultList::collapsed(&circuit, &lines).iter().take(10) {
+            if let AtpgResult::TestFound(_) = atpg.run_fault(fault) {
+                if let Ok(class) = classify(&circuit, &lines, fault, &limits()) {
+                    prop_assert_eq!(
+                        class.detectable,
+                        Some(true),
+                        "seed {}: ATPG test for undetectable {}",
+                        seed,
+                        fault.display(&lines, &circuit)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Dually: faults the exact classifier calls undetectable never get a
+    /// test from the search.
+    #[test]
+    fn undetectable_never_gets_a_test(seed in 0u64..500) {
+        let circuit = random_sequential(&RandomConfig {
+            seed,
+            inputs: 3,
+            gates: 12,
+            ffs: 1,
+            outputs: 2,
+            fig3: 1,
+            chains: (0, 0),
+            conflicts: 1,
+        });
+        prop_assume!(circuit.num_dffs() <= 3);
+        let lines = LineGraph::build(&circuit);
+        let atpg = Atpg::new(&circuit, &lines, config());
+        for fault in FaultList::collapsed(&circuit, &lines).iter().take(10) {
+            if let Ok(class) = classify(&circuit, &lines, fault, &limits()) {
+                if class.detectable == Some(false) {
+                    let r = atpg.run_fault(fault);
+                    prop_assert!(
+                        !r.is_detected(),
+                        "seed {}: test for undetectable {}",
+                        seed,
+                        fault.display(&lines, &circuit)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! A compact reduced-ordered BDD package and the implicit-state-enumeration
+//! redundancy identification it enables.
+//!
+//! The paper's Section 1 discusses the approach of Cho, Hachtel and
+//! Somenzi (reference \[7\]): identify sequential redundancies by symbolic
+//! reachability over the good/faulty product machine, **assuming a
+//! fault-free global reset**. FIRES' headline advantages over it are that
+//! FIRES needs no reset and no state-transition information and never
+//! blows up the way BDDs can. To make that comparison concrete, this crate
+//! implements the baseline from scratch:
+//!
+//! * [`Bdd`] — a classical ROBDD manager (unique table, ITE with memo,
+//!   existential quantification, substitution);
+//! * [`symbolic`] — next-state/output functions of a
+//!   [`Circuit`](fires_netlist::Circuit) as BDDs, symbolic image and
+//!   reachability;
+//! * [`reset_redundant`] — redundancy identification with a reset state:
+//!   a fault is redundant (w.r.t. the reset assumption) iff the good and
+//!   faulty machines, both started at the reset state, agree on every
+//!   reachable product state.
+//!
+//! # Example
+//!
+//! ```
+//! use fires_bdd::Bdd;
+//!
+//! let mut bdd = Bdd::new(2);
+//! let x = bdd.var(0);
+//! let y = bdd.var(1);
+//! let f = bdd.and(x, y);
+//! let g = bdd.not(f);
+//! let h = bdd.or(f, g);            // tautology
+//! assert_eq!(h, bdd.one());
+//! assert_eq!(bdd.eval(f, &[true, true]), true);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manager;
+mod rid;
+pub mod symbolic;
+
+pub use manager::{Bdd, BddError, Ref};
+pub use rid::{reset_redundant, ResetRidOutcome};

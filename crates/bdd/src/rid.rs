@@ -1,0 +1,251 @@
+//! Reset-assuming redundancy identification by implicit state enumeration
+//! (the reference-\[7\] baseline).
+//!
+//! A fault is *reset-redundant* when the good and faulty machines, both
+//! started from the same (assumed fault-free) reset state, produce equal
+//! outputs on every reachable product state under every input. This is
+//! the notion the paper criticizes: it needs a global reset, the reset
+//! must be fault-free, and the symbolic reachability can blow up — all
+//! three limitations are observable through this implementation.
+
+use std::collections::HashMap;
+
+use fires_netlist::{Circuit, Fault, LineGraph};
+
+use crate::symbolic::circuit_functions;
+use crate::{Bdd, BddError};
+
+/// Verdict of the reset-assuming analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResetRidOutcome {
+    /// No reachable product state distinguishes the machines: the fault is
+    /// redundant *under the reset assumption*.
+    Redundant {
+        /// Image iterations until the fixpoint.
+        iterations: usize,
+    },
+    /// A reachable product state plus input shows different outputs.
+    Irredundant {
+        /// Iteration at which the difference appeared (0 = at reset).
+        at_iteration: usize,
+    },
+    /// The BDDs exceeded the node budget — the blowup failure mode the
+    /// paper cites for implicit state enumeration.
+    Overflow {
+        /// Nodes allocated when the budget tripped.
+        nodes: usize,
+    },
+}
+
+/// Runs the reset-assuming product-machine analysis for one fault.
+///
+/// Variable order: flip-flop `i` contributes four adjacent variables
+/// (good current, faulty current, good next, faulty next); primary inputs
+/// come last. The product transition relation is built once; reachability
+/// iterates images from the doubled reset state, checking the output
+/// difference predicate at every frontier.
+///
+/// # Panics
+///
+/// Panics if `reset.len()` differs from the flip-flop count.
+///
+/// # Example
+///
+/// ```
+/// use fires_bdd::{reset_redundant, ResetRidOutcome};
+/// use fires_netlist::{bench, Fault, LineGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Figure 3 with reset 00: the branch fault is invisible from reset.
+/// let c = bench::parse(
+///     "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+/// )?;
+/// let lines = LineGraph::build(&c);
+/// let c_stem = lines.stem_of(c.find("c").unwrap());
+/// let c1 = lines.line(c_stem).branches()[0];
+/// let out = reset_redundant(&c, &lines, Fault::sa1(c1), &[false, false], 1 << 20);
+/// assert!(matches!(out, ResetRidOutcome::Redundant { .. }));
+/// # Ok(())
+/// # }
+/// ```
+pub fn reset_redundant(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    fault: Fault,
+    reset: &[bool],
+    node_budget: usize,
+) -> ResetRidOutcome {
+    match run(circuit, lines, fault, reset, node_budget) {
+        Ok(outcome) => outcome,
+        Err(BddError::Overflow { budget }) => ResetRidOutcome::Overflow { nodes: budget },
+    }
+}
+
+fn run(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    fault: Fault,
+    reset: &[bool],
+    node_budget: usize,
+) -> Result<ResetRidOutcome, BddError> {
+    let nff = circuit.num_dffs();
+    let npi = circuit.num_inputs();
+    assert_eq!(reset.len(), nff, "reset width");
+    // Layout: [g_cur, f_cur, g_next, f_next] per FF, inputs last.
+    let g_cur: Vec<u32> = (0..nff).map(|i| (4 * i) as u32).collect();
+    let f_cur: Vec<u32> = (0..nff).map(|i| (4 * i + 1) as u32).collect();
+    let g_next: Vec<u32> = (0..nff).map(|i| (4 * i + 2) as u32).collect();
+    let f_next: Vec<u32> = (0..nff).map(|i| (4 * i + 3) as u32).collect();
+    let pi: Vec<u32> = (0..npi).map(|j| (4 * nff + j) as u32).collect();
+
+    let mut bdd = Bdd::new((4 * nff + npi) as u32);
+    bdd.set_node_budget(node_budget);
+
+    let (gd, gout) = circuit_functions(&mut bdd, circuit, lines, None, &pi, &g_cur)?;
+    let (fd, fout) = circuit_functions(&mut bdd, circuit, lines, Some(fault), &pi, &f_cur)?;
+
+    // Output difference predicate over (cur, in).
+    let mut diff = bdd.zero();
+    for (g, f) in gout.iter().zip(&fout) {
+        let x = bdd.try_xor(*g, *f)?;
+        diff = bdd.try_or(diff, x)?;
+    }
+
+    // Product transition relation.
+    let mut trans = bdd.one();
+    for i in 0..nff {
+        let gn = bdd.var(g_next[i]);
+        let bit = bdd.iff(gn, gd[i])?;
+        trans = bdd.try_and(trans, bit)?;
+        let fn_ = bdd.var(f_next[i]);
+        let bit = bdd.iff(fn_, fd[i])?;
+        trans = bdd.try_and(trans, bit)?;
+    }
+
+    let mut quantify: Vec<u32> = g_cur.iter().chain(&f_cur).chain(&pi).copied().collect();
+    quantify.sort_unstable();
+    let rename: HashMap<u32, u32> = g_next
+        .iter()
+        .zip(&g_cur)
+        .chain(f_next.iter().zip(&f_cur))
+        .map(|(&n, &c)| (n, c))
+        .collect();
+
+    // Doubled reset state.
+    let mut r = bdd.one();
+    for (i, &bit) in reset.iter().enumerate() {
+        let gl = if bit {
+            bdd.var(g_cur[i])
+        } else {
+            bdd.nvar(g_cur[i])
+        };
+        r = bdd.try_and(r, gl)?;
+        let fl = if bit {
+            bdd.var(f_cur[i])
+        } else {
+            bdd.nvar(f_cur[i])
+        };
+        r = bdd.try_and(r, fl)?;
+    }
+
+    let mut iterations = 0usize;
+    loop {
+        let bad = bdd.try_and(r, diff)?;
+        if bad != bdd.zero() {
+            return Ok(ResetRidOutcome::Irredundant {
+                at_iteration: iterations,
+            });
+        }
+        let conj = bdd.try_and(r, trans)?;
+        let quantified = bdd.exists(conj, &quantify)?;
+        let img = bdd.rename(quantified, &rename)?;
+        let next = bdd.try_or(r, img)?;
+        if next == r {
+            return Ok(ResetRidOutcome::Redundant { iterations });
+        }
+        r = next;
+        iterations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::{bench, FaultList};
+
+    use super::*;
+
+    fn figure3() -> Circuit {
+        bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn detectable_fault_is_irredundant_from_reset() {
+        let c = figure3();
+        let lines = LineGraph::build(&c);
+        // The PO stem d s-a-1 is plainly detectable.
+        let d = lines.stem_of(c.find("d").unwrap());
+        let out = reset_redundant(&c, &lines, Fault::sa1(d), &[false, false], 1 << 20);
+        assert!(matches!(out, ResetRidOutcome::Irredundant { at_iteration: 0 }));
+    }
+
+    #[test]
+    fn figure3_branch_fault_is_reset_redundant() {
+        let c = figure3();
+        let lines = LineGraph::build(&c);
+        let c_stem = lines.stem_of(c.find("c").unwrap());
+        let c1 = lines.line(c_stem).branches()[0];
+        let out = reset_redundant(&c, &lines, Fault::sa1(c1), &[false, false], 1 << 20);
+        assert!(matches!(out, ResetRidOutcome::Redundant { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn verdicts_match_explicit_product_bfs() {
+        // Cross-check every fault of Figure 3 against an explicit-state
+        // product BFS from the doubled reset state.
+        let c = figure3();
+        let lines = LineGraph::build(&c);
+        let good = fires_verify::BinMachine::good(&c, &lines);
+        for fault in FaultList::full(&lines).iter() {
+            let faulty = fires_verify::BinMachine::faulty(&c, &lines, fault);
+            // Explicit BFS.
+            let mut seen = std::collections::HashSet::new();
+            let mut stack = vec![(0u64, 0u64)];
+            seen.insert((0u64, 0u64));
+            let mut differs = false;
+            while let Some((sg, sf)) = stack.pop() {
+                for v in 0..good.num_input_vectors() as u64 {
+                    let (ng, og) = good.step(sg, v);
+                    let (nf, of) = faulty.step(sf, v);
+                    if og != of {
+                        differs = true;
+                    }
+                    if seen.insert((ng, nf)) {
+                        stack.push((ng, nf));
+                    }
+                }
+            }
+            let out = reset_redundant(&c, &lines, fault, &[false, false], 1 << 20);
+            match (differs, &out) {
+                (true, ResetRidOutcome::Irredundant { .. })
+                | (false, ResetRidOutcome::Redundant { .. }) => {}
+                other => panic!(
+                    "mismatch for {}: explicit differs={differs}, symbolic {other:?}",
+                    fault.display(&lines, &c)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_is_reported_not_panicked() {
+        let c = fires_circuits::suite::by_name("s1423_like").unwrap().circuit;
+        let lines = LineGraph::build(&c);
+        let fault = FaultList::full(&lines).iter().next().unwrap();
+        let reset = vec![false; c.num_dffs()];
+        let out = reset_redundant(&c, &lines, fault, &reset, 512);
+        assert!(matches!(out, ResetRidOutcome::Overflow { .. }));
+    }
+}

@@ -1,0 +1,320 @@
+//! Symbolic (BDD) circuit semantics: next-state and output functions,
+//! image computation and reachability — the machinery of implicit state
+//! enumeration.
+
+use std::collections::HashMap;
+
+use fires_netlist::{Circuit, Fault, GateKind, LineGraph, NodeId};
+
+use crate::{Bdd, BddError, Ref};
+
+/// Builds the combinational functions of `circuit` over caller-chosen
+/// variables: `pi_vars[j]` is the BDD variable of primary input `j`,
+/// `ff_vars[i]` that of flip-flop output `i`. With `fault` set, the stuck
+/// line is forced, exactly as in the workspace's simulators.
+///
+/// Returns `(d_pins, outputs)`: the flip-flops' next-state functions (in
+/// `circuit.dffs()` order) and the primary-output functions.
+///
+/// # Errors
+///
+/// [`BddError::Overflow`] when the manager's node budget is exhausted.
+///
+/// # Panics
+///
+/// Panics if the variable slices do not match the circuit's interface.
+pub fn circuit_functions(
+    bdd: &mut Bdd,
+    circuit: &Circuit,
+    lines: &LineGraph,
+    fault: Option<Fault>,
+    pi_vars: &[u32],
+    ff_vars: &[u32],
+) -> Result<(Vec<Ref>, Vec<Ref>), BddError> {
+    assert_eq!(pi_vars.len(), circuit.num_inputs(), "PI variable count");
+    assert_eq!(ff_vars.len(), circuit.num_dffs(), "FF variable count");
+    let mut value: Vec<Ref> = vec![bdd.zero(); circuit.num_nodes()];
+    for (j, &pi) in circuit.inputs().iter().enumerate() {
+        value[pi.index()] = bdd.var(pi_vars[j]);
+    }
+    for (i, &ff) in circuit.dffs().iter().enumerate() {
+        value[ff.index()] = bdd.var(ff_vars[i]);
+    }
+    let pin_value = |bdd: &Bdd, value: &[Ref], node: NodeId, pin: usize| -> Ref {
+        let src = circuit.node(node).fanin()[pin];
+        match fault {
+            Some(f) if lines.in_line(node, pin) == f.line => {
+                if f.stuck.as_bool() {
+                    bdd.one()
+                } else {
+                    bdd.zero()
+                }
+            }
+            _ => value[src.index()],
+        }
+    };
+    for &id in circuit.topo_order() {
+        let kind = circuit.node(id).kind();
+        let v = match kind {
+            GateKind::Input | GateKind::Dff => value[id.index()],
+            GateKind::Const0 => bdd.zero(),
+            GateKind::Const1 => bdd.one(),
+            _ => {
+                let n = circuit.node(id).fanin().len();
+                let mut acc = match kind {
+                    GateKind::And | GateKind::Nand => bdd.one(),
+                    _ => bdd.zero(),
+                };
+                for pin in 0..n {
+                    let x = pin_value(bdd, &value, id, pin);
+                    acc = match kind {
+                        GateKind::And | GateKind::Nand => bdd.try_and(acc, x)?,
+                        GateKind::Or | GateKind::Nor => bdd.try_or(acc, x)?,
+                        GateKind::Xor | GateKind::Xnor => bdd.try_xor(acc, x)?,
+                        GateKind::Not | GateKind::Buf => x,
+                        _ => unreachable!("sources handled above"),
+                    };
+                }
+                if kind.is_inverting() {
+                    bdd.try_not(acc)?
+                } else {
+                    acc
+                }
+            }
+        };
+        value[id.index()] = match fault {
+            Some(f) if lines.stem_of(id) == f.line => {
+                if f.stuck.as_bool() {
+                    bdd.one()
+                } else {
+                    bdd.zero()
+                }
+            }
+            _ => v,
+        };
+    }
+    let mut d_pins = Vec::with_capacity(circuit.num_dffs());
+    for &ff in circuit.dffs() {
+        d_pins.push(pin_value(bdd, &value, ff, 0));
+    }
+    let outputs = circuit
+        .outputs()
+        .iter()
+        .map(|&o| value[o.index()])
+        .collect();
+    Ok((d_pins, outputs))
+}
+
+/// A circuit compiled to symbolic transition form with the standard
+/// interleaved variable order: flip-flop `i` gets current-state variable
+/// `2i` and next-state variable `2i + 1`; primary input `j` gets variable
+/// `2·FF + j`.
+#[derive(Debug)]
+pub struct SymbolicMachine {
+    /// The manager holding every function below.
+    pub bdd: Bdd,
+    nff: usize,
+    /// The transition relation `∧ᵢ (s'ᵢ ↔ δᵢ(s, x))`.
+    pub transition: Ref,
+    /// Output functions over `(s, x)`.
+    pub outputs: Vec<Ref>,
+    quantify: Vec<u32>,
+    rename: HashMap<u32, u32>,
+}
+
+impl SymbolicMachine {
+    /// Compiles `circuit` (optionally with a fault injected) under a node
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::Overflow`] when the budget is exhausted during
+    /// compilation.
+    pub fn build(
+        circuit: &Circuit,
+        lines: &LineGraph,
+        fault: Option<Fault>,
+        node_budget: usize,
+    ) -> Result<Self, BddError> {
+        let nff = circuit.num_dffs();
+        let npi = circuit.num_inputs();
+        let mut bdd = Bdd::new((2 * nff + npi) as u32);
+        bdd.set_node_budget(node_budget);
+        let pi_vars: Vec<u32> = (0..npi).map(|j| (2 * nff + j) as u32).collect();
+        let cur_vars: Vec<u32> = (0..nff).map(|i| (2 * i) as u32).collect();
+        let (d_pins, outputs) =
+            circuit_functions(&mut bdd, circuit, lines, fault, &pi_vars, &cur_vars)?;
+        let mut transition = bdd.one();
+        for (i, &d) in d_pins.iter().enumerate() {
+            let next = bdd.var((2 * i + 1) as u32);
+            let bit = bdd.iff(next, d)?;
+            transition = bdd.try_and(transition, bit)?;
+        }
+        let mut quantify: Vec<u32> = cur_vars.clone();
+        quantify.extend(&pi_vars);
+        quantify.sort_unstable();
+        let rename: HashMap<u32, u32> = (0..nff)
+            .map(|i| ((2 * i + 1) as u32, (2 * i) as u32))
+            .collect();
+        Ok(SymbolicMachine {
+            bdd,
+            nff,
+            transition,
+            outputs,
+            quantify,
+            rename,
+        })
+    }
+
+    /// The characteristic function of one concrete state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the flip-flop count.
+    pub fn state_cube(&mut self, bits: &[bool]) -> Ref {
+        assert_eq!(bits.len(), self.nff, "state width");
+        let mut cube = self.bdd.one();
+        for (i, &b) in bits.iter().enumerate() {
+            let lit = if b {
+                self.bdd.var((2 * i) as u32)
+            } else {
+                self.bdd.nvar((2 * i) as u32)
+            };
+            cube = self.bdd.and(cube, lit);
+        }
+        cube
+    }
+
+    /// One symbolic image step: the states reachable from `r` in one clock
+    /// under any input.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::Overflow`] when the budget is exhausted.
+    pub fn image(&mut self, r: Ref) -> Result<Ref, BddError> {
+        let conj = self.bdd.try_and(r, self.transition)?;
+        let quantified = self.bdd.exists(conj, &self.quantify)?;
+        self.bdd.rename(quantified, &self.rename)
+    }
+
+    /// The least fixpoint of states reachable from `init`.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::Overflow`] when the budget is exhausted.
+    pub fn reachable(&mut self, init: Ref) -> Result<Ref, BddError> {
+        let mut r = init;
+        loop {
+            let img = self.image(r)?;
+            let next = self.bdd.try_or(r, img)?;
+            if next == r {
+                return Ok(r);
+            }
+            r = next;
+        }
+    }
+
+    /// Enumerates the concrete states in a state set (current-state
+    /// variables only). Exponential; intended for tests on small machines.
+    pub fn enumerate_states(&self, set: Ref) -> Vec<u64> {
+        let nvars = self.bdd.num_vars() as usize;
+        let mut found = Vec::new();
+        for state in 0..1u64 << self.nff {
+            // Any input assignment will do: state cubes are input-free.
+            let mut assignment = vec![false; nvars];
+            for i in 0..self.nff {
+                assignment[2 * i] = state >> i & 1 == 1;
+            }
+            if self.bdd.eval(set, &assignment) {
+                found.push(state);
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::bench;
+
+    use super::*;
+
+    #[test]
+    fn functions_match_truth_table() {
+        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n").unwrap();
+        let lines = LineGraph::build(&c);
+        let mut bdd = Bdd::new(2);
+        let (_, outs) =
+            circuit_functions(&mut bdd, &c, &lines, None, &[0, 1], &[]).unwrap();
+        assert!(bdd.eval(outs[0], &[false, false]));
+        assert!(bdd.eval(outs[0], &[true, false]));
+        assert!(!bdd.eval(outs[0], &[true, true]));
+    }
+
+    #[test]
+    fn fault_injection_forces_lines() {
+        use fires_netlist::Fault;
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let lines = LineGraph::build(&c);
+        let z = lines.stem_of(c.find("z").unwrap());
+        let mut bdd = Bdd::new(1);
+        let (_, outs) =
+            circuit_functions(&mut bdd, &c, &lines, Some(Fault::sa1(z)), &[0], &[]).unwrap();
+        assert_eq!(outs[0], bdd.one());
+    }
+
+    #[test]
+    fn reachability_matches_figure3_shrinkage() {
+        // Figure 3: from the full state space the reachable set after the
+        // first clock collapses to {00, 11}; from reset 00 it is the same.
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let lines = LineGraph::build(&c);
+        let mut m = SymbolicMachine::build(&c, &lines, None, 1 << 20).unwrap();
+        let init = m.state_cube(&[false, false]);
+        let r = m.reachable(init).unwrap();
+        assert_eq!(m.enumerate_states(r), vec![0b00, 0b11]);
+    }
+
+    #[test]
+    fn symbolic_reachability_matches_explicit_machine() {
+        let c = fires_circuits::iscas::s27();
+        let lines = LineGraph::build(&c);
+        let mut m = SymbolicMachine::build(&c, &lines, None, 1 << 22).unwrap();
+        let init = m.state_cube(&[false, false, false]);
+        let r = m.reachable(init).unwrap();
+        let mut symbolic = m.enumerate_states(r);
+        symbolic.sort_unstable();
+
+        // Explicit BFS on the binary machine.
+        let machine = fires_verify::BinMachine::good(&c, &lines);
+        let mut seen = vec![false; machine.num_states()];
+        let mut stack = vec![0u64];
+        seen[0] = true;
+        while let Some(s) = stack.pop() {
+            for v in 0..machine.num_input_vectors() as u64 {
+                let (n, _) = machine.step(s, v);
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        let explicit: Vec<u64> = (0..machine.num_states() as u64)
+            .filter(|&s| seen[s as usize])
+            .collect();
+        assert_eq!(symbolic, explicit);
+    }
+
+    #[test]
+    fn overflow_surfaces_cleanly() {
+        let c = fires_circuits::suite::by_name("s1423_like").unwrap().circuit;
+        let lines = LineGraph::build(&c);
+        match SymbolicMachine::build(&c, &lines, None, 256) {
+            Err(BddError::Overflow { .. }) => {}
+            other => panic!("expected overflow on a tiny budget, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: random Boolean expressions evaluate identically through
+//! the BDD and through direct interpretation.
+
+use fires_bdd::{Bdd, Ref};
+use proptest::prelude::*;
+
+/// A tiny expression AST over `n` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy(vars: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..vars).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(bdd: &mut Bdd, e: &Expr) -> Ref {
+    match e {
+        Expr::Var(v) => bdd.var(*v),
+        Expr::Not(a) => {
+            let x = build(bdd, a);
+            bdd.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build(bdd, a), build(bdd, b));
+            bdd.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(bdd, a), build(bdd, b));
+            bdd.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(bdd, a), build(bdd, b));
+            bdd.xor(x, y)
+        }
+    }
+}
+
+fn interpret(e: &Expr, assignment: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => assignment[*v as usize],
+        Expr::Not(a) => !interpret(a, assignment),
+        Expr::And(a, b) => interpret(a, assignment) & interpret(b, assignment),
+        Expr::Or(a, b) => interpret(a, assignment) | interpret(b, assignment),
+        Expr::Xor(a, b) => interpret(a, assignment) ^ interpret(b, assignment),
+    }
+}
+
+const VARS: u32 = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Full truth-table agreement between the ROBDD and the interpreter.
+    #[test]
+    fn bdd_matches_interpreter(e in expr_strategy(VARS)) {
+        let mut bdd = Bdd::new(VARS);
+        let f = build(&mut bdd, &e);
+        for bits in 0..1u32 << VARS {
+            let assignment: Vec<bool> =
+                (0..VARS).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(bdd.eval(f, &assignment), interpret(&e, &assignment));
+        }
+    }
+
+    /// Canonicity: equal truth tables imply identical node references.
+    #[test]
+    fn equal_functions_share_a_node(a in expr_strategy(3), b in expr_strategy(3)) {
+        let mut bdd = Bdd::new(3);
+        let fa = build(&mut bdd, &a);
+        let fb = build(&mut bdd, &b);
+        let equal_tables = (0..8u32).all(|bits| {
+            let assignment: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            interpret(&a, &assignment) == interpret(&b, &assignment)
+        });
+        prop_assert_eq!(fa == fb, equal_tables);
+    }
+
+    /// Quantification really is disjunction of cofactors.
+    #[test]
+    fn exists_is_cofactor_or(e in expr_strategy(4), v in 0u32..4) {
+        let mut bdd = Bdd::new(4);
+        let f = build(&mut bdd, &e);
+        let q = bdd.exists(f, &[v]).unwrap();
+        for bits in 0..1u32 << 4 {
+            let mut assignment: Vec<bool> =
+                (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assignment[v as usize] = false;
+            let lo = bdd.eval(f, &assignment);
+            assignment[v as usize] = true;
+            let hi = bdd.eval(f, &assignment);
+            prop_assert_eq!(bdd.eval(q, &assignment), lo | hi);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion: ablation benchmarks for the design choices DESIGN.md calls
+//! out — validation on/off, blame-set cap, fault collapsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fires_core::{Fires, FiresConfig};
+use fires_netlist::{FaultList, LineGraph};
+
+fn validation_cost(c: &mut Criterion) {
+    let entry = fires_circuits::suite::by_name("s420_like").expect("suite circuit");
+    let base = FiresConfig::with_max_frames(entry.frames);
+    let mut group = c.benchmark_group("ablation_validation");
+    group.sample_size(10);
+    group.bench_function("without", |b| {
+        b.iter(|| Fires::new(&entry.circuit, base.without_validation()).run().len())
+    });
+    group.bench_function("with", |b| {
+        b.iter(|| Fires::new(&entry.circuit, base).run().len())
+    });
+    group.finish();
+}
+
+fn blame_cap_cost(c: &mut Criterion) {
+    let entry = fires_circuits::suite::by_name("s386_like").expect("suite circuit");
+    let mut group = c.benchmark_group("ablation_blame_cap");
+    group.sample_size(10);
+    for cap in [4usize, 16, 64] {
+        let config = FiresConfig {
+            max_frames: entry.frames,
+            blame_cap: cap,
+            ..FiresConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
+            b.iter(|| Fires::new(&entry.circuit, config).run().len())
+        });
+    }
+    group.finish();
+}
+
+fn fault_collapsing(c: &mut Criterion) {
+    let entry = fires_circuits::suite::by_name("s1238_like").expect("suite circuit");
+    let lines = LineGraph::build(&entry.circuit);
+    let mut group = c.benchmark_group("ablation_fault_collapsing");
+    group.bench_function("full_universe", |b| {
+        b.iter(|| FaultList::full(&lines).len())
+    });
+    group.bench_function("collapsed", |b| {
+        b.iter(|| FaultList::collapsed(&entry.circuit, &lines).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, validation_cost, blame_cap_cost, fault_collapsing);
+criterion_main!(benches);

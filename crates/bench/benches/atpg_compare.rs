@@ -1,0 +1,67 @@
+//! Criterion: per-fault ATPG effort on easy (testable) targets vs the
+//! faults FIRES identifies — the microscopic view of Tables 3–4: search is
+//! cheap when a test exists and expensive when it does not.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fires_atpg::{Atpg, AtpgConfig};
+use fires_core::{Fires, FiresConfig};
+use fires_netlist::{FaultList, LineGraph};
+
+fn bounded() -> AtpgConfig {
+    AtpgConfig {
+        max_unroll: 8,
+        backtrack_limit: 2_000,
+        time_limit: Duration::from_millis(50),
+    }
+}
+
+fn atpg_effort(c: &mut Criterion) {
+    let entry = fires_circuits::suite::by_name("s208_like").expect("suite circuit");
+    let lines = LineGraph::build(&entry.circuit);
+    let atpg = Atpg::new(&entry.circuit, &lines, bounded());
+
+    // FIRES targets: untestable by construction.
+    let report = Fires::new(
+        &entry.circuit,
+        FiresConfig::with_max_frames(entry.frames).without_validation(),
+    )
+    .run();
+    let hard: Vec<_> = report.redundant_faults().iter().map(|f| f.fault).collect();
+
+    // Easy targets: the first few faults of the full universe that are
+    // quickly detected.
+    let easy: Vec<_> = FaultList::full(&lines)
+        .iter()
+        .filter(|&f| atpg.run_fault(f).is_detected())
+        .take(4)
+        .collect();
+
+    let mut group = c.benchmark_group("atpg_per_fault");
+    group.sample_size(10);
+    if !easy.is_empty() {
+        group.bench_function("easy_detected", |b| {
+            b.iter(|| {
+                easy.iter()
+                    .filter(|&&f| atpg.run_fault(f).is_detected())
+                    .count()
+            })
+        });
+    }
+    if !hard.is_empty() {
+        let sample: Vec<_> = hard.iter().copied().take(4).collect();
+        group.bench_function("fires_identified", |b| {
+            b.iter(|| {
+                sample
+                    .iter()
+                    .filter(|&&f| atpg.run_fault(f).is_detected())
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, atpg_effort);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion: end-to-end FIRES runtime across circuit sizes (the CPU
+//! columns of Table 2 as a tracked benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fires_core::{Fires, FiresConfig};
+
+fn fires_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fires_run");
+    group.sample_size(10);
+    for name in ["s208_like", "s420_like", "s838_like", "s386_like", "s1238_like"] {
+        let entry = fires_circuits::suite::by_name(name).expect("suite circuit");
+        let config = FiresConfig::with_max_frames(entry.frames);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &entry, |b, e| {
+            b.iter(|| Fires::new(&e.circuit, config).run().len());
+        });
+    }
+    group.finish();
+}
+
+fn fires_paper_figures(c: &mut Criterion) {
+    let fig3 = fires_circuits::figures::figure3();
+    let fig7 = fires_circuits::figures::figure7();
+    let s27 = fires_circuits::iscas::s27();
+    let config = FiresConfig::default();
+    let mut group = c.benchmark_group("fires_figures");
+    group.bench_function("figure3", |b| {
+        b.iter(|| Fires::new(&fig3, config).run().len())
+    });
+    group.bench_function("figure7", |b| {
+        b.iter(|| Fires::new(&fig7, config).run().len())
+    });
+    group.bench_function("s27", |b| b.iter(|| Fires::new(&s27, config).run().len()));
+    group.finish();
+}
+
+criterion_group!(benches, fires_runtime, fires_paper_figures);
+criterion_main!(benches);

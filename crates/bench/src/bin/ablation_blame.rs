@@ -1,0 +1,34 @@
+//! Ablation: the unobservability blame-set cap. A tiny cap refuses
+//! legitimate unobservability marks (fewer faults); past a modest size the
+//! curve saturates — justifying the default of 64.
+//!
+//! Run with `cargo run --release -p fires-bench --bin ablation_blame
+//! [circuit-name]`.
+
+use fires_bench::TextTable;
+use fires_core::{Fires, FiresConfig};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s386_like".to_owned());
+    let entry = fires_circuits::suite::by_name(&name).expect("unknown suite circuit");
+    println!("Ablation: blame-set cap on {name}\n");
+    let mut t = TextTable::new(["cap", "# Red.", "0-cycle", "Max. c", "CPU s"]);
+    for cap in [0usize, 1, 2, 4, 8, 16, 32, 64, 128] {
+        let config = FiresConfig {
+            max_frames: entry.frames,
+            blame_cap: cap,
+            ..FiresConfig::default()
+        };
+        let report = Fires::new(&entry.circuit, config).run();
+        t.row([
+            cap.to_string(),
+            report.len().to_string(),
+            report.num_zero_cycle().to_string(),
+            report.max_c().to_string(),
+            format!("{:.2}", report.elapsed().as_secs_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,31 @@
+//! Ablation: the frame budget `T_M`. Deeper windows find more (and
+//! higher-`c`) redundancies at higher cost, saturating once the circuit's
+//! sequential depth is covered — exactly why the paper picks `#Fr <= 15`
+//! per circuit size.
+//!
+//! Run with `cargo run --release -p fires-bench --bin ablation_tm
+//! [circuit-name]`.
+
+use fires_bench::TextTable;
+use fires_core::{Fires, FiresConfig};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s838_like".to_owned());
+    let entry = fires_circuits::suite::by_name(&name).expect("unknown suite circuit");
+    println!("Ablation: frame budget T_M on {name}\n");
+    let mut t = TextTable::new(["T_M", "# Red.", "0-cycle", "Max. c", "marks", "CPU s"]);
+    for tm in [1usize, 2, 3, 5, 7, 9, 11, 13, 15, 20, 25] {
+        let report = Fires::new(&entry.circuit, FiresConfig::with_max_frames(tm)).run();
+        t.row([
+            tm.to_string(),
+            report.len().to_string(),
+            report.num_zero_cycle().to_string(),
+            report.max_c().to_string(),
+            report.marks_created().to_string(),
+            format!("{:.2}", report.elapsed().as_secs_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+}

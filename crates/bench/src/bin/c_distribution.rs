@@ -1,0 +1,45 @@
+//! The c-value distribution the paper defers to reference \[14\]: for each
+//! benchmark circuit, how many identified redundancies need 0, 1, 2, ...
+//! warm-up clocks. "The distribution ... varies widely from circuit to
+//! circuit" — this binary regenerates it for the suite.
+//!
+//! Run with `cargo run --release -p fires-bench --bin c_distribution
+//! [circuit-names...]`.
+
+use fires_core::{Fires, FiresConfig};
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let defaults = [
+        "s208_like",
+        "s386_like",
+        "s400_like",
+        "s420_like",
+        "s838_like",
+        "s1238_like",
+    ];
+    println!("Distribution of c-cycle redundancies by c\n");
+    for entry in fires_circuits::suite::table2_suite() {
+        let selected = if filter.is_empty() {
+            defaults.contains(&entry.name)
+        } else {
+            filter.iter().any(|f| f == entry.name)
+        };
+        if !selected {
+            continue;
+        }
+        let report = Fires::new(
+            &entry.circuit,
+            FiresConfig::with_max_frames(entry.frames),
+        )
+        .run();
+        let hist = report.c_histogram();
+        let total = report.len().max(1);
+        println!("{} ({} faults):", entry.name, report.len());
+        for (c, count) in &hist {
+            let bar = "#".repeat((count * 50).div_ceil(total));
+            println!("  c={c:>2}: {count:>6} {bar}");
+        }
+        println!();
+    }
+}

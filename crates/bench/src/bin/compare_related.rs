@@ -1,0 +1,48 @@
+//! The Example-3 comparison, generalized: FIRES vs the FUNTEST-style
+//! combinational-envelope analysis (single-fault theorem, references
+//! \[8\]\[9\]\[19\]) across the paper figures and the benchmark suite.
+//!
+//! The paper's claim: FIRES finds faults "beyond the scope of the
+//! combinational ATG theorems" — the envelope sees only one frame, so
+//! conflicts that need adjacent time frames are invisible to it.
+//!
+//! Run with `cargo run --release -p fires-bench --bin compare_related`.
+
+use fires_bench::TextTable;
+use fires_core::{funtest_like, Fires, FiresConfig};
+use fires_netlist::Circuit;
+
+fn row(t: &mut TextTable, name: &str, circuit: &Circuit, frames: usize) {
+    let fires = Fires::new(
+        circuit,
+        FiresConfig::with_max_frames(frames).without_validation(),
+    )
+    .run();
+    let env = funtest_like(circuit).expect("envelope construction");
+    t.row([
+        name.to_string(),
+        fires.len().to_string(),
+        env.len().to_string(),
+        format!(
+            "{:+}",
+            fires.len() as isize - env.len() as isize
+        ),
+    ]);
+}
+
+fn main() {
+    println!("FIRES vs FUNTEST-like combinational envelope (untestable faults)\n");
+    let mut t = TextTable::new(["Circuit", "FIRES", "Envelope", "Advantage"]);
+    row(&mut t, "figure3", &fires_circuits::figures::figure3(), 15);
+    row(&mut t, "figure7", &fires_circuits::figures::figure7(), 3);
+    row(&mut t, "s27", &fires_circuits::iscas::s27(), 15);
+    for name in ["s208_like", "s386_like", "s420_like", "s838_like", "s1238_like"] {
+        let entry = fires_circuits::suite::by_name(name).expect("suite circuit");
+        row(&mut t, name, &entry.circuit, entry.frames);
+    }
+    println!("{}", t.render());
+    println!(
+        "Positive advantage = faults only the sequential implication\n\
+         analysis can reach (conflicts spanning several time frames)."
+    );
+}

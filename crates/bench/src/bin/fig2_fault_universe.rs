@@ -1,0 +1,100 @@
+//! Regenerates the paper's Figure 2: the structure of the fault universe
+//! (testable ⊂ partially testable; untestable = not detectable;
+//! redundant = not partially testable; plus the paper's new c-cycle
+//! redundant class), computed *exactly* on small circuits by explicit
+//! state-space analysis.
+//!
+//! Also cross-checks FIRES: every fault FIRES identifies must fall in the
+//! c-cycle redundant region.
+//!
+//! Run with `cargo run --release -p fires-bench --bin fig2_fault_universe`.
+
+use fires_bench::TextTable;
+use fires_core::{Fires, FiresConfig};
+use fires_netlist::{Circuit, FaultList, LineGraph};
+use fires_verify::{classify, Limits};
+
+fn analyze(name: &str, circuit: &Circuit, t: &mut TextTable) {
+    let lines = LineGraph::build(circuit);
+    let faults = FaultList::full(&lines);
+    let limits = Limits::default();
+    let mut detectable = 0usize;
+    let mut partially_only = 0usize; // partially testable but not detectable
+    let mut testable = 0usize;
+    let mut redundant0 = 0usize; // Definition-4 redundant (0-cycle)
+    let mut c_cycle_pos = 0usize; // c-cycle redundant for some c > 0 only
+    let mut not_c_cycle = 0usize; // untestable yet never c-cycle redundant
+    let mut unknown = 0usize;
+    for fault in faults.iter() {
+        match classify(circuit, &lines, fault, &limits) {
+            Ok(class) => {
+                if class.detectable == Some(true) {
+                    detectable += 1;
+                }
+                if class.testable {
+                    testable += 1;
+                }
+                if class.partially_testable && class.detectable == Some(false) {
+                    partially_only += 1;
+                }
+                match class.c_cycle {
+                    Some(0) => redundant0 += 1,
+                    Some(_) => c_cycle_pos += 1,
+                    None if class.detectable == Some(false) => not_c_cycle += 1,
+                    None => {}
+                }
+            }
+            Err(_) => unknown += 1,
+        }
+    }
+    t.row([
+        name.to_string(),
+        faults.len().to_string(),
+        detectable.to_string(),
+        testable.to_string(),
+        partially_only.to_string(),
+        redundant0.to_string(),
+        c_cycle_pos.to_string(),
+        not_c_cycle.to_string(),
+        unknown.to_string(),
+    ]);
+}
+
+fn main() {
+    let mut t = TextTable::new([
+        "Circuit",
+        "Faults",
+        "Detectable",
+        "Testable",
+        "PartialOnly",
+        "Red(c=0)",
+        "Red(c>0)",
+        "Unt!Red",
+        "Unknown",
+    ]);
+    println!("Figure 2: exact structure of the fault universe (small circuits)\n");
+    analyze("figure3", &fires_circuits::figures::figure3(), &mut t);
+    analyze("figure7", &fires_circuits::figures::figure7(), &mut t);
+    analyze("s27", &fires_circuits::iscas::s27(), &mut t);
+    println!("{}", t.render());
+
+    // Subset checks that define the figure, plus the FIRES containment.
+    println!("FIRES containment check (every identified fault is c-cycle redundant):");
+    for (name, circuit) in [
+        ("figure3", fires_circuits::figures::figure3()),
+        ("figure7", fires_circuits::figures::figure7()),
+        ("s27", fires_circuits::iscas::s27()),
+    ] {
+        let report = Fires::new(&circuit, FiresConfig::default()).run();
+        let limits = Limits::default();
+        let mut ok = 0usize;
+        let mut bad = 0usize;
+        for f in report.redundant_faults() {
+            match classify(&circuit, report.lines(), f.fault, &limits) {
+                Ok(class) if matches!(class.c_cycle, Some(c) if c <= f.c) => ok += 1,
+                _ => bad += 1,
+            }
+        }
+        println!("  {name}: {} identified, {ok} verified, {bad} violations", report.len());
+    }
+}

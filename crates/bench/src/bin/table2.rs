@@ -1,0 +1,43 @@
+//! Regenerates the paper's Table 2: FIRES with and without validation on
+//! the benchmark suite (generated ISCAS89-like circuits; see DESIGN.md §3).
+//!
+//! Columns match the paper: `# Fr.` (frame budget), `# Unt.` and CPU
+//! seconds for FIRES without validation, `# Red.` and CPU seconds with
+//! validation, the number of 0-cycle redundancies and the maximum `c`.
+//!
+//! Run with `cargo run --release -p fires-bench --bin table2`.
+//! Pass circuit names as arguments to restrict the rows.
+
+use std::io::Write;
+
+use fires_bench::table2_row;
+use fires_circuits::suite::table2_suite;
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    println!("Table 2: results for benchmark circuits\n");
+    println!(
+        "{:<12} {:>5} | {:>7} {:>7} | {:>7} {:>7} {:>8} {:>7}",
+        "Circuit", "# Fr.", "# Unt.", "CPU s", "# Red.", "CPU s", "0-cycle", "Max. c"
+    );
+    println!("{}", "-".repeat(72));
+    for entry in table2_suite() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == entry.name) {
+            continue;
+        }
+        let row = table2_row(&entry);
+        println!(
+            "{:<12} {:>5} | {:>7} {:>7.1} | {:>7} {:>7.1} {:>8} {:>7}",
+            row.name,
+            row.frames,
+            row.untestable,
+            row.cpu_unvalidated,
+            row.redundant,
+            row.cpu_validated,
+            row.zero_cycle,
+            row.max_c
+        );
+        std::io::stdout().flush().ok();
+    }
+    println!("\ndone");
+}

@@ -1,0 +1,552 @@
+//! Deterministic circuit generators and redundancy-injection patterns.
+//!
+//! The injected patterns are the redundancy families the paper's benchmark
+//! results exhibit:
+//!
+//! * [`fig3_pattern`] — the "same signal through two flip-flops into one
+//!   gate" family (1-cycle redundancies, Examples 1–2);
+//! * [`chain_pair_pattern`] — two parallel `k`-deep flip-flop chains fed
+//!   by one source whose XOR can never be 1 after `k` clocks (`k`-cycle
+//!   redundancies; this is what produces the large `Max. c` values of
+//!   circuits like S838);
+//! * [`comb_conflict_pattern`] — a combinational reconvergence that needs
+//!   `x = 0 ∧ x = 1` (0-cycle, i.e. conventional, redundancies).
+//!
+//! c-cycle redundancy is *compositional* (paper Section 4): a redundant
+//! subcircuit stays redundant when embedded in any larger circuit, so the
+//! generators are free to OR-merge pattern outputs into the surrounding
+//! random logic.
+
+use fires_netlist::{Circuit, CircuitBuilder, GateKind, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synchronous binary up-counter with enable: bit `i` toggles when the
+/// enable and all lower bits are 1; the carry out of the top bit is
+/// observed, as is the low half of the count. This is the structural
+/// family of the ISCAS89 S208/S420/S838 chain (each is roughly a doubling
+/// of the previous).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// let c = fires_circuits::generators::counter(8);
+/// assert_eq!(c.num_dffs(), 8);
+/// ```
+pub fn counter(bits: usize) -> Circuit {
+    assert!(bits > 0, "counter needs at least one bit");
+    let mut b = CircuitBuilder::new();
+    let en = b.input("en");
+    let qs: Vec<NodeId> = (0..bits).map(|i| b.placeholder(&format!("q{i}"))).collect();
+    // carry[i] = en & q0 & ... & q{i-1}
+    let mut carry = en;
+    for (i, &q) in qs.iter().enumerate() {
+        let t = b.gate(&format!("t{i}"), GateKind::Xor, &[q, carry]);
+        b.define(q, GateKind::Dff, &[t]);
+        carry = b.gate(&format!("c{i}"), GateKind::And, &[carry, q]);
+    }
+    b.output(carry);
+    for &q in qs.iter().take(bits.div_ceil(2)) {
+        b.output(q);
+    }
+    b.build().expect("counter is well-formed")
+}
+
+/// An `n`-stage shift register with an XOR tap network (an LFSR-style
+/// observation): fully initializable, no redundancies expected.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn shift_register(n: usize) -> Circuit {
+    assert!(n > 0, "shift register needs at least one stage");
+    let mut b = CircuitBuilder::new();
+    let din = b.input("din");
+    let mut prev = din;
+    let mut stages = Vec::with_capacity(n);
+    for i in 0..n {
+        prev = b.gate(&format!("s{i}"), GateKind::Dff, &[prev]);
+        stages.push(prev);
+    }
+    let mut acc = stages[0];
+    for (i, &s) in stages.iter().enumerate().skip(1).step_by(2) {
+        acc = b.gate(&format!("x{i}"), GateKind::Xor, &[acc, s]);
+    }
+    b.output(acc);
+    b.output(*stages.last().expect("n > 0"));
+    b.build().expect("shift register is well-formed")
+}
+
+/// A `depth`-stage pipeline over `width` bit lanes with a layer of mixing
+/// logic between flip-flop ranks. When `balanced` is true every
+/// input-to-output path crosses the same number of flip-flops (the
+/// "balanced pipeline" structure for which reference \[5\] of the paper
+/// proved untestable ⇒ redundant); when false, a combinational bypass from
+/// the first lane skews path depths.
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `depth == 0`.
+pub fn pipeline(width: usize, depth: usize, balanced: bool) -> Circuit {
+    assert!(width >= 2 && depth >= 1, "pipeline needs width >= 2, depth >= 1");
+    let mut b = CircuitBuilder::new();
+    let mut lane: Vec<NodeId> = (0..width).map(|i| b.input(&format!("in{i}"))).collect();
+    let first_input = lane[0];
+    for d in 0..depth {
+        // Mixing layer: each lane combines with its right neighbour.
+        let mixed: Vec<NodeId> = (0..width)
+            .map(|i| {
+                let kind = match (d + i) % 3 {
+                    0 => GateKind::Nand,
+                    1 => GateKind::Nor,
+                    _ => GateKind::Xor,
+                };
+                b.gate(
+                    &format!("m{d}_{i}"),
+                    kind,
+                    &[lane[i], lane[(i + 1) % width]],
+                )
+            })
+            .collect();
+        lane = mixed
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| b.gate(&format!("r{d}_{i}"), GateKind::Dff, &[m]))
+            .collect();
+    }
+    if !balanced {
+        // A zero-flip-flop bypass unbalances every path through lane 0.
+        lane[0] = b.gate("bypass", GateKind::Xor, &[lane[0], first_input]);
+    }
+    for (i, &l) in lane.iter().enumerate() {
+        if i % 2 == 0 {
+            b.output(l);
+        }
+    }
+    b.output(lane[1]);
+    b.build().expect("pipeline is well-formed")
+}
+
+/// Adds the Figure-3 pattern fed by `src`: two flip-flops latch `src` and
+/// an AND recombines them. Returns `(and_output, observed_ff)`; the caller
+/// must keep both observable for the pattern's 1-cycle redundancy to be
+/// non-trivial.
+pub fn fig3_pattern(
+    b: &mut CircuitBuilder,
+    tag: &str,
+    src: NodeId,
+) -> (NodeId, NodeId) {
+    let ff1 = b.gate(&format!("{tag}_b"), GateKind::Dff, &[src]);
+    let ff2 = b.gate(&format!("{tag}_c"), GateKind::Dff, &[src]);
+    let and = b.gate(&format!("{tag}_d"), GateKind::And, &[ff1, ff2]);
+    (and, ff2)
+}
+
+/// Adds two parallel `depth`-deep flip-flop chains fed by `src` and the
+/// XOR of their ends, which is constant 0 once the machine has been
+/// clocked `depth` times: every fault whose detection requires that XOR to
+/// be 1 is `depth`-cycle redundant. Returns the XOR output.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn chain_pair_pattern(
+    b: &mut CircuitBuilder,
+    tag: &str,
+    src: NodeId,
+    depth: usize,
+) -> NodeId {
+    assert!(depth > 0, "chain pair needs depth >= 1");
+    let mut p = src;
+    let mut q = src;
+    for i in 0..depth {
+        p = b.gate(&format!("{tag}_p{i}"), GateKind::Dff, &[p]);
+        q = b.gate(&format!("{tag}_q{i}"), GateKind::Dff, &[q]);
+    }
+    b.gate(&format!("{tag}_x"), GateKind::Xor, &[p, q])
+}
+
+/// Adds the classic combinational conflict fed by `src`:
+/// `AND(src, NOT(src))`, constant 0. Its s-a-0 (and any detection path
+/// requiring it to be 1) is a conventional 0-cycle redundancy. Returns the
+/// AND output.
+pub fn comb_conflict_pattern(b: &mut CircuitBuilder, tag: &str, src: NodeId) -> NodeId {
+    let n = b.gate(&format!("{tag}_n"), GateKind::Not, &[src]);
+    b.gate(&format!("{tag}_z"), GateKind::And, &[src, n])
+}
+
+/// A one-hot encoded Moore finite-state machine without reset.
+///
+/// Each state gets one flip-flop; the next-state function is
+/// `s_j' = OR(AND(s_i, cond_ij))` over the incoming transitions, where
+/// each condition tests one (possibly negated) primary input. One-hot
+/// controllers without reset are a classic source of sequential
+/// redundancy: encodings outside the one-hot set (all-zero, multi-hot)
+/// either die out or become unreachable after a few clocks, so logic that
+/// distinguishes them is c-cycle redundant. The structural family matches
+/// the ISCAS89 controller circuits (s386, s510).
+///
+/// # Panics
+///
+/// Panics if `states < 2` or `inputs == 0`.
+///
+/// # Example
+///
+/// ```
+/// let c = fires_circuits::generators::fsm_one_hot(4, 2, 99);
+/// assert_eq!(c.num_dffs(), 4);
+/// ```
+pub fn fsm_one_hot(states: usize, inputs: usize, seed: u64) -> Circuit {
+    assert!(states >= 2, "FSM needs at least two states");
+    assert!(inputs >= 1, "FSM needs at least one input");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new();
+    let ins: Vec<NodeId> = (0..inputs).map(|i| b.input(&format!("x{i}"))).collect();
+    let negs: Vec<NodeId> = ins
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| b.gate(&format!("nx{i}"), GateKind::Not, &[x]))
+        .collect();
+    let ffs: Vec<NodeId> = (0..states).map(|j| b.placeholder(&format!("s{j}"))).collect();
+
+    // Every state gets two outgoing transitions on complementary input
+    // tests, so each state always hands its token somewhere.
+    let mut incoming: Vec<Vec<NodeId>> = vec![Vec::new(); states];
+    for (i, &sf) in ffs.iter().enumerate() {
+        let x = rng.random_range(0..inputs);
+        let t_true = rng.random_range(0..states);
+        let t_false = rng.random_range(0..states);
+        let a = b.gate(&format!("tr{i}t"), GateKind::And, &[sf, ins[x]]);
+        let c = b.gate(&format!("tr{i}f"), GateKind::And, &[sf, negs[x]]);
+        incoming[t_true].push(a);
+        incoming[t_false].push(c);
+    }
+    for (j, &ff) in ffs.iter().enumerate() {
+        let d = match incoming[j].len() {
+            0 => b.gate(&format!("d{j}"), GateKind::Const0, &[]),
+            1 => incoming[j][0],
+            _ => b.gate(&format!("d{j}"), GateKind::Or, &incoming[j]),
+        };
+        b.define(ff, GateKind::Dff, &[d]);
+    }
+    // Moore outputs over random state subsets (at least one state each).
+    let n_out = (states / 2).max(1);
+    for o in 0..n_out {
+        let mut members: Vec<NodeId> = ffs
+            .iter()
+            .copied()
+            .filter(|_| rng.random::<bool>())
+            .collect();
+        if members.is_empty() {
+            members.push(ffs[o % states]);
+        }
+        let po = if members.len() == 1 {
+            b.gate(&format!("out{o}"), GateKind::Buf, &[members[0]])
+        } else {
+            b.gate(&format!("out{o}"), GateKind::Or, &members)
+        };
+        b.output(po);
+    }
+    b.build().expect("FSM is well-formed by construction")
+}
+
+/// Configuration for [`random_sequential`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomConfig {
+    /// RNG seed; equal seeds give identical circuits.
+    pub seed: u64,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Random combinational gates in the base netlist.
+    pub gates: usize,
+    /// Flip-flops in the base netlist (their D pins close feedback loops).
+    pub ffs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Number of injected Figure-3 patterns (1-cycle redundancies).
+    pub fig3: usize,
+    /// Injected chain pairs as `(count, depth)` (`depth`-cycle
+    /// redundancies).
+    pub chains: (usize, usize),
+    /// Injected combinational conflicts (0-cycle redundancies).
+    pub conflicts: usize,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            seed: 1,
+            inputs: 8,
+            gates: 100,
+            ffs: 12,
+            outputs: 6,
+            fig3: 2,
+            chains: (1, 3),
+            conflicts: 2,
+        }
+    }
+}
+
+/// Generates a random synchronous netlist with injected redundancies.
+///
+/// The base is a random DAG of two-input gates over the inputs and
+/// flip-flop outputs; flip-flop D pins are connected last and may point
+/// anywhere, creating feedback that is always broken by the flip-flops
+/// themselves (no combinational cycles by construction). Pattern outputs
+/// are OR-merged into the primary outputs, which keeps the injected
+/// redundancies redundant by compositionality.
+///
+/// # Example
+///
+/// ```
+/// use fires_circuits::generators::{random_sequential, RandomConfig};
+/// let a = random_sequential(&RandomConfig::default());
+/// let b = random_sequential(&RandomConfig::default());
+/// assert_eq!(fires_netlist::bench::to_text(&a), fires_netlist::bench::to_text(&b));
+/// ```
+pub fn random_sequential(cfg: &RandomConfig) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = CircuitBuilder::new();
+    let mut pool: Vec<NodeId> = (0..cfg.inputs.max(1))
+        .map(|i| b.input(&format!("pi{i}")))
+        .collect();
+    let ffs: Vec<NodeId> = (0..cfg.ffs)
+        .map(|i| b.placeholder(&format!("ff{i}")))
+        .collect();
+    pool.extend(&ffs);
+
+    let kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Not,
+    ];
+    for i in 0..cfg.gates {
+        let kind = kinds[rng.random_range(0..kinds.len())];
+        let a = pool[rng.random_range(0..pool.len())];
+        let g = if kind == GateKind::Not {
+            b.gate(&format!("g{i}"), kind, &[a])
+        } else {
+            let c = pool[rng.random_range(0..pool.len())];
+            b.gate(&format!("g{i}"), kind, &[a, c])
+        };
+        pool.push(g);
+    }
+    // Close the flip-flop feedback.
+    for (i, &ff) in ffs.iter().enumerate() {
+        let d = pool[rng.random_range(0..pool.len())];
+        let _ = i;
+        b.define(ff, GateKind::Dff, &[d]);
+    }
+
+    // Injected redundancies, fed from random existing signals.
+    let mut extra_observed: Vec<NodeId> = Vec::new();
+    for k in 0..cfg.fig3 {
+        let src = pool[rng.random_range(0..pool.len())];
+        let (and, ff) = fig3_pattern(&mut b, &format!("f3_{k}"), src);
+        extra_observed.push(and);
+        b.output(ff); // the pattern's c2 observation
+    }
+    let (nchains, depth) = cfg.chains;
+    for k in 0..nchains {
+        let src = pool[rng.random_range(0..pool.len())];
+        let x = chain_pair_pattern(&mut b, &format!("cp{k}"), src, depth.max(1));
+        extra_observed.push(x);
+    }
+    for k in 0..cfg.conflicts {
+        let src = pool[rng.random_range(0..pool.len())];
+        extra_observed.push(comb_conflict_pattern(&mut b, &format!("cc{k}"), src));
+    }
+
+    // Primary outputs: random base signals OR-merged with pattern outputs.
+    let n_outputs = cfg.outputs.max(1);
+    for o in 0..n_outputs {
+        let base = pool[rng.random_range(0..pool.len())];
+        let merged = match extra_observed.get(o % extra_observed.len().max(1)) {
+            Some(&p) if !extra_observed.is_empty() => {
+                b.gate(&format!("po{o}"), GateKind::Or, &[base, p])
+            }
+            _ => b.gate(&format!("po{o}"), GateKind::Buf, &[base]),
+        };
+        b.output(merged);
+    }
+    b.build().expect("random circuit is well-formed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fires_sim::{Logic3, SeqSim};
+
+    #[test]
+    fn counter_counts() {
+        let c = counter(3);
+        let lines = fires_netlist::LineGraph::build(&c);
+        let mut sim = SeqSim::new(&c, &lines);
+        // Set a known state and count: carry-out pulses at 111 & en.
+        sim.set_state(&[Logic3::One, Logic3::One, Logic3::One]);
+        let out = sim.step(&[Logic3::One], None);
+        assert_eq!(out[0], Logic3::One, "carry out at full count");
+        // After the toggle everything is 0.
+        let out = sim.step(&[Logic3::One], None);
+        assert_eq!(out[0], Logic3::Zero);
+    }
+
+    #[test]
+    fn counter_wraps_like_binary() {
+        let c = counter(2);
+        let lines = fires_netlist::LineGraph::build(&c);
+        let mut sim = SeqSim::new(&c, &lines);
+        sim.set_state(&[Logic3::Zero, Logic3::Zero]);
+        // Count 4 steps with enable: q0 pattern 0,1,0,1; q1 pattern 0,0,1,1.
+        let mut q0 = Vec::new();
+        for _ in 0..4 {
+            let out = sim.step(&[Logic3::One], None);
+            q0.push(out[1]); // first observed bit is q0
+        }
+        assert_eq!(
+            q0,
+            vec![Logic3::Zero, Logic3::One, Logic3::Zero, Logic3::One]
+        );
+    }
+
+    #[test]
+    fn shift_register_delays() {
+        let c = shift_register(4);
+        assert_eq!(c.num_dffs(), 4);
+        let lines = fires_netlist::LineGraph::build(&c);
+        let mut sim = SeqSim::new(&c, &lines);
+        sim.set_state(&[Logic3::Zero; 4]);
+        // Push a single 1 and watch it at the last stage (second output).
+        let mut seen = Vec::new();
+        seen.push(sim.step(&[Logic3::One], None)[1]);
+        for _ in 0..4 {
+            seen.push(sim.step(&[Logic3::Zero], None)[1]);
+        }
+        assert_eq!(seen[4], Logic3::One, "the pulse arrives after 4 clocks");
+    }
+
+    #[test]
+    fn pipeline_shapes() {
+        let bal = pipeline(4, 3, true);
+        assert_eq!(bal.num_dffs(), 12);
+        let unbal = pipeline(4, 3, false);
+        assert_eq!(unbal.num_dffs(), 12);
+        assert!(unbal.find("bypass").is_some());
+        assert!(bal.find("bypass").is_none());
+    }
+
+    #[test]
+    fn chain_pair_xor_settles_to_zero() {
+        let mut b = fires_netlist::CircuitBuilder::new();
+        let a = b.input("a");
+        let x = chain_pair_pattern(&mut b, "cp", a, 3);
+        b.output(x);
+        let c = b.build().unwrap();
+        let lines = fires_netlist::LineGraph::build(&c);
+        let mut sim = SeqSim::new(&c, &lines);
+        // Set an arbitrary binary state, clock 3 times: XOR must be 0.
+        sim.set_state(&[
+            Logic3::One,
+            Logic3::Zero,
+            Logic3::One,
+            Logic3::Zero,
+            Logic3::Zero,
+            Logic3::One,
+        ]);
+        let mut out = Logic3::X;
+        for _ in 0..4 {
+            out = sim.step(&[Logic3::One], None)[0];
+        }
+        assert_eq!(out, Logic3::Zero);
+    }
+
+    #[test]
+    fn fsm_structure_and_determinism() {
+        let a = fsm_one_hot(5, 2, 42);
+        let b = fsm_one_hot(5, 2, 42);
+        assert_eq!(
+            fires_netlist::bench::to_text(&a),
+            fires_netlist::bench::to_text(&b)
+        );
+        assert_eq!(a.num_dffs(), 5);
+        assert_eq!(a.num_inputs(), 2);
+        assert!(a.num_outputs() >= 2);
+    }
+
+    #[test]
+    fn fsm_token_is_conserved_from_one_hot_states() {
+        // Starting one-hot, the machine stays one-hot forever.
+        let c = fsm_one_hot(4, 1, 7);
+        let lines = fires_netlist::LineGraph::build(&c);
+        let mut sim = SeqSim::new(&c, &lines);
+        sim.set_state(&[Logic3::One, Logic3::Zero, Logic3::Zero, Logic3::Zero]);
+        for step in 0..8 {
+            let _ = sim.step(&[Logic3::from(step % 2 == 0)], None);
+            let ones = sim
+                .state()
+                .iter()
+                .filter(|&&v| v == Logic3::One)
+                .count();
+            assert_eq!(ones, 1, "token lost or duplicated at step {step}");
+        }
+    }
+
+    #[test]
+    fn fsm_all_zero_state_is_absorbing() {
+        let c = fsm_one_hot(4, 1, 7);
+        let lines = fires_netlist::LineGraph::build(&c);
+        let mut sim = SeqSim::new(&c, &lines);
+        sim.set_state(&[Logic3::Zero; 4]);
+        let _ = sim.step(&[Logic3::One], None);
+        assert!(sim.state().iter().all(|&v| v == Logic3::Zero));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_valid() {
+        let cfg = RandomConfig {
+            seed: 7,
+            gates: 60,
+            ..RandomConfig::default()
+        };
+        let a = random_sequential(&cfg);
+        let b = random_sequential(&cfg);
+        assert_eq!(
+            fires_netlist::bench::to_text(&a),
+            fires_netlist::bench::to_text(&b)
+        );
+        let c = random_sequential(&RandomConfig {
+            seed: 8,
+            ..cfg
+        });
+        assert_ne!(
+            fires_netlist::bench::to_text(&a),
+            fires_netlist::bench::to_text(&c)
+        );
+    }
+
+    #[test]
+    fn random_respects_sizes() {
+        let cfg = RandomConfig {
+            inputs: 5,
+            ffs: 9,
+            outputs: 4,
+            fig3: 1,
+            chains: (1, 2),
+            conflicts: 1,
+            ..RandomConfig::default()
+        };
+        let c = random_sequential(&cfg);
+        assert_eq!(c.num_inputs(), 5);
+        // Base FFs + 2 per fig3 + 2*depth per chain.
+        assert_eq!(c.num_dffs(), 9 + 2 + 4);
+        // outputs + one observed FF per fig3 pattern.
+        assert_eq!(c.num_outputs(), 4 + 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Embedded public ISCAS89 benchmark circuits.
+//!
+//! Only the tiny `s27` is embedded verbatim (it is reproduced in full in
+//! many papers and textbooks). The larger ISCAS89 netlists are not
+//! redistributable with this repository; [`crate::suite`] provides
+//! generated circuits of comparable structure instead.
+
+use fires_netlist::{bench, Circuit};
+
+/// The `.bench` source of ISCAS89 `s27` (4 PIs, 1 PO, 3 DFFs, 10 gates).
+pub const S27_BENCH: &str = "\
+# ISCAS89 benchmark s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+/// Parses the embedded `s27`.
+///
+/// # Example
+///
+/// ```
+/// let c = fires_circuits::iscas::s27();
+/// assert_eq!((c.num_inputs(), c.num_outputs(), c.num_dffs()), (4, 1, 3));
+/// ```
+pub fn s27() -> Circuit {
+    bench::parse(S27_BENCH).expect("embedded s27 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_statistics() {
+        let c = s27();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 3);
+        assert_eq!(c.num_gates(), 10);
+    }
+
+    #[test]
+    fn s27_simulates_sanely() {
+        use fires_sim::{Logic3, SeqSim};
+        let c = s27();
+        let lines = fires_netlist::LineGraph::build(&c);
+        let mut sim = SeqSim::new(&c, &lines);
+        // All-ones input makes G9 = 1 and hence G11 = 0 combinationally:
+        // G17 is binary from the very first vector.
+        let last = sim.step(&[Logic3::One; 4], None)[0];
+        assert!(last.is_binary(), "s27 output should resolve, got {last}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmark circuits for the FIRES reproduction.
+//!
+//! Three families:
+//!
+//! * [`figures`] — the paper's own example circuits (Figure 3 exactly as
+//!   described in Examples 1–2; Figure 7 as a documented reconstruction,
+//!   since the original figure is only available as a low-quality scan);
+//! * [`iscas`] — the public tiny ISCAS89 benchmark `s27`;
+//! * [`generators`] — deterministic parametric generators (counters, shift
+//!   registers, pipelines, random sequential glue) plus *redundancy
+//!   injection* patterns of the families the paper's results exhibit;
+//! * [`suite`] — a named ISCAS89-*like* benchmark suite sized to mirror
+//!   the rows of the paper's Table 2 (the original netlists are not
+//!   redistributable; see DESIGN.md §3 for the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! let c = fires_circuits::figures::figure3();
+//! assert_eq!(c.num_dffs(), 2);
+//! let s27 = fires_circuits::iscas::s27();
+//! assert_eq!(s27.num_dffs(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod generators;
+pub mod iscas;
+pub mod suite;

@@ -1,0 +1,127 @@
+//! The combinational-envelope comparators the paper positions FIRES
+//! against (Section 1 and Example 3).
+//!
+//! FUNTEST (reference \[19\]) lifts combinational FIRE to sequential
+//! circuits through the *single-fault theorem* of Agrawal/Chakradhar
+//! (\[8\]\[9\]): a fault that is combinationally untestable in the model where
+//! every flip-flop output is a free pseudo-input and every flip-flop data
+//! pin a pseudo-output is sequentially untestable. [`funtest_like`]
+//! implements exactly that: combinational FIRE on the
+//! [`full_scan`](fires_netlist::transform::full_scan) envelope.
+//!
+//! Example 3 of the paper shows why FIRES subsumes this approach: of the
+//! seven c-cycle redundancies FIRES finds in the Figure-7 circuit, FUNTEST
+//! reports only one, because implications that cross time frames (and the
+//! unobservability that flows backwards through flip-flops) are invisible
+//! in the single-frame envelope.
+
+use fires_netlist::{transform, Circuit, Fault, LineGraph, NetlistError};
+
+use crate::{Fires, FiresConfig};
+
+/// Faults found untestable by the envelope analysis, reported as
+/// display-name strings of the *envelope* circuit (the envelope has its
+/// own line numbering, but names are preserved by the transform, so names
+/// are the stable cross-model currency).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EnvelopeReport {
+    /// `(display name, fault)` pairs over the envelope circuit.
+    pub untestable: Vec<(String, Fault)>,
+}
+
+impl EnvelopeReport {
+    /// Number of faults identified.
+    pub fn len(&self) -> usize {
+        self.untestable.len()
+    }
+
+    /// Whether nothing was identified.
+    pub fn is_empty(&self) -> bool {
+        self.untestable.is_empty()
+    }
+
+    /// Whether a fault with the given envelope display name was found.
+    pub fn contains_name(&self, name: &str) -> bool {
+        self.untestable.iter().any(|(n, _)| n == name)
+    }
+}
+
+/// FUNTEST-style sequential untestability identification: combinational
+/// FIRE over the full-scan envelope. Every reported fault is sequentially
+/// untestable in the original circuit (single-fault theorem), but — unlike
+/// FIRES' validated output — not necessarily redundant.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the envelope construction.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// // Figure 3: the envelope makes b and c independently controllable, so
+/// // the conflict disappears and FUNTEST finds nothing — while FIRES
+/// // identifies the 1-cycle redundancy.
+/// let circuit = fires_circuits::figures::figure3();
+/// let env = fires_core::funtest_like(&circuit)?;
+/// assert!(env.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn funtest_like(circuit: &Circuit) -> Result<EnvelopeReport, NetlistError> {
+    let envelope = transform::full_scan(circuit)?;
+    let config = FiresConfig {
+        max_frames: 1,
+        ..FiresConfig::default()
+    };
+    let fires = Fires::new(&envelope, config);
+    let report = fires.run();
+    let lines = LineGraph::build(&envelope);
+    Ok(EnvelopeReport {
+        untestable: report
+            .redundant_faults()
+            .iter()
+            .map(|f| (f.fault.display(&lines, &envelope), f.fault))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fires_netlist::bench;
+
+    #[test]
+    fn envelope_misses_figure3_but_fires_does_not() {
+        let circuit = fires_circuits::figures::figure3();
+        let env = funtest_like(&circuit).unwrap();
+        assert!(env.is_empty(), "{:?}", env.untestable);
+        let fires = Fires::new(&circuit, FiresConfig::default()).run();
+        assert!(!fires.is_empty());
+    }
+
+    #[test]
+    fn envelope_finds_combinational_redundancy() {
+        // A purely combinational conflict survives the transform.
+        let circuit = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nn = NOT(q)\nz = AND(q, n)\n",
+        )
+        .unwrap();
+        let env = funtest_like(&circuit).unwrap();
+        assert!(env.contains_name("z s-a-0"), "{:?}", env.untestable);
+    }
+
+    #[test]
+    fn fires_subsumes_envelope_on_figure7() {
+        // Example 3's comparison: FIRES finds strictly more.
+        let circuit = fires_circuits::figures::figure7();
+        let env = funtest_like(&circuit).unwrap();
+        let fires = Fires::new(&circuit, FiresConfig::with_max_frames(3)).run();
+        assert!(
+            fires.len() > env.len(),
+            "FIRES {} vs envelope {}",
+            fires.len(),
+            env.len()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! The combinational FIRE algorithm (paper Section 2) as a special case of
+//! FIRES with a single time frame.
+
+use fires_netlist::{Circuit, Fault};
+
+use crate::{Fires, FiresConfig};
+
+/// Result of a combinational FIRE run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FireReport {
+    /// Faults that require a conflict for detection and are therefore
+    /// combinationally redundant.
+    pub redundant: Vec<Fault>,
+}
+
+impl FireReport {
+    /// Number of redundant faults found.
+    pub fn len(&self) -> usize {
+        self.redundant.len()
+    }
+
+    /// Whether nothing was found.
+    pub fn is_empty(&self) -> bool {
+        self.redundant.is_empty()
+    }
+}
+
+/// Runs combinational FIRE: for every fanout stem `s`, faults needing both
+/// `s = 0` and `s = 1` for detection are redundant.
+///
+/// For a combinational circuit this is the original FIRE algorithm of
+/// Iyer/Abramovici; for a sequential circuit it restricts FIRES to a single
+/// time frame (indicators never cross flip-flops), so every reported fault
+/// is a conventional (0-cycle) redundancy.
+///
+/// # Example
+///
+/// ```
+/// use fires_core::fire;
+/// use fires_netlist::bench;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // z = AND(a, NOT(a)) is constant 0; its s-a-1 needs a = 0 and a = 1.
+/// let c = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n")?;
+/// let report = fire(&c);
+/// assert!(!report.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn fire(circuit: &Circuit) -> FireReport {
+    let config = FiresConfig {
+        max_frames: 1,
+        ..FiresConfig::default()
+    };
+    let report = Fires::new(circuit, config).run();
+    debug_assert!(report.redundant_faults().iter().all(|f| f.c == 0));
+    FireReport {
+        redundant: report.redundant_faults().iter().map(|f| f.fault).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::bench;
+
+    use super::*;
+
+    #[test]
+    fn finds_classic_reconvergence_redundancy() {
+        // The textbook FIRE circuit: a fans out into complementary paths
+        // that reconverge; the AND output can never be 1.
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let r = fire(&c);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn irredundant_adder_bit_is_clean() {
+        let c = bench::parse(
+            "INPUT(a)\nINPUT(b)\nINPUT(cin)\nOUTPUT(s)\nOUTPUT(cout)\n\
+             s = XOR(a, b, cin)\n\
+             ab = AND(a, b)\nac = AND(a, cin)\nbc = AND(b, cin)\n\
+             cout = OR(ab, ac, bc)\n",
+        )
+        .unwrap();
+        let r = fire(&c);
+        assert!(r.is_empty(), "{:?}", r.redundant);
+    }
+
+    #[test]
+    fn sequential_circuit_is_restricted_to_one_frame() {
+        // The Figure-3 fault needs two frames; single-frame FIRE misses it.
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let r = fire(&c);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,703 @@
+//! The FIRES driver (paper Section 5.3, Figure 6).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use fires_netlist::{Circuit, Fault, GateKind, LineGraph, LineId, StuckValue};
+
+use crate::engine::{DistCache, Implications, MarkId, Unc};
+use crate::report::{FiresReport, IdentifiedFault, ProcessTrace};
+use crate::window::Frame;
+use crate::{FiresConfig, ValidationPolicy};
+
+/// Per-stem statistics from a detailed run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StemOutcome {
+    /// The processed stem.
+    pub stem: LineId,
+    /// Faults this stem's conflict identified (before global dedup).
+    pub faults_found: usize,
+    /// Uncontrollability marks derived by the two processes.
+    pub marks: usize,
+    /// Frames spanned by the wider of the two processes.
+    pub frames_used: usize,
+}
+
+/// The FIRES algorithm: fault-independent identification of c-cycle
+/// sequential redundancies without search.
+///
+/// ```text
+/// FIRES(T_M):
+///   for every stem s:
+///     sequentially imply s = 0̄  -> fault sets S_0^i
+///     sequentially imply s = 1̄  -> fault sets S_1^i
+///     every fault in S_0^i ∩ S_1^i is c_f-cycle redundant
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use fires_core::{Fires, FiresConfig};
+/// use fires_netlist::bench;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = bench::parse(
+///     "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+/// )?;
+/// let report = Fires::new(&circuit, FiresConfig::default()).run();
+/// // The paper's Example 2 fault (c1 s-a-1) is found as 1-cycle redundant.
+/// let c1_sa1 = report
+///     .redundant_faults()
+///     .iter()
+///     .find(|f| f.fault.display(report.lines(), &circuit) == "c->d.1 s-a-1")
+///     .expect("Example 2 fault identified");
+/// assert_eq!(c1_sa1.c, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Fires<'c> {
+    circuit: &'c Circuit,
+    lines: LineGraph,
+    config: FiresConfig,
+}
+
+/// Support info for one fault membership in a per-frame fault set.
+#[derive(Clone, Copy, Debug)]
+struct Support {
+    /// Leftmost frame where uncontrollability must propagate.
+    min_unc_frame: Frame,
+}
+
+impl<'c> Fires<'c> {
+    /// Prepares a FIRES run over `circuit`.
+    pub fn new(circuit: &'c Circuit, config: FiresConfig) -> Self {
+        Fires {
+            circuit,
+            lines: LineGraph::build(circuit),
+            config,
+        }
+    }
+
+    /// The line decomposition used by the run.
+    pub fn lines(&self) -> &LineGraph {
+        &self.lines
+    }
+
+    /// Runs the algorithm over every fanout stem.
+    pub fn run(&self) -> FiresReport<'c> {
+        self.run_detailed().0
+    }
+
+    /// Runs the algorithm, additionally returning per-stem statistics.
+    pub fn run_detailed(&self) -> (FiresReport<'c>, Vec<StemOutcome>) {
+        let start = Instant::now();
+        let mut cache = DistCache::new();
+        let mut forced_cache = ForcedCache::default();
+        let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
+        let mut outcomes = Vec::new();
+        let mut marks_total = 0usize;
+        let mut max_frames = 1usize;
+        let stems: Vec<LineId> = self.lines.fanout_stems(self.circuit).collect();
+        for &stem in &stems {
+            let (found, marks, frames) =
+                self.process_stem(stem, &mut cache, &mut forced_cache, &mut best);
+            marks_total += marks;
+            max_frames = max_frames.max(frames);
+            outcomes.push(StemOutcome {
+                stem,
+                faults_found: found,
+                marks,
+                frames_used: frames,
+            });
+        }
+        let mut identified: Vec<IdentifiedFault> = best.into_values().collect();
+        identified.sort_by_key(|f| (f.fault.line, f.fault.stuck));
+        let report = FiresReport {
+            circuit: self.circuit,
+            lines: self.lines.clone(),
+            identified,
+            validated: self.config.validate,
+            stems_processed: stems.len(),
+            marks_created: marks_total,
+            max_frames_used: max_frames,
+            elapsed: start.elapsed(),
+        };
+        (report, outcomes)
+    }
+
+    /// Runs the algorithm with `threads` worker threads. Stems are
+    /// independent, so the work partitions cleanly; the report is
+    /// identical to [`run`](Self::run) (deterministic merge), typically at
+    /// a near-linear speedup on large circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_threaded(&self, threads: usize) -> FiresReport<'c> {
+        assert!(threads >= 1, "need at least one worker");
+        let start = Instant::now();
+        let stems: Vec<LineId> = self.lines.fanout_stems(self.circuit).collect();
+        let chunk = stems.len().div_ceil(threads).max(1);
+        type WorkerResult = (HashMap<Fault, IdentifiedFault>, usize, usize);
+        let results: Vec<WorkerResult> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = stems
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let mut cache = DistCache::new();
+                            let mut forced = ForcedCache::default();
+                            let mut best = HashMap::new();
+                            let mut marks = 0usize;
+                            let mut frames = 1usize;
+                            for &stem in part {
+                                let (_, m, f) =
+                                    self.process_stem(stem, &mut cache, &mut forced, &mut best);
+                                marks += m;
+                                frames = frames.max(f);
+                            }
+                            (best, marks, frames)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            });
+        let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
+        let mut marks_total = 0usize;
+        let mut max_frames = 1usize;
+        for (part, marks, frames) in results {
+            marks_total += marks;
+            max_frames = max_frames.max(frames);
+            for (fault, cand) in part {
+                best.entry(fault)
+                    .and_modify(|e| {
+                        // Deterministic merge: smaller c wins; ties broken
+                        // by frame then stem for stable output.
+                        if (cand.c, cand.frame, cand.stem) < (e.c, e.frame, e.stem) {
+                            *e = cand;
+                        }
+                    })
+                    .or_insert(cand);
+            }
+        }
+        let mut identified: Vec<IdentifiedFault> = best.into_values().collect();
+        identified.sort_by_key(|f| (f.fault.line, f.fault.stuck));
+        FiresReport {
+            circuit: self.circuit,
+            lines: self.lines.clone(),
+            identified,
+            validated: self.config.validate,
+            stems_processed: stems.len(),
+            marks_created: marks_total,
+            max_frames_used: max_frames,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Runs the two implication processes for one stem and returns them,
+    /// for inspection (used to reproduce the paper's Table 1).
+    pub fn analyze_stem(&self, stem: LineId) -> (Implications<'_>, Implications<'_>) {
+        let mut p0 = Implications::new(self.circuit, &self.lines, self.config);
+        p0.assume(stem, Unc::Zero);
+        p0.propagate();
+        let mut p1 = Implications::new(self.circuit, &self.lines, self.config);
+        p1.assume(stem, Unc::One);
+        p1.propagate();
+        (p0, p1)
+    }
+
+    /// Renders an implication process for human inspection.
+    pub fn trace(&self, imp: &Implications<'_>) -> ProcessTrace {
+        let mut uncontrollable: Vec<(Frame, String, bool)> = imp
+            .marks()
+            .iter()
+            .filter(|m| !m.axiom)
+            .map(|m| {
+                (
+                    m.frame,
+                    self.lines.display_name(m.line, self.circuit),
+                    m.unc.value(),
+                )
+            })
+            .collect();
+        uncontrollable.sort();
+        uncontrollable.dedup();
+        let mut unobservable: Vec<(Frame, String)> = imp
+            .unobs_iter()
+            .map(|(l, f, _)| (f, self.lines.display_name(l, self.circuit)))
+            .collect();
+        unobservable.sort();
+        unobservable.dedup();
+        ProcessTrace {
+            uncontrollable,
+            unobservable,
+        }
+    }
+
+    fn process_stem(
+        &self,
+        stem: LineId,
+        cache: &mut DistCache,
+        forced_cache: &mut ForcedCache,
+        best: &mut HashMap<Fault, IdentifiedFault>,
+    ) -> (usize, usize, usize) {
+        let mut p0 = Implications::new(self.circuit, &self.lines, self.config);
+        p0.assume(stem, Unc::Zero);
+        p0.propagate_with_cache(cache);
+        let mut p1 = Implications::new(self.circuit, &self.lines, self.config);
+        p1.assume(stem, Unc::One);
+        p1.propagate_with_cache(cache);
+
+        let s0 = self.collect_fault_sets(&p0, forced_cache);
+        let s1 = self.collect_fault_sets(&p1, forced_cache);
+
+        let marks = p0.marks().len() + p1.marks().len();
+        let frames = p0.window().len().max(p1.window().len());
+
+        let mut found = 0usize;
+        for (&(fault, frame), sup0) in &s0 {
+            let Some(sup1) = s1.get(&(fault, frame)) else {
+                continue;
+            };
+            let l = sup0.min_unc_frame.min(sup1.min_unc_frame);
+            let c = if l < frame { (frame - l) as u32 } else { 0 };
+            found += 1;
+            best.entry(fault)
+                .and_modify(|e| {
+                    if c < e.c {
+                        *e = IdentifiedFault {
+                            fault,
+                            c,
+                            frame,
+                            stem,
+                        };
+                    }
+                })
+                .or_insert(IdentifiedFault {
+                    fault,
+                    c,
+                    frame,
+                    stem,
+                });
+        }
+        (found, marks, frames)
+    }
+
+    /// Section 5.2: assemble the per-frame fault sets `S_v^i` from the
+    /// process's indicators, applying validation if configured.
+    fn collect_fault_sets(
+        &self,
+        imp: &Implications<'_>,
+        forced_cache: &mut ForcedCache,
+    ) -> HashMap<(Fault, Frame), Support> {
+        let mut sets: HashMap<(Fault, Frame), Support> = HashMap::new();
+        let mut validity = ValidityCache::default();
+        let add = |sets: &mut HashMap<(Fault, Frame), Support>,
+                       fault: Fault,
+                       frame: Frame,
+                       sup: Support| {
+            sets.entry((fault, frame))
+                .and_modify(|e| e.min_unc_frame = e.min_unc_frame.max(sup.min_unc_frame))
+                .or_insert(sup);
+        };
+
+        // Uncontrollable faults: a line that can never be v hosts an
+        // unactivatable stuck-at: 0-bar -> s-a-1, 1-bar -> s-a-0.
+        for (i, m) in imp.marks().iter().enumerate() {
+            let id = MarkId::from_index(i);
+            let stuck = match m.unc {
+                Unc::Zero => StuckValue::One,
+                Unc::One => StuckValue::Zero,
+            };
+            let fault = Fault::new(m.line, stuck);
+            if self.config.validate
+                && !validity.valid(self, imp, forced_cache, fault, m.frame, id)
+            {
+                continue;
+            }
+            add(
+                &mut sets,
+                fault,
+                m.frame,
+                Support {
+                    min_unc_frame: m.min_frame,
+                },
+            );
+        }
+
+        // Unobservable faults: both stuck values, provided every blame
+        // indicator survives in the faulty circuit.
+        for (line, frame, info) in imp.unobs_iter() {
+            for stuck in [StuckValue::Zero, StuckValue::One] {
+                let fault = Fault::new(line, stuck);
+                if self.config.validate
+                    && !info
+                        .blame
+                        .iter()
+                        .all(|&b| validity.valid(self, imp, forced_cache, fault, frame, b))
+                {
+                    continue;
+                }
+                let min_unc_frame = info
+                    .blame
+                    .iter()
+                    .map(|&b| imp.min_frame_of(b))
+                    .min()
+                    .unwrap_or(frame);
+                add(&mut sets, fault, frame, Support { min_unc_frame });
+            }
+        }
+        sets
+    }
+
+    /// The set of lines whose value the fault pins to a constant, found by
+    /// closing over same-net copies, single-input gates, controlling-value
+    /// domination and flip-flop crossings. Returns `None` when the closure
+    /// exceeds the cap: validation then rejects the fault outright, which
+    /// sacrifices completeness on pathological fanout but never soundness.
+    fn forced_lines(&self, fault: Fault) -> Option<HashMap<LineId, [bool; 2]>> {
+        const CAP: usize = 512;
+        let mut forced: HashMap<LineId, [bool; 2]> = HashMap::new();
+        let mut stack = vec![(fault.line, fault.stuck.as_bool())];
+        while let Some((l, v)) = stack.pop() {
+            if forced.len() >= CAP {
+                return None;
+            }
+            let entry = forced.entry(l).or_default();
+            if entry[v as usize] {
+                continue;
+            }
+            entry[v as usize] = true;
+            let line = self.lines.line(l);
+            for &b in line.branches() {
+                stack.push((b, v));
+            }
+            if let Some((sink, _)) = line.sink_pin() {
+                let kind = self.circuit.node(sink).kind();
+                let out = self.lines.stem_of(sink);
+                match kind {
+                    GateKind::Buf => stack.push((out, v)),
+                    GateKind::Not => stack.push((out, !v)),
+                    GateKind::Dff => stack.push((out, v)),
+                    GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor
+                        if Some(v) == kind.controlling_value() =>
+                    {
+                        stack.push((out, v ^ kind.is_inverting()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Some(forced)
+    }
+}
+
+/// Run-wide cache of per-fault forced-line closures (they are
+/// circuit-static, so they can be shared across every stem and process).
+/// `None` = the closure overflowed its cap and the fault must be rejected
+/// conservatively.
+#[derive(Default)]
+struct ForcedCache {
+    map: HashMap<Fault, Option<ForcedLines>>,
+}
+
+/// A fault's forced-line closure: each line maps to the value(s) the fault
+/// pins it to.
+type ForcedLines = std::rc::Rc<HashMap<LineId, [bool; 2]>>;
+
+impl ForcedCache {
+    fn get(&mut self, fires: &Fires<'_>, fault: Fault) -> Option<ForcedLines> {
+        self.map
+            .entry(fault)
+            .or_insert_with(|| fires.forced_lines(fault).map(std::rc::Rc::new))
+            .clone()
+    }
+}
+
+/// Per-process memo of Definition-6 validity.
+///
+/// Two tiers: a cheap memoized check whether *any* indicator in the
+/// process contradicts the fault (almost always "no", making every
+/// derivation trivially valid), and — only when one exists — a single
+/// linear sweep over the derivation-ordered marks propagating invalidity
+/// from the contradicting marks to every descendant.
+#[derive(Default)]
+struct ValidityCache {
+    has_bad: HashMap<Fault, bool>,
+    invalid: HashMap<(Fault, Frame), std::rc::Rc<Vec<bool>>>,
+    sweeps: usize,
+}
+
+/// Upper bound on full invalidity sweeps per process. A sweep costs
+/// O(marks); on pathological processes where thousands of distinct faults
+/// each contradict some indicator, capping keeps the run polynomial —
+/// candidates beyond the cap are conservatively rejected.
+const SWEEP_CAP: usize = 512;
+
+impl ValidityCache {
+    #[allow(clippy::too_many_arguments)]
+    fn valid(
+        &mut self,
+        fires: &Fires<'_>,
+        imp: &Implications<'_>,
+        forced_cache: &mut ForcedCache,
+        fault: Fault,
+        ref_frame: Frame,
+        root: MarkId,
+    ) -> bool {
+        let Some(forced0) = forced_cache.get(fires, fault) else {
+            return false; // closure overflow: reject conservatively
+        };
+        let has_bad = match self.has_bad.get(&fault) {
+            Some(&b) => b,
+            None => {
+                let b = !bad_marks(imp, &forced0, Frame::MIN).is_empty()
+                    || !cut_edge_marks(fires, imp, fault).is_empty();
+                self.has_bad.insert(fault, b);
+                b
+            }
+        };
+        if !has_bad {
+            return true;
+        }
+        // Under the default AnyFrame policy validity does not depend on
+        // the reference frame; collapse the key so the sweep runs once per
+        // fault.
+        let key_frame = match fires.config.validation_policy {
+            ValidationPolicy::AnyFrame => Frame::MIN,
+            ValidationPolicy::EarlierFrames => ref_frame,
+        };
+        if !self.invalid.contains_key(&(fault, key_frame)) {
+            if self.sweeps >= SWEEP_CAP {
+                return false; // conservative: drop the candidate
+            }
+            self.sweeps += 1;
+            let mut bad = bad_marks(imp, &forced0, key_frame);
+            // Derivation steps that cross the faulty line against the
+            // signal flow are unsound regardless of frame policy.
+            bad.extend(cut_edge_marks(fires, imp, fault));
+            let marks = imp.marks();
+            let mut invalid = vec![false; marks.len()];
+            for id in bad {
+                invalid[id.index()] = true;
+            }
+            for i in 0..marks.len() {
+                if !invalid[i] && marks[i].parents.iter().any(|p| invalid[p.index()]) {
+                    invalid[i] = true;
+                }
+            }
+            self.invalid
+                .insert((fault, key_frame), std::rc::Rc::new(invalid));
+        }
+        !self.invalid[&(fault, key_frame)][root.index()]
+    }
+}
+
+/// Marks derived by an inference that *crosses the faulty line backwards*:
+/// from a constraint on the faulty line `m` to a constraint on the logic
+/// that drives `m`. The fault disconnects `m` from its driver (the
+/// consumer side sees the stuck constant), so the driving gate's function
+/// no longer relates the two — every such step is invalid in the faulty
+/// circuit, whatever the values involved.
+///
+/// Concretely these are marks `X` with a parent on `m` where `X` sits on
+/// `m`'s driver side: the stem of `m`'s driving node when `m` is a branch,
+/// or the driver's input lines when `m` is a stem.
+fn cut_edge_marks(fires: &Fires<'_>, imp: &Implications<'_>, fault: Fault) -> Vec<MarkId> {
+    use fires_netlist::LineKind;
+    let driver_side: Vec<LineId> = match fires.lines.line(fault.line).kind() {
+        LineKind::Branch { node, .. } => vec![fires.lines.stem_of(node)],
+        LineKind::Stem { node } => fires.lines.in_lines(node).to_vec(),
+    };
+    if driver_side.is_empty() {
+        return Vec::new(); // primary input or constant: no driver side
+    }
+    let mut cut = Vec::new();
+    let window = imp.window();
+    for &line in &driver_side {
+        for frame in window.leftmost()..=window.rightmost() {
+            for unc in [Unc::Zero, Unc::One] {
+                let Some(id) = imp.mark_at(line, frame, unc) else {
+                    continue;
+                };
+                if imp
+                    .mark(id)
+                    .parents
+                    .iter()
+                    .any(|p| imp.mark(*p).line == fault.line)
+                {
+                    cut.push(id);
+                }
+            }
+        }
+    }
+    cut
+}
+
+/// The indicators the fault falsifies: marks claiming a line cannot take
+/// the very value the fault pins it to. With `key_frame != Frame::MIN`
+/// (EarlierFrames policy) only frames before the reference count.
+fn bad_marks(
+    imp: &Implications<'_>,
+    forced: &HashMap<LineId, [bool; 2]>,
+    key_frame: Frame,
+) -> Vec<MarkId> {
+    let mut bad: Vec<MarkId> = Vec::new();
+    let window = imp.window();
+    // Two equivalent strategies; pick the cheaper one for this process.
+    if forced.len() * window.len() * 2 < imp.marks().len() {
+        for (&line, flags) in forced {
+            for v in [false, true] {
+                if !flags[v as usize] {
+                    continue;
+                }
+                for frame in window.leftmost()..=window.rightmost() {
+                    if key_frame != Frame::MIN && frame >= key_frame {
+                        continue;
+                    }
+                    if let Some(id) = imp.mark_at(line, frame, Unc::cannot_be(v)) {
+                        bad.push(id);
+                    }
+                }
+            }
+        }
+    } else {
+        for (i, m) in imp.marks().iter().enumerate() {
+            if key_frame != Frame::MIN && m.frame >= key_frame {
+                continue;
+            }
+            if let Some(flags) = forced.get(&m.line) {
+                if flags[m.unc.value() as usize] {
+                    bad.push(MarkId::from_index(i));
+                }
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::bench;
+
+    use super::*;
+
+    #[test]
+    fn figure3_identifies_the_branch_fault_as_one_cycle() {
+        let circuit = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let fires = Fires::new(&circuit, FiresConfig::default());
+        let report = fires.run();
+        let names = report.display_faults();
+        assert!(
+            names.iter().any(|n| n.contains("s-a-1") && n.contains("(c = 1)")),
+            "expected the 1-cycle redundant c1 s-a-1, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn combinational_conflict_is_zero_cycle() {
+        // Classic FIRE example: stem a fans out; z needs a=0 and a=1.
+        //   n = NOT(a); z = AND(a, n)  => z s-a-1 requires the conflict.
+        let circuit =
+            bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let report = Fires::new(&circuit, FiresConfig::default()).run();
+        assert!(!report.is_empty());
+        assert!(report.redundant_faults().iter().all(|f| f.c == 0));
+        // z is constant 0, so z s-a-0 has no effect: it must be identified.
+        let names = report.display_faults();
+        assert!(names.iter().any(|n| n.starts_with("z s-a-0")), "{names:?}");
+    }
+
+    #[test]
+    fn irredundant_circuit_yields_nothing() {
+        let circuit = bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(y)\nz = AND(a, b)\ny = OR(a, b)\n",
+        )
+        .unwrap();
+        let report = Fires::new(&circuit, FiresConfig::default()).run();
+        assert!(report.is_empty(), "{:?}", report.display_faults());
+    }
+
+    #[test]
+    fn without_validation_superset_of_with() {
+        let circuit = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let with = Fires::new(&circuit, FiresConfig::default()).run();
+        let without =
+            Fires::new(&circuit, FiresConfig::default().without_validation()).run();
+        assert!(without.len() >= with.len());
+        let without_set: Vec<_> = without.redundant_faults().iter().map(|f| f.fault).collect();
+        for f in with.redundant_faults() {
+            assert!(without_set.contains(&f.fault));
+        }
+    }
+
+    #[test]
+    fn validation_cuts_backward_steps_through_the_fault_site() {
+        // Regression: ff1 converges to 1 (g6 = ff1 | !ff1), so "g0 cannot
+        // be 1" holds from cycle 1 onward — but g0 s-a-0 corrupts the very
+        // feedback that forces the convergence (faulty ff1 holds its
+        // power-up value forever), so the fault is NOT c-cycle redundant
+        // for any c. The derivation that suggested otherwise inferred
+        // constraints on ff1 *backwards through the faulted NOT gate*;
+        // validation must reject it.
+        let circuit = bench::parse(
+            "INPUT(pi0)\nOUTPUT(f3_0_c)\nOUTPUT(po0)\nOUTPUT(po1)\n\
+             ff1 = DFF(g6)\ng0 = NOT(ff1)\ng6 = OR(ff1, g0)\n\
+             g8 = NOT(g0)\ng9 = NOT(g8)\nf3_0_b = DFF(k1)\n\
+             f3_0_c = DFF(ff1)\nf3_0_d = AND(f3_0_b, f3_0_c)\n\
+             po0 = OR(g0, f3_0_d)\npo1 = BUFF(g9)\nk1 = CONST1()\n",
+        )
+        .unwrap();
+        let report = Fires::new(&circuit, FiresConfig::with_max_frames(5)).run();
+        let names = report.display_faults();
+        for bad in ["g0 s-a-0", "ff1->g0.0 s-a-1", "g0->g6.1 s-a-0"] {
+            assert!(
+                !names.iter().any(|n| n.starts_with(bad)),
+                "unsound claim {bad} present: {names:?}"
+            );
+        }
+        // The genuinely redundant neighbours must survive the cut.
+        for good in ["g8 s-a-1", "g9 s-a-0", "po1 s-a-0"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(good)),
+                "over-rejection: {good} missing from {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_serial() {
+        let circuit = bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(d)\nOUTPUT(c)\nOUTPUT(z)\n\
+             q = DFF(a)\nbq = DFF(a)\nc = DFF(a)\nd = AND(bq, c)\n\
+             n = NOT(b)\nz = AND(b, n)\nw = OR(q, z)\nOUTPUT(w)\n",
+        )
+        .unwrap();
+        let fires = Fires::new(&circuit, FiresConfig::default());
+        let serial = fires.run();
+        for threads in [1, 2, 4] {
+            let parallel = fires.run_threaded(threads);
+            assert_eq!(parallel.display_faults(), serial.display_faults());
+            assert_eq!(parallel.stems_processed(), serial.stems_processed());
+        }
+    }
+
+    #[test]
+    fn report_statistics_are_populated() {
+        let circuit =
+            bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let (report, outcomes) = Fires::new(&circuit, FiresConfig::default()).run_detailed();
+        assert_eq!(report.stems_processed(), 1); // only stem `a` fans out
+        assert_eq!(outcomes.len(), 1);
+        assert!(report.marks_created() > 0);
+        assert!(report.max_frames_used() >= 1);
+        assert!(report.to_string().contains("FIRES"));
+    }
+}

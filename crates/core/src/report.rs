@@ -1,0 +1,157 @@
+//! Result types of a FIRES run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use fires_netlist::{Circuit, Fault, LineGraph, LineId};
+
+use crate::window::Frame;
+
+/// One fault identified by FIRES.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdentifiedFault {
+    /// The identified stuck-at fault.
+    pub fault: Fault,
+    /// The paper's `c_f`: clocking the faulty circuit `c` times after
+    /// power-up makes it indistinguishable from the fault-free circuit.
+    /// Only meaningful when the run validated (otherwise the fault is
+    /// guaranteed untestable but not necessarily redundant).
+    pub c: u32,
+    /// The time frame (relative to the stem assumption) in which the
+    /// conflict was found.
+    pub frame: Frame,
+    /// The stem whose conflict identified this fault.
+    pub stem: LineId,
+}
+
+/// Human-readable record of one implication process, used to reproduce the
+/// paper's Table 1.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcessTrace {
+    /// Uncontrollability indicators per frame: `(frame, line name, value)`.
+    pub uncontrollable: Vec<(Frame, String, bool)>,
+    /// Unobservable lines per frame: `(frame, line name)`.
+    pub unobservable: Vec<(Frame, String)>,
+}
+
+/// The complete result of a FIRES run.
+#[derive(Clone, Debug)]
+pub struct FiresReport<'c> {
+    pub(crate) circuit: &'c Circuit,
+    pub(crate) lines: LineGraph,
+    pub(crate) identified: Vec<IdentifiedFault>,
+    pub(crate) validated: bool,
+    pub(crate) stems_processed: usize,
+    pub(crate) marks_created: usize,
+    pub(crate) max_frames_used: usize,
+    pub(crate) elapsed: Duration,
+}
+
+impl<'c> FiresReport<'c> {
+    /// The faults FIRES identified, one entry per fault (minimum `c` over
+    /// every stem and frame that exposed it).
+    pub fn redundant_faults(&self) -> &[IdentifiedFault] {
+        &self.identified
+    }
+
+    /// Number of identified faults.
+    pub fn len(&self) -> usize {
+        self.identified.len()
+    }
+
+    /// Whether nothing was identified.
+    pub fn is_empty(&self) -> bool {
+        self.identified.is_empty()
+    }
+
+    /// `true` when the run included the validation step, making every
+    /// identified fault `c`-cycle *redundant*; `false` when the run only
+    /// guarantees untestability.
+    pub fn validated(&self) -> bool {
+        self.validated
+    }
+
+    /// Number of identified faults with `c = 0` (conventional
+    /// combinational/sequential redundancies; the paper's `0-cycle`
+    /// column).
+    pub fn num_zero_cycle(&self) -> usize {
+        self.identified.iter().filter(|f| f.c == 0).count()
+    }
+
+    /// The largest `c_f` over all identified faults (the paper's `Max. c`
+    /// column), or 0 when nothing was identified.
+    pub fn max_c(&self) -> u32 {
+        self.identified.iter().map(|f| f.c).max().unwrap_or(0)
+    }
+
+    /// Histogram of identified faults by `c` value.
+    pub fn c_histogram(&self) -> BTreeMap<u32, usize> {
+        let mut h = BTreeMap::new();
+        for f in &self.identified {
+            *h.entry(f.c).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// The line graph the report's faults refer to.
+    pub fn lines(&self) -> &LineGraph {
+        &self.lines
+    }
+
+    /// Number of fanout stems the run processed.
+    pub fn stems_processed(&self) -> usize {
+        self.stems_processed
+    }
+
+    /// Total uncontrollability marks derived across all processes.
+    pub fn marks_created(&self) -> usize {
+        self.marks_created
+    }
+
+    /// The widest frame window any process used (the paper's `# Fr.`).
+    pub fn max_frames_used(&self) -> usize {
+        self.max_frames_used
+    }
+
+    /// Wall-clock time of the run.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Pretty, deterministic listing of the identified faults.
+    pub fn display_faults(&self) -> Vec<String> {
+        let mut rows: Vec<String> = self
+            .identified
+            .iter()
+            .map(|f| {
+                format!(
+                    "{} (c = {})",
+                    f.fault.display(&self.lines, self.circuit),
+                    f.c
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+impl fmt::Display for FiresReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FIRES: {} {} fault(s), 0-cycle {}, max c {}, {} stems, {:.3}s",
+            self.len(),
+            if self.validated {
+                "c-cycle redundant"
+            } else {
+                "untestable"
+            },
+            self.num_zero_cycle(),
+            self.max_c(),
+            self.stems_processed,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}

@@ -1,0 +1,126 @@
+//! The bounded time-frame window of one implication process.
+
+use std::fmt;
+
+/// A (relative) time frame index. Frame 0 is where the stem assumption is
+/// made; negative frames are earlier cycles, positive frames later ones
+/// (paper Figure 5).
+pub type Frame = i32;
+
+/// A window `[-b, +f]` of time frames with `b + f + 1 <= max_frames`.
+///
+/// The window grows on demand: when a mark wants to cross a flip-flop into
+/// an adjacent frame, the engine asks the window to extend. Extension is
+/// first-come-first-served until the `T_M` budget is exhausted, matching
+/// the paper's bounded iterative-array model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Window {
+    backward: Frame,
+    forward: Frame,
+    max_frames: usize,
+}
+
+impl Window {
+    /// A window containing only frame 0, allowed to grow to `max_frames`
+    /// total frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_frames` is 0.
+    pub fn new(max_frames: usize) -> Self {
+        assert!(max_frames >= 1, "window needs at least one frame");
+        Window {
+            backward: 0,
+            forward: 0,
+            max_frames,
+        }
+    }
+
+    /// Leftmost frame currently in the window (`-b`).
+    pub fn leftmost(&self) -> Frame {
+        self.backward
+    }
+
+    /// Rightmost frame currently in the window (`+f`).
+    pub fn rightmost(&self) -> Frame {
+        self.forward
+    }
+
+    /// Number of frames currently spanned.
+    pub fn len(&self) -> usize {
+        (self.forward - self.backward) as usize + 1
+    }
+
+    /// Whether only frame 0 exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `frame` is inside the current window.
+    pub fn contains(&self, frame: Frame) -> bool {
+        (self.backward..=self.forward).contains(&frame)
+    }
+
+    /// Tries to make `frame` available, growing the window by one frame at
+    /// a time while the `T_M` budget allows. Returns whether `frame` is now
+    /// inside the window.
+    pub fn try_extend_to(&mut self, frame: Frame) -> bool {
+        while !self.contains(frame) && self.len() < self.max_frames {
+            if frame < self.backward {
+                self.backward -= 1;
+            } else {
+                self.forward += 1;
+            }
+        }
+        self.contains(frame)
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.backward, self.forward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_until_budget() {
+        let mut w = Window::new(3);
+        assert!(w.contains(0));
+        assert!(w.try_extend_to(1));
+        assert!(w.try_extend_to(-1));
+        assert_eq!(w.len(), 3);
+        // Budget exhausted: frame 2 is refused, window unchanged.
+        assert!(!w.try_extend_to(2));
+        assert_eq!((w.leftmost(), w.rightmost()), (-1, 1));
+    }
+
+    #[test]
+    fn extension_is_incremental() {
+        let mut w = Window::new(10);
+        assert!(w.try_extend_to(4));
+        assert_eq!(w.rightmost(), 4);
+        assert_eq!(w.leftmost(), 0);
+        assert!(w.try_extend_to(-5));
+        assert_eq!(w.len(), 10);
+        assert!(!w.try_extend_to(-6));
+    }
+
+    #[test]
+    fn single_frame_window() {
+        let mut w = Window::new(1);
+        assert!(w.contains(0));
+        assert!(!w.try_extend_to(1));
+        assert!(!w.try_extend_to(-1));
+        assert_eq!(w.to_string(), "[0, 0]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        let _ = Window::new(0);
+    }
+}

@@ -1,0 +1,276 @@
+//! ISCAS89 `.bench` format reader and writer.
+//!
+//! The format is the one used by the ISCAS89 sequential benchmark
+//! distribution (Brglez, Bryan, Kozminski, ISCAS 1989):
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G10 = NAND(G0, G5)
+//! G17 = NOT(G10)
+//! ```
+//!
+//! Keywords are case-insensitive; `BUF`/`BUFF` and `NOT`/`INV` are accepted
+//! as synonyms. Definition order is free — forward references are resolved.
+
+use std::collections::HashMap;
+
+use crate::circuit::Node;
+use crate::{Circuit, GateKind, NetlistError, NodeId};
+
+/// Parses `.bench` text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Syntax`] for malformed lines, plus any of the
+/// structural errors surfaced by circuit validation (duplicate drivers,
+/// undefined signals, bad arities, combinational cycles, no outputs).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = fires_netlist::bench::parse("INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n")?;
+/// assert_eq!(c.num_inputs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    enum Item {
+        Input,
+        Gate(GateKind, Vec<String>),
+    }
+
+    let mut defs: Vec<(String, Item)> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut input_order: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let syntax = |message: &str| NetlistError::Syntax {
+            line: lineno + 1,
+            message: message.to_owned(),
+        };
+        if let Some(rest) = strip_keyword(line, "INPUT") {
+            let name = parse_parenthesized(rest).ok_or_else(|| syntax("expected INPUT(name)"))?;
+            input_order.push(name.to_owned());
+            defs.push((name.to_owned(), Item::Input));
+        } else if let Some(rest) = strip_keyword(line, "OUTPUT") {
+            let name = parse_parenthesized(rest).ok_or_else(|| syntax("expected OUTPUT(name)"))?;
+            output_names.push(name.to_owned());
+        } else if let Some(eq) = line.find('=') {
+            let lhs = line[..eq].trim();
+            if lhs.is_empty() {
+                return Err(syntax("missing signal name before `=`"));
+            }
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| syntax("expected KIND(args)"))?;
+            let kw = rhs[..open].trim();
+            let kind = GateKind::from_bench_keyword(kw)
+                .ok_or_else(|| syntax(&format!("unknown gate kind `{kw}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(syntax("missing closing `)`"));
+            }
+            let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .collect();
+            defs.push((lhs.to_owned(), Item::Gate(kind, args)));
+        } else {
+            return Err(syntax("unrecognized statement"));
+        }
+    }
+
+    // First pass: assign ids.
+    let mut by_name: HashMap<&str, NodeId> = HashMap::new();
+    let mut names: Vec<String> = Vec::with_capacity(defs.len());
+    for (i, (name, _)) in defs.iter().enumerate() {
+        if by_name.insert(name.as_str(), NodeId::new(i)).is_some() {
+            return Err(NetlistError::DuplicateDriver { name: name.clone() });
+        }
+        names.push(name.clone());
+    }
+
+    // Second pass: resolve fanins.
+    let mut nodes: Vec<Node> = Vec::with_capacity(defs.len());
+    let mut inputs: Vec<NodeId> = Vec::new();
+    for (name, item) in &defs {
+        match item {
+            Item::Input => {
+                inputs.push(by_name[name.as_str()]);
+                nodes.push(Node {
+                    kind: GateKind::Input,
+                    fanin: Vec::new(),
+                });
+            }
+            Item::Gate(kind, args) => {
+                let mut fanin = Vec::with_capacity(args.len());
+                for a in args {
+                    let id = by_name.get(a.as_str()).copied().ok_or_else(|| {
+                        NetlistError::UndefinedSignal { name: a.clone() }
+                    })?;
+                    fanin.push(id);
+                }
+                nodes.push(Node { kind: *kind, fanin });
+            }
+        }
+    }
+
+    let mut outputs = Vec::with_capacity(output_names.len());
+    for o in &output_names {
+        let id = by_name
+            .get(o.as_str())
+            .copied()
+            .ok_or_else(|| NetlistError::UndefinedSignal { name: o.clone() })?;
+        outputs.push(id);
+    }
+
+    Circuit::from_parts(nodes, names, inputs, outputs)
+}
+
+fn strip_keyword<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
+    // `get` (not slicing) keeps multi-byte UTF-8 in comments/identifiers
+    // from panicking on a non-boundary index.
+    let head = line.get(..kw.len())?;
+    if head.eq_ignore_ascii_case(kw) {
+        let rest = line[kw.len()..].trim_start();
+        rest.starts_with('(').then_some(rest)
+    } else {
+        None
+    }
+}
+
+fn parse_parenthesized(rest: &str) -> Option<&str> {
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?.trim();
+    (!inner.is_empty() && !inner.contains(',')).then_some(inner)
+}
+
+/// Serializes a circuit back to `.bench` text.
+///
+/// Constants (which have no ISCAS89 syntax) are emitted as
+/// `name = CONST0()` / `name = CONST1()`; [`parse`] reads them back.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let src = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+/// let c = fires_netlist::bench::parse(src)?;
+/// let round = fires_netlist::bench::parse(&fires_netlist::bench::to_text(&c))?;
+/// assert_eq!(round.num_nodes(), c.num_nodes());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_text(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    for &i in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.name(i)));
+    }
+    for &o in circuit.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", circuit.name(o)));
+    }
+    for id in circuit.node_ids() {
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        let args: Vec<&str> = node.fanin().iter().map(|&f| circuit.name(f)).collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            circuit.name(id),
+            node.kind().bench_keyword(),
+            args.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27ISH: &str = "\
+# tiny test circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G5 = DFF(G10)
+G10 = NAND(G0, G5)
+G17 = NOR(G10, G1)
+";
+
+    #[test]
+    fn parses_simple_circuit() {
+        let c = parse(S27ISH).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 2);
+        let g10 = c.find("G10").unwrap();
+        assert_eq!(c.node(g10).kind(), GateKind::Nand);
+        assert_eq!(c.node(g10).fanin().len(), 2);
+    }
+
+    #[test]
+    fn case_insensitive_keywords_and_comments() {
+        let c = parse("input(x) # in\noutput(y)\ny = not(x) # out\n").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let c = parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(m)\nm = NOT(a)\n").unwrap();
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        match parse("INPUT(a)\nbogus line\n") {
+            Err(NetlistError::Syntax { line: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n") {
+            Err(NetlistError::Syntax { line: 3, message }) => {
+                assert!(message.contains("FROB"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_signal_in_output() {
+        match parse("INPUT(a)\nOUTPUT(zz)\nb = NOT(a)\n") {
+            Err(NetlistError::UndefinedSignal { name }) => assert_eq!(name, "zz"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_roundtrip_preserves_structure() {
+        let c = parse(S27ISH).unwrap();
+        let text = to_text(&c);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c2.num_nodes(), c.num_nodes());
+        assert_eq!(c2.num_dffs(), c.num_dffs());
+        assert_eq!(c2.num_outputs(), c.num_outputs());
+        // Names survive.
+        for id in c.node_ids() {
+            assert!(c2.find(c.name(id)).is_some());
+        }
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let src = "OUTPUT(z)\nk = CONST1()\nz = BUFF(k)\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.node(c.find("k").unwrap()).kind(), GateKind::Const1);
+        let c2 = parse(&to_text(&c)).unwrap();
+        assert_eq!(c2.node(c2.find("k").unwrap()).kind(), GateKind::Const1);
+    }
+}

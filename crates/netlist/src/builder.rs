@@ -1,0 +1,187 @@
+//! Programmatic circuit construction.
+
+use std::collections::HashMap;
+
+use crate::circuit::Node;
+use crate::{Circuit, GateKind, NetlistError, NodeId};
+
+/// Incremental builder for [`Circuit`]s.
+///
+/// Supports forward references through [`placeholder`](Self::placeholder) /
+/// [`define`](Self::define), which circuit generators with feedback loops
+/// need (a counter's FF reads logic that reads the FF).
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new();
+/// let en = b.input("en");
+/// let q = b.placeholder("q");          // forward reference
+/// let t = b.gate("t", GateKind::Xor, &[en, q]);
+/// b.define(q, GateKind::Dff, &[t]);    // close the loop through a FF
+/// b.output(q);
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.num_dffs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CircuitBuilder {
+    nodes: Vec<Option<Node>>,
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    errors: Vec<NetlistError>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh(&mut self, name: &str, node: Option<Node>) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        if self.by_name.insert(name.to_owned(), id).is_some() {
+            self.errors.push(NetlistError::DuplicateDriver {
+                name: name.to_owned(),
+            });
+        }
+        self.nodes.push(node);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Declares a primary input and returns its net.
+    pub fn input(&mut self, name: &str) -> NodeId {
+        let id = self.fresh(
+            name,
+            Some(Node {
+                kind: GateKind::Input,
+                fanin: Vec::new(),
+            }),
+        );
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares a named net whose driver will be supplied later via
+    /// [`define`](Self::define). Building without defining it reports an
+    /// [`NetlistError::UndefinedSignal`].
+    pub fn placeholder(&mut self, name: &str) -> NodeId {
+        self.fresh(name, None)
+    }
+
+    /// Adds a gate (or flip-flop, or constant) driving a new net `name`.
+    pub fn gate(&mut self, name: &str, kind: GateKind, fanin: &[NodeId]) -> NodeId {
+        self.fresh(
+            name,
+            Some(Node {
+                kind,
+                fanin: fanin.to_vec(),
+            }),
+        )
+    }
+
+    /// Supplies the driver for a previously created placeholder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this builder, or was already
+    /// defined.
+    pub fn define(&mut self, id: NodeId, kind: GateKind, fanin: &[NodeId]) {
+        let slot = self
+            .nodes
+            .get_mut(id.index())
+            .expect("define: unknown node id");
+        assert!(slot.is_none(), "define: node already has a driver");
+        *slot = Some(Node {
+            kind,
+            fanin: fanin.to_vec(),
+        });
+    }
+
+    /// Marks a net as a primary output.
+    pub fn output(&mut self, id: NodeId) {
+        self.outputs.push(id);
+    }
+
+    /// Looks up a net created earlier by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Finalizes the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error: duplicate drivers, undefined
+    /// placeholders, bad arities, missing outputs or combinational cycles.
+    pub fn build(self) -> Result<Circuit, NetlistError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for (i, slot) in self.nodes.into_iter().enumerate() {
+            match slot {
+                Some(node) => nodes.push(node),
+                None => {
+                    return Err(NetlistError::UndefinedSignal {
+                        name: self.names[i].clone(),
+                    })
+                }
+            }
+        }
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        Circuit::from_parts(nodes, self.names, self.inputs, self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undefined_placeholder_is_reported() {
+        let mut b = CircuitBuilder::new();
+        let p = b.placeholder("ghost");
+        b.output(p);
+        match b.build() {
+            Err(NetlistError::UndefinedSignal { name }) => assert_eq!(name, "ghost"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_name_is_reported() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let _dup = b.input("a");
+        b.output(a);
+        assert!(matches!(
+            b.build(),
+            Err(NetlistError::DuplicateDriver { .. })
+        ));
+    }
+
+    #[test]
+    fn no_outputs_is_reported() {
+        let mut b = CircuitBuilder::new();
+        b.input("a");
+        assert!(matches!(b.build(), Err(NetlistError::NoOutputs)));
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        assert_eq!(b.find("a"), Some(a));
+        assert_eq!(b.find("z"), None);
+    }
+}

@@ -1,0 +1,358 @@
+//! The immutable circuit representation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{GateKind, NetlistError, NodeId};
+
+/// A node of the circuit: a primary input, a logic gate, a flip-flop or a
+/// constant. Every node drives exactly one net carrying the node's name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) kind: GateKind,
+    pub(crate) fanin: Vec<NodeId>,
+}
+
+impl Node {
+    /// The function computed by this node.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The nets feeding this node, in pin order. Empty for sources; the
+    /// single D pin for flip-flops.
+    pub fn fanin(&self) -> &[NodeId] {
+        &self.fanin
+    }
+}
+
+/// An immutable gate-level synchronous sequential circuit.
+///
+/// All flip-flops share one implicit clock (the paper's model). Construct a
+/// circuit through [`CircuitBuilder`](crate::CircuitBuilder) or
+/// [`bench::parse`](crate::bench::parse); construction validates arities,
+/// drivers and the absence of combinational cycles.
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new();
+/// let a = b.input("a");
+/// let q = b.gate("q", GateKind::Dff, &[a]);
+/// let z = b.gate("z", GateKind::Xor, &[a, q]);
+/// b.output(z);
+/// let c = b.build()?;
+/// assert_eq!(c.num_nodes(), 3);
+/// assert_eq!(c.name(z), "z");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Circuit {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) names: Vec<String>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) dffs: Vec<NodeId>,
+    /// For each node, the gate-input pins it feeds: `(sink node, pin index)`.
+    pub(crate) fanouts: Vec<Vec<(NodeId, usize)>>,
+    /// Whether each node's net is observed as a primary output.
+    pub(crate) is_output: Vec<bool>,
+    /// Topological order of the combinational core: sources and FF outputs
+    /// first, then logic gates in dependency order (FF D-pins are cut).
+    pub(crate) topo: Vec<NodeId>,
+}
+
+impl Circuit {
+    /// Builds (and validates) a circuit from already-checked parts.
+    /// Used by the builder and the parser.
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        names: Vec<String>,
+        inputs: Vec<NodeId>,
+        outputs: Vec<NodeId>,
+    ) -> Result<Self, NetlistError> {
+        let n = nodes.len();
+        let mut fanouts: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
+        let mut dffs = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            let id = NodeId::new(i);
+            if node.kind == GateKind::Dff {
+                dffs.push(id);
+            }
+            let (lo, hi) = node.kind.arity();
+            let got = node.fanin.len();
+            if got < lo || hi.is_some_and(|h| got > h) {
+                return Err(NetlistError::BadArity {
+                    name: names[i].clone(),
+                    kind: node.kind,
+                    got,
+                });
+            }
+            for (pin, &src) in node.fanin.iter().enumerate() {
+                fanouts[src.index()].push((id, pin));
+            }
+        }
+        let mut is_output = vec![false; n];
+        for &o in &outputs {
+            is_output[o.index()] = true;
+        }
+        let topo = topo_order(&nodes, &names)?;
+        Ok(Circuit {
+            nodes,
+            names,
+            inputs,
+            outputs,
+            dffs,
+            fanouts,
+            is_output,
+            topo,
+        })
+    }
+
+    /// Number of nodes (inputs + gates + flip-flops + constants).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of D flip-flops.
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Number of combinational logic gates (excludes sources and FFs).
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_logic()).count()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The net name of the given node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks a node up by net name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeId::new)
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Flip-flops, in definition order. The FF *output* is the node's net;
+    /// its D pin is `node(ff).fanin()[0]`.
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// The gate-input pins fed by `id`'s net, as `(sink node, pin index)`.
+    pub fn fanouts(&self, id: NodeId) -> &[(NodeId, usize)] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Whether `id`'s net is observed as a primary output.
+    pub fn is_output(&self, id: NodeId) -> bool {
+        self.is_output[id.index()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Topological order of the circuit with flip-flop D-pins cut: sources
+    /// and FF outputs precede the logic that reads them. Simulators and the
+    /// implication engine evaluate gates in this order.
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Summary statistics, handy for reports.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            nodes: self.num_nodes(),
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            dffs: self.num_dffs(),
+            gates: self.num_gates(),
+        }
+    }
+}
+
+impl fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Circuit({} nodes, {} PI, {} PO, {} FF)",
+            self.num_nodes(),
+            self.num_inputs(),
+            self.num_outputs(),
+            self.num_dffs()
+        )
+    }
+}
+
+/// Size summary of a [`Circuit`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Combinational gates.
+    pub gates: usize,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PIs, {} POs, {} FFs, {} gates",
+            self.inputs, self.outputs, self.dffs, self.gates
+        )
+    }
+}
+
+/// Kahn topological sort of the combinational core; FF D-pins are sequential
+/// edges and do not count as dependencies.
+fn topo_order(nodes: &[Node], names: &[String]) -> Result<Vec<NodeId>, NetlistError> {
+    let n = nodes.len();
+    let mut indegree = vec![0usize; n];
+    let mut out_edges: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if node.kind == GateKind::Dff || node.kind.is_source() {
+            continue; // FF outputs and sources have no combinational deps.
+        }
+        indegree[i] = node.fanin.len();
+        for &src in &node.fanin {
+            out_edges.entry(src.index()).or_default().push(i);
+        }
+    }
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    while let Some(i) = queue.pop() {
+        order.push(NodeId::new(i));
+        if let Some(sinks) = out_edges.get(&i) {
+            for &s in sinks {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+    }
+    if order.len() != n {
+        let culprit = (0..n).find(|&i| indegree[i] > 0).expect("cycle member");
+        return Err(NetlistError::CombinationalCycle {
+            name: names[culprit].clone(),
+        });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CircuitBuilder, GateKind, NetlistError};
+
+    #[test]
+    fn combinational_cycle_is_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        // x = AND(a, y); y = NOT(x): a loop with no flip-flop.
+        let x = b.placeholder("x");
+        let y = b.gate("y", GateKind::Not, &[x]);
+        b.define(x, GateKind::And, &[a, y]);
+        b.output(y);
+        match b.build() {
+            Err(NetlistError::CombinationalCycle { .. }) => {}
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ff_breaks_cycle() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let q = b.placeholder("q");
+        let x = b.gate("x", GateKind::Xor, &[a, q]);
+        b.define(q, GateKind::Dff, &[x]);
+        b.output(x);
+        let c = b.build().expect("FF-broken loop is legal");
+        assert_eq!(c.num_dffs(), 1);
+        // Topological order puts q (an FF output) before x.
+        let topo = c.topo_order();
+        let pos = |id| topo.iter().position(|&t| t == id).unwrap();
+        assert!(pos(q) < pos(x));
+    }
+
+    #[test]
+    fn stats_and_lookup() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let bb = b.input("b");
+        let g = b.gate("g", GateKind::Nand, &[a, bb]);
+        b.output(g);
+        let c = b.build().unwrap();
+        let s = c.stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.gates, 1);
+        assert_eq!(c.find("g"), Some(g));
+        assert_eq!(c.find("nope"), None);
+        assert!(c.is_output(g));
+        assert!(!c.is_output(a));
+        assert_eq!(c.fanouts(a), &[(g, 0)]);
+        assert_eq!(s.to_string(), "2 PIs, 1 POs, 0 FFs, 1 gates");
+    }
+
+    #[test]
+    fn bad_arity_is_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let bb = b.input("b");
+        let g = b.gate("g", GateKind::Not, &[a, bb]);
+        b.output(g);
+        match b.build() {
+            Err(NetlistError::BadArity { got: 2, .. }) => {}
+            other => panic!("expected arity error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Graphviz DOT export, for inspecting circuits and annotating analysis
+//! results (identified faults, unobservable regions) visually.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{Circuit, GateKind, NodeId};
+
+/// Options for [`to_dot`].
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Extra per-node attributes, e.g. `fillcolor` for highlighting the
+    /// nodes a redundant fault region touches. Values are raw DOT
+    /// attribute lists such as `style=filled, fillcolor=salmon`.
+    pub highlights: HashMap<NodeId, String>,
+    /// Graph title rendered as a label.
+    pub title: Option<String>,
+}
+
+/// Renders the circuit as a Graphviz digraph: boxes for gates, double
+/// circles for flip-flops, plain circles for inputs, with primary outputs
+/// marked by a bold border.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = fires_netlist::bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = AND(a, q)\n")?;
+/// let dot = fires_netlist::dot::to_dot(&c, &Default::default());
+/// assert!(dot.starts_with("digraph circuit {"));
+/// assert!(dot.contains("doublecircle")); // the flip-flop
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(circuit: &Circuit, options: &DotOptions) -> String {
+    let mut out = String::from("digraph circuit {\n  rankdir=LR;\n");
+    if let Some(title) = &options.title {
+        let _ = writeln!(out, "  label=\"{}\";", escape(title));
+    }
+    for id in circuit.node_ids() {
+        let node = circuit.node(id);
+        let name = escape(circuit.name(id));
+        let shape = match node.kind() {
+            GateKind::Input => "circle",
+            GateKind::Dff => "doublecircle",
+            GateKind::Const0 | GateKind::Const1 => "diamond",
+            _ => "box",
+        };
+        let label = match node.kind() {
+            GateKind::Input => name.clone(),
+            _ => format!("{}\\n{}", name, node.kind().bench_keyword()),
+        };
+        let mut attrs = format!("shape={shape}, label=\"{label}\"");
+        if circuit.is_output(id) {
+            attrs.push_str(", penwidth=3");
+        }
+        if let Some(extra) = options.highlights.get(&id) {
+            let _ = write!(attrs, ", {extra}");
+        }
+        let _ = writeln!(out, "  n{} [{attrs}];", id.index());
+    }
+    for id in circuit.node_ids() {
+        for (pin, &src) in circuit.node(id).fanin().iter().enumerate() {
+            let style = if circuit.node(id).kind() == GateKind::Dff {
+                " [style=dashed]" // clock-domain crossing stands out
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [taillabel=\"\", headlabel=\"{pin}\"]{style};",
+                src.index(),
+                id.index()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn renders_every_node_and_edge() {
+        let c = bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(a)\nz = NAND(q, b)\n",
+        )
+        .unwrap();
+        let dot = to_dot(&c, &DotOptions::default());
+        for id in c.node_ids() {
+            assert!(dot.contains(&format!("n{} [", id.index())));
+        }
+        // 1 DFF edge + 2 NAND edges.
+        assert_eq!(dot.matches(" -> ").count(), 3);
+        assert!(dot.contains("style=dashed"), "FF edge marked");
+        assert!(dot.contains("penwidth=3"), "PO marked");
+    }
+
+    #[test]
+    fn highlights_and_title() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        let z = c.find("z").unwrap();
+        let mut options = DotOptions {
+            title: Some("quote \" test".into()),
+            ..Default::default()
+        };
+        options
+            .highlights
+            .insert(z, "style=filled, fillcolor=salmon".into());
+        let dot = to_dot(&c, &options);
+        assert!(dot.contains("fillcolor=salmon"));
+        assert!(dot.contains("quote \\\" test"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing or validating a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A signal name was defined (driven) more than once.
+    DuplicateDriver {
+        /// The offending signal name.
+        name: String,
+    },
+    /// A signal was referenced but never driven or declared as input.
+    UndefinedSignal {
+        /// The undefined signal name.
+        name: String,
+    },
+    /// A gate was given an unsupported number of fanins.
+    BadArity {
+        /// The offending signal name.
+        name: String,
+        /// The gate kind.
+        kind: crate::GateKind,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// The combinational core contains a cycle (a loop not broken by a
+    /// flip-flop), which the synchronous model forbids.
+    CombinationalCycle {
+        /// Name of a node on the cycle.
+        name: String,
+    },
+    /// A `.bench` line could not be parsed.
+    Syntax {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The circuit has no primary outputs, making every fault trivially
+    /// undetectable; analyses require at least one.
+    NoOutputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateDriver { name } => {
+                write!(f, "signal `{name}` is driven more than once")
+            }
+            NetlistError::UndefinedSignal { name } => {
+                write!(f, "signal `{name}` is referenced but never defined")
+            }
+            NetlistError::BadArity { name, kind, got } => {
+                write!(f, "gate `{name}` of kind {kind} cannot take {got} fanins")
+            }
+            NetlistError::CombinationalCycle { name } => {
+                write!(f, "combinational cycle through node `{name}`")
+            }
+            NetlistError::Syntax { line, message } => {
+                write!(f, "bench syntax error at line {line}: {message}")
+            }
+            NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetlistError::DuplicateDriver { name: "g1".into() };
+        assert_eq!(e.to_string(), "signal `g1` is driven more than once");
+        let e = NetlistError::Syntax {
+            line: 3,
+            message: "missing `)`".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NetlistError>();
+    }
+}

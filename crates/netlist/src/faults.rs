@@ -1,0 +1,326 @@
+//! The single stuck-at fault universe and classical equivalence collapsing.
+
+use std::fmt;
+
+use crate::{Circuit, GateKind, LineGraph, LineId, LineKind, NodeId};
+
+/// The stuck value of a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StuckValue {
+    /// Stuck-at-0.
+    Zero,
+    /// Stuck-at-1.
+    One,
+}
+
+impl StuckValue {
+    /// Boolean value of the stuck line.
+    pub fn as_bool(self) -> bool {
+        self == StuckValue::One
+    }
+
+    /// The opposite stuck value.
+    pub fn complement(self) -> StuckValue {
+        match self {
+            StuckValue::Zero => StuckValue::One,
+            StuckValue::One => StuckValue::Zero,
+        }
+    }
+
+    /// Constructs from a boolean.
+    pub fn from_bool(v: bool) -> StuckValue {
+        if v {
+            StuckValue::One
+        } else {
+            StuckValue::Zero
+        }
+    }
+}
+
+impl fmt::Display for StuckValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckValue::Zero => f.write_str("s-a-0"),
+            StuckValue::One => f.write_str("s-a-1"),
+        }
+    }
+}
+
+/// A single stuck-at fault on one line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fault {
+    /// The faulty line.
+    pub line: LineId,
+    /// The stuck value.
+    pub stuck: StuckValue,
+}
+
+impl Fault {
+    /// Creates a fault.
+    pub fn new(line: LineId, stuck: StuckValue) -> Self {
+        Fault { line, stuck }
+    }
+
+    /// Shorthand for a stuck-at-0 fault.
+    pub fn sa0(line: LineId) -> Self {
+        Fault::new(line, StuckValue::Zero)
+    }
+
+    /// Shorthand for a stuck-at-1 fault.
+    pub fn sa1(line: LineId) -> Self {
+        Fault::new(line, StuckValue::One)
+    }
+
+    /// Human-readable name, e.g. `G10 s-a-1` or `G10->G17.0 s-a-0`.
+    pub fn display(&self, lines: &LineGraph, circuit: &Circuit) -> String {
+        format!("{} {}", lines.display_name(self.line, circuit), self.stuck)
+    }
+}
+
+/// An ordered, duplicate-free list of faults.
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{bench, FaultList, LineGraph};
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let lg = LineGraph::build(&c);
+/// let all = FaultList::full(&lg);
+/// assert_eq!(all.len(), 2 * lg.num_lines());
+/// let collapsed = FaultList::collapsed(&c, &lg);
+/// assert!(collapsed.len() < all.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+}
+
+impl FaultList {
+    /// The complete (uncollapsed) universe: both stuck values on every line.
+    pub fn full(lines: &LineGraph) -> Self {
+        let mut faults = Vec::with_capacity(lines.num_lines() * 2);
+        for l in lines.line_ids() {
+            faults.push(Fault::sa0(l));
+            faults.push(Fault::sa1(l));
+        }
+        FaultList { faults }
+    }
+
+    /// Structure-collapsed universe: one representative per classical
+    /// equivalence class.
+    ///
+    /// Rules (standard, e.g. Abramovici/Breuer/Friedman §4):
+    /// * buffer/inverter input faults are equivalent to the corresponding
+    ///   (possibly inverted) output faults;
+    /// * an AND/NAND input stuck at the controlling value 0 is equivalent to
+    ///   the output stuck at 0/1 respectively; dually for OR/NOR with 1;
+    /// * a non-branching stem is equivalent to the gate pin it feeds.
+    ///
+    /// Collapsing never crosses a flip-flop: `D` s-a-v and `Q` s-a-v differ
+    /// at power-up, which matters precisely for the sequential-redundancy
+    /// definitions this project studies.
+    pub fn collapsed(circuit: &Circuit, lines: &LineGraph) -> Self {
+        let n = lines.num_lines();
+        let mut uf = UnionFind::new(n * 2);
+        let key = |f: Fault| f.line.index() * 2 + usize::from(f.stuck.as_bool());
+
+        for node in circuit.node_ids() {
+            let kind = circuit.node(node).kind();
+            let out = lines.stem_of(node);
+            let ins = lines.in_lines(node);
+            match kind {
+                GateKind::Buf => {
+                    uf.union(key(Fault::sa0(ins[0])), key(Fault::sa0(out)));
+                    uf.union(key(Fault::sa1(ins[0])), key(Fault::sa1(out)));
+                }
+                GateKind::Not => {
+                    uf.union(key(Fault::sa0(ins[0])), key(Fault::sa1(out)));
+                    uf.union(key(Fault::sa1(ins[0])), key(Fault::sa0(out)));
+                }
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let c = kind.controlling_value().expect("has controlling value");
+                    let out_val = c ^ kind.is_inverting();
+                    for &i in ins {
+                        uf.union(
+                            key(Fault::new(i, StuckValue::from_bool(c))),
+                            key(Fault::new(out, StuckValue::from_bool(out_val))),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Non-branching stems are the same line as the pin they feed, so no
+        // extra unions are needed (the line graph already shares the id).
+
+        let mut faults = Vec::new();
+        let mut seen = vec![false; n * 2];
+        for f in FaultList::full(lines).iter() {
+            let root = uf.find(key(f));
+            if !seen[root] {
+                seen[root] = true;
+                faults.push(f);
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Builds a list from arbitrary faults, dropping duplicates.
+    pub fn from_faults<I: IntoIterator<Item = Fault>>(iter: I) -> Self {
+        let mut faults: Vec<Fault> = iter.into_iter().collect();
+        faults.sort_unstable();
+        faults.dedup();
+        FaultList { faults }
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates over the faults.
+    pub fn iter(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.faults.iter().copied()
+    }
+
+    /// The faults as a slice.
+    pub fn as_slice(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the list contains `fault`.
+    pub fn contains(&self, fault: Fault) -> bool {
+        self.faults.binary_search(&fault).is_ok()
+    }
+}
+
+impl FromIterator<Fault> for FaultList {
+    fn from_iter<I: IntoIterator<Item = Fault>>(iter: I) -> Self {
+        FaultList::from_faults(iter)
+    }
+}
+
+impl Extend<Fault> for FaultList {
+    fn extend<I: IntoIterator<Item = Fault>>(&mut self, iter: I) {
+        self.faults.extend(iter);
+        self.faults.sort_unstable();
+        self.faults.dedup();
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultList {
+    type Item = Fault;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Fault>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.iter().copied()
+    }
+}
+
+/// Returns the node whose output net hosts the fault (branch faults map to
+/// the branch's driving node).
+pub fn fault_site_node(lines: &LineGraph, fault: Fault) -> NodeId {
+    match lines.line(fault.line).kind() {
+        LineKind::Stem { node } | LineKind::Branch { node, .. } => node,
+    }
+}
+
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Prefer the smaller id as representative for determinism.
+            let (keep, drop) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[drop] = keep;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn full_universe_size() {
+        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        assert_eq!(FaultList::full(&lg).len(), 2 * lg.num_lines());
+    }
+
+    #[test]
+    fn collapsing_merges_and_gate_inputs() {
+        // z = AND(a,b): a s-a-0, b s-a-0, z s-a-0 collapse into one class,
+        // leaving 6 - 2 = 4 representatives.
+        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let collapsed = FaultList::collapsed(&c, &lg);
+        assert_eq!(collapsed.len(), 4);
+    }
+
+    #[test]
+    fn collapsing_inverter_chain() {
+        // a -> NOT -> NOT -> z: all faults collapse onto the two `a` faults.
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nm = NOT(a)\nz = NOT(m)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let collapsed = FaultList::collapsed(&c, &lg);
+        assert_eq!(collapsed.len(), 2);
+    }
+
+    #[test]
+    fn collapsing_does_not_cross_dff() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let collapsed = FaultList::collapsed(&c, &lg);
+        // a and q each keep both faults.
+        assert_eq!(collapsed.len(), 4);
+    }
+
+    #[test]
+    fn list_operations() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let a = lg.stem_of(c.find("a").unwrap());
+        let list = FaultList::from_faults([Fault::sa0(a), Fault::sa0(a), Fault::sa1(a)]);
+        assert_eq!(list.len(), 2);
+        assert!(list.contains(Fault::sa0(a)));
+        let names: Vec<String> = list.iter().map(|f| f.display(&lg, &c)).collect();
+        assert_eq!(names, vec!["a s-a-0", "a s-a-1"]);
+    }
+
+    #[test]
+    fn fault_site_of_branch() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = BUFF(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let a = c.find("a").unwrap();
+        let stem = lg.stem_of(a);
+        let branch = lg.line(stem).branches()[0];
+        assert_eq!(fault_site_node(&lg, Fault::sa1(branch)), a);
+    }
+}

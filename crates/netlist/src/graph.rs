@@ -1,0 +1,407 @@
+//! Structural analysis: logic levels, cones, sequential depth and the
+//! minimum-flip-flop distance used by FIRES' sequential unobservability
+//! side condition (paper Section 5.1).
+
+use std::collections::VecDeque;
+
+use crate::{Circuit, GateKind, LineGraph, LineId, NodeId};
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Logic level of every node: sources and FF outputs are level 0, a gate is
+/// one more than its deepest fanin (FF D-pins are cut).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = fires_netlist::bench::parse("INPUT(a)\nOUTPUT(z)\nm = NOT(a)\nz = NOT(m)\n")?;
+/// let lv = fires_netlist::graph::levels(&c);
+/// assert_eq!(lv[c.find("z").unwrap().index()], 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn levels(circuit: &Circuit) -> Vec<u32> {
+    let mut level = vec![0u32; circuit.num_nodes()];
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        if node.kind().is_source() || node.kind() == GateKind::Dff {
+            continue;
+        }
+        level[id.index()] = node
+            .fanin()
+            .iter()
+            .map(|f| level[f.index()] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    level
+}
+
+/// The transitive fanout cone of `from` over the *node* graph, crossing
+/// flip-flops freely. `result[n]` is true if a structural path (of any
+/// sequential depth) exists from `from`'s output to node `n`'s output.
+pub fn fanout_cone(circuit: &Circuit, from: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; circuit.num_nodes()];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(n) = stack.pop() {
+        for &(sink, _) in circuit.fanouts(n) {
+            if !seen[sink.index()] {
+                seen[sink.index()] = true;
+                stack.push(sink);
+            }
+        }
+    }
+    seen
+}
+
+/// The transitive fanin cone of `to`, crossing flip-flops freely.
+pub fn fanin_cone(circuit: &Circuit, to: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; circuit.num_nodes()];
+    let mut stack = vec![to];
+    seen[to.index()] = true;
+    while let Some(n) = stack.pop() {
+        for &src in circuit.node(n).fanin() {
+            if !seen[src.index()] {
+                seen[src.index()] = true;
+                stack.push(src);
+            }
+        }
+    }
+    seen
+}
+
+/// Minimum number of flip-flops on any structural path from line `from` to
+/// every other line (0-1 BFS over the line graph; crossing a DFF costs 1).
+///
+/// FIRES uses this to decide whether a fault effect on `l` at frame `i`
+/// could disturb a blocking uncontrollability indicator on `p` at frame
+/// `j ≥ i`: it can only if some path from `l` to `p` carries at most
+/// `j − i` flip-flops. Entries are [`UNREACHABLE`] when no path exists.
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{bench, graph, LineGraph};
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = NOT(q)\n")?;
+/// let lg = LineGraph::build(&c);
+/// let d = graph::min_ff_distance(&c, &lg, lg.stem_of(c.find("a").unwrap()));
+/// let z = lg.stem_of(c.find("z").unwrap());
+/// assert_eq!(d[z.index()], 1); // one FF between a and z
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_ff_distance(circuit: &Circuit, lines: &LineGraph, from: LineId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; lines.num_lines()];
+    let mut dq: VecDeque<LineId> = VecDeque::new();
+    dist[from.index()] = 0;
+    dq.push_back(from);
+    while let Some(l) = dq.pop_front() {
+        let d = dist[l.index()];
+        let line = lines.line(l);
+        // Stem -> branches, weight 0.
+        for &b in line.branches() {
+            if dist[b.index()] > d {
+                dist[b.index()] = d;
+                dq.push_front(b);
+            }
+        }
+        // Through the consuming gate to its output stem.
+        if let Some((sink, _)) = line.sink_pin() {
+            let w = u32::from(circuit.node(sink).kind() == GateKind::Dff);
+            let out = lines.stem_of(sink);
+            let nd = d.saturating_add(w);
+            if dist[out.index()] > nd {
+                dist[out.index()] = nd;
+                if w == 0 {
+                    dq.push_front(out);
+                } else {
+                    dq.push_back(out);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Minimum number of flip-flops on any structural path from every line *to*
+/// line `to` (the reverse of [`min_ff_distance`]).
+///
+/// FIRES' unobservability side condition asks, for each blocking line `p`,
+/// whether the stem being marked can reach `p` within a frame budget; one
+/// reverse BFS per blocking line answers that for all stems at once, so the
+/// result is cached per blocking line.
+pub fn min_ff_distance_rev(circuit: &Circuit, lines: &LineGraph, to: LineId) -> Vec<u32> {
+    // Build the predecessor relation on the fly: a line's predecessors are
+    // (a) its stem if it is a branch, and (b) the input lines of its driving
+    // node if it is a stem (crossing a DFF costs 1).
+    let mut dist = vec![UNREACHABLE; lines.num_lines()];
+    let mut dq: VecDeque<LineId> = VecDeque::new();
+    dist[to.index()] = 0;
+    dq.push_back(to);
+    while let Some(l) = dq.pop_front() {
+        let d = dist[l.index()];
+        let line = lines.line(l);
+        match line.kind() {
+            crate::LineKind::Branch { node, .. } => {
+                let stem = lines.stem_of(node);
+                if dist[stem.index()] > d {
+                    dist[stem.index()] = d;
+                    dq.push_front(stem);
+                }
+            }
+            crate::LineKind::Stem { node } => {
+                let w = u32::from(circuit.node(node).kind() == GateKind::Dff);
+                for &inl in lines.in_lines(node) {
+                    let nd = d.saturating_add(w);
+                    if dist[inl.index()] > nd {
+                        dist[inl.index()] = nd;
+                        if w == 0 {
+                            dq.push_front(inl);
+                        } else {
+                            dq.push_back(inl);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Sequential depth: the length (in flip-flops) of the longest *acyclic*
+/// FF-to-FF chain, approximated as the longest path in the FF dependency
+/// DAG condensation. Used to pick the per-circuit frame budget `T_M` the
+/// way the paper does ("decided depending upon the circuit size").
+pub fn sequential_depth(circuit: &Circuit) -> u32 {
+    // Build FF -> FF adjacency: FF b depends on FF a if a's output reaches
+    // b's D pin combinationally.
+    let ffs = circuit.dffs();
+    if ffs.is_empty() {
+        return 0;
+    }
+    let idx_of = |n: NodeId| ffs.binary_search(&n).ok();
+    // comb_reach[f] = set of FF indices reachable combinationally from FF f.
+    let nff = ffs.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nff];
+    for (fi, &f) in ffs.iter().enumerate() {
+        // BFS forward from f's output, stopping at FF D-pins.
+        let mut seen = vec![false; circuit.num_nodes()];
+        let mut stack = vec![f];
+        seen[f.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &(sink, _) in circuit.fanouts(n) {
+                if circuit.node(sink).kind() == GateKind::Dff {
+                    if let Some(ti) = idx_of(sink) {
+                        adj[fi].push(ti);
+                    }
+                    continue;
+                }
+                if !seen[sink.index()] {
+                    seen[sink.index()] = true;
+                    stack.push(sink);
+                }
+            }
+        }
+        adj[fi].sort_unstable();
+        adj[fi].dedup();
+    }
+    // Longest path over the condensation (SCCs collapse to weight ~ size).
+    let scc = tarjan_scc(&adj);
+    let ncomp = scc.iter().copied().max().map_or(0, |m| m + 1);
+    let mut comp_size = vec![0u32; ncomp];
+    for &c in &scc {
+        comp_size[c] += 1;
+    }
+    let mut cadj: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+    let mut indeg = vec![0usize; ncomp];
+    for (u, vs) in adj.iter().enumerate() {
+        for &v in vs {
+            let (cu, cv) = (scc[u], scc[v]);
+            if cu != cv {
+                cadj[cu].push(cv);
+            }
+        }
+    }
+    for vs in &mut cadj {
+        vs.sort_unstable();
+        vs.dedup();
+    }
+    for vs in &cadj {
+        for &v in vs {
+            indeg[v] += 1;
+        }
+    }
+    let mut best = comp_size.clone();
+    let mut queue: VecDeque<usize> = (0..ncomp).filter(|&c| indeg[c] == 0).collect();
+    let mut answer = 0;
+    while let Some(c) = queue.pop_front() {
+        answer = answer.max(best[c]);
+        for &v in &cadj[c] {
+            best[v] = best[v].max(best[c] + comp_size[v]);
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    answer
+}
+
+/// Tarjan SCC over a small adjacency list; returns the component index of
+/// every vertex (components numbered in reverse topological order).
+fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    // Iterative Tarjan to avoid recursion depth limits on long FF chains.
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut work = vec![Frame::Enter(root)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    work.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut ei) => {
+                    let mut descended = false;
+                    while ei < adj[v].len() {
+                        let w = adj[v][ei];
+                        ei += 1;
+                        if index[w] == usize::MAX {
+                            work.push(Frame::Resume(v, ei));
+                            work.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if low[v] == index[v] {
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                    // Propagate low to parent if any.
+                    if let Some(Frame::Resume(p, _)) = work.last() {
+                        let p = *p;
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn levels_follow_depth() {
+        let c = bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nm = AND(a, b)\nn = NOT(m)\nz = OR(n, a)\n",
+        )
+        .unwrap();
+        let lv = levels(&c);
+        assert_eq!(lv[c.find("a").unwrap().index()], 0);
+        assert_eq!(lv[c.find("m").unwrap().index()], 1);
+        assert_eq!(lv[c.find("n").unwrap().index()], 2);
+        assert_eq!(lv[c.find("z").unwrap().index()], 3);
+    }
+
+    #[test]
+    fn cones_cross_ffs() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = NOT(q)\n").unwrap();
+        let a = c.find("a").unwrap();
+        let z = c.find("z").unwrap();
+        assert!(fanout_cone(&c, a)[z.index()]);
+        assert!(fanin_cone(&c, z)[a.index()]);
+        assert!(!fanout_cone(&c, z)[a.index()]);
+    }
+
+    #[test]
+    fn ff_distance_counts_crossings() {
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nz = AND(q2, a)\n",
+        )
+        .unwrap();
+        let lg = crate::LineGraph::build(&c);
+        let from = lg.stem_of(c.find("a").unwrap());
+        let d = min_ff_distance(&c, &lg, from);
+        assert_eq!(d[lg.stem_of(c.find("q1").unwrap()).index()], 1);
+        assert_eq!(d[lg.stem_of(c.find("q2").unwrap()).index()], 2);
+        // Combinational path a -> z wins over the 2-FF path.
+        assert_eq!(d[lg.stem_of(c.find("z").unwrap()).index()], 0);
+    }
+
+    #[test]
+    fn ff_distance_unreachable() {
+        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = NOT(b)\n")
+            .unwrap();
+        let lg = crate::LineGraph::build(&c);
+        let d = min_ff_distance(&c, &lg, lg.stem_of(c.find("a").unwrap()));
+        assert_eq!(d[lg.stem_of(c.find("z").unwrap()).index()], UNREACHABLE);
+    }
+
+    #[test]
+    fn reverse_distance_agrees_with_forward() {
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nz = AND(q2, a)\n",
+        )
+        .unwrap();
+        let lg = crate::LineGraph::build(&c);
+        for from in lg.line_ids() {
+            let fwd = min_ff_distance(&c, &lg, from);
+            for to in lg.line_ids() {
+                let rev = min_ff_distance_rev(&c, &lg, to);
+                assert_eq!(fwd[to.index()], rev[from.index()], "{from:?}->{to:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_depth_of_chain_and_loop() {
+        // Chain of 3 FFs.
+        let chain = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nq3 = DFF(q2)\nz = BUFF(q3)\n",
+        )
+        .unwrap();
+        assert_eq!(sequential_depth(&chain), 3);
+        // Self-loop counter bit: a single-FF SCC.
+        let loopy = bench::parse("INPUT(en)\nOUTPUT(q)\nq = DFF(t)\nt = XOR(en, q)\n").unwrap();
+        assert_eq!(sequential_depth(&loopy), 1);
+        // Pure combinational circuit.
+        let comb = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        assert_eq!(sequential_depth(&comb), 0);
+    }
+}

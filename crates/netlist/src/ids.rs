@@ -1,0 +1,97 @@
+//! Typed index newtypes shared across the workspace.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// Returns the raw index, suitable for indexing a `Vec`.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a node of a [`Circuit`](crate::Circuit).
+    ///
+    /// Every node (primary input, gate or flip-flop) drives exactly one net,
+    /// so `NodeId` doubles as the identifier of that net.
+    NodeId,
+    "n"
+);
+
+id_type!(
+    /// Identifies a line of a [`LineGraph`](crate::LineGraph): a fanout stem
+    /// or a fanout branch. Stuck-at faults and FIRE/FIRES indicators are
+    /// attached to lines.
+    LineId,
+    "l"
+);
+
+id_type!(
+    /// Identifies a fault within a [`FaultList`](crate::FaultList).
+    FaultId,
+    "f"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_order() {
+        let a = NodeId::new(3);
+        let b = NodeId::new(7);
+        assert_eq!(a.index(), 3);
+        assert!(a < b);
+        assert_eq!(usize::from(b), 7);
+    }
+
+    #[test]
+    fn debug_is_tagged() {
+        assert_eq!(format!("{:?}", LineId::new(4)), "l4");
+        assert_eq!(format!("{}", FaultId::new(0)), "f0");
+        assert_eq!(format!("{}", NodeId::new(9)), "n9");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflow_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,215 @@
+//! Gate kinds of the ISCAS89 cell library plus constants produced by
+//! redundancy removal.
+
+use std::fmt;
+
+/// The function computed by a [`Node`](crate::Node).
+///
+/// The set matches the ISCAS89 `.bench` cell library (`INPUT`, `DFF`, `AND`,
+/// `NAND`, `OR`, `NOR`, `XOR`, `XNOR`, `NOT`, `BUFF`) extended with constant
+/// drivers, which appear when a redundant line is tied off during redundancy
+/// removal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// Primary input; no fanin.
+    Input,
+    /// D flip-flop with a single implicit clock; fanin is the D pin.
+    Dff,
+    /// Logical AND of all fanins.
+    And,
+    /// Logical NAND of all fanins.
+    Nand,
+    /// Logical OR of all fanins.
+    Or,
+    /// Logical NOR of all fanins.
+    Nor,
+    /// Logical XOR (odd parity) of all fanins.
+    Xor,
+    /// Logical XNOR (even parity) of all fanins.
+    Xnor,
+    /// Logical negation; exactly one fanin.
+    Not,
+    /// Buffer; exactly one fanin.
+    Buf,
+    /// Constant 0 driver; no fanin.
+    Const0,
+    /// Constant 1 driver; no fanin.
+    Const1,
+}
+
+impl GateKind {
+    /// Returns the *controlling value* of the gate, if it has one.
+    ///
+    /// A value `c` is controlling when one fanin at `c` determines the
+    /// output regardless of the other fanins (0 for AND/NAND, 1 for OR/NOR).
+    /// XOR-family gates, inverters, buffers, flip-flops and sources have no
+    /// controlling value.
+    ///
+    /// ```
+    /// use fires_netlist::GateKind;
+    /// assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+    /// assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+    /// assert_eq!(GateKind::Xor.controlling_value(), None);
+    /// ```
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the gate inverts with respect to its AND/OR/parity
+    /// core (NAND, NOR, NOT, XNOR).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Not | GateKind::Xnor
+        )
+    }
+
+    /// Returns `true` for XOR/XNOR, which have no controlling value and
+    /// always propagate fault effects from any single input.
+    pub fn is_parity(self) -> bool {
+        matches!(self, GateKind::Xor | GateKind::Xnor)
+    }
+
+    /// Returns `true` for nodes that originate values (no logic fanin):
+    /// primary inputs and constants.
+    pub fn is_source(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// Returns `true` for combinational logic gates (everything except
+    /// sources and flip-flops).
+    pub fn is_logic(self) -> bool {
+        !self.is_source() && self != GateKind::Dff
+    }
+
+    /// Acceptable fanin arity for this kind as an inclusive range, or `None`
+    /// if unconstrained above the minimum.
+    pub(crate) fn arity(self) -> (usize, Option<usize>) {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => (0, Some(0)),
+            GateKind::Dff | GateKind::Not | GateKind::Buf => (1, Some(1)),
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => (1, None),
+        }
+    }
+
+    /// The canonical `.bench` keyword for this kind.
+    ///
+    /// Sources and constants have no `.bench` gate syntax; `Input` is
+    /// declared via `INPUT(...)` and constants are emitted as degenerate
+    /// single-input gates by the writer.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Dff => "DFF",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        }
+    }
+
+    /// Parses a `.bench` gate keyword (case-insensitive; accepts the common
+    /// `BUF`/`BUFF` and `NOT`/`INV` spellings).
+    pub fn from_bench_keyword(word: &str) -> Option<GateKind> {
+        let upper = word.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "DFF" => GateKind::Dff,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "NOT" | "INV" => GateKind::Not,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "CONST0" => GateKind::Const0,
+            "CONST1" => GateKind::Const1,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        for k in [
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+            GateKind::Dff,
+            GateKind::Input,
+        ] {
+            assert_eq!(k.controlling_value(), None, "{k}");
+        }
+    }
+
+    #[test]
+    fn inversion_flags() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(GateKind::Nor.is_inverting());
+        assert!(GateKind::Not.is_inverting());
+        assert!(GateKind::Xnor.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(!GateKind::Buf.is_inverting());
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for k in [
+            GateKind::Dff,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+        ] {
+            assert_eq!(GateKind::from_bench_keyword(k.bench_keyword()), Some(k));
+        }
+        assert_eq!(GateKind::from_bench_keyword("buf"), Some(GateKind::Buf));
+        assert_eq!(GateKind::from_bench_keyword("Inv"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_bench_keyword("MUX"), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(GateKind::Input.is_source());
+        assert!(GateKind::Const1.is_source());
+        assert!(!GateKind::Dff.is_source());
+        assert!(GateKind::Nand.is_logic());
+        assert!(!GateKind::Dff.is_logic());
+        assert!(GateKind::Xor.is_parity());
+        assert!(!GateKind::Nor.is_parity());
+    }
+}

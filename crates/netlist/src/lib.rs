@@ -1,0 +1,64 @@
+//! Gate-level synchronous sequential netlist model for the FIRES
+//! reproduction.
+//!
+//! This crate provides every structural substrate the FIRES algorithm
+//! (Iyer, Long, Abramovici, *Identifying Sequential Redundancies Without
+//! Search*, DAC 1996) operates on:
+//!
+//! * a compact circuit representation ([`Circuit`]) of primary inputs,
+//!   primary outputs, logic gates and D flip-flops driven by a single
+//!   implicit clock (the paper's circuit model, Section 1);
+//! * an ISCAS89 `.bench` reader/writer ([`mod@bench`]);
+//! * the *line* model ([`LineGraph`]) that distinguishes fanout **stems**
+//!   from fanout **branches** — FIRE/FIRES indicators and stuck-at faults
+//!   live on lines, not nets (paper Section 2);
+//! * structural analysis ([`graph`]): topological order of the
+//!   combinational core, logic levels, fanin/fanout cones and the
+//!   minimum-flip-flop distance used by the sequential unobservability
+//!   side condition (paper Section 5.1);
+//! * the single stuck-at fault universe with classical equivalence
+//!   collapsing ([`faults`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fires_netlist::{bench, LineGraph};
+//!
+//! # fn main() -> Result<(), fires_netlist::NetlistError> {
+//! let src = "\
+//! INPUT(a)
+//! OUTPUT(z)
+//! b = DFF(a)
+//! z = AND(a, b)
+//! ";
+//! let circuit = bench::parse(src)?;
+//! assert_eq!(circuit.num_dffs(), 1);
+//! let lines = LineGraph::build(&circuit);
+//! // `a` fans out to the DFF and the AND gate: one stem, two branches.
+//! assert_eq!(lines.num_lines(), 2 + 1 + 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+mod builder;
+pub mod dot;
+mod circuit;
+mod error;
+pub mod faults;
+pub mod graph;
+mod ids;
+mod kind;
+mod lines;
+pub mod transform;
+
+pub use builder::CircuitBuilder;
+pub use circuit::{Circuit, CircuitStats, Node};
+pub use error::NetlistError;
+pub use faults::{Fault, FaultList, StuckValue};
+pub use ids::{FaultId, LineId, NodeId};
+pub use kind::GateKind;
+pub use lines::{Line, LineGraph, LineKind};

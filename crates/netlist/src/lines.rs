@@ -1,0 +1,291 @@
+//! The *line* model: fanout stems and fanout branches.
+//!
+//! FIRE and FIRES attach uncontrollability/unobservability indicators and
+//! stuck-at faults to **lines** (paper Section 2). A net with a single
+//! consumer is one line; a net feeding several gate pins becomes a *stem*
+//! line plus one *branch* line per pin, because a fault on one branch is a
+//! different (and possibly differently testable) fault than a fault on the
+//! stem.
+
+use std::fmt;
+
+use crate::{Circuit, LineId, NodeId};
+
+/// Whether a line is a stem (a node's output net) or a fanout branch
+/// (the wire into one specific gate pin).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LineKind {
+    /// The output net of `node`.
+    Stem {
+        /// Driving node.
+        node: NodeId,
+    },
+    /// The branch of `node`'s net feeding pin `pin` of `sink`.
+    Branch {
+        /// Driving node (the stem's node).
+        node: NodeId,
+        /// Consuming node.
+        sink: NodeId,
+        /// Pin index within `sink`'s fanin.
+        pin: usize,
+    },
+}
+
+/// One line of the circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Line {
+    pub(crate) kind: LineKind,
+    /// Lines this line feeds (branches for a branching stem; otherwise the
+    /// next stem reached through the consuming gate is *not* listed here —
+    /// traversal through gates is the analyses' job).
+    pub(crate) branches: Vec<LineId>,
+    /// The gate pin this line drives, if it drives one directly
+    /// (stems with explicit branches drive none directly).
+    pub(crate) sink_pin: Option<(NodeId, usize)>,
+}
+
+impl Line {
+    /// Stem/branch classification.
+    pub fn kind(&self) -> LineKind {
+        self.kind
+    }
+
+    /// The node whose output net this line belongs to.
+    pub fn driver(&self) -> NodeId {
+        match self.kind {
+            LineKind::Stem { node } | LineKind::Branch { node, .. } => node,
+        }
+    }
+
+    /// For a branching stem, its branch lines; empty otherwise.
+    pub fn branches(&self) -> &[LineId] {
+        &self.branches
+    }
+
+    /// The gate pin this line feeds directly, if any.
+    pub fn sink_pin(&self) -> Option<(NodeId, usize)> {
+        self.sink_pin
+    }
+
+    /// `true` for stem lines.
+    pub fn is_stem(&self) -> bool {
+        matches!(self.kind, LineKind::Stem { .. })
+    }
+}
+
+/// The complete line decomposition of a circuit.
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{bench, LineGraph};
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = bench::parse("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = BUFF(a)\n")?;
+/// let lg = LineGraph::build(&c);
+/// let a = c.find("a").unwrap();
+/// // `a` feeds two gates: a stem plus two branches.
+/// assert_eq!(lg.line(lg.stem_of(a)).branches().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineGraph {
+    lines: Vec<Line>,
+    stem_of: Vec<LineId>,
+    /// For each node, the line feeding each of its pins.
+    in_lines: Vec<Vec<LineId>>,
+}
+
+impl LineGraph {
+    /// Decomposes `circuit` into lines.
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.num_nodes();
+        let mut lines: Vec<Line> = Vec::with_capacity(n * 2);
+        let mut stem_of: Vec<LineId> = Vec::with_capacity(n);
+        // Stems first so stem_of is a simple prefix.
+        for id in circuit.node_ids() {
+            stem_of.push(LineId::new(lines.len()));
+            lines.push(Line {
+                kind: LineKind::Stem { node: id },
+                branches: Vec::new(),
+                sink_pin: None,
+            });
+        }
+        let mut in_lines: Vec<Vec<LineId>> =
+            (0..n).map(|i| vec![LineId::new(0); circuit.nodes[i].fanin.len()]).collect();
+        for id in circuit.node_ids() {
+            let sinks = circuit.fanouts(id);
+            let branching = sinks.len() + usize::from(circuit.is_output(id)) >= 2;
+            let stem = stem_of[id.index()];
+            if branching {
+                for &(sink, pin) in sinks {
+                    let b = LineId::new(lines.len());
+                    lines.push(Line {
+                        kind: LineKind::Branch {
+                            node: id,
+                            sink,
+                            pin,
+                        },
+                        branches: Vec::new(),
+                        sink_pin: Some((sink, pin)),
+                    });
+                    lines[stem.index()].branches.push(b);
+                    in_lines[sink.index()][pin] = b;
+                }
+            } else if let Some(&(sink, pin)) = sinks.first() {
+                lines[stem.index()].sink_pin = Some((sink, pin));
+                in_lines[sink.index()][pin] = stem;
+            }
+        }
+        LineGraph {
+            lines,
+            stem_of,
+            in_lines,
+        }
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The line with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn line(&self, id: LineId) -> &Line {
+        &self.lines[id.index()]
+    }
+
+    /// The stem line of a node's output net.
+    pub fn stem_of(&self, node: NodeId) -> LineId {
+        self.stem_of[node.index()]
+    }
+
+    /// The line feeding pin `pin` of `node` (a branch if the source net
+    /// fans out, the source's stem otherwise).
+    pub fn in_line(&self, node: NodeId, pin: usize) -> LineId {
+        self.in_lines[node.index()][pin]
+    }
+
+    /// All lines feeding `node`, in pin order.
+    pub fn in_lines(&self, node: NodeId) -> &[LineId] {
+        &self.in_lines[node.index()]
+    }
+
+    /// Iterates over all line ids.
+    pub fn line_ids(&self) -> impl Iterator<Item = LineId> + '_ {
+        (0..self.lines.len()).map(LineId::new)
+    }
+
+    /// Iterates over the *fanout stems*: stems whose net feeds two or more
+    /// consumers (counting a primary-output observation). These are the
+    /// stems FIRE/FIRES processes — conflicts can only arise where paths
+    /// reconverge from a fanout point.
+    pub fn fanout_stems<'a>(
+        &'a self,
+        circuit: &'a Circuit,
+    ) -> impl Iterator<Item = LineId> + 'a {
+        circuit.node_ids().filter_map(move |n| {
+            let stem = self.stem_of(n);
+            (!self.lines[stem.index()].branches.is_empty()).then_some(stem)
+        })
+    }
+
+    /// Human-readable name of a line, e.g. `G10` for a stem or `G10->G17.1`
+    /// for the branch into pin 1 of `G17`.
+    pub fn display_name(&self, id: LineId, circuit: &Circuit) -> String {
+        match self.lines[id.index()].kind {
+            LineKind::Stem { node } => circuit.name(node).to_owned(),
+            LineKind::Branch { node, sink, pin } => {
+                format!("{}->{}.{}", circuit.name(node), circuit.name(sink), pin)
+            }
+        }
+    }
+}
+
+impl fmt::Display for LineGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineGraph({} lines)", self.lines.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    fn fanout_circuit() -> Circuit {
+        bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\n\
+             s = AND(a, b)\n\
+             x = NOT(s)\n\
+             y = BUFF(s)\n\
+             z = OR(x, y)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stems_and_branches() {
+        let c = fanout_circuit();
+        let lg = LineGraph::build(&c);
+        let s = c.find("s").unwrap();
+        let stem = lg.stem_of(s);
+        assert!(lg.line(stem).is_stem());
+        assert_eq!(lg.line(stem).branches().len(), 2);
+        // Branch lines point at their sink pins.
+        for &b in lg.line(stem).branches() {
+            let (sink, _) = lg.line(b).sink_pin().unwrap();
+            let name = c.name(sink);
+            assert!(name == "x" || name == "y");
+            assert_eq!(lg.line(b).driver(), s);
+        }
+        // Non-fanout nets are single lines.
+        let x = c.find("x").unwrap();
+        assert!(lg.line(lg.stem_of(x)).branches().is_empty());
+        let z = c.find("z").unwrap();
+        assert_eq!(lg.in_line(z, 0), lg.stem_of(x));
+    }
+
+    #[test]
+    fn po_plus_gate_sink_counts_as_fanout() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(s)\nOUTPUT(z)\ns = BUFF(a)\nz = NOT(s)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let s = c.find("s").unwrap();
+        // s is both observed and feeds z: the gate pin gets its own branch.
+        assert_eq!(lg.line(lg.stem_of(s)).branches().len(), 1);
+    }
+
+    #[test]
+    fn fanout_stem_iteration() {
+        let c = fanout_circuit();
+        let lg = LineGraph::build(&c);
+        let stems: Vec<String> = lg
+            .fanout_stems(&c)
+            .map(|l| lg.display_name(l, &c))
+            .collect();
+        assert_eq!(stems, vec!["s".to_owned()]);
+    }
+
+    #[test]
+    fn display_names() {
+        let c = fanout_circuit();
+        let lg = LineGraph::build(&c);
+        let s = c.find("s").unwrap();
+        let stem = lg.stem_of(s);
+        assert_eq!(lg.display_name(stem, &c), "s");
+        let b = lg.line(stem).branches()[0];
+        let name = lg.display_name(b, &c);
+        assert!(name.starts_with("s->"), "{name}");
+    }
+
+    #[test]
+    fn line_count_matches_model() {
+        let c = fanout_circuit();
+        let lg = LineGraph::build(&c);
+        // 6 nodes -> 6 stems; `a`,`b` single-sink; `s` has 2 branches.
+        assert_eq!(lg.num_lines(), 6 + 2);
+    }
+}

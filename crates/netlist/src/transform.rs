@@ -1,0 +1,190 @@
+//! Structural circuit transforms.
+//!
+//! [`full_scan`] produces the *combinational envelope* of a sequential
+//! circuit: every flip-flop output becomes a (pseudo) primary input and
+//! every flip-flop data pin becomes a (pseudo) primary output. The same
+//! model serves two purposes in the paper:
+//!
+//! * it is the **full-scan test model** — the paper's introduction notes
+//!   that many sequentially redundant faults become detectable under
+//!   full-scan testing, causing yield loss when such chips are rejected;
+//! * it is the **combinational model of the single-fault theorem**
+//!   (Agrawal/Chakradhar, references \[8\]\[9\]): a fault untestable even with
+//!   full flip-flop controllability and observability is sequentially
+//!   untestable, which is the basis of the FUNTEST algorithm the paper
+//!   compares against in Example 3.
+
+use crate::circuit::Node;
+use crate::{Circuit, GateKind, NetlistError, NodeId};
+
+/// Replaces every flip-flop with a pseudo primary input (keeping the FF's
+/// net name) and observes every flip-flop's data net as a pseudo primary
+/// output. The result is purely combinational.
+///
+/// Net names are preserved, so faults can be correlated across the
+/// transform by their display names.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the rewritten netlist fails validation
+/// (cannot happen for a valid input circuit; kept for API honesty).
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{bench, transform};
+///
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let seq = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = AND(q, a)\n")?;
+/// let scan = transform::full_scan(&seq)?;
+/// assert_eq!(scan.num_dffs(), 0);
+/// assert_eq!(scan.num_inputs(), 2);  // a + pseudo-input q
+/// assert_eq!(scan.num_outputs(), 2); // z + pseudo-output observing a (q's D)
+/// # Ok(())
+/// # }
+/// ```
+pub fn full_scan(circuit: &Circuit) -> Result<Circuit, NetlistError> {
+    let mut nodes: Vec<Node> = Vec::with_capacity(circuit.num_nodes());
+    let mut names: Vec<String> = Vec::with_capacity(circuit.num_nodes());
+    let mut inputs: Vec<NodeId> = circuit.inputs().to_vec();
+    let mut outputs: Vec<NodeId> = circuit.outputs().to_vec();
+    for id in circuit.node_ids() {
+        let node = circuit.node(id);
+        names.push(circuit.name(id).to_owned());
+        if node.kind() == GateKind::Dff {
+            // Q becomes a controllable pseudo-input...
+            nodes.push(Node {
+                kind: GateKind::Input,
+                fanin: Vec::new(),
+            });
+            inputs.push(id);
+            // ...and the D source becomes observable.
+            outputs.push(node.fanin()[0]);
+        } else {
+            nodes.push(node.clone());
+        }
+    }
+    // A net may drive several scan observations (or already be a PO);
+    // duplicate observations add nothing.
+    outputs.dedup();
+    Circuit::from_parts(nodes, names, inputs, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn scan_model_is_combinational() {
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nq1 = DFF(t)\nq2 = DFF(q1)\nt = XOR(a, q2)\nz = BUFF(q2)\n",
+        )
+        .unwrap();
+        let scan = full_scan(&c).unwrap();
+        assert_eq!(scan.num_dffs(), 0);
+        assert_eq!(scan.num_inputs(), 1 + 2);
+        // Original z + observations of t and q1 (the two D nets).
+        assert_eq!(scan.num_outputs(), 3);
+        // The feedback loop is cut: topological order exists (no panic).
+        assert_eq!(scan.topo_order().len(), scan.num_nodes());
+    }
+
+    #[test]
+    fn names_survive_the_transform() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = NOT(q)\n").unwrap();
+        let scan = full_scan(&c).unwrap();
+        let q = scan.find("q").expect("q still exists");
+        assert_eq!(scan.node(q).kind(), GateKind::Input);
+        assert!(scan.is_output(scan.find("a").unwrap()), "a observed as D of q");
+    }
+
+    #[test]
+    fn already_combinational_circuit_is_unchanged_structurally() {
+        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n").unwrap();
+        let scan = full_scan(&c).unwrap();
+        assert_eq!(scan.num_nodes(), c.num_nodes());
+        assert_eq!(scan.num_inputs(), c.num_inputs());
+        assert_eq!(scan.num_outputs(), c.num_outputs());
+    }
+
+    #[test]
+    fn scan_makes_sequential_faults_exposable() {
+        use crate::{Fault, LineGraph};
+        // Figure 3: the 1-cycle redundant branch fault becomes testable in
+        // the scan model (b and c are independently controllable there).
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let scan = full_scan(&c).unwrap();
+        let lines = LineGraph::build(&scan);
+        let c_stem = lines.stem_of(scan.find("c").unwrap());
+        let c1 = lines.line(c_stem).branches()[0];
+        // In the scan model b=1, c=0 is directly applicable: the fault is
+        // combinationally testable (d flips 0 -> 1).
+        let vectors = fires_test_helper_all_vectors(scan.num_inputs());
+        let mut detected = false;
+        for v in vectors {
+            let lg = &lines;
+            let mut good = crate_sim_eval(&scan, lg, &v, None);
+            let mut bad = crate_sim_eval(&scan, lg, &v, Some(Fault::sa1(c1)));
+            detected |= good
+                .drain(..)
+                .zip(bad.drain(..))
+                .any(|(g, b)| g != b);
+        }
+        assert!(detected);
+    }
+
+    /// Tiny local evaluator (binary) to keep this crate free of a dev
+    /// dependency on the simulator crate.
+    fn crate_sim_eval(
+        c: &Circuit,
+        lines: &crate::LineGraph,
+        inputs: &[bool],
+        fault: Option<crate::Fault>,
+    ) -> Vec<bool> {
+        let mut value = vec![false; c.num_nodes()];
+        for (i, &pi) in c.inputs().iter().enumerate() {
+            value[pi.index()] = inputs[i];
+        }
+        for &id in c.topo_order() {
+            let kind = c.node(id).kind();
+            let v = match kind {
+                GateKind::Input => value[id.index()],
+                GateKind::Const0 => false,
+                GateKind::Const1 => true,
+                _ => {
+                    let mut acc = matches!(kind, GateKind::And | GateKind::Nand);
+                    for (pin, &src) in c.node(id).fanin().iter().enumerate() {
+                        let mut x = value[src.index()];
+                        if let Some(f) = fault {
+                            if lines.in_line(id, pin) == f.line {
+                                x = f.stuck.as_bool();
+                            }
+                        }
+                        acc = match kind {
+                            GateKind::And | GateKind::Nand => acc & x,
+                            GateKind::Or | GateKind::Nor => acc | x,
+                            GateKind::Xor | GateKind::Xnor => acc ^ x,
+                            _ => x,
+                        };
+                    }
+                    acc ^ kind.is_inverting()
+                }
+            };
+            value[id.index()] = match fault {
+                Some(f) if lines.stem_of(id) == f.line => f.stuck.as_bool(),
+                _ => v,
+            };
+        }
+        c.outputs().iter().map(|&o| value[o.index()]).collect()
+    }
+
+    fn fires_test_helper_all_vectors(n: usize) -> Vec<Vec<bool>> {
+        (0..1usize << n)
+            .map(|bits| (0..n).map(|i| bits >> i & 1 == 1).collect())
+            .collect()
+    }
+}

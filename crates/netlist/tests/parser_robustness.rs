@@ -1,0 +1,57 @@
+//! Fuzz-style robustness tests: the `.bench` parser must never panic, and
+//! whatever it accepts must re-serialize and re-parse to the same circuit.
+
+use fires_netlist::bench;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, .. ProptestConfig::default() })]
+
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC*") {
+        let _ = bench::parse(&text);
+    }
+
+    /// Structured-ish garbage (keywords, parens, identifiers) never panics
+    /// and, when accepted, round-trips.
+    #[test]
+    fn keyword_soup_is_handled(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                "INPUT\\([a-z]{1,3}\\)",
+                "OUTPUT\\([a-z]{1,3}\\)",
+                "[a-z]{1,3} = (AND|OR|NAND|NOR|XOR|XNOR|NOT|BUFF|DFF)\\([a-z]{1,3}(, [a-z]{1,3})?\\)",
+                "# [a-z ]{0,10}",
+                "",
+            ],
+            0..12,
+        )
+    ) {
+        let text = lines.join("\n");
+        if let Ok(circuit) = bench::parse(&text) {
+            let round = bench::parse(&bench::to_text(&circuit)).expect("own output parses");
+            prop_assert_eq!(round.num_nodes(), circuit.num_nodes());
+            prop_assert_eq!(round.num_outputs(), circuit.num_outputs());
+        }
+    }
+}
+
+#[test]
+fn pathological_inputs_error_cleanly() {
+    for bad in [
+        "INPUT()",
+        "INPUT(a",
+        "OUTPUT(a, b)",
+        "= AND(a)",
+        "x = ",
+        "x = AND",
+        "x = AND(",
+        "x = AND)",
+        "x = AND()\nOUTPUT(x)",
+        "INPUT(a)\nOUTPUT(a)\na = NOT(a)",
+        "\u{0}\u{1}\u{2}",
+    ] {
+        assert!(bench::parse(bad).is_err(), "accepted: {bad:?}");
+    }
+}

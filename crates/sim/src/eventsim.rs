@@ -1,0 +1,327 @@
+//! Event-driven sequential simulation.
+//!
+//! Functionally identical to [`SeqSim`](crate::SeqSim) but evaluates only
+//! the gates whose inputs changed since the previous vector — the classic
+//! selective-trace optimization. On workloads with low activity (long
+//! random sequences, fault grading) this skips the bulk of the circuit
+//! each cycle. Differential property tests pin it to the oblivious
+//! simulator cycle for cycle.
+
+use std::collections::VecDeque;
+
+use fires_netlist::{Circuit, Fault, GateKind, LineGraph, NodeId};
+
+use crate::seqsim::eval_gate;
+use crate::Logic3;
+
+/// An event-driven 3-valued simulator.
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{bench, LineGraph};
+/// use fires_sim::{EventSim, Logic3};
+///
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = XOR(a, q)\n")?;
+/// let lines = LineGraph::build(&c);
+/// let mut sim = EventSim::new(&c, &lines);
+/// sim.step(&[Logic3::One], None);
+/// assert_eq!(sim.step(&[Logic3::One], None), vec![Logic3::Zero]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventSim<'c> {
+    circuit: &'c Circuit,
+    lines: &'c LineGraph,
+    values: Vec<Logic3>,
+    ff_state: Vec<Logic3>,
+    /// Evaluation order rank, used to pop events in topological order.
+    rank: Vec<u32>,
+    /// Scratch: whether a node is already queued this cycle.
+    queued: Vec<bool>,
+    /// The fault injected during the previous cycle (a fault change forces
+    /// full re-evaluation).
+    last_fault: Option<Fault>,
+    /// Whether a full evaluation has happened at least once.
+    primed: bool,
+    /// Gates evaluated over the simulator's lifetime (activity metric).
+    evals: u64,
+}
+
+impl<'c> EventSim<'c> {
+    /// Creates a simulator with all flip-flops and nets at X.
+    pub fn new(circuit: &'c Circuit, lines: &'c LineGraph) -> Self {
+        let mut rank = vec![0u32; circuit.num_nodes()];
+        for (i, &n) in circuit.topo_order().iter().enumerate() {
+            rank[n.index()] = i as u32;
+        }
+        EventSim {
+            circuit,
+            lines,
+            values: vec![Logic3::X; circuit.num_nodes()],
+            ff_state: vec![Logic3::X; circuit.num_dffs()],
+            rank,
+            queued: vec![false; circuit.num_nodes()],
+            last_fault: None,
+            primed: false,
+            evals: 0,
+        }
+    }
+
+    /// Resets every flip-flop (and net) to X.
+    pub fn reset_to_x(&mut self) {
+        self.ff_state.fill(Logic3::X);
+        self.values.fill(Logic3::X);
+        self.primed = false;
+    }
+
+    /// Current flip-flop state, indexed like [`Circuit::dffs`].
+    pub fn state(&self) -> &[Logic3] {
+        &self.ff_state
+    }
+
+    /// Overwrites the flip-flop state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the number of flip-flops.
+    pub fn set_state(&mut self, state: &[Logic3]) {
+        assert_eq!(state.len(), self.ff_state.len(), "state width mismatch");
+        self.ff_state.copy_from_slice(state);
+        self.primed = false; // force full re-evaluation next step
+    }
+
+    /// Number of gate evaluations performed so far (the activity metric
+    /// event-driven simulation exists to minimize).
+    pub fn gate_evaluations(&self) -> u64 {
+        self.evals
+    }
+
+    /// Applies one input vector, returns the primary outputs, clocks the
+    /// flip-flops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn step(&mut self, inputs: &[Logic3], fault: Option<Fault>) -> Vec<Logic3> {
+        let circuit = self.circuit;
+        assert_eq!(inputs.len(), circuit.num_inputs(), "input width mismatch");
+        let full = !self.primed || fault != self.last_fault;
+        self.last_fault = fault;
+
+        // Seed events: changed inputs and changed FF outputs.
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        let push = |queued: &mut Vec<bool>, queue: &mut VecDeque<NodeId>, n: NodeId| {
+            if !queued[n.index()] {
+                queued[n.index()] = true;
+                queue.push_back(n);
+            }
+        };
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            if full || self.values[pi.index()] != inputs[i] {
+                self.values[pi.index()] = inputs[i];
+                for &(sink, _) in circuit.fanouts(pi) {
+                    push(&mut self.queued, &mut queue, sink);
+                }
+            }
+        }
+        for (i, &ff) in circuit.dffs().iter().enumerate() {
+            if full || self.values[ff.index()] != self.ff_state[i] {
+                self.values[ff.index()] = self.ff_state[i];
+                for &(sink, _) in circuit.fanouts(ff) {
+                    push(&mut self.queued, &mut queue, sink);
+                }
+            }
+        }
+        if full {
+            for n in circuit.node_ids() {
+                let kind = circuit.node(n).kind();
+                if kind.is_logic() || kind == GateKind::Const0 || kind == GateKind::Const1 {
+                    push(&mut self.queued, &mut queue, n);
+                }
+            }
+        }
+
+        // Selective trace in topological order.
+        let mut pending: Vec<NodeId> = queue.into_iter().collect();
+        pending.sort_by_key(|n| self.rank[n.index()]);
+        let mut i = 0usize;
+        while i < pending.len() {
+            let n = pending[i];
+            i += 1;
+            self.queued[n.index()] = false;
+            let kind = circuit.node(n).kind();
+            if kind == GateKind::Dff {
+                continue; // FF outputs change only at the clock edge
+            }
+            let new = match kind {
+                GateKind::Const0 => Logic3::Zero,
+                GateKind::Const1 => Logic3::One,
+                GateKind::Input => self.values[n.index()],
+                _ => {
+                    self.evals += 1;
+                    let pins: Vec<Logic3> = (0..circuit.node(n).fanin().len())
+                        .map(|pin| self.pin_value(n, pin, fault))
+                        .collect();
+                    eval_gate(kind, &pins)
+                }
+            };
+            let forced = match fault {
+                Some(f) if self.lines.stem_of(n) == f.line => Logic3::from(f.stuck.as_bool()),
+                _ => new,
+            };
+            if forced != self.values[n.index()] || full {
+                self.values[n.index()] = forced;
+                for &(sink, _) in circuit.fanouts(n) {
+                    if !self.queued[sink.index()]
+                        && circuit.node(sink).kind() != GateKind::Dff
+                    {
+                        self.queued[sink.index()] = true;
+                        // Insert keeping topological order: ranks ahead of
+                        // the cursor only (fanouts always rank higher).
+                        let rank = self.rank[sink.index()];
+                        let pos = pending[i..]
+                            .binary_search_by_key(&rank, |m| self.rank[m.index()])
+                            .unwrap_or_else(|e| e)
+                            + i;
+                        pending.insert(pos, sink);
+                    }
+                }
+            }
+        }
+
+        let outputs: Vec<Logic3> = circuit
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect();
+        // Clock edge.
+        let mut next = Vec::with_capacity(self.ff_state.len());
+        for &ff in circuit.dffs() {
+            next.push(self.pin_value(ff, 0, fault));
+        }
+        self.ff_state.copy_from_slice(&next);
+        self.primed = true;
+        outputs
+    }
+
+    fn pin_value(&self, node: NodeId, pin: usize, fault: Option<Fault>) -> Logic3 {
+        let src = self.circuit.node(node).fanin()[pin];
+        match fault {
+            Some(f) if self.lines.in_line(node, pin) == f.line => {
+                Logic3::from(f.stuck.as_bool())
+            }
+            _ => self.values[src.index()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::bench;
+
+    use super::*;
+    use crate::{random_vectors, SeqSim};
+
+    fn agree_on(src: &str, cycles: usize, seed: u64) {
+        let c = bench::parse(src).unwrap();
+        let lg = LineGraph::build(&c);
+        let vectors = random_vectors(&c, cycles, seed);
+        let mut reference = SeqSim::new(&c, &lg);
+        let mut event = EventSim::new(&c, &lg);
+        for (i, v) in vectors.iter().enumerate() {
+            let a = reference.step(v, None);
+            let b = event.step(v, None);
+            assert_eq!(a, b, "cycle {i}");
+            assert_eq!(reference.state(), event.state(), "state after cycle {i}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_oblivious_simulator() {
+        agree_on(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(m)\nm = NAND(a, q)\nz = XOR(m, b)\n",
+            64,
+            5,
+        );
+        agree_on("INPUT(en)\nOUTPUT(q)\nq = DFF(t)\nt = XOR(en, q)\n", 32, 9);
+    }
+
+    #[test]
+    fn agrees_under_faults() {
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\nq = DFF(s)\ns = BUFF(a)\ny = AND(s, q)\nz = NOT(s)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let vectors = random_vectors(&c, 32, 3);
+        for fault in fires_netlist::FaultList::full(&lg).iter() {
+            let mut reference = SeqSim::new(&c, &lg);
+            let mut event = EventSim::new(&c, &lg);
+            for v in &vectors {
+                assert_eq!(
+                    reference.step(v, Some(fault)),
+                    event.step(v, Some(fault)),
+                    "fault {}",
+                    fault.display(&lg, &c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_switch_forces_reevaluation() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let z = lg.stem_of(c.find("z").unwrap());
+        let mut sim = EventSim::new(&c, &lg);
+        assert_eq!(sim.step(&[Logic3::One], None), vec![Logic3::One]);
+        // Same input, new fault: the output must still change.
+        assert_eq!(
+            sim.step(&[Logic3::One], Some(Fault::sa0(z))),
+            vec![Logic3::Zero]
+        );
+        // Fault removed again.
+        assert_eq!(sim.step(&[Logic3::One], None), vec![Logic3::One]);
+    }
+
+    #[test]
+    fn low_activity_skips_work() {
+        // A wide circuit where only one lane toggles: the event simulator
+        // must evaluate far fewer gates than cycles x gates.
+        let mut src = String::from("INPUT(a)\nINPUT(b)\n");
+        for i in 0..50 {
+            src.push_str(&format!("g{i} = XOR(b, k{i})\n"));
+            src.push_str(&format!("k{i} = BUFF(b)\n"));
+        }
+        src.push_str("hot = NOT(a)\nOUTPUT(hot)\nOUTPUT(g0)\n");
+        let c = bench::parse(&src).unwrap();
+        let lg = LineGraph::build(&c);
+        let mut sim = EventSim::new(&c, &lg);
+        // Priming step evaluates everything once.
+        let _ = sim.step(&[Logic3::Zero, Logic3::Zero], None);
+        let after_prime = sim.gate_evaluations();
+        // 100 cycles toggling only `a`.
+        for i in 0..100 {
+            let _ = sim.step(&[Logic3::from(i % 2 == 0), Logic3::Zero], None);
+        }
+        let active = sim.gate_evaluations() - after_prime;
+        assert!(
+            active <= 100 * 3,
+            "expected ~1 gate/cycle, evaluated {active}"
+        );
+    }
+
+    #[test]
+    fn set_state_forces_consistency() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = AND(q, a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let mut sim = EventSim::new(&c, &lg);
+        sim.set_state(&[Logic3::One]);
+        assert_eq!(sim.step(&[Logic3::One], None), vec![Logic3::One]);
+        sim.reset_to_x();
+        assert_eq!(sim.step(&[Logic3::One], None), vec![Logic3::X]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Serial stuck-at fault simulation.
+
+use fires_netlist::{Circuit, Fault, LineGraph};
+
+use crate::{Logic3, SeqSim, VectorSet};
+
+/// Where and when a fault was first detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Detection {
+    /// 0-based index of the detecting vector in the sequence.
+    pub cycle: usize,
+    /// 0-based index of the differing primary output.
+    pub output: usize,
+}
+
+/// Aggregate result of simulating a fault list against one vector sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSimSummary {
+    /// Per-fault detection, aligned with the input fault order.
+    pub detections: Vec<Option<Detection>>,
+}
+
+impl FaultSimSummary {
+    /// Number of detected faults.
+    pub fn num_detected(&self) -> usize {
+        self.detections.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Fault coverage in `[0, 1]`; 0 when the list is empty.
+    pub fn coverage(&self) -> f64 {
+        if self.detections.is_empty() {
+            return 0.0;
+        }
+        self.num_detected() as f64 / self.detections.len() as f64
+    }
+}
+
+/// Simulates a single fault against a vector sequence, starting both the
+/// good and the faulty machine from the all-X power-up state.
+///
+/// Detection uses the conservative 3-valued criterion (good and faulty
+/// responses are opposite binary values), which guarantees the fault is
+/// detected for *every* pair of initial states — i.e. detection in the
+/// sense of Definition 1 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{bench, Fault, LineGraph};
+/// use fires_sim::{random_vectors, simulate_fault};
+///
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n")?;
+/// let lg = LineGraph::build(&c);
+/// let fault = Fault::sa0(lg.stem_of(c.find("a").unwrap()));
+/// let vectors = random_vectors(&c, 16, 1);
+/// assert!(simulate_fault(&c, &lg, fault, &vectors).is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_fault(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    fault: Fault,
+    vectors: &VectorSet,
+) -> Option<Detection> {
+    let mut good = SeqSim::new(circuit, lines);
+    let mut bad = SeqSim::new(circuit, lines);
+    for (cycle, v) in vectors.iter().enumerate() {
+        let g = good.step(v, None);
+        let b = bad.step(v, Some(fault));
+        if let Some(output) = first_definite_difference(&g, &b) {
+            return Some(Detection { cycle, output });
+        }
+    }
+    None
+}
+
+/// Serially simulates every fault in `faults` against `vectors`.
+pub fn simulate_faults(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    faults: &[Fault],
+    vectors: &VectorSet,
+) -> FaultSimSummary {
+    FaultSimSummary {
+        detections: faults
+            .iter()
+            .map(|&f| simulate_fault(circuit, lines, f, vectors))
+            .collect(),
+    }
+}
+
+fn first_definite_difference(good: &[Logic3], bad: &[Logic3]) -> Option<usize> {
+    good.iter()
+        .zip(bad)
+        .position(|(g, b)| g.definitely_differs(*b))
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::{bench, FaultList};
+
+    use super::*;
+    use crate::random_vectors;
+
+    #[test]
+    fn detects_obvious_combinational_fault() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let z = lg.stem_of(c.find("z").unwrap());
+        let vectors = random_vectors(&c, 8, 3);
+        let det = simulate_fault(&c, &lg, Fault::sa1(z), &vectors);
+        assert!(det.is_some());
+    }
+
+    #[test]
+    fn sequential_fault_needs_initialization() {
+        // z = AND(q, a) with q = DFF(a): q s-a-0 needs a=1 for two cycles.
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = AND(q, a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let q = lg.stem_of(c.find("q").unwrap());
+        let ones = vec![vec![Logic3::One]; 3];
+        let det = simulate_fault(&c, &lg, Fault::sa0(q), &ones).expect("detectable");
+        assert_eq!(det.cycle, 1); // first cycle output is X in good machine
+    }
+
+    #[test]
+    fn x_responses_do_not_count_as_detection() {
+        // The good machine's output is X forever (uninitializable toggle FF),
+        // so nothing is ever definitely detected.
+        let c = bench::parse("INPUT(en)\nOUTPUT(q)\nq = DFF(t)\nt = XOR(en, q)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let vectors = random_vectors(&c, 32, 9);
+        let summary = simulate_faults(&c, &lg, FaultList::full(&lg).as_slice(), &vectors);
+        assert_eq!(summary.num_detected(), 0);
+        assert_eq!(summary.coverage(), 0.0);
+    }
+
+    #[test]
+    fn coverage_accounting() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let faults = FaultList::full(&lg);
+        let vectors = random_vectors(&c, 8, 11);
+        let summary = simulate_faults(&c, &lg, faults.as_slice(), &vectors);
+        // Every fault on a buffer chain from PI to PO is detectable.
+        assert_eq!(summary.num_detected(), faults.len());
+        assert!((summary.coverage() - 1.0).abs() < 1e-12);
+    }
+}

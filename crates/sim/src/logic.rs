@@ -1,0 +1,158 @@
+//! The 3-valued logic domain.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A 3-valued logic value: 0, 1 or unknown (X).
+///
+/// X models both the unknown power-up state of flip-flops and don't-care
+/// inputs. Operations follow the standard pessimistic (Kleene) tables:
+/// `0 AND X = 0`, `1 AND X = X`, `NOT X = X`, `X XOR v = X`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Logic3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl Logic3 {
+    /// True if the value is 0 or 1.
+    pub fn is_binary(self) -> bool {
+        self != Logic3::X
+    }
+
+    /// Converts to `bool`, if binary.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic3::Zero => Some(false),
+            Logic3::One => Some(true),
+            Logic3::X => None,
+        }
+    }
+
+    /// Kleene conjunction.
+    pub fn and(self, other: Logic3) -> Logic3 {
+        match (self, other) {
+            (Logic3::Zero, _) | (_, Logic3::Zero) => Logic3::Zero,
+            (Logic3::One, Logic3::One) => Logic3::One,
+            _ => Logic3::X,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: Logic3) -> Logic3 {
+        match (self, other) {
+            (Logic3::One, _) | (_, Logic3::One) => Logic3::One,
+            (Logic3::Zero, Logic3::Zero) => Logic3::Zero,
+            _ => Logic3::X,
+        }
+    }
+
+    /// Kleene exclusive-or.
+    pub fn xor(self, other: Logic3) -> Logic3 {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Logic3::from(a ^ b),
+            _ => Logic3::X,
+        }
+    }
+
+    /// Returns `true` when the two values are *definitely different*:
+    /// both binary and unequal. This is the conservative sequential
+    /// detection criterion.
+    pub fn definitely_differs(self, other: Logic3) -> bool {
+        matches!(
+            (self, other),
+            (Logic3::Zero, Logic3::One) | (Logic3::One, Logic3::Zero)
+        )
+    }
+}
+
+impl Not for Logic3 {
+    type Output = Logic3;
+    fn not(self) -> Logic3 {
+        match self {
+            Logic3::Zero => Logic3::One,
+            Logic3::One => Logic3::Zero,
+            Logic3::X => Logic3::X,
+        }
+    }
+}
+
+impl From<bool> for Logic3 {
+    fn from(v: bool) -> Logic3 {
+        if v {
+            Logic3::One
+        } else {
+            Logic3::Zero
+        }
+    }
+}
+
+impl fmt::Display for Logic3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Logic3::Zero => f.write_str("0"),
+            Logic3::One => f.write_str("1"),
+            Logic3::X => f.write_str("X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Logic3::{One, X, Zero};
+    use super::*;
+
+    #[test]
+    fn kleene_and_tables() {
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(Zero), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.and(One), One);
+        assert_eq!(X.and(X), X);
+    }
+
+    #[test]
+    fn kleene_or_tables() {
+        assert_eq!(One.or(X), One);
+        assert_eq!(X.or(One), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(Zero.or(Zero), Zero);
+    }
+
+    #[test]
+    fn xor_is_pessimistic() {
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(X.xor(X), X);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(!Zero, One);
+        assert_eq!(!One, Zero);
+        assert_eq!(!X, X);
+    }
+
+    #[test]
+    fn definite_difference() {
+        assert!(Zero.definitely_differs(One));
+        assert!(!Zero.definitely_differs(X));
+        assert!(!X.definitely_differs(X));
+        assert!(!One.definitely_differs(One));
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(Logic3::from(true), One);
+        assert_eq!(One.to_bool(), Some(true));
+        assert_eq!(X.to_bool(), None);
+        assert_eq!(format!("{Zero}{One}{X}"), "01X");
+        assert_eq!(Logic3::default(), X);
+    }
+}

@@ -1,0 +1,347 @@
+//! Bit-parallel fault simulation (parallel single-fault, PSF).
+//!
+//! Each bit position of a 64-bit word carries one machine: bit 0 is the
+//! fault-free circuit, bits 1–63 are up to 63 faulty machines, all
+//! simulated simultaneously with word-wide gate operations. Three-valued
+//! logic uses the classic two-word encoding: `(ones, zeros)` bit masks
+//! with X = neither bit set.
+//!
+//! The results are bit-exact with the serial simulator
+//! ([`simulate_faults`](crate::simulate_faults)); differential property
+//! tests enforce that.
+
+use std::collections::HashMap;
+
+use fires_netlist::{Circuit, Fault, GateKind, LineGraph, LineId, NodeId};
+
+use crate::{Detection, FaultSimSummary, Logic3, VectorSet};
+
+/// A 64-lane 3-valued word: lane k is 1 if bit k of `ones` is set, 0 if
+/// bit k of `zeros` is set, X otherwise. `ones & zeros == 0` always.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct W3 {
+    ones: u64,
+    zeros: u64,
+}
+
+impl W3 {
+    const X: W3 = W3 { ones: 0, zeros: 0 };
+
+    fn splat(v: Logic3) -> W3 {
+        match v {
+            Logic3::One => W3 {
+                ones: u64::MAX,
+                zeros: 0,
+            },
+            Logic3::Zero => W3 {
+                ones: 0,
+                zeros: u64::MAX,
+            },
+            Logic3::X => W3::X,
+        }
+    }
+
+    fn and(self, o: W3) -> W3 {
+        W3 {
+            ones: self.ones & o.ones,
+            zeros: self.zeros | o.zeros,
+        }
+    }
+
+    fn or(self, o: W3) -> W3 {
+        W3 {
+            ones: self.ones | o.ones,
+            zeros: self.zeros & o.zeros,
+        }
+    }
+
+    fn xor(self, o: W3) -> W3 {
+        W3 {
+            ones: (self.ones & o.zeros) | (self.zeros & o.ones),
+            zeros: (self.ones & o.ones) | (self.zeros & o.zeros),
+        }
+    }
+
+    fn not(self) -> W3 {
+        W3 {
+            ones: self.zeros,
+            zeros: self.ones,
+        }
+    }
+
+    /// Forces lanes of `mask1` to 1 and lanes of `mask0` to 0.
+    fn force(self, mask1: u64, mask0: u64) -> W3 {
+        W3 {
+            ones: (self.ones & !mask0) | mask1,
+            zeros: (self.zeros & !mask1) | mask0,
+        }
+    }
+}
+
+/// Per-line forcing masks derived from the fault batch.
+#[derive(Clone, Debug, Default)]
+struct ForceMap {
+    map: HashMap<LineId, (u64, u64)>,
+}
+
+impl ForceMap {
+    fn build(faults: &[Fault]) -> Self {
+        let mut map: HashMap<LineId, (u64, u64)> = HashMap::new();
+        for (k, f) in faults.iter().enumerate() {
+            let lane = 1u64 << (k + 1); // lane 0 is the good machine
+            let e = map.entry(f.line).or_default();
+            if f.stuck.as_bool() {
+                e.0 |= lane;
+            } else {
+                e.1 |= lane;
+            }
+        }
+        ForceMap { map }
+    }
+
+    fn apply(&self, line: LineId, w: W3) -> W3 {
+        match self.map.get(&line) {
+            Some(&(m1, m0)) => w.force(m1, m0),
+            None => w,
+        }
+    }
+}
+
+/// Simulates up to 63 faults in one pass over the vector sequence,
+/// starting every machine from the all-X power-up state. Batches larger
+/// fault lists internally.
+///
+/// Detection semantics match the serial simulator exactly: the good
+/// response must be binary and the faulty response the opposite binary
+/// value (conservative Definition-1 detection).
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{bench, FaultList, LineGraph};
+/// use fires_sim::{parallel_simulate_faults, random_vectors};
+///
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let lines = LineGraph::build(&c);
+/// let faults = FaultList::full(&lines);
+/// let vectors = random_vectors(&c, 8, 1);
+/// let summary = parallel_simulate_faults(&c, &lines, faults.as_slice(), &vectors);
+/// assert_eq!(summary.num_detected(), faults.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parallel_simulate_faults(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    faults: &[Fault],
+    vectors: &VectorSet,
+) -> FaultSimSummary {
+    let mut detections = vec![None; faults.len()];
+    for (batch_idx, batch) in faults.chunks(63).enumerate() {
+        let batch_dets = simulate_batch(circuit, lines, batch, vectors);
+        for (i, d) in batch_dets.into_iter().enumerate() {
+            detections[batch_idx * 63 + i] = d;
+        }
+    }
+    FaultSimSummary { detections }
+}
+
+fn simulate_batch(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    batch: &[Fault],
+    vectors: &VectorSet,
+) -> Vec<Option<Detection>> {
+    debug_assert!(batch.len() <= 63);
+    let forces = ForceMap::build(batch);
+    let mut values: Vec<W3> = vec![W3::X; circuit.num_nodes()];
+    let mut state: Vec<W3> = vec![W3::X; circuit.num_dffs()];
+    let mut detections: Vec<Option<Detection>> = vec![None; batch.len()];
+
+    let pin_value = |values: &[W3], node: NodeId, pin: usize| -> W3 {
+        let src = circuit.node(node).fanin()[pin];
+        forces.apply(lines.in_line(node, pin), values[src.index()])
+    };
+
+    for (cycle, vector) in vectors.iter().enumerate() {
+        assert_eq!(vector.len(), circuit.num_inputs(), "input width mismatch");
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            values[pi.index()] = W3::splat(vector[i]);
+        }
+        for (i, &ff) in circuit.dffs().iter().enumerate() {
+            values[ff.index()] = state[i];
+        }
+        for &id in circuit.topo_order() {
+            let kind = circuit.node(id).kind();
+            let w = match kind {
+                GateKind::Input | GateKind::Dff => values[id.index()],
+                GateKind::Const0 => W3::splat(Logic3::Zero),
+                GateKind::Const1 => W3::splat(Logic3::One),
+                GateKind::Not | GateKind::Buf => {
+                    let v = pin_value(&values, id, 0);
+                    if kind == GateKind::Not {
+                        v.not()
+                    } else {
+                        v
+                    }
+                }
+                _ => {
+                    let n = circuit.node(id).fanin().len();
+                    let mut acc = match kind {
+                        GateKind::And | GateKind::Nand => W3::splat(Logic3::One),
+                        _ => W3::splat(Logic3::Zero),
+                    };
+                    for pin in 0..n {
+                        let v = pin_value(&values, id, pin);
+                        acc = match kind {
+                            GateKind::And | GateKind::Nand => acc.and(v),
+                            GateKind::Or | GateKind::Nor => acc.or(v),
+                            GateKind::Xor | GateKind::Xnor => acc.xor(v),
+                            _ => unreachable!("single-input handled above"),
+                        };
+                    }
+                    if kind.is_inverting() {
+                        acc.not()
+                    } else {
+                        acc
+                    }
+                }
+            };
+            // Stem forcing applies to the node's own output net.
+            values[id.index()] = forces.apply(lines.stem_of(id), w);
+        }
+        // Observe.
+        for (out_idx, &po) in circuit.outputs().iter().enumerate() {
+            let w = values[po.index()];
+            let good_binary = (w.ones | w.zeros) & 1 != 0;
+            if !good_binary {
+                continue;
+            }
+            let opposite = if w.ones & 1 != 0 { w.zeros } else { w.ones };
+            let mut hits = opposite & !1;
+            while hits != 0 {
+                let lane = hits.trailing_zeros() as usize;
+                hits &= hits - 1;
+                let det = &mut detections[lane - 1];
+                if det.is_none() {
+                    *det = Some(Detection {
+                        cycle,
+                        output: out_idx,
+                    });
+                }
+            }
+        }
+        // Clock.
+        let mut next = Vec::with_capacity(state.len());
+        for &ff in circuit.dffs() {
+            next.push(pin_value(&values, ff, 0));
+        }
+        state.copy_from_slice(&next);
+    }
+    detections
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::{bench, FaultList};
+
+    use super::*;
+    use crate::{random_vectors, simulate_faults};
+
+    fn differential(src: &str, cycles: usize, seed: u64) {
+        let c = bench::parse(src).unwrap();
+        let lg = LineGraph::build(&c);
+        let faults = FaultList::full(&lg);
+        let vectors = random_vectors(&c, cycles, seed);
+        let serial = simulate_faults(&c, &lg, faults.as_slice(), &vectors);
+        let parallel = parallel_simulate_faults(&c, &lg, faults.as_slice(), &vectors);
+        assert_eq!(serial.detections, parallel.detections);
+    }
+
+    #[test]
+    fn matches_serial_on_combinational() {
+        differential("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n", 16, 1);
+    }
+
+    #[test]
+    fn matches_serial_on_sequential_with_fanout() {
+        differential(
+            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\nq = DFF(s)\ns = BUFF(a)\n\
+             y = AND(s, q)\nz = NOT(s)\n",
+            48,
+            7,
+        );
+    }
+
+    #[test]
+    fn matches_serial_on_s27() {
+        let c = fires_circuits_s27();
+        let lg = LineGraph::build(&c);
+        let faults = FaultList::full(&lg);
+        let vectors = random_vectors(&c, 64, 11);
+        let serial = simulate_faults(&c, &lg, faults.as_slice(), &vectors);
+        let parallel = parallel_simulate_faults(&c, &lg, faults.as_slice(), &vectors);
+        assert_eq!(serial.detections, parallel.detections);
+    }
+
+    #[test]
+    fn matches_serial_across_batches() {
+        // A wide circuit with > 63 faults exercises the batching path.
+        let mut src = String::from("INPUT(a)\nINPUT(b)\n");
+        for i in 0..40 {
+            src.push_str(&format!(
+                "g{i} = {}(a, b)\nOUTPUT(g{i})\n",
+                ["AND", "OR", "XOR", "NAND"][i % 4]
+            ));
+        }
+        let c = bench::parse(&src).unwrap();
+        let lg = LineGraph::build(&c);
+        let faults = FaultList::full(&lg);
+        assert!(faults.len() > 63, "want multiple batches, got {}", faults.len());
+        let vectors = random_vectors(&c, 8, 2);
+        let serial = simulate_faults(&c, &lg, faults.as_slice(), &vectors);
+        let parallel = parallel_simulate_faults(&c, &lg, faults.as_slice(), &vectors);
+        assert_eq!(serial.detections, parallel.detections);
+    }
+
+    /// Local copy of the s27 netlist to avoid a circular dev-dependency on
+    /// fires-circuits.
+    fn fires_circuits_s27() -> fires_netlist::Circuit {
+        bench::parse(
+            "INPUT(G0)\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\nOUTPUT(G17)\n\
+             G5 = DFF(G10)\nG6 = DFF(G11)\nG7 = DFF(G13)\nG14 = NOT(G0)\n\
+             G17 = NOT(G11)\nG8 = AND(G14, G6)\nG15 = OR(G12, G8)\n\
+             G16 = OR(G3, G8)\nG9 = NAND(G16, G15)\nG10 = NOR(G14, G11)\n\
+             G11 = NOR(G5, G9)\nG12 = NOR(G1, G7)\nG13 = NOR(G2, G12)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn w3_algebra() {
+        let one = W3::splat(Logic3::One);
+        let zero = W3::splat(Logic3::Zero);
+        let x = W3::X;
+        assert_eq!(one.and(x), x);
+        assert_eq!(zero.and(x), zero);
+        assert_eq!(one.or(x), one);
+        assert_eq!(zero.or(x), x);
+        assert_eq!(one.xor(one), zero);
+        assert_eq!(one.xor(x), x);
+        assert_eq!(x.not(), x);
+        assert_eq!(one.not(), zero);
+        // Invariant: ones and zeros never overlap.
+        let f = one.force(0b10, 0b01);
+        assert_eq!(f.ones & f.zeros, 0);
+    }
+
+    #[test]
+    fn force_masks_target_single_lanes() {
+        let w = W3::splat(Logic3::Zero);
+        let forced = w.force(0b100, 0);
+        assert_eq!(forced.ones, 0b100);
+        assert_eq!(forced.zeros & 0b100, 0);
+        assert_eq!(forced.zeros | 0b100, u64::MAX);
+    }
+}

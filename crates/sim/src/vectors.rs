@@ -1,0 +1,68 @@
+//! Input vector workloads.
+
+use fires_netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Logic3;
+
+/// A sequence of binary input vectors.
+pub type VectorSet = Vec<Vec<Logic3>>;
+
+/// Generates `len` uniformly random binary vectors for `circuit`'s inputs,
+/// deterministically from `seed`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// let c = fires_netlist::bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n")?;
+/// let vs = fires_sim::random_vectors(&c, 8, 42);
+/// assert_eq!(vs.len(), 8);
+/// assert_eq!(vs[0].len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_vectors(circuit: &Circuit, len: usize, seed: u64) -> VectorSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            (0..circuit.num_inputs())
+                .map(|_| Logic3::from(rng.random::<bool>()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Enumerates all `2^n` binary vectors over `n` inputs, in counting order.
+///
+/// # Panics
+///
+/// Panics if `n > 20` (the enumeration would not fit in memory).
+pub fn all_binary_vectors(n: usize) -> VectorSet {
+    assert!(n <= 20, "exhaustive enumeration limited to 20 inputs");
+    (0..1usize << n)
+        .map(|bits| (0..n).map(|i| Logic3::from(bits >> i & 1 == 1)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_vectors_are_deterministic() {
+        let c = fires_netlist::bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        assert_eq!(random_vectors(&c, 16, 7), random_vectors(&c, 16, 7));
+        assert_ne!(random_vectors(&c, 16, 7), random_vectors(&c, 16, 8));
+    }
+
+    #[test]
+    fn exhaustive_enumeration() {
+        let vs = all_binary_vectors(2);
+        assert_eq!(vs.len(), 4);
+        assert_eq!(vs[0], vec![Logic3::Zero, Logic3::Zero]);
+        assert_eq!(vs[3], vec![Logic3::One, Logic3::One]);
+        assert_eq!(all_binary_vectors(0).len(), 1);
+    }
+}

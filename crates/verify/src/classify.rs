@@ -1,0 +1,269 @@
+//! Exact fault classification per Definitions 1–5 of the paper.
+
+use fires_netlist::{Circuit, Fault, LineGraph};
+
+use crate::distinguish::{can_detect, can_distinguish};
+use crate::machine::BinMachine;
+use crate::reach::shrink_to_fixpoint;
+use crate::VerifyError;
+
+/// Size and effort limits for the exact analyses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum flip-flop count for the alive-set games.
+    pub max_ffs: usize,
+    /// Maximum primary-input count (each game branches `2^PI` ways).
+    pub max_inputs: usize,
+    /// Super-state expansion budget per game.
+    pub budget: usize,
+    /// Maximum flip-flop count for the (much bigger) Definition-1
+    /// detectability game; beyond it `detectable` is reported as `None`.
+    pub detect_max_ffs: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_ffs: 10,
+            max_inputs: 8,
+            budget: 500_000,
+            detect_max_ffs: 4,
+        }
+    }
+}
+
+/// The exact classification of one fault (see paper Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultClass {
+    /// Definition 1: one sequence works for every pair of initial states.
+    /// `None` when the pair game exceeded [`Limits::detect_max_ffs`].
+    pub detectable: Option<bool>,
+    /// Definition 3: some faulty initial state admits a differentiating
+    /// sequence.
+    pub partially_testable: bool,
+    /// Partially testable from *every* faulty initial state.
+    pub testable: bool,
+    /// Definition 4: not partially testable.
+    pub redundant: bool,
+    /// Definition 5: the smallest `c` such that the fault is `c`-cycle
+    /// redundant, or `None` if it is not `c`-cycle redundant for any `c`
+    /// (the `{S_c}` fixpoint still contains a distinguishable state).
+    pub c_cycle: Option<u32>,
+}
+
+impl FaultClass {
+    /// Definition 2.
+    pub fn untestable(&self) -> bool {
+        self.detectable == Some(false)
+    }
+}
+
+/// Exactly classifies `fault` by exhaustive state-space analysis.
+///
+/// # Errors
+///
+/// [`VerifyError::TooLarge`] when the circuit exceeds `limits`, or
+/// [`VerifyError::BudgetExhausted`] when a game exceeds the node budget.
+///
+/// # Example
+///
+/// Example 1/2 of the paper: the Figure-3 fault is partially testable
+/// (hence *not* redundant under Definition 4) yet 1-cycle redundant.
+///
+/// ```
+/// use fires_netlist::{bench, Fault, LineGraph};
+/// use fires_verify::{classify, Limits};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Figure 3: stem `c` splits into branch c1 (into gate d) and the
+/// // observed c2 (primary output).
+/// let src = "\
+/// INPUT(a)
+/// OUTPUT(d)
+/// OUTPUT(c)
+/// b = DFF(a)
+/// c = DFF(a)
+/// d = AND(b, c)
+/// ";
+/// let circuit = bench::parse(src)?;
+/// let lines = LineGraph::build(&circuit);
+/// let c_stem = lines.stem_of(circuit.find("c").unwrap());
+/// let c1 = lines.line(c_stem).branches()[0]; // the branch into gate d
+/// let class = classify(&circuit, &lines, Fault::sa1(c1), &Limits::default())?;
+/// assert!(class.partially_testable);
+/// assert!(!class.redundant);
+/// assert_eq!(class.c_cycle, Some(1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn classify(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    fault: Fault,
+    limits: &Limits,
+) -> Result<FaultClass, VerifyError> {
+    check_size(circuit, limits)?;
+    let good = BinMachine::good(circuit, lines);
+    let faulty = BinMachine::faulty(circuit, lines, fault);
+    let all_good: Vec<u64> = (0..good.num_states() as u64).collect();
+
+    // Definition 3 quantifies over faulty initial states.
+    let mut distinguishable = vec![false; faulty.num_states()];
+    for sf in 0..faulty.num_states() as u64 {
+        distinguishable[sf as usize] =
+            can_distinguish(&faulty, sf, &good, &all_good, limits.budget)?;
+    }
+    let partially_testable = distinguishable.iter().any(|&d| d);
+    let testable = distinguishable.iter().all(|&d| d);
+
+    let detectable = if circuit.num_dffs() <= limits.detect_max_ffs {
+        Some(can_detect(&good, &faulty, limits.budget)?)
+    } else {
+        None
+    };
+
+    // Definition 5: walk the shrinking {S_c} chain of the *faulty* machine.
+    let chain = shrink_to_fixpoint(&faulty);
+    let mut c_cycle = None;
+    for (c, set) in chain.iter().enumerate() {
+        if set.iter().all(|&s| !distinguishable[s as usize]) {
+            c_cycle = Some(c as u32);
+            break;
+        }
+    }
+
+    Ok(FaultClass {
+        detectable,
+        partially_testable,
+        testable,
+        redundant: !partially_testable,
+        c_cycle,
+    })
+}
+
+fn check_size(circuit: &Circuit, limits: &Limits) -> Result<(), VerifyError> {
+    if circuit.num_dffs() > limits.max_ffs {
+        return Err(VerifyError::TooLarge {
+            what: "flip-flops",
+            got: circuit.num_dffs(),
+            max: limits.max_ffs,
+        });
+    }
+    if circuit.num_inputs() > limits.max_inputs {
+        return Err(VerifyError::TooLarge {
+            what: "inputs",
+            got: circuit.num_inputs(),
+            max: limits.max_inputs,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::bench;
+
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    #[test]
+    fn testable_fault_is_fully_classified() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let z = lg.stem_of(c.find("z").unwrap());
+        let class = classify(&c, &lg, Fault::sa0(z), &limits()).unwrap();
+        assert!(class.partially_testable);
+        assert!(class.testable);
+        assert_eq!(class.detectable, Some(true));
+        assert!(!class.redundant);
+        assert_eq!(class.c_cycle, None);
+        assert!(!class.untestable());
+    }
+
+    #[test]
+    fn combinational_redundancy_is_zero_cycle() {
+        // z = OR(a, NOT(a)) is constant 1.
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = OR(a, n)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let z = lg.stem_of(c.find("z").unwrap());
+        let class = classify(&c, &lg, Fault::sa1(z), &limits()).unwrap();
+        assert!(class.redundant);
+        assert_eq!(class.detectable, Some(false));
+        assert_eq!(class.c_cycle, Some(0));
+    }
+
+    #[test]
+    fn figure3_fault_matches_examples_1_and_2() {
+        // Paper Figure 3: d = AND(b, c1); c2 (the stem `c`) is observed.
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let c_stem = lg.stem_of(c.find("c").unwrap());
+        let c1 = lg.line(c_stem).branches()[0];
+        let class = classify(&c, &lg, Fault::sa1(c1), &limits()).unwrap();
+        // Example 1: untestable but partially testable (so irredundant).
+        assert_eq!(class.detectable, Some(false));
+        assert!(class.partially_testable);
+        assert!(!class.testable);
+        assert!(!class.redundant);
+        // Example 2: 1-cycle redundant.
+        assert_eq!(class.c_cycle, Some(1));
+    }
+
+    #[test]
+    fn figure3_without_c2_observation_is_def4_redundant() {
+        // Dropping the c2 output removes the only way to tell the faulty
+        // machine apart: the fault becomes redundant even under Def. 4.
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let d = c.find("d").unwrap();
+        let c1 = lg.in_line(d, 1);
+        let class = classify(&c, &lg, Fault::sa1(c1), &limits()).unwrap();
+        assert!(class.redundant);
+        assert_eq!(class.c_cycle, Some(0));
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        let mut src = String::from("INPUT(a)\nOUTPUT(z)\n");
+        let mut prev = "a".to_string();
+        for i in 0..12 {
+            src.push_str(&format!("q{i} = DFF({prev})\n"));
+            prev = format!("q{i}");
+        }
+        src.push_str(&format!("z = BUFF({prev})\n"));
+        let c = bench::parse(&src).unwrap();
+        let lg = LineGraph::build(&c);
+        let z = lg.stem_of(c.find("z").unwrap());
+        let tiny = Limits {
+            max_ffs: 4,
+            ..limits()
+        };
+        assert!(matches!(
+            classify(&c, &lg, Fault::sa0(z), &tiny),
+            Err(VerifyError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn detectable_skipped_above_pair_limit() {
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nq3 = DFF(q2)\n\
+             q4 = DFF(q3)\nq5 = DFF(q4)\nz = BUFF(q5)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let z = lg.stem_of(c.find("z").unwrap());
+        let class = classify(&c, &lg, Fault::sa0(z), &limits()).unwrap();
+        assert_eq!(class.detectable, None); // 5 FFs > detect_max_ffs = 4
+        assert!(class.partially_testable);
+    }
+}

@@ -1,0 +1,281 @@
+//! The differentiating-sequence game behind partial testability
+//! (Definition 3) and c-cycle replacement checking.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::machine::BinMachine;
+use crate::reach::{empty_set, insert, is_empty, iter_states, StateSet};
+use crate::VerifyError;
+
+/// Decides whether an input sequence exists that distinguishes the
+/// *reference* machine started in `ref_start` from the *opponent* machine
+/// started in **every** state of `opp_alive`: for each opponent start
+/// state, the output response must differ from the reference response at
+/// some cycle.
+///
+/// With reference = faulty machine and opponent = fault-free machine over
+/// all `2^FF` states, this is exactly "the fault is partially testable from
+/// initial faulty state `ref_start`" (Definition 3). The two machines may
+/// also be entirely different circuits as long as their input and output
+/// widths agree (used for replacement checking).
+///
+/// The search is a BFS over super-states `(reference state, set of
+/// still-undistinguished opponent states)`; the alive set only ever
+/// shrinks along a path, and a path wins when it empties.
+///
+/// # Errors
+///
+/// [`VerifyError::BudgetExhausted`] if more than `budget` super-states are
+/// expanded, [`VerifyError::TooLarge`] if the machines' input widths
+/// disagree with each other.
+pub fn can_distinguish(
+    reference: &BinMachine<'_>,
+    ref_start: u64,
+    opponent: &BinMachine<'_>,
+    opp_alive: &[u64],
+    budget: usize,
+) -> Result<bool, VerifyError> {
+    distinguishing_sequence(reference, ref_start, opponent, opp_alive, budget)
+        .map(|w| w.is_some())
+}
+
+/// Like [`can_distinguish`], but returns the shortest witness input
+/// sequence itself: applying it to the reference machine from `ref_start`
+/// produces a response that every opponent start state contradicts at
+/// some cycle.
+///
+/// # Errors
+///
+/// Same as [`can_distinguish`].
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{bench, Fault, LineGraph};
+/// use fires_verify::{distinguishing_sequence, BinMachine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n")?;
+/// let lg = LineGraph::build(&c);
+/// let good = BinMachine::good(&c, &lg);
+/// let z = lg.stem_of(c.find("z").unwrap());
+/// let faulty = BinMachine::faulty(&c, &lg, Fault::sa1(z));
+/// let w = distinguishing_sequence(&faulty, 0, &good, &[0], 1_000)?.unwrap();
+/// assert_eq!(w, vec![0]); // a = 0: faulty z = 1, good z = 0
+/// # Ok(())
+/// # }
+/// ```
+pub fn distinguishing_sequence(
+    reference: &BinMachine<'_>,
+    ref_start: u64,
+    opponent: &BinMachine<'_>,
+    opp_alive: &[u64],
+    budget: usize,
+) -> Result<Option<Vec<u64>>, VerifyError> {
+    if reference.num_input_bits() != opponent.num_input_bits()
+        || reference.num_output_bits() != opponent.num_output_bits()
+    {
+        return Err(VerifyError::TooLarge {
+            what: "mismatched machine interfaces",
+            got: opponent.num_input_bits(),
+            max: reference.num_input_bits(),
+        });
+    }
+    let n_opp = opponent.num_states();
+    let mut alive0: StateSet = empty_set(n_opp);
+    for &s in opp_alive {
+        insert(&mut alive0, s);
+    }
+    if is_empty(&alive0) {
+        return Ok(Some(Vec::new()));
+    }
+
+    type Node = (u64, StateSet);
+    let mut parent: HashMap<Node, (Node, u64)> = HashMap::new();
+    let root: Node = (ref_start, alive0);
+    let mut visited: HashSet<Node> = HashSet::new();
+    let mut queue: VecDeque<Node> = VecDeque::new();
+    visited.insert(root.clone());
+    queue.push_back(root.clone());
+    let mut explored = 0usize;
+
+    let rebuild = |parent: &HashMap<Node, (Node, u64)>, mut cur: Node, last: u64| {
+        let mut path = vec![last];
+        while let Some((prev, v)) = parent.get(&cur) {
+            path.push(*v);
+            cur = prev.clone();
+        }
+        path.reverse();
+        path
+    };
+
+    while let Some((r, alive)) = queue.pop_front() {
+        explored += 1;
+        if explored > budget {
+            return Err(VerifyError::BudgetExhausted { explored });
+        }
+        for v in 0..reference.num_input_vectors() as u64 {
+            let (r_next, r_out) = reference.step(r, v);
+            let mut alive_next = empty_set(n_opp);
+            for s in iter_states(&alive) {
+                let (s_next, s_out) = opponent.step(s, v);
+                if s_out == r_out {
+                    insert(&mut alive_next, s_next);
+                }
+            }
+            if is_empty(&alive_next) {
+                return Ok(Some(rebuild(&parent, (r, alive.clone()), v)));
+            }
+            let node = (r_next, alive_next);
+            if visited.insert(node.clone()) {
+                parent.insert(node.clone(), ((r, alive.clone()), v));
+                queue.push_back(node);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The Definition-1 detectability game: a *single* input sequence must
+/// produce a difference for **every pair** of initial states `(S, S^f)`.
+///
+/// Super-states are sets of still-undistinguished pairs; pair indices are
+/// `good_state * num_faulty_states + faulty_state`.
+pub(crate) fn can_detect(
+    good: &BinMachine<'_>,
+    faulty: &BinMachine<'_>,
+    budget: usize,
+) -> Result<bool, VerifyError> {
+    let ng = good.num_states();
+    let nf = faulty.num_states();
+    let n_pairs = ng * nf;
+    let mut alive0 = empty_set(n_pairs);
+    for p in 0..n_pairs as u64 {
+        insert(&mut alive0, p);
+    }
+    let mut visited: HashSet<StateSet> = HashSet::new();
+    let mut queue: VecDeque<StateSet> = VecDeque::new();
+    visited.insert(alive0.clone());
+    queue.push_back(alive0);
+    let mut explored = 0usize;
+
+    while let Some(alive) = queue.pop_front() {
+        explored += 1;
+        if explored > budget {
+            return Err(VerifyError::BudgetExhausted { explored });
+        }
+        for v in 0..good.num_input_vectors() as u64 {
+            let mut alive_next = empty_set(n_pairs);
+            for p in iter_states(&alive) {
+                let (sg, sf) = (p / nf as u64, p % nf as u64);
+                let (g_next, g_out) = good.step(sg, v);
+                let (f_next, f_out) = faulty.step(sf, v);
+                if g_out == f_out {
+                    insert(&mut alive_next, g_next * nf as u64 + f_next);
+                }
+            }
+            if is_empty(&alive_next) {
+                return Ok(true);
+            }
+            if visited.insert(alive_next.clone()) {
+                queue.push_back(alive_next);
+            }
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::{bench, Fault, LineGraph};
+
+    use super::*;
+
+    #[test]
+    fn stuck_output_is_distinguished() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let good = BinMachine::good(&c, &lg);
+        let z = lg.stem_of(c.find("z").unwrap());
+        let faulty = BinMachine::faulty(&c, &lg, Fault::sa1(z));
+        // Reference = faulty machine; opponent = good machine in all states.
+        assert_eq!(
+            can_distinguish(&faulty, 0, &good, &[0], 1_000),
+            Ok(true)
+        );
+        assert_eq!(can_detect(&good, &faulty, 1_000), Ok(true));
+    }
+
+    #[test]
+    fn witness_replays_against_every_opponent_state() {
+        // Figure 3's branch fault: the witness must beat all 4 good starts.
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let c_stem = lg.stem_of(c.find("c").unwrap());
+        let c1 = lg.line(c_stem).branches()[0];
+        let good = BinMachine::good(&c, &lg);
+        let faulty = BinMachine::faulty(&c, &lg, Fault::sa1(c1));
+        // The distinguishing faulty power-up state is {b, c} = {1, 0}.
+        let all: Vec<u64> = (0..4).collect();
+        let sf0 = (0..4u64)
+            .find(|&sf| {
+                distinguishing_sequence(&faulty, sf, &good, &all, 100_000)
+                    .unwrap()
+                    .is_some()
+            })
+            .expect("Example 1: some faulty start distinguishes");
+        let w = distinguishing_sequence(&faulty, sf0, &good, &all, 100_000)
+            .unwrap()
+            .unwrap();
+        // Replay: every good start must differ from the faulty run at some
+        // cycle.
+        for s0 in 0..4u64 {
+            let mut sf = sf0;
+            let mut sg = s0;
+            let mut differed = false;
+            for &v in &w {
+                let (nf, of) = faulty.step(sf, v);
+                let (ng, og) = good.step(sg, v);
+                differed |= of != og;
+                sf = nf;
+                sg = ng;
+            }
+            assert!(differed, "good start {s0} matched the witness");
+        }
+    }
+
+    #[test]
+    fn identical_machines_are_indistinguishable() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let m = BinMachine::good(&c, &lg);
+        // Opponent set contains the same start state: never distinguishable.
+        assert_eq!(can_distinguish(&m, 1, &m, &[0, 1], 1_000), Ok(false));
+    }
+
+    #[test]
+    fn empty_opponent_set_is_trivially_distinguished() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let m = BinMachine::good(&c, &lg);
+        assert_eq!(can_distinguish(&m, 0, &m, &[], 10), Ok(true));
+    }
+
+    #[test]
+    fn budget_is_honoured() {
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nq3 = DFF(q2)\nz = BUFF(q3)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let m = BinMachine::good(&c, &lg);
+        let all: Vec<u64> = (0..8).collect();
+        match can_distinguish(&m, 0, &m, &all, 1) {
+            Err(VerifyError::BudgetExhausted { .. }) | Ok(false) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

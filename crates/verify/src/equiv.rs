@@ -1,0 +1,142 @@
+//! c-cycle delayed replacement checking (paper Section 4 and reference
+//! \[21\]): validates redundancy removal.
+
+use fires_netlist::{Circuit, LineGraph};
+
+use crate::classify::Limits;
+use crate::distinguish::can_distinguish;
+use crate::machine::BinMachine;
+use crate::reach::reachable_after;
+use crate::VerifyError;
+
+/// Checks that `replacement` is a *c-cycle delayed replacement* of
+/// `original`: after clocking the replacement `c` times with arbitrary
+/// inputs, no input sequence can distinguish it from every power-up state
+/// of the original.
+///
+/// This is exactly the property that justifies removing a `c`-cycle
+/// redundant fault (Definition 5): the simplified circuit may be used in
+/// place of the original provided `c` arbitrary vectors are applied before
+/// the usual initialization sequence.
+///
+/// # Errors
+///
+/// [`VerifyError::TooLarge`] when either circuit exceeds the explicit-state
+/// limits or their interfaces disagree; [`VerifyError::BudgetExhausted`]
+/// when a game exceeds the node budget.
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::bench;
+/// use fires_verify::{is_c_cycle_replacement, Limits};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let original = bench::parse(
+///     "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+/// )?;
+/// // Removing the 1-cycle redundant branch c1 rewires d = BUFF(b).
+/// let simplified = bench::parse(
+///     "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = BUFF(b)\n",
+/// )?;
+/// assert!(!is_c_cycle_replacement(&original, &simplified, 0, &Limits::default())?);
+/// assert!(is_c_cycle_replacement(&original, &simplified, 1, &Limits::default())?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_c_cycle_replacement(
+    original: &Circuit,
+    replacement: &Circuit,
+    c: u32,
+    limits: &Limits,
+) -> Result<bool, VerifyError> {
+    for (circ, tag) in [(original, "original"), (replacement, "replacement")] {
+        if circ.num_dffs() > limits.max_ffs {
+            return Err(VerifyError::TooLarge {
+                what: if tag == "original" {
+                    "original flip-flops"
+                } else {
+                    "replacement flip-flops"
+                },
+                got: circ.num_dffs(),
+                max: limits.max_ffs,
+            });
+        }
+        if circ.num_inputs() > limits.max_inputs {
+            return Err(VerifyError::TooLarge {
+                what: "inputs",
+                got: circ.num_inputs(),
+                max: limits.max_inputs,
+            });
+        }
+    }
+    let lg_a = LineGraph::build(original);
+    let lg_b = LineGraph::build(replacement);
+    let a = BinMachine::good(original, &lg_a);
+    let b = BinMachine::good(replacement, &lg_b);
+    let all_a: Vec<u64> = (0..a.num_states() as u64).collect();
+    for s_b in reachable_after(&b, c) {
+        if can_distinguish(&b, s_b, &a, &all_a, limits.budget)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::bench;
+
+    use super::*;
+
+    #[test]
+    fn identical_circuits_are_zero_cycle_replacements() {
+        let a = bench::parse("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n").unwrap();
+        assert_eq!(
+            is_c_cycle_replacement(&a, &a, 0, &Limits::default()),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn functionally_different_circuit_is_rejected() {
+        let a = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let b = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        // Even at the state fixpoint, the inverter differs.
+        for c in 0..3 {
+            assert_eq!(
+                is_c_cycle_replacement(&a, &b, c, &Limits::default()),
+                Ok(false)
+            );
+        }
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let a = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let b = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n").unwrap();
+        assert!(is_c_cycle_replacement(&a, &b, 0, &Limits::default()).is_err());
+    }
+
+    #[test]
+    fn extra_cycles_never_hurt() {
+        let original = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
+        )
+        .unwrap();
+        let simplified = bench::parse(
+            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = BUFF(b)\n",
+        )
+        .unwrap();
+        let limits = Limits::default();
+        assert_eq!(
+            is_c_cycle_replacement(&original, &simplified, 1, &limits),
+            Ok(true)
+        );
+        // c' > c keeps the property (the {S_c} sets only shrink).
+        assert_eq!(
+            is_c_cycle_replacement(&original, &simplified, 3, &limits),
+            Ok(true)
+        );
+    }
+}

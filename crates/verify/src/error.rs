@@ -1,0 +1,56 @@
+//! Error type for the exact analyses.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an exact analysis could not run to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The circuit exceeds the explicit-state limits.
+    TooLarge {
+        /// What was too big ("flip-flops" or "inputs").
+        what: &'static str,
+        /// Observed count.
+        got: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// The search exceeded its node budget before reaching a verdict.
+    BudgetExhausted {
+        /// Number of super-states explored.
+        explored: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::TooLarge { what, got, max } => {
+                write!(f, "circuit has {got} {what}, exact analysis supports at most {max}")
+            }
+            VerifyError::BudgetExhausted { explored } => {
+                write!(f, "search budget exhausted after {explored} super-states")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = VerifyError::TooLarge {
+            what: "flip-flops",
+            got: 40,
+            max: 12,
+        };
+        assert!(e.to_string().contains("40 flip-flops"));
+        let e = VerifyError::BudgetExhausted { explored: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Exact, explicit-state fault classification for small sequential
+//! circuits, implementing Definitions 1–5 of the FIRES paper
+//! (Pomeranz/Reddy fault classes plus the paper's new *c-cycle redundancy*).
+//!
+//! This crate is the ground truth the rest of the workspace is checked
+//! against: FIRES' identified faults must be untestable (without
+//! validation) and c-cycle redundant (with validation), and redundancy
+//! removal must produce a c-cycle delayed replacement. All checks are
+//! exhaustive over the binary state space, so they are intentionally
+//! limited to circuits with a handful of flip-flops and inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use fires_netlist::{bench, Fault, LineGraph};
+//! use fires_verify::{classify, Limits};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // z = AND(a, NOT(a)) is constant 0: z s-a-0 is redundant.
+//! let c = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n")?;
+//! let lg = LineGraph::build(&c);
+//! let z = lg.stem_of(c.find("z").unwrap());
+//! let class = classify(&c, &lg, Fault::sa0(z), &Limits::default())?;
+//! assert!(class.redundant);
+//! assert_eq!(class.c_cycle, Some(0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod distinguish;
+mod equiv;
+mod error;
+mod machine;
+mod reach;
+mod sync;
+
+pub use classify::{classify, FaultClass, Limits};
+pub use distinguish::{can_distinguish, distinguishing_sequence};
+pub use equiv::is_c_cycle_replacement;
+pub use error::VerifyError;
+pub use machine::BinMachine;
+pub use reach::{reachable_after, shrink_to_fixpoint};
+pub use sync::{is_synchronizable, shortest_synchronizing_sequence};

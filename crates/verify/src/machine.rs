@@ -1,0 +1,191 @@
+//! Binary (two-valued) compiled machine semantics.
+
+use fires_netlist::{Circuit, Fault, GateKind, LineGraph, NodeId};
+
+/// A circuit (optionally with one injected stuck-at fault) compiled to a
+/// deterministic binary Mealy machine.
+///
+/// States pack the flip-flop values (bit `i` = `circuit.dffs()[i]`), input
+/// vectors pack the primary inputs, outputs pack the primary outputs, all
+/// least-significant-bit first.
+///
+/// Unlike the 3-valued simulator, this semantics has no X: it enumerates
+/// concrete power-up states, which is exactly what Definitions 1–5 of the
+/// paper quantify over.
+#[derive(Clone, Debug)]
+pub struct BinMachine<'c> {
+    circuit: &'c Circuit,
+    lines: &'c LineGraph,
+    fault: Option<Fault>,
+}
+
+impl<'c> BinMachine<'c> {
+    /// Wraps a fault-free circuit.
+    pub fn good(circuit: &'c Circuit, lines: &'c LineGraph) -> Self {
+        BinMachine {
+            circuit,
+            lines,
+            fault: None,
+        }
+    }
+
+    /// Wraps a circuit with `fault` permanently injected.
+    pub fn faulty(circuit: &'c Circuit, lines: &'c LineGraph, fault: Fault) -> Self {
+        BinMachine {
+            circuit,
+            lines,
+            fault: Some(fault),
+        }
+    }
+
+    /// Number of state bits (flip-flops).
+    pub fn num_state_bits(&self) -> usize {
+        self.circuit.num_dffs()
+    }
+
+    /// Number of input bits.
+    pub fn num_input_bits(&self) -> usize {
+        self.circuit.num_inputs()
+    }
+
+    /// Number of output bits.
+    pub fn num_output_bits(&self) -> usize {
+        self.circuit.num_outputs()
+    }
+
+    /// Number of distinct states (`2^FF`).
+    pub fn num_states(&self) -> usize {
+        1usize << self.num_state_bits()
+    }
+
+    /// Number of distinct input vectors (`2^PI`).
+    pub fn num_input_vectors(&self) -> usize {
+        1usize << self.num_input_bits()
+    }
+
+    /// One clock cycle: returns `(next_state, outputs)`.
+    pub fn step(&self, state: u64, input: u64) -> (u64, u64) {
+        let circuit = self.circuit;
+        let mut value = vec![false; circuit.num_nodes()];
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            value[pi.index()] = input >> i & 1 == 1;
+        }
+        for (i, &ff) in circuit.dffs().iter().enumerate() {
+            value[ff.index()] = state >> i & 1 == 1;
+        }
+        for &id in circuit.topo_order() {
+            let kind = circuit.node(id).kind();
+            let v = match kind {
+                GateKind::Input | GateKind::Dff => value[id.index()],
+                GateKind::Const0 => false,
+                GateKind::Const1 => true,
+                _ => self.eval_gate(id, &value),
+            };
+            value[id.index()] = match self.fault {
+                Some(f) if self.lines.stem_of(id) == f.line => f.stuck.as_bool(),
+                _ => v,
+            };
+        }
+        let mut outputs = 0u64;
+        for (i, &po) in circuit.outputs().iter().enumerate() {
+            outputs |= u64::from(value[po.index()]) << i;
+        }
+        let mut next = 0u64;
+        for (i, &ff) in circuit.dffs().iter().enumerate() {
+            next |= u64::from(self.pin_value(ff, 0, &value)) << i;
+        }
+        (next, outputs)
+    }
+
+    fn eval_gate(&self, id: NodeId, value: &[bool]) -> bool {
+        let node = self.circuit.node(id);
+        let kind = node.kind();
+        let mut acc = matches!(kind, GateKind::And | GateKind::Nand);
+        for pin in 0..node.fanin().len() {
+            let v = self.pin_value(id, pin, value);
+            acc = match kind {
+                GateKind::And | GateKind::Nand => acc & v,
+                GateKind::Or | GateKind::Nor => acc | v,
+                GateKind::Xor | GateKind::Xnor => acc ^ v,
+                GateKind::Not | GateKind::Buf => v,
+                _ => unreachable!("sources handled by caller"),
+            };
+        }
+        acc ^ kind.is_inverting()
+    }
+
+    fn pin_value(&self, node: NodeId, pin: usize, value: &[bool]) -> bool {
+        let src = self.circuit.node(node).fanin()[pin];
+        match self.fault {
+            Some(f) if self.lines.in_line(node, pin) == f.line => f.stuck.as_bool(),
+            _ => value[src.index()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::bench;
+
+    use super::*;
+
+    #[test]
+    fn good_machine_toggles() {
+        let c = bench::parse("INPUT(en)\nOUTPUT(q)\nq = DFF(t)\nt = XOR(en, q)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let m = BinMachine::good(&c, &lg);
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.num_input_vectors(), 2);
+        // state 0, en=1 -> toggles to 1, output is current q = 0.
+        assert_eq!(m.step(0, 1), (1, 0));
+        assert_eq!(m.step(1, 1), (0, 1));
+        assert_eq!(m.step(1, 0), (1, 1));
+    }
+
+    #[test]
+    fn faulty_machine_pins_the_line() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let z = lg.stem_of(c.find("z").unwrap());
+        let m = BinMachine::faulty(&c, &lg, Fault::sa1(z));
+        assert_eq!(m.step(0, 0).1, 1);
+        assert_eq!(m.step(0, 1).1, 1);
+    }
+
+    #[test]
+    fn branch_fault_affects_only_its_pin() {
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUFF(s)\nz = NOT(s)\ns = BUFF(a)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let s = c.find("s").unwrap();
+        let y = c.find("y").unwrap();
+        let stem = lg.stem_of(s);
+        let branch = lg
+            .line(stem)
+            .branches()
+            .iter()
+            .copied()
+            .find(|&b| lg.line(b).sink_pin().unwrap().0 == y)
+            .unwrap();
+        let m = BinMachine::faulty(&c, &lg, Fault::sa0(branch));
+        // a=1: y sees forced 0, z still sees s=1 -> z=0.
+        let (_, out) = m.step(0, 1);
+        assert_eq!(out & 1, 0); // y
+        assert_eq!(out >> 1 & 1, 0); // z = NOT(1)
+    }
+
+    #[test]
+    fn dff_fault_on_q_affects_state_readers_not_capture() {
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = BUFF(q)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let q = lg.stem_of(c.find("q").unwrap());
+        let m = BinMachine::faulty(&c, &lg, Fault::sa1(q));
+        // Output reads the forced q=1 regardless of state.
+        assert_eq!(m.step(0, 0).1, 1);
+        // The D pin still captures `a` (next state tracks the input).
+        assert_eq!(m.step(0, 0).0, 0);
+        assert_eq!(m.step(0, 1).0, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! State-set reachability: the `{S_c}` sets of Definition 5.
+
+use crate::machine::BinMachine;
+
+/// A set of machine states, one bit per state.
+pub(crate) type StateSet = Vec<u64>;
+
+pub(crate) fn full_set(num_states: usize) -> StateSet {
+    let words = num_states.div_ceil(64);
+    let mut s = vec![u64::MAX; words];
+    let extra = words * 64 - num_states;
+    if extra > 0 {
+        *s.last_mut().expect("nonempty") >>= extra;
+    }
+    s
+}
+
+pub(crate) fn empty_set(num_states: usize) -> StateSet {
+    vec![0u64; num_states.div_ceil(64)]
+}
+
+pub(crate) fn insert(s: &mut StateSet, state: u64) {
+    s[(state / 64) as usize] |= 1 << (state % 64);
+}
+
+pub(crate) fn is_empty(s: &StateSet) -> bool {
+    s.iter().all(|&w| w == 0)
+}
+
+pub(crate) fn iter_states(s: &StateSet) -> impl Iterator<Item = u64> + '_ {
+    s.iter().enumerate().flat_map(|(wi, &w)| {
+        (0..64)
+            .filter(move |b| w >> b & 1 == 1)
+            .map(move |b| (wi * 64 + b) as u64)
+    })
+}
+
+/// The set `{S_c}` of Definition 5: states the machine can be in after
+/// powering up in *any* state and clocking it `c` times with *arbitrary*
+/// inputs.
+///
+/// `{S_0}` is the full state space and the sets shrink monotonically with
+/// `c` until they reach a fixpoint.
+///
+/// # Example
+///
+/// ```
+/// use fires_netlist::{bench, LineGraph};
+/// use fires_verify::{reachable_after, BinMachine};
+///
+/// # fn main() -> Result<(), fires_netlist::NetlistError> {
+/// // Two FFs fed by the same input: after one clock they always agree.
+/// let c = bench::parse(
+///     "INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(a)\nz = XOR(q1, q2)\n",
+/// )?;
+/// let lg = LineGraph::build(&c);
+/// let m = BinMachine::good(&c, &lg);
+/// assert_eq!(reachable_after(&m, 0).len(), 4);
+/// assert_eq!(reachable_after(&m, 1).len(), 2); // only 00 and 11 remain
+/// # Ok(())
+/// # }
+/// ```
+pub fn reachable_after(machine: &BinMachine<'_>, c: u32) -> Vec<u64> {
+    let mut set = full_set(machine.num_states());
+    for _ in 0..c {
+        set = image(machine, &set);
+    }
+    iter_states(&set).collect()
+}
+
+pub(crate) fn image(machine: &BinMachine<'_>, set: &StateSet) -> StateSet {
+    let mut next = empty_set(machine.num_states());
+    for s in iter_states(set) {
+        for v in 0..machine.num_input_vectors() as u64 {
+            let (ns, _) = machine.step(s, v);
+            insert(&mut next, ns);
+        }
+    }
+    next
+}
+
+/// Iterates `{S_c}` until it stops shrinking, returning the chain of state
+/// sets `[S_0, S_1, ..., S_k]` where `S_k` is the fixpoint.
+///
+/// Because `S_0` is the full space and the image operator is monotone, the
+/// chain is strictly decreasing until `S_{k+1} = S_k`; the chain length is
+/// therefore at most `2^FF + 1`.
+pub fn shrink_to_fixpoint(machine: &BinMachine<'_>) -> Vec<Vec<u64>> {
+    let mut chain = Vec::new();
+    let mut set = full_set(machine.num_states());
+    loop {
+        chain.push(iter_states(&set).collect::<Vec<u64>>());
+        let next = image(machine, &set);
+        if next == set {
+            return chain;
+        }
+        set = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fires_netlist::{bench, LineGraph};
+
+    use super::*;
+
+    #[test]
+    fn bitset_primitives() {
+        let mut s = empty_set(70);
+        assert!(is_empty(&s));
+        insert(&mut s, 69);
+        assert_eq!(iter_states(&s).collect::<Vec<_>>(), vec![69]);
+        let f = full_set(70);
+        assert_eq!(iter_states(&f).count(), 70);
+    }
+
+    #[test]
+    fn shift_register_collapses_state_by_state() {
+        // 3-stage shift register: after k clocks the last k bits follow the
+        // input history, so |S_k| = 2^(3-k) ... times input freedom; here
+        // each clock halves nothing (input is free), so S_k stays full? No:
+        // every state remains reachable because the input can be anything.
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nq3 = DFF(q2)\nz = BUFF(q3)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let m = BinMachine::good(&c, &lg);
+        assert_eq!(reachable_after(&m, 3).len(), 8);
+    }
+
+    #[test]
+    fn correlated_ffs_shrink() {
+        // Figure-3 style: the same signal through two FFs. After one clock
+        // both FFs agree.
+        let c = bench::parse(
+            "INPUT(a)\nOUTPUT(z)\nb = DFF(a)\nc = DFF(a)\nz = AND(b, c)\n",
+        )
+        .unwrap();
+        let lg = LineGraph::build(&c);
+        let m = BinMachine::good(&c, &lg);
+        let chain = shrink_to_fixpoint(&m);
+        assert_eq!(chain[0].len(), 4);
+        assert_eq!(chain.last().unwrap().len(), 2);
+    }
+}

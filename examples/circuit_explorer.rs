@@ -1,0 +1,70 @@
+//! Structural exploration of a netlist: parse (or generate), report the
+//! statistics every other tool in this workspace builds on — levels,
+//! sequential depth, stems/branches, fault universe — and round-trip the
+//! circuit back to `.bench`.
+//!
+//! ```text
+//! cargo run --release -p fires-bench --example circuit_explorer [file.bench]
+//! ```
+
+use std::error::Error;
+
+use fires_netlist::{bench, dot, graph, FaultList, LineGraph};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let circuit = match std::env::args().nth(1) {
+        Some(path) => bench::parse(&std::fs::read_to_string(path)?)?,
+        None => fires_circuits::iscas::s27(),
+    };
+    println!("stats      : {}", circuit.stats());
+
+    let levels = graph::levels(&circuit);
+    println!(
+        "logic depth: {}",
+        levels.iter().copied().max().unwrap_or(0)
+    );
+    println!(
+        "seq depth  : {} (longest acyclic FF chain)",
+        graph::sequential_depth(&circuit)
+    );
+
+    let lines = LineGraph::build(&circuit);
+    let fanout_stems = lines.fanout_stems(&circuit).count();
+    println!(
+        "lines      : {} ({} fanout stems FIRES will analyze)",
+        lines.num_lines(),
+        fanout_stems
+    );
+
+    let full = FaultList::full(&lines);
+    let collapsed = FaultList::collapsed(&circuit, &lines);
+    println!(
+        "faults     : {} total, {} after equivalence collapsing ({:.0}%)",
+        full.len(),
+        collapsed.len(),
+        100.0 * collapsed.len() as f64 / full.len() as f64
+    );
+
+    println!("\nround-tripped .bench:\n{}", bench::to_text(&circuit));
+
+    // Graphviz view with the FIRES-identified fault sites highlighted.
+    let report = fires_core::Fires::new(&circuit, fires_core::FiresConfig::default()).run();
+    let mut options = dot::DotOptions {
+        title: Some(format!(
+            "{} — {} c-cycle redundant fault site(s) highlighted",
+            circuit.stats(),
+            report.len()
+        )),
+        ..Default::default()
+    };
+    for f in report.redundant_faults() {
+        let node = fires_netlist::faults::fault_site_node(report.lines(), f.fault);
+        options
+            .highlights
+            .insert(node, "style=filled, fillcolor=salmon".to_owned());
+    }
+    let path = std::env::temp_dir().join("fires_circuit.dot");
+    std::fs::write(&path, dot::to_dot(&circuit, &options))?;
+    println!("Graphviz dump written to {} (render with `dot -Tsvg`)", path.display());
+    Ok(())
+}

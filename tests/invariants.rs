@@ -1,0 +1,153 @@
+//! Cross-crate consistency properties: the 3-valued simulator agrees with
+//! the exact binary machine, the `.bench` format round-trips, and the
+//! full-scan transform behaves like the combinational model it claims to
+//! be.
+
+use fires_circuits::generators::{fsm_one_hot, random_sequential, RandomConfig};
+use fires_netlist::{bench, transform, FaultList, LineGraph};
+use fires_sim::{Logic3, SeqSim};
+use fires_verify::BinMachine;
+use proptest::prelude::*;
+
+fn small_circuit(seed: u64) -> fires_netlist::Circuit {
+    random_sequential(&RandomConfig {
+        seed,
+        inputs: 3,
+        gates: 20,
+        ffs: 3,
+        outputs: 3,
+        fig3: 0,
+        chains: (0, 0),
+        conflicts: 0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// From a fully binary state and binary inputs, the 3-valued simulator
+    /// computes exactly what the binary machine computes, cycle by cycle.
+    #[test]
+    fn three_valued_sim_matches_binary_machine(
+        seed in 0u64..10_000,
+        state in 0u64..8,
+        inputs in proptest::collection::vec(0u64..8, 1..6),
+    ) {
+        let circuit = small_circuit(seed);
+        let lines = LineGraph::build(&circuit);
+        let machine = BinMachine::good(&circuit, &lines);
+        let mut sim = SeqSim::new(&circuit, &lines);
+        let nff = circuit.num_dffs();
+        let npi = circuit.num_inputs();
+        let state = state & ((1 << nff) - 1);
+        let sim_state: Vec<Logic3> =
+            (0..nff).map(|i| Logic3::from(state >> i & 1 == 1)).collect();
+        sim.set_state(&sim_state);
+        let mut bin_state = state;
+        for raw in inputs {
+            let v = raw & ((1 << npi) - 1);
+            let sim_in: Vec<Logic3> =
+                (0..npi).map(|i| Logic3::from(v >> i & 1 == 1)).collect();
+            let sim_out = sim.step(&sim_in, None);
+            let (next, out) = machine.step(bin_state, v);
+            for (i, &o) in sim_out.iter().enumerate() {
+                prop_assert_eq!(
+                    o.to_bool(),
+                    Some(out >> i & 1 == 1),
+                    "output {} mismatch (seed {})",
+                    i,
+                    seed
+                );
+            }
+            bin_state = next;
+        }
+    }
+
+    /// `.bench` serialization round-trips: parse(to_text(c)) re-serializes
+    /// to the identical text and preserves all statistics.
+    #[test]
+    fn bench_format_roundtrips(seed in 0u64..10_000) {
+        let circuit = random_sequential(&RandomConfig {
+            seed,
+            inputs: 4,
+            gates: 30,
+            ffs: 4,
+            outputs: 3,
+            fig3: 1,
+            chains: (1, 2),
+            conflicts: 1,
+        });
+        let text = bench::to_text(&circuit);
+        let reparsed = bench::parse(&text).expect("own output parses");
+        prop_assert_eq!(&bench::to_text(&reparsed), &text);
+        prop_assert_eq!(reparsed.stats(), circuit.stats());
+        let lines = LineGraph::build(&circuit);
+        let lines2 = LineGraph::build(&reparsed);
+        prop_assert_eq!(lines.num_lines(), lines2.num_lines());
+        prop_assert_eq!(
+            FaultList::collapsed(&circuit, &lines).len(),
+            FaultList::collapsed(&reparsed, &lines2).len()
+        );
+    }
+
+    /// The full-scan transform is combinational, interface-monotone and
+    /// idempotent in size.
+    #[test]
+    fn full_scan_shape(seed in 0u64..10_000) {
+        let circuit = small_circuit(seed);
+        let scan = transform::full_scan(&circuit).expect("transform");
+        prop_assert_eq!(scan.num_dffs(), 0);
+        prop_assert_eq!(
+            scan.num_inputs(),
+            circuit.num_inputs() + circuit.num_dffs()
+        );
+        prop_assert!(scan.num_outputs() >= circuit.num_outputs());
+        prop_assert!(
+            scan.num_outputs() <= circuit.num_outputs() + circuit.num_dffs()
+        );
+        // Transforming again is a no-op (no FFs left).
+        let again = transform::full_scan(&scan).expect("idempotent");
+        prop_assert_eq!(bench::to_text(&again), bench::to_text(&scan));
+    }
+
+    /// One-hot FSMs preserve the token from any one-hot state, checked on
+    /// the exact machine over every input vector.
+    #[test]
+    fn fsm_token_invariant(seed in 0u64..1_000, states in 2usize..6) {
+        let circuit = fsm_one_hot(states, 2, seed);
+        let lines = LineGraph::build(&circuit);
+        let machine = BinMachine::good(&circuit, &lines);
+        for hot in 0..states {
+            let s0 = 1u64 << hot;
+            for v in 0..machine.num_input_vectors() as u64 {
+                let (next, _) = machine.step(s0, v);
+                prop_assert_eq!(next.count_ones(), 1, "seed {} state {} input {}", seed, hot, v);
+            }
+        }
+    }
+}
+
+/// The envelope comparison is sound end to end: everything the
+/// FUNTEST-style analysis reports is also reported by full FIRES (without
+/// validation) on circuits where names map one-to-one.
+#[test]
+fn envelope_is_a_subset_of_fires_on_figure7() {
+    let circuit = fires_circuits::figures::figure7();
+    let env = fires_core::funtest_like(&circuit).expect("envelope");
+    let fires = fires_core::Fires::new(
+        &circuit,
+        fires_core::FiresConfig::with_max_frames(3).without_validation(),
+    )
+    .run();
+    let fires_names: Vec<String> = fires
+        .redundant_faults()
+        .iter()
+        .map(|f| f.fault.display(fires.lines(), &circuit))
+        .collect();
+    for (name, _) in &env.untestable {
+        assert!(
+            fires_names.contains(name),
+            "envelope-only fault {name}; FIRES found {fires_names:?}"
+        );
+    }
+}

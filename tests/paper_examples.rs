@@ -1,0 +1,178 @@
+//! Integration tests reproducing the paper's worked examples
+//! (Examples 1–3, Figures 3 and 7, Table 1's structure) end to end across
+//! the workspace crates.
+
+use fires_core::{Fires, FiresConfig};
+use fires_netlist::{Fault, LineGraph, StuckValue};
+use fires_verify::{classify, Limits};
+
+/// Example 1: `c1` s-a-1 on Figure 3 is untestable yet partially testable
+/// (so *not* redundant under Definition 4) because only the faulty machine
+/// can produce `{d, c2} = {1, 0}`.
+#[test]
+fn example1_figure3_classification() {
+    let circuit = fires_circuits::figures::figure3();
+    let lines = LineGraph::build(&circuit);
+    let c_stem = lines.stem_of(circuit.find("c").unwrap());
+    let c1 = lines.line(c_stem).branches()[0];
+    let class = classify(&circuit, &lines, Fault::sa1(c1), &Limits::default()).unwrap();
+    assert_eq!(class.detectable, Some(false), "untestable");
+    assert!(class.partially_testable, "partially testable");
+    assert!(!class.redundant, "irredundant under Definition 4");
+}
+
+/// Example 2: the same fault is 1-cycle redundant — one clock with any
+/// input forces the two flip-flops to agree.
+#[test]
+fn example2_figure3_c_cycle() {
+    let circuit = fires_circuits::figures::figure3();
+    let lines = LineGraph::build(&circuit);
+    let c_stem = lines.stem_of(circuit.find("c").unwrap());
+    let c1 = lines.line(c_stem).branches()[0];
+    let class = classify(&circuit, &lines, Fault::sa1(c1), &Limits::default()).unwrap();
+    assert_eq!(class.c_cycle, Some(1));
+}
+
+/// FIRES identifies the Example-2 fault, with the right `c`, without any
+/// search.
+#[test]
+fn fires_finds_the_figure3_fault() {
+    let circuit = fires_circuits::figures::figure3();
+    let report = Fires::new(&circuit, FiresConfig::default()).run();
+    let hit = report
+        .redundant_faults()
+        .iter()
+        .find(|f| f.fault.display(report.lines(), &circuit) == "c->d.1 s-a-1")
+        .expect("c1 s-a-1 identified");
+    assert_eq!(hit.c, 1);
+    assert!(report.validated());
+}
+
+/// Example 3 (Table 1): on the Figure-7 reconstruction the two implication
+/// processes produce uncontrollability in frames 0 and +1 and
+/// unobservability reaching back to frame −1, and the intersection yields
+/// both 0-cycle and 1-cycle redundancies.
+#[test]
+fn example3_figure7_implication_shape() {
+    let circuit = fires_circuits::figures::figure7();
+    let fires = Fires::new(&circuit, FiresConfig::with_max_frames(3));
+    let stem = fires.lines().stem_of(circuit.find("c").unwrap());
+    let (p0, p1) = fires.analyze_stem(stem);
+
+    // Process c = 0-bar: i (and through the OR, g) uncontrollable-for-0
+    // at frame +1, and h unobservable at +1.
+    let t0 = fires.trace(&p0);
+    for name in ["i", "g"] {
+        assert!(
+            t0.uncontrollable
+                .iter()
+                .any(|(f, n, v)| *f == 1 && n == name && !*v),
+            "{name} = 0-bar at +1 expected, got {:?}",
+            t0.uncontrollable
+        );
+    }
+    assert!(
+        t0.unobservable.iter().any(|(f, n)| *f == 1 && n == "h"),
+        "h unobservable at +1 expected, got {:?}",
+        t0.unobservable
+    );
+    // Unobservability reaches f, e (and branch c1) at 0 and d, a, b at -1,
+    // exactly as Example 3 describes.
+    for name in ["f", "e"] {
+        assert!(
+            t0.unobservable.iter().any(|(f, n)| *f == 0 && n == name),
+            "{name} unobservable at 0 expected, got {:?}",
+            t0.unobservable
+        );
+    }
+    for name in ["d", "a", "b"] {
+        assert!(
+            t0.unobservable.iter().any(|(f, n)| *f == -1 && n == name),
+            "{name} unobservable at -1 expected, got {:?}",
+            t0.unobservable
+        );
+    }
+    // Process c = 1-bar: f = 1-bar at 0; h, g, i = 1-bar at +1.
+    let t1 = fires.trace(&p1);
+    assert!(t1
+        .uncontrollable
+        .iter()
+        .any(|(f, n, v)| *f == 0 && n == "f" && *v));
+    for name in ["h", "g", "i"] {
+        assert!(
+            t1.uncontrollable
+                .iter()
+                .any(|(f, n, v)| *f == 1 && n == name && *v),
+            "{name} = 1-bar at +1 expected"
+        );
+    }
+}
+
+/// The Figure-7 intersection contains both 0-cycle faults and a 1-cycle
+/// fault on `g`'s frame (+1), mirroring Table 1's bottom rows.
+#[test]
+fn example3_figure7_identified_faults() {
+    let circuit = fires_circuits::figures::figure7();
+    let report = Fires::new(&circuit, FiresConfig::with_max_frames(3)).run();
+    assert!(!report.is_empty());
+    assert!(report.num_zero_cycle() > 0, "0-cycle redundancies expected");
+    assert!(report.max_c() >= 1, "a 1-cycle redundancy expected");
+    // Every claim is verified against the exact checker.
+    let limits = Limits::default();
+    for f in report.redundant_faults() {
+        let class = classify(&circuit, report.lines(), f.fault, &limits)
+            .expect("figure 7 is small enough for exact analysis");
+        match class.c_cycle {
+            Some(c) => assert!(
+                c <= f.c,
+                "{}: FIRES claims c = {}, exact minimum is {}",
+                f.fault.display(report.lines(), &circuit),
+                f.c,
+                c
+            ),
+            None => panic!(
+                "{} claimed {}-cycle redundant but is not",
+                f.fault.display(report.lines(), &circuit),
+                f.c
+            ),
+        }
+    }
+}
+
+/// The structural analogue of the paper's `g_0`: a 1-cycle redundancy
+/// found in frame +1 (on this reconstruction it lands on the branch of `i`
+/// into the output gate, `i->z.1` s-a-1).
+#[test]
+fn example3_one_cycle_fault_in_frame_plus_one() {
+    let circuit = fires_circuits::figures::figure7();
+    let report = Fires::new(&circuit, FiresConfig::with_max_frames(3)).run();
+    let one_cycle = report
+        .redundant_faults()
+        .iter()
+        .find(|f| f.c == 1)
+        .expect("a 1-cycle redundancy identified");
+    assert_eq!(one_cycle.frame, 1, "the conflict sits one frame ahead");
+    assert_eq!(one_cycle.fault.stuck, StuckValue::One);
+    assert_eq!(
+        one_cycle.fault.display(report.lines(), &circuit),
+        "i->z.1 s-a-1"
+    );
+}
+
+/// s27 end-to-end: FIRES runs clean (s27 has no redundancies the paper's
+/// Table 2 would list — it is absent from the table) and every claim, if
+/// any, verifies.
+#[test]
+fn s27_fires_and_exact_agree() {
+    let circuit = fires_circuits::iscas::s27();
+    let report = Fires::new(&circuit, FiresConfig::default()).run();
+    let limits = Limits::default();
+    for f in report.redundant_faults() {
+        let class = classify(&circuit, report.lines(), f.fault, &limits).unwrap();
+        assert!(
+            matches!(class.c_cycle, Some(c) if c <= f.c),
+            "unsound claim on s27: {}",
+            f.fault.display(report.lines(), &circuit)
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-crate pipeline tests: netlist → FIRES → ATPG → fault simulation.
+//! The ATPG must never find a test for a FIRES-identified fault, every
+//! test the ATPG does produce must replay in the sequential fault
+//! simulator, and the preprocessor workflow must preserve detected-fault
+//! coverage.
+
+use std::time::Duration;
+
+use fires_atpg::{Atpg, AtpgConfig, AtpgResult};
+use fires_circuits::generators::{random_sequential, RandomConfig};
+use fires_core::{Fires, FiresConfig};
+use fires_netlist::{FaultList, LineGraph};
+use fires_sim::simulate_fault;
+use proptest::prelude::*;
+
+fn atpg_config() -> AtpgConfig {
+    AtpgConfig {
+        max_unroll: 8,
+        backtrack_limit: 4_000,
+        time_limit: Duration::from_millis(200),
+    }
+}
+
+#[test]
+fn fires_targets_never_get_tests_on_the_paper_circuits() {
+    for circuit in [
+        fires_circuits::figures::figure3(),
+        fires_circuits::figures::figure7(),
+    ] {
+        let report = Fires::new(
+            &circuit,
+            FiresConfig::default().without_validation(),
+        )
+        .run();
+        let lines = LineGraph::build(&circuit);
+        let atpg = Atpg::new(&circuit, &lines, atpg_config());
+        for f in report.redundant_faults() {
+            let r = atpg.run_fault(f.fault);
+            assert!(
+                !r.is_detected(),
+                "ATPG found a test for FIRES-identified {}",
+                f.fault.display(&lines, &circuit)
+            );
+        }
+    }
+}
+
+#[test]
+fn s27_full_campaign_is_consistent() {
+    let circuit = fires_circuits::iscas::s27();
+    let lines = LineGraph::build(&circuit);
+    let faults = FaultList::collapsed(&circuit, &lines);
+    let atpg = Atpg::new(&circuit, &lines, atpg_config());
+    let summary = atpg.run_faults(faults.as_slice());
+    // s27 is a well-known fully-testable benchmark (modulo the unknown
+    // power-up state): a healthy majority of faults get tests.
+    assert!(
+        summary.num_detected() * 2 > faults.len(),
+        "only {}/{} detected",
+        summary.num_detected(),
+        faults.len()
+    );
+    // Every test replays.
+    for (f, r) in faults.iter().zip(&summary.results) {
+        if let AtpgResult::TestFound(test) = r {
+            assert!(
+                simulate_fault(&circuit, &lines, f, test).is_some(),
+                "test for {} does not replay",
+                f.display(&lines, &circuit)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Generated tests always replay on random circuits, and FIRES targets
+    /// are never detected.
+    #[test]
+    fn atpg_and_fires_agree_on_random_circuits(seed in 0u64..1000) {
+        let circuit = random_sequential(&RandomConfig {
+            seed,
+            inputs: 4,
+            gates: 25,
+            ffs: 3,
+            outputs: 3,
+            fig3: 1,
+            chains: (0, 0),
+            conflicts: 1,
+        });
+        let lines = LineGraph::build(&circuit);
+        let atpg = Atpg::new(&circuit, &lines, atpg_config());
+
+        // FIRES targets must not be detectable.
+        let report = Fires::new(
+            &circuit,
+            FiresConfig::with_max_frames(5).without_validation(),
+        )
+        .run();
+        for f in report.redundant_faults().iter().take(12) {
+            let r = atpg.run_fault(f.fault);
+            prop_assert!(
+                !r.is_detected(),
+                "seed {seed}: test found for {}",
+                f.fault.display(&lines, &circuit)
+            );
+        }
+
+        // Sampled universe faults: every TestFound replays in simulation.
+        let faults = FaultList::collapsed(&circuit, &lines);
+        for f in faults.iter().take(20) {
+            if let AtpgResult::TestFound(test) = atpg.run_fault(f) {
+                prop_assert!(
+                    simulate_fault(&circuit, &lines, f, &test).is_some(),
+                    "seed {seed}: test for {} does not replay",
+                    f.display(&lines, &circuit)
+                );
+            }
+        }
+    }
+
+    /// The preprocessor workflow preserves detected-fault coverage: faults
+    /// filtered out by FIRES were never detectable anyway.
+    #[test]
+    fn preprocessor_preserves_coverage(seed in 0u64..500) {
+        let circuit = random_sequential(&RandomConfig {
+            seed,
+            inputs: 3,
+            gates: 18,
+            ffs: 2,
+            outputs: 2,
+            fig3: 0,
+            chains: (0, 0),
+            conflicts: 1,
+        });
+        let lines = LineGraph::build(&circuit);
+        let atpg = Atpg::new(&circuit, &lines, atpg_config());
+        let faults = FaultList::collapsed(&circuit, &lines);
+        let report = Fires::new(
+            &circuit,
+            FiresConfig::with_max_frames(5).without_validation(),
+        )
+        .run();
+        let identified: FaultList =
+            report.redundant_faults().iter().map(|f| f.fault).collect();
+        for f in faults.iter() {
+            if identified.contains(f) {
+                let r = atpg.run_fault(f);
+                prop_assert!(
+                    !r.is_detected(),
+                    "seed {seed}: filtered fault {} was detectable",
+                    f.display(&lines, &circuit)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based soundness tests: on randomly generated small circuits,
+//! every fault FIRES identifies must be exactly what it claims —
+//! untestable without validation, c-cycle redundant with validation —
+//! according to the explicit state-space checker.
+
+use fires_circuits::generators::{random_sequential, RandomConfig};
+use fires_core::{Fires, FiresConfig, ValidationPolicy};
+use fires_verify::{classify, Limits};
+use proptest::prelude::*;
+
+fn small_config() -> impl Strategy<Value = RandomConfig> {
+    (
+        any::<u64>(),
+        2usize..5,  // inputs
+        6usize..20, // gates
+        1usize..3,  // base ffs
+        1usize..3,  // outputs
+        0usize..2,  // fig3 patterns (2 FFs each)
+        0usize..2,  // conflicts
+    )
+        .prop_map(|(seed, inputs, gates, ffs, outputs, fig3, conflicts)| RandomConfig {
+            seed,
+            inputs,
+            gates,
+            ffs,
+            outputs,
+            fig3,
+            chains: (0, 0),
+            conflicts,
+        })
+}
+
+fn verify_limits() -> Limits {
+    Limits {
+        max_ffs: 6,
+        max_inputs: 6,
+        budget: 400_000,
+        detect_max_ffs: 4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// With validation, every identified fault is c-cycle redundant with
+    /// the claimed (or smaller) c.
+    #[test]
+    fn validated_claims_are_c_cycle_redundant(cfg in small_config()) {
+        let circuit = random_sequential(&cfg);
+        prop_assume!(circuit.num_dffs() <= 6);
+        let report = Fires::new(&circuit, FiresConfig::with_max_frames(5)).run();
+        let limits = verify_limits();
+        for f in report.redundant_faults() {
+            if let Ok(class) = classify(&circuit, report.lines(), f.fault, &limits) {
+                prop_assert!(
+                    matches!(class.c_cycle, Some(c) if c <= f.c),
+                    "unsound: {} claimed c={} got {:?} (seed {})",
+                    f.fault.display(report.lines(), &circuit), f.c, class.c_cycle, cfg.seed
+                );
+            }
+        }
+    }
+
+    /// Without validation, every identified fault is at least undetectable
+    /// (Definition 1), checked exactly where the pair game is feasible.
+    #[test]
+    fn unvalidated_claims_are_untestable(cfg in small_config()) {
+        let circuit = random_sequential(&cfg);
+        prop_assume!(circuit.num_dffs() <= 4);
+        let report = Fires::new(
+            &circuit,
+            FiresConfig::with_max_frames(5).without_validation(),
+        )
+        .run();
+        let limits = verify_limits();
+        for f in report.redundant_faults() {
+            if let Ok(class) = classify(&circuit, report.lines(), f.fault, &limits) {
+                prop_assert!(
+                    class.detectable != Some(true),
+                    "unsound untestability: {} (seed {})",
+                    f.fault.display(report.lines(), &circuit), cfg.seed
+                );
+            }
+        }
+    }
+
+    /// The paper-literal EarlierFrames validation policy must also be
+    /// sound on these circuits. (No subset relation is asserted against
+    /// the AnyFrame policy: per-frame memo keys make EarlierFrames hit the
+    /// per-process sweep budget earlier, which can drop candidates.)
+    #[test]
+    fn earlier_frames_policy_is_sound(cfg in small_config()) {
+        let circuit = random_sequential(&cfg);
+        prop_assume!(circuit.num_dffs() <= 5);
+        let earlier = Fires::new(
+            &circuit,
+            FiresConfig {
+                validation_policy: ValidationPolicy::EarlierFrames,
+                ..FiresConfig::with_max_frames(5)
+            },
+        )
+        .run();
+        let limits = verify_limits();
+        for f in earlier.redundant_faults() {
+            if let Ok(class) = classify(&circuit, earlier.lines(), f.fault, &limits) {
+                prop_assert!(
+                    matches!(class.c_cycle, Some(c) if c <= f.c),
+                    "EarlierFrames unsound: {} (seed {})",
+                    f.fault.display(earlier.lines(), &circuit), cfg.seed
+                );
+            }
+        }
+    }
+
+    /// FIRES is deterministic, validation only removes candidates, and the
+    /// reported c values always fit inside the frame window.
+    #[test]
+    fn determinism_and_structural_invariants(cfg in small_config()) {
+        let circuit = random_sequential(&cfg);
+        let a = Fires::new(&circuit, FiresConfig::with_max_frames(6)).run();
+        let b = Fires::new(&circuit, FiresConfig::with_max_frames(6)).run();
+        prop_assert_eq!(a.display_faults(), b.display_faults());
+        let unvalidated = Fires::new(
+            &circuit,
+            FiresConfig::with_max_frames(6).without_validation(),
+        )
+        .run();
+        prop_assert!(unvalidated.len() >= a.len());
+        let unval_set: Vec<_> =
+            unvalidated.redundant_faults().iter().map(|f| f.fault).collect();
+        for f in a.redundant_faults() {
+            prop_assert!(unval_set.contains(&f.fault));
+            prop_assert!((f.c as usize) < 6);
+        }
+    }
+}
