@@ -72,6 +72,12 @@ impl AtpgResult {
 pub struct AtpgStats {
     /// Backtracks consumed.
     pub backtracks: u64,
+    /// Decisions made (branches entered, summed over unroll depths).
+    pub decisions: u64,
+    /// Deepest decision stack reached at any unroll depth.
+    pub max_decision_depth: u64,
+    /// Deepest unroll (time frames) the search attempted.
+    pub frames_searched: usize,
     /// Wall-clock time spent on this fault.
     pub elapsed: Duration,
 }
@@ -101,6 +107,25 @@ impl CampaignSummary {
     /// Number of detected faults.
     pub fn num_detected(&self) -> usize {
         self.results.iter().filter(|r| r.is_detected()).count()
+    }
+
+    /// Backtracks summed over the whole campaign.
+    pub fn total_backtracks(&self) -> u64 {
+        self.stats.iter().map(|s| s.backtracks).sum()
+    }
+
+    /// Decisions summed over the whole campaign.
+    pub fn total_decisions(&self) -> u64 {
+        self.stats.iter().map(|s| s.decisions).sum()
+    }
+
+    /// Deepest decision stack any fault reached.
+    pub fn max_decision_depth(&self) -> u64 {
+        self.stats
+            .iter()
+            .map(|s| s.max_decision_depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -133,6 +158,9 @@ impl<'c> Atpg<'c> {
         let start = Instant::now();
         let deadline = start + self.config.time_limit;
         let mut backtracks_total = 0u64;
+        let mut decisions_total = 0u64;
+        let mut max_depth = 0u64;
+        let mut frames_searched = 0usize;
         // Unroll schedule: 1, 2, 4, ... max (finding short tests early is
         // much cheaper; the final depth provides the bounded-untestable
         // verdict).
@@ -155,6 +183,9 @@ impl<'c> Atpg<'c> {
             );
             let result = podem.search();
             backtracks_total += podem.backtracks_used;
+            decisions_total += podem.decisions_made;
+            max_depth = max_depth.max(podem.max_decision_depth);
+            frames_searched = frames_searched.max(frames);
             match result {
                 SearchOutcome::Found(test) => {
                     outcome = AtpgResult::TestFound(test);
@@ -173,6 +204,9 @@ impl<'c> Atpg<'c> {
         }
         let stats = AtpgStats {
             backtracks: backtracks_total,
+            decisions: decisions_total,
+            max_decision_depth: max_depth,
+            frames_searched,
             elapsed: start.elapsed(),
         };
         (outcome, stats)
@@ -257,10 +291,9 @@ mod tests {
     fn figure3_fault_is_not_detected() {
         // The paper's 1-cycle redundant fault: ATPG must not find a test
         // (it either proves bounded untestability or aborts).
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let lg = LineGraph::build(&c);
         let atpg = Atpg::new(&c, &lg, cfg());
         let c_stem = lg.stem_of(c.find("c").unwrap());
@@ -283,6 +316,29 @@ mod tests {
         );
         assert!(summary.num_untestable() >= 1);
         assert!(summary.num_detected() >= 1);
+    }
+
+    #[test]
+    fn stats_count_search_effort() {
+        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let atpg = Atpg::new(&c, &lg, cfg());
+        let z = lg.stem_of(c.find("z").unwrap());
+        let (r, s) = atpg.run_fault_with_stats(Fault::sa0(z));
+        assert!(r.is_detected());
+        // Detecting z s-a-0 needs a=b=1: at least two decisions.
+        assert!(s.decisions >= 2, "decisions = {}", s.decisions);
+        assert!(s.max_decision_depth >= 2);
+        assert!(s.max_decision_depth <= s.decisions);
+        assert!(s.frames_searched >= 1);
+
+        let summary = atpg.run_faults(FaultList::full(&lg).as_slice());
+        assert_eq!(
+            summary.total_decisions(),
+            summary.stats.iter().map(|s| s.decisions).sum::<u64>()
+        );
+        assert!(summary.total_decisions() > 0);
+        assert!(summary.max_decision_depth() > 0);
     }
 
     #[test]

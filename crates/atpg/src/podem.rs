@@ -34,6 +34,11 @@ pub(crate) struct Podem<'c> {
     backtrack_limit: u64,
     deadline: Instant,
     pub(crate) backtracks_used: u64,
+    /// Decisions pushed over the whole search (effort metric: how much of
+    /// the tree was entered, as opposed to how often it was abandoned).
+    pub(crate) decisions_made: u64,
+    /// Deepest decision stack reached.
+    pub(crate) max_decision_depth: u64,
 }
 
 impl<'c> Podem<'c> {
@@ -54,7 +59,14 @@ impl<'c> Podem<'c> {
             backtrack_limit,
             deadline,
             backtracks_used: 0,
+            decisions_made: 0,
+            max_decision_depth: 0,
         }
+    }
+
+    fn note_decision(&mut self) {
+        self.decisions_made += 1;
+        self.max_decision_depth = self.max_decision_depth.max(self.decisions.len() as u64);
     }
 
     pub(crate) fn search(&mut self) -> SearchOutcome {
@@ -79,6 +91,7 @@ impl<'c> Podem<'c> {
                             pi,
                             flipped: false,
                         });
+                        self.note_decision();
                         progressed = true;
                         break;
                     }
@@ -96,6 +109,7 @@ impl<'c> Podem<'c> {
                                     pi,
                                     flipped: false,
                                 });
+                                self.note_decision();
                                 progressed = true;
                                 break 'outer;
                             }

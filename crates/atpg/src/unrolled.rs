@@ -209,7 +209,7 @@ mod tests {
     use fires_netlist::bench;
 
     use super::*;
-    use fires_sim::Logic3::{One, X, Zero};
+    use fires_sim::Logic3::{One, Zero, X};
 
     #[test]
     fn combinational_detection() {
@@ -239,8 +239,8 @@ mod tests {
 
     #[test]
     fn site_value_and_frontier() {
-        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nm = BUFF(a)\nz = AND(m, b)\n")
-            .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nm = BUFF(a)\nz = AND(m, b)\n").unwrap();
         let lg = LineGraph::build(&c);
         let m = lg.stem_of(c.find("m").unwrap());
         let mut sim = UnrolledSim::new(&c, &lg, Fault::sa0(m), 1);
@@ -255,10 +255,8 @@ mod tests {
 
     #[test]
     fn fault_effect_crosses_frames_through_ffs() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(z)\nm = BUFF(a)\nq = DFF(m)\nz = BUFF(q)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(z)\nm = BUFF(a)\nq = DFF(m)\nz = BUFF(q)\n").unwrap();
         let lg = LineGraph::build(&c);
         let m = lg.stem_of(c.find("m").unwrap());
         let mut sim = UnrolledSim::new(&c, &lg, Fault::sa0(m), 2);

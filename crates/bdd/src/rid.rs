@@ -175,10 +175,8 @@ mod tests {
     use super::*;
 
     fn figure3() -> Circuit {
-        bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap()
+        bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+            .unwrap()
     }
 
     #[test]
@@ -188,7 +186,10 @@ mod tests {
         // The PO stem d s-a-1 is plainly detectable.
         let d = lines.stem_of(c.find("d").unwrap());
         let out = reset_redundant(&c, &lines, Fault::sa1(d), &[false, false], 1 << 20);
-        assert!(matches!(out, ResetRidOutcome::Irredundant { at_iteration: 0 }));
+        assert!(matches!(
+            out,
+            ResetRidOutcome::Irredundant { at_iteration: 0 }
+        ));
     }
 
     #[test]
@@ -241,7 +242,9 @@ mod tests {
 
     #[test]
     fn overflow_is_reported_not_panicked() {
-        let c = fires_circuits::suite::by_name("s1423_like").unwrap().circuit;
+        let c = fires_circuits::suite::by_name("s1423_like")
+            .unwrap()
+            .circuit;
         let lines = LineGraph::build(&c);
         let fault = FaultList::full(&lines).iter().next().unwrap();
         let reset = vec![false; c.num_dffs()];

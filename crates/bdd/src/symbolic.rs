@@ -244,8 +244,7 @@ mod tests {
         let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n").unwrap();
         let lines = LineGraph::build(&c);
         let mut bdd = Bdd::new(2);
-        let (_, outs) =
-            circuit_functions(&mut bdd, &c, &lines, None, &[0, 1], &[]).unwrap();
+        let (_, outs) = circuit_functions(&mut bdd, &c, &lines, None, &[0, 1], &[]).unwrap();
         assert!(bdd.eval(outs[0], &[false, false]));
         assert!(bdd.eval(outs[0], &[true, false]));
         assert!(!bdd.eval(outs[0], &[true, true]));
@@ -267,10 +266,9 @@ mod tests {
     fn reachability_matches_figure3_shrinkage() {
         // Figure 3: from the full state space the reachable set after the
         // first clock collapses to {00, 11}; from reset 00 it is the same.
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let lines = LineGraph::build(&c);
         let mut m = SymbolicMachine::build(&c, &lines, None, 1 << 20).unwrap();
         let init = m.state_cube(&[false, false]);
@@ -310,7 +308,9 @@ mod tests {
 
     #[test]
     fn overflow_surfaces_cleanly() {
-        let c = fires_circuits::suite::by_name("s1423_like").unwrap().circuit;
+        let c = fires_circuits::suite::by_name("s1423_like")
+            .unwrap()
+            .circuit;
         let lines = LineGraph::build(&c);
         match SymbolicMachine::build(&c, &lines, None, 256) {
             Err(BddError::Overflow { .. }) => {}

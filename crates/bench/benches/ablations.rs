@@ -11,7 +11,11 @@ fn validation_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_validation");
     group.sample_size(10);
     group.bench_function("without", |b| {
-        b.iter(|| Fires::new(&entry.circuit, base.without_validation()).run().len())
+        b.iter(|| {
+            Fires::new(&entry.circuit, base.without_validation())
+                .run()
+                .len()
+        })
     });
     group.bench_function("with", |b| {
         b.iter(|| Fires::new(&entry.circuit, base).run().len())

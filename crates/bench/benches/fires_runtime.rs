@@ -7,7 +7,13 @@ use fires_core::{Fires, FiresConfig};
 fn fires_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("fires_run");
     group.sample_size(10);
-    for name in ["s208_like", "s420_like", "s838_like", "s386_like", "s1238_like"] {
+    for name in [
+        "s208_like",
+        "s420_like",
+        "s838_like",
+        "s386_like",
+        "s1238_like",
+    ] {
         let entry = fires_circuits::suite::by_name(name).expect("suite circuit");
         let config = FiresConfig::with_max_frames(entry.frames);
         group.bench_with_input(BenchmarkId::from_parameter(name), &entry, |b, e| {

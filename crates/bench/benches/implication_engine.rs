@@ -63,13 +63,19 @@ fn simulators(c: &mut Criterion) {
     group.bench_function("oblivious", |b| {
         b.iter(|| {
             let mut sim = SeqSim::new(&entry.circuit, &lines);
-            vectors.iter().map(|v| sim.step(v, None).len()).sum::<usize>()
+            vectors
+                .iter()
+                .map(|v| sim.step(v, None).len())
+                .sum::<usize>()
         })
     });
     group.bench_function("event_driven", |b| {
         b.iter(|| {
             let mut sim = EventSim::new(&entry.circuit, &lines);
-            vectors.iter().map(|v| sim.step(v, None).len()).sum::<usize>()
+            vectors
+                .iter()
+                .map(|v| sim.step(v, None).len())
+                .sum::<usize>()
         })
     });
     group.finish();

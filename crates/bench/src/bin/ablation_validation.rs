@@ -5,13 +5,22 @@
 //! Run with `cargo run --release -p fires-bench --bin ablation_validation
 //! [circuit names...]`.
 
-use fires_bench::TextTable;
-use fires_core::{Fires, FiresConfig, ValidationPolicy};
+use fires_bench::{json_row, JsonOut, TextTable};
 use fires_circuits::suite::table2_suite;
+use fires_core::{Fires, FiresConfig, ValidationPolicy};
+use fires_obs::{Json, RunReport};
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
-    let default_rows = ["s208_like", "s420_like", "s838_like", "s386_like", "s1238_like"];
+    let (json, filter) = JsonOut::from_env();
+    let mut rr = RunReport::new("ablation_validation", "suite");
+    let mut rows = Vec::new();
+    let default_rows = [
+        "s208_like",
+        "s420_like",
+        "s838_like",
+        "s386_like",
+        "s1238_like",
+    ];
     let mut t = TextTable::new([
         "Circuit",
         "no-valid #",
@@ -51,8 +60,29 @@ fn main() {
             earlier.len().to_string(),
             format!("{:.2}", earlier.elapsed().as_secs_f64()),
         ]);
+        for r in [&none, &any, &earlier] {
+            rr.metrics.merge(r.metrics());
+            rr.total_seconds += r.elapsed().as_secs_f64();
+        }
+        rows.push(json_row([
+            ("circuit", Json::from(entry.name)),
+            ("no_validation", Json::from(none.len())),
+            (
+                "no_validation_seconds",
+                Json::from(none.elapsed().as_secs_f64()),
+            ),
+            ("any_frame", Json::from(any.len())),
+            ("any_frame_seconds", Json::from(any.elapsed().as_secs_f64())),
+            ("earlier_frames", Json::from(earlier.len())),
+            (
+                "earlier_frames_seconds",
+                Json::from(earlier.elapsed().as_secs_f64()),
+            ),
+        ]));
     }
     println!("{}", t.render());
+    rr.set_extra("rows", Json::Arr(rows));
+    json.write(&rr);
     println!(
         "no-valid >= any-frame is guaranteed (validation only removes\n\
          candidates). The earlier-frames policy considers fewer indicators\n\

@@ -6,10 +6,14 @@
 //! Run with `cargo run --release -p fires-bench --bin c_distribution
 //! [circuit-names...]`.
 
+use fires_bench::JsonOut;
 use fires_core::{Fires, FiresConfig};
+use fires_obs::{Json, RunReport};
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let (json, filter) = JsonOut::from_env();
+    let mut rr = RunReport::new("c_distribution", "suite");
+    let mut dists = Json::object();
     let defaults = [
         "s208_like",
         "s386_like",
@@ -28,18 +32,21 @@ fn main() {
         if !selected {
             continue;
         }
-        let report = Fires::new(
-            &entry.circuit,
-            FiresConfig::with_max_frames(entry.frames),
-        )
-        .run();
+        let report = Fires::new(&entry.circuit, FiresConfig::with_max_frames(entry.frames)).run();
         let hist = report.c_histogram();
         let total = report.len().max(1);
         println!("{} ({} faults):", entry.name, report.len());
+        let mut h = Json::object();
         for (c, count) in &hist {
             let bar = "#".repeat((count * 50).div_ceil(total));
             println!("  c={c:>2}: {count:>6} {bar}");
+            h.set(c.to_string(), *count);
         }
         println!();
+        rr.metrics.merge(report.metrics());
+        rr.total_seconds += report.elapsed().as_secs_f64();
+        dists.set(entry.name, h);
     }
+    rr.set_extra("c_histograms", dists);
+    json.write(&rr);
 }

@@ -14,11 +14,19 @@
 //! Run with `cargo run --release -p fires-bench --bin compare_reset_rid`.
 
 use fires_bdd::{reset_redundant, ResetRidOutcome};
-use fires_bench::TextTable;
+use fires_bench::{json_row, JsonOut, TextTable};
 use fires_core::{Fires, FiresConfig};
 use fires_netlist::{Circuit, FaultList, LineGraph};
+use fires_obs::{Json, RunReport};
 
-fn analyze(t: &mut TextTable, name: &str, circuit: &Circuit, frames: usize, budget: usize) {
+fn analyze(
+    t: &mut TextTable,
+    rr: &mut RunReport,
+    name: &str,
+    circuit: &Circuit,
+    frames: usize,
+    budget: usize,
+) -> Json {
     let lines = LineGraph::build(circuit);
     let reset = vec![false; circuit.num_dffs()];
     let report = Fires::new(circuit, FiresConfig::with_max_frames(frames)).run();
@@ -53,10 +61,23 @@ fn analyze(t: &mut TextTable, name: &str, circuit: &Circuit, frames: usize, budg
         fires_confirmed.to_string(),
         overflow.to_string(),
     ]);
+    rr.metrics.merge(report.metrics());
+    rr.total_seconds += report.elapsed().as_secs_f64();
+    json_row([
+        ("circuit", Json::from(name)),
+        ("faults", Json::from(universe.len())),
+        ("fires_redundant", Json::from(fires_set.len())),
+        ("reset_redundant", Json::from(reset_red)),
+        ("both", Json::from(fires_confirmed)),
+        ("bdd_overflow", Json::from(overflow)),
+    ])
 }
 
 fn main() {
+    let (json, _args) = JsonOut::from_env();
     println!("FIRES vs reset-assuming implicit state enumeration (all-zero reset)\n");
+    let mut rr = RunReport::new("compare_reset_rid", "suite");
+    let mut rows = Vec::new();
     let mut t = TextTable::new([
         "Circuit",
         "Faults",
@@ -66,25 +87,52 @@ fn main() {
         "BDD overflow",
     ]);
     let budget = 1 << 21;
-    analyze(&mut t, "figure3", &fires_circuits::figures::figure3(), 15, budget);
-    analyze(&mut t, "figure7", &fires_circuits::figures::figure7(), 3, budget);
-    analyze(&mut t, "s27", &fires_circuits::iscas::s27(), 15, budget);
-    analyze(
+    rows.push(analyze(
         &mut t,
+        &mut rr,
+        "figure3",
+        &fires_circuits::figures::figure3(),
+        15,
+        budget,
+    ));
+    rows.push(analyze(
+        &mut t,
+        &mut rr,
+        "figure7",
+        &fires_circuits::figures::figure7(),
+        3,
+        budget,
+    ));
+    rows.push(analyze(
+        &mut t,
+        &mut rr,
+        "s27",
+        &fires_circuits::iscas::s27(),
+        15,
+        budget,
+    ));
+    rows.push(analyze(
+        &mut t,
+        &mut rr,
         "s208_like",
         &fires_circuits::suite::by_name("s208_like").unwrap().circuit,
         13,
         budget,
-    );
+    ));
     // The practicality point: a mid-size circuit under a tight budget.
-    analyze(
+    rows.push(analyze(
         &mut t,
+        &mut rr,
         "s1423_like*",
-        &fires_circuits::suite::by_name("s1423_like").unwrap().circuit,
+        &fires_circuits::suite::by_name("s1423_like")
+            .unwrap()
+            .circuit,
         10,
         1 << 16,
-    );
+    ));
     println!("{}", t.render());
+    rr.set_extra("rows", Json::Arr(rows));
+    json.write(&rr);
     println!(
         "The two notions overlap without nesting: a known fault-free reset\n\
          hides many faults FIRES cannot claim (s208_like), while c-cycle\n\

@@ -9,12 +9,13 @@
 //!
 //! Run with `cargo run --release -p fires-bench --bin fig2_fault_universe`.
 
-use fires_bench::TextTable;
+use fires_bench::{json_row, JsonOut, TextTable};
 use fires_core::{Fires, FiresConfig};
 use fires_netlist::{Circuit, FaultList, LineGraph};
+use fires_obs::{Json, RunReport};
 use fires_verify::{classify, Limits};
 
-fn analyze(name: &str, circuit: &Circuit, t: &mut TextTable) {
+fn analyze(name: &str, circuit: &Circuit, t: &mut TextTable) -> Json {
     let lines = LineGraph::build(circuit);
     let faults = FaultList::full(&lines);
     let limits = Limits::default();
@@ -58,9 +59,22 @@ fn analyze(name: &str, circuit: &Circuit, t: &mut TextTable) {
         not_c_cycle.to_string(),
         unknown.to_string(),
     ]);
+    json_row([
+        ("circuit", Json::from(name)),
+        ("faults", Json::from(faults.len())),
+        ("detectable", Json::from(detectable)),
+        ("testable", Json::from(testable)),
+        ("partially_testable_only", Json::from(partially_only)),
+        ("redundant_0_cycle", Json::from(redundant0)),
+        ("redundant_c_positive", Json::from(c_cycle_pos)),
+        ("untestable_not_redundant", Json::from(not_c_cycle)),
+        ("unknown", Json::from(unknown)),
+    ])
 }
 
 fn main() {
+    let (json, _args) = JsonOut::from_env();
+    let mut rr = RunReport::new("fig2_fault_universe", "figures+s27");
     let mut t = TextTable::new([
         "Circuit",
         "Faults",
@@ -73,13 +87,17 @@ fn main() {
         "Unknown",
     ]);
     println!("Figure 2: exact structure of the fault universe (small circuits)\n");
-    analyze("figure3", &fires_circuits::figures::figure3(), &mut t);
-    analyze("figure7", &fires_circuits::figures::figure7(), &mut t);
-    analyze("s27", &fires_circuits::iscas::s27(), &mut t);
+    let rows = vec![
+        analyze("figure3", &fires_circuits::figures::figure3(), &mut t),
+        analyze("figure7", &fires_circuits::figures::figure7(), &mut t),
+        analyze("s27", &fires_circuits::iscas::s27(), &mut t),
+    ];
+    rr.set_extra("universe", Json::Arr(rows));
     println!("{}", t.render());
 
     // Subset checks that define the figure, plus the FIRES containment.
     println!("FIRES containment check (every identified fault is c-cycle redundant):");
+    let mut checks = Vec::new();
     for (name, circuit) in [
         ("figure3", fires_circuits::figures::figure3()),
         ("figure7", fires_circuits::figures::figure7()),
@@ -95,6 +113,20 @@ fn main() {
                 _ => bad += 1,
             }
         }
-        println!("  {name}: {} identified, {ok} verified, {bad} violations", report.len());
+        println!(
+            "  {name}: {} identified, {ok} verified, {bad} violations",
+            report.len()
+        );
+        rr.metrics.merge(report.metrics());
+        rr.metrics.incr("fig2.containment_verified", ok as u64);
+        rr.metrics.incr("fig2.containment_violations", bad as u64);
+        checks.push(json_row([
+            ("circuit", Json::from(name)),
+            ("identified", Json::from(report.len())),
+            ("verified", Json::from(ok)),
+            ("violations", Json::from(bad)),
+        ]));
     }
+    rr.set_extra("containment", Json::Arr(checks));
+    json.write(&rr);
 }

@@ -11,12 +11,13 @@
 //!
 //! Run with `cargo run --release -p fires-bench --bin initialization`.
 
-use fires_bench::TextTable;
+use fires_bench::{json_row, JsonOut, TextTable};
 use fires_core::{remove_redundancies, Fires, FiresConfig};
 use fires_netlist::{Circuit, LineGraph};
+use fires_obs::{Json, RunReport};
 use fires_verify::{is_synchronizable, shortest_synchronizing_sequence, BinMachine};
 
-fn analyze(t: &mut TextTable, name: &str, circuit: &Circuit) {
+fn analyze(t: &mut TextTable, rr: &mut RunReport, name: &str, circuit: &Circuit) -> Json {
     let lines = LineGraph::build(circuit);
     let good = BinMachine::good(circuit, &lines);
     let sync_good = is_synchronizable(&good).unwrap_or(false);
@@ -56,10 +57,24 @@ fn analyze(t: &mut TextTable, name: &str, circuit: &Circuit) {
         broken.to_string(),
         if sync_after { "yes" } else { "no" }.to_string(),
     ]);
+    rr.metrics.merge(report.metrics());
+    rr.total_seconds += report.elapsed().as_secs_f64();
+    json_row([
+        ("circuit", Json::from(name)),
+        ("synchronizable", Json::from(sync_good)),
+        ("reset_length", reset_len.map_or(Json::Null, Json::from)),
+        ("identified", Json::from(report.len())),
+        ("fault_keeps_sync", Json::from(preserved)),
+        ("fault_breaks_sync", Json::from(broken)),
+        ("sync_after_removal", Json::from(sync_after)),
+    ])
 }
 
 fn main() {
+    let (json, _args) = JsonOut::from_env();
     println!("Initialization analysis: synchronizing sequences vs c-cycle redundancy\n");
+    let mut rr = RunReport::new("initialization", "figures+s27+fsm");
+    let mut rows = Vec::new();
     let mut t = TextTable::new([
         "Circuit",
         "Sync?",
@@ -69,15 +84,33 @@ fn main() {
         "Fault breaks sync",
         "Sync after removal",
     ]);
-    analyze(&mut t, "figure3", &fires_circuits::figures::figure3());
-    analyze(&mut t, "figure7", &fires_circuits::figures::figure7());
-    analyze(&mut t, "s27", &fires_circuits::iscas::s27());
-    analyze(
+    rows.push(analyze(
         &mut t,
+        &mut rr,
+        "figure3",
+        &fires_circuits::figures::figure3(),
+    ));
+    rows.push(analyze(
+        &mut t,
+        &mut rr,
+        "figure7",
+        &fires_circuits::figures::figure7(),
+    ));
+    rows.push(analyze(
+        &mut t,
+        &mut rr,
+        "s27",
+        &fires_circuits::iscas::s27(),
+    ));
+    rows.push(analyze(
+        &mut t,
+        &mut rr,
         "fsm_one_hot(5)",
         &fires_circuits::generators::fsm_one_hot(5, 2, 3),
-    );
+    ));
     println!("{}", t.render());
+    rr.set_extra("rows", Json::Arr(rows));
+    json.write(&rr);
     println!(
         "c-cycle redundancy needs no initialization assumption at all; the\n\
          'fault breaks sync' column shows faults reference [11] would have\n\

@@ -5,13 +5,13 @@
 //! Run with `cargo run --release -p fires-bench --bin random_grading
 //! [circuit-name] [vectors]`.
 
-use fires_bench::TextTable;
+use fires_bench::{record_fault_sim, JsonOut, TextTable};
 use fires_core::{Fires, FiresConfig};
 use fires_netlist::{FaultList, LineGraph};
 use fires_sim::{parallel_simulate_faults, random_vectors};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (json, args) = JsonOut::from_env();
     let name = args.first().map(String::as_str).unwrap_or("s386_like");
     let n_vectors: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
     let entry = fires_circuits::suite::by_name(name).expect("unknown suite circuit");
@@ -74,4 +74,12 @@ fn main() {
         "a FIRES-identified fault was detected by simulation — unsound!"
     );
     println!("PASS: no identified fault was ever detected by simulation.");
+
+    let mut rr = report.run_report("random_grading", name);
+    record_fault_sim(&mut rr, &summary);
+    rr.set_extra("vectors", n_vectors as u64);
+    rr.set_extra("identified", total_identified as u64);
+    rr.set_extra("detected_identified", detected_identified as u64);
+    rr.set_extra("detected_rest", detected_rest as u64);
+    json.write(&rr);
 }

@@ -5,11 +5,14 @@
 //! Run with `cargo run --release -p fires-bench --bin removal_sweep
 //! [circuit-names...] [--max-iters N]`.
 
-use fires_bench::TextTable;
+use fires_bench::{json_row, JsonOut, TextTable};
 use fires_core::{remove_redundancies, FiresConfig};
+use fires_obs::{Json, RunReport};
 
 fn main() {
-    let mut filter: Vec<String> = std::env::args().skip(1).collect();
+    let (json, mut filter) = JsonOut::from_env();
+    let mut rr = RunReport::new("removal_sweep", "suite");
+    let mut rows = Vec::new();
     let mut max_iters = 60usize;
     if let Some(pos) = filter.iter().position(|a| a == "--max-iters") {
         if let Some(n) = filter.get(pos + 1).and_then(|s| s.parse().ok()) {
@@ -17,7 +20,13 @@ fn main() {
         }
         filter.drain(pos..(pos + 2).min(filter.len()));
     }
-    let defaults = ["s208_like", "s386_like", "s420_like", "s838_like", "s1238_like"];
+    let defaults = [
+        "s208_like",
+        "s386_like",
+        "s420_like",
+        "s838_like",
+        "s1238_like",
+    ];
     println!("Iterative redundancy removal (max {max_iters} FIRES passes per circuit)\n");
     let mut t = TextTable::new([
         "Circuit",
@@ -51,9 +60,25 @@ fn main() {
                     out.iterations.to_string(),
                     out.required_c.to_string(),
                 ]);
+                rr.metrics.merge(&out.metrics);
+                rr.total_seconds += out.phase_times.total.as_secs_f64();
+                rows.push(json_row([
+                    ("circuit", Json::from(entry.name)),
+                    ("gates_before", Json::from(entry.circuit.num_gates())),
+                    ("gates_after", Json::from(out.circuit.num_gates())),
+                    ("ffs_before", Json::from(entry.circuit.num_dffs())),
+                    ("ffs_after", Json::from(out.circuit.num_dffs())),
+                    ("removed", Json::from(out.removed.len())),
+                    ("passes", Json::from(out.iterations)),
+                    ("warmup_c", Json::from(out.required_c)),
+                ]));
             }
             Err(e) => {
                 t.row([entry.name.to_string(), format!("error: {e}")]);
+                rows.push(json_row([
+                    ("circuit", Json::from(entry.name)),
+                    ("error", Json::from(e.to_string())),
+                ]));
             }
         }
         use std::io::Write;
@@ -61,6 +86,8 @@ fn main() {
         std::io::stdout().flush().ok();
     }
     println!("\n\n{}", t.render());
+    rr.set_extra("rows", Json::Arr(rows));
+    json.write(&rr);
     println!(
         "Each removal is individually proven (validated FIRES) and the loop\n\
          re-analyzes after every change, as the paper's Section 7 sketches;\n\

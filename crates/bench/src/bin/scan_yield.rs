@@ -13,9 +13,10 @@
 use std::time::Duration;
 
 use fires_atpg::{Atpg, AtpgConfig};
-use fires_bench::TextTable;
+use fires_bench::{json_row, JsonOut, TextTable};
 use fires_core::{Fires, FiresConfig};
 use fires_netlist::{transform, Circuit, Fault, LineGraph};
+use fires_obs::{Json, RunReport};
 
 /// Maps a fault of the sequential circuit onto the scan envelope by
 /// display name (the transform preserves names); returns `None` for
@@ -34,7 +35,13 @@ fn map_fault(
         .map(|l| Fault::new(l, fault.stuck))
 }
 
-fn analyze(t: &mut TextTable, name: &str, circuit: &Circuit, frames: usize) {
+fn analyze(
+    t: &mut TextTable,
+    rr: &mut RunReport,
+    name: &str,
+    circuit: &Circuit,
+    frames: usize,
+) -> Json {
     let report = Fires::new(circuit, FiresConfig::with_max_frames(frames)).run();
     let scan = transform::full_scan(circuit).expect("scan transform");
     let lines = LineGraph::build(circuit);
@@ -68,14 +75,27 @@ fn analyze(t: &mut TextTable, name: &str, circuit: &Circuit, frames: usize) {
         if report.is_empty() {
             "-".to_string()
         } else {
-            format!("{:.0}%", 100.0 * scan_detectable as f64 / report.len() as f64)
+            format!(
+                "{:.0}%",
+                100.0 * scan_detectable as f64 / report.len() as f64
+            )
         },
     ]);
+    rr.metrics.merge(report.metrics());
+    rr.total_seconds += report.elapsed().as_secs_f64();
+    json_row([
+        ("circuit", Json::from(name)),
+        ("seq_redundant", Json::from(report.len())),
+        ("scan_detectable", Json::from(scan_detectable)),
+        ("unmapped", Json::from(unmapped)),
+    ])
 }
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let (json, filter) = JsonOut::from_env();
     println!("Scan-induced yield loss: redundant faults that full-scan rejects\n");
+    let mut rr = RunReport::new("scan_yield", "suite");
+    let mut rows = Vec::new();
     let mut t = TextTable::new([
         "Circuit",
         "Seq-redundant",
@@ -83,8 +103,20 @@ fn main() {
         "Unmapped",
         "Yield loss",
     ]);
-    analyze(&mut t, "figure3", &fires_circuits::figures::figure3(), 15);
-    analyze(&mut t, "figure7", &fires_circuits::figures::figure7(), 3);
+    rows.push(analyze(
+        &mut t,
+        &mut rr,
+        "figure3",
+        &fires_circuits::figures::figure3(),
+        15,
+    ));
+    rows.push(analyze(
+        &mut t,
+        &mut rr,
+        "figure7",
+        &fires_circuits::figures::figure7(),
+        3,
+    ));
     let defaults = ["s208_like", "s386_like", "s420_like", "s838_like"];
     for entry in fires_circuits::suite::table2_suite() {
         let selected = if filter.is_empty() {
@@ -93,10 +125,18 @@ fn main() {
             filter.iter().any(|f| f == entry.name)
         };
         if selected {
-            analyze(&mut t, entry.name, &entry.circuit, entry.frames);
+            rows.push(analyze(
+                &mut t,
+                &mut rr,
+                entry.name,
+                &entry.circuit,
+                entry.frames,
+            ));
         }
     }
     println!("{}", t.render());
+    rr.set_extra("rows", Json::Arr(rows));
+    json.write(&rr);
     println!(
         "Every counted fault leaves the functional circuit indistinguishable\n\
          from a fault-free one (after at most Max-c warm-up clocks), yet a\n\

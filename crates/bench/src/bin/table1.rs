@@ -4,11 +4,13 @@
 //! c-cycle redundant faults.
 //!
 //! Run with `cargo run --release -p fires-bench --bin table1`.
+//! Pass `--json <path>` to also write a machine-readable run report.
 
-use fires_bench::TextTable;
+use fires_bench::{JsonOut, TextTable};
 use fires_core::{Fires, FiresConfig};
 
 fn main() {
+    let (json, _args) = JsonOut::from_env();
     let circuit = fires_circuits::figures::figure7();
     let fires = Fires::new(&circuit, FiresConfig::with_max_frames(3));
     let stem = fires.lines().stem_of(circuit.find("c").expect("stem c"));
@@ -20,8 +22,7 @@ fn main() {
     for (label, imp) in [("c = 0-bar", &p0), ("c = 1-bar", &p1)] {
         let trace = fires.trace(imp);
         let mut t = TextTable::new(["Time", "Uncontrollable", "Unobservable"]);
-        let frames: Vec<i32> =
-            (imp.window().leftmost()..=imp.window().rightmost()).collect();
+        let frames: Vec<i32> = (imp.window().leftmost()..=imp.window().rightmost()).collect();
         for &f in &frames {
             let unc: Vec<String> = trace
                 .uncontrollable
@@ -58,4 +59,6 @@ fn main() {
         report.num_zero_cycle(),
         report.max_c()
     );
+
+    json.write(&report.run_report("table1", "figure7"));
 }

@@ -6,15 +6,19 @@
 //! validation, the number of 0-cycle redundancies and the maximum `c`.
 //!
 //! Run with `cargo run --release -p fires-bench --bin table2`.
-//! Pass circuit names as arguments to restrict the rows.
+//! Pass circuit names as arguments to restrict the rows, and
+//! `--json <path>` to also write a machine-readable run report.
 
 use std::io::Write;
 
-use fires_bench::table2_row;
+use fires_bench::{json_row, table2_row, JsonOut};
 use fires_circuits::suite::table2_suite;
+use fires_obs::{Json, RunReport};
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let (json, filter) = JsonOut::from_env();
+    let mut rr = RunReport::new("table2", "suite");
+    let mut rows = Vec::new();
     println!("Table 2: results for benchmark circuits\n");
     println!(
         "{:<12} {:>5} | {:>7} {:>7} | {:>7} {:>7} {:>8} {:>7}",
@@ -38,6 +42,22 @@ fn main() {
             row.max_c
         );
         std::io::stdout().flush().ok();
+        rr.metrics.merge(&row.metrics);
+        rr.add_phase(row.name, row.cpu_unvalidated + row.cpu_validated);
+        rows.push(json_row([
+            ("circuit", Json::from(row.name)),
+            ("frames", Json::from(row.frames)),
+            ("untestable", Json::from(row.untestable)),
+            ("cpu_unvalidated", Json::from(row.cpu_unvalidated)),
+            ("redundant", Json::from(row.redundant)),
+            ("cpu_validated", Json::from(row.cpu_validated)),
+            ("zero_cycle", Json::from(row.zero_cycle)),
+            ("max_c", Json::from(row.max_c)),
+        ]));
     }
     println!("\ndone");
+    let total: f64 = rr.phases.iter().map(|(_, s)| s).sum();
+    rr.total_seconds = total;
+    rr.set_extra("rows", Json::Arr(rows));
+    json.write(&rr);
 }

@@ -11,19 +11,16 @@
 //! [circuit-name] [max-targets]`.
 
 use fires_atpg::Atpg;
-use fires_bench::{fires_targets, gentest_like, TextTable};
+use fires_bench::{fires_targets, gentest_like, record_campaign, JsonOut, TextTable};
 use fires_core::{Fires, FiresConfig};
 use fires_netlist::LineGraph;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (json, args) = JsonOut::from_env();
     let name = args.first().map(String::as_str).unwrap_or("s5378_like");
     // Default cap keeps the harness runtime sane on redundancy-rich
     // generated circuits (pass a large number to target everything).
-    let max_targets: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500);
+    let max_targets: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
     let entry = fires_circuits::suite::by_name(name).expect("unknown suite circuit");
 
     let config = FiresConfig::with_max_frames(entry.frames).without_validation();
@@ -46,8 +43,14 @@ fn main() {
     // the full FIRES fault set for a like-for-like speed-up figure.
     let atpg_cpu_full = atpg_cpu * report.len() as f64 / targets.len().max(1) as f64;
     let mut t = TextTable::new([
-        "Circuit", "FIRES #Unt", "FIRES CPU s", "ATPG #Unt", "ATPG #Abo", "ATPG #Det",
-        "ATPG CPU s", "Speed-up",
+        "Circuit",
+        "FIRES #Unt",
+        "FIRES CPU s",
+        "ATPG #Unt",
+        "ATPG #Abo",
+        "ATPG #Det",
+        "ATPG CPU s",
+        "Speed-up",
     ]);
     t.row([
         name.to_string(),
@@ -71,4 +74,12 @@ fn main() {
             summary.num_detected()
         );
     }
+
+    let mut rr = report.run_report("table3", name);
+    record_campaign(&mut rr, &summary);
+    rr.set_extra("targets", targets.len() as u64);
+    rr.set_extra("fires_cpu_seconds", fires_cpu);
+    rr.set_extra("atpg_cpu_seconds", atpg_cpu);
+    rr.set_extra("speedup_extrapolated", atpg_cpu_full / fires_cpu.max(1e-9));
+    json.write(&rr);
 }

@@ -22,8 +22,12 @@ use std::time::Duration;
 
 use fires_atpg::AtpgConfig;
 use fires_circuits::suite::SuiteEntry;
-use fires_core::{Fires, FiresConfig, FiresReport};
+use fires_core::{Fires, FiresConfig, FiresReport, RunMetrics};
 use fires_netlist::Fault;
+
+mod reporting;
+
+pub use reporting::{json_row, record_campaign, record_fault_sim, JsonOut};
 
 /// A minimal fixed-width text table (the paper's tables are plain text).
 #[derive(Clone, Debug, Default)]
@@ -124,6 +128,9 @@ pub struct Table2Row {
     pub zero_cycle: usize,
     /// Largest `c` over the redundant faults.
     pub max_c: u32,
+    /// Engine metrics merged over both runs (empty when `fires-core` is
+    /// built without its `tracing` feature).
+    pub metrics: RunMetrics,
 }
 
 /// Runs both FIRES modes on one suite circuit, using every available
@@ -132,9 +139,10 @@ pub struct Table2Row {
 pub fn table2_row(entry: &SuiteEntry) -> Table2Row {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let base = FiresConfig::with_max_frames(entry.frames);
-    let unvalidated =
-        Fires::new(&entry.circuit, base.without_validation()).run_threaded(threads);
+    let unvalidated = Fires::new(&entry.circuit, base.without_validation()).run_threaded(threads);
     let validated = Fires::new(&entry.circuit, base).run_threaded(threads);
+    let mut metrics = unvalidated.metrics().clone();
+    metrics.merge(validated.metrics());
     Table2Row {
         name: entry.name,
         frames: entry.frames,
@@ -144,6 +152,7 @@ pub fn table2_row(entry: &SuiteEntry) -> Table2Row {
         cpu_validated: validated.elapsed().as_secs_f64(),
         zero_cycle: validated.num_zero_cycle(),
         max_c: validated.max_c(),
+        metrics,
     }
 }
 

@@ -1,0 +1,154 @@
+//! Machine-readable run reports for the experiment binaries.
+//!
+//! Every binary accepts `--json <path>` (or `--json=<path>`): alongside
+//! its usual text table it then writes a schema-versioned
+//! [`RunReport`](fires_obs::RunReport) capturing phase timings, counters
+//! and the table's data, so experiment results can be diffed, plotted and
+//! regression-tracked without scraping stdout.
+
+use std::path::PathBuf;
+
+use fires_atpg::CampaignSummary;
+use fires_obs::{Json, RunReport};
+use fires_sim::FaultSimSummary;
+
+/// The `--json` output destination extracted from the command line.
+#[derive(Clone, Debug, Default)]
+pub struct JsonOut {
+    path: Option<PathBuf>,
+}
+
+impl JsonOut {
+    /// Removes a `--json <path>` or `--json=<path>` flag from `args`,
+    /// leaving the positional arguments in place.
+    pub fn extract(args: &mut Vec<String>) -> JsonOut {
+        let mut path = None;
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(p) = args[i].strip_prefix("--json=") {
+                path = Some(PathBuf::from(p));
+                args.remove(i);
+            } else if args[i] == "--json" {
+                args.remove(i);
+                if i < args.len() {
+                    path = Some(PathBuf::from(args.remove(i)));
+                } else {
+                    eprintln!("error: --json needs a file path");
+                    std::process::exit(2);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        JsonOut { path }
+    }
+
+    /// Parses the process arguments, returning the sink and the remaining
+    /// positional arguments (program name stripped).
+    pub fn from_env() -> (JsonOut, Vec<String>) {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        let out = JsonOut::extract(&mut args);
+        (out, args)
+    }
+
+    /// Whether `--json` was passed.
+    pub fn requested(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Writes the report if `--json` was passed (otherwise a no-op).
+    /// Failing to write a report the user asked for aborts the run.
+    pub fn write(&self, report: &RunReport) {
+        if let Some(path) = &self.path {
+            if let Err(e) = report.write_to_file(path) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            println!("wrote JSON report to {}", path.display());
+        }
+    }
+}
+
+/// Folds an ATPG campaign into `report` under the `atpg.` namespace.
+pub fn record_campaign(report: &mut RunReport, summary: &CampaignSummary) {
+    let m = &mut report.metrics;
+    m.incr("atpg.faults_targeted", summary.results.len() as u64);
+    m.incr("atpg.detected", summary.num_detected() as u64);
+    m.incr("atpg.untestable", summary.num_untestable() as u64);
+    m.incr("atpg.aborted", summary.num_aborted() as u64);
+    m.incr("atpg.backtracks", summary.total_backtracks());
+    m.incr("atpg.decisions", summary.total_decisions());
+    m.set_max("atpg.max_decision_depth", summary.max_decision_depth());
+    report.add_phase("atpg", summary.elapsed.as_secs_f64());
+}
+
+/// Folds a fault-simulation summary into `report` under the `sim.`
+/// namespace.
+pub fn record_fault_sim(report: &mut RunReport, summary: &FaultSimSummary) {
+    let m = &mut report.metrics;
+    m.incr("sim.faults", summary.detections.len() as u64);
+    m.incr("sim.detected", summary.num_detected() as u64);
+    m.incr("sim.cycles_simulated", summary.cycles_simulated);
+    m.incr("sim.cycles_offered", summary.cycles_offered);
+    m.incr("sim.cycles_saved", summary.cycles_saved());
+    m.incr("sim.gate_evaluations", summary.gate_evaluations);
+}
+
+/// A `{"name": ..., ...}` JSON object row, for table-shaped extras.
+pub fn json_row<I>(fields: I) -> Json
+where
+    I: IntoIterator<Item = (&'static str, Json)>,
+{
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn extract_takes_separate_form() {
+        let mut args = strings(&["s27", "--json", "out.json", "500"]);
+        let out = JsonOut::extract(&mut args);
+        assert!(out.requested());
+        assert_eq!(out.path.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(args, strings(&["s27", "500"]));
+    }
+
+    #[test]
+    fn extract_takes_equals_form() {
+        let mut args = strings(&["--json=r.json"]);
+        let out = JsonOut::extract(&mut args);
+        assert_eq!(out.path.as_deref(), Some(std::path::Path::new("r.json")));
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn extract_without_flag_is_inert() {
+        let mut args = strings(&["s27", "500"]);
+        let out = JsonOut::extract(&mut args);
+        assert!(!out.requested());
+        assert_eq!(args, strings(&["s27", "500"]));
+        // write() without a path is a no-op.
+        out.write(&RunReport::new("t", "s"));
+    }
+
+    #[test]
+    fn campaign_and_sim_recording() {
+        let mut r = RunReport::new("test", "s27");
+        record_campaign(&mut r, &CampaignSummary::default());
+        record_fault_sim(&mut r, &FaultSimSummary::default());
+        assert_eq!(r.metrics.counter("atpg.faults_targeted"), 0);
+        assert_eq!(r.metrics.counter("sim.cycles_saved"), 0);
+        assert_eq!(r.phases.len(), 1);
+    }
+}

@@ -92,7 +92,10 @@ pub fn shift_register(n: usize) -> Circuit {
 ///
 /// Panics if `width < 2` or `depth == 0`.
 pub fn pipeline(width: usize, depth: usize, balanced: bool) -> Circuit {
-    assert!(width >= 2 && depth >= 1, "pipeline needs width >= 2, depth >= 1");
+    assert!(
+        width >= 2 && depth >= 1,
+        "pipeline needs width >= 2, depth >= 1"
+    );
     let mut b = CircuitBuilder::new();
     let mut lane: Vec<NodeId> = (0..width).map(|i| b.input(&format!("in{i}"))).collect();
     let first_input = lane[0];
@@ -135,11 +138,7 @@ pub fn pipeline(width: usize, depth: usize, balanced: bool) -> Circuit {
 /// an AND recombines them. Returns `(and_output, observed_ff)`; the caller
 /// must keep both observable for the pattern's 1-cycle redundancy to be
 /// non-trivial.
-pub fn fig3_pattern(
-    b: &mut CircuitBuilder,
-    tag: &str,
-    src: NodeId,
-) -> (NodeId, NodeId) {
+pub fn fig3_pattern(b: &mut CircuitBuilder, tag: &str, src: NodeId) -> (NodeId, NodeId) {
     let ff1 = b.gate(&format!("{tag}_b"), GateKind::Dff, &[src]);
     let ff2 = b.gate(&format!("{tag}_c"), GateKind::Dff, &[src]);
     let and = b.gate(&format!("{tag}_d"), GateKind::And, &[ff1, ff2]);
@@ -154,12 +153,7 @@ pub fn fig3_pattern(
 /// # Panics
 ///
 /// Panics if `depth == 0`.
-pub fn chain_pair_pattern(
-    b: &mut CircuitBuilder,
-    tag: &str,
-    src: NodeId,
-    depth: usize,
-) -> NodeId {
+pub fn chain_pair_pattern(b: &mut CircuitBuilder, tag: &str, src: NodeId, depth: usize) -> NodeId {
     assert!(depth > 0, "chain pair needs depth >= 1");
     let mut p = src;
     let mut q = src;
@@ -211,7 +205,9 @@ pub fn fsm_one_hot(states: usize, inputs: usize, seed: u64) -> Circuit {
         .enumerate()
         .map(|(i, &x)| b.gate(&format!("nx{i}"), GateKind::Not, &[x]))
         .collect();
-    let ffs: Vec<NodeId> = (0..states).map(|j| b.placeholder(&format!("s{j}"))).collect();
+    let ffs: Vec<NodeId> = (0..states)
+        .map(|j| b.placeholder(&format!("s{j}")))
+        .collect();
 
     // Every state gets two outgoing transitions on complementary input
     // tests, so each state always hands its token somewhere.
@@ -376,7 +372,8 @@ pub fn random_sequential(cfg: &RandomConfig) -> Circuit {
         };
         b.output(merged);
     }
-    b.build().expect("random circuit is well-formed by construction")
+    b.build()
+        .expect("random circuit is well-formed by construction")
 }
 
 #[cfg(test)]
@@ -489,11 +486,7 @@ mod tests {
         sim.set_state(&[Logic3::One, Logic3::Zero, Logic3::Zero, Logic3::Zero]);
         for step in 0..8 {
             let _ = sim.step(&[Logic3::from(step % 2 == 0)], None);
-            let ones = sim
-                .state()
-                .iter()
-                .filter(|&&v| v == Logic3::One)
-                .count();
+            let ones = sim.state().iter().filter(|&&v| v == Logic3::One).count();
             assert_eq!(ones, 1, "token lost or duplicated at step {step}");
         }
     }
@@ -521,10 +514,7 @@ mod tests {
             fires_netlist::bench::to_text(&a),
             fires_netlist::bench::to_text(&b)
         );
-        let c = random_sequential(&RandomConfig {
-            seed: 8,
-            ..cfg
-        });
+        let c = random_sequential(&RandomConfig { seed: 8, ..cfg });
         assert_ne!(
             fires_netlist::bench::to_text(&a),
             fires_netlist::bench::to_text(&c)

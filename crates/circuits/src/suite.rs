@@ -78,7 +78,11 @@ fn pipeline_with_conflicts(width: usize, depth: usize, conflicts: usize) -> Circ
     let mut lane: Vec<NodeId> = (0..width).map(|i| b.input(&format!("in{i}"))).collect();
     let mut observed = Vec::new();
     for k in 0..conflicts {
-        observed.push(comb_conflict_pattern(&mut b, &format!("cc{k}"), lane[k % width]));
+        observed.push(comb_conflict_pattern(
+            &mut b,
+            &format!("cc{k}"),
+            lane[k % width],
+        ));
     }
     for d in 0..depth {
         let mixed: Vec<NodeId> = (0..width)
@@ -88,7 +92,11 @@ fn pipeline_with_conflicts(width: usize, depth: usize, conflicts: usize) -> Circ
                     1 => GateKind::Nor,
                     _ => GateKind::Xor,
                 };
-                b.gate(&format!("m{d}_{i}"), kind, &[lane[i], lane[(i + 1) % width]])
+                b.gate(
+                    &format!("m{d}_{i}"),
+                    kind,
+                    &[lane[i], lane[(i + 1) % width]],
+                )
             })
             .collect();
         lane = mixed

@@ -6,8 +6,25 @@ use std::collections::{HashMap, VecDeque};
 
 use fires_netlist::{graph, Circuit, GateKind, LineGraph, LineId, LineKind, NodeId};
 
+use crate::instrument::core_event;
 use crate::window::{Frame, Window};
 use crate::FiresConfig;
+
+/// Always-on hot-path counters of one implication process. Plain integer
+/// bumps — cheap enough to keep unconditionally; the FIRES driver folds
+/// them into its run metrics when the `tracing` feature is on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// High-water mark of the uncontrollability work queue.
+    pub max_queue_depth: usize,
+    /// High-water mark of the unobservability work queue.
+    pub max_unobs_queue_depth: usize,
+    /// Unobservability propagations refused because the blame set would
+    /// exceed [`FiresConfig::blame_cap`].
+    pub blame_cap_rejections: usize,
+    /// Times the frame window grew to admit a new indicator.
+    pub window_extensions: usize,
+}
 
 /// An uncontrollability indicator value: the line *cannot take* this value.
 ///
@@ -159,6 +176,7 @@ pub struct Implications<'c> {
     uqueue: VecDeque<(LineId, Frame)>,
     const_frames_done: Vec<Frame>,
     truncated: bool,
+    stats: EngineStats,
     local_cache: DistCache,
 }
 
@@ -178,6 +196,7 @@ impl<'c> Implications<'c> {
             uqueue: VecDeque::new(),
             const_frames_done: Vec::new(),
             truncated: false,
+            stats: EngineStats::default(),
             local_cache: DistCache::new(),
         };
         s.ensure_const_axioms();
@@ -244,6 +263,11 @@ impl<'c> Implications<'c> {
         self.truncated
     }
 
+    /// Hot-path counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
     /// Leftmost frame of the derivation rooted at `id` (`min_frame`).
     pub fn min_frame_of(&self, id: MarkId) -> Frame {
         self.marks[id.index()].min_frame
@@ -253,7 +277,7 @@ impl<'c> Implications<'c> {
     // Uncontrollability
     // ------------------------------------------------------------------
 
-    fn run_uncontrollability(&mut self) {
+    pub(crate) fn run_uncontrollability(&mut self) {
         while let Some(id) = self.queue.pop_front() {
             if self.truncated {
                 self.queue.clear();
@@ -275,6 +299,12 @@ impl<'c> Implications<'c> {
             if !self.window.try_extend_to(frame) {
                 return None;
             }
+            self.stats.window_extensions += 1;
+            core_event!(
+                "core.frame_extended",
+                frame = frame as i64,
+                marks = self.marks.len()
+            );
             self.ensure_const_axioms();
         }
         let entry = self.index.entry((line, frame)).or_default();
@@ -300,6 +330,7 @@ impl<'c> Implications<'c> {
         });
         self.index.get_mut(&(line, frame)).expect("just inserted")[unc.bit()] = Some(id);
         self.queue.push_back(id);
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
         Some(id)
     }
 
@@ -458,13 +489,7 @@ impl<'c> Implications<'c> {
                 for w in [false, true] {
                     let reachable = achievable >> usize::from(w) & 1 == 1;
                     if !reachable && !support.is_empty() {
-                        self.add_mark(
-                            out,
-                            frame,
-                            Unc::cannot_be(w ^ inv),
-                            support.clone(),
-                            false,
-                        );
+                        self.add_mark(out, frame, Unc::cannot_be(w ^ inv), support.clone(), false);
                     }
                 }
             }
@@ -532,15 +557,11 @@ impl<'c> Implications<'c> {
                             }
                             match self.possible_mask(lj, frame) {
                                 0b01 => {
-                                    parents.push(
-                                        self.mark_at(lj, frame, Unc::One).expect("mask"),
-                                    );
+                                    parents.push(self.mark_at(lj, frame, Unc::One).expect("mask"));
                                 }
                                 0b10 => {
                                     parity ^= true;
-                                    parents.push(
-                                        self.mark_at(lj, frame, Unc::Zero).expect("mask"),
-                                    );
+                                    parents.push(self.mark_at(lj, frame, Unc::Zero).expect("mask"));
                                 }
                                 _ => {
                                     pinned = false;
@@ -565,7 +586,7 @@ impl<'c> Implications<'c> {
     // Unobservability
     // ------------------------------------------------------------------
 
-    fn run_unobservability(&mut self, cache: &mut DistCache) {
+    pub(crate) fn run_unobservability(&mut self, cache: &mut DistCache) {
         self.seed_blocked_pins();
         self.seed_dangling_lines();
         while let Some((line, frame)) = self.uqueue.pop_front() {
@@ -623,10 +644,14 @@ impl<'c> Implications<'c> {
     }
 
     fn add_unobs(&mut self, line: LineId, frame: Frame, blame: Vec<MarkId>) {
-        if !self.window.contains(frame) && !self.window.try_extend_to(frame) {
-            return;
+        if !self.window.contains(frame) {
+            if !self.window.try_extend_to(frame) {
+                return;
+            }
+            self.stats.window_extensions += 1;
         }
         if blame.len() > self.config.blame_cap {
+            self.stats.blame_cap_rejections += 1;
             return;
         }
         if self.unobs.contains_key(&(line, frame)) {
@@ -637,6 +662,7 @@ impl<'c> Implications<'c> {
         blame.dedup();
         self.unobs.insert((line, frame), UnobsInfo { blame });
         self.uqueue.push_back((line, frame));
+        self.stats.max_unobs_queue_depth = self.stats.max_unobs_queue_depth.max(self.uqueue.len());
     }
 
     fn process_unobs(&mut self, line_id: LineId, frame: Frame, cache: &mut DistCache) {
@@ -690,6 +716,7 @@ impl<'c> Implications<'c> {
         blame.sort_unstable();
         blame.dedup();
         if blame.len() > self.config.blame_cap {
+            self.stats.blame_cap_rejections += 1;
             return;
         }
         // Side condition: no sequential path from the stem (frames
@@ -888,10 +915,9 @@ mod tests {
     fn unobservability_propagates_through_gates_and_ffs() {
         // y feeds only gate g blocked by b; y's cone upstream becomes
         // unobservable, across the flip-flop.
-        let c = bench::parse(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(a)\ny = NOT(q)\nz = AND(y, b)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(a)\ny = NOT(q)\nz = AND(y, b)\n")
+                .unwrap();
         let lg = LineGraph::build(&c);
         let i = imp(&c, &lg, "b", Unc::One, 4);
         let y = lg.stem_of(c.find("y").unwrap());
@@ -964,10 +990,8 @@ mod tests {
         // z = XOR(a, b, c): pin a (can't be 0) and b (can't be 1); assume
         // z can't be... derive forward: with a=1, b=0 pinned, parity of
         // (a, b) = 1, so z = 1 ^ c: nothing derivable while c is free.
-        let cc = bench::parse(
-            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nz = XOR(a, b, c)\n",
-        )
-        .unwrap();
+        let cc =
+            bench::parse("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nz = XOR(a, b, c)\n").unwrap();
         let lg = LineGraph::build(&cc);
         let mut i = Implications::new(&cc, &lg, FiresConfig::with_max_frames(1));
         i.assume(lg.stem_of(cc.find("a").unwrap()), Unc::Zero);

@@ -103,10 +103,8 @@ mod tests {
     #[test]
     fn envelope_finds_combinational_redundancy() {
         // A purely combinational conflict survives the transform.
-        let circuit = bench::parse(
-            "INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nn = NOT(q)\nz = AND(q, n)\n",
-        )
-        .unwrap();
+        let circuit =
+            bench::parse("INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nn = NOT(q)\nz = AND(q, n)\n").unwrap();
         let env = funtest_like(&circuit).unwrap();
         assert!(env.contains_name("z s-a-0"), "{:?}", env.untestable);
     }

@@ -90,10 +90,9 @@ mod tests {
     #[test]
     fn sequential_circuit_is_restricted_to_one_frame() {
         // The Figure-3 fault needs two frames; single-frame FIRE misses it.
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let r = fire(&c);
         assert!(r.is_empty());
     }

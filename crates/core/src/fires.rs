@@ -1,14 +1,26 @@
 //! The FIRES driver (paper Section 5.3, Figure 6).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use fires_netlist::{Circuit, Fault, GateKind, LineGraph, LineId, StuckValue};
 
+use crate::config::ProgressEvent;
 use crate::engine::{DistCache, Implications, MarkId, Unc};
+use crate::instrument::{core_span, PhaseClock, RunMetrics};
 use crate::report::{FiresReport, IdentifiedFault, ProcessTrace};
 use crate::window::Frame;
 use crate::{FiresConfig, ValidationPolicy};
+
+/// Phase names used by the driver's [`PhaseClock`]; the same strings
+/// appear in `FiresReport::phase_times` and in JSON run reports.
+pub(crate) mod phase {
+    /// Uncontrollability fixpoint (paper Section 5.1).
+    pub const IMPLICATION: &str = "implication";
+    /// Unobservability fixpoint (paper Section 5.1).
+    pub const UNOBSERVABILITY: &str = "unobservability";
+    /// Fault-set assembly and Definition-6 validation (Section 5.2).
+    pub const VALIDATION: &str = "validation";
+}
 
 /// Per-stem statistics from a detailed run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,7 +103,8 @@ impl<'c> Fires<'c> {
 
     /// Runs the algorithm, additionally returning per-stem statistics.
     pub fn run_detailed(&self) -> (FiresReport<'c>, Vec<StemOutcome>) {
-        let start = Instant::now();
+        let mut clock = PhaseClock::start();
+        let mut metrics = RunMetrics::new();
         let mut cache = DistCache::new();
         let mut forced_cache = ForcedCache::default();
         let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
@@ -99,9 +112,15 @@ impl<'c> Fires<'c> {
         let mut marks_total = 0usize;
         let mut max_frames = 1usize;
         let stems: Vec<LineId> = self.lines.fanout_stems(self.circuit).collect();
-        for &stem in &stems {
-            let (found, marks, frames) =
-                self.process_stem(stem, &mut cache, &mut forced_cache, &mut best);
+        for (done, &stem) in stems.iter().enumerate() {
+            let (found, marks, frames) = self.process_stem(
+                stem,
+                &mut cache,
+                &mut forced_cache,
+                &mut best,
+                &mut metrics,
+                &mut clock,
+            );
             marks_total += marks;
             max_frames = max_frames.max(frames);
             outcomes.push(StemOutcome {
@@ -110,9 +129,20 @@ impl<'c> Fires<'c> {
                 marks,
                 frames_used: frames,
             });
+            if let Some(hook) = self.config.progress {
+                hook(ProgressEvent {
+                    stems_done: done + 1,
+                    stems_total: stems.len(),
+                    stem,
+                    faults_found: found,
+                    marks,
+                });
+            }
         }
         let mut identified: Vec<IdentifiedFault> = best.into_values().collect();
         identified.sort_by_key(|f| (f.fault.line, f.fault.stuck));
+        metrics.incr("core.identified_faults", identified.len() as u64);
+        metrics.set_max("core.max_frames_used", max_frames as u64);
         let report = FiresReport {
             circuit: self.circuit,
             lines: self.lines.clone(),
@@ -121,7 +151,8 @@ impl<'c> Fires<'c> {
             stems_processed: stems.len(),
             marks_created: marks_total,
             max_frames_used: max_frames,
-            elapsed: start.elapsed(),
+            metrics,
+            phase_times: clock.finish(),
         };
         (report, outcomes)
     }
@@ -131,44 +162,85 @@ impl<'c> Fires<'c> {
     /// identical to [`run`](Self::run) (deterministic merge), typically at
     /// a near-linear speedup on large circuits.
     ///
+    /// Observability notes: the per-phase durations in the report are
+    /// summed across workers, so with `threads > 1` they measure
+    /// aggregate compute time and may exceed the wall-clock total. The
+    /// progress hook (if any) is invoked from worker threads.
+    ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn run_threaded(&self, threads: usize) -> FiresReport<'c> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
         assert!(threads >= 1, "need at least one worker");
-        let start = Instant::now();
+        let clock = PhaseClock::start();
         let stems: Vec<LineId> = self.lines.fanout_stems(self.circuit).collect();
         let chunk = stems.len().div_ceil(threads).max(1);
-        type WorkerResult = (HashMap<Fault, IdentifiedFault>, usize, usize);
-        let results: Vec<WorkerResult> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = stems
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || {
-                            let mut cache = DistCache::new();
-                            let mut forced = ForcedCache::default();
-                            let mut best = HashMap::new();
-                            let mut marks = 0usize;
-                            let mut frames = 1usize;
-                            for &stem in part {
-                                let (_, m, f) =
-                                    self.process_stem(stem, &mut cache, &mut forced, &mut best);
-                                marks += m;
-                                frames = frames.max(f);
+        let done = AtomicUsize::new(0);
+        type WorkerResult = (
+            HashMap<Fault, IdentifiedFault>,
+            usize,
+            usize,
+            RunMetrics,
+            crate::instrument::PhaseTimes,
+        );
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = stems
+                .chunks(chunk)
+                .map(|part| {
+                    let done = &done;
+                    let stems_total = stems.len();
+                    scope.spawn(move || {
+                        let mut worker_clock = PhaseClock::start();
+                        let mut worker_metrics = RunMetrics::new();
+                        let mut cache = DistCache::new();
+                        let mut forced = ForcedCache::default();
+                        let mut best = HashMap::new();
+                        let mut marks = 0usize;
+                        let mut frames = 1usize;
+                        for &stem in part {
+                            let (found, m, f) = self.process_stem(
+                                stem,
+                                &mut cache,
+                                &mut forced,
+                                &mut best,
+                                &mut worker_metrics,
+                                &mut worker_clock,
+                            );
+                            marks += m;
+                            frames = frames.max(f);
+                            if let Some(hook) = self.config.progress {
+                                hook(ProgressEvent {
+                                    stems_done: done.fetch_add(1, Ordering::Relaxed) + 1,
+                                    stems_total,
+                                    stem,
+                                    faults_found: found,
+                                    marks: m,
+                                });
                             }
-                            (best, marks, frames)
-                        })
+                        }
+                        (best, marks, frames, worker_metrics, worker_clock.finish())
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        let mut clock = clock;
+        let mut metrics = RunMetrics::new();
         let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
         let mut marks_total = 0usize;
         let mut max_frames = 1usize;
-        for (part, marks, frames) in results {
+        for (part, marks, frames, worker_metrics, worker_times) in results {
             marks_total += marks;
             max_frames = max_frames.max(frames);
+            metrics.merge(&worker_metrics);
+            for (name, d) in &worker_times.phases {
+                clock.add(name, *d);
+            }
             for (fault, cand) in part {
                 best.entry(fault)
                     .and_modify(|e| {
@@ -183,6 +255,8 @@ impl<'c> Fires<'c> {
         }
         let mut identified: Vec<IdentifiedFault> = best.into_values().collect();
         identified.sort_by_key(|f| (f.fault.line, f.fault.stuck));
+        metrics.incr("core.identified_faults", identified.len() as u64);
+        metrics.set_max("core.max_frames_used", max_frames as u64);
         FiresReport {
             circuit: self.circuit,
             lines: self.lines.clone(),
@@ -191,7 +265,8 @@ impl<'c> Fires<'c> {
             stems_processed: stems.len(),
             marks_created: marks_total,
             max_frames_used: max_frames,
-            elapsed: start.elapsed(),
+            metrics,
+            phase_times: clock.finish(),
         }
     }
 
@@ -235,25 +310,53 @@ impl<'c> Fires<'c> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn process_stem(
         &self,
         stem: LineId,
         cache: &mut DistCache,
         forced_cache: &mut ForcedCache,
         best: &mut HashMap<Fault, IdentifiedFault>,
+        metrics: &mut RunMetrics,
+        clock: &mut PhaseClock,
     ) -> (usize, usize, usize) {
+        let _span = core_span!("core.stem", stem = stem.index());
+        clock.enter(phase::IMPLICATION);
         let mut p0 = Implications::new(self.circuit, &self.lines, self.config);
         p0.assume(stem, Unc::Zero);
-        p0.propagate_with_cache(cache);
+        p0.run_uncontrollability();
         let mut p1 = Implications::new(self.circuit, &self.lines, self.config);
         p1.assume(stem, Unc::One);
-        p1.propagate_with_cache(cache);
+        p1.run_uncontrollability();
+        clock.enter(phase::UNOBSERVABILITY);
+        p0.run_unobservability(cache);
+        p1.run_unobservability(cache);
 
-        let s0 = self.collect_fault_sets(&p0, forced_cache);
-        let s1 = self.collect_fault_sets(&p1, forced_cache);
+        clock.enter(phase::VALIDATION);
+        let s0 = self.collect_fault_sets(&p0, forced_cache, metrics);
+        let s1 = self.collect_fault_sets(&p1, forced_cache, metrics);
 
         let marks = p0.marks().len() + p1.marks().len();
         let frames = p0.window().len().max(p1.window().len());
+        metrics.incr("core.stems_processed", 1);
+        metrics.incr("core.marks_created", marks as u64);
+        metrics.incr(
+            "core.truncated_processes",
+            u64::from(p0.truncated()) + u64::from(p1.truncated()),
+        );
+        metrics.observe("core.stem_marks", marks as u64);
+        for stats in [p0.stats(), p1.stats()] {
+            metrics.incr(
+                "core.blame_cap_rejections",
+                stats.blame_cap_rejections as u64,
+            );
+            metrics.incr("core.window_extensions", stats.window_extensions as u64);
+            metrics.set_max("core.max_queue_depth", stats.max_queue_depth as u64);
+            metrics.set_max(
+                "core.max_unobs_queue_depth",
+                stats.max_unobs_queue_depth as u64,
+            );
+        }
 
         let mut found = 0usize;
         for (&(fault, frame), sup0) in &s0 {
@@ -281,6 +384,8 @@ impl<'c> Fires<'c> {
                     stem,
                 });
         }
+        clock.exit();
+        metrics.incr("core.faults_found", found as u64);
         (found, marks, frames)
     }
 
@@ -290,13 +395,14 @@ impl<'c> Fires<'c> {
         &self,
         imp: &Implications<'_>,
         forced_cache: &mut ForcedCache,
+        metrics: &mut RunMetrics,
     ) -> HashMap<(Fault, Frame), Support> {
         let mut sets: HashMap<(Fault, Frame), Support> = HashMap::new();
         let mut validity = ValidityCache::default();
         let add = |sets: &mut HashMap<(Fault, Frame), Support>,
-                       fault: Fault,
-                       frame: Frame,
-                       sup: Support| {
+                   fault: Fault,
+                   frame: Frame,
+                   sup: Support| {
             sets.entry((fault, frame))
                 .and_modify(|e| e.min_unc_frame = e.min_unc_frame.max(sup.min_unc_frame))
                 .or_insert(sup);
@@ -311,11 +417,12 @@ impl<'c> Fires<'c> {
                 Unc::One => StuckValue::Zero,
             };
             let fault = Fault::new(m.line, stuck);
-            if self.config.validate
-                && !validity.valid(self, imp, forced_cache, fault, m.frame, id)
+            if self.config.validate && !validity.valid(self, imp, forced_cache, fault, m.frame, id)
             {
+                metrics.incr("core.validation_rejects", 1);
                 continue;
             }
+            metrics.incr("core.validation_accepts", 1);
             add(
                 &mut sets,
                 fault,
@@ -329,6 +436,7 @@ impl<'c> Fires<'c> {
         // Unobservable faults: both stuck values, provided every blame
         // indicator survives in the faulty circuit.
         for (line, frame, info) in imp.unobs_iter() {
+            metrics.observe("core.blame_set_size", info.blame.len() as u64);
             for stuck in [StuckValue::Zero, StuckValue::One] {
                 let fault = Fault::new(line, stuck);
                 if self.config.validate
@@ -337,8 +445,10 @@ impl<'c> Fires<'c> {
                         .iter()
                         .all(|&b| validity.valid(self, imp, forced_cache, fault, frame, b))
                 {
+                    metrics.incr("core.validation_rejects", 1);
                     continue;
                 }
+                metrics.incr("core.validation_accepts", 1);
                 let min_unc_frame = info
                     .blame
                     .iter()
@@ -585,15 +695,16 @@ mod tests {
 
     #[test]
     fn figure3_identifies_the_branch_fault_as_one_cycle() {
-        let circuit = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let circuit =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let fires = Fires::new(&circuit, FiresConfig::default());
         let report = fires.run();
         let names = report.display_faults();
         assert!(
-            names.iter().any(|n| n.contains("s-a-1") && n.contains("(c = 1)")),
+            names
+                .iter()
+                .any(|n| n.contains("s-a-1") && n.contains("(c = 1)")),
             "expected the 1-cycle redundant c1 s-a-1, got {names:?}"
         );
     }
@@ -602,8 +713,7 @@ mod tests {
     fn combinational_conflict_is_zero_cycle() {
         // Classic FIRE example: stem a fans out; z needs a=0 and a=1.
         //   n = NOT(a); z = AND(a, n)  => z s-a-1 requires the conflict.
-        let circuit =
-            bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let circuit = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
         let report = Fires::new(&circuit, FiresConfig::default()).run();
         assert!(!report.is_empty());
         assert!(report.redundant_faults().iter().all(|f| f.c == 0));
@@ -614,23 +724,20 @@ mod tests {
 
     #[test]
     fn irredundant_circuit_yields_nothing() {
-        let circuit = bench::parse(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(y)\nz = AND(a, b)\ny = OR(a, b)\n",
-        )
-        .unwrap();
+        let circuit =
+            bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(y)\nz = AND(a, b)\ny = OR(a, b)\n")
+                .unwrap();
         let report = Fires::new(&circuit, FiresConfig::default()).run();
         assert!(report.is_empty(), "{:?}", report.display_faults());
     }
 
     #[test]
     fn without_validation_superset_of_with() {
-        let circuit = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let circuit =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let with = Fires::new(&circuit, FiresConfig::default()).run();
-        let without =
-            Fires::new(&circuit, FiresConfig::default().without_validation()).run();
+        let without = Fires::new(&circuit, FiresConfig::default().without_validation()).run();
         assert!(without.len() >= with.len());
         let without_set: Vec<_> = without.redundant_faults().iter().map(|f| f.fault).collect();
         for f in with.redundant_faults() {
@@ -691,13 +798,114 @@ mod tests {
 
     #[test]
     fn report_statistics_are_populated() {
-        let circuit =
-            bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let circuit = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
         let (report, outcomes) = Fires::new(&circuit, FiresConfig::default()).run_detailed();
         assert_eq!(report.stems_processed(), 1); // only stem `a` fans out
         assert_eq!(outcomes.len(), 1);
         assert!(report.marks_created() > 0);
         assert!(report.max_frames_used() >= 1);
         assert!(report.to_string().contains("FIRES"));
+    }
+
+    /// Runs under both `cargo test` and `cargo test --no-default-features`:
+    /// the identified faults must not depend on whether instrumentation is
+    /// compiled in.
+    #[test]
+    fn results_do_not_depend_on_instrumentation_feature() {
+        let circuit =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
+        let report = Fires::new(&circuit, FiresConfig::default()).run();
+        let names = report.display_faults();
+        assert!(names
+            .iter()
+            .any(|n| n.contains("s-a-1") && n.contains("(c = 1)")));
+        assert_eq!(report.stems_processed(), 2); // stems `a` and `c` fan out
+                                                 // elapsed() always works; it is the phase clock's total.
+        assert!(report.elapsed() > std::time::Duration::ZERO);
+    }
+
+    #[cfg(feature = "tracing")]
+    #[test]
+    fn metrics_agree_with_report_on_example2() {
+        let circuit =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
+        let report = Fires::new(&circuit, FiresConfig::default()).run();
+        let m = report.metrics();
+        assert_eq!(
+            m.counter("core.stems_processed"),
+            report.stems_processed() as u64
+        );
+        assert_eq!(
+            m.counter("core.marks_created"),
+            report.marks_created() as u64
+        );
+        assert_eq!(m.counter("core.identified_faults"), report.len() as u64);
+        assert_eq!(
+            m.maximum("core.max_frames_used"),
+            report.max_frames_used() as u64
+        );
+        assert!(m.counter("core.validation_accepts") > 0);
+        assert!(m.maximum("core.max_queue_depth") > 0);
+        let marks = m.histogram("core.stem_marks").expect("per-stem histogram");
+        assert_eq!(marks.count(), report.stems_processed() as u64);
+        assert_eq!(marks.sum(), report.marks_created() as u64);
+        // Phase breakdown: all three phases present, attribution within
+        // the total (single clock, serial run).
+        let pt = report.phase_times();
+        for name in [
+            phase::IMPLICATION,
+            phase::UNOBSERVABILITY,
+            phase::VALIDATION,
+        ] {
+            assert!(pt.phases.iter().any(|(n, _)| n == name), "{name} missing");
+        }
+        let named: std::time::Duration = pt.phases.iter().map(|(_, d)| *d).sum();
+        assert!(named <= pt.total);
+        assert_eq!(report.elapsed(), pt.total);
+    }
+
+    #[cfg(feature = "tracing")]
+    #[test]
+    fn run_report_round_trips_through_json() {
+        let circuit = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let report = Fires::new(&circuit, FiresConfig::default()).run();
+        let rr = report.run_report("fires-core/test", "fire-example");
+        let text = rr.to_json_string();
+        let back = fires_obs::RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back, rr);
+        assert_eq!(
+            back.extra
+                .get("identified_faults")
+                .and_then(fires_obs::Json::as_u64),
+            Some(report.len() as u64)
+        );
+    }
+
+    #[test]
+    fn progress_hook_fires_once_per_stem() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        static LAST_TOTAL: AtomicUsize = AtomicUsize::new(0);
+        fn hook(e: ProgressEvent) {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            LAST_TOTAL.store(e.stems_total, Ordering::Relaxed);
+            assert!(e.stems_done >= 1 && e.stems_done <= e.stems_total);
+        }
+        let circuit = bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(w)\nn = NOT(a)\nz = AND(a, n)\n\
+             m = NOT(b)\nw = AND(b, m)\n",
+        )
+        .unwrap();
+        let config = FiresConfig::default().with_progress(hook);
+        let fires = Fires::new(&circuit, config);
+        let serial = fires.run();
+        let serial_calls = CALLS.swap(0, Ordering::Relaxed);
+        assert_eq!(serial_calls, serial.stems_processed());
+        assert_eq!(LAST_TOTAL.load(Ordering::Relaxed), serial.stems_processed());
+        // Threaded runs call the hook from workers, same count.
+        let threaded = fires.run_threaded(2);
+        assert_eq!(CALLS.swap(0, Ordering::Relaxed), threaded.stems_processed());
     }
 }

@@ -1,0 +1,154 @@
+//! Internal facade over `fires-obs`, compiled away without the `tracing`
+//! feature.
+//!
+//! The rest of the crate records metrics, splits phase timings and opens
+//! spans unconditionally through the types and macros defined here. With
+//! the (default-on) `tracing` feature these are the real `fires-obs`
+//! implementations; with `--no-default-features` they become no-op stubs
+//! — `fires-core` then has no dependencies beyond `fires-netlist` and the
+//! instrumentation costs nothing, while every call site stays identical.
+
+#[cfg(feature = "tracing")]
+pub use fires_obs::{PhaseClock, PhaseTimes, RunMetrics};
+
+/// Opens an instrumentation span (no-op without the `tracing` feature).
+#[cfg(feature = "tracing")]
+macro_rules! core_span {
+    ($($tt:tt)*) => {
+        ::fires_obs::obs_span!($($tt)*)
+    };
+}
+
+/// Emits an instrumentation event (no-op without the `tracing` feature).
+#[cfg(feature = "tracing")]
+macro_rules! core_event {
+    ($($tt:tt)*) => {
+        ::fires_obs::obs_event!($($tt)*)
+    };
+}
+
+// The field expressions are wrapped in never-called closures so they are
+// name-checked but not evaluated, keeping call sites warning-free without
+// runtime cost.
+#[cfg(not(feature = "tracing"))]
+macro_rules! core_span {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {
+        { $( let _ = || $value; )* }
+    };
+}
+
+#[cfg(not(feature = "tracing"))]
+macro_rules! core_event {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {
+        { $( let _ = || $value; )* }
+    };
+}
+
+pub(crate) use {core_event, core_span};
+
+#[cfg(not(feature = "tracing"))]
+mod stub {
+    use std::time::{Duration, Instant};
+
+    /// No-op stand-in for `fires_obs::RunMetrics`.
+    #[derive(Clone, Debug, Default, PartialEq)]
+    pub struct RunMetrics;
+
+    impl RunMetrics {
+        /// An empty registry.
+        pub fn new() -> Self {
+            RunMetrics
+        }
+
+        /// Discards a counter increment.
+        #[inline(always)]
+        pub fn incr(&mut self, _name: &str, _by: u64) {}
+
+        /// Discards a maximum update.
+        #[inline(always)]
+        pub fn set_max(&mut self, _name: &str, _v: u64) {}
+
+        /// Discards a histogram observation.
+        #[inline(always)]
+        pub fn observe(&mut self, _name: &str, _v: u64) {}
+
+        /// Merging nothing into nothing.
+        #[inline(always)]
+        pub fn merge(&mut self, _other: &RunMetrics) {}
+    }
+
+    /// Total-only stand-in for `fires_obs::PhaseClock`: it still measures
+    /// the run's wall-clock total (so `FiresReport::elapsed` keeps
+    /// working) but records no per-phase breakdown.
+    #[derive(Clone, Debug)]
+    pub struct PhaseClock {
+        started: Instant,
+    }
+
+    // Kept API-identical to the real PhaseClock even where this crate
+    // does not currently call every method.
+    #[allow(dead_code)]
+    impl PhaseClock {
+        /// Starts the run clock.
+        pub fn start() -> Self {
+            PhaseClock {
+                started: Instant::now(),
+            }
+        }
+
+        /// Discards the phase switch.
+        #[inline(always)]
+        pub fn enter(&mut self, _name: &str) {}
+
+        /// Discards the phase end.
+        #[inline(always)]
+        pub fn exit(&mut self) {}
+
+        /// Runs `f` without attribution.
+        #[inline(always)]
+        pub fn phase<T>(&mut self, _name: &str, f: impl FnOnce() -> T) -> T {
+            f()
+        }
+
+        /// Discards an externally measured duration.
+        #[inline(always)]
+        pub fn add(&mut self, _name: &str, _d: Duration) {}
+
+        /// Wall-clock time since [`start`](Self::start).
+        pub fn total(&self) -> Duration {
+            self.started.elapsed()
+        }
+
+        /// Stops the clock; only the total survives.
+        pub fn finish(self) -> PhaseTimes {
+            PhaseTimes {
+                total: self.started.elapsed(),
+                phases: Vec::new(),
+            }
+        }
+    }
+
+    /// Total-only stand-in for `fires_obs::PhaseTimes`.
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
+    pub struct PhaseTimes {
+        /// Wall-clock time from `start()` to `finish()`.
+        pub total: Duration,
+        /// Always empty in the stub.
+        pub phases: Vec<(String, Duration)>,
+    }
+
+    impl PhaseTimes {
+        /// Always zero in the stub.
+        pub fn of(&self, _name: &str) -> Duration {
+            Duration::ZERO
+        }
+
+        /// Equals `total` in the stub (nothing is attributed).
+        pub fn unattributed(&self) -> Duration {
+            self.total
+        }
+    }
+}
+
+#[cfg(not(feature = "tracing"))]
+pub use stub::{PhaseClock, PhaseTimes, RunMetrics};

@@ -48,15 +48,19 @@ mod engine;
 mod envelope;
 mod fire;
 mod fires;
+mod instrument;
 mod removal;
 mod report;
 mod window;
 
-pub use config::{FiresConfig, ValidationPolicy};
-pub use engine::{DistCache, Implications, Mark, MarkId, Unc, UnobsInfo};
+pub use config::{FiresConfig, ProgressEvent, ValidationPolicy};
+pub use engine::{DistCache, EngineStats, Implications, Mark, MarkId, Unc, UnobsInfo};
+// With the `tracing` feature these are the `fires-obs` types; without it,
+// no-op stubs with the same API (see `instrument.rs`).
 pub use envelope::{funtest_like, EnvelopeReport};
 pub use fire::{fire, FireReport};
 pub use fires::{Fires, StemOutcome};
+pub use instrument::{PhaseTimes, RunMetrics};
 pub use removal::{remove_fault, remove_redundancies, sweep_constants, RemovalOutcome};
 pub use report::{FiresReport, IdentifiedFault, ProcessTrace};
 pub use window::{Frame, Window};

@@ -14,6 +14,7 @@
 
 use fires_netlist::{Circuit, Fault, GateKind, LineGraph, LineKind, NetlistError};
 
+use crate::instrument::{core_event, PhaseClock, PhaseTimes, RunMetrics};
 use crate::report::IdentifiedFault;
 use crate::{Fires, FiresConfig};
 
@@ -31,6 +32,13 @@ pub struct RemovalOutcome {
     /// `c` over all removed faults (`c`-cycle redundancy is preserved for
     /// any larger `c`, so the max is sufficient for the whole batch).
     pub required_c: u32,
+    /// Metrics aggregated over every inner FIRES pass, plus
+    /// `removal.*` counters (iterations, faults removed, nodes swept).
+    /// A no-op stub without the `tracing` feature.
+    pub metrics: RunMetrics,
+    /// Wall-clock split between the `analysis` (FIRES passes) and
+    /// `rewrite` (tie-and-sweep) phases. Total-only without `tracing`.
+    pub phase_times: PhaseTimes,
 }
 
 /// Internal mutable netlist used during rewriting.
@@ -45,15 +53,15 @@ struct Rewriter {
 impl Rewriter {
     fn from_circuit(circuit: &Circuit) -> Self {
         Rewriter {
-            kinds: circuit
-                .node_ids()
-                .map(|n| circuit.node(n).kind())
-                .collect(),
+            kinds: circuit.node_ids().map(|n| circuit.node(n).kind()).collect(),
             fanins: circuit
                 .node_ids()
                 .map(|n| circuit.node(n).fanin().iter().map(|f| f.index()).collect())
                 .collect(),
-            names: circuit.node_ids().map(|n| circuit.name(n).to_owned()).collect(),
+            names: circuit
+                .node_ids()
+                .map(|n| circuit.name(n).to_owned())
+                .collect(),
             inputs: circuit.inputs().iter().map(|n| n.index()).collect(),
             outputs: circuit.outputs().iter().map(|n| n.index()).collect(),
         }
@@ -87,8 +95,10 @@ impl Rewriter {
             if !kind.is_logic() {
                 continue;
             }
-            let consts: Vec<Option<bool>> =
-                self.fanins[i].iter().map(|&f| self.const_value(f)).collect();
+            let consts: Vec<Option<bool>> = self.fanins[i]
+                .iter()
+                .map(|&f| self.const_value(f))
+                .collect();
             match kind {
                 GateKind::Buf | GateKind::Not => {
                     if let Some(v) = consts[0] {
@@ -145,7 +155,11 @@ impl Rewriter {
                             continue;
                         }
                         self.fanins[i] = keep;
-                        self.kinds[i] = if parity { GateKind::Xnor } else { GateKind::Xor };
+                        self.kinds[i] = if parity {
+                            GateKind::Xnor
+                        } else {
+                            GateKind::Xor
+                        };
                     }
                     if self.fanins[i].len() == 1 {
                         self.kinds[i] = if self.kinds[i].is_inverting() {
@@ -282,7 +296,9 @@ pub fn remove_fault(
 ///
 /// Propagates [`NetlistError`] if the rewritten netlist fails validation.
 pub fn sweep_constants(circuit: &Circuit) -> Result<Circuit, NetlistError> {
-    Rewriter::from_circuit(circuit).into_circuit().map(|(c, _)| c)
+    Rewriter::from_circuit(circuit)
+        .into_circuit()
+        .map(|(c, _)| c)
 }
 
 /// Iterative redundancy removal: run FIRES, remove the first identified
@@ -302,17 +318,24 @@ pub fn remove_redundancies(
     config: FiresConfig,
     max_iterations: usize,
 ) -> Result<RemovalOutcome, NetlistError> {
-    assert!(config.validate, "removal requires validated (redundant) faults");
+    assert!(
+        config.validate,
+        "removal requires validated (redundant) faults"
+    );
+    let mut clock = PhaseClock::start();
+    let mut metrics = RunMetrics::new();
     let mut current = circuit.clone();
     let mut removed: Vec<(String, u32)> = Vec::new();
     let mut required_c = 0u32;
     let mut iterations = 0usize;
     while iterations < max_iterations {
         iterations += 1;
+        clock.enter("analysis");
         let fires = Fires::new(&current, config);
         let report = fires.run();
-        let mut candidates: Vec<IdentifiedFault> =
-            report.redundant_faults().to_vec();
+        metrics.merge(report.metrics());
+        clock.enter("rewrite");
+        let mut candidates: Vec<IdentifiedFault> = report.redundant_faults().to_vec();
         candidates.sort_by_key(|f| (f.c, f.fault.line, f.fault.stuck));
         // Some redundant faults are no-ops to remove (e.g. s-a-1 on a line
         // already tied to 1 by an earlier removal); skip those so the loop
@@ -325,21 +348,38 @@ pub fn remove_redundancies(
                 continue;
             }
             let name = cand.fault.display(report.lines(), &current);
+            core_event!(
+                "removal.fault_removed",
+                iteration = iterations,
+                c = cand.c,
+                fault = name.as_str(),
+            );
             required_c = required_c.max(cand.c);
             removed.push((name, cand.c));
             current = next;
             progressed = true;
             break;
         }
+        clock.exit();
         if !progressed {
             break;
         }
     }
+    metrics.incr("removal.iterations", iterations as u64);
+    metrics.incr("removal.faults_removed", removed.len() as u64);
+    let nodes_before = circuit.node_ids().count();
+    let nodes_after = current.node_ids().count();
+    metrics.incr(
+        "removal.nodes_swept",
+        nodes_before.saturating_sub(nodes_after) as u64,
+    );
     Ok(RemovalOutcome {
         circuit: current,
         removed,
         iterations,
         required_c,
+        metrics,
+        phase_times: clock.finish(),
     })
 }
 
@@ -351,10 +391,8 @@ mod tests {
 
     #[test]
     fn sweep_folds_constants() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(z)\nk = CONST1()\nm = AND(a, k)\nz = BUFF(m)\n",
-        )
-        .unwrap();
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nk = CONST1()\nm = AND(a, k)\nz = BUFF(m)\n")
+            .unwrap();
         let s = sweep_constants(&c).unwrap();
         // AND(a, 1) -> BUFF(a); the constant dies.
         assert!(s.find("k").is_none());
@@ -388,10 +426,9 @@ mod tests {
 
     #[test]
     fn remove_branch_fault_keeps_other_branch() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUFF(s)\nz = NOT(s)\ns = BUFF(a)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUFF(s)\nz = NOT(s)\ns = BUFF(a)\n")
+                .unwrap();
         let lg = LineGraph::build(&c);
         let s_node = c.find("s").unwrap();
         let y = c.find("y").unwrap();
@@ -410,10 +447,9 @@ mod tests {
 
     #[test]
     fn iterative_removal_cleans_figure3() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let out = remove_redundancies(&c, FiresConfig::default(), 20).unwrap();
         assert!(!out.removed.is_empty());
         assert!(out.iterations <= 20);

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use fires_netlist::{Circuit, Fault, LineGraph, LineId};
 
+use crate::instrument::{PhaseTimes, RunMetrics};
 use crate::window::Frame;
 
 /// One fault identified by FIRES.
@@ -45,7 +46,8 @@ pub struct FiresReport<'c> {
     pub(crate) stems_processed: usize,
     pub(crate) marks_created: usize,
     pub(crate) max_frames_used: usize,
-    pub(crate) elapsed: Duration,
+    pub(crate) metrics: RunMetrics,
+    pub(crate) phase_times: PhaseTimes,
 }
 
 impl<'c> FiresReport<'c> {
@@ -114,9 +116,47 @@ impl<'c> FiresReport<'c> {
         self.max_frames_used
     }
 
-    /// Wall-clock time of the run.
+    /// Wall-clock time of the run. Always equals
+    /// [`phase_times`](Self::phase_times)`.total` — both come from the
+    /// same clock, so the headline time and the per-phase breakdown can
+    /// never disagree.
     pub fn elapsed(&self) -> Duration {
-        self.elapsed
+        self.phase_times.total
+    }
+
+    /// Per-phase wall-clock breakdown of the run (implication,
+    /// unobservability, validation). With the `tracing` feature disabled
+    /// only the total is populated. In threaded runs the phases are
+    /// summed across workers and may exceed the wall-clock total.
+    pub fn phase_times(&self) -> &PhaseTimes {
+        &self.phase_times
+    }
+
+    /// Metrics recorded during the run (counters, maxima, histograms).
+    /// Empty (a no-op stub) when the `tracing` feature is disabled.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Assembles a schema-versioned machine-readable run report: the run
+    /// metrics and phase times plus headline results (fault counts, `c`
+    /// histogram) under `extra`.
+    #[cfg(feature = "tracing")]
+    pub fn run_report(&self, tool: &str, subject: &str) -> fires_obs::RunReport {
+        let mut r = fires_obs::RunReport::new(tool, subject);
+        r.set_phase_times(&self.phase_times);
+        r.metrics = self.metrics.clone();
+        r.set_extra("identified_faults", self.len() as u64);
+        r.set_extra("zero_cycle", self.num_zero_cycle() as u64);
+        r.set_extra("max_c", u64::from(self.max_c()));
+        r.set_extra("validated", self.validated);
+        r.set_extra("stems_processed", self.stems_processed as u64);
+        let mut hist = fires_obs::Json::object();
+        for (c, n) in self.c_histogram() {
+            hist.set(c.to_string(), n as u64);
+        }
+        r.set_extra("c_histogram", hist);
+        r
     }
 
     /// Pretty, deterministic listing of the identified faults.
@@ -151,7 +191,7 @@ impl fmt::Display for FiresReport<'_> {
             self.num_zero_cycle(),
             self.max_c(),
             self.stems_processed,
-            self.elapsed.as_secs_f64()
+            self.phase_times.total.as_secs_f64()
         )
     }
 }

@@ -112,9 +112,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
             Item::Gate(kind, args) => {
                 let mut fanin = Vec::with_capacity(args.len());
                 for a in args {
-                    let id = by_name.get(a.as_str()).copied().ok_or_else(|| {
-                        NetlistError::UndefinedSignal { name: a.clone() }
-                    })?;
+                    let id = by_name
+                        .get(a.as_str())
+                        .copied()
+                        .ok_or_else(|| NetlistError::UndefinedSignal { name: a.clone() })?;
                     fanin.push(id);
                 }
                 nodes.push(Node { kind: *kind, fanin });

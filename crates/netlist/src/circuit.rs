@@ -158,10 +158,7 @@ impl Circuit {
 
     /// Looks a node up by net name.
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.names
-            .iter()
-            .position(|n| n == name)
-            .map(NodeId::new)
+        self.names.iter().position(|n| n == name).map(NodeId::new)
     }
 
     /// Primary inputs, in declaration order.

@@ -89,10 +89,8 @@ mod tests {
 
     #[test]
     fn renders_every_node_and_edge() {
-        let c = bench::parse(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(a)\nz = NAND(q, b)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(a)\nz = NAND(q, b)\n").unwrap();
         let dot = to_dot(&c, &DotOptions::default());
         for id in c.node_ids() {
             assert!(dot.contains(&format!("n{} [", id.index())));

@@ -351,10 +351,8 @@ mod tests {
 
     #[test]
     fn ff_distance_counts_crossings() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nz = AND(q2, a)\n",
-        )
-        .unwrap();
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nz = AND(q2, a)\n")
+            .unwrap();
         let lg = crate::LineGraph::build(&c);
         let from = lg.stem_of(c.find("a").unwrap());
         let d = min_ff_distance(&c, &lg, from);
@@ -375,10 +373,8 @@ mod tests {
 
     #[test]
     fn reverse_distance_agrees_with_forward() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nz = AND(q2, a)\n",
-        )
-        .unwrap();
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nq1 = DFF(a)\nq2 = DFF(q1)\nz = AND(q2, a)\n")
+            .unwrap();
         let lg = crate::LineGraph::build(&c);
         for from in lg.line_ids() {
             let fwd = min_ff_distance(&c, &lg, from);

@@ -45,8 +45,8 @@
 
 pub mod bench;
 mod builder;
-pub mod dot;
 mod circuit;
+pub mod dot;
 mod error;
 pub mod faults;
 pub mod graph;

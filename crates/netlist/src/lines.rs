@@ -111,8 +111,9 @@ impl LineGraph {
                 sink_pin: None,
             });
         }
-        let mut in_lines: Vec<Vec<LineId>> =
-            (0..n).map(|i| vec![LineId::new(0); circuit.nodes[i].fanin.len()]).collect();
+        let mut in_lines: Vec<Vec<LineId>> = (0..n)
+            .map(|i| vec![LineId::new(0); circuit.nodes[i].fanin.len()])
+            .collect();
         for id in circuit.node_ids() {
             let sinks = circuit.fanouts(id);
             let branching = sinks.len() + usize::from(circuit.is_output(id)) >= 2;
@@ -183,10 +184,7 @@ impl LineGraph {
     /// consumers (counting a primary-output observation). These are the
     /// stems FIRE/FIRES processes — conflicts can only arise where paths
     /// reconverge from a fanout point.
-    pub fn fanout_stems<'a>(
-        &'a self,
-        circuit: &'a Circuit,
-    ) -> impl Iterator<Item = LineId> + 'a {
+    pub fn fanout_stems<'a>(&'a self, circuit: &'a Circuit) -> impl Iterator<Item = LineId> + 'a {
         circuit.node_ids().filter_map(move |n| {
             let stem = self.stem_of(n);
             (!self.lines[stem.index()].branches.is_empty()).then_some(stem)

@@ -96,7 +96,10 @@ mod tests {
         let scan = full_scan(&c).unwrap();
         let q = scan.find("q").expect("q still exists");
         assert_eq!(scan.node(q).kind(), GateKind::Input);
-        assert!(scan.is_output(scan.find("a").unwrap()), "a observed as D of q");
+        assert!(
+            scan.is_output(scan.find("a").unwrap()),
+            "a observed as D of q"
+        );
     }
 
     #[test]
@@ -113,10 +116,9 @@ mod tests {
         use crate::{Fault, LineGraph};
         // Figure 3: the 1-cycle redundant branch fault becomes testable in
         // the scan model (b and c are independently controllable there).
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let scan = full_scan(&c).unwrap();
         let lines = LineGraph::build(&scan);
         let c_stem = lines.stem_of(scan.find("c").unwrap());
@@ -129,10 +131,7 @@ mod tests {
             let lg = &lines;
             let mut good = crate_sim_eval(&scan, lg, &v, None);
             let mut bad = crate_sim_eval(&scan, lg, &v, Some(Fault::sa1(c1)));
-            detected |= good
-                .drain(..)
-                .zip(bad.drain(..))
-                .any(|(g, b)| g != b);
+            detected |= good.drain(..).zip(bad.drain(..)).any(|(g, b)| g != b);
         }
         assert!(detected);
     }

@@ -1,0 +1,40 @@
+//! Observability layer for the FIRES reproduction.
+//!
+//! The algorithm crates (`fires-core`, `fires-sim`, `fires-atpg`) do the
+//! work; this crate makes the work *visible*. It provides four pieces,
+//! all dependency-free:
+//!
+//! * [`RunMetrics`] — a registry of named counters, maxima and
+//!   log₂-bucketed histograms, mergeable across threads and runs;
+//! * [`PhaseClock`] / [`PhaseTimes`] — wall-clock accounting that splits a
+//!   run into named phases while guaranteeing the phase breakdown and the
+//!   total can never disagree (both come from the same clock);
+//! * a lightweight `tracing`-style facade ([`obs_span!`], [`obs_event!`],
+//!   [`set_subscriber`]) that is zero-cost when no subscriber is
+//!   installed (one relaxed atomic load);
+//! * [`RunReport`] — a schema-versioned, machine-readable JSON report
+//!   ([`json::Json`] is a small built-in JSON tree with parser and
+//!   printer, used instead of serde because the build environment is
+//!   offline).
+//!
+//! `fires-core` pulls this crate in behind its `tracing` feature
+//! (default-on); with `--no-default-features` the core algorithm compiles
+//! without it and without any instrumentation overhead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod report;
+mod timer;
+mod trace;
+
+pub use json::Json;
+pub use metrics::{Histogram, RunMetrics};
+pub use report::{RunReport, SCHEMA_VERSION};
+pub use timer::{PhaseClock, PhaseTimes};
+pub use trace::{
+    emit_event, set_subscriber, subscriber, tracing_enabled, CollectingSubscriber, FieldValue,
+    SpanGuard, StderrSubscriber, Subscriber, TraceRecord,
+};

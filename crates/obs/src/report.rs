@@ -1,0 +1,260 @@
+//! Schema-versioned, machine-readable run reports.
+//!
+//! Every bench binary (and any embedding application) can serialize one
+//! [`RunReport`] per run. The JSON layout is stable and versioned so perf
+//! trajectories (`BENCH_*.json` artifacts) can be compared across
+//! commits:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "tool": "fires-bench/table2",
+//!   "subject": "s838_like",
+//!   "total_seconds": 1.234,
+//!   "phases": {"implication": 0.9, "validation": 0.3},
+//!   "phase_order": ["implication", "validation"],
+//!   "metrics": {"counters": {...}, "maxima": {...}, "histograms": {...}},
+//!   "extra": { ...free-form experiment payload... }
+//! }
+//! ```
+//!
+//! `phases` maps phase name → seconds; `phase_order` preserves execution
+//! order (JSON objects here are key-sorted). `extra` carries
+//! experiment-specific tables that do not need a cross-run schema.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::{Json, JsonError};
+use crate::metrics::RunMetrics;
+use crate::timer::PhaseTimes;
+
+/// Version of the JSON layout written by [`RunReport::to_json`]. Bump on
+/// any incompatible change and keep `from_json` accepting old versions
+/// where practical.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One run's worth of observability output.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Producing tool, conventionally `crate-or-bin[/variant]`.
+    pub tool: String,
+    /// What was processed (circuit name, suite name, ...).
+    pub subject: String,
+    /// Total wall-clock seconds of the run.
+    pub total_seconds: f64,
+    /// Named phase durations in seconds, in execution order.
+    pub phases: Vec<(String, f64)>,
+    /// Counters, maxima and histograms recorded during the run.
+    pub metrics: RunMetrics,
+    /// Free-form experiment payload (rows of the rendered table etc.).
+    pub extra: BTreeMap<String, Json>,
+}
+
+impl RunReport {
+    /// An empty report for `tool` on `subject`.
+    pub fn new(tool: impl Into<String>, subject: impl Into<String>) -> Self {
+        RunReport {
+            tool: tool.into(),
+            subject: subject.into(),
+            ..RunReport::default()
+        }
+    }
+
+    /// Copies a [`PhaseTimes`] breakdown (total + phases) into the report.
+    pub fn set_phase_times(&mut self, times: &PhaseTimes) -> &mut Self {
+        self.total_seconds = times.total.as_secs_f64();
+        self.phases = times
+            .phases
+            .iter()
+            .map(|(n, d)| (n.clone(), d.as_secs_f64()))
+            .collect();
+        self
+    }
+
+    /// Sets the total from a raw duration (when no phase split exists).
+    pub fn set_total(&mut self, total: Duration) -> &mut Self {
+        self.total_seconds = total.as_secs_f64();
+        self
+    }
+
+    /// Adds one phase duration (kept in insertion order).
+    pub fn add_phase(&mut self, name: impl Into<String>, seconds: f64) -> &mut Self {
+        self.phases.push((name.into(), seconds));
+        self
+    }
+
+    /// Stores a free-form payload value under `extra.key`.
+    pub fn set_extra(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Self {
+        self.extra.insert(key.into(), value.into());
+        self
+    }
+
+    /// The JSON tree (layout documented at module level).
+    pub fn to_json(&self) -> Json {
+        let mut phases = Json::object();
+        let mut order = Vec::new();
+        for (name, secs) in &self.phases {
+            phases.set(name.clone(), *secs);
+            order.push(Json::Str(name.clone()));
+        }
+        let mut j = Json::object();
+        j.set("schema_version", SCHEMA_VERSION)
+            .set("tool", self.tool.clone())
+            .set("subject", self.subject.clone())
+            .set("total_seconds", self.total_seconds)
+            .set("phases", phases)
+            .set("phase_order", Json::Arr(order))
+            .set("metrics", self.metrics.to_json())
+            .set("extra", Json::Obj(self.extra.clone()));
+        j
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Parses a report back from its JSON tree.
+    pub fn from_json(j: &Json) -> Result<RunReport, JsonError> {
+        let field = |name: &str| {
+            j.get(name).ok_or_else(|| JsonError {
+                message: format!("missing field {name:?}"),
+            })
+        };
+        let version = field("schema_version")?.as_u64().ok_or_else(|| JsonError {
+            message: "schema_version is not an integer".into(),
+        })?;
+        if version != SCHEMA_VERSION {
+            return Err(JsonError {
+                message: format!(
+                    "unsupported schema_version {version} (this build reads {SCHEMA_VERSION})"
+                ),
+            });
+        }
+        let phases_obj = field("phases")?.as_obj().ok_or_else(|| JsonError {
+            message: "phases is not an object".into(),
+        })?;
+        let order = field("phase_order")?.as_arr().ok_or_else(|| JsonError {
+            message: "phase_order is not an array".into(),
+        })?;
+        let mut phases = Vec::new();
+        for name in order {
+            let name = name.as_str().ok_or_else(|| JsonError {
+                message: "phase_order entry is not a string".into(),
+            })?;
+            let secs = phases_obj
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| JsonError {
+                    message: format!("phase {name:?} missing from phases"),
+                })?;
+            phases.push((name.to_string(), secs));
+        }
+        let metrics = RunMetrics::from_json(field("metrics")?).ok_or_else(|| JsonError {
+            message: "malformed metrics".into(),
+        })?;
+        Ok(RunReport {
+            tool: field("tool")?
+                .as_str()
+                .ok_or_else(|| JsonError {
+                    message: "tool is not a string".into(),
+                })?
+                .to_string(),
+            subject: field("subject")?
+                .as_str()
+                .ok_or_else(|| JsonError {
+                    message: "subject is not a string".into(),
+                })?
+                .to_string(),
+            total_seconds: field("total_seconds")?.as_f64().ok_or_else(|| JsonError {
+                message: "total_seconds is not a number".into(),
+            })?,
+            phases,
+            metrics,
+            extra: field("extra")?
+                .as_obj()
+                .ok_or_else(|| JsonError {
+                    message: "extra is not an object".into(),
+                })?
+                .clone(),
+        })
+    }
+
+    /// Parses a report from JSON text.
+    pub fn from_json_str(text: &str) -> Result<RunReport, JsonError> {
+        RunReport::from_json(&Json::parse(text)?)
+    }
+
+    /// Writes the pretty JSON document to `path`.
+    pub fn write_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut r = RunReport::new("fires-bench/test", "s27");
+        r.total_seconds = 1.5;
+        r.add_phase("implication", 0.9);
+        r.add_phase("validation", 0.4);
+        r.metrics.incr("core.stems_processed", 3);
+        r.metrics.incr("core.marks_created", 120);
+        r.metrics.set_max("core.max_frames_used", 5);
+        r.metrics.observe("core.blame_set_size", 4);
+        r.metrics.observe("core.blame_set_size", 60);
+        r.set_extra("note", "unit test");
+        r.set_extra("faults", vec![1u64, 2, 3]);
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let report = sample();
+        let text = report.to_json_string();
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn schema_version_is_stamped_and_enforced() {
+        let report = sample();
+        let mut j = report.to_json();
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(1));
+        j.set("schema_version", 999u64);
+        let err = RunReport::from_json(&j).unwrap_err();
+        assert!(err.message.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn phase_order_survives_sorting() {
+        // "validation" sorts before "implication"? No — but "a_late"
+        // would sort before "z_early"; the order array must win.
+        let mut r = RunReport::new("t", "s");
+        r.add_phase("z_first", 1.0);
+        r.add_phase("a_second", 2.0);
+        let back = RunReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back.phases[0].0, "z_first");
+        assert_eq!(back.phases[1].0, "a_second");
+    }
+
+    #[test]
+    fn missing_fields_error_cleanly() {
+        let j = Json::parse("{\"schema_version\": 1}").unwrap();
+        assert!(RunReport::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let report = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("fires_obs_report_test.json");
+        report.write_to_file(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(RunReport::from_json_str(&text).unwrap(), report);
+        let _ = std::fs::remove_file(&path);
+    }
+}

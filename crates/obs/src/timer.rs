@@ -1,0 +1,162 @@
+//! Phase timing that cannot disagree with itself.
+//!
+//! A [`PhaseClock`] is started once per run; every moment between
+//! `start()` and `finish()` is attributed to exactly one named phase (or
+//! to the implicit `"other"` phase while no phase is active). Because the
+//! total and the per-phase durations come from the same monotonic clock
+//! and every instant is attributed once, `total == sum(phases) + other`
+//! up to clock-read jitter — the per-phase breakdown and the headline
+//! elapsed time can never tell different stories.
+
+use std::time::{Duration, Instant};
+
+/// Accumulating wall-clock splitter. See the module docs.
+#[derive(Clone, Debug)]
+pub struct PhaseClock {
+    started: Instant,
+    /// Insertion-ordered accumulated phases.
+    acc: Vec<(String, Duration)>,
+    current: Option<(usize, Instant)>,
+}
+
+impl PhaseClock {
+    /// Starts the run clock with no active phase.
+    pub fn start() -> Self {
+        PhaseClock {
+            started: Instant::now(),
+            acc: Vec::new(),
+            current: None,
+        }
+    }
+
+    fn slot(&mut self, name: &str) -> usize {
+        match self.acc.iter().position(|(n, _)| n == name) {
+            Some(i) => i,
+            None => {
+                self.acc.push((name.to_string(), Duration::ZERO));
+                self.acc.len() - 1
+            }
+        }
+    }
+
+    /// Ends the active phase (if any) and begins `name`. Re-entering a
+    /// name accumulates into the same bucket.
+    pub fn enter(&mut self, name: &str) {
+        self.exit();
+        let slot = self.slot(name);
+        self.current = Some((slot, Instant::now()));
+    }
+
+    /// Ends the active phase; subsequent time is unattributed until the
+    /// next [`enter`](Self::enter).
+    pub fn exit(&mut self) {
+        if let Some((slot, since)) = self.current.take() {
+            self.acc[slot].1 += since.elapsed();
+        }
+    }
+
+    /// Runs `f` attributed to phase `name`, then restores "no phase".
+    pub fn phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        self.enter(name);
+        let out = f();
+        self.exit();
+        out
+    }
+
+    /// Adds an externally measured duration to phase `name` (used when a
+    /// worker thread measured its own slice).
+    pub fn add(&mut self, name: &str, d: Duration) {
+        let slot = self.slot(name);
+        self.acc[slot].1 += d;
+    }
+
+    /// Wall-clock time since [`start`](Self::start).
+    pub fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Stops the clock and freezes the breakdown.
+    pub fn finish(mut self) -> PhaseTimes {
+        self.exit();
+        PhaseTimes {
+            total: self.started.elapsed(),
+            phases: self.acc,
+        }
+    }
+}
+
+/// The frozen result of a [`PhaseClock`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Wall-clock time from `start()` to `finish()`.
+    pub total: Duration,
+    /// Accumulated named phases, in first-entered order.
+    pub phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimes {
+    /// The duration attributed to `name` (zero when absent).
+    pub fn of(&self, name: &str) -> Duration {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Time inside `total` not attributed to any named phase.
+    pub fn unattributed(&self) -> Duration {
+        let named: Duration = self.phases.iter().map(|(_, d)| *d).sum();
+        self.total.saturating_sub(named)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_stay_under_total() {
+        let mut clock = PhaseClock::start();
+        clock.phase("a", || std::thread::sleep(Duration::from_millis(2)));
+        clock.phase("b", || std::thread::sleep(Duration::from_millis(1)));
+        clock.phase("a", || std::thread::sleep(Duration::from_millis(2)));
+        let times = clock.finish();
+        assert_eq!(times.phases.len(), 2, "re-entered phase must merge");
+        assert_eq!(times.phases[0].0, "a");
+        assert!(times.of("a") >= Duration::from_millis(4));
+        assert!(times.of("b") >= Duration::from_millis(1));
+        let named: Duration = times.phases.iter().map(|(_, d)| *d).sum();
+        assert!(named <= times.total, "phases exceed total");
+    }
+
+    #[test]
+    fn enter_switches_attribution() {
+        let mut clock = PhaseClock::start();
+        clock.enter("x");
+        clock.enter("y");
+        std::thread::sleep(Duration::from_millis(1));
+        let times = clock.finish();
+        assert!(times.of("y") >= Duration::from_millis(1));
+        assert!(times.of("y") >= times.of("x"));
+    }
+
+    #[test]
+    fn finish_closes_open_phase_and_add_merges() {
+        let mut clock = PhaseClock::start();
+        clock.enter("open");
+        clock.add("external", Duration::from_millis(5));
+        let times = clock.finish();
+        assert!(times.phases.iter().any(|(n, _)| n == "open"));
+        assert_eq!(times.of("external"), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn unattributed_tracks_gap() {
+        let mut clock = PhaseClock::start();
+        clock.phase("p", || {});
+        std::thread::sleep(Duration::from_millis(2));
+        let times = clock.finish();
+        assert!(times.unattributed() >= Duration::from_millis(2));
+    }
+}

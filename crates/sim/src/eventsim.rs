@@ -175,9 +175,7 @@ impl<'c> EventSim<'c> {
             if forced != self.values[n.index()] || full {
                 self.values[n.index()] = forced;
                 for &(sink, _) in circuit.fanouts(n) {
-                    if !self.queued[sink.index()]
-                        && circuit.node(sink).kind() != GateKind::Dff
-                    {
+                    if !self.queued[sink.index()] && circuit.node(sink).kind() != GateKind::Dff {
                         self.queued[sink.index()] = true;
                         // Insert keeping topological order: ranks ahead of
                         // the cursor only (fanouts always rank higher).
@@ -210,9 +208,7 @@ impl<'c> EventSim<'c> {
     fn pin_value(&self, node: NodeId, pin: usize, fault: Option<Fault>) -> Logic3 {
         let src = self.circuit.node(node).fanin()[pin];
         match fault {
-            Some(f) if self.lines.in_line(node, pin) == f.line => {
-                Logic3::from(f.stuck.as_bool())
-            }
+            Some(f) if self.lines.in_line(node, pin) == f.line => Logic3::from(f.stuck.as_bool()),
             _ => self.values[src.index()],
         }
     }

@@ -18,6 +18,16 @@ pub struct Detection {
 pub struct FaultSimSummary {
     /// Per-fault detection, aligned with the input fault order.
     pub detections: Vec<Option<Detection>>,
+    /// Machine-cycles actually simulated. The serial simulator drops a
+    /// fault at its first detection, so this is usually well below
+    /// [`cycles_offered`](Self::cycles_offered); the parallel simulator
+    /// counts one cycle per batch pass instead.
+    pub cycles_simulated: u64,
+    /// Worst-case machine-cycles: `faults × vectors` for the serial
+    /// simulator.
+    pub cycles_offered: u64,
+    /// Gate evaluations spent (good + faulty machines, where tracked).
+    pub gate_evaluations: u64,
 }
 
 impl FaultSimSummary {
@@ -32,6 +42,20 @@ impl FaultSimSummary {
             return 0.0;
         }
         self.num_detected() as f64 / self.detections.len() as f64
+    }
+
+    /// Cycles skipped by dropping faults at first detection.
+    pub fn cycles_saved(&self) -> u64 {
+        self.cycles_offered.saturating_sub(self.cycles_simulated)
+    }
+
+    /// Fraction of the offered cycles that early drops avoided, in
+    /// `[0, 1]` (0 when nothing was offered).
+    pub fn drop_fraction(&self) -> f64 {
+        if self.cycles_offered == 0 {
+            return 0.0;
+        }
+        self.cycles_saved() as f64 / self.cycles_offered as f64
     }
 }
 
@@ -64,31 +88,53 @@ pub fn simulate_fault(
     fault: Fault,
     vectors: &VectorSet,
 ) -> Option<Detection> {
+    simulate_fault_counted(circuit, lines, fault, vectors).0
+}
+
+/// Like [`simulate_fault`], additionally returning `(cycles stepped,
+/// gate evaluations)` — the work the run cost, for drop statistics.
+fn simulate_fault_counted(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    fault: Fault,
+    vectors: &VectorSet,
+) -> (Option<Detection>, u64, u64) {
     let mut good = SeqSim::new(circuit, lines);
     let mut bad = SeqSim::new(circuit, lines);
+    let mut detection = None;
+    let mut cycles = 0u64;
     for (cycle, v) in vectors.iter().enumerate() {
+        cycles += 1;
         let g = good.step(v, None);
         let b = bad.step(v, Some(fault));
         if let Some(output) = first_definite_difference(&g, &b) {
-            return Some(Detection { cycle, output });
+            detection = Some(Detection { cycle, output });
+            break;
         }
     }
-    None
+    let evals = good.gate_evaluations() + bad.gate_evaluations();
+    (detection, cycles, evals)
 }
 
-/// Serially simulates every fault in `faults` against `vectors`.
+/// Serially simulates every fault in `faults` against `vectors`, dropping
+/// each fault at its first detection and accounting the work saved.
 pub fn simulate_faults(
     circuit: &Circuit,
     lines: &LineGraph,
     faults: &[Fault],
     vectors: &VectorSet,
 ) -> FaultSimSummary {
-    FaultSimSummary {
-        detections: faults
-            .iter()
-            .map(|&f| simulate_fault(circuit, lines, f, vectors))
-            .collect(),
+    let mut summary = FaultSimSummary {
+        cycles_offered: faults.len() as u64 * vectors.len() as u64,
+        ..FaultSimSummary::default()
+    };
+    for &f in faults {
+        let (det, cycles, evals) = simulate_fault_counted(circuit, lines, f, vectors);
+        summary.detections.push(det);
+        summary.cycles_simulated += cycles;
+        summary.gate_evaluations += evals;
     }
+    summary
 }
 
 fn first_definite_difference(good: &[Logic3], bad: &[Logic3]) -> Option<usize> {
@@ -135,6 +181,42 @@ mod tests {
         let summary = simulate_faults(&c, &lg, FaultList::full(&lg).as_slice(), &vectors);
         assert_eq!(summary.num_detected(), 0);
         assert_eq!(summary.coverage(), 0.0);
+    }
+
+    #[test]
+    fn early_drop_saves_cycles() {
+        // Every fault on the inverter is detected within the first couple
+        // of cycles (whenever the input takes the exposing value), so well
+        // under the 8 offered cycles per fault are actually simulated.
+        let c = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let faults = FaultList::full(&lg);
+        let vectors = random_vectors(&c, 8, 3);
+        let summary = simulate_faults(&c, &lg, faults.as_slice(), &vectors);
+        assert_eq!(summary.num_detected(), faults.len());
+        assert_eq!(summary.cycles_offered, (faults.len() * 8) as u64);
+        assert!(summary.cycles_simulated >= faults.len() as u64);
+        assert!(summary.cycles_simulated < summary.cycles_offered);
+        assert_eq!(
+            summary.cycles_saved(),
+            summary.cycles_offered - summary.cycles_simulated
+        );
+        let expected = summary.cycles_saved() as f64 / summary.cycles_offered as f64;
+        assert!((summary.drop_fraction() - expected).abs() < 1e-12);
+        assert!(summary.gate_evaluations > 0);
+    }
+
+    #[test]
+    fn undetected_faults_simulate_every_cycle() {
+        let c = bench::parse("INPUT(en)\nOUTPUT(q)\nq = DFF(t)\nt = XOR(en, q)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let faults = FaultList::full(&lg);
+        let vectors = random_vectors(&c, 32, 9);
+        let summary = simulate_faults(&c, &lg, faults.as_slice(), &vectors);
+        assert_eq!(summary.num_detected(), 0);
+        assert_eq!(summary.cycles_simulated, summary.cycles_offered);
+        assert_eq!(summary.cycles_saved(), 0);
+        assert_eq!(summary.drop_fraction(), 0.0);
     }
 
     #[test]

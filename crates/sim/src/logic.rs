@@ -104,7 +104,7 @@ impl fmt::Display for Logic3 {
 
 #[cfg(test)]
 mod tests {
-    use super::Logic3::{One, X, Zero};
+    use super::Logic3::{One, Zero, X};
     use super::*;
 
     #[test]

@@ -22,6 +22,9 @@ pub struct SeqSim<'c> {
     ff_state: Vec<Logic3>,
     /// Scratch: value of every node's net this cycle.
     values: Vec<Logic3>,
+    /// Gates evaluated over the simulator's lifetime (activity metric,
+    /// comparable with [`EventSim::gate_evaluations`](crate::EventSim::gate_evaluations)).
+    evals: u64,
 }
 
 impl<'c> SeqSim<'c> {
@@ -32,7 +35,16 @@ impl<'c> SeqSim<'c> {
             lines,
             ff_state: vec![Logic3::X; circuit.num_dffs()],
             values: vec![Logic3::X; circuit.num_nodes()],
+            evals: 0,
         }
+    }
+
+    /// Number of gate evaluations performed so far. The oblivious
+    /// simulator evaluates every logic gate each cycle, so this grows by
+    /// the gate count per [`step`](Self::step) — the baseline that
+    /// [`EventSim`](crate::EventSim) undercuts.
+    pub fn gate_evaluations(&self) -> u64 {
+        self.evals
     }
 
     /// Resets every flip-flop to X.
@@ -82,11 +94,7 @@ impl<'c> SeqSim<'c> {
     /// Panics if `inputs.len()` differs from the number of primary inputs.
     pub fn evaluate(&mut self, inputs: &[Logic3], fault: Option<Fault>) -> Vec<Logic3> {
         let circuit = self.circuit;
-        assert_eq!(
-            inputs.len(),
-            circuit.num_inputs(),
-            "input width mismatch"
-        );
+        assert_eq!(inputs.len(), circuit.num_inputs(), "input width mismatch");
         for (&pi, &v) in circuit.inputs().iter().zip(inputs) {
             self.values[pi.index()] = v;
         }
@@ -100,6 +108,7 @@ impl<'c> SeqSim<'c> {
                 GateKind::Const0 => Logic3::Zero,
                 GateKind::Const1 => Logic3::One,
                 _ => {
+                    self.evals += 1;
                     let mut pins = Vec::with_capacity(circuit.node(id).fanin().len());
                     for pin in 0..circuit.node(id).fanin().len() {
                         pins.push(self.pin_value(id, pin, fault));
@@ -108,9 +117,7 @@ impl<'c> SeqSim<'c> {
                 }
             };
             let forced = match fault {
-                Some(f) if self.lines.stem_of(id) == f.line => {
-                    Logic3::from(f.stuck.as_bool())
-                }
+                Some(f) if self.lines.stem_of(id) == f.line => Logic3::from(f.stuck.as_bool()),
                 _ => v,
             };
             self.values[id.index()] = forced;
@@ -139,9 +146,7 @@ impl<'c> SeqSim<'c> {
         let src = self.circuit.node(node).fanin()[pin];
         let v = self.values[src.index()];
         match fault {
-            Some(f) if self.lines.in_line(node, pin) == f.line => {
-                Logic3::from(f.stuck.as_bool())
-            }
+            Some(f) if self.lines.in_line(node, pin) == f.line => Logic3::from(f.stuck.as_bool()),
             _ => v,
         }
     }
@@ -155,15 +160,9 @@ impl<'c> SeqSim<'c> {
 /// combinational gates).
 pub(crate) fn eval_gate(kind: GateKind, pins: &[Logic3]) -> Logic3 {
     let core = match kind {
-        GateKind::And | GateKind::Nand => {
-            pins.iter().copied().fold(Logic3::One, Logic3::and)
-        }
-        GateKind::Or | GateKind::Nor => {
-            pins.iter().copied().fold(Logic3::Zero, Logic3::or)
-        }
-        GateKind::Xor | GateKind::Xnor => {
-            pins.iter().copied().fold(Logic3::Zero, Logic3::xor)
-        }
+        GateKind::And | GateKind::Nand => pins.iter().copied().fold(Logic3::One, Logic3::and),
+        GateKind::Or | GateKind::Nor => pins.iter().copied().fold(Logic3::Zero, Logic3::or),
+        GateKind::Xor | GateKind::Xnor => pins.iter().copied().fold(Logic3::Zero, Logic3::xor),
         GateKind::Not | GateKind::Buf => pins[0],
         other => panic!("eval_gate on non-logic kind {other}"),
     };
@@ -179,7 +178,7 @@ mod tests {
     use fires_netlist::{bench, FaultList, LineGraph};
 
     use super::*;
-    use crate::Logic3::{One, X, Zero};
+    use crate::Logic3::{One, Zero, X};
 
     fn toggle() -> Circuit {
         // q toggles when en=1: q' = en XOR q ... actually q' = en ^ q.
@@ -228,10 +227,9 @@ mod tests {
 
     #[test]
     fn stem_fault_forces_whole_net() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUFF(s)\nz = NOT(s)\ns = BUFF(a)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUFF(s)\nz = NOT(s)\ns = BUFF(a)\n")
+                .unwrap();
         let lg = LineGraph::build(&c);
         let s = lg.stem_of(c.find("s").unwrap());
         let mut sim = SeqSim::new(&c, &lg);
@@ -241,10 +239,9 @@ mod tests {
 
     #[test]
     fn branch_fault_forces_only_one_pin() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUFF(s)\nz = NOT(s)\ns = BUFF(a)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUFF(s)\nz = NOT(s)\ns = BUFF(a)\n")
+                .unwrap();
         let lg = LineGraph::build(&c);
         let s = c.find("s").unwrap();
         let stem = lg.stem_of(s);

@@ -198,10 +198,9 @@ mod tests {
     #[test]
     fn figure3_fault_matches_examples_1_and_2() {
         // Paper Figure 3: d = AND(b, c1); c2 (the stem `c`) is observed.
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let lg = LineGraph::build(&c);
         let c_stem = lg.stem_of(c.find("c").unwrap());
         let c1 = lg.line(c_stem).branches()[0];
@@ -219,10 +218,8 @@ mod tests {
     fn figure3_without_c2_observation_is_def4_redundant() {
         // Dropping the c2 output removes the only way to tell the faulty
         // machine apart: the fault becomes redundant even under Def. 4.
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n").unwrap();
         let lg = LineGraph::build(&c);
         let d = c.find("d").unwrap();
         let c1 = lg.in_line(d, 1);

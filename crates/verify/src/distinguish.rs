@@ -35,8 +35,7 @@ pub fn can_distinguish(
     opp_alive: &[u64],
     budget: usize,
 ) -> Result<bool, VerifyError> {
-    distinguishing_sequence(reference, ref_start, opponent, opp_alive, budget)
-        .map(|w| w.is_some())
+    distinguishing_sequence(reference, ref_start, opponent, opp_alive, budget).map(|w| w.is_some())
 }
 
 /// Like [`can_distinguish`], but returns the shortest witness input
@@ -199,20 +198,16 @@ mod tests {
         let z = lg.stem_of(c.find("z").unwrap());
         let faulty = BinMachine::faulty(&c, &lg, Fault::sa1(z));
         // Reference = faulty machine; opponent = good machine in all states.
-        assert_eq!(
-            can_distinguish(&faulty, 0, &good, &[0], 1_000),
-            Ok(true)
-        );
+        assert_eq!(can_distinguish(&faulty, 0, &good, &[0], 1_000), Ok(true));
         assert_eq!(can_detect(&good, &faulty, 1_000), Ok(true));
     }
 
     #[test]
     fn witness_replays_against_every_opponent_state() {
         // Figure 3's branch fault: the witness must beat all 4 good starts.
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let lg = LineGraph::build(&c);
         let c_stem = lg.stem_of(c.find("c").unwrap());
         let c1 = lg.line(c_stem).branches()[0];

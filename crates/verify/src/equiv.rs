@@ -120,14 +120,12 @@ mod tests {
 
     #[test]
     fn extra_cycles_never_hurt() {
-        let original = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
-        let simplified = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = BUFF(b)\n",
-        )
-        .unwrap();
+        let original =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
+        let simplified =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = BUFF(b)\n")
+                .unwrap();
         let limits = Limits::default();
         assert_eq!(
             is_c_cycle_replacement(&original, &simplified, 1, &limits),

@@ -27,7 +27,10 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::TooLarge { what, got, max } => {
-                write!(f, "circuit has {got} {what}, exact analysis supports at most {max}")
+                write!(
+                    f,
+                    "circuit has {got} {what}, exact analysis supports at most {max}"
+                )
             }
             VerifyError::BudgetExhausted { explored } => {
                 write!(f, "search budget exhausted after {explored} super-states")

@@ -154,10 +154,9 @@ mod tests {
 
     #[test]
     fn branch_fault_affects_only_its_pin() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUFF(s)\nz = NOT(s)\ns = BUFF(a)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUFF(s)\nz = NOT(s)\ns = BUFF(a)\n")
+                .unwrap();
         let lg = LineGraph::build(&c);
         let s = c.find("s").unwrap();
         let y = c.find("y").unwrap();

@@ -133,10 +133,8 @@ mod tests {
     fn correlated_ffs_shrink() {
         // Figure-3 style: the same signal through two FFs. After one clock
         // both FFs agree.
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(z)\nb = DFF(a)\nc = DFF(a)\nz = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(z)\nb = DFF(a)\nc = DFF(a)\nz = AND(b, c)\n").unwrap();
         let lg = LineGraph::build(&c);
         let m = BinMachine::good(&c, &lg);
         let chain = shrink_to_fixpoint(&m);

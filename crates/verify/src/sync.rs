@@ -225,10 +225,9 @@ mod tests {
 
     #[test]
     fn figure3_circuit_synchronizes_in_one_clock() {
-        let c = bench::parse(
-            "INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n",
-        )
-        .unwrap();
+        let c =
+            bench::parse("INPUT(a)\nOUTPUT(d)\nOUTPUT(c)\nb = DFF(a)\nc = DFF(a)\nd = AND(b, c)\n")
+                .unwrap();
         let lg = LineGraph::build(&c);
         let m = BinMachine::good(&c, &lg);
         let seq = shortest_synchronizing_sequence(&m, 100_000)

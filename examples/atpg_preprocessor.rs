@@ -13,7 +13,9 @@ use fires_core::{Fires, FiresConfig};
 use fires_netlist::{FaultList, LineGraph};
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s386_like".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s386_like".into());
     let entry = fires_circuits::suite::by_name(&name)
         .ok_or_else(|| format!("unknown suite circuit `{name}`"))?;
     let circuit = &entry.circuit;

@@ -19,10 +19,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("stats      : {}", circuit.stats());
 
     let levels = graph::levels(&circuit);
-    println!(
-        "logic depth: {}",
-        levels.iter().copied().max().unwrap_or(0)
-    );
+    println!("logic depth: {}", levels.iter().copied().max().unwrap_or(0));
     println!(
         "seq depth  : {} (longest acyclic FF chain)",
         graph::sequential_depth(&circuit)
@@ -65,6 +62,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     let path = std::env::temp_dir().join("fires_circuit.dot");
     std::fs::write(&path, dot::to_dot(&circuit, &options))?;
-    println!("Graphviz dump written to {} (render with `dot -Tsvg`)", path.display());
+    println!(
+        "Graphviz dump written to {} (render with `dot -Tsvg`)",
+        path.display()
+    );
     Ok(())
 }

@@ -38,27 +38,31 @@ fn demo(name: &str, circuit: &fires_netlist::Circuit) -> Result<(), Box<dyn Erro
         );
         assert!(ok, "removal produced a non-equivalent circuit");
     }
-    println!("simplified netlist:\n{}", fires_netlist::bench::to_text(&outcome.circuit));
+    println!(
+        "simplified netlist:\n{}",
+        fires_netlist::bench::to_text(&outcome.circuit)
+    );
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
     demo("paper figure 3", &fires_circuits::figures::figure3())?;
-    demo("paper figure 7 (reconstruction)", &fires_circuits::figures::figure7())?;
+    demo(
+        "paper figure 7 (reconstruction)",
+        &fires_circuits::figures::figure7(),
+    )?;
     demo(
         "generated counter with injected redundancies",
-        &fires_circuits::generators::random_sequential(
-            &fires_circuits::generators::RandomConfig {
-                seed: 11,
-                inputs: 4,
-                gates: 16,
-                ffs: 2,
-                outputs: 3,
-                fig3: 1,
-                chains: (1, 2),
-                conflicts: 1,
-            },
-        ),
+        &fires_circuits::generators::random_sequential(&fires_circuits::generators::RandomConfig {
+            seed: 11,
+            inputs: 4,
+            gates: 16,
+            ffs: 2,
+            outputs: 3,
+            fig3: 1,
+            chains: (1, 2),
+            conflicts: 1,
+        }),
     )?;
     Ok(())
 }

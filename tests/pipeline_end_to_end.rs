@@ -27,11 +27,7 @@ fn fires_targets_never_get_tests_on_the_paper_circuits() {
         fires_circuits::figures::figure3(),
         fires_circuits::figures::figure7(),
     ] {
-        let report = Fires::new(
-            &circuit,
-            FiresConfig::default().without_validation(),
-        )
-        .run();
+        let report = Fires::new(&circuit, FiresConfig::default().without_validation()).run();
         let lines = LineGraph::build(&circuit);
         let atpg = Atpg::new(&circuit, &lines, atpg_config());
         for f in report.redundant_faults() {

@@ -18,16 +18,18 @@ fn small_config() -> impl Strategy<Value = RandomConfig> {
         0usize..2,  // fig3 patterns (2 FFs each)
         0usize..2,  // conflicts
     )
-        .prop_map(|(seed, inputs, gates, ffs, outputs, fig3, conflicts)| RandomConfig {
-            seed,
-            inputs,
-            gates,
-            ffs,
-            outputs,
-            fig3,
-            chains: (0, 0),
-            conflicts,
-        })
+        .prop_map(
+            |(seed, inputs, gates, ffs, outputs, fig3, conflicts)| RandomConfig {
+                seed,
+                inputs,
+                gates,
+                ffs,
+                outputs,
+                fig3,
+                chains: (0, 0),
+                conflicts,
+            },
+        )
 }
 
 fn verify_limits() -> Limits {

@@ -1,0 +1,190 @@
+//! Vendored stand-in for the subset of the `proptest` API this workspace
+//! uses. The build environment has no network access to crates.io, so the
+//! real `proptest` cannot be fetched; this crate keeps the property tests
+//! runnable with identical call sites.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs as-is;
+//! * **deterministic seeding** — every test function runs the same case
+//!   sequence on every invocation (good for CI reproducibility);
+//! * regex string strategies support the operators actually used here
+//!   (literals, escapes, classes, groups, alternation, `* + ?` and
+//!   `{m,n}` repetition, and the `\PC` "printable" class).
+//!
+//! Supported surface: the [`proptest!`] macro with `#![proptest_config]`,
+//! [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! [`prop_oneof!`], [`Strategy`] with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple strategies, `&str` regex strategies,
+//! [`collection::vec`] and [`any`].
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRunner};
+
+/// Everything a property test typically imports.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed: {:?} != {:?}: {}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (does not count against `cases`) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// A strategy choosing uniformly among the listed sub-strategies (which
+/// must share a value type; each arm is boxed).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property_test(
+                    &config,
+                    stringify!($name),
+                    |runner: &mut $crate::TestRunner| {
+                        $(let $arg = $crate::Strategy::new_value(&($strat), runner);)+
+                        let inputs = {
+                            let mut s = String::new();
+                            $(
+                                s.push_str(stringify!($arg));
+                                s.push_str(" = ");
+                                s.push_str(&format!("{:?}", &$arg));
+                                s.push_str("; ");
+                            )+
+                            s
+                        };
+                        let outcome = (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                        (outcome, inputs)
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Driver behind [`proptest!`]; runs cases until `config.cases` accepted
+/// inputs have passed or a case fails.
+pub fn run_property_test<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRunner) -> (Result<(), TestCaseError>, String),
+{
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(10).max(config.cases);
+    while accepted < config.cases && attempts < max_attempts {
+        let mut runner = TestRunner::for_case(name, attempts);
+        attempts += 1;
+        let (outcome, inputs) = case(&mut runner);
+        match outcome {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property test `{name}` failed at case {attempts}:\n  {msg}\n  inputs: {inputs}"
+                );
+            }
+        }
+    }
+}

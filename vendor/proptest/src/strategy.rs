@@ -1,0 +1,323 @@
+//! The [`Strategy`] trait and the combinators used by this workspace's
+//! property tests. No shrinking: a strategy is just a deterministic
+//! function from runner state to a value.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::string::generate_from_pattern;
+use crate::test_runner::TestRunner;
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// wraps an inner strategy into one layer of branches. `depth` bounds
+    /// the nesting; `_desired_size` and `_expected_branch_size` are
+    /// accepted for source compatibility with real proptest.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(current).boxed();
+            let leaf = leaf.clone();
+            // Lean towards leaves as generation gets deeper so expression
+            // sizes stay bounded even without proptest's size accounting.
+            current = BoxedStrategy::from_fn(move |runner: &mut TestRunner| {
+                let take_leaf = runner.depth >= depth || runner.chance(0.25);
+                if take_leaf {
+                    leaf.new_value(runner)
+                } else {
+                    runner.depth += 1;
+                    let v = branch.new_value(runner);
+                    runner.depth -= 1;
+                    v
+                }
+            });
+        }
+        current
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::from_fn(move |runner: &mut TestRunner| self.new_value(runner))
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<V> {
+    gen: Rc<dyn Fn(&mut TestRunner) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<V> BoxedStrategy<V> {
+    /// Wraps a generation closure.
+    pub fn from_fn(f: impl Fn(&mut TestRunner) -> V + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, runner: &mut TestRunner) -> V {
+        (self.gen)(runner)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// Uniform choice among boxed sub-strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds the union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, runner: &mut TestRunner) -> V {
+        let i = runner.index(self.arms.len());
+        self.arms[i].new_value(runner)
+    }
+}
+
+/// Constant strategy (`Just`), for completeness.
+#[derive(Clone, Debug)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> V {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + runner.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return runner.next_u64() as $t;
+                }
+                (start as i128 + runner.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&str` strategies generate strings matching the pattern as a regex
+/// (the operator subset documented in [`crate::string`]).
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        generate_from_pattern(self, runner)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Full-domain generation for primitives (the `any::<T>()` entry point).
+pub trait ArbitraryValue: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// An unconstrained value of `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        TestRunner::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = runner();
+        for _ in 0..1_000 {
+            let v = (1u64..5).new_value(&mut r);
+            assert!((1..5).contains(&v));
+            let (a, b) = ((0u32..3), (10usize..12)).new_value(&mut r);
+            assert!(a < 3 && (10..12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_and_union() {
+        let mut r = runner();
+        let s = crate::prop_oneof![
+            (0u32..5).prop_map(|v| v * 10),
+            (0u32..5).prop_map(|v| v + 100),
+        ];
+        for _ in 0..100 {
+            let v = s.new_value(&mut r);
+            assert!(v % 10 == 0 && v < 50 || (100..105).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum T {
+            Leaf(u32),
+            Node(Box<T>, Box<T>),
+        }
+        fn size(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => 1 + size(a) + size(b),
+            }
+        }
+        let s = (0u32..4)
+            .prop_map(T::Leaf)
+            .prop_recursive(4, 32, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        let mut r = runner();
+        for _ in 0..200 {
+            let t = s.new_value(&mut r);
+            assert!(size(&t) <= 2usize.pow(6));
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! String generation from a regex-like pattern.
+//!
+//! Supports the operator subset the workspace's tests use: literal
+//! characters, `\`-escaped literals, character classes `[a-z 0-9_]`
+//! (ranges and literal members), groups `( ... )` with alternation `|`,
+//! the quantifiers `*`, `+`, `?` and `{m}` / `{m,}` / `{m,n}`, and the
+//! Unicode-property escapes `\PC` (generated as printable ASCII) and
+//! `\pL` (generated as ASCII letters). Unbounded quantifiers draw a
+//! length in `0..=8` (`+`: `1..=8`).
+
+use crate::test_runner::TestRunner;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// A sequence of alternatives; generation picks one uniformly.
+    Alt(Vec<Vec<Node>>),
+    /// One literal character.
+    Literal(char),
+    /// A set of candidate characters.
+    Class(Vec<char>),
+    /// A repeated node with an inclusive repetition range.
+    Repeat(Box<Node>, u32, u32),
+}
+
+const UNBOUNDED_MAX: u32 = 8;
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax the subset does not cover (a test-authoring error).
+pub fn generate_from_pattern(pattern: &str, runner: &mut TestRunner) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let node = parse_alternation(&chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "unparsed trailing pattern input at {pos} in {pattern:?}"
+    );
+    let mut out = String::new();
+    generate(&node, runner, &mut out);
+    out
+}
+
+fn generate(node: &Node, runner: &mut TestRunner, out: &mut String) {
+    match node {
+        Node::Alt(arms) => {
+            let arm = &arms[runner.index(arms.len())];
+            for n in arm {
+                generate(n, runner, out);
+            }
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::Class(set) => out.push(set[runner.index(set.len())]),
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo as u64 + runner.below((*hi - *lo + 1) as u64);
+            for _ in 0..n {
+                generate(inner, runner, out);
+            }
+        }
+    }
+}
+
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Node {
+    let mut arms = vec![parse_concat(chars, pos)];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        arms.push(parse_concat(chars, pos));
+    }
+    Node::Alt(arms)
+}
+
+fn parse_concat(chars: &[char], pos: &mut usize) -> Vec<Node> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        let atom = parse_atom(chars, pos);
+        seq.push(parse_quantifier(atom, chars, pos));
+    }
+    seq
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_alternation(chars, pos);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unclosed group in pattern"
+            );
+            *pos += 1;
+            inner
+        }
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '\\' => {
+            *pos += 1;
+            parse_escape(chars, pos)
+        }
+        '.' => {
+            *pos += 1;
+            Node::Class(printable_ascii())
+        }
+        c => {
+            *pos += 1;
+            Node::Literal(c)
+        }
+    }
+}
+
+fn parse_quantifier(atom: Node, chars: &[char], pos: &mut usize) -> Node {
+    if *pos >= chars.len() {
+        return atom;
+    }
+    match chars[*pos] {
+        '*' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, UNBOUNDED_MAX)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, UNBOUNDED_MAX)
+        }
+        '?' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        '{' => {
+            *pos += 1;
+            let lo = parse_number(chars, pos);
+            let hi = if chars[*pos] == ',' {
+                *pos += 1;
+                if chars[*pos] == '}' {
+                    lo + UNBOUNDED_MAX
+                } else {
+                    parse_number(chars, pos)
+                }
+            } else {
+                lo
+            };
+            assert!(chars[*pos] == '}', "malformed {{m,n}} quantifier");
+            *pos += 1;
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    while chars[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .expect("number in quantifier")
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Node {
+    let mut set = Vec::new();
+    let negated = chars[*pos] == '^';
+    if negated {
+        *pos += 1;
+    }
+    while chars[*pos] != ']' {
+        let c = if chars[*pos] == '\\' {
+            *pos += 1;
+            let e = chars[*pos];
+            *pos += 1;
+            e
+        } else {
+            let c = chars[*pos];
+            *pos += 1;
+            c
+        };
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            *pos += 1;
+            let end = chars[*pos];
+            *pos += 1;
+            for v in c as u32..=end as u32 {
+                if let Some(ch) = char::from_u32(v) {
+                    set.push(ch);
+                }
+            }
+        } else {
+            set.push(c);
+        }
+    }
+    *pos += 1;
+    if negated {
+        let excluded = set;
+        let set: Vec<char> = printable_ascii()
+            .into_iter()
+            .filter(|c| !excluded.contains(c))
+            .collect();
+        assert!(!set.is_empty(), "negated class excludes everything");
+        Node::Class(set)
+    } else {
+        assert!(!set.is_empty(), "empty character class");
+        Node::Class(set)
+    }
+}
+
+fn parse_escape(chars: &[char], pos: &mut usize) -> Node {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        // Unicode property classes: generated from representative ASCII.
+        'P' | 'p' => {
+            let name = if chars[*pos] == '{' {
+                *pos += 1;
+                let start = *pos;
+                while chars[*pos] != '}' {
+                    *pos += 1;
+                }
+                let n: String = chars[start..*pos].iter().collect();
+                *pos += 1;
+                n
+            } else {
+                let n = chars[*pos].to_string();
+                *pos += 1;
+                n
+            };
+            match (c, name.as_str()) {
+                // \PC: "not Other" — anything printable.
+                ('P', "C") => Node::Class(printable_ascii()),
+                ('p', "L") => Node::Class(('a'..='z').chain('A'..='Z').collect()),
+                _ => Node::Class(printable_ascii()),
+            }
+        }
+        'n' => Node::Literal('\n'),
+        't' => Node::Literal('\t'),
+        'r' => Node::Literal('\r'),
+        'd' => Node::Class(('0'..='9').collect()),
+        'w' => Node::Class(
+            ('a'..='z')
+                .chain('A'..='Z')
+                .chain('0'..='9')
+                .chain(std::iter::once('_'))
+                .collect(),
+        ),
+        's' => Node::Class(vec![' ', '\t', '\n']),
+        other => Node::Literal(other),
+    }
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..0x7F).map(char::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, case: u32) -> String {
+        let mut r = TestRunner::for_case("string-gen", case);
+        generate_from_pattern(pattern, &mut r)
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        assert_eq!(gen("abc", 0), "abc");
+        assert_eq!(gen("INPUT\\(x\\)", 0), "INPUT(x)");
+        assert_eq!(gen("", 0), "");
+    }
+
+    #[test]
+    fn classes_and_counted_repeats() {
+        for case in 0..200 {
+            let s = gen("[a-z]{1,3}", case);
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn alternation_groups_and_optionals() {
+        for case in 0..200 {
+            let s = gen("(AND|OR|NOT)\\([a-z](, [a-z])?\\)", case);
+            assert!(
+                s.starts_with("AND(") || s.starts_with("OR(") || s.starts_with("NOT("),
+                "{s:?}"
+            );
+            assert!(s.ends_with(')'));
+        }
+    }
+
+    #[test]
+    fn star_and_property_class() {
+        for case in 0..200 {
+            let s = gen("\\PC*", case);
+            assert!(s.len() <= UNBOUNDED_MAX as usize);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Test-case execution state: configuration, per-case RNG and the
+//! error type `prop_assert!` and friends return.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test runs.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; failure persistence is not
+    /// implemented (no `proptest-regressions` files are written).
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            failure_persistence: None,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases, everything else default.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the case (and the test) fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is discarded.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-case generation state handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    state: [u64; 4],
+    /// Recursion guard used by `prop_recursive` strategies.
+    pub(crate) depth: u32,
+}
+
+impl TestRunner {
+    /// Deterministic runner for case number `case` of test `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index, then
+        // expanded through SplitMix64 into xoshiro256++ state.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut x = h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRunner {
+            state: [next(), next(), next(), next()],
+            depth: 0,
+        }
+    }
+
+    /// The raw 64-bit source (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, span)` (rejection sampling, no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span == 0`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "cannot sample an empty range");
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform `usize` index below `len`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic_per_name_and_case() {
+        let mut a = TestRunner::for_case("t", 3);
+        let mut b = TestRunner::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRunner::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = TestRunner::for_case("below", 0);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}
