@@ -6,12 +6,13 @@
 //! Run with `cargo run --release -p fires-bench --bin c_distribution
 //! [circuit-names...]`.
 
-use fires_bench::JsonOut;
-use fires_core::{Fires, FiresConfig};
+use fires_bench::{run_fires, JsonOut, Threads};
+use fires_core::FiresConfig;
 use fires_obs::{Json, RunReport};
 
 fn main() {
-    let (json, filter) = JsonOut::from_env();
+    let (json, mut filter) = JsonOut::from_env();
+    let threads = Threads::extract(&mut filter).count();
     let mut rr = RunReport::new("c_distribution", "suite");
     let mut dists = Json::object();
     let defaults = [
@@ -32,7 +33,11 @@ fn main() {
         if !selected {
             continue;
         }
-        let report = Fires::new(&entry.circuit, FiresConfig::with_max_frames(entry.frames)).run();
+        let report = run_fires(
+            &entry.circuit,
+            FiresConfig::with_max_frames(entry.frames),
+            threads,
+        );
         let hist = report.c_histogram();
         let total = report.len().max(1);
         println!("{} ({} faults):", entry.name, report.len());

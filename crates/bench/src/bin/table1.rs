@@ -4,13 +4,17 @@
 //! c-cycle redundant faults.
 //!
 //! Run with `cargo run --release -p fires-bench --bin table1`.
-//! Pass `--json <path>` to also write a machine-readable run report.
+//! Pass `--json <path>` to also write a machine-readable run report and
+//! `--threads N|auto` to size the identification stage's worker pool.
+//! The trace below is produced by direct engine calls; the final
+//! identification runs as a `fires-jobs` campaign like the other tables.
 
-use fires_bench::{JsonOut, TextTable};
+use fires_bench::{jobs_campaign, JsonOut, TextTable, Threads};
 use fires_core::{Fires, FiresConfig};
 
 fn main() {
-    let (json, _args) = JsonOut::from_env();
+    let (json, mut args) = JsonOut::from_env();
+    let threads = Threads::extract(&mut args).count();
     let circuit = fires_circuits::figures::figure7();
     let fires = Fires::new(&circuit, FiresConfig::with_max_frames(3));
     let stem = fires.lines().stem_of(circuit.find("c").expect("stem c"));
@@ -42,23 +46,26 @@ fn main() {
         println!("{}", t.render());
     }
 
-    let report = fires.run();
+    let (campaign, _journal) = jobs_campaign("table1-fig7", &["fig7"], true, Some(3), threads);
+    let task = &campaign.tasks[0];
     println!("c-cycle redundant faults identified by FIRES:");
     let mut t = TextTable::new(["Fault", "c", "frame"]);
-    for f in report.redundant_faults() {
-        t.row([
-            f.fault.display(report.lines(), &circuit),
-            f.c.to_string(),
-            f.frame.to_string(),
-        ]);
+    for (f, name) in task.faults.iter().zip(&task.fault_names) {
+        t.row([name.clone(), f.c.to_string(), f.frame.to_string()]);
     }
     println!("{}", t.render());
+    let zero_cycle = task.faults.iter().filter(|f| f.c == 0).count();
+    let max_c = task.faults.iter().map(|f| f.c).max().unwrap_or(0);
     println!(
         "{} faults, {} zero-cycle, max c = {}",
-        report.len(),
-        report.num_zero_cycle(),
-        report.max_c()
+        task.faults.len(),
+        zero_cycle,
+        max_c
     );
 
-    json.write(&report.run_report("table1", "figure7"));
+    let (reports, _) = campaign.run_reports();
+    let mut rr = reports.into_iter().next().expect("one task");
+    rr.tool = "table1".into();
+    rr.subject = "figure7".into();
+    json.write(&rr);
 }

@@ -5,18 +5,37 @@
 //! seconds for FIRES without validation, `# Red.` and CPU seconds with
 //! validation, the number of 0-cycle redundancies and the maximum `c`.
 //!
+//! Both passes run as `fires-jobs` campaigns: per-stem work units on a
+//! worker pool with panic isolation, journaled to disk as they complete.
+//! A crash mid-table loses at most one stem; the printed journal paths
+//! can be resumed and inspected with the `fires` CLI.
+//!
 //! Run with `cargo run --release -p fires-bench --bin table2`.
-//! Pass circuit names as arguments to restrict the rows, and
-//! `--json <path>` to also write a machine-readable run report.
+//! Pass circuit names as arguments to restrict the rows,
+//! `--threads N|auto` to size the worker pool, and `--json <path>` to
+//! also write a machine-readable run report.
 
-use std::io::Write;
-
-use fires_bench::{json_row, table2_row, JsonOut};
+use fires_bench::{jobs_campaign, json_row, JsonOut, Threads};
 use fires_circuits::suite::table2_suite;
 use fires_obs::{Json, RunReport};
 
 fn main() {
-    let (json, filter) = JsonOut::from_env();
+    let (json, mut filter) = JsonOut::from_env();
+    let threads = Threads::extract(&mut filter).count();
+    let suite = table2_suite();
+    let names: Vec<&str> = suite
+        .iter()
+        .map(|e| e.name)
+        .filter(|n| filter.is_empty() || filter.iter().any(|f| f == n))
+        .collect();
+    if names.is_empty() {
+        eprintln!("error: no suite circuit matches {filter:?}");
+        std::process::exit(2);
+    }
+
+    let (unvalidated, journal_u) = jobs_campaign("table2-unval", &names, false, None, threads);
+    let (validated, journal_v) = jobs_campaign("table2-val", &names, true, None, threads);
+
     let mut rr = RunReport::new("table2", "suite");
     let mut rows = Vec::new();
     println!("Table 2: results for benchmark circuits\n");
@@ -25,39 +44,48 @@ fn main() {
         "Circuit", "# Fr.", "# Unt.", "CPU s", "# Red.", "CPU s", "0-cycle", "Max. c"
     );
     println!("{}", "-".repeat(72));
-    for entry in table2_suite() {
-        if !filter.is_empty() && !filter.iter().any(|f| f == entry.name) {
-            continue;
-        }
-        let row = table2_row(&entry);
+    for (u, v) in unvalidated.tasks.iter().zip(&validated.tasks) {
+        let zero_cycle = v.faults.iter().filter(|f| f.c == 0).count();
+        let max_c = v.faults.iter().map(|f| f.c).max().unwrap_or(0);
         println!(
             "{:<12} {:>5} | {:>7} {:>7.1} | {:>7} {:>7.1} {:>8} {:>7}",
-            row.name,
-            row.frames,
-            row.untestable,
-            row.cpu_unvalidated,
-            row.redundant,
-            row.cpu_validated,
-            row.zero_cycle,
-            row.max_c
+            v.name,
+            v.frame_budget,
+            u.faults.len(),
+            u.seconds,
+            v.faults.len(),
+            v.seconds,
+            zero_cycle,
+            max_c
         );
-        std::io::stdout().flush().ok();
-        rr.metrics.merge(&row.metrics);
-        rr.add_phase(row.name, row.cpu_unvalidated + row.cpu_validated);
+        rr.add_phase(v.name.clone(), u.seconds + v.seconds);
         rows.push(json_row([
-            ("circuit", Json::from(row.name)),
-            ("frames", Json::from(row.frames)),
-            ("untestable", Json::from(row.untestable)),
-            ("cpu_unvalidated", Json::from(row.cpu_unvalidated)),
-            ("redundant", Json::from(row.redundant)),
-            ("cpu_validated", Json::from(row.cpu_validated)),
-            ("zero_cycle", Json::from(row.zero_cycle)),
-            ("max_c", Json::from(row.max_c)),
+            ("circuit", Json::from(v.name.clone())),
+            ("frames", Json::from(v.frame_budget as u64)),
+            ("untestable", Json::from(u.faults.len() as u64)),
+            ("cpu_unvalidated", Json::from(u.seconds)),
+            ("redundant", Json::from(v.faults.len() as u64)),
+            ("cpu_validated", Json::from(v.seconds)),
+            ("zero_cycle", Json::from(zero_cycle as u64)),
+            ("max_c", Json::from(u64::from(max_c))),
         ]));
     }
-    println!("\ndone");
+    println!("\ndone ({threads} worker thread(s))");
+    println!(
+        "campaign journals: {} / {}",
+        journal_u.display(),
+        journal_v.display()
+    );
+
     let total: f64 = rr.phases.iter().map(|(_, s)| s).sum();
     rr.total_seconds = total;
     rr.set_extra("rows", Json::Arr(rows));
+    rr.set_extra("threads", threads as u64);
+    // Roll the per-task campaign reports up under the table report.
+    let (children_u, _) = unvalidated.run_reports();
+    let (children_v, _) = validated.run_reports();
+    let all: Vec<RunReport> = children_u.into_iter().chain(children_v).collect();
+    let rollup = RunReport::aggregate("table2/campaigns", "suite", &all);
+    rr.set_extra("campaigns", rollup.to_json());
     json.write(&rr);
 }

@@ -7,25 +7,31 @@
 //! CPU ratio — search struggles even to prove untestable what implications
 //! identify instantly.
 //!
+//! The FIRES stage runs as a `fires-jobs` campaign (per-stem work units,
+//! panic isolation, on-disk journal) so even this one-circuit experiment
+//! is resumable and crash-tolerant.
+//!
 //! Run with `cargo run --release -p fires-bench --bin table3
-//! [circuit-name] [max-targets]`.
+//! [circuit-name] [max-targets] [--threads N|auto]`.
 
 use fires_atpg::Atpg;
-use fires_bench::{fires_targets, gentest_like, record_campaign, JsonOut, TextTable};
-use fires_core::{Fires, FiresConfig};
+use fires_bench::{
+    fires_targets, gentest_like, jobs_campaign, record_campaign, JsonOut, TextTable, Threads,
+};
 use fires_netlist::LineGraph;
 
 fn main() {
-    let (json, args) = JsonOut::from_env();
+    let (json, mut args) = JsonOut::from_env();
+    let threads = Threads::extract(&mut args).count();
     let name = args.first().map(String::as_str).unwrap_or("s5378_like");
     // Default cap keeps the harness runtime sane on redundancy-rich
     // generated circuits (pass a large number to target everything).
     let max_targets: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
     let entry = fires_circuits::suite::by_name(name).expect("unknown suite circuit");
 
-    let config = FiresConfig::with_max_frames(entry.frames).without_validation();
-    let report = Fires::new(&entry.circuit, config).run();
-    let mut targets = fires_targets(&report);
+    let (campaign, _journal) = jobs_campaign("table3-fires", &[name], false, None, threads);
+    let fires_task = &campaign.tasks[0];
+    let mut targets = fires_targets(&fires_task.faults);
     targets.truncate(max_targets);
 
     println!(
@@ -37,11 +43,12 @@ fn main() {
     let atpg = Atpg::new(&entry.circuit, &lines, gentest_like());
     let summary = atpg.run_faults(&targets);
 
-    let fires_cpu = report.elapsed().as_secs_f64();
+    let fires_found = fires_task.faults.len();
+    let fires_cpu = fires_task.seconds;
     let atpg_cpu = summary.elapsed.as_secs_f64();
     // When the target list is capped, extrapolate the ATPG CPU linearly to
     // the full FIRES fault set for a like-for-like speed-up figure.
-    let atpg_cpu_full = atpg_cpu * report.len() as f64 / targets.len().max(1) as f64;
+    let atpg_cpu_full = atpg_cpu * fires_found as f64 / targets.len().max(1) as f64;
     let mut t = TextTable::new([
         "Circuit",
         "FIRES #Unt",
@@ -54,7 +61,7 @@ fn main() {
     ]);
     t.row([
         name.to_string(),
-        report.len().to_string(),
+        fires_found.to_string(),
         format!("{fires_cpu:.1}"),
         summary.num_untestable().to_string(),
         summary.num_aborted().to_string(),
@@ -75,8 +82,12 @@ fn main() {
         );
     }
 
-    let mut rr = report.run_report("table3", name);
+    let (fires_reports, _) = campaign.run_reports();
+    let mut rr = fires_reports.into_iter().next().expect("one task");
+    rr.tool = "table3".into();
+    rr.subject = name.into();
     record_campaign(&mut rr, &summary);
+    rr.set_extra("threads", threads as u64);
     rr.set_extra("targets", targets.len() as u64);
     rr.set_extra("fires_cpu_seconds", fires_cpu);
     rr.set_extra("atpg_cpu_seconds", atpg_cpu);

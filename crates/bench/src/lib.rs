@@ -22,12 +22,72 @@ use std::time::Duration;
 
 use fires_atpg::AtpgConfig;
 use fires_circuits::suite::SuiteEntry;
-use fires_core::{Fires, FiresConfig, FiresReport, RunMetrics};
-use fires_netlist::Fault;
+use fires_core::{Fires, FiresConfig, FiresReport, IdentifiedFault, RunMetrics};
+use fires_jobs::{CampaignReport, CampaignSpec, RunnerConfig};
+use fires_netlist::{Circuit, Fault};
 
 mod reporting;
 
-pub use reporting::{json_row, record_campaign, record_fault_sim, JsonOut};
+pub use reporting::{json_row, record_campaign, record_fault_sim, JsonOut, Threads};
+
+/// Runs FIRES with the bench-standard thread plumbing: 1 worker uses the
+/// serial driver, anything more the in-process worker pool. Results are
+/// identical either way; only wall-clock changes.
+pub fn run_fires(circuit: &Circuit, config: FiresConfig, threads: usize) -> FiresReport<'_> {
+    if threads <= 1 {
+        Fires::new(circuit, config).run()
+    } else {
+        Fires::new(circuit, config).run_threaded(threads)
+    }
+}
+
+/// Runs the named circuits as a `fires-jobs` campaign and returns the
+/// merged report. This is how the table binaries drive their FIRES
+/// stage: per-stem work units, panic isolation and an on-disk journal —
+/// a crash mid-table loses at most one stem of work, and the journal can
+/// be resumed with the `fires` CLI.
+///
+/// The journal lives in a per-process temp directory (bench runs are
+/// throwaway campaigns); its path is returned alongside the report.
+pub fn jobs_campaign(
+    name: &str,
+    circuits: &[&str],
+    validate: bool,
+    frames: Option<usize>,
+    threads: usize,
+) -> (CampaignReport, std::path::PathBuf) {
+    let mut spec = CampaignSpec::from_circuits(name, circuits.iter().copied());
+    for t in &mut spec.tasks {
+        t.validate = validate;
+        t.frames = frames;
+    }
+    let dir = std::env::temp_dir().join(format!("fires-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        panic!("cannot create campaign dir {}: {e}", dir.display());
+    });
+    let journal = dir.join(format!("{name}.jsonl"));
+    let _ = std::fs::remove_file(&journal);
+    let rc = RunnerConfig {
+        threads,
+        ..Default::default()
+    };
+    let summary = fires_jobs::run(&spec, &journal, &rc)
+        .unwrap_or_else(|e| panic!("campaign {name:?} failed: {e}"));
+    assert!(
+        summary.complete(),
+        "campaign {name:?} left units unprocessed"
+    );
+    if summary.panicked + summary.timed_out > 0 {
+        eprintln!(
+            "warning: campaign {name:?}: {} unit(s) failed; see {}",
+            summary.panicked + summary.timed_out,
+            journal.display()
+        );
+    }
+    let report = fires_jobs::report(&journal)
+        .unwrap_or_else(|e| panic!("campaign {name:?} unreadable: {e}"));
+    (report, journal)
+}
 
 /// A minimal fixed-width text table (the paper's tables are plain text).
 #[derive(Clone, Debug, Default)]
@@ -159,9 +219,11 @@ pub fn table2_row(entry: &SuiteEntry) -> Table2Row {
 /// The fault targets a FIRES run hands to the comparison ATPG: the faults
 /// identified without validation, exactly as in the paper's Tables 3–4
 /// ("the faults found by FIRES (without validation) were passed as the
-/// only targets to the test generators").
-pub fn fires_targets(report: &FiresReport<'_>) -> Vec<Fault> {
-    report.redundant_faults().iter().map(|f| f.fault).collect()
+/// only targets to the test generators"). Takes the identified-fault
+/// slice so both the direct driver ([`FiresReport::redundant_faults`])
+/// and a merged campaign ([`fires_jobs::TaskReport`]) feed it.
+pub fn fires_targets(identified: &[IdentifiedFault]) -> Vec<Fault> {
+    identified.iter().map(|f| f.fault).collect()
 }
 
 #[cfg(test)]

@@ -69,6 +69,62 @@ impl JsonOut {
     }
 }
 
+/// The `--threads` worker-count option shared by every experiment
+/// binary.
+///
+/// `--threads N` (or `--threads=N`) runs FIRES on the in-process worker
+/// pool with `N` workers; `--threads auto` uses every available core.
+/// The default is 1 — the serial driver — so timings stay comparable
+/// with older runs unless parallelism is asked for. Results are
+/// identical either way (see
+/// [`IdentifiedFault::wins_over`](fires_core::IdentifiedFault)).
+#[derive(Clone, Copy, Debug)]
+pub struct Threads {
+    count: usize,
+}
+
+impl Threads {
+    /// Removes a `--threads N` / `--threads=N` / `--threads auto` flag
+    /// from `args`, leaving positional arguments in place.
+    pub fn extract(args: &mut Vec<String>) -> Threads {
+        let mut value: Option<String> = None;
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(v) = args[i].strip_prefix("--threads=") {
+                value = Some(v.to_string());
+                args.remove(i);
+            } else if args[i] == "--threads" {
+                args.remove(i);
+                if i < args.len() {
+                    value = Some(args.remove(i));
+                } else {
+                    eprintln!("error: --threads needs a worker count (or `auto`)");
+                    std::process::exit(2);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let count = match value.as_deref() {
+            None => 1,
+            Some("auto") => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("error: --threads expects a positive number or `auto`, got {v:?}");
+                    std::process::exit(2);
+                }
+            },
+        };
+        Threads { count }
+    }
+
+    /// The requested worker count (1 = serial driver).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
 /// Folds an ATPG campaign into `report` under the `atpg.` namespace.
 pub fn record_campaign(report: &mut RunReport, summary: &CampaignSummary) {
     let m = &mut report.metrics;
@@ -130,6 +186,20 @@ mod tests {
         let out = JsonOut::extract(&mut args);
         assert_eq!(out.path.as_deref(), Some(std::path::Path::new("r.json")));
         assert!(args.is_empty());
+    }
+
+    #[test]
+    fn threads_extracts_both_forms_and_defaults_to_serial() {
+        let mut args = strings(&["s27", "--threads", "4", "500"]);
+        assert_eq!(Threads::extract(&mut args).count(), 4);
+        assert_eq!(args, strings(&["s27", "500"]));
+        let mut args = strings(&["--threads=2"]);
+        assert_eq!(Threads::extract(&mut args).count(), 2);
+        assert!(args.is_empty());
+        let mut args = strings(&["s27"]);
+        assert_eq!(Threads::extract(&mut args).count(), 1);
+        let mut args = strings(&["--threads=auto"]);
+        assert!(Threads::extract(&mut args).count() >= 1);
     }
 
     #[test]

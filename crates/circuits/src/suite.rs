@@ -252,9 +252,49 @@ pub fn table2_suite() -> Vec<SuiteEntry> {
     rows
 }
 
+/// A fast subset of the suite for smoke tests and CI campaigns: the
+/// circuits that analyse in well under a second each. Deterministic, like
+/// [`table2_suite`].
+pub fn small_suite() -> Vec<SuiteEntry> {
+    const SMALL: &[&str] = &["s208_like", "s349_like", "s386_like", "s1238_like"];
+    let mut rows: Vec<SuiteEntry> = table2_suite()
+        .into_iter()
+        .filter(|e| SMALL.contains(&e.name))
+        .collect();
+    rows.insert(
+        0,
+        SuiteEntry {
+            name: "s27",
+            frames: 5,
+            circuit: crate::iscas::s27(),
+        },
+    );
+    rows
+}
+
 /// Looks one suite circuit up by name.
 pub fn by_name(name: &str) -> Option<SuiteEntry> {
     table2_suite().into_iter().find(|e| e.name == name)
+}
+
+/// Resolves any named circuit this crate can build: suite rows
+/// ([`by_name`]), the public `s27` benchmark, and the paper's figure
+/// circuits (`fig3`/`figure3`, `fig7`/`figure7`). The campaign layer
+/// (`fires-jobs`) uses this to turn task specs into circuits.
+pub fn resolve(name: &str) -> Option<SuiteEntry> {
+    let fixed = |name: &'static str, frames, circuit| {
+        Some(SuiteEntry {
+            name,
+            frames,
+            circuit,
+        })
+    };
+    match name {
+        "s27" => fixed("s27", 5, crate::iscas::s27()),
+        "fig3" | "figure3" => fixed("fig3", 5, crate::figures::figure3()),
+        "fig7" | "figure7" => fixed("fig7", 5, crate::figures::figure7()),
+        _ => by_name(name),
+    }
 }
 
 #[cfg(test)]
@@ -311,5 +351,25 @@ mod tests {
     fn by_name_lookup() {
         assert!(by_name("s27_like").is_none());
         assert_eq!(by_name("s838_like").unwrap().frames, 15);
+    }
+
+    #[test]
+    fn small_suite_is_a_fast_subset() {
+        let small = small_suite();
+        assert!(small.len() >= 3);
+        assert_eq!(small[0].name, "s27");
+        for e in &small {
+            assert!(e.circuit.num_gates() < 500, "{} too large", e.name);
+        }
+    }
+
+    #[test]
+    fn resolve_covers_all_families() {
+        assert_eq!(resolve("s27").unwrap().circuit.num_dffs(), 3);
+        assert_eq!(resolve("fig3").unwrap().circuit.num_dffs(), 2);
+        assert_eq!(resolve("figure3").unwrap().name, "fig3");
+        assert!(resolve("fig7").is_some());
+        assert_eq!(resolve("s838_like").unwrap().frames, 15);
+        assert!(resolve("nonexistent").is_none());
     }
 }

@@ -1,0 +1,129 @@
+//! Cooperative cancellation and deadlines for engine work.
+//!
+//! FIRES processes one stem at a time; each stem is bounded by the mark
+//! budget, but a pathological stem can still burn seconds of wall clock.
+//! Long-running embedders (the `fires-jobs` campaign runner, services)
+//! need two controls the blocking API lacks:
+//!
+//! * **external cancellation** — stop an in-flight stem because the caller
+//!   is shutting down, and
+//! * **deadlines** — bound one stem's wall-clock time so a single slow
+//!   stem cannot stall a whole campaign.
+//!
+//! Both are cooperative: the engine polls [`CancelToken::is_cancelled`] at
+//! fixpoint-loop granularity (every few hundred queue pops), notices the
+//! request within microseconds of real work, and returns early with its
+//! partial state discarded by the driver. No threads are killed, no
+//! `unsafe`, no poisoned caches.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cancellation signal shared between a controller and engine workers.
+///
+/// Cloning is cheap and shares the underlying flag: cancelling any clone
+/// cancels them all. The [`never`](CancelToken::never) token (also the
+/// `Default`) carries neither flag nor deadline and makes polling free,
+/// so the non-cancellable entry points pay nothing.
+///
+/// # Example
+///
+/// ```
+/// use fires_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let worker = token.clone();
+/// assert!(!worker.is_cancelled());
+/// token.cancel();
+/// assert!(worker.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that can never fire. Polling it is free.
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// A manually triggered token (no deadline).
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            deadline: None,
+        }
+    }
+
+    /// A token that fires once `budget` of wall-clock time has elapsed
+    /// (measured from this call), and can also be triggered manually.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            deadline: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; a no-op on a
+    /// [`never`](CancelToken::never) token.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Acquire) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// `true` for tokens that can never fire ([`never`](Self::never)).
+    pub fn is_never(&self) -> bool {
+        self.flag.is_none() && self.deadline.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_fires() {
+        let t = CancelToken::never();
+        assert!(t.is_never());
+        assert!(!t.is_cancelled());
+        t.cancel(); // no-op
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn manual_cancellation_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(!c.is_never());
+    }
+
+    #[test]
+    fn deadline_fires_after_budget() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        let later = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!later.is_cancelled());
+        later.cancel(); // manual trigger still works before the deadline
+        assert!(later.is_cancelled());
+    }
+}

@@ -104,6 +104,27 @@ impl FiresConfig {
         self.progress = Some(hook);
         self
     }
+
+    /// Validates the configuration, returning a typed error instead of
+    /// relying on downstream clamping or immediate truncation.
+    ///
+    /// Used by [`Fires::try_new`](crate::Fires::try_new); the infallible
+    /// constructors keep their historical clamping behaviour.
+    pub fn check(&self) -> Result<(), crate::CoreError> {
+        if self.max_frames == 0 {
+            return Err(crate::CoreError::InvalidConfig {
+                message: "max_frames must be at least 1".into(),
+            });
+        }
+        if self.mark_budget == 0 {
+            return Err(crate::CoreError::InvalidConfig {
+                message: "mark_budget must be at least 1 (0 would truncate every process \
+                          before the stem assumption is recorded)"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +144,17 @@ mod tests {
         let c = FiresConfig::with_max_frames(5).without_validation();
         assert_eq!(c.max_frames, 5);
         assert!(!c.validate);
+    }
+
+    #[test]
+    fn check_rejects_degenerate_configs() {
+        assert!(FiresConfig::default().check().is_ok());
+        assert!(FiresConfig::with_max_frames(0).check().is_err());
+        let c = FiresConfig {
+            mark_budget: 0,
+            ..FiresConfig::default()
+        };
+        assert!(c.check().is_err());
     }
 
     #[test]

@@ -6,9 +6,16 @@ use std::collections::{HashMap, VecDeque};
 
 use fires_netlist::{graph, Circuit, GateKind, LineGraph, LineId, LineKind, NodeId};
 
+use crate::cancel::CancelToken;
 use crate::instrument::core_event;
 use crate::window::{Frame, Window};
 use crate::FiresConfig;
+
+/// How many fixpoint-loop iterations pass between two cancellation polls.
+/// A poll is an atomic load plus (with a deadline) one `Instant::now()`;
+/// at this stride the overhead is unmeasurable while a deadline is still
+/// noticed within microseconds of engine work.
+const CANCEL_POLL_STRIDE: u32 = 128;
 
 /// Always-on hot-path counters of one implication process. Plain integer
 /// bumps — cheap enough to keep unconditionally; the FIRES driver folds
@@ -176,6 +183,8 @@ pub struct Implications<'c> {
     uqueue: VecDeque<(LineId, Frame)>,
     const_frames_done: Vec<Frame>,
     truncated: bool,
+    cancel: CancelToken,
+    interrupted: bool,
     stats: EngineStats,
     local_cache: DistCache,
 }
@@ -196,6 +205,8 @@ impl<'c> Implications<'c> {
             uqueue: VecDeque::new(),
             const_frames_done: Vec::new(),
             truncated: false,
+            cancel: CancelToken::never(),
+            interrupted: false,
             stats: EngineStats::default(),
             local_cache: DistCache::new(),
         };
@@ -263,6 +274,21 @@ impl<'c> Implications<'c> {
         self.truncated
     }
 
+    /// Installs a cancellation token polled by both fixpoint loops. When it
+    /// fires mid-run the process stops early and
+    /// [`interrupted`](Self::interrupted) turns true; the partial state
+    /// must then be discarded (an interrupted process is *incomplete*, not
+    /// merely truncated, so its indicators cannot be trusted for
+    /// redundancy identification).
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// `true` if a fixpoint loop was stopped by the cancellation token.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
     /// Hot-path counters accumulated so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
@@ -278,10 +304,20 @@ impl<'c> Implications<'c> {
     // ------------------------------------------------------------------
 
     pub(crate) fn run_uncontrollability(&mut self) {
+        let mut since_poll = 0u32;
         while let Some(id) = self.queue.pop_front() {
             if self.truncated {
                 self.queue.clear();
                 break;
+            }
+            since_poll += 1;
+            if since_poll >= CANCEL_POLL_STRIDE {
+                since_poll = 0;
+                if self.cancel.is_cancelled() {
+                    self.interrupted = true;
+                    self.queue.clear();
+                    break;
+                }
             }
             self.process_mark(id);
         }
@@ -587,9 +623,22 @@ impl<'c> Implications<'c> {
     // ------------------------------------------------------------------
 
     pub(crate) fn run_unobservability(&mut self, cache: &mut DistCache) {
+        if self.interrupted {
+            return; // uncontrollability was cut short; don't build on it
+        }
         self.seed_blocked_pins();
         self.seed_dangling_lines();
+        let mut since_poll = 0u32;
         while let Some((line, frame)) = self.uqueue.pop_front() {
+            since_poll += 1;
+            if since_poll >= CANCEL_POLL_STRIDE {
+                since_poll = 0;
+                if self.cancel.is_cancelled() {
+                    self.interrupted = true;
+                    self.uqueue.clear();
+                    break;
+                }
+            }
             self.process_unobs(line, frame, cache);
         }
     }

@@ -1,0 +1,83 @@
+//! Typed errors for the fallible `fires-core` entry points.
+
+use std::error::Error;
+use std::fmt;
+
+use fires_netlist::LineId;
+
+/// Errors returned by the fallible driver entry points.
+///
+/// These cover *recoverable* conditions — bad caller input and cooperative
+/// interruption. Genuine invariant violations inside the engine still
+/// panic, which is what lets a supervising job runner treat any panic it
+/// catches as a real bug rather than a misconfiguration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The [`FiresConfig`](crate::FiresConfig) is unusable as given.
+    InvalidConfig {
+        /// What is wrong with it.
+        message: String,
+    },
+    /// A stem-granular entry point was handed a line that is not a fanout
+    /// stem of the circuit under analysis.
+    NotAFanoutStem {
+        /// The offending line.
+        line: LineId,
+    },
+    /// The run was stopped by its [`CancelToken`](crate::CancelToken)
+    /// (explicit cancellation or a deadline) before completing.
+    Interrupted {
+        /// The stem that was being processed when the token fired.
+        stem: LineId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { message } => {
+                write!(f, "invalid FIRES configuration: {message}")
+            }
+            CoreError::NotAFanoutStem { line } => {
+                write!(f, "line {} is not a fanout stem", line.index())
+            }
+            CoreError::Interrupted { stem } => {
+                write!(
+                    f,
+                    "run interrupted (cancelled or past deadline) at stem {}",
+                    stem.index()
+                )
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::InvalidConfig {
+            message: "max_frames must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("max_frames"));
+        let e = CoreError::Interrupted {
+            stem: LineId::new(7),
+        };
+        assert!(e.to_string().contains("stem 7"));
+        let e = CoreError::NotAFanoutStem {
+            line: LineId::new(3),
+        };
+        assert!(e.to_string().contains("not a fanout stem"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+}

@@ -4,12 +4,18 @@ use std::collections::HashMap;
 
 use fires_netlist::{Circuit, Fault, GateKind, LineGraph, LineId, StuckValue};
 
+use crate::cancel::CancelToken;
 use crate::config::ProgressEvent;
 use crate::engine::{DistCache, Implications, MarkId, Unc};
-use crate::instrument::{core_span, PhaseClock, RunMetrics};
-use crate::report::{FiresReport, IdentifiedFault, ProcessTrace};
+use crate::error::CoreError;
+use crate::instrument::{core_span, PhaseClock, PhaseTimes, RunMetrics};
+use crate::report::{merge_candidate, FiresReport, IdentifiedFault, ProcessTrace};
 use crate::window::Frame;
 use crate::{FiresConfig, ValidationPolicy};
+
+/// How many validation-loop entries pass between cancellation polls in
+/// [`Fires::run_stem`]'s fault-set assembly.
+const VALIDATION_POLL_STRIDE: u32 = 256;
 
 /// Phase names used by the driver's [`PhaseClock`]; the same strings
 /// appear in `FiresReport::phase_times` and in JSON run reports.
@@ -20,6 +26,52 @@ pub(crate) mod phase {
     pub const UNOBSERVABILITY: &str = "unobservability";
     /// Fault-set assembly and Definition-6 validation (Section 5.2).
     pub const VALIDATION: &str = "validation";
+}
+
+/// Reusable per-worker scratch state for stem-granular runs: the shared
+/// flip-flop-distance cache and the per-fault forced-line closures. Both
+/// are circuit-static memoizations — sharing one `StemCtx` across many
+/// [`Fires::run_stem`] calls only changes speed, never results.
+///
+/// Not `Send` (the closures are `Rc`-shared); give each worker thread its
+/// own. After catching a panic from `run_stem`, drop the context and start
+/// a fresh one — a cache mid-mutation at unwind time must not be reused.
+#[derive(Default)]
+pub struct StemCtx {
+    cache: DistCache,
+    forced: ForcedCache,
+}
+
+impl StemCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        StemCtx::default()
+    }
+}
+
+/// Everything one stem's two implication processes produced: the unit of
+/// work that `fires-jobs` schedules, journals and merges.
+#[derive(Clone, Debug)]
+pub struct StemFindings {
+    /// The processed fanout stem.
+    pub stem: LineId,
+    /// Identified faults, one entry per fault (minimum `(c, frame)` for
+    /// this stem), sorted by `(line, stuck)` — a deterministic function of
+    /// (circuit, config, stem), independent of thread placement or cache
+    /// reuse.
+    pub faults: Vec<IdentifiedFault>,
+    /// Fault-set memberships before per-fault dedup (the paper's `S_0 ∩
+    /// S_1` hits; feeds `StemOutcome::faults_found`).
+    pub faults_found: usize,
+    /// Uncontrollability marks derived by the two processes.
+    pub marks: usize,
+    /// Frames spanned by the wider of the two processes.
+    pub frames_used: usize,
+    /// Metrics recorded while processing this stem (a no-op stub without
+    /// the `tracing` feature).
+    pub metrics: RunMetrics,
+    /// Per-phase wall-clock breakdown for this stem.
+    pub phase_times: PhaseTimes,
 }
 
 /// Per-stem statistics from a detailed run.
@@ -91,9 +143,117 @@ impl<'c> Fires<'c> {
         }
     }
 
+    /// Like [`new`](Self::new) but rejects degenerate configurations with
+    /// a typed error instead of clamping them, so embedders that accept
+    /// config from users (the `fires` CLI) can report mistakes properly.
+    pub fn try_new(circuit: &'c Circuit, config: FiresConfig) -> Result<Self, CoreError> {
+        config.check()?;
+        Ok(Fires::new(circuit, config))
+    }
+
     /// The line decomposition used by the run.
     pub fn lines(&self) -> &LineGraph {
         &self.lines
+    }
+
+    /// The circuit under analysis.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The fanout stems this run processes, in the engine's canonical
+    /// order (ascending node id; see
+    /// [`LineGraph::fanout_stems`](fires_netlist::LineGraph::fanout_stems)).
+    /// Stable across processes for a structurally identical circuit, which
+    /// is what lets `fires-jobs` journal work units as indices into this
+    /// sequence and resume them in another process.
+    pub fn stems(&self) -> Vec<LineId> {
+        self.lines.fanout_stems(self.circuit).collect()
+    }
+
+    /// Processes a single fanout stem: the resumable, cancellable unit of
+    /// work underlying campaign orchestration.
+    ///
+    /// The result is a deterministic function of (circuit, config, stem):
+    /// independent of which thread runs it, of `ctx` reuse, and of any
+    /// other stem. `cancel` is polled at fixpoint-loop granularity; when
+    /// it fires the partial work is discarded and
+    /// [`CoreError::Interrupted`] is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotAFanoutStem`] if `stem` is not one of
+    /// [`stems`](Self::stems); [`CoreError::Interrupted`] if `cancel`
+    /// fired mid-run.
+    pub fn run_stem(
+        &self,
+        stem: LineId,
+        ctx: &mut StemCtx,
+        cancel: &CancelToken,
+    ) -> Result<StemFindings, CoreError> {
+        let is_fanout_stem = stem.index() < self.lines.num_lines() && {
+            let line = self.lines.line(stem);
+            line.is_stem() && !line.branches().is_empty()
+        };
+        if !is_fanout_stem {
+            return Err(CoreError::NotAFanoutStem { line: stem });
+        }
+        let mut clock = PhaseClock::start();
+        let mut metrics = RunMetrics::new();
+        let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
+        let (found, marks, frames) =
+            self.process_stem(stem, ctx, &mut best, &mut metrics, &mut clock, cancel)?;
+        let mut faults: Vec<IdentifiedFault> = best.into_values().collect();
+        faults.sort_by_key(|f| (f.fault.line, f.fault.stuck));
+        Ok(StemFindings {
+            stem,
+            faults,
+            faults_found: found,
+            marks,
+            frames_used: frames,
+            metrics,
+            phase_times: clock.finish(),
+        })
+    }
+
+    /// Merges per-stem findings (from [`run_stem`](Self::run_stem), in any
+    /// order and from any mix of fresh and replayed work) into a full
+    /// [`FiresReport`]. The merge uses [`IdentifiedFault::wins_over`], so
+    /// the identified-fault list is byte-identical however the findings
+    /// were partitioned — the property `fires-jobs` builds on.
+    pub fn assemble_report(&self, findings: Vec<StemFindings>) -> FiresReport<'c> {
+        let mut clock = PhaseClock::start();
+        let mut metrics = RunMetrics::new();
+        let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
+        let mut marks_total = 0usize;
+        let mut max_frames = 1usize;
+        let stems_processed = findings.len();
+        for f in findings {
+            marks_total += f.marks;
+            max_frames = max_frames.max(f.frames_used);
+            metrics.merge(&f.metrics);
+            for (name, d) in &f.phase_times.phases {
+                clock.add(name, *d);
+            }
+            for cand in f.faults {
+                merge_candidate(&mut best, cand);
+            }
+        }
+        let mut identified: Vec<IdentifiedFault> = best.into_values().collect();
+        identified.sort_by_key(|f| (f.fault.line, f.fault.stuck));
+        metrics.incr("core.identified_faults", identified.len() as u64);
+        metrics.set_max("core.max_frames_used", max_frames as u64);
+        FiresReport {
+            circuit: self.circuit,
+            lines: self.lines.clone(),
+            identified,
+            validated: self.config.validate,
+            stems_processed,
+            marks_created: marks_total,
+            max_frames_used: max_frames,
+            metrics,
+            phase_times: clock.finish(),
+        }
     }
 
     /// Runs the algorithm over every fanout stem.
@@ -105,22 +265,17 @@ impl<'c> Fires<'c> {
     pub fn run_detailed(&self) -> (FiresReport<'c>, Vec<StemOutcome>) {
         let mut clock = PhaseClock::start();
         let mut metrics = RunMetrics::new();
-        let mut cache = DistCache::new();
-        let mut forced_cache = ForcedCache::default();
+        let mut ctx = StemCtx::new();
+        let never = CancelToken::never();
         let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
         let mut outcomes = Vec::new();
         let mut marks_total = 0usize;
         let mut max_frames = 1usize;
-        let stems: Vec<LineId> = self.lines.fanout_stems(self.circuit).collect();
+        let stems: Vec<LineId> = self.stems();
         for (done, &stem) in stems.iter().enumerate() {
-            let (found, marks, frames) = self.process_stem(
-                stem,
-                &mut cache,
-                &mut forced_cache,
-                &mut best,
-                &mut metrics,
-                &mut clock,
-            );
+            let (found, marks, frames) = self
+                .process_stem(stem, &mut ctx, &mut best, &mut metrics, &mut clock, &never)
+                .unwrap_or_else(|_| unreachable!("never-cancelled run cannot be interrupted"));
             marks_total += marks;
             max_frames = max_frames.max(frames);
             outcomes.push(StemOutcome {
@@ -194,20 +349,24 @@ impl<'c> Fires<'c> {
                     scope.spawn(move || {
                         let mut worker_clock = PhaseClock::start();
                         let mut worker_metrics = RunMetrics::new();
-                        let mut cache = DistCache::new();
-                        let mut forced = ForcedCache::default();
+                        let mut ctx = StemCtx::new();
+                        let never = CancelToken::never();
                         let mut best = HashMap::new();
                         let mut marks = 0usize;
                         let mut frames = 1usize;
                         for &stem in part {
-                            let (found, m, f) = self.process_stem(
-                                stem,
-                                &mut cache,
-                                &mut forced,
-                                &mut best,
-                                &mut worker_metrics,
-                                &mut worker_clock,
-                            );
+                            let (found, m, f) = self
+                                .process_stem(
+                                    stem,
+                                    &mut ctx,
+                                    &mut best,
+                                    &mut worker_metrics,
+                                    &mut worker_clock,
+                                    &never,
+                                )
+                                .unwrap_or_else(|_| {
+                                    unreachable!("never-cancelled run cannot be interrupted")
+                                });
                             marks += m;
                             frames = frames.max(f);
                             if let Some(hook) = self.config.progress {
@@ -241,16 +400,8 @@ impl<'c> Fires<'c> {
             for (name, d) in &worker_times.phases {
                 clock.add(name, *d);
             }
-            for (fault, cand) in part {
-                best.entry(fault)
-                    .and_modify(|e| {
-                        // Deterministic merge: smaller c wins; ties broken
-                        // by frame then stem for stable output.
-                        if (cand.c, cand.frame, cand.stem) < (e.c, e.frame, e.stem) {
-                            *e = cand;
-                        }
-                    })
-                    .or_insert(cand);
+            for (_, cand) in part {
+                merge_candidate(&mut best, cand);
             }
         }
         let mut identified: Vec<IdentifiedFault> = best.into_values().collect();
@@ -310,31 +461,62 @@ impl<'c> Fires<'c> {
         }
     }
 
+    /// Runs both implication processes for one stem and folds the
+    /// identified faults into `best` via [`merge_candidate`]. Returns
+    /// `(faults_found, marks, frames_used)`.
+    ///
+    /// Interruption discards all partial work for the stem: `best` is only
+    /// updated on the `Ok` path, so a caller that maps
+    /// [`CoreError::Interrupted`] to "unit timed out" never sees
+    /// half-validated faults.
     #[allow(clippy::too_many_arguments)]
     fn process_stem(
         &self,
         stem: LineId,
-        cache: &mut DistCache,
-        forced_cache: &mut ForcedCache,
+        ctx: &mut StemCtx,
         best: &mut HashMap<Fault, IdentifiedFault>,
         metrics: &mut RunMetrics,
         clock: &mut PhaseClock,
-    ) -> (usize, usize, usize) {
+        cancel: &CancelToken,
+    ) -> Result<(usize, usize, usize), CoreError> {
         let _span = core_span!("core.stem", stem = stem.index());
+        let interrupted = || CoreError::Interrupted { stem };
+        // Upfront check so a token that fired before this unit started
+        // (e.g. an already-expired deadline) trips deterministically even
+        // on stems too small to reach the in-loop poll strides.
+        if cancel.is_cancelled() {
+            return Err(interrupted());
+        }
         clock.enter(phase::IMPLICATION);
         let mut p0 = Implications::new(self.circuit, &self.lines, self.config);
+        p0.set_cancel(cancel.clone());
         p0.assume(stem, Unc::Zero);
         p0.run_uncontrollability();
         let mut p1 = Implications::new(self.circuit, &self.lines, self.config);
+        p1.set_cancel(cancel.clone());
         p1.assume(stem, Unc::One);
         p1.run_uncontrollability();
+        if p0.interrupted() || p1.interrupted() {
+            clock.exit();
+            return Err(interrupted());
+        }
         clock.enter(phase::UNOBSERVABILITY);
-        p0.run_unobservability(cache);
-        p1.run_unobservability(cache);
+        p0.run_unobservability(&mut ctx.cache);
+        p1.run_unobservability(&mut ctx.cache);
+        if p0.interrupted() || p1.interrupted() {
+            clock.exit();
+            return Err(interrupted());
+        }
 
         clock.enter(phase::VALIDATION);
-        let s0 = self.collect_fault_sets(&p0, forced_cache, metrics);
-        let s1 = self.collect_fault_sets(&p1, forced_cache, metrics);
+        let Some(s0) = self.collect_fault_sets(&p0, &mut ctx.forced, metrics, cancel) else {
+            clock.exit();
+            return Err(interrupted());
+        };
+        let Some(s1) = self.collect_fault_sets(&p1, &mut ctx.forced, metrics, cancel) else {
+            clock.exit();
+            return Err(interrupted());
+        };
 
         let marks = p0.marks().len() + p1.marks().len();
         let frames = p0.window().len().max(p1.window().len());
@@ -366,39 +548,36 @@ impl<'c> Fires<'c> {
             let l = sup0.min_unc_frame.min(sup1.min_unc_frame);
             let c = if l < frame { (frame - l) as u32 } else { 0 };
             found += 1;
-            best.entry(fault)
-                .and_modify(|e| {
-                    if c < e.c {
-                        *e = IdentifiedFault {
-                            fault,
-                            c,
-                            frame,
-                            stem,
-                        };
-                    }
-                })
-                .or_insert(IdentifiedFault {
+            // merge_candidate's total order makes the result independent
+            // of this HashMap's iteration order.
+            merge_candidate(
+                best,
+                IdentifiedFault {
                     fault,
                     c,
                     frame,
                     stem,
-                });
+                },
+            );
         }
         clock.exit();
         metrics.incr("core.faults_found", found as u64);
-        (found, marks, frames)
+        Ok((found, marks, frames))
     }
 
     /// Section 5.2: assemble the per-frame fault sets `S_v^i` from the
-    /// process's indicators, applying validation if configured.
+    /// process's indicators, applying validation if configured. Returns
+    /// `None` if `cancel` fired mid-assembly.
     fn collect_fault_sets(
         &self,
         imp: &Implications<'_>,
         forced_cache: &mut ForcedCache,
         metrics: &mut RunMetrics,
-    ) -> HashMap<(Fault, Frame), Support> {
+        cancel: &CancelToken,
+    ) -> Option<HashMap<(Fault, Frame), Support>> {
         let mut sets: HashMap<(Fault, Frame), Support> = HashMap::new();
         let mut validity = ValidityCache::default();
+        let mut since_poll = 0u32;
         let add = |sets: &mut HashMap<(Fault, Frame), Support>,
                    fault: Fault,
                    frame: Frame,
@@ -411,6 +590,13 @@ impl<'c> Fires<'c> {
         // Uncontrollable faults: a line that can never be v hosts an
         // unactivatable stuck-at: 0-bar -> s-a-1, 1-bar -> s-a-0.
         for (i, m) in imp.marks().iter().enumerate() {
+            since_poll += 1;
+            if since_poll >= VALIDATION_POLL_STRIDE {
+                since_poll = 0;
+                if cancel.is_cancelled() {
+                    return None;
+                }
+            }
             let id = MarkId::from_index(i);
             let stuck = match m.unc {
                 Unc::Zero => StuckValue::One,
@@ -434,8 +620,22 @@ impl<'c> Fires<'c> {
         }
 
         // Unobservable faults: both stuck values, provided every blame
-        // indicator survives in the faulty circuit.
-        for (line, frame, info) in imp.unobs_iter() {
+        // indicator survives in the faulty circuit. Iterated in sorted
+        // (line, frame) order — the indicators live in a HashMap, and the
+        // validity cache's sweep cap means iteration order could otherwise
+        // decide *which* candidates are conservatively dropped once the
+        // cap is hit. Sorting makes the fault sets a pure function of the
+        // process, which the deterministic-merge guarantee rests on.
+        let mut unobs: Vec<(LineId, Frame, &crate::engine::UnobsInfo)> = imp.unobs_iter().collect();
+        unobs.sort_unstable_by_key(|&(line, frame, _)| (line, frame));
+        for (line, frame, info) in unobs {
+            since_poll += 1;
+            if since_poll >= VALIDATION_POLL_STRIDE {
+                since_poll = 0;
+                if cancel.is_cancelled() {
+                    return None;
+                }
+            }
             metrics.observe("core.blame_set_size", info.blame.len() as u64);
             for stuck in [StuckValue::Zero, StuckValue::One] {
                 let fault = Fault::new(line, stuck);
@@ -458,7 +658,7 @@ impl<'c> Fires<'c> {
                 add(&mut sets, fault, frame, Support { min_unc_frame });
             }
         }
-        sets
+        Some(sets)
     }
 
     /// The set of lines whose value the fault pins to a constant, found by
@@ -881,6 +1081,82 @@ mod tests {
                 .and_then(fires_obs::Json::as_u64),
             Some(report.len() as u64)
         );
+    }
+
+    #[test]
+    fn run_stem_assembles_to_the_same_report_as_run() {
+        let circuit = bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(d)\nOUTPUT(c)\nOUTPUT(z)\n\
+             q = DFF(a)\nbq = DFF(a)\nc = DFF(a)\nd = AND(bq, c)\n\
+             n = NOT(b)\nz = AND(b, n)\nw = OR(q, z)\nOUTPUT(w)\n",
+        )
+        .unwrap();
+        let fires = Fires::new(&circuit, FiresConfig::default());
+        let whole = fires.run();
+        let never = CancelToken::never();
+        // Stem-granular with a shared context, in canonical order.
+        let mut ctx = StemCtx::new();
+        let findings: Vec<StemFindings> = fires
+            .stems()
+            .into_iter()
+            .map(|s| fires.run_stem(s, &mut ctx, &never).unwrap())
+            .collect();
+        let report = fires.assemble_report(findings);
+        assert_eq!(report.display_faults(), whole.display_faults());
+        assert_eq!(report.stems_processed(), whole.stems_processed());
+        assert_eq!(report.marks_created(), whole.marks_created());
+        assert_eq!(report.max_frames_used(), whole.max_frames_used());
+        // Reversed order, fresh context per stem: identical merged result.
+        let reversed: Vec<StemFindings> = fires
+            .stems()
+            .into_iter()
+            .rev()
+            .map(|s| fires.run_stem(s, &mut StemCtx::new(), &never).unwrap())
+            .collect();
+        let report2 = fires.assemble_report(reversed);
+        assert_eq!(report2.redundant_faults(), report.redundant_faults());
+    }
+
+    #[test]
+    fn run_stem_rejects_non_fanout_stems() {
+        let circuit = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let fires = Fires::new(&circuit, FiresConfig::default());
+        let never = CancelToken::never();
+        let mut ctx = StemCtx::new();
+        // `z` does not fan out; out-of-range ids are rejected too.
+        let z = fires.lines().stem_of(circuit.find("z").unwrap());
+        assert!(matches!(
+            fires.run_stem(z, &mut ctx, &never),
+            Err(crate::CoreError::NotAFanoutStem { .. })
+        ));
+        let bogus = LineId::new(10_000);
+        assert!(matches!(
+            fires.run_stem(bogus, &mut ctx, &never),
+            Err(crate::CoreError::NotAFanoutStem { .. })
+        ));
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_run_stem() {
+        let circuit = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let fires = Fires::new(&circuit, FiresConfig::default());
+        let stem = fires.stems()[0];
+        let token = CancelToken::new();
+        token.cancel();
+        match fires.run_stem(stem, &mut StemCtx::new(), &token) {
+            Err(crate::CoreError::Interrupted { stem: s }) => assert_eq!(s, stem),
+            other => panic!("expected interruption, got {:?}", other.map(|f| f.faults)),
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config() {
+        let circuit = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        assert!(Fires::try_new(&circuit, FiresConfig::default()).is_ok());
+        assert!(matches!(
+            Fires::try_new(&circuit, FiresConfig::with_max_frames(0)),
+            Err(crate::CoreError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

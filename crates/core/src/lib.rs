@@ -43,9 +43,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod config;
 mod engine;
 mod envelope;
+mod error;
 mod fire;
 mod fires;
 mod instrument;
@@ -53,13 +55,15 @@ mod removal;
 mod report;
 mod window;
 
+pub use cancel::CancelToken;
 pub use config::{FiresConfig, ProgressEvent, ValidationPolicy};
 pub use engine::{DistCache, EngineStats, Implications, Mark, MarkId, Unc, UnobsInfo};
+pub use error::CoreError;
 // With the `tracing` feature these are the `fires-obs` types; without it,
 // no-op stubs with the same API (see `instrument.rs`).
 pub use envelope::{funtest_like, EnvelopeReport};
 pub use fire::{fire, FireReport};
-pub use fires::{Fires, StemOutcome};
+pub use fires::{Fires, StemCtx, StemFindings, StemOutcome};
 pub use instrument::{PhaseTimes, RunMetrics};
 pub use removal::{remove_fault, remove_redundancies, sweep_constants, RemovalOutcome};
 pub use report::{FiresReport, IdentifiedFault, ProcessTrace};

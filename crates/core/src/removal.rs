@@ -107,6 +107,8 @@ impl Rewriter {
                     }
                 }
                 GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    // Invariant, not an input error: these kinds always
+                    // have a controlling value.
                     let c = kind.controlling_value().expect("controlling");
                     let inv = kind.is_inverting();
                     if consts.contains(&Some(c)) {

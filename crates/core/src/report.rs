@@ -26,6 +26,41 @@ pub struct IdentifiedFault {
     pub stem: LineId,
 }
 
+impl IdentifiedFault {
+    /// The canonical merge order between two identifications of the *same*
+    /// fault: smaller `c` wins, ties broken by the earlier stem in the
+    /// canonical processing order, then by earlier frame. (Stem before
+    /// frame matches the historical serial driver, which folded stems in
+    /// canonical order and only replaced an entry on a strict `c`
+    /// improvement — so the first stem to report the minimal `c` named
+    /// the frame.)
+    ///
+    /// This is a total order, so folding candidates with `wins_over` is
+    /// associative and commutative — every grouping of the work (serial,
+    /// any thread count, an interrupted-then-resumed campaign) merges to
+    /// the identical survivor. All merge sites (the serial driver, the
+    /// in-process worker pool, and the `fires-jobs` campaign merge) must
+    /// use this predicate.
+    pub fn wins_over(&self, other: &IdentifiedFault) -> bool {
+        (self.c, self.stem, self.frame) < (other.c, other.stem, other.frame)
+    }
+}
+
+/// Folds `cand` into a per-fault best map using
+/// [`IdentifiedFault::wins_over`].
+pub(crate) fn merge_candidate(
+    best: &mut std::collections::HashMap<Fault, IdentifiedFault>,
+    cand: IdentifiedFault,
+) {
+    best.entry(cand.fault)
+        .and_modify(|e| {
+            if cand.wins_over(e) {
+                *e = cand;
+            }
+        })
+        .or_insert(cand);
+}
+
 /// Human-readable record of one implication process, used to reproduce the
 /// paper's Table 1.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

@@ -1,0 +1,251 @@
+//! The `fires` CLI: run, resume and inspect FIRES campaigns.
+//!
+//! ```text
+//! fires run    [--suite small|table2] [--circuit NAME]... [--name N]
+//!              [--out DIR] [--threads N] [--deadline-ms MS]
+//!              [--frames N] [--no-validate] [--json]
+//! fires resume <journal> [--threads N] [--deadline-ms MS] [--json]
+//! fires status <journal>
+//! fires report <journal> [--json]
+//! ```
+//!
+//! `run` journals to `<out>/<name>.jsonl` and writes machine-readable
+//! observability reports next to it (`<name>.report.json`, one
+//! `RunReport` per task rolled up into a campaign-level aggregate).
+//! After a crash or kill, `fires resume <journal>` completes exactly the
+//! missing work and produces a byte-identical `fires report`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fires_jobs::{report, resume, run, CampaignSpec, RunSummary, RunnerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "resume" => cmd_resume(rest),
+        "status" => cmd_status(rest),
+        "report" => cmd_report(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fires: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  fires run    [--suite small|table2] [--circuit NAME]... [--name N]
+               [--out DIR] [--threads N] [--deadline-ms MS]
+               [--frames N] [--no-validate] [--json]
+  fires resume <journal> [--threads N] [--deadline-ms MS] [--json]
+  fires status <journal>
+  fires report <journal> [--json]";
+
+/// Pulls `--flag VALUE` out of `args`, mutating the vector.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+/// Pulls a boolean `--flag` out of `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects a number, got {value:?}"))
+}
+
+/// Runner knobs shared by `run` and `resume`.
+fn runner_config(args: &mut Vec<String>) -> Result<RunnerConfig, String> {
+    let mut rc = RunnerConfig::default();
+    if let Some(threads) = take_value(args, "--threads")? {
+        rc.threads = parse_number(&threads, "--threads")?;
+    }
+    if let Some(ms) = take_value(args, "--deadline-ms")? {
+        rc.stem_deadline = Some(Duration::from_millis(parse_number(&ms, "--deadline-ms")?));
+    }
+    Ok(rc)
+}
+
+fn reject_leftovers(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        Some(a) => Err(format!("unexpected argument {a:?}\n{USAGE}")),
+        None => Ok(()),
+    }
+}
+
+fn print_summary(summary: &RunSummary, journal: &Path) {
+    println!(
+        "{} unit(s) executed, {} skipped (already journaled), {} panicked, {} timed out, {} remaining",
+        summary.executed, summary.skipped, summary.panicked, summary.timed_out, summary.remaining
+    );
+    if summary.complete() {
+        println!("campaign complete; journal: {}", journal.display());
+    } else {
+        println!(
+            "campaign INCOMPLETE; continue with: fires resume {}",
+            journal.display()
+        );
+    }
+}
+
+/// Prints the merged report and writes the observability rollup next to
+/// the journal.
+fn finish(journal: &Path, json: bool) -> Result<(), String> {
+    let merged = report(journal).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", merged.canonical_text());
+    } else {
+        print!("{}", merged.render_table());
+    }
+    let (_, campaign) = merged.run_reports();
+    let report_path = journal.with_extension("report.json");
+    campaign
+        .write_to_file(&report_path)
+        .map_err(|e| format!("{}: {e}", report_path.display()))?;
+    println!("observability report: {}", report_path.display());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let rc = runner_config(&mut args)?;
+    let json = take_flag(&mut args, "--json");
+    let suite = take_value(&mut args, "--suite")?;
+    let out = take_value(&mut args, "--out")?.unwrap_or_else(|| "fires-out".into());
+    let name = take_value(&mut args, "--name")?;
+    let frames = take_value(&mut args, "--frames")?;
+    let no_validate = take_flag(&mut args, "--no-validate");
+    let mut circuits = Vec::new();
+    while let Some(c) = take_value(&mut args, "--circuit")? {
+        circuits.push(c);
+    }
+    reject_leftovers(&args)?;
+
+    let mut spec = match (suite, circuits.is_empty()) {
+        (Some(s), true) => CampaignSpec::suite(&s).map_err(|e| e.to_string())?,
+        (None, false) => {
+            CampaignSpec::from_circuits(name.clone().unwrap_or_else(|| "custom".into()), circuits)
+        }
+        (Some(_), false) => return Err("--suite and --circuit are mutually exclusive".into()),
+        (None, true) => {
+            return Err("nothing to run: pass --suite or --circuit\n".to_string() + USAGE)
+        }
+    };
+    if let Some(n) = name {
+        spec.name = n;
+    }
+    if let Some(frames) = frames {
+        let frames: usize = parse_number(&frames, "--frames")?;
+        for t in &mut spec.tasks {
+            t.frames = Some(frames);
+        }
+    }
+    if no_validate {
+        for t in &mut spec.tasks {
+            t.validate = false;
+        }
+    }
+
+    let out_dir = PathBuf::from(out);
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    let journal = out_dir.join(format!("{}.jsonl", spec.name));
+    let summary = run(&spec, &journal, &rc).map_err(|e| e.to_string())?;
+    print_summary(&summary, &journal);
+    finish(&journal, json)
+}
+
+fn journal_arg(args: &mut Vec<String>) -> Result<PathBuf, String> {
+    if args.is_empty() {
+        return Err(format!("missing <journal> argument\n{USAGE}"));
+    }
+    Ok(PathBuf::from(args.remove(0)))
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let rc = runner_config(&mut args)?;
+    let json = take_flag(&mut args, "--json");
+    let journal = journal_arg(&mut args)?;
+    reject_leftovers(&args)?;
+    let summary = resume(&journal, &rc).map_err(|e| e.to_string())?;
+    print_summary(&summary, &journal);
+    finish(&journal, json)
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let journal = journal_arg(&mut args)?;
+    reject_leftovers(&args)?;
+    let merged = report(&journal).map_err(|e| e.to_string())?;
+    let mut done = 0usize;
+    let mut total = 0usize;
+    for t in &merged.tasks {
+        let recorded = t.units_ok + t.units_panicked + t.units_timed_out;
+        done += recorded;
+        total += t.units_total;
+        println!(
+            "{:<12} {:>5}/{:<5} unit(s) journaled ({} ok, {} panicked, {} timed out)",
+            t.name, recorded, t.units_total, t.units_ok, t.units_panicked, t.units_timed_out
+        );
+    }
+    println!(
+        "{done}/{total} unit(s) journaled; campaign {}",
+        if done == total {
+            "complete"
+        } else {
+            "incomplete"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let json = take_flag(&mut args, "--json");
+    let journal = journal_arg(&mut args)?;
+    reject_leftovers(&args)?;
+    let merged = report(&journal).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", merged.canonical_text());
+    } else {
+        print!("{}", merged.render_table());
+        for t in &merged.tasks {
+            for name in &t.fault_names {
+                println!("  {}: {name}", t.name);
+            }
+        }
+    }
+    Ok(())
+}

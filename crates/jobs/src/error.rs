@@ -1,0 +1,115 @@
+//! Error type of the campaign layer.
+
+use std::fmt;
+
+/// Anything that can go wrong while specifying, journaling or running a
+/// campaign.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JobError {
+    /// Filesystem trouble (journal create/append/read).
+    Io {
+        /// The path involved.
+        path: std::path::PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A journal exists but cannot be interpreted (bad JSON mid-file,
+    /// wrong schema version, missing header, ...).
+    Journal {
+        /// What was wrong.
+        message: String,
+    },
+    /// A task names a circuit no generator knows.
+    UnknownCircuit {
+        /// The unresolvable name.
+        name: String,
+    },
+    /// The campaign spec itself is unusable (no tasks, bad config, ...).
+    Spec {
+        /// What was wrong.
+        message: String,
+    },
+    /// A resumed journal does not match the circuits this build generates
+    /// (content hash or stem count changed), so its unit indices cannot
+    /// be trusted.
+    Mismatch {
+        /// The offending task's circuit name.
+        circuit: String,
+        /// What differed.
+        message: String,
+    },
+    /// Configuration rejected by `fires-core`.
+    Core(fires_core::CoreError),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            JobError::Journal { message } => write!(f, "malformed journal: {message}"),
+            JobError::UnknownCircuit { name } => {
+                write!(f, "unknown circuit {name:?} (see `fires run --list`)")
+            }
+            JobError::Spec { message } => write!(f, "invalid campaign spec: {message}"),
+            JobError::Mismatch { circuit, message } => {
+                write!(
+                    f,
+                    "journal does not match this build for {circuit:?}: {message}"
+                )
+            }
+            JobError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Io { source, .. } => Some(source),
+            JobError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fires_core::CoreError> for JobError {
+    fn from(e: fires_core::CoreError) -> Self {
+        JobError::Core(e)
+    }
+}
+
+impl JobError {
+    pub(crate) fn io(path: impl Into<std::path::PathBuf>, source: std::io::Error) -> Self {
+        JobError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn journal(message: impl Into<String>) -> Self {
+        JobError::Journal {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = JobError::UnknownCircuit {
+            name: "s999".into(),
+        };
+        assert!(e.to_string().contains("s999"));
+        let e = JobError::Mismatch {
+            circuit: "s27".into(),
+            message: "hash changed".into(),
+        };
+        assert!(e.to_string().contains("hash changed"));
+    }
+}

@@ -1,0 +1,640 @@
+//! The append-only on-disk campaign journal.
+//!
+//! One JSON document per line (JSONL). The first line is a header
+//! carrying the schema version, the campaign spec and, per task, the
+//! circuit's structural content hash and stem count — enough for a later
+//! process to prove the journal still indexes the same work units. Every
+//! following line is one completed work unit:
+//!
+//! ```json
+//! {"kind":"header","schema":1,"spec":{...},"tasks":[{"circuit":"s27","hash":"93ab...","stems":9}]}
+//! {"kind":"unit","task":0,"stem":3,"status":"ok","faults":[[12,1,0,0]],"marks":41,"frames":5,"seconds":0.002,"phases":[["implication",0.001]],"metrics":{...}}
+//! {"kind":"unit","task":0,"stem":4,"status":"panic","faults":[],"marks":0,"frames":0,"seconds":0.001,"phases":[],"metrics":{...}}
+//! ```
+//!
+//! Units are journaled as **indices** into the task's canonical stem
+//! order ([`Fires::stems`](fires_core::Fires::stems)); fault lines are
+//! raw [`LineId`](fires_netlist::LineId) indices. Both are stable across
+//! processes for a structurally identical circuit, which the header
+//! hashes verify on resume.
+//!
+//! Every append is flushed before the runner considers the unit done, so
+//! a crash loses at most the unit being written. A torn final line (the
+//! crash landed mid-write) is detected and dropped on read; a malformed
+//! line *before* the end is corruption and a hard error.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use fires_core::IdentifiedFault;
+use fires_netlist::{Fault, LineId, StuckValue};
+use fires_obs::{Json, RunMetrics};
+
+use crate::error::JobError;
+use crate::spec::{CampaignSpec, ResolvedTask};
+
+/// Version of the journal layout. Bump on any change to the record
+/// shapes *or* to anything they index into (the canonical stem order,
+/// the content-hash recipe).
+pub const JOURNAL_SCHEMA: u64 = 1;
+
+/// Per-task identity facts stored in the header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskFingerprint {
+    /// Resolved circuit name.
+    pub circuit: String,
+    /// Structural content hash of the generated circuit.
+    pub hash: u64,
+    /// Number of fanout stems, i.e. work units, of this task.
+    pub stems: usize,
+}
+
+/// The journal's first line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// The campaign spec, verbatim, so `fires resume <journal>` needs no
+    /// other input.
+    pub spec: CampaignSpec,
+    /// One fingerprint per task, in spec order.
+    pub tasks: Vec<TaskFingerprint>,
+}
+
+/// How a work unit ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnitStatus {
+    /// Completed normally; its faults are merged into the report.
+    Ok,
+    /// The stem's analysis panicked; recorded and skipped, the campaign
+    /// carries on.
+    Panic,
+    /// The stem overran its wall-clock deadline.
+    Timeout,
+}
+
+impl UnitStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            UnitStatus::Ok => "ok",
+            UnitStatus::Panic => "panic",
+            UnitStatus::Timeout => "timeout",
+        }
+    }
+
+    fn parse(s: &str) -> Option<UnitStatus> {
+        match s {
+            "ok" => Some(UnitStatus::Ok),
+            "panic" => Some(UnitStatus::Panic),
+            "timeout" => Some(UnitStatus::Timeout),
+            _ => None,
+        }
+    }
+}
+
+/// One journaled work unit: a (task, stem) pair and what it produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnitRecord {
+    /// Index into the header's task list.
+    pub task: usize,
+    /// Index into the task's canonical stem order.
+    pub stem: usize,
+    /// Outcome.
+    pub status: UnitStatus,
+    /// Identified faults as `(line, stuck-at-one, c, frame)`; empty
+    /// unless `status` is `Ok`.
+    pub faults: Vec<(u32, bool, u32, i32)>,
+    /// Uncontrollability marks the stem's two processes derived.
+    pub marks: u64,
+    /// Frames spanned by the wider process.
+    pub frames: u64,
+    /// Wall-clock seconds this unit took (observability only; excluded
+    /// from the canonical report).
+    pub seconds: f64,
+    /// Per-phase seconds from the stem's [`PhaseClock`] breakdown
+    /// (observability only; excluded from the canonical report).
+    ///
+    /// [`PhaseClock`]: fires_obs::PhaseClock
+    pub phases: Vec<(String, f64)>,
+    /// Engine metrics the unit recorded (counters, maxima, histograms).
+    /// Deterministic per unit but excluded from the canonical report,
+    /// which keeps only the result-bearing fields.
+    pub metrics: RunMetrics,
+}
+
+impl UnitRecord {
+    /// The journaled faults as core [`IdentifiedFault`]s, attributed to
+    /// `stem` (the unit's stem line).
+    pub fn identified(&self, stem: LineId) -> Vec<IdentifiedFault> {
+        self.faults
+            .iter()
+            .map(|&(line, stuck_one, c, frame)| IdentifiedFault {
+                fault: Fault::new(LineId::new(line as usize), StuckValue::from_bool(stuck_one)),
+                c,
+                frame,
+                stem,
+            })
+            .collect()
+    }
+}
+
+fn header_to_json(header: &JournalHeader) -> Json {
+    let mut tasks = Vec::with_capacity(header.tasks.len());
+    for t in &header.tasks {
+        let mut j = Json::object();
+        // The hash is journaled as a hex *string*: Json numbers are f64
+        // and would silently round u64 values above 2^53.
+        j.set("circuit", t.circuit.clone())
+            .set("hash", format!("{:016x}", t.hash))
+            .set("stems", t.stems as u64);
+        tasks.push(j);
+    }
+    let mut j = Json::object();
+    j.set("kind", "header")
+        .set("schema", JOURNAL_SCHEMA)
+        .set("spec", header.spec.to_json())
+        .set("tasks", Json::Arr(tasks));
+    j
+}
+
+fn header_from_json(j: &Json) -> Result<JournalHeader, JobError> {
+    let schema = j
+        .get("schema")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| JobError::journal("header has no schema version"))?;
+    if schema != JOURNAL_SCHEMA {
+        return Err(JobError::journal(format!(
+            "journal schema {schema} unsupported (this build reads {JOURNAL_SCHEMA})"
+        )));
+    }
+    let spec = CampaignSpec::from_json(
+        j.get("spec")
+            .ok_or_else(|| JobError::journal("header has no spec"))?,
+    )?;
+    let tasks = j
+        .get("tasks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JobError::journal("header has no task fingerprints"))?
+        .iter()
+        .map(|t| {
+            let circuit = t
+                .get("circuit")
+                .and_then(Json::as_str)
+                .ok_or_else(|| JobError::journal("fingerprint has no circuit"))?
+                .to_string();
+            let hash = t
+                .get("hash")
+                .and_then(Json::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .ok_or_else(|| JobError::journal("fingerprint hash is not hex"))?;
+            let stems = t
+                .get("stems")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JobError::journal("fingerprint has no stem count"))?
+                as usize;
+            Ok(TaskFingerprint {
+                circuit,
+                hash,
+                stems,
+            })
+        })
+        .collect::<Result<Vec<_>, JobError>>()?;
+    Ok(JournalHeader { spec, tasks })
+}
+
+fn unit_to_json(u: &UnitRecord) -> Json {
+    let faults = u
+        .faults
+        .iter()
+        .map(|&(line, stuck, c, frame)| {
+            Json::Arr(vec![
+                Json::Num(line as f64),
+                Json::Num(if stuck { 1.0 } else { 0.0 }),
+                Json::Num(c as f64),
+                Json::Num(frame as f64),
+            ])
+        })
+        .collect();
+    let phases = u
+        .phases
+        .iter()
+        .map(|(name, secs)| Json::Arr(vec![Json::Str(name.clone()), Json::Num(*secs)]))
+        .collect();
+    let mut j = Json::object();
+    j.set("kind", "unit")
+        .set("task", u.task as u64)
+        .set("stem", u.stem as u64)
+        .set("status", u.status.as_str())
+        .set("faults", Json::Arr(faults))
+        .set("marks", u.marks)
+        .set("frames", u.frames)
+        .set("seconds", u.seconds)
+        .set("phases", Json::Arr(phases))
+        .set("metrics", u.metrics.to_json());
+    j
+}
+
+fn unit_from_json(j: &Json) -> Result<UnitRecord, JobError> {
+    let int = |name: &str| {
+        j.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| JobError::journal(format!("unit record field {name:?} missing")))
+    };
+    let status = j
+        .get("status")
+        .and_then(Json::as_str)
+        .and_then(UnitStatus::parse)
+        .ok_or_else(|| JobError::journal("unit record has no valid status"))?;
+    let faults = j
+        .get("faults")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JobError::journal("unit record has no fault array"))?
+        .iter()
+        .map(|f| {
+            let f = f
+                .as_arr()
+                .filter(|f| f.len() == 4)
+                .ok_or_else(|| JobError::journal("fault entry is not a 4-element array"))?;
+            let num = |i: usize| {
+                f[i].as_f64()
+                    .ok_or_else(|| JobError::journal("fault entry is not numeric"))
+            };
+            Ok((
+                num(0)? as u32,
+                num(1)? != 0.0,
+                num(2)? as u32,
+                num(3)? as i32,
+            ))
+        })
+        .collect::<Result<Vec<_>, JobError>>()?;
+    // Observability extras: tolerated when absent (they carry no result
+    // data), rejected when present but malformed.
+    let phases = match j.get("phases") {
+        None => Vec::new(),
+        Some(p) => {
+            p.as_arr()
+                .ok_or_else(|| JobError::journal("unit phases is not an array"))?
+                .iter()
+                .map(|e| {
+                    let e = e.as_arr().filter(|e| e.len() == 2).ok_or_else(|| {
+                        JobError::journal("phase entry is not a [name, secs] pair")
+                    })?;
+                    let name = e[0]
+                        .as_str()
+                        .ok_or_else(|| JobError::journal("phase name is not a string"))?;
+                    let secs = e[1]
+                        .as_f64()
+                        .ok_or_else(|| JobError::journal("phase seconds is not numeric"))?;
+                    Ok((name.to_string(), secs))
+                })
+                .collect::<Result<Vec<_>, JobError>>()?
+        }
+    };
+    let metrics = match j.get("metrics") {
+        None => RunMetrics::default(),
+        Some(m) => RunMetrics::from_json(m)
+            .ok_or_else(|| JobError::journal("unit metrics are malformed"))?,
+    };
+    Ok(UnitRecord {
+        task: int("task")? as usize,
+        stem: int("stem")? as usize,
+        status,
+        faults,
+        marks: int("marks")?,
+        frames: int("frames")?,
+        seconds: j.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+        phases,
+        metrics,
+    })
+}
+
+/// An open journal being appended to.
+#[derive(Debug)]
+pub struct Journal {
+    out: BufWriter<File>,
+    path: std::path::PathBuf,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, writing the header line.
+    /// Refuses to overwrite an existing file — resume it instead.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Journal, JobError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| JobError::io(path, e))?;
+        let mut j = Journal {
+            out: BufWriter::new(file),
+            path: path.to_path_buf(),
+        };
+        j.append_line(&header_to_json(header))?;
+        Ok(j)
+    }
+
+    /// Re-opens an existing journal for appending more unit records.
+    pub fn append_to(path: &Path) -> Result<Journal, JobError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| JobError::io(path, e))?;
+        Ok(Journal {
+            out: BufWriter::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one unit record and flushes it to the OS. After this
+    /// returns the unit will survive a process kill.
+    pub fn append(&mut self, unit: &UnitRecord) -> Result<(), JobError> {
+        self.append_line(&unit_to_json(unit))
+    }
+
+    fn append_line(&mut self, j: &Json) -> Result<(), JobError> {
+        let line = j.to_compact();
+        debug_assert!(!line.contains('\n'), "compact JSON is single-line");
+        writeln!(self.out, "{line}").map_err(|e| JobError::io(&self.path, e))?;
+        self.out.flush().map_err(|e| JobError::io(&self.path, e))
+    }
+}
+
+/// Everything read back from a journal file.
+#[derive(Clone, Debug)]
+pub struct JournalContents {
+    /// The header line.
+    pub header: JournalHeader,
+    /// Every intact unit record, in append order.
+    pub units: Vec<UnitRecord>,
+    /// `true` when the final line was torn (a crash mid-write) and was
+    /// dropped.
+    pub torn: bool,
+}
+
+impl JournalContents {
+    /// The set of already-completed `(task, stem)` units — work a resumed
+    /// run must not repeat.
+    pub fn done(&self) -> HashSet<(usize, usize)> {
+        self.units.iter().map(|u| (u.task, u.stem)).collect()
+    }
+}
+
+/// Reads a journal back, tolerating a torn final line.
+pub fn read(path: &Path) -> Result<JournalContents, JobError> {
+    let text = std::fs::read_to_string(path).map_err(|e| JobError::io(path, e))?;
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| JobError::journal("journal is empty"))?;
+    let header = Json::parse(first)
+        .map_err(|e| JobError::journal(format!("header line: {e}")))
+        .and_then(|j| header_from_json(&j))?;
+    let mut units = Vec::new();
+    let mut torn = false;
+    let last_index = text.lines().count() - 1;
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed =
+            Json::parse(line)
+                .ok()
+                .and_then(|j| match j.get("kind").and_then(Json::as_str) {
+                    Some("unit") => unit_from_json(&j).ok(),
+                    _ => None,
+                });
+        match parsed {
+            Some(u) => {
+                if u.task >= header.tasks.len() || u.stem >= header.tasks[u.task].stems {
+                    return Err(JobError::journal(format!(
+                        "line {}: unit ({}, {}) is out of range for the header",
+                        i + 1,
+                        u.task,
+                        u.stem
+                    )));
+                }
+                units.push(u);
+            }
+            None if i == last_index => {
+                // The process died mid-append; the journal up to here is
+                // intact.
+                torn = true;
+            }
+            None => {
+                return Err(JobError::journal(format!(
+                    "line {}: malformed record before end of journal",
+                    i + 1
+                )));
+            }
+        }
+    }
+    Ok(JournalContents {
+        header,
+        units,
+        torn,
+    })
+}
+
+/// Builds the header for a freshly resolved campaign. `stems` must be the
+/// per-task canonical stem counts.
+pub fn header_for(spec: &CampaignSpec, tasks: &[ResolvedTask], stems: &[usize]) -> JournalHeader {
+    JournalHeader {
+        spec: spec.clone(),
+        tasks: tasks
+            .iter()
+            .zip(stems)
+            .map(|(t, &stems)| TaskFingerprint {
+                circuit: t.name.clone(),
+                hash: t.hash,
+                stems,
+            })
+            .collect(),
+    }
+}
+
+/// Checks a journal header against this build's resolution of its spec.
+///
+/// # Errors
+///
+/// [`JobError::Mismatch`] when a circuit's content hash or stem count
+/// differs — the journal's unit indices would mean different work.
+pub fn verify_header(
+    header: &JournalHeader,
+    tasks: &[ResolvedTask],
+    stems: &[usize],
+) -> Result<(), JobError> {
+    if header.tasks.len() != tasks.len() {
+        return Err(JobError::journal(format!(
+            "header lists {} tasks but the spec resolves to {}",
+            header.tasks.len(),
+            tasks.len()
+        )));
+    }
+    for ((fp, task), &n) in header.tasks.iter().zip(tasks).zip(stems) {
+        if fp.circuit != task.name {
+            return Err(JobError::Mismatch {
+                circuit: fp.circuit.clone(),
+                message: format!("resolves to {:?} in this build", task.name),
+            });
+        }
+        if fp.hash != task.hash {
+            return Err(JobError::Mismatch {
+                circuit: fp.circuit.clone(),
+                message: format!(
+                    "content hash {:016x} != journal's {:016x}",
+                    task.hash, fp.hash
+                ),
+            });
+        }
+        if fp.stems != n {
+            return Err(JobError::Mismatch {
+                circuit: fp.circuit.clone(),
+                message: format!("{} stems != journal's {}", n, fp.stems),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fires-jobs-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("job.jsonl")
+    }
+
+    fn sample_header() -> JournalHeader {
+        let spec = CampaignSpec::from_circuits("t", ["s27", "fig3"]);
+        let tasks = spec.resolve().unwrap();
+        header_for(&spec, &tasks, &[9, 2])
+    }
+
+    fn sample_unit() -> UnitRecord {
+        let mut metrics = RunMetrics::default();
+        metrics.incr("core.marks_created", 41);
+        UnitRecord {
+            task: 0,
+            stem: 3,
+            status: UnitStatus::Ok,
+            faults: vec![(12, true, 0, 0), (7, false, 2, -1)],
+            marks: 41,
+            frames: 5,
+            seconds: 0.002,
+            phases: vec![("implication".into(), 0.001), ("validation".into(), 0.001)],
+            metrics,
+        }
+    }
+
+    #[test]
+    fn round_trips_header_and_units() {
+        let path = temp("round-trip");
+        let header = sample_header();
+        let mut j = Journal::create(&path, &header).unwrap();
+        let unit = sample_unit();
+        j.append(&unit).unwrap();
+        j.append(&UnitRecord {
+            stem: 4,
+            status: UnitStatus::Panic,
+            faults: vec![],
+            ..unit.clone()
+        })
+        .unwrap();
+        drop(j);
+        let back = read(&path).unwrap();
+        assert_eq!(back.header, header);
+        assert_eq!(back.units.len(), 2);
+        assert_eq!(back.units[0], unit);
+        assert_eq!(back.units[1].status, UnitStatus::Panic);
+        assert!(!back.torn);
+        assert!(back.done().contains(&(0, 3)));
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite() {
+        let path = temp("no-overwrite");
+        let header = sample_header();
+        Journal::create(&path, &header).unwrap();
+        assert!(matches!(
+            Journal::create(&path, &header),
+            Err(JobError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = temp("torn");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: half a record at the end.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"kind\":\"unit\",\"task\":0,\"st");
+        std::fs::write(&path, text).unwrap();
+        let back = read(&path).unwrap();
+        assert!(back.torn);
+        assert_eq!(back.units.len(), 1);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = temp("corrupt");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("garbage\n");
+        let mut j2 = Journal::append_to(&path).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        j2.append(&sample_unit()).unwrap();
+        drop(j2);
+        assert!(matches!(read(&path), Err(JobError::Journal { .. })));
+    }
+
+    #[test]
+    fn out_of_range_units_are_rejected() {
+        let path = temp("range");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&UnitRecord {
+            stem: 999,
+            ..sample_unit()
+        })
+        .unwrap();
+        // A second record so the bad one is not excusable as torn.
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        assert!(matches!(read(&path), Err(JobError::Journal { .. })));
+    }
+
+    #[test]
+    fn verify_header_catches_drift() {
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        let tasks = spec.resolve().unwrap();
+        let header = header_for(&spec, &tasks, &[9]);
+        assert!(verify_header(&header, &tasks, &[9]).is_ok());
+        assert!(matches!(
+            verify_header(&header, &tasks, &[8]),
+            Err(JobError::Mismatch { .. })
+        ));
+        let mut drifted = tasks.clone();
+        drifted[0].hash ^= 1;
+        assert!(matches!(
+            verify_header(&header, &drifted, &[9]),
+            Err(JobError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identified_faults_reconstruct() {
+        let u = sample_unit();
+        let stem = LineId::new(42);
+        let ids = u.identified(stem);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].fault.line, LineId::new(12));
+        assert!(ids[0].fault.stuck.as_bool());
+        assert_eq!(ids[1].frame, -1);
+        assert_eq!(ids[1].stem, stem);
+    }
+}

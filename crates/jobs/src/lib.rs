@@ -1,0 +1,72 @@
+//! Campaign orchestration for FIRES runs.
+//!
+//! A *campaign* is a set of (circuit × configuration) tasks, expanded
+//! into per-fanout-stem work units and executed by a work-stealing
+//! worker pool. The subsystem is built around three guarantees:
+//!
+//! * **Resumable** — every completed unit is appended to an on-disk
+//!   journal ([`journal`]) and flushed before it counts; killing the
+//!   process loses at most the unit in flight, and [`resume`] picks up
+//!   exactly the missing units (the journal header carries circuit
+//!   content hashes so stale journals are refused, not misread).
+//! * **Fault-tolerant** — a unit that panics or overruns its wall-clock
+//!   deadline is recorded and skipped ([`runner`]); one poisoned stem
+//!   never aborts a campaign.
+//! * **Deterministic** — the merged report ([`merge`]) is a pure
+//!   function of the set of unit records: byte-identical whether the
+//!   campaign ran on 1 thread or 8, uninterrupted or killed-and-resumed
+//!   (see [`IdentifiedFault::wins_over`](fires_core::IdentifiedFault)).
+//!
+//! The `fires` binary (in `src/bin/fires.rs`) is the CLI frontend:
+//! `fires run`, `fires resume`, `fires status`, `fires report`.
+//!
+//! # Example
+//!
+//! ```
+//! use fires_jobs::{runner, spec::CampaignSpec};
+//!
+//! let dir = std::env::temp_dir().join(format!("fires-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let journal = dir.join("demo.jsonl");
+//! let _ = std::fs::remove_file(&journal);
+//!
+//! let spec = CampaignSpec::from_circuits("demo", ["fig3"]);
+//! let summary = runner::run(&spec, &journal, &runner::RunnerConfig::default()).unwrap();
+//! assert!(summary.complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod journal;
+pub mod merge;
+pub mod runner;
+pub mod spec;
+
+pub use error::JobError;
+pub use merge::{CampaignReport, TaskReport};
+pub use runner::{resume, run, Injection, RunSummary, RunnerConfig};
+pub use spec::{CampaignSpec, ResolvedTask, TaskSpec};
+
+use std::path::Path;
+
+/// Reads a journal, verifies it against this build and merges it into a
+/// [`CampaignReport`] — the one-call path behind `fires report` and
+/// `fires status`.
+pub fn report(journal_path: &Path) -> Result<CampaignReport, JobError> {
+    let contents = journal::read(journal_path)?;
+    let tasks = contents.header.spec.resolve()?;
+    let stems: Vec<usize> = tasks
+        .iter()
+        .map(|t| {
+            Ok::<usize, JobError>(
+                fires_core::Fires::try_new(&t.circuit, t.config)?
+                    .stems()
+                    .len(),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    journal::verify_header(&contents.header, &tasks, &stems)?;
+    merge::merge(&contents, &tasks)
+}

@@ -1,0 +1,366 @@
+//! Deterministic merging of journaled work units into a campaign report.
+//!
+//! The merged report is a pure function of the *set* of unit records:
+//! independent of thread count, journal append order, and of whether the
+//! campaign ran in one process or was killed and resumed. That holds
+//! because per-fault candidates fold with the total order
+//! [`IdentifiedFault::wins_over`] and every list in the canonical form
+//! is sorted. [`CampaignReport::canonical_json`] excludes wall-clock
+//! fields, so its bytes can be `diff`ed across runs.
+
+use std::collections::HashMap;
+
+use fires_core::{Fires, IdentifiedFault};
+use fires_netlist::{Fault, LineGraph};
+use fires_obs::{Json, RunMetrics, RunReport};
+
+use crate::error::JobError;
+use crate::journal::{JournalContents, UnitStatus};
+use crate::spec::ResolvedTask;
+
+/// Merged results of one task.
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    /// Resolved circuit name.
+    pub name: String,
+    /// Whether the task ran with Definition-6 validation.
+    pub validated: bool,
+    /// Frame budget the task ran under.
+    pub frame_budget: usize,
+    /// Total work units (fanout stems) of the task.
+    pub units_total: usize,
+    /// Units with an `ok` journal record.
+    pub units_ok: usize,
+    /// Units journaled as panicked.
+    pub units_panicked: usize,
+    /// Units journaled as timed out.
+    pub units_timed_out: usize,
+    /// Identified faults after per-fault dedup, sorted by
+    /// `(line, stuck)`.
+    pub faults: Vec<IdentifiedFault>,
+    /// Human-readable fault names (same order as `faults`).
+    pub fault_names: Vec<String>,
+    /// Total uncontrollability marks across `ok` units.
+    pub marks: u64,
+    /// Widest frame window any `ok` unit used.
+    pub max_frames_used: u64,
+    /// Wall-clock seconds summed over this task's journaled units
+    /// (observability only; not part of the canonical form).
+    pub seconds: f64,
+    /// Per-phase seconds summed across units, in first-seen order
+    /// (observability only; not part of the canonical form).
+    pub phases: Vec<(String, f64)>,
+    /// Engine metrics merged across units (observability only; not part
+    /// of the canonical form).
+    pub metrics: RunMetrics,
+}
+
+impl TaskReport {
+    /// `true` when every unit completed with status `ok`.
+    pub fn clean(&self) -> bool {
+        self.units_ok == self.units_total
+    }
+}
+
+/// Merged results of a whole campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Campaign name (from the spec).
+    pub campaign: String,
+    /// Per-task reports, in spec order.
+    pub tasks: Vec<TaskReport>,
+}
+
+/// Merges journal contents into a [`CampaignReport`].
+///
+/// `tasks` must be the spec's resolution in this build (the caller has
+/// already verified the journal header against it).
+///
+/// Duplicate records for the same `(task, stem)` unit — possible if two
+/// processes ever appended to one journal concurrently — are collapsed
+/// to the first occurrence, so every unit is counted exactly once and
+/// the canonical report stays canonical. (Unit results are deterministic
+/// functions of the unit, so duplicates differ only in timing.)
+pub fn merge(
+    contents: &JournalContents,
+    tasks: &[ResolvedTask],
+) -> Result<CampaignReport, JobError> {
+    let mut seen = std::collections::HashSet::new();
+    let mut reports = Vec::with_capacity(tasks.len());
+    for (t, task) in tasks.iter().enumerate() {
+        let fires = Fires::try_new(&task.circuit, task.config)?;
+        let stems = fires.stems();
+        let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
+        let mut report = TaskReport {
+            name: task.name.clone(),
+            validated: task.config.validate,
+            frame_budget: task.config.max_frames,
+            units_total: stems.len(),
+            units_ok: 0,
+            units_panicked: 0,
+            units_timed_out: 0,
+            faults: Vec::new(),
+            fault_names: Vec::new(),
+            marks: 0,
+            max_frames_used: 0,
+            seconds: 0.0,
+            phases: Vec::new(),
+            metrics: RunMetrics::default(),
+        };
+        for unit in contents.units.iter().filter(|u| u.task == t) {
+            if !seen.insert((unit.task, unit.stem)) {
+                continue;
+            }
+            report.seconds += unit.seconds;
+            for (name, secs) in &unit.phases {
+                match report.phases.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, total)) => *total += secs,
+                    None => report.phases.push((name.clone(), *secs)),
+                }
+            }
+            report.metrics.merge(&unit.metrics);
+            match unit.status {
+                UnitStatus::Panic => report.units_panicked += 1,
+                UnitStatus::Timeout => report.units_timed_out += 1,
+                UnitStatus::Ok => {
+                    report.units_ok += 1;
+                    report.marks += unit.marks;
+                    report.max_frames_used = report.max_frames_used.max(unit.frames);
+                    for cand in unit.identified(stems[unit.stem]) {
+                        best.entry(cand.fault)
+                            .and_modify(|e| {
+                                if cand.wins_over(e) {
+                                    *e = cand;
+                                }
+                            })
+                            .or_insert(cand);
+                    }
+                }
+            }
+        }
+        report.faults = best.into_values().collect();
+        report
+            .faults
+            .sort_unstable_by_key(|f| (f.fault.line, f.fault.stuck.as_bool()));
+        let lines = LineGraph::build(&task.circuit);
+        report.fault_names = report
+            .faults
+            .iter()
+            .map(|f| f.fault.display(&lines, &task.circuit))
+            .collect();
+        reports.push(report);
+    }
+    Ok(CampaignReport {
+        campaign: contents.header.spec.name.clone(),
+        tasks: reports,
+    })
+}
+
+impl CampaignReport {
+    /// The canonical, timing-free JSON form. Byte-identical for the same
+    /// set of unit records, regardless of thread count, append order or
+    /// resume points.
+    pub fn canonical_json(&self) -> Json {
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            let faults = t
+                .faults
+                .iter()
+                .map(|f| {
+                    Json::Arr(vec![
+                        Json::Num(f.fault.line.index() as f64),
+                        Json::Num(if f.fault.stuck.as_bool() { 1.0 } else { 0.0 }),
+                        Json::Num(f.c as f64),
+                        Json::Num(f.frame as f64),
+                        Json::Num(f.stem.index() as f64),
+                    ])
+                })
+                .collect();
+            let mut j = Json::object();
+            j.set("circuit", t.name.clone())
+                .set("validated", t.validated)
+                .set("frame_budget", t.frame_budget as u64)
+                .set("units_total", t.units_total as u64)
+                .set("units_ok", t.units_ok as u64)
+                .set("units_panicked", t.units_panicked as u64)
+                .set("units_timed_out", t.units_timed_out as u64)
+                .set("identified_faults", t.faults.len() as u64)
+                .set("faults", Json::Arr(faults))
+                .set(
+                    "fault_names",
+                    Json::Arr(t.fault_names.iter().cloned().map(Json::Str).collect()),
+                )
+                .set("marks", t.marks)
+                .set("max_frames_used", t.max_frames_used);
+            tasks.push(j);
+        }
+        let mut j = Json::object();
+        j.set("campaign", self.campaign.clone())
+            .set("schema", crate::journal::JOURNAL_SCHEMA)
+            .set("tasks", Json::Arr(tasks));
+        j
+    }
+
+    /// The canonical form as pretty JSON text (what determinism tests and
+    /// the CI resilience check `diff`).
+    pub fn canonical_text(&self) -> String {
+        self.canonical_json().to_pretty()
+    }
+
+    /// Per-task observability reports plus the campaign-level rollup
+    /// (via [`RunReport::aggregate`]). Includes wall-clock totals, so —
+    /// unlike the canonical form — not run-to-run stable.
+    pub fn run_reports(&self) -> (Vec<RunReport>, RunReport) {
+        let children: Vec<RunReport> = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let mut r = RunReport::new("fires/task", t.name.clone());
+                r.total_seconds = t.seconds;
+                r.phases = t.phases.clone();
+                r.metrics = t.metrics.clone();
+                r.set_extra("identified_faults", t.faults.len() as u64)
+                    .set_extra("units_total", t.units_total as u64)
+                    .set_extra("units_ok", t.units_ok as u64)
+                    .set_extra("units_panicked", t.units_panicked as u64)
+                    .set_extra("units_timed_out", t.units_timed_out as u64)
+                    .set_extra("marks", t.marks)
+                    .set_extra("max_frames_used", t.max_frames_used)
+                    .set_extra("validated", t.validated);
+                r
+            })
+            .collect();
+        let campaign = RunReport::aggregate("fires/campaign", self.campaign.clone(), &children);
+        (children, campaign)
+    }
+
+    /// A compact fixed-width table for terminal output.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8}\n",
+            "circuit", "units", "ok", "bad", "faults", "marks", "max_fr", "seconds"
+        ));
+        for t in &self.tasks {
+            out.push_str(&format!(
+                "{:<12} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8.3}\n",
+                t.name,
+                t.units_total,
+                t.units_ok,
+                t.units_panicked + t.units_timed_out,
+                t.faults.len(),
+                t.marks,
+                t.max_frames_used,
+                t.seconds,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{self, UnitRecord};
+    use crate::runner::{run, RunnerConfig};
+    use crate::spec::CampaignSpec;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fires-merge-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("job.jsonl")
+    }
+
+    #[test]
+    fn merged_report_matches_direct_run() {
+        let path = temp("direct");
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let contents = journal::read(&path).unwrap();
+        let tasks = spec.resolve().unwrap();
+        let merged = merge(&contents, &tasks).unwrap();
+
+        // The same circuit run through the plain core driver.
+        let direct = Fires::try_new(&tasks[0].circuit, tasks[0].config)
+            .unwrap()
+            .run();
+        let mut direct_faults: Vec<_> = direct.redundant_faults().to_vec();
+        direct_faults.sort_unstable_by_key(|f| (f.fault.line, f.fault.stuck.as_bool()));
+        assert_eq!(merged.tasks[0].faults, direct_faults);
+        assert!(merged.tasks[0].clean());
+    }
+
+    #[test]
+    fn canonical_text_ignores_append_order_and_timing() {
+        let path = temp("order");
+        let spec = CampaignSpec::from_circuits("t", ["s27", "fig3"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let contents = journal::read(&path).unwrap();
+        let tasks = spec.resolve().unwrap();
+        let text = merge(&contents, &tasks).unwrap().canonical_text();
+
+        let mut shuffled = contents.clone();
+        shuffled.units.reverse();
+        for u in &mut shuffled.units {
+            u.seconds *= 10.0;
+        }
+        let text2 = merge(&shuffled, &tasks).unwrap().canonical_text();
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn duplicate_unit_records_are_collapsed() {
+        let path = temp("dup");
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let contents = journal::read(&path).unwrap();
+        let tasks = spec.resolve().unwrap();
+        let text = merge(&contents, &tasks).unwrap().canonical_text();
+
+        // A concurrent appender would duplicate whole unit records; the
+        // merge must count each (task, stem) exactly once.
+        let mut doubled = contents.clone();
+        doubled.units.extend(contents.units.iter().cloned());
+        let merged = merge(&doubled, &tasks).unwrap();
+        assert_eq!(merged.tasks[0].units_ok, merged.tasks[0].units_total);
+        assert_eq!(merged.canonical_text(), text);
+    }
+
+    #[test]
+    fn failed_units_are_counted_not_merged() {
+        let path = temp("failed");
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let mut contents = journal::read(&path).unwrap();
+        contents.units[0] = UnitRecord {
+            status: crate::journal::UnitStatus::Panic,
+            faults: vec![],
+            marks: 0,
+            frames: 0,
+            ..contents.units[0].clone()
+        };
+        let tasks = spec.resolve().unwrap();
+        let merged = merge(&contents, &tasks).unwrap();
+        assert_eq!(merged.tasks[0].units_panicked, 1);
+        assert!(!merged.tasks[0].clean());
+        assert_eq!(merged.tasks[0].units_ok + 1, merged.tasks[0].units_total);
+    }
+
+    #[test]
+    fn run_reports_aggregate() {
+        let path = temp("obsrep");
+        let spec = CampaignSpec::from_circuits("t", ["s27", "fig3"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let contents = journal::read(&path).unwrap();
+        let tasks = spec.resolve().unwrap();
+        let merged = merge(&contents, &tasks).unwrap();
+        let (children, campaign) = merged.run_reports();
+        assert_eq!(children.len(), 2);
+        assert_eq!(campaign.subject, "t");
+        assert_eq!(
+            campaign.extra.get("task_count").and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,463 @@
+//! The campaign runner: a work-stealing worker pool over per-stem work
+//! units, with panic isolation, per-unit deadlines and incremental
+//! journaling.
+//!
+//! Work units are `(task, stem)` pairs in the deterministic order
+//! (task order × canonical stem order). Workers self-schedule by
+//! `fetch_add` on a shared cursor — no unit is ever run twice, and any
+//! interleaving merges to the same report (see
+//! [`IdentifiedFault::wins_over`](fires_core::IdentifiedFault)).
+//!
+//! A unit that panics poisons only itself: the panic is caught, the unit
+//! is journaled with status `panic`, the worker rebuilds its per-task
+//! caches (they may be mid-update) and moves on. A unit that overruns
+//! `stem_deadline` is cancelled cooperatively and journaled as
+//! `timeout`. Both are *recorded* failures — `fires resume` will not
+//! retry them unless the journal is deleted.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fires_core::{CancelToken, CoreError, Fires, StemCtx};
+
+use crate::error::JobError;
+use crate::journal::{self, Journal, JournalContents, UnitRecord, UnitStatus};
+use crate::spec::{CampaignSpec, ResolvedTask};
+
+/// Knobs of one `run`/`resume` invocation (campaign contents live in the
+/// spec/journal, not here).
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerConfig {
+    /// Worker threads; 0 or 1 runs serially on the calling thread.
+    pub threads: usize,
+    /// Wall-clock budget per work unit; `None` means unbounded.
+    pub stem_deadline: Option<Duration>,
+    /// Stop scheduling after this many *new* units have been journaled.
+    /// A test hook that simulates a mid-campaign kill at a deterministic
+    /// point; production runs leave it `None`.
+    pub max_units: Option<usize>,
+    /// Fault-injection hook for robustness tests: called before each
+    /// unit, may order the runner to panic inside the unit or sleep past
+    /// the deadline. A plain `fn` pointer so the config stays `Copy`.
+    pub inject: Option<fn(task: usize, stem: usize) -> Injection>,
+}
+
+/// What the [`RunnerConfig::inject`] hook asks a unit to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Injection {
+    /// Run normally.
+    Run,
+    /// Panic inside the unit (exercises panic isolation).
+    Panic,
+    /// Sleep this long before running (exercises deadline handling).
+    Sleep(Duration),
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            threads: 1,
+            stem_deadline: None,
+            max_units: None,
+            inject: None,
+        }
+    }
+}
+
+/// What one `run`/`resume` invocation did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Units completed by *this* invocation (any status).
+    pub executed: usize,
+    /// Units skipped because a prior invocation had journaled them.
+    pub skipped: usize,
+    /// Units of this invocation that ended in `panic`.
+    pub panicked: usize,
+    /// Units of this invocation that ended in `timeout`.
+    pub timed_out: usize,
+    /// Units still unprocessed (only nonzero when `max_units` stopped
+    /// the run early — or the process was killed harder than that).
+    pub remaining: usize,
+}
+
+impl RunSummary {
+    /// `true` when every unit of the campaign has a journal record.
+    pub fn complete(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Creates the journal at `journal_path` and runs the campaign.
+///
+/// # Errors
+///
+/// Spec resolution errors, or [`JobError::Io`] — notably when the
+/// journal already exists (resume it instead).
+pub fn run(
+    spec: &CampaignSpec,
+    journal_path: &Path,
+    rc: &RunnerConfig,
+) -> Result<RunSummary, JobError> {
+    let tasks = spec.resolve()?;
+    let stems: Vec<usize> = stem_counts(&tasks)?;
+    let header = journal::header_for(spec, &tasks, &stems);
+    let journal = Journal::create(journal_path, &header)?;
+    let fresh = JournalContents {
+        header,
+        units: Vec::new(),
+        torn: false,
+    };
+    execute(&tasks, &stems, journal, &fresh, rc)
+}
+
+/// Re-opens an existing journal and runs every unit it has no record of.
+///
+/// The journal header is verified against this build first: if a circuit
+/// generator or the stem order changed since the journal was written,
+/// resuming would misattribute work, so it is refused with
+/// [`JobError::Mismatch`].
+pub fn resume(journal_path: &Path, rc: &RunnerConfig) -> Result<RunSummary, JobError> {
+    let contents = journal::read(journal_path)?;
+    let tasks = contents.header.spec.resolve()?;
+    let stems = stem_counts(&tasks)?;
+    journal::verify_header(&contents.header, &tasks, &stems)?;
+    let journal = Journal::append_to(journal_path)?;
+    execute(&tasks, &stems, journal, &contents, rc)
+}
+
+fn stem_counts(tasks: &[ResolvedTask]) -> Result<Vec<usize>, JobError> {
+    tasks
+        .iter()
+        .map(|t| Ok(Fires::try_new(&t.circuit, t.config)?.stems().len()))
+        .collect()
+}
+
+/// Suppresses the default panic-hook backtrace for panics the runner
+/// catches on purpose (injected ones and genuine stem bugs alike), while
+/// leaving panics elsewhere as loud as ever.
+fn quiet_caught_panics() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(|f| f.load(Ordering::Relaxed)) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: AtomicBool = const { AtomicBool::new(false) };
+}
+
+fn execute(
+    tasks: &[ResolvedTask],
+    stems: &[usize],
+    journal: Journal,
+    prior: &JournalContents,
+    rc: &RunnerConfig,
+) -> Result<RunSummary, JobError> {
+    quiet_caught_panics();
+    let done = prior.done();
+    // The full deterministic unit list; `done` units are skipped at
+    // claim time so indices stay identical across run and resume.
+    let units: Vec<(usize, usize)> = stems
+        .iter()
+        .enumerate()
+        .flat_map(|(t, &n)| (0..n).map(move |s| (t, s)))
+        .collect();
+    let skipped = units.iter().filter(|u| done.contains(u)).count();
+    let engines: Vec<Fires> = tasks
+        .iter()
+        .map(|t| Fires::try_new(&t.circuit, t.config))
+        .collect::<Result<_, CoreError>>()?;
+    let stem_ids: Vec<Vec<fires_netlist::LineId>> = engines.iter().map(|e| e.stems()).collect();
+
+    let cursor = AtomicUsize::new(0);
+    let budget = AtomicUsize::new(rc.max_units.unwrap_or(usize::MAX));
+    let journal = Mutex::new(journal);
+    let failure: Mutex<Option<JobError>> = Mutex::new(None);
+    let executed = AtomicUsize::new(0);
+    let panicked = AtomicUsize::new(0);
+    let timed_out = AtomicUsize::new(0);
+
+    let worker = || {
+        // Implication caches are per-circuit; keyed by task index. A
+        // panicked unit may leave them mid-update, so they are rebuilt
+        // after every catch.
+        let mut ctxs: HashMap<usize, StemCtx> = HashMap::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&(task, stem)) = units.get(i) else {
+                return;
+            };
+            if done.contains(&(task, stem)) {
+                continue;
+            }
+            // Claim budget *before* running, so `max_units` cuts the
+            // campaign at an exact unit count.
+            if budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_err()
+            {
+                return;
+            }
+            let record = run_unit(
+                &engines[task],
+                stem_ids[task][stem],
+                task,
+                stem,
+                ctxs.entry(task).or_default(),
+                rc,
+            );
+            if record.status == UnitStatus::Panic {
+                ctxs.remove(&task);
+                panicked.fetch_add(1, Ordering::Relaxed);
+            }
+            if record.status == UnitStatus::Timeout {
+                timed_out.fetch_add(1, Ordering::Relaxed);
+            }
+            executed.fetch_add(1, Ordering::Relaxed);
+            let result = journal
+                .lock()
+                .expect("journal lock poisoned")
+                .append(&record);
+            if let Err(e) = result {
+                *failure.lock().expect("failure lock poisoned") = Some(e);
+                return;
+            }
+        }
+    };
+
+    let threads = rc.threads.max(1);
+    if threads == 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(worker);
+            }
+        });
+    }
+
+    if let Some(e) = failure.into_inner().expect("failure lock poisoned") {
+        return Err(e);
+    }
+    let executed = executed.into_inner();
+    Ok(RunSummary {
+        executed,
+        skipped,
+        panicked: panicked.into_inner(),
+        timed_out: timed_out.into_inner(),
+        remaining: units.len() - skipped - executed,
+    })
+}
+
+fn run_unit(
+    fires: &Fires,
+    stem_line: fires_netlist::LineId,
+    task: usize,
+    stem: usize,
+    ctx: &mut StemCtx,
+    rc: &RunnerConfig,
+) -> UnitRecord {
+    let started = Instant::now();
+    let cancel = match rc.stem_deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::never(),
+    };
+    let injection = rc
+        .inject
+        .map(|hook| hook(task, stem))
+        .unwrap_or(Injection::Run);
+    SUPPRESS_PANIC_OUTPUT.with(|f| f.store(true, Ordering::Relaxed));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        match injection {
+            Injection::Run => {}
+            Injection::Panic => panic!("injected panic (robustness test)"),
+            Injection::Sleep(d) => std::thread::sleep(d),
+        }
+        fires.run_stem(stem_line, ctx, &cancel)
+    }));
+    SUPPRESS_PANIC_OUTPUT.with(|f| f.store(false, Ordering::Relaxed));
+    let seconds = started.elapsed().as_secs_f64();
+    let empty = |status| UnitRecord {
+        task,
+        stem,
+        status,
+        faults: Vec::new(),
+        marks: 0,
+        frames: 0,
+        seconds,
+        phases: Vec::new(),
+        metrics: Default::default(),
+    };
+    match outcome {
+        Ok(Ok(findings)) => UnitRecord {
+            task,
+            stem,
+            status: UnitStatus::Ok,
+            faults: findings
+                .faults
+                .iter()
+                .map(|f| {
+                    (
+                        f.fault.line.index() as u32,
+                        f.fault.stuck.as_bool(),
+                        f.c,
+                        f.frame,
+                    )
+                })
+                .collect(),
+            marks: findings.marks as u64,
+            frames: findings.frames_used as u64,
+            seconds,
+            phases: findings
+                .phase_times
+                .phases
+                .iter()
+                .map(|(name, d)| (name.clone(), d.as_secs_f64()))
+                .collect(),
+            metrics: findings.metrics,
+        },
+        Ok(Err(CoreError::Interrupted { .. })) => empty(UnitStatus::Timeout),
+        // Any other CoreError here is a bug (stems come from the engine
+        // itself), but a campaign must outlive bugs: record and move on.
+        Ok(Err(_)) => empty(UnitStatus::Panic),
+        Err(_) => empty(UnitStatus::Panic),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::read;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fires-runner-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("job.jsonl")
+    }
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec::from_circuits("t", ["s27", "fig3"])
+    }
+
+    #[test]
+    fn run_completes_and_journals_every_unit() {
+        let path = temp("complete");
+        let summary = run(&small_spec(), &path, &RunnerConfig::default()).unwrap();
+        assert!(summary.complete());
+        assert_eq!(summary.skipped, 0);
+        assert_eq!(summary.panicked, 0);
+        let contents = read(&path).unwrap();
+        let total: usize = contents.header.tasks.iter().map(|t| t.stems).sum();
+        assert_eq!(contents.units.len(), total);
+        assert_eq!(summary.executed, total);
+    }
+
+    #[test]
+    fn run_refuses_existing_journal() {
+        let path = temp("exists");
+        run(&small_spec(), &path, &RunnerConfig::default()).unwrap();
+        assert!(matches!(
+            run(&small_spec(), &path, &RunnerConfig::default()),
+            Err(JobError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn max_units_stops_early_and_resume_finishes() {
+        let path = temp("resume");
+        let rc = RunnerConfig {
+            max_units: Some(3),
+            ..Default::default()
+        };
+        let first = run(&small_spec(), &path, &rc).unwrap();
+        assert_eq!(first.executed, 3);
+        assert!(!first.complete());
+        let second = resume(&path, &RunnerConfig::default()).unwrap();
+        assert_eq!(second.skipped, 3);
+        assert!(second.complete());
+        assert_eq!(second.executed, first.remaining);
+    }
+
+    #[test]
+    fn injected_panic_poisons_only_its_unit() {
+        let path = temp("panic");
+        fn inject(task: usize, stem: usize) -> Injection {
+            if task == 0 && stem == 1 {
+                Injection::Panic
+            } else {
+                Injection::Run
+            }
+        }
+        let rc = RunnerConfig {
+            inject: Some(inject),
+            ..Default::default()
+        };
+        let summary = run(&small_spec(), &path, &rc).unwrap();
+        assert!(summary.complete());
+        assert_eq!(summary.panicked, 1);
+        let contents = read(&path).unwrap();
+        let bad: Vec<_> = contents
+            .units
+            .iter()
+            .filter(|u| u.status == UnitStatus::Panic)
+            .collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!((bad[0].task, bad[0].stem), (0, 1));
+    }
+
+    #[test]
+    fn injected_overrun_times_out_only_its_unit() {
+        let path = temp("deadline");
+        fn inject(task: usize, stem: usize) -> Injection {
+            if task == 1 && stem == 0 {
+                Injection::Sleep(Duration::from_millis(50))
+            } else {
+                Injection::Run
+            }
+        }
+        let rc = RunnerConfig {
+            stem_deadline: Some(Duration::from_millis(10)),
+            inject: Some(inject),
+            ..Default::default()
+        };
+        let summary = run(&small_spec(), &path, &rc).unwrap();
+        assert!(summary.complete());
+        assert_eq!(summary.timed_out, 1);
+        let contents = read(&path).unwrap();
+        let slow: Vec<_> = contents
+            .units
+            .iter()
+            .filter(|u| u.status == UnitStatus::Timeout)
+            .collect();
+        assert_eq!(slow.len(), 1);
+        assert_eq!((slow[0].task, slow[0].stem), (1, 0));
+    }
+
+    #[test]
+    fn threaded_run_covers_every_unit_once() {
+        let path = temp("threads");
+        let rc = RunnerConfig {
+            threads: 8,
+            ..Default::default()
+        };
+        run(&small_spec(), &path, &rc).unwrap();
+        let contents = read(&path).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for u in &contents.units {
+            assert!(seen.insert((u.task, u.stem)), "unit ran twice");
+        }
+        let total: usize = contents.header.tasks.iter().map(|t| t.stems).sum();
+        assert_eq!(seen.len(), total);
+    }
+}

@@ -1,0 +1,240 @@
+//! Campaign specifications: which circuits to analyse, with what
+//! configuration.
+
+use fires_circuits::suite;
+use fires_core::FiresConfig;
+use fires_netlist::Circuit;
+use fires_obs::Json;
+
+use crate::error::JobError;
+
+/// One (circuit × configuration) task of a campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Circuit name, resolvable by
+    /// [`fires_circuits::suite::resolve`].
+    pub circuit: String,
+    /// Frame budget override; `None` uses the suite's per-circuit budget.
+    pub frames: Option<usize>,
+    /// Run the Definition-6 validation step.
+    pub validate: bool,
+}
+
+impl TaskSpec {
+    /// A task with the suite's default frame budget and validation on.
+    pub fn new(circuit: impl Into<String>) -> Self {
+        TaskSpec {
+            circuit: circuit.into(),
+            frames: None,
+            validate: true,
+        }
+    }
+}
+
+/// A named set of tasks, the unit `fires run` executes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Campaign name (journal and report file stem).
+    pub name: String,
+    /// The tasks, in execution order.
+    pub tasks: Vec<TaskSpec>,
+}
+
+/// One task after name resolution: the generated circuit plus the exact
+/// core configuration its stems run under.
+#[derive(Clone, Debug)]
+pub struct ResolvedTask {
+    /// The resolved circuit name (canonical form, e.g. `fig3`).
+    pub name: String,
+    /// The circuit itself.
+    pub circuit: Circuit,
+    /// Structural content hash of the circuit, journaled so a resumed
+    /// journal can prove it still indexes the same stems.
+    pub hash: u64,
+    /// The core configuration (frame budget, validation).
+    pub config: FiresConfig,
+}
+
+impl CampaignSpec {
+    /// A campaign over a named suite: `small` (sub-second CI subset) or
+    /// `table2` (the full Table-2 suite).
+    pub fn suite(suite_name: &str) -> Result<CampaignSpec, JobError> {
+        let entries = match suite_name {
+            "small" => suite::small_suite(),
+            "table2" => suite::table2_suite(),
+            other => {
+                return Err(JobError::Spec {
+                    message: format!("unknown suite {other:?} (expected `small` or `table2`)"),
+                })
+            }
+        };
+        Ok(CampaignSpec {
+            name: suite_name.to_string(),
+            tasks: entries.iter().map(|e| TaskSpec::new(e.name)).collect(),
+        })
+    }
+
+    /// A campaign over explicitly named circuits.
+    pub fn from_circuits<I, S>(name: impl Into<String>, circuits: I) -> CampaignSpec
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CampaignSpec {
+            name: name.into(),
+            tasks: circuits.into_iter().map(|c| TaskSpec::new(c)).collect(),
+        }
+    }
+
+    /// Resolves every task to its circuit and core configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Spec`] for an empty campaign,
+    /// [`JobError::UnknownCircuit`] for an unresolvable name, and
+    /// [`JobError::Core`] if an override produces an invalid
+    /// [`FiresConfig`].
+    pub fn resolve(&self) -> Result<Vec<ResolvedTask>, JobError> {
+        if self.tasks.is_empty() {
+            return Err(JobError::Spec {
+                message: "campaign has no tasks".into(),
+            });
+        }
+        self.tasks
+            .iter()
+            .map(|t| {
+                let entry = suite::resolve(&t.circuit).ok_or_else(|| JobError::UnknownCircuit {
+                    name: t.circuit.clone(),
+                })?;
+                let mut config = FiresConfig::with_max_frames(t.frames.unwrap_or(entry.frames));
+                config.validate = t.validate;
+                config.check()?;
+                let hash = entry.circuit.content_hash();
+                Ok(ResolvedTask {
+                    name: entry.name.to_string(),
+                    circuit: entry.circuit,
+                    hash,
+                    config,
+                })
+            })
+            .collect()
+    }
+
+    /// JSON form (used inside the journal header).
+    pub fn to_json(&self) -> Json {
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            let mut j = Json::object();
+            j.set("circuit", t.circuit.clone())
+                .set("validate", t.validate);
+            if let Some(frames) = t.frames {
+                j.set("frames", frames as u64);
+            }
+            tasks.push(j);
+        }
+        let mut j = Json::object();
+        j.set("name", self.name.clone())
+            .set("tasks", Json::Arr(tasks));
+        j
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(j: &Json) -> Result<CampaignSpec, JobError> {
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JobError::journal("spec has no name"))?
+            .to_string();
+        let tasks = j
+            .get("tasks")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JobError::journal("spec has no task array"))?
+            .iter()
+            .map(|t| {
+                let circuit = t
+                    .get("circuit")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| JobError::journal("task has no circuit"))?
+                    .to_string();
+                let validate = t
+                    .get("validate")
+                    .and_then(|v| match v {
+                        Json::Bool(b) => Some(*b),
+                        _ => None,
+                    })
+                    .ok_or_else(|| JobError::journal("task has no validate flag"))?;
+                let frames = match t.get("frames") {
+                    Some(f) => Some(
+                        f.as_u64()
+                            .ok_or_else(|| JobError::journal("task frames is not an integer"))?
+                            as usize,
+                    ),
+                    None => None,
+                };
+                Ok(TaskSpec {
+                    circuit,
+                    frames,
+                    validate,
+                })
+            })
+            .collect::<Result<Vec<_>, JobError>>()?;
+        Ok(CampaignSpec { name, tasks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_campaigns_resolve() {
+        let small = CampaignSpec::suite("small").unwrap();
+        let resolved = small.resolve().unwrap();
+        assert_eq!(resolved.len(), small.tasks.len());
+        assert_eq!(resolved[0].name, "s27");
+        assert!(CampaignSpec::suite("huge").is_err());
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let mut spec = CampaignSpec::from_circuits("t", ["fig3"]);
+        spec.tasks[0].frames = Some(7);
+        spec.tasks[0].validate = false;
+        let r = spec.resolve().unwrap();
+        assert_eq!(r[0].config.max_frames, 7);
+        assert!(!r[0].config.validate);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let empty = CampaignSpec::from_circuits("t", Vec::<String>::new());
+        assert!(matches!(empty.resolve(), Err(JobError::Spec { .. })));
+        let unknown = CampaignSpec::from_circuits("t", ["does_not_exist"]);
+        assert!(matches!(
+            unknown.resolve(),
+            Err(JobError::UnknownCircuit { .. })
+        ));
+        let mut degenerate = CampaignSpec::from_circuits("t", ["s27"]);
+        degenerate.tasks[0].frames = Some(0);
+        assert!(matches!(degenerate.resolve(), Err(JobError::Core(_))));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut spec = CampaignSpec::suite("small").unwrap();
+        spec.tasks[1].frames = Some(9);
+        spec.tasks[2].validate = false;
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn resolution_is_deterministic() {
+        let spec = CampaignSpec::from_circuits("t", ["s27", "s208_like"]);
+        let a = spec.resolve().unwrap();
+        let b = spec.resolve().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hash, y.hash);
+        }
+    }
+}

@@ -89,16 +89,22 @@ impl CircuitBuilder {
 
     /// Supplies the driver for a previously created placeholder.
     ///
-    /// # Panics
-    ///
-    /// Panics if `id` was not created by this builder, or was already
-    /// defined.
+    /// Misuse — an `id` not created by this builder, or one that already has
+    /// a driver — is deferred and reported by [`build`](Self::build) as
+    /// [`NetlistError::UnknownNode`] / [`NetlistError::DuplicateDriver`],
+    /// matching how the builder reports duplicate names.
     pub fn define(&mut self, id: NodeId, kind: GateKind, fanin: &[NodeId]) {
-        let slot = self
-            .nodes
-            .get_mut(id.index())
-            .expect("define: unknown node id");
-        assert!(slot.is_none(), "define: node already has a driver");
+        let Some(slot) = self.nodes.get_mut(id.index()) else {
+            self.errors
+                .push(NetlistError::UnknownNode { index: id.index() });
+            return;
+        };
+        if slot.is_some() {
+            self.errors.push(NetlistError::DuplicateDriver {
+                name: self.names[id.index()].clone(),
+            });
+            return;
+        }
         *slot = Some(Node {
             kind,
             fanin: fanin.to_vec(),
@@ -175,6 +181,28 @@ mod tests {
         let mut b = CircuitBuilder::new();
         b.input("a");
         assert!(matches!(b.build(), Err(NetlistError::NoOutputs)));
+    }
+
+    #[test]
+    fn define_misuse_is_deferred_to_build() {
+        // Redefining an already-driven node.
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        b.define(a, GateKind::Not, &[a]);
+        b.output(a);
+        assert!(matches!(
+            b.build(),
+            Err(NetlistError::DuplicateDriver { name }) if name == "a"
+        ));
+        // Defining a node id the builder never created.
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        b.define(NodeId::new(99), GateKind::Not, &[a]);
+        b.output(a);
+        assert!(matches!(
+            b.build(),
+            Err(NetlistError::UnknownNode { index: 99 })
+        ));
     }
 
     #[test]

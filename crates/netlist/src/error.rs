@@ -42,6 +42,13 @@ pub enum NetlistError {
     /// The circuit has no primary outputs, making every fault trivially
     /// undetectable; analyses require at least one.
     NoOutputs,
+    /// A node id was used with a builder that never created it (e.g.
+    /// [`CircuitBuilder::define`](crate::CircuitBuilder::define) with an id
+    /// from a different builder).
+    UnknownNode {
+        /// The out-of-range node index.
+        index: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -63,6 +70,9 @@ impl fmt::Display for NetlistError {
                 write!(f, "bench syntax error at line {line}: {message}")
             }
             NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::UnknownNode { index } => {
+                write!(f, "node id {index} was not created by this builder")
+            }
         }
     }
 }

@@ -184,6 +184,13 @@ impl LineGraph {
     /// consumers (counting a primary-output observation). These are the
     /// stems FIRE/FIRES processes — conflicts can only arise where paths
     /// reconverge from a fanout point.
+    ///
+    /// **Ordering guarantee:** stems are yielded in ascending node-id order
+    /// (circuit definition order), which is deterministic and stable across
+    /// processes for a structurally identical circuit. Campaign checkpoints
+    /// (`fires-jobs`) persist work units as indices into this sequence, so
+    /// this ordering is part of the journal contract and must not change
+    /// without bumping the journal schema version.
     pub fn fanout_stems<'a>(&'a self, circuit: &'a Circuit) -> impl Iterator<Item = LineId> + 'a {
         circuit.node_ids().filter_map(move |n| {
             let stem = self.stem_of(n);
@@ -265,6 +272,37 @@ mod tests {
             .map(|l| lg.display_name(l, &c))
             .collect();
         assert_eq!(stems, vec!["s".to_owned()]);
+    }
+
+    #[test]
+    fn fanout_stem_order_is_stable_definition_order() {
+        // Several fanout stems, deliberately defined in non-alphabetical
+        // order: iteration must follow node ids (definition order), and a
+        // structurally identical rebuild must agree stem-for-stem.
+        let src = "INPUT(b)\nINPUT(a)\nOUTPUT(z)\nOUTPUT(y)\n\
+                   t = NAND(b, a)\n\
+                   u = NOT(t)\n\
+                   v = BUFF(t)\n\
+                   y = AND(u, v, a)\n\
+                   z = OR(y, b)\n";
+        let c1 = bench::parse(src).unwrap();
+        let c2 = bench::parse(src).unwrap();
+        let lg1 = LineGraph::build(&c1);
+        let lg2 = LineGraph::build(&c2);
+        let stems1: Vec<LineId> = lg1.fanout_stems(&c1).collect();
+        let stems2: Vec<LineId> = lg2.fanout_stems(&c2).collect();
+        assert_eq!(stems1, stems2);
+        // Ascending node-id order.
+        let drivers: Vec<usize> = stems1
+            .iter()
+            .map(|&s| lg1.line(s).driver().index())
+            .collect();
+        let mut sorted = drivers.clone();
+        sorted.sort_unstable();
+        assert_eq!(drivers, sorted);
+        // And it is exactly definition order of the branching nets:
+        let names: Vec<String> = stems1.iter().map(|&s| lg1.display_name(s, &c1)).collect();
+        assert_eq!(names, vec!["b", "a", "t", "y"]);
     }
 
     #[test]

@@ -186,6 +186,42 @@ impl RunReport {
         RunReport::from_json(&Json::parse(text)?)
     }
 
+    /// Rolls several per-task reports up into one campaign-level report.
+    ///
+    /// Totals add, phase durations add (first-seen order), metrics merge
+    /// (counters add, maxima max, histograms fold). Each child is
+    /// summarized — subject, tool, total and its own `extra` payload —
+    /// under `extra.tasks`, in the order given, so the campaign report
+    /// remains a single self-contained JSON document.
+    pub fn aggregate(
+        tool: impl Into<String>,
+        subject: impl Into<String>,
+        children: &[RunReport],
+    ) -> RunReport {
+        let mut agg = RunReport::new(tool, subject);
+        let mut tasks = Vec::with_capacity(children.len());
+        for child in children {
+            agg.total_seconds += child.total_seconds;
+            for (name, secs) in &child.phases {
+                match agg.phases.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, s)) => *s += secs,
+                    None => agg.phases.push((name.clone(), *secs)),
+                }
+            }
+            agg.metrics.merge(&child.metrics);
+            let mut summary = Json::object();
+            summary
+                .set("tool", child.tool.clone())
+                .set("subject", child.subject.clone())
+                .set("total_seconds", child.total_seconds)
+                .set("extra", Json::Obj(child.extra.clone()));
+            tasks.push(summary);
+        }
+        agg.set_extra("task_count", children.len() as u64);
+        agg.set_extra("tasks", Json::Arr(tasks));
+        agg
+    }
+
     /// Writes the pretty JSON document to `path`.
     pub fn write_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_json_string())
@@ -245,6 +281,57 @@ mod tests {
     fn missing_fields_error_cleanly() {
         let j = Json::parse("{\"schema_version\": 1}").unwrap();
         assert!(RunReport::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn aggregate_sums_and_keeps_child_summaries() {
+        let mut a = RunReport::new("fires/table2", "s27");
+        a.total_seconds = 1.0;
+        a.add_phase("implication", 0.7);
+        a.add_phase("validation", 0.3);
+        a.metrics.incr("core.marks_created", 10);
+        a.metrics.set_max("core.max_frames_used", 4);
+        a.set_extra("identified_faults", 2u64);
+        let mut b = RunReport::new("fires/table2", "s208_like");
+        b.total_seconds = 2.0;
+        b.add_phase("implication", 1.5);
+        b.add_phase("setup", 0.5);
+        b.metrics.incr("core.marks_created", 5);
+        b.metrics.set_max("core.max_frames_used", 9);
+
+        let agg = RunReport::aggregate("fires/campaign", "smoke", &[a.clone(), b.clone()]);
+        assert_eq!(agg.tool, "fires/campaign");
+        assert_eq!(agg.subject, "smoke");
+        assert!((agg.total_seconds - 3.0).abs() < 1e-12);
+        // Phases add by name, first-seen order preserved.
+        assert_eq!(agg.phases[0], ("implication".into(), 2.2));
+        assert_eq!(agg.phases[1], ("validation".into(), 0.3));
+        assert_eq!(agg.phases[2], ("setup".into(), 0.5));
+        assert_eq!(agg.metrics.counter("core.marks_created"), 15);
+        assert_eq!(agg.metrics.maximum("core.max_frames_used"), 9);
+        assert_eq!(agg.extra.get("task_count").and_then(Json::as_u64), Some(2));
+        let tasks = agg.extra.get("tasks").and_then(Json::as_arr).unwrap();
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].get("subject").and_then(Json::as_str), Some("s27"));
+        assert_eq!(
+            tasks[0]
+                .get("extra")
+                .and_then(|e| e.get("identified_faults"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        // The aggregate still round-trips through JSON.
+        let back = RunReport::from_json_str(&agg.to_json_string()).unwrap();
+        assert_eq!(back, agg);
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_empty() {
+        let agg = RunReport::aggregate("t", "s", &[]);
+        assert_eq!(agg.total_seconds, 0.0);
+        assert!(agg.phases.is_empty());
+        assert!(agg.metrics.is_empty());
+        assert_eq!(agg.extra.get("task_count").and_then(Json::as_u64), Some(0));
     }
 
     #[test]
