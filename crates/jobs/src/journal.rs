@@ -20,8 +20,11 @@
 //!
 //! Every append is flushed before the runner considers the unit done, so
 //! a crash loses at most the unit being written. A torn final line (the
-//! crash landed mid-write) is detected and dropped on read; a malformed
-//! line *before* the end is corruption and a hard error.
+//! crash landed mid-write: not complete JSON, no trailing newline) is
+//! detected and dropped by [`read`] and physically removed by
+//! [`Journal::append_to`] before a resume appends anything after it. A
+//! line that *does* parse as complete JSON but is not a well-formed unit
+//! record is corruption, not a tear — a hard error wherever it sits.
 
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
@@ -333,7 +336,16 @@ impl Journal {
     }
 
     /// Re-opens an existing journal for appending more unit records.
+    ///
+    /// A crash mid-append can leave a partial final line with no
+    /// trailing newline; appending straight after it would glue the next
+    /// record onto the fragment and corrupt the journal for every later
+    /// reader. The tail is repaired first: a final line that is complete
+    /// JSON merely lost its newline (the kill landed between the record
+    /// bytes and the `'\n'`) and gets one; anything else is a torn
+    /// fragment and is truncated away — the same line [`read`] drops.
     pub fn append_to(path: &Path) -> Result<Journal, JobError> {
+        repair_torn_tail(path)?;
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -356,6 +368,36 @@ impl Journal {
         writeln!(self.out, "{line}").map_err(|e| JobError::io(&self.path, e))?;
         self.out.flush().map_err(|e| JobError::io(&self.path, e))
     }
+}
+
+/// Truncates a torn final line (see [`Journal::append_to`]) so the file
+/// ends exactly at the last intact record's newline, or writes the
+/// missing newline when the final line is a complete record that lost
+/// only its terminator.
+fn repair_torn_tail(path: &Path) -> Result<(), JobError> {
+    use std::io::Seek;
+
+    let bytes = std::fs::read(path).map_err(|e| JobError::io(path, e))?;
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(());
+    }
+    let tail_start = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let intact = std::str::from_utf8(&bytes[tail_start..])
+        .ok()
+        .is_some_and(|s| Json::parse(s).is_ok());
+    let mut file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| JobError::io(path, e))?;
+    if intact {
+        file.seek(std::io::SeekFrom::End(0))
+            .and_then(|_| file.write_all(b"\n"))
+            .map_err(|e| JobError::io(path, e))?;
+    } else {
+        file.set_len(tail_start as u64)
+            .map_err(|e| JobError::io(path, e))?;
+    }
+    Ok(())
 }
 
 /// Everything read back from a journal file.
@@ -391,41 +433,53 @@ pub fn read(path: &Path) -> Result<JournalContents, JobError> {
     let mut units = Vec::new();
     let mut torn = false;
     let last_index = text.lines().count() - 1;
+    // A crash mid-append leaves a *prefix* of "record\n": never valid
+    // JSON (a truncated object is unclosed) and never newline-terminated.
+    // Only such a line, in final position, is torn; a line that parses as
+    // complete JSON but is not a well-formed unit record is corruption —
+    // a hard error wherever it sits.
+    let ends_with_newline = text.ends_with('\n');
     for (i, line) in lines {
         if line.trim().is_empty() {
             continue;
         }
-        let parsed =
-            Json::parse(line)
-                .ok()
-                .and_then(|j| match j.get("kind").and_then(Json::as_str) {
-                    Some("unit") => unit_from_json(&j).ok(),
-                    _ => None,
-                });
-        match parsed {
-            Some(u) => {
-                if u.task >= header.tasks.len() || u.stem >= header.tasks[u.task].stems {
-                    return Err(JobError::journal(format!(
-                        "line {}: unit ({}, {}) is out of range for the header",
-                        i + 1,
-                        u.task,
-                        u.stem
-                    )));
-                }
-                units.push(u);
-            }
-            None if i == last_index => {
+        let j = match Json::parse(line) {
+            Ok(j) => j,
+            Err(_) if i == last_index && !ends_with_newline => {
                 // The process died mid-append; the journal up to here is
                 // intact.
                 torn = true;
+                continue;
             }
-            None => {
+            Err(e) => {
                 return Err(JobError::journal(format!(
-                    "line {}: malformed record before end of journal",
+                    "line {}: malformed record before end of journal ({e})",
                     i + 1
                 )));
             }
+        };
+        if j.get("kind").and_then(Json::as_str) != Some("unit") {
+            return Err(JobError::journal(format!(
+                "line {}: record kind is not \"unit\"",
+                i + 1
+            )));
         }
+        let u = unit_from_json(&j).map_err(|e| {
+            let msg = match e {
+                JobError::Journal { message } => message,
+                other => other.to_string(),
+            };
+            JobError::journal(format!("line {}: {msg}", i + 1))
+        })?;
+        if u.task >= header.tasks.len() || u.stem >= header.tasks[u.task].stems {
+            return Err(JobError::journal(format!(
+                "line {}: unit ({}, {}) is out of range for the header",
+                i + 1,
+                u.task,
+                u.stem
+            )));
+        }
+        units.push(u);
     }
     Ok(JournalContents {
         header,
@@ -576,6 +630,74 @@ mod tests {
         let back = read(&path).unwrap();
         assert!(back.torn);
         assert_eq!(back.units.len(), 1);
+    }
+
+    #[test]
+    fn append_to_truncates_a_torn_tail() {
+        let path = temp("torn-append");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        let before = std::fs::read_to_string(&path).unwrap();
+        let mut text = before.clone();
+        text.push_str("{\"kind\":\"unit\",\"task\":0,\"st");
+        std::fs::write(&path, text).unwrap();
+        let mut j2 = Journal::append_to(&path).unwrap();
+        j2.append(&UnitRecord {
+            stem: 4,
+            ..sample_unit()
+        })
+        .unwrap();
+        drop(j2);
+        // The fragment is gone and the journal is clean end-to-end.
+        assert!(std::fs::read_to_string(&path).unwrap().starts_with(&before));
+        let back = read(&path).unwrap();
+        assert!(!back.torn);
+        assert_eq!(back.units.len(), 2);
+        assert!(back.done().contains(&(0, 4)));
+    }
+
+    #[test]
+    fn append_to_completes_a_record_missing_only_its_newline() {
+        let path = temp("no-newline");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        // The kill landed between the record bytes and its '\n'.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.pop(), Some('\n'));
+        std::fs::write(&path, text).unwrap();
+        let mut j2 = Journal::append_to(&path).unwrap();
+        j2.append(&UnitRecord {
+            stem: 4,
+            ..sample_unit()
+        })
+        .unwrap();
+        drop(j2);
+        let back = read(&path).unwrap();
+        assert!(!back.torn);
+        assert_eq!(back.units.len(), 2);
+        assert_eq!(back.units[0], sample_unit());
+    }
+
+    #[test]
+    fn complete_json_with_bad_record_is_an_error_even_at_the_end() {
+        let path = temp("bad-final");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        for bad in ["{\"kind\":\"unit\",\"task\":0}", "{\"kind\":\"noise\"}"] {
+            let mut text = std::fs::read_to_string(&path).unwrap();
+            let len = text.len();
+            text.push_str(bad);
+            std::fs::write(&path, &text).unwrap();
+            assert!(
+                matches!(read(&path), Err(JobError::Journal { .. })),
+                "final line {bad:?} must be corruption, not a tear"
+            );
+            text.truncate(len);
+            std::fs::write(&path, &text).unwrap();
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod spec;
 
 pub use error::JobError;
 pub use merge::{CampaignReport, TaskReport};
-pub use runner::{resume, run, Injection, RunSummary, RunnerConfig};
+pub use runner::{build_engines, resume, run, Injection, RunSummary, RunnerConfig};
 pub use spec::{CampaignSpec, ResolvedTask, TaskSpec};
 
 use std::path::Path;
@@ -57,16 +57,8 @@ use std::path::Path;
 pub fn report(journal_path: &Path) -> Result<CampaignReport, JobError> {
     let contents = journal::read(journal_path)?;
     let tasks = contents.header.spec.resolve()?;
-    let stems: Vec<usize> = tasks
-        .iter()
-        .map(|t| {
-            Ok::<usize, JobError>(
-                fires_core::Fires::try_new(&t.circuit, t.config)?
-                    .stems()
-                    .len(),
-            )
-        })
-        .collect::<Result<_, _>>()?;
+    let engines = runner::build_engines(&tasks)?;
+    let stems: Vec<usize> = engines.iter().map(|e| e.stems().len()).collect();
     journal::verify_header(&contents.header, &tasks, &stems)?;
-    merge::merge(&contents, &tasks)
+    Ok(merge::merge(&contents, &tasks, &engines))
 }

@@ -11,10 +11,9 @@
 use std::collections::HashMap;
 
 use fires_core::{Fires, IdentifiedFault};
-use fires_netlist::{Fault, LineGraph};
+use fires_netlist::Fault;
 use fires_obs::{Json, RunMetrics, RunReport};
 
-use crate::error::JobError;
 use crate::journal::{JournalContents, UnitStatus};
 use crate::spec::ResolvedTask;
 
@@ -74,7 +73,10 @@ pub struct CampaignReport {
 /// Merges journal contents into a [`CampaignReport`].
 ///
 /// `tasks` must be the spec's resolution in this build (the caller has
-/// already verified the journal header against it).
+/// already verified the journal header against it) and `engines` the
+/// matching engines, one per task — built once, e.g. via
+/// [`runner::build_engines`](crate::runner::build_engines), and shared
+/// with the runner rather than reconstructed here.
 ///
 /// Duplicate records for the same `(task, stem)` unit — possible if two
 /// processes ever appended to one journal concurrently — are collapsed
@@ -84,11 +86,17 @@ pub struct CampaignReport {
 pub fn merge(
     contents: &JournalContents,
     tasks: &[ResolvedTask],
-) -> Result<CampaignReport, JobError> {
+    engines: &[Fires],
+) -> CampaignReport {
+    assert_eq!(
+        tasks.len(),
+        engines.len(),
+        "one engine per resolved task, in task order"
+    );
     let mut seen = std::collections::HashSet::new();
     let mut reports = Vec::with_capacity(tasks.len());
     for (t, task) in tasks.iter().enumerate() {
-        let fires = Fires::try_new(&task.circuit, task.config)?;
+        let fires = &engines[t];
         let stems = fires.stems();
         let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
         let mut report = TaskReport {
@@ -142,18 +150,17 @@ pub fn merge(
         report
             .faults
             .sort_unstable_by_key(|f| (f.fault.line, f.fault.stuck.as_bool()));
-        let lines = LineGraph::build(&task.circuit);
         report.fault_names = report
             .faults
             .iter()
-            .map(|f| f.fault.display(&lines, &task.circuit))
+            .map(|f| f.fault.display(fires.lines(), &task.circuit))
             .collect();
         reports.push(report);
     }
-    Ok(CampaignReport {
+    CampaignReport {
         campaign: contents.header.spec.name.clone(),
         tasks: reports,
-    })
+    }
 }
 
 impl CampaignReport {
@@ -262,7 +269,7 @@ impl CampaignReport {
 mod tests {
     use super::*;
     use crate::journal::{self, UnitRecord};
-    use crate::runner::{run, RunnerConfig};
+    use crate::runner::{build_engines, run, RunnerConfig};
     use crate::spec::CampaignSpec;
 
     fn temp(name: &str) -> std::path::PathBuf {
@@ -279,7 +286,7 @@ mod tests {
         run(&spec, &path, &RunnerConfig::default()).unwrap();
         let contents = journal::read(&path).unwrap();
         let tasks = spec.resolve().unwrap();
-        let merged = merge(&contents, &tasks).unwrap();
+        let merged = merge(&contents, &tasks, &build_engines(&tasks).unwrap());
 
         // The same circuit run through the plain core driver.
         let direct = Fires::try_new(&tasks[0].circuit, tasks[0].config)
@@ -298,14 +305,15 @@ mod tests {
         run(&spec, &path, &RunnerConfig::default()).unwrap();
         let contents = journal::read(&path).unwrap();
         let tasks = spec.resolve().unwrap();
-        let text = merge(&contents, &tasks).unwrap().canonical_text();
+        let engines = build_engines(&tasks).unwrap();
+        let text = merge(&contents, &tasks, &engines).canonical_text();
 
         let mut shuffled = contents.clone();
         shuffled.units.reverse();
         for u in &mut shuffled.units {
             u.seconds *= 10.0;
         }
-        let text2 = merge(&shuffled, &tasks).unwrap().canonical_text();
+        let text2 = merge(&shuffled, &tasks, &engines).canonical_text();
         assert_eq!(text, text2);
     }
 
@@ -316,13 +324,14 @@ mod tests {
         run(&spec, &path, &RunnerConfig::default()).unwrap();
         let contents = journal::read(&path).unwrap();
         let tasks = spec.resolve().unwrap();
-        let text = merge(&contents, &tasks).unwrap().canonical_text();
+        let engines = build_engines(&tasks).unwrap();
+        let text = merge(&contents, &tasks, &engines).canonical_text();
 
         // A concurrent appender would duplicate whole unit records; the
         // merge must count each (task, stem) exactly once.
         let mut doubled = contents.clone();
         doubled.units.extend(contents.units.iter().cloned());
-        let merged = merge(&doubled, &tasks).unwrap();
+        let merged = merge(&doubled, &tasks, &engines);
         assert_eq!(merged.tasks[0].units_ok, merged.tasks[0].units_total);
         assert_eq!(merged.canonical_text(), text);
     }
@@ -341,7 +350,7 @@ mod tests {
             ..contents.units[0].clone()
         };
         let tasks = spec.resolve().unwrap();
-        let merged = merge(&contents, &tasks).unwrap();
+        let merged = merge(&contents, &tasks, &build_engines(&tasks).unwrap());
         assert_eq!(merged.tasks[0].units_panicked, 1);
         assert!(!merged.tasks[0].clean());
         assert_eq!(merged.tasks[0].units_ok + 1, merged.tasks[0].units_total);
@@ -354,7 +363,7 @@ mod tests {
         run(&spec, &path, &RunnerConfig::default()).unwrap();
         let contents = journal::read(&path).unwrap();
         let tasks = spec.resolve().unwrap();
-        let merged = merge(&contents, &tasks).unwrap();
+        let merged = merge(&contents, &tasks, &build_engines(&tasks).unwrap());
         let (children, campaign) = merged.run_reports();
         assert_eq!(children.len(), 2);
         assert_eq!(campaign.subject, "t");

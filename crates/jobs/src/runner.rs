@@ -103,7 +103,9 @@ pub fn run(
     rc: &RunnerConfig,
 ) -> Result<RunSummary, JobError> {
     let tasks = spec.resolve()?;
-    let stems: Vec<usize> = stem_counts(&tasks)?;
+    let engines = build_engines(&tasks)?;
+    let stem_ids: Vec<Vec<fires_netlist::LineId>> = engines.iter().map(|e| e.stems()).collect();
+    let stems: Vec<usize> = stem_ids.iter().map(Vec::len).collect();
     let header = journal::header_for(spec, &tasks, &stems);
     let journal = Journal::create(journal_path, &header)?;
     let fresh = JournalContents {
@@ -111,7 +113,7 @@ pub fn run(
         units: Vec::new(),
         torn: false,
     };
-    execute(&tasks, &stems, journal, &fresh, rc)
+    execute(&engines, &stem_ids, journal, &fresh, rc)
 }
 
 /// Re-opens an existing journal and runs every unit it has no record of.
@@ -123,16 +125,23 @@ pub fn run(
 pub fn resume(journal_path: &Path, rc: &RunnerConfig) -> Result<RunSummary, JobError> {
     let contents = journal::read(journal_path)?;
     let tasks = contents.header.spec.resolve()?;
-    let stems = stem_counts(&tasks)?;
+    let engines = build_engines(&tasks)?;
+    let stem_ids: Vec<Vec<fires_netlist::LineId>> = engines.iter().map(|e| e.stems()).collect();
+    let stems: Vec<usize> = stem_ids.iter().map(Vec::len).collect();
     journal::verify_header(&contents.header, &tasks, &stems)?;
     let journal = Journal::append_to(journal_path)?;
-    execute(&tasks, &stems, journal, &contents, rc)
+    execute(&engines, &stem_ids, journal, &contents, rc)
 }
 
-fn stem_counts(tasks: &[ResolvedTask]) -> Result<Vec<usize>, JobError> {
+/// Builds one [`Fires`] engine per resolved task, in task order.
+///
+/// Engine setup is the expensive part of a campaign's fixed cost, so the
+/// runner, [`report`](crate::report) and [`merge`](crate::merge::merge)
+/// all build the engines exactly once and share them.
+pub fn build_engines(tasks: &[ResolvedTask]) -> Result<Vec<Fires<'_>>, JobError> {
     tasks
         .iter()
-        .map(|t| Ok(Fires::try_new(&t.circuit, t.config)?.stems().len()))
+        .map(|t| Ok(Fires::try_new(&t.circuit, t.config)?))
         .collect()
 }
 
@@ -157,8 +166,8 @@ thread_local! {
 }
 
 fn execute(
-    tasks: &[ResolvedTask],
-    stems: &[usize],
+    engines: &[Fires],
+    stem_ids: &[Vec<fires_netlist::LineId>],
     journal: Journal,
     prior: &JournalContents,
     rc: &RunnerConfig,
@@ -167,17 +176,12 @@ fn execute(
     let done = prior.done();
     // The full deterministic unit list; `done` units are skipped at
     // claim time so indices stay identical across run and resume.
-    let units: Vec<(usize, usize)> = stems
+    let units: Vec<(usize, usize)> = stem_ids
         .iter()
         .enumerate()
-        .flat_map(|(t, &n)| (0..n).map(move |s| (t, s)))
+        .flat_map(|(t, ids)| (0..ids.len()).map(move |s| (t, s)))
         .collect();
     let skipped = units.iter().filter(|u| done.contains(u)).count();
-    let engines: Vec<Fires> = tasks
-        .iter()
-        .map(|t| Fires::try_new(&t.circuit, t.config))
-        .collect::<Result<_, CoreError>>()?;
-    let stem_ids: Vec<Vec<fires_netlist::LineId>> = engines.iter().map(|e| e.stems()).collect();
 
     let cursor = AtomicUsize::new(0);
     let budget = AtomicUsize::new(rc.max_units.unwrap_or(usize::MAX));
@@ -387,6 +391,34 @@ mod tests {
         assert_eq!(second.skipped, 3);
         assert!(second.complete());
         assert_eq!(second.executed, first.remaining);
+    }
+
+    #[test]
+    fn resume_after_a_torn_final_line_leaves_a_clean_journal() {
+        let path = temp("torn-resume");
+        let rc = RunnerConfig {
+            max_units: Some(2),
+            ..Default::default()
+        };
+        run(&small_spec(), &path, &rc).unwrap();
+        // Simulate a kill mid-append: half a record, no newline.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"kind\":\"unit\",\"task\":0,\"ste").unwrap();
+        drop(f);
+        let summary = resume(&path, &RunnerConfig::default()).unwrap();
+        assert!(summary.complete());
+        assert_eq!(summary.skipped, 2);
+        // Every later read must succeed: the fragment is gone, not glued
+        // to the first resumed record.
+        let contents = read(&path).unwrap();
+        assert!(!contents.torn);
+        let total: usize = contents.header.tasks.iter().map(|t| t.stems).sum();
+        assert_eq!(contents.units.len(), total);
+        crate::report(&path).unwrap();
     }
 
     #[test]

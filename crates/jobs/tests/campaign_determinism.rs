@@ -46,7 +46,10 @@ fn thread_count_does_not_change_the_report() {
 fn kill_and_resume_matches_uninterrupted_at_every_cut() {
     let spec = CampaignSpec::from_circuits("cut", ["s27", "fig3"]);
     let baseline = uninterrupted(&spec, "cut-base", 1);
-    // Total units is small (a handful of stems); cut at every point.
+    // Total units is small (a handful of stems); cut at every point. A
+    // real SIGKILL usually lands mid-append, so leave a torn record
+    // fragment after every cut — resume must repair it, and the final
+    // journal must read back clean.
     for cut in 0..8 {
         let path = temp_journal(&format!("cut-{cut}"));
         let first = run(
@@ -59,6 +62,14 @@ fn kill_and_resume_matches_uninterrupted_at_every_cut() {
         )
         .unwrap();
         assert_eq!(first.executed, cut.min(first.executed + first.remaining));
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"kind\":\"unit\",\"task\":0,\"ste").unwrap();
+        }
         let second = resume(&path, &RunnerConfig::default()).unwrap();
         assert!(second.complete());
         assert_eq!(second.skipped, first.executed);
