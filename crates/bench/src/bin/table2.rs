@@ -12,16 +12,19 @@
 //!
 //! Run with `cargo run --release -p fires-bench --bin table2`.
 //! Pass circuit names as arguments to restrict the rows,
-//! `--threads N|auto` to size the worker pool, and `--json <path>` to
-//! also write a machine-readable run report.
+//! `--threads N|auto` to size the worker pool, `--step-budget N` /
+//! `--retries N` to bound per-stem effort and retry panicked units
+//! (DESIGN.md §10), and `--json <path>` to also write a
+//! machine-readable run report.
 
-use fires_bench::{jobs_campaign, json_row, JsonOut, Threads};
+use fires_bench::{jobs_campaign_tuned, json_row, CampaignTuning, JsonOut, Threads};
 use fires_circuits::suite::table2_suite;
 use fires_obs::{Json, RunReport};
 
 fn main() {
     let (json, mut filter) = JsonOut::from_env();
     let threads = Threads::extract(&mut filter).count();
+    let tuning = CampaignTuning::extract(&mut filter);
     let suite = table2_suite();
     let names: Vec<&str> = suite
         .iter()
@@ -33,8 +36,10 @@ fn main() {
         std::process::exit(2);
     }
 
-    let (unvalidated, journal_u) = jobs_campaign("table2-unval", &names, false, None, threads);
-    let (validated, journal_v) = jobs_campaign("table2-val", &names, true, None, threads);
+    let (unvalidated, journal_u) =
+        jobs_campaign_tuned("table2-unval", &names, false, None, threads, tuning);
+    let (validated, journal_v) =
+        jobs_campaign_tuned("table2-val", &names, true, None, threads, tuning);
 
     let mut rr = RunReport::new("table2", "suite");
     let mut rows = Vec::new();

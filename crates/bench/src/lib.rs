@@ -41,6 +41,63 @@ pub fn run_fires(circuit: &Circuit, config: FiresConfig, threads: usize) -> Fire
     }
 }
 
+/// Bounded-effort knobs the table binaries forward to their campaigns
+/// (failure model in DESIGN.md §10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CampaignTuning {
+    /// Per-stem implication-step budget; over-budget stems are journaled
+    /// as `exhausted` and excluded from result claims. `None` runs
+    /// unbudgeted.
+    pub step_budget: Option<u64>,
+    /// How often a panicked unit is re-run before quarantine.
+    pub retries: u32,
+}
+
+impl CampaignTuning {
+    /// Removes `--step-budget N` and `--retries N` flags from `args`,
+    /// leaving positional arguments in place (same idiom as
+    /// [`Threads::extract`]).
+    pub fn extract(args: &mut Vec<String>) -> CampaignTuning {
+        let step_budget =
+            extract_flag(args, "--step-budget").map(|v| parse_or_die(&v, "--step-budget"));
+        let retries = extract_flag(args, "--retries").map_or(0, |v| parse_or_die(&v, "--retries"));
+        CampaignTuning {
+            step_budget,
+            retries,
+        }
+    }
+}
+
+fn extract_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix(&prefix) {
+            value = Some(v.to_string());
+            args.remove(i);
+        } else if args[i] == flag {
+            args.remove(i);
+            if i < args.len() {
+                value = Some(args.remove(i));
+            } else {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    value
+}
+
+fn parse_or_die<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a number, got {value:?}");
+        std::process::exit(2);
+    })
+}
+
 /// Runs the named circuits as a `fires-jobs` campaign and returns the
 /// merged report. This is how the table binaries drive their FIRES
 /// stage: per-stem work units, panic isolation and an on-disk journal —
@@ -56,10 +113,30 @@ pub fn jobs_campaign(
     frames: Option<usize>,
     threads: usize,
 ) -> (CampaignReport, std::path::PathBuf) {
+    jobs_campaign_tuned(
+        name,
+        circuits,
+        validate,
+        frames,
+        threads,
+        CampaignTuning::default(),
+    )
+}
+
+/// [`jobs_campaign`] with explicit bounded-effort tuning.
+pub fn jobs_campaign_tuned(
+    name: &str,
+    circuits: &[&str],
+    validate: bool,
+    frames: Option<usize>,
+    threads: usize,
+    tuning: CampaignTuning,
+) -> (CampaignReport, std::path::PathBuf) {
     let mut spec = CampaignSpec::from_circuits(name, circuits.iter().copied());
     for t in &mut spec.tasks {
         t.validate = validate;
         t.frames = frames;
+        t.step_budget = tuning.step_budget;
     }
     let dir = std::env::temp_dir().join(format!("fires-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
@@ -69,6 +146,7 @@ pub fn jobs_campaign(
     let _ = std::fs::remove_file(&journal);
     let rc = RunnerConfig {
         threads,
+        retries: tuning.retries,
         ..Default::default()
     };
     let summary = fires_jobs::run(&spec, &journal, &rc)
@@ -77,10 +155,13 @@ pub fn jobs_campaign(
         summary.complete(),
         "campaign {name:?} left units unprocessed"
     );
-    if summary.panicked + summary.timed_out > 0 {
+    if summary.panicked + summary.timed_out + summary.exhausted > 0 {
         eprintln!(
-            "warning: campaign {name:?}: {} unit(s) failed; see {}",
-            summary.panicked + summary.timed_out,
+            "warning: campaign {name:?}: {} unit(s) degraded ({} panicked, {} timed out, {} exhausted); see {}",
+            summary.panicked + summary.timed_out + summary.exhausted,
+            summary.panicked,
+            summary.timed_out,
+            summary.exhausted,
             journal.display()
         );
     }

@@ -7,6 +7,7 @@ use std::collections::{HashMap, VecDeque};
 use fires_netlist::{graph, Circuit, GateKind, LineGraph, LineId, LineKind, NodeId};
 
 use crate::cancel::CancelToken;
+use crate::guard::{BudgetMeter, ExhaustionReason};
 use crate::instrument::core_event;
 use crate::window::{Frame, Window};
 use crate::FiresConfig;
@@ -185,6 +186,9 @@ pub struct Implications<'c> {
     truncated: bool,
     cancel: CancelToken,
     interrupted: bool,
+    meter: BudgetMeter,
+    exhausted: Option<ExhaustionReason>,
+    indicator_bytes: usize,
     stats: EngineStats,
     local_cache: DistCache,
 }
@@ -207,6 +211,9 @@ impl<'c> Implications<'c> {
             truncated: false,
             cancel: CancelToken::never(),
             interrupted: false,
+            meter: BudgetMeter::default(),
+            exhausted: None,
+            indicator_bytes: 0,
             stats: EngineStats::default(),
             local_cache: DistCache::new(),
         };
@@ -289,6 +296,36 @@ impl<'c> Implications<'c> {
         self.interrupted
     }
 
+    /// Installs the budget meter polled by both fixpoint loops; see
+    /// [`Budget`](crate::Budget). The same meter is handed from process to
+    /// process via [`take_meter`](Self::take_meter) so cumulative limits
+    /// (steps, wall clock) span the whole stem.
+    pub(crate) fn set_meter(&mut self, meter: BudgetMeter) {
+        self.meter = meter;
+    }
+
+    /// Removes the budget meter (for handing to the stem's other process),
+    /// leaving an unlimited one behind.
+    pub(crate) fn take_meter(&mut self) -> BudgetMeter {
+        std::mem::take(&mut self.meter)
+    }
+
+    /// The budget limit that stopped this process early, if any. Unlike
+    /// [`interrupted`](Self::interrupted), an exhausted process's
+    /// indicators are sound and kept — they are merely *incomplete*, so
+    /// they must not back redundancy claims.
+    pub fn exhausted(&self) -> Option<ExhaustionReason> {
+        self.exhausted
+    }
+
+    /// Estimated bytes of indicator storage (marks, derivation parents,
+    /// blame sets) allocated so far. Tracked incrementally and
+    /// deterministically; compared against
+    /// [`Budget::max_indicator_bytes`](crate::Budget).
+    pub fn indicator_bytes(&self) -> usize {
+        self.indicator_bytes
+    }
+
     /// Hot-path counters accumulated so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
@@ -319,8 +356,31 @@ impl<'c> Implications<'c> {
                     break;
                 }
             }
+            if self.budget_tripped() {
+                self.queue.clear();
+                break;
+            }
             self.process_mark(id);
         }
+    }
+
+    /// Per-step budget poll shared by both fixpoint loops. Free when the
+    /// budget is unlimited; with a limit set it is checked *every* step so
+    /// tiny budgets trip at a deterministic, exact point. On a trip the
+    /// caller stops deriving and keeps everything derived so far.
+    #[inline]
+    fn budget_tripped(&mut self) -> bool {
+        if self.meter.is_unlimited() {
+            return false;
+        }
+        let queued = self.queue.len() + self.uqueue.len();
+        if let Some(reason) = self.meter.exceeded(queued, self.indicator_bytes) {
+            self.exhausted = Some(reason);
+            core_event!("core.budget_exhausted", reason = reason.as_str());
+            return true;
+        }
+        self.meter.note_step();
+        false
     }
 
     fn add_mark(
@@ -355,6 +415,11 @@ impl<'c> Implications<'c> {
             .iter()
             .map(|p| self.marks[p.index()].min_frame)
             .fold(frame, Frame::min);
+        // Deterministic footprint estimate: the mark record, its parent
+        // list, and its slot in the (line, frame) index.
+        self.indicator_bytes += std::mem::size_of::<Mark>()
+            + parents.len() * std::mem::size_of::<MarkId>()
+            + std::mem::size_of::<((LineId, Frame), [Option<MarkId>; 2])>();
         let id = MarkId(self.marks.len() as u32);
         self.marks.push(Mark {
             line,
@@ -626,6 +691,9 @@ impl<'c> Implications<'c> {
         if self.interrupted {
             return; // uncontrollability was cut short; don't build on it
         }
+        if self.exhausted.is_some() {
+            return; // over budget: stop deriving, keep what exists
+        }
         self.seed_blocked_pins();
         self.seed_dangling_lines();
         let mut since_poll = 0u32;
@@ -638,6 +706,10 @@ impl<'c> Implications<'c> {
                     self.uqueue.clear();
                     break;
                 }
+            }
+            if self.budget_tripped() {
+                self.uqueue.clear();
+                break;
             }
             self.process_unobs(line, frame, cache);
         }
@@ -709,6 +781,8 @@ impl<'c> Implications<'c> {
         let mut blame = blame;
         blame.sort_unstable();
         blame.dedup();
+        self.indicator_bytes += std::mem::size_of::<((LineId, Frame), UnobsInfo)>()
+            + blame.len() * std::mem::size_of::<MarkId>();
         self.unobs.insert((line, frame), UnobsInfo { blame });
         self.uqueue.push_back((line, frame));
         self.stats.max_unobs_queue_depth = self.stats.max_unobs_queue_depth.max(self.uqueue.len());
@@ -1128,5 +1202,60 @@ mod tests {
     #[test]
     fn run_helper_compiles() {
         let _ = run("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n", "a", Unc::Zero, 1);
+    }
+
+    #[test]
+    fn step_budget_exhausts_deterministically() {
+        use crate::guard::Budget;
+        // A feedback counter generates plenty of fixpoint steps.
+        let src = "INPUT(en)\nOUTPUT(q)\nq = DFF(t)\nt = AND(q, en)\n";
+        let cc = bench::parse(src).unwrap();
+        let lg = LineGraph::build(&cc);
+        let run_with = |steps: u64| {
+            let mut i = Implications::new(&cc, &lg, FiresConfig::with_max_frames(8));
+            i.set_meter(BudgetMeter::new(Budget::unlimited().with_max_steps(steps)));
+            i.assume(lg.stem_of(cc.find("en").unwrap()), Unc::One);
+            i.propagate();
+            (i.exhausted(), i.marks().len())
+        };
+        let (reason, marks) = run_with(2);
+        assert_eq!(reason, Some(ExhaustionReason::Steps));
+        assert!(marks >= 1, "partial marks are kept");
+        // Same budget twice: byte-identical partial state.
+        assert_eq!(run_with(2), (reason, marks));
+        // A generous budget never trips on this tiny circuit.
+        let (reason, _) = run_with(1_000_000);
+        assert_eq!(reason, None);
+    }
+
+    #[test]
+    fn memory_budget_exhausts_and_keeps_partials() {
+        use crate::guard::Budget;
+        let src = "INPUT(en)\nOUTPUT(q)\nq = DFF(t)\nt = AND(q, en)\n";
+        let cc = bench::parse(src).unwrap();
+        let lg = LineGraph::build(&cc);
+        let mut i = Implications::new(&cc, &lg, FiresConfig::with_max_frames(8));
+        i.set_meter(BudgetMeter::new(
+            Budget::unlimited().with_max_indicator_bytes(std::mem::size_of::<Mark>()),
+        ));
+        i.assume(lg.stem_of(cc.find("en").unwrap()), Unc::One);
+        i.propagate();
+        assert_eq!(i.exhausted(), Some(ExhaustionReason::IndicatorMemory));
+        assert!(!i.marks().is_empty());
+        assert!(i.indicator_bytes() >= std::mem::size_of::<Mark>());
+    }
+
+    #[test]
+    fn unlimited_meter_changes_nothing() {
+        let src = "INPUT(en)\nOUTPUT(q)\nq = DFF(t)\nt = AND(q, en)\n";
+        let cc = bench::parse(src).unwrap();
+        let lg = LineGraph::build(&cc);
+        let baseline = imp(&cc, &lg, "en", Unc::One, 8);
+        let mut metered = Implications::new(&cc, &lg, FiresConfig::with_max_frames(8));
+        metered.set_meter(BudgetMeter::default());
+        metered.assume(lg.stem_of(cc.find("en").unwrap()), Unc::One);
+        metered.propagate();
+        assert_eq!(metered.exhausted(), None);
+        assert_eq!(metered.marks().len(), baseline.marks().len());
     }
 }

@@ -8,6 +8,7 @@ use crate::cancel::CancelToken;
 use crate::config::ProgressEvent;
 use crate::engine::{DistCache, Implications, MarkId, Unc};
 use crate::error::CoreError;
+use crate::guard::{Budget, BudgetMeter, ExhaustionReason};
 use crate::instrument::{core_span, PhaseClock, PhaseTimes, RunMetrics};
 use crate::report::{merge_candidate, FiresReport, IdentifiedFault, ProcessTrace};
 use crate::window::Frame;
@@ -36,16 +37,41 @@ pub(crate) mod phase {
 /// Not `Send` (the closures are `Rc`-shared); give each worker thread its
 /// own. After catching a panic from `run_stem`, drop the context and start
 /// a fresh one — a cache mid-mutation at unwind time must not be reused.
+///
+/// The context also carries the [`Budget`] applied to each
+/// [`Fires::run_stem`] call (unlimited by default). Budgets bound *effort*,
+/// not results: two runs of the same stem under the same budget produce
+/// identical outcomes, cache reuse included.
 #[derive(Default)]
 pub struct StemCtx {
     cache: DistCache,
     forced: ForcedCache,
+    budget: Budget,
 }
 
 impl StemCtx {
-    /// Creates an empty context.
+    /// Creates an empty context with an unlimited budget.
     pub fn new() -> Self {
         StemCtx::default()
+    }
+
+    /// Creates an empty context that applies `budget` to every
+    /// [`Fires::run_stem`] call made through it.
+    pub fn with_budget(budget: Budget) -> Self {
+        StemCtx {
+            budget,
+            ..StemCtx::default()
+        }
+    }
+
+    /// Replaces the per-stem budget.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The budget applied to each stem run through this context.
+    pub fn budget(&self) -> Budget {
+        self.budget
     }
 }
 
@@ -72,11 +98,18 @@ pub struct StemFindings {
     pub metrics: RunMetrics,
     /// Per-phase wall-clock breakdown for this stem.
     pub phase_times: PhaseTimes,
+    /// `Some` when a [`Budget`] limit stopped this stem's implication work
+    /// early. The faults above are then *partial and non-final*: sound
+    /// indicators, but an incomplete fault-set intersection —
+    /// [`Fires::assemble_report`] excludes them from the merged redundancy
+    /// claims, and so must any other consumer (`fires-jobs` journals such
+    /// units as `exhausted`).
+    pub exhausted: Option<ExhaustionReason>,
 }
 
 /// Per-stem statistics from a detailed run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct StemOutcome {
+pub struct StemStats {
     /// The processed stem.
     pub stem: LineId,
     /// Faults this stem's conflict identified (before global dedup).
@@ -85,6 +118,58 @@ pub struct StemOutcome {
     pub marks: usize,
     /// Frames spanned by the wider of the two processes.
     pub frames_used: usize,
+}
+
+/// What [`Fires::run_stem`] produced for one stem: either complete
+/// findings, or partial findings cut short by the [`Budget`] carried in
+/// the [`StemCtx`]. Exhaustion is the graceful-degradation path — unlike
+/// [`CoreError::Interrupted`] it is not an error, and unlike a plain
+/// truncation the partial faults must not back redundancy claims.
+#[derive(Clone, Debug)]
+pub enum StemOutcome {
+    /// The stem ran to fixpoint within budget; findings are final.
+    Complete(StemFindings),
+    /// A budget limit tripped. `partial` holds everything derived before
+    /// the trip (already flagged via
+    /// [`StemFindings::exhausted`]); sound but non-final.
+    Exhausted {
+        /// The partial findings (kept, flagged non-final).
+        partial: StemFindings,
+        /// Which limit tripped.
+        reason: ExhaustionReason,
+    },
+}
+
+impl StemOutcome {
+    /// The findings, complete or partial.
+    pub fn findings(&self) -> &StemFindings {
+        match self {
+            StemOutcome::Complete(f) => f,
+            StemOutcome::Exhausted { partial, .. } => partial,
+        }
+    }
+
+    /// Consumes the outcome, returning the findings (which still carry
+    /// the exhaustion flag when partial).
+    pub fn into_findings(self) -> StemFindings {
+        match self {
+            StemOutcome::Complete(f) => f,
+            StemOutcome::Exhausted { partial, .. } => partial,
+        }
+    }
+
+    /// `true` for [`StemOutcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, StemOutcome::Complete(_))
+    }
+
+    /// The tripped budget limit, if any.
+    pub fn exhaustion(&self) -> Option<ExhaustionReason> {
+        match self {
+            StemOutcome::Complete(_) => None,
+            StemOutcome::Exhausted { reason, .. } => Some(*reason),
+        }
+    }
 }
 
 /// The FIRES algorithm: fault-independent identification of c-cycle
@@ -171,14 +256,16 @@ impl<'c> Fires<'c> {
         self.lines.fanout_stems(self.circuit).collect()
     }
 
-    /// Processes a single fanout stem: the resumable, cancellable unit of
-    /// work underlying campaign orchestration.
+    /// Processes a single fanout stem: the resumable, cancellable,
+    /// budget-bounded unit of work underlying campaign orchestration.
     ///
-    /// The result is a deterministic function of (circuit, config, stem):
-    /// independent of which thread runs it, of `ctx` reuse, and of any
-    /// other stem. `cancel` is polled at fixpoint-loop granularity; when
-    /// it fires the partial work is discarded and
-    /// [`CoreError::Interrupted`] is returned.
+    /// The result is a deterministic function of (circuit, config, stem,
+    /// [`StemCtx::budget`]): independent of which thread runs it, of `ctx`
+    /// cache reuse, and of any other stem. `cancel` is polled at
+    /// fixpoint-loop granularity; when it fires the partial work is
+    /// discarded and [`CoreError::Interrupted`] is returned. A tripped
+    /// budget, by contrast, is a success value: the partial findings come
+    /// back in [`StemOutcome::Exhausted`], kept but flagged non-final.
     ///
     /// # Errors
     ///
@@ -190,7 +277,7 @@ impl<'c> Fires<'c> {
         stem: LineId,
         ctx: &mut StemCtx,
         cancel: &CancelToken,
-    ) -> Result<StemFindings, CoreError> {
+    ) -> Result<StemOutcome, CoreError> {
         let is_fanout_stem = stem.index() < self.lines.num_lines() && {
             let line = self.lines.line(stem);
             line.is_stem() && !line.branches().is_empty()
@@ -201,11 +288,11 @@ impl<'c> Fires<'c> {
         let mut clock = PhaseClock::start();
         let mut metrics = RunMetrics::new();
         let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
-        let (found, marks, frames) =
+        let (found, marks, frames, exhausted) =
             self.process_stem(stem, ctx, &mut best, &mut metrics, &mut clock, cancel)?;
         let mut faults: Vec<IdentifiedFault> = best.into_values().collect();
         faults.sort_by_key(|f| (f.fault.line, f.fault.stuck));
-        Ok(StemFindings {
+        let findings = StemFindings {
             stem,
             faults,
             faults_found: found,
@@ -213,6 +300,14 @@ impl<'c> Fires<'c> {
             frames_used: frames,
             metrics,
             phase_times: clock.finish(),
+            exhausted,
+        };
+        Ok(match exhausted {
+            None => StemOutcome::Complete(findings),
+            Some(reason) => StemOutcome::Exhausted {
+                partial: findings,
+                reason,
+            },
         })
     }
 
@@ -221,6 +316,11 @@ impl<'c> Fires<'c> {
     /// [`FiresReport`]. The merge uses [`IdentifiedFault::wins_over`], so
     /// the identified-fault list is byte-identical however the findings
     /// were partitioned — the property `fires-jobs` builds on.
+    ///
+    /// Findings flagged [`exhausted`](StemFindings::exhausted) contribute
+    /// their statistics (marks, frames, metrics) but **never** their
+    /// faults: a budget-cut stem's fault sets are non-final and must not
+    /// back the report's redundancy claims.
     pub fn assemble_report(&self, findings: Vec<StemFindings>) -> FiresReport<'c> {
         let mut clock = PhaseClock::start();
         let mut metrics = RunMetrics::new();
@@ -234,6 +334,10 @@ impl<'c> Fires<'c> {
             metrics.merge(&f.metrics);
             for (name, d) in &f.phase_times.phases {
                 clock.add(name, *d);
+            }
+            if f.exhausted.is_some() {
+                metrics.incr("core.exhausted_stems", 1);
+                continue; // partial fault sets never enter the claims
             }
             for cand in f.faults {
                 merge_candidate(&mut best, cand);
@@ -262,7 +366,7 @@ impl<'c> Fires<'c> {
     }
 
     /// Runs the algorithm, additionally returning per-stem statistics.
-    pub fn run_detailed(&self) -> (FiresReport<'c>, Vec<StemOutcome>) {
+    pub fn run_detailed(&self) -> (FiresReport<'c>, Vec<StemStats>) {
         let mut clock = PhaseClock::start();
         let mut metrics = RunMetrics::new();
         let mut ctx = StemCtx::new();
@@ -273,12 +377,12 @@ impl<'c> Fires<'c> {
         let mut max_frames = 1usize;
         let stems: Vec<LineId> = self.stems();
         for (done, &stem) in stems.iter().enumerate() {
-            let (found, marks, frames) = self
+            let (found, marks, frames, _) = self
                 .process_stem(stem, &mut ctx, &mut best, &mut metrics, &mut clock, &never)
                 .unwrap_or_else(|_| unreachable!("never-cancelled run cannot be interrupted"));
             marks_total += marks;
             max_frames = max_frames.max(frames);
-            outcomes.push(StemOutcome {
+            outcomes.push(StemStats {
                 stem,
                 faults_found: found,
                 marks,
@@ -355,7 +459,7 @@ impl<'c> Fires<'c> {
                         let mut marks = 0usize;
                         let mut frames = 1usize;
                         for &stem in part {
-                            let (found, m, f) = self
+                            let (found, m, f, _) = self
                                 .process_stem(
                                     stem,
                                     &mut ctx,
@@ -463,12 +567,16 @@ impl<'c> Fires<'c> {
 
     /// Runs both implication processes for one stem and folds the
     /// identified faults into `best` via [`merge_candidate`]. Returns
-    /// `(faults_found, marks, frames_used)`.
+    /// `(faults_found, marks, frames_used, exhausted)`.
     ///
     /// Interruption discards all partial work for the stem: `best` is only
     /// updated on the `Ok` path, so a caller that maps
     /// [`CoreError::Interrupted`] to "unit timed out" never sees
-    /// half-validated faults.
+    /// half-validated faults. Budget exhaustion is different: the partial
+    /// faults *are* folded into `best` (the caller keeps and flags them),
+    /// so callers that share one `best` across stems — the whole-run entry
+    /// points — must run with an unlimited budget, which they do by
+    /// constructing their own [`StemCtx`].
     #[allow(clippy::too_many_arguments)]
     fn process_stem(
         &self,
@@ -478,7 +586,7 @@ impl<'c> Fires<'c> {
         metrics: &mut RunMetrics,
         clock: &mut PhaseClock,
         cancel: &CancelToken,
-    ) -> Result<(usize, usize, usize), CoreError> {
+    ) -> Result<(usize, usize, usize, Option<ExhaustionReason>), CoreError> {
         let _span = core_span!("core.stem", stem = stem.index());
         let interrupted = || CoreError::Interrupted { stem };
         // Upfront check so a token that fired before this unit started
@@ -487,26 +595,40 @@ impl<'c> Fires<'c> {
         if cancel.is_cancelled() {
             return Err(interrupted());
         }
+        // One meter travels through all four fixpoints so the cumulative
+        // limits (steps, wall clock) span the stem, exactly once.
+        let mut meter = BudgetMeter::new(ctx.budget);
         clock.enter(phase::IMPLICATION);
         let mut p0 = Implications::new(self.circuit, &self.lines, self.config);
         p0.set_cancel(cancel.clone());
+        p0.set_meter(meter);
         p0.assume(stem, Unc::Zero);
         p0.run_uncontrollability();
+        meter = p0.take_meter();
         let mut p1 = Implications::new(self.circuit, &self.lines, self.config);
         p1.set_cancel(cancel.clone());
+        p1.set_meter(meter);
         p1.assume(stem, Unc::One);
         p1.run_uncontrollability();
+        meter = p1.take_meter();
         if p0.interrupted() || p1.interrupted() {
             clock.exit();
             return Err(interrupted());
         }
         clock.enter(phase::UNOBSERVABILITY);
+        p0.set_meter(meter);
         p0.run_unobservability(&mut ctx.cache);
+        meter = p0.take_meter();
+        p1.set_meter(meter);
         p1.run_unobservability(&mut ctx.cache);
+        let _ = p1.take_meter();
         if p0.interrupted() || p1.interrupted() {
             clock.exit();
             return Err(interrupted());
         }
+        // Exhaustion stops *derivation*; the assembly below is linear in
+        // the (now bounded) derived indicators, so it always completes.
+        let exhausted = p0.exhausted().or_else(|| p1.exhausted());
 
         clock.enter(phase::VALIDATION);
         let Some(s0) = self.collect_fault_sets(&p0, &mut ctx.forced, metrics, cancel) else {
@@ -526,6 +648,7 @@ impl<'c> Fires<'c> {
             "core.truncated_processes",
             u64::from(p0.truncated()) + u64::from(p1.truncated()),
         );
+        metrics.incr("core.exhausted_stems", u64::from(exhausted.is_some()));
         metrics.observe("core.stem_marks", marks as u64);
         for stats in [p0.stats(), p1.stats()] {
             metrics.incr(
@@ -562,7 +685,7 @@ impl<'c> Fires<'c> {
         }
         clock.exit();
         metrics.incr("core.faults_found", found as u64);
-        Ok((found, marks, frames))
+        Ok((found, marks, frames, exhausted))
     }
 
     /// Section 5.2: assemble the per-frame fault sets `S_v^i` from the
@@ -1099,7 +1222,11 @@ mod tests {
         let findings: Vec<StemFindings> = fires
             .stems()
             .into_iter()
-            .map(|s| fires.run_stem(s, &mut ctx, &never).unwrap())
+            .map(|s| {
+                let outcome = fires.run_stem(s, &mut ctx, &never).unwrap();
+                assert!(outcome.is_complete(), "unlimited budget never exhausts");
+                outcome.into_findings()
+            })
             .collect();
         let report = fires.assemble_report(findings);
         assert_eq!(report.display_faults(), whole.display_faults());
@@ -1111,7 +1238,12 @@ mod tests {
             .stems()
             .into_iter()
             .rev()
-            .map(|s| fires.run_stem(s, &mut StemCtx::new(), &never).unwrap())
+            .map(|s| {
+                fires
+                    .run_stem(s, &mut StemCtx::new(), &never)
+                    .unwrap()
+                    .into_findings()
+            })
             .collect();
         let report2 = fires.assemble_report(reversed);
         assert_eq!(report2.redundant_faults(), report.redundant_faults());
@@ -1145,8 +1277,69 @@ mod tests {
         token.cancel();
         match fires.run_stem(stem, &mut StemCtx::new(), &token) {
             Err(crate::CoreError::Interrupted { stem: s }) => assert_eq!(s, stem),
-            other => panic!("expected interruption, got {:?}", other.map(|f| f.faults)),
+            other => panic!(
+                "expected interruption, got {:?}",
+                other.map(|o| o.into_findings().faults)
+            ),
         }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_a_stem_and_keeps_partials() {
+        // The counter-style feedback circuit generates enough fixpoint
+        // steps to blow a deliberately tiny step budget.
+        let circuit = bench::parse(
+            "INPUT(en)\nOUTPUT(po)\nq0 = DFF(t0)\nt0 = AND(q0, en)\n\
+             n0 = NOT(q0)\nq1 = DFF(t1)\nt1 = AND(q1, n0)\npo = OR(q0, q1)\n",
+        )
+        .unwrap();
+        let fires = Fires::new(&circuit, FiresConfig::with_max_frames(8));
+        let stem = fires.stems()[0];
+        let never = CancelToken::never();
+        let mut ctx = StemCtx::with_budget(Budget::unlimited().with_max_steps(3));
+        let outcome = fires.run_stem(stem, &mut ctx, &never).unwrap();
+        let StemOutcome::Exhausted { partial, reason } = outcome else {
+            panic!("3-step budget must exhaust this stem");
+        };
+        assert_eq!(reason, ExhaustionReason::Steps);
+        assert_eq!(partial.exhausted, Some(ExhaustionReason::Steps));
+        assert!(partial.marks >= 2, "the two assumptions survive");
+        // Same budget, fresh context: identical partial outcome.
+        let mut ctx2 = StemCtx::with_budget(Budget::unlimited().with_max_steps(3));
+        let again = fires.run_stem(stem, &mut ctx2, &never).unwrap();
+        assert_eq!(again.exhaustion(), Some(ExhaustionReason::Steps));
+        assert_eq!(again.findings().marks, partial.marks);
+        assert_eq!(again.findings().faults, partial.faults);
+        // A generous budget completes and reports no exhaustion.
+        let mut ctx3 = StemCtx::with_budget(Budget::unlimited().with_max_steps(1_000_000));
+        assert!(fires
+            .run_stem(stem, &mut ctx3, &never)
+            .unwrap()
+            .is_complete());
+    }
+
+    #[test]
+    fn exhausted_findings_never_contribute_to_the_report() {
+        let circuit = bench::parse("INPUT(a)\nOUTPUT(z)\nn = NOT(a)\nz = AND(a, n)\n").unwrap();
+        let fires = Fires::new(&circuit, FiresConfig::default());
+        let never = CancelToken::never();
+        let stem = fires.stems()[0];
+        let complete = fires
+            .run_stem(stem, &mut StemCtx::new(), &never)
+            .unwrap()
+            .into_findings();
+        assert!(!complete.faults.is_empty(), "test needs identified faults");
+        // Forge an exhausted copy of the same findings: the merge must
+        // drop its faults but keep its statistics.
+        let mut partial = complete.clone();
+        partial.exhausted = Some(ExhaustionReason::Steps);
+        let report = fires.assemble_report(vec![partial]);
+        assert!(report.is_empty(), "{:?}", report.display_faults());
+        assert_eq!(report.stems_processed(), 1);
+        assert_eq!(report.marks_created(), complete.marks);
+        // The complete findings still merge as before.
+        let report = fires.assemble_report(vec![complete.clone()]);
+        assert_eq!(report.len(), complete.faults.len());
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! The `fires-guard` layer: resource budgets and graceful degradation
+//! for stem-granular FIRES work.
+//!
+//! The paper bounds FIRES effort by the `T_M` frame window because
+//! implication cost varies wildly per stem; the existing `mark_budget`
+//! and `blame_cap` bound *space*. A [`Budget`] closes the remaining
+//! gaps: it bounds the *effort* (fixpoint steps), the *live footprint*
+//! (queued implications, allocated indicator bytes) and the *wall clock*
+//! of one stem's two implication processes, so that no single
+//! pathological stem can hang or exhaust memory.
+//!
+//! Exhaustion is not an error and not a cancellation: the engine stops
+//! deriving new indicators, keeps everything derived so far, and the
+//! driver returns [`StemOutcome::Exhausted`](crate::StemOutcome) with the
+//! partial per-frame fault sets. Partial results are *flagged non-final*
+//! ([`StemFindings::exhausted`](crate::StemFindings)) and must never
+//! contribute to the merged redundancy claims `S^i` —
+//! [`Fires::assemble_report`](crate::Fires) and the `fires-jobs` merge
+//! both enforce that.
+//!
+//! The taxonomy, for embedders:
+//!
+//! * **exhausted** — a [`Budget`] limit was hit; partial indicators are
+//!   kept but excluded from redundancy claims. Deterministic for the
+//!   step/queue/memory limits, so a re-run reproduces it byte-for-byte.
+//! * **interrupted** — a [`CancelToken`](crate::CancelToken) fired
+//!   (deadline or shutdown); all partial work is discarded.
+//! * **poisoned** — the unit panicked; a supervising runner records it
+//!   and rebuilds its caches.
+
+use std::time::{Duration, Instant};
+
+use crate::error::CoreError;
+
+/// Resource limits for one stem's implication work. `None` everywhere
+/// (the `Default`) means unlimited — the pre-guard behaviour.
+///
+/// The step and wall-clock limits are cumulative across the stem's two
+/// implication processes; the queue and indicator-byte limits bound each
+/// live process's instantaneous footprint.
+///
+/// # Example
+///
+/// ```
+/// use fires_core::Budget;
+///
+/// let b = Budget::unlimited()
+///     .with_max_steps(10_000)
+///     .with_max_queued(4_096);
+/// assert!(!b.is_unlimited());
+/// assert!(b.check().is_ok());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum fixpoint steps (queue pops) across both of the stem's
+    /// implication processes.
+    pub max_steps: Option<u64>,
+    /// Maximum implications queued by one live process (uncontrollability
+    /// and unobservability queues combined).
+    pub max_queued: Option<usize>,
+    /// Maximum bytes of indicator storage (marks, their derivation
+    /// parents, unobservability blame sets) one live process may
+    /// allocate. An estimate, tracked incrementally and deterministically.
+    pub max_indicator_bytes: Option<usize>,
+    /// Maximum wall-clock time for the stem's fixpoints, measured from
+    /// the first one's start. Unlike the other limits this one is not
+    /// deterministic across machines; prefer `max_steps` where
+    /// reproducibility matters.
+    pub wall_clock: Option<Duration>,
+}
+
+impl Budget {
+    /// The no-limit budget (same as `Default`). Polling it is free.
+    pub const fn unlimited() -> Self {
+        Budget {
+            max_steps: None,
+            max_queued: None,
+            max_indicator_bytes: None,
+            wall_clock: None,
+        }
+    }
+
+    /// `true` when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none()
+            && self.max_queued.is_none()
+            && self.max_indicator_bytes.is_none()
+            && self.wall_clock.is_none()
+    }
+
+    /// Sets the cumulative fixpoint-step limit.
+    pub fn with_max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Sets the per-process queued-implication limit.
+    pub fn with_max_queued(mut self, queued: usize) -> Self {
+        self.max_queued = Some(queued);
+        self
+    }
+
+    /// Sets the per-process indicator-byte limit.
+    pub fn with_max_indicator_bytes(mut self, bytes: usize) -> Self {
+        self.max_indicator_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the cumulative wall-clock limit.
+    pub fn with_wall_clock(mut self, budget: Duration) -> Self {
+        self.wall_clock = Some(budget);
+        self
+    }
+
+    /// Rejects degenerate budgets (a zero limit would exhaust every stem
+    /// before its assumption is recorded) with a typed error.
+    pub fn check(&self) -> Result<(), CoreError> {
+        let zero = |what: &str| CoreError::InvalidConfig {
+            message: format!("budget {what} must be at least 1 (or unset for unlimited)"),
+        };
+        if self.max_steps == Some(0) {
+            return Err(zero("max_steps"));
+        }
+        if self.max_queued == Some(0) {
+            return Err(zero("max_queued"));
+        }
+        if self.max_indicator_bytes == Some(0) {
+            return Err(zero("max_indicator_bytes"));
+        }
+        if self.wall_clock == Some(Duration::ZERO) {
+            return Err(zero("wall_clock"));
+        }
+        Ok(())
+    }
+}
+
+/// Which [`Budget`] limit stopped an exhausted stem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExhaustionReason {
+    /// [`Budget::max_steps`] was reached.
+    Steps,
+    /// [`Budget::max_queued`] was reached.
+    QueuedWork,
+    /// [`Budget::max_indicator_bytes`] was reached.
+    IndicatorMemory,
+    /// [`Budget::wall_clock`] elapsed.
+    WallClock,
+}
+
+impl ExhaustionReason {
+    /// Stable machine-readable name (journaled by `fires-jobs`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExhaustionReason::Steps => "steps",
+            ExhaustionReason::QueuedWork => "queue",
+            ExhaustionReason::IndicatorMemory => "memory",
+            ExhaustionReason::WallClock => "wall-clock",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<ExhaustionReason> {
+        match s {
+            "steps" => Some(ExhaustionReason::Steps),
+            "queue" => Some(ExhaustionReason::QueuedWork),
+            "memory" => Some(ExhaustionReason::IndicatorMemory),
+            "wall-clock" => Some(ExhaustionReason::WallClock),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExhaustionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Live accounting against one [`Budget`]: owned by whichever implication
+/// process is currently running and handed along between the stem's
+/// processes so the step and wall-clock limits stay cumulative.
+#[derive(Clone, Debug)]
+pub(crate) struct BudgetMeter {
+    budget: Budget,
+    unlimited: bool,
+    steps: u64,
+    deadline: Option<Instant>,
+}
+
+impl Default for BudgetMeter {
+    fn default() -> Self {
+        BudgetMeter::new(Budget::unlimited())
+    }
+}
+
+impl BudgetMeter {
+    /// Starts metering against `budget`; the wall clock starts now.
+    pub(crate) fn new(budget: Budget) -> Self {
+        BudgetMeter {
+            budget,
+            unlimited: budget.is_unlimited(),
+            steps: 0,
+            deadline: budget
+                .wall_clock
+                .and_then(|d| Instant::now().checked_add(d)),
+        }
+    }
+
+    /// `true` when polling can never trip (the free fast path).
+    #[inline]
+    pub(crate) fn is_unlimited(&self) -> bool {
+        self.unlimited
+    }
+
+    /// Accounts one fixpoint step (a queue pop).
+    #[inline]
+    pub(crate) fn note_step(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Fixpoint steps accounted so far.
+    #[cfg(test)]
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Checks every limit against the caller's live footprint. Returns
+    /// the first exceeded limit, in the fixed order steps, queue, memory,
+    /// wall-clock (so the reported reason is deterministic even when two
+    /// limits trip between polls).
+    pub(crate) fn exceeded(
+        &self,
+        queued: usize,
+        indicator_bytes: usize,
+    ) -> Option<ExhaustionReason> {
+        if self.unlimited {
+            return None;
+        }
+        if self.budget.max_steps.is_some_and(|m| self.steps >= m) {
+            return Some(ExhaustionReason::Steps);
+        }
+        if self.budget.max_queued.is_some_and(|m| queued >= m) {
+            return Some(ExhaustionReason::QueuedWork);
+        }
+        if self
+            .budget
+            .max_indicator_bytes
+            .is_some_and(|m| indicator_bytes >= m)
+        {
+            return Some(ExhaustionReason::IndicatorMemory);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(ExhaustionReason::WallClock);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert_eq!(b, Budget::default());
+        let mut m = BudgetMeter::new(b);
+        for _ in 0..10_000 {
+            m.note_step();
+        }
+        assert!(m.is_unlimited());
+        assert_eq!(m.exceeded(usize::MAX, usize::MAX), None);
+    }
+
+    #[test]
+    fn step_limit_trips_at_the_boundary() {
+        let mut m = BudgetMeter::new(Budget::unlimited().with_max_steps(3));
+        m.note_step();
+        m.note_step();
+        assert_eq!(m.exceeded(0, 0), None);
+        m.note_step();
+        assert_eq!(m.steps(), 3);
+        assert_eq!(m.exceeded(0, 0), Some(ExhaustionReason::Steps));
+    }
+
+    #[test]
+    fn footprint_limits_trip_on_caller_state() {
+        let m = BudgetMeter::new(Budget::unlimited().with_max_queued(10));
+        assert_eq!(m.exceeded(9, 0), None);
+        assert_eq!(m.exceeded(10, 0), Some(ExhaustionReason::QueuedWork));
+        let m = BudgetMeter::new(Budget::unlimited().with_max_indicator_bytes(64));
+        assert_eq!(m.exceeded(0, 63), None);
+        assert_eq!(m.exceeded(0, 64), Some(ExhaustionReason::IndicatorMemory));
+    }
+
+    #[test]
+    fn wall_clock_budget_trips_after_elapsing() {
+        let m = BudgetMeter::new(
+            Budget::unlimited().with_wall_clock(Duration::ZERO + Duration::from_nanos(1)),
+        );
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(m.exceeded(0, 0), Some(ExhaustionReason::WallClock));
+        let m = BudgetMeter::new(Budget::unlimited().with_wall_clock(Duration::from_secs(3600)));
+        assert_eq!(m.exceeded(0, 0), None);
+    }
+
+    #[test]
+    fn reason_order_is_deterministic() {
+        // Steps and queue both exceeded: steps is always reported.
+        let mut m = BudgetMeter::new(Budget::unlimited().with_max_steps(1).with_max_queued(1));
+        m.note_step();
+        assert_eq!(m.exceeded(5, 0), Some(ExhaustionReason::Steps));
+    }
+
+    #[test]
+    fn zero_limits_are_rejected() {
+        assert!(Budget::unlimited().check().is_ok());
+        assert!(Budget::unlimited().with_max_steps(0).check().is_err());
+        assert!(Budget::unlimited().with_max_queued(0).check().is_err());
+        assert!(Budget::unlimited()
+            .with_max_indicator_bytes(0)
+            .check()
+            .is_err());
+        assert!(Budget::unlimited()
+            .with_wall_clock(Duration::ZERO)
+            .check()
+            .is_err());
+        assert!(Budget::unlimited().with_max_steps(1).check().is_ok());
+    }
+
+    #[test]
+    fn reasons_round_trip_through_their_names() {
+        for r in [
+            ExhaustionReason::Steps,
+            ExhaustionReason::QueuedWork,
+            ExhaustionReason::IndicatorMemory,
+            ExhaustionReason::WallClock,
+        ] {
+            assert_eq!(ExhaustionReason::parse(r.as_str()), Some(r));
+            assert_eq!(r.to_string(), r.as_str());
+        }
+        assert_eq!(ExhaustionReason::parse("bogus"), None);
+    }
+}

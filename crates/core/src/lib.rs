@@ -50,6 +50,7 @@ mod envelope;
 mod error;
 mod fire;
 mod fires;
+mod guard;
 mod instrument;
 mod removal;
 mod report;
@@ -63,7 +64,8 @@ pub use error::CoreError;
 // no-op stubs with the same API (see `instrument.rs`).
 pub use envelope::{funtest_like, EnvelopeReport};
 pub use fire::{fire, FireReport};
-pub use fires::{Fires, StemCtx, StemFindings, StemOutcome};
+pub use fires::{Fires, StemCtx, StemFindings, StemOutcome, StemStats};
+pub use guard::{Budget, ExhaustionReason};
 pub use instrument::{PhaseTimes, RunMetrics};
 pub use removal::{remove_fault, remove_redundancies, sweep_constants, RemovalOutcome};
 pub use report::{FiresReport, IdentifiedFault, ProcessTrace};

@@ -3,11 +3,18 @@
 //! ```text
 //! fires run    [--suite small|table2] [--circuit NAME]... [--name N]
 //!              [--out DIR] [--threads N] [--deadline-ms MS]
-//!              [--frames N] [--no-validate] [--json]
-//! fires resume <journal> [--threads N] [--deadline-ms MS] [--json]
+//!              [--frames N] [--step-budget N] [--no-validate]
+//!              [--retries N] [--backoff-ms MS] [--json] [chaos flags]
+//! fires resume <journal> [--threads N] [--deadline-ms MS]
+//!              [--retries N] [--backoff-ms MS] [--json] [chaos flags]
 //! fires status <journal>
 //! fires report <journal> [--json]
 //! ```
+//!
+//! Chaos flags (deterministic fault injection for robustness testing):
+//! `--chaos-seed N` enables the plan; `--chaos-panic P`,
+//! `--chaos-journal P` and `--chaos-delay P` set per-mille fault rates,
+//! `--chaos-delay-ms MS` bounds an injected delay.
 //!
 //! `run` journals to `<out>/<name>.jsonl` and writes machine-readable
 //! observability reports next to it (`<name>.report.json`, one
@@ -19,7 +26,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use fires_jobs::{report, resume, run, CampaignSpec, RunSummary, RunnerConfig};
+use fires_jobs::{report, resume, run, CampaignSpec, ChaosPlan, RunSummary, RunnerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,10 +58,19 @@ const USAGE: &str = "\
 usage:
   fires run    [--suite small|table2] [--circuit NAME]... [--name N]
                [--out DIR] [--threads N] [--deadline-ms MS]
-               [--frames N] [--no-validate] [--json]
-  fires resume <journal> [--threads N] [--deadline-ms MS] [--json]
+               [--frames N] [--step-budget N] [--no-validate]
+               [--retries N] [--backoff-ms MS] [--json] [chaos flags]
+  fires resume <journal> [--threads N] [--deadline-ms MS]
+               [--retries N] [--backoff-ms MS] [--json] [chaos flags]
   fires status <journal>
-  fires report <journal> [--json]";
+  fires report <journal> [--json]
+
+chaos flags (deterministic fault injection; requires --chaos-seed):
+  --chaos-seed N       seed of every injection decision
+  --chaos-panic P      per-mille rate of injected unit panics
+  --chaos-journal P    per-mille rate of injected journal IO errors
+  --chaos-delay P      per-mille rate of injected unit delays
+  --chaos-delay-ms MS  upper bound of an injected delay";
 
 /// Pulls `--flag VALUE` out of `args`, mutating the vector.
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -95,7 +111,65 @@ fn runner_config(args: &mut Vec<String>) -> Result<RunnerConfig, String> {
     if let Some(ms) = take_value(args, "--deadline-ms")? {
         rc.stem_deadline = Some(Duration::from_millis(parse_number(&ms, "--deadline-ms")?));
     }
+    if let Some(n) = take_value(args, "--retries")? {
+        rc.retries = parse_number(&n, "--retries")?;
+    }
+    if let Some(ms) = take_value(args, "--backoff-ms")? {
+        rc.backoff = Duration::from_millis(parse_number(&ms, "--backoff-ms")?);
+    }
+    rc.chaos = chaos_plan(args)?;
     Ok(rc)
+}
+
+/// Parses the chaos flags into a plan; `None` without `--chaos-seed`.
+fn chaos_plan(args: &mut Vec<String>) -> Result<Option<ChaosPlan>, String> {
+    let seed = take_value(args, "--chaos-seed")?;
+    let panic = take_value(args, "--chaos-panic")?;
+    let journal = take_value(args, "--chaos-journal")?;
+    let delay = take_value(args, "--chaos-delay")?;
+    let delay_ms = take_value(args, "--chaos-delay-ms")?;
+    let Some(seed) = seed else {
+        if panic.is_some() || journal.is_some() || delay.is_some() || delay_ms.is_some() {
+            return Err("chaos rates need --chaos-seed".into());
+        }
+        return Ok(None);
+    };
+    let mut plan = ChaosPlan::new(parse_number(&seed, "--chaos-seed")?);
+    if let Some(p) = panic {
+        plan = plan.with_unit_panics(parse_number(&p, "--chaos-panic")?);
+    }
+    if let Some(p) = journal {
+        plan = plan.with_journal_errors(parse_number(&p, "--chaos-journal")?);
+    }
+    let rate = match delay {
+        Some(p) => parse_number(&p, "--chaos-delay")?,
+        None => 0,
+    };
+    let bound = match delay_ms {
+        Some(ms) => parse_number(&ms, "--chaos-delay-ms")?,
+        None => 2,
+    };
+    if rate > 0 {
+        plan = plan.with_delays(rate, bound);
+    }
+    Ok(Some(plan))
+}
+
+/// Writes to stdout without panicking when the reader hangs up
+/// (`fires report | head`, `| grep -q`): a closed pipe means the
+/// consumer has all it wants, so exit cleanly instead.
+fn emit(text: impl std::fmt::Display) -> Result<(), String> {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    match write!(out, "{text}").and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(format!("stdout: {e}")),
+    }
+}
+
+fn emitln(text: impl std::fmt::Display) -> Result<(), String> {
+    emit(format_args!("{text}\n"))
 }
 
 fn reject_leftovers(args: &[String]) -> Result<(), String> {
@@ -105,18 +179,27 @@ fn reject_leftovers(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn print_summary(summary: &RunSummary, journal: &Path) {
-    println!(
-        "{} unit(s) executed, {} skipped (already journaled), {} panicked, {} timed out, {} remaining",
-        summary.executed, summary.skipped, summary.panicked, summary.timed_out, summary.remaining
-    );
+fn print_summary(summary: &RunSummary, journal: &Path) -> Result<(), String> {
+    emitln(format_args!(
+        "{} unit(s) executed, {} skipped (already journaled), {} panicked, {} timed out, {} exhausted, {} retry attempt(s), {} remaining",
+        summary.executed,
+        summary.skipped,
+        summary.panicked,
+        summary.timed_out,
+        summary.exhausted,
+        summary.retried,
+        summary.remaining
+    ))?;
     if summary.complete() {
-        println!("campaign complete; journal: {}", journal.display());
+        emitln(format_args!(
+            "campaign complete; journal: {}",
+            journal.display()
+        ))
     } else {
-        println!(
+        emitln(format_args!(
             "campaign INCOMPLETE; continue with: fires resume {}",
             journal.display()
-        );
+        ))
     }
 }
 
@@ -125,17 +208,19 @@ fn print_summary(summary: &RunSummary, journal: &Path) {
 fn finish(journal: &Path, json: bool) -> Result<(), String> {
     let merged = report(journal).map_err(|e| e.to_string())?;
     if json {
-        println!("{}", merged.canonical_text());
+        emitln(merged.canonical_text())?;
     } else {
-        print!("{}", merged.render_table());
+        emit(merged.render_table())?;
     }
     let (_, campaign) = merged.run_reports();
     let report_path = journal.with_extension("report.json");
     campaign
         .write_to_file(&report_path)
         .map_err(|e| format!("{}: {e}", report_path.display()))?;
-    println!("observability report: {}", report_path.display());
-    Ok(())
+    emitln(format_args!(
+        "observability report: {}",
+        report_path.display()
+    ))
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -146,6 +231,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let out = take_value(&mut args, "--out")?.unwrap_or_else(|| "fires-out".into());
     let name = take_value(&mut args, "--name")?;
     let frames = take_value(&mut args, "--frames")?;
+    let step_budget = take_value(&mut args, "--step-budget")?;
     let no_validate = take_flag(&mut args, "--no-validate");
     let mut circuits = Vec::new();
     while let Some(c) = take_value(&mut args, "--circuit")? {
@@ -172,6 +258,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             t.frames = Some(frames);
         }
     }
+    if let Some(steps) = step_budget {
+        let steps: u64 = parse_number(&steps, "--step-budget")?;
+        for t in &mut spec.tasks {
+            t.step_budget = Some(steps);
+        }
+    }
     if no_validate {
         for t in &mut spec.tasks {
             t.validate = false;
@@ -182,7 +274,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
     let journal = out_dir.join(format!("{}.jsonl", spec.name));
     let summary = run(&spec, &journal, &rc).map_err(|e| e.to_string())?;
-    print_summary(&summary, &journal);
+    print_summary(&summary, &journal)?;
     finish(&journal, json)
 }
 
@@ -200,7 +292,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let journal = journal_arg(&mut args)?;
     reject_leftovers(&args)?;
     let summary = resume(&journal, &rc).map_err(|e| e.to_string())?;
-    print_summary(&summary, &journal);
+    print_summary(&summary, &journal)?;
     finish(&journal, json)
 }
 
@@ -211,24 +303,33 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
     let merged = report(&journal).map_err(|e| e.to_string())?;
     let mut done = 0usize;
     let mut total = 0usize;
+    emitln(format_args!(
+        "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "circuit", "ok", "poisoned", "timedout", "exhausted", "retried", "pending"
+    ))?;
     for t in &merged.tasks {
-        let recorded = t.units_ok + t.units_panicked + t.units_timed_out;
+        let recorded = t.units_ok + t.units_panicked + t.units_timed_out + t.units_exhausted;
         done += recorded;
         total += t.units_total;
-        println!(
-            "{:<12} {:>5}/{:<5} unit(s) journaled ({} ok, {} panicked, {} timed out)",
-            t.name, recorded, t.units_total, t.units_ok, t.units_panicked, t.units_timed_out
-        );
+        emitln(format_args!(
+            "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>8}",
+            t.name,
+            t.units_ok,
+            t.units_panicked,
+            t.units_timed_out,
+            t.units_exhausted,
+            t.units_retried,
+            t.units_total - recorded,
+        ))?;
     }
-    println!(
+    emitln(format_args!(
         "{done}/{total} unit(s) journaled; campaign {}",
         if done == total {
             "complete"
         } else {
             "incomplete"
         }
-    );
-    Ok(())
+    ))
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
@@ -238,12 +339,12 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     reject_leftovers(&args)?;
     let merged = report(&journal).map_err(|e| e.to_string())?;
     if json {
-        println!("{}", merged.canonical_text());
+        emitln(merged.canonical_text())?;
     } else {
-        print!("{}", merged.render_table());
+        emit(merged.render_table())?;
         for t in &merged.tasks {
             for name in &t.fault_names {
-                println!("  {}: {name}", t.name);
+                emitln(format_args!("  {}: {name}", t.name))?;
             }
         }
     }

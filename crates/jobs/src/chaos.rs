@@ -1,0 +1,241 @@
+//! Deterministic, seed-driven fault injection for campaign robustness
+//! tests.
+//!
+//! A [`ChaosPlan`] decides — as a pure function of its seed and the
+//! injection site — whether a given unit attempt panics, is delayed, or
+//! whether a given journal append fails. Because every decision is keyed
+//! by `(site, task, stem, attempt)`:
+//!
+//! * the same plan injects the *same* faults on every run (tests are
+//!   reproducible, failures are replayable from the seed alone);
+//! * a **retried** attempt rolls fresh, so a unit that panicked on
+//!   attempt 0 can succeed on attempt 1 — which is exactly what the
+//!   chaos convergence suite exploits: with enough retries, a faulty
+//!   run's terminal records are identical to a fault-free run's, and the
+//!   canonical report is byte-identical.
+//!
+//! Injected faults are injected *before* the real work of their site (a
+//! chaos journal error fires before any byte reaches the file), so a
+//! retry starts from clean state.
+
+use std::time::Duration;
+
+/// Injection-site tags, mixed into the rolls so the three fault kinds
+/// draw independent streams from one seed.
+const SITE_UNIT_PANIC: u64 = 0x70_61_6e_69; // "pani"
+const SITE_JOURNAL_IO: u64 = 0x6a_6f_75_72; // "jour"
+const SITE_UNIT_DELAY: u64 = 0x64_65_6c_61; // "dela"
+
+/// A deterministic fault-injection plan. `Copy`, so it rides inside
+/// [`RunnerConfig`](crate::RunnerConfig) without breaking `Copy` there.
+///
+/// Rates are per-mille (0–1000): `250` injects the fault on roughly a
+/// quarter of the decisions for that site.
+///
+/// # Example
+///
+/// ```
+/// use fires_jobs::ChaosPlan;
+///
+/// let plan = ChaosPlan::new(7).with_unit_panics(250).with_journal_errors(150);
+/// // Decisions are pure functions of (plan, site, task, stem, attempt):
+/// assert_eq!(
+///     plan.unit_panics(0, 3, 0),
+///     ChaosPlan::new(7).with_unit_panics(250).unit_panics(0, 3, 0),
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed of every decision this plan makes.
+    pub seed: u64,
+    /// Per-mille probability that a unit attempt panics.
+    pub unit_panic_permille: u16,
+    /// Per-mille probability that one journal append attempt fails with
+    /// an injected IO error.
+    pub journal_error_permille: u16,
+    /// Per-mille probability that a unit attempt is delayed before
+    /// running.
+    pub delay_permille: u16,
+    /// Upper bound (exclusive is fine — the roll is modular) of an
+    /// injected delay, in milliseconds.
+    pub max_delay_ms: u16,
+}
+
+impl ChaosPlan {
+    /// A quiet plan: decisions are seeded but every rate is zero.
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            unit_panic_permille: 0,
+            journal_error_permille: 0,
+            delay_permille: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// Sets the unit-panic rate (per-mille).
+    pub fn with_unit_panics(mut self, permille: u16) -> Self {
+        self.unit_panic_permille = permille;
+        self
+    }
+
+    /// Sets the journal-append IO-error rate (per-mille).
+    pub fn with_journal_errors(mut self, permille: u16) -> Self {
+        self.journal_error_permille = permille;
+        self
+    }
+
+    /// Sets the unit-delay rate (per-mille) and the delay bound.
+    pub fn with_delays(mut self, permille: u16, max_delay_ms: u16) -> Self {
+        self.delay_permille = permille;
+        self.max_delay_ms = max_delay_ms;
+        self
+    }
+
+    /// `true` when the plan can never inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.unit_panic_permille == 0
+            && self.journal_error_permille == 0
+            && (self.delay_permille == 0 || self.max_delay_ms == 0)
+    }
+
+    /// Should this unit attempt panic?
+    pub fn unit_panics(&self, task: usize, stem: usize, attempt: u32) -> bool {
+        self.hits(
+            self.unit_panic_permille,
+            SITE_UNIT_PANIC,
+            task,
+            stem,
+            attempt,
+        )
+    }
+
+    /// Should this journal append attempt fail with an IO error?
+    pub fn journal_append_fails(&self, task: usize, stem: usize, attempt: u32) -> bool {
+        self.hits(
+            self.journal_error_permille,
+            SITE_JOURNAL_IO,
+            task,
+            stem,
+            attempt,
+        )
+    }
+
+    /// Delay to impose on this unit attempt before it runs, if any.
+    pub fn unit_delay(&self, task: usize, stem: usize, attempt: u32) -> Option<Duration> {
+        if self.max_delay_ms == 0
+            || !self.hits(self.delay_permille, SITE_UNIT_DELAY, task, stem, attempt)
+        {
+            return None;
+        }
+        let roll = self.roll(SITE_UNIT_DELAY ^ 1, task, stem, attempt);
+        Some(Duration::from_millis(roll % u64::from(self.max_delay_ms)))
+    }
+
+    fn hits(&self, permille: u16, site: u64, task: usize, stem: usize, attempt: u32) -> bool {
+        permille > 0 && self.roll(site, task, stem, attempt) % 1000 < u64::from(permille.min(1000))
+    }
+
+    fn roll(&self, site: u64, task: usize, stem: usize, attempt: u32) -> u64 {
+        let mut x = self.seed ^ site.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = splitmix64(x);
+        x ^= (task as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = splitmix64(x);
+        x ^= (stem as u64).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x = splitmix64(x);
+        x ^= u64::from(attempt);
+        splitmix64(x)
+    }
+}
+
+/// The splitmix64 finalizer: cheap, well-mixed, dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = ChaosPlan::new(42)
+            .with_unit_panics(300)
+            .with_journal_errors(200)
+            .with_delays(100, 5);
+        let b = a;
+        for task in 0..4 {
+            for stem in 0..16 {
+                for attempt in 0..4 {
+                    assert_eq!(
+                        a.unit_panics(task, stem, attempt),
+                        b.unit_panics(task, stem, attempt)
+                    );
+                    assert_eq!(
+                        a.journal_append_fails(task, stem, attempt),
+                        b.journal_append_fails(task, stem, attempt)
+                    );
+                    assert_eq!(
+                        a.unit_delay(task, stem, attempt),
+                        b.unit_delay(task, stem, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = ChaosPlan::new(1).with_unit_panics(250);
+        let hits = (0..4000)
+            .filter(|&stem| plan.unit_panics(0, stem, 0))
+            .count();
+        // 250‰ of 4000 = 1000; allow a generous band.
+        assert!((700..1300).contains(&hits), "hit rate way off: {hits}/4000");
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = ChaosPlan::new(9);
+        assert!(plan.is_quiet());
+        for stem in 0..100 {
+            assert!(!plan.unit_panics(0, stem, 0));
+            assert!(!plan.journal_append_fails(0, stem, 0));
+            assert_eq!(plan.unit_delay(0, stem, 0), None);
+        }
+        assert!(!plan.with_unit_panics(500).is_quiet());
+    }
+
+    #[test]
+    fn retried_attempts_roll_fresh() {
+        // With a 50% rate some unit must differ between attempt 0 and 1 —
+        // the property the retry policy relies on.
+        let plan = ChaosPlan::new(3).with_unit_panics(500);
+        let differs =
+            (0..64).any(|stem| plan.unit_panics(0, stem, 0) != plan.unit_panics(0, stem, 1));
+        assert!(differs);
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let plan = ChaosPlan::new(5)
+            .with_unit_panics(500)
+            .with_journal_errors(500);
+        let differs = (0..64)
+            .any(|stem| plan.unit_panics(0, stem, 0) != plan.journal_append_fails(0, stem, 0));
+        assert!(differs);
+    }
+
+    #[test]
+    fn delays_are_bounded() {
+        let plan = ChaosPlan::new(11).with_delays(1000, 7);
+        for stem in 0..100 {
+            let d = plan.unit_delay(0, stem, 0).expect("rate is 1000‰");
+            assert!(d < Duration::from_millis(7));
+        }
+    }
+}

@@ -7,10 +7,15 @@
 //! following line is one completed work unit:
 //!
 //! ```json
-//! {"kind":"header","schema":1,"spec":{...},"tasks":[{"circuit":"s27","hash":"93ab...","stems":9}]}
-//! {"kind":"unit","task":0,"stem":3,"status":"ok","faults":[[12,1,0,0]],"marks":41,"frames":5,"seconds":0.002,"phases":[["implication",0.001]],"metrics":{...}}
-//! {"kind":"unit","task":0,"stem":4,"status":"panic","faults":[],"marks":0,"frames":0,"seconds":0.001,"phases":[],"metrics":{...}}
+//! {"kind":"header","schema":2,"spec":{...},"tasks":[{"circuit":"s27","hash":"93ab...","stems":9}]}
+//! {"kind":"unit","task":0,"stem":3,"status":"ok","faults":[[12,1,0,0]],"marks":41,"frames":5,"retries":0,"seconds":0.002,"phases":[["implication",0.001]],"metrics":{...}}
+//! {"kind":"event","task":0,"stem":4,"attempt":0,"what":"unit-retry","detail":"attempt panicked; caches rebuilt"}
+//! {"kind":"unit","task":0,"stem":4,"status":"panic","faults":[],"marks":0,"frames":0,"retries":1,"seconds":0.001,"phases":[],"metrics":{...}}
 //! ```
+//!
+//! `unit` records are **terminal**: one per `(task, stem)`, whatever its
+//! outcome. `event` records narrate retries and degradations on the way
+//! there — pure observability, ignored by the canonical merge.
 //!
 //! Units are journaled as **indices** into the task's canonical stem
 //! order ([`Fires::stems`](fires_core::Fires::stems)); fault lines are
@@ -31,7 +36,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-use fires_core::IdentifiedFault;
+use fires_core::{ExhaustionReason, IdentifiedFault};
 use fires_netlist::{Fault, LineId, StuckValue};
 use fires_obs::{Json, RunMetrics};
 
@@ -41,7 +46,10 @@ use crate::spec::{CampaignSpec, ResolvedTask};
 /// Version of the journal layout. Bump on any change to the record
 /// shapes *or* to anything they index into (the canonical stem order,
 /// the content-hash recipe).
-pub const JOURNAL_SCHEMA: u64 = 1;
+///
+/// Schema 2 added the `exhausted` unit status, the `retries`/`reason`
+/// unit fields, `event` records and the spec's `step_budget` override.
+pub const JOURNAL_SCHEMA: u64 = 2;
 
 /// Per-task identity facts stored in the header.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,11 +77,15 @@ pub struct JournalHeader {
 pub enum UnitStatus {
     /// Completed normally; its faults are merged into the report.
     Ok,
-    /// The stem's analysis panicked; recorded and skipped, the campaign
-    /// carries on.
+    /// The stem's analysis panicked (after exhausting its retries, if
+    /// any); recorded and skipped, the campaign carries on.
     Panic,
     /// The stem overran its wall-clock deadline.
     Timeout,
+    /// The stem hit a [`Budget`](fires_core::Budget) limit: its partial
+    /// fault sets are journaled for observability but are **non-final**
+    /// and excluded from the merged redundancy claims.
+    Exhausted,
 }
 
 impl UnitStatus {
@@ -82,6 +94,7 @@ impl UnitStatus {
             UnitStatus::Ok => "ok",
             UnitStatus::Panic => "panic",
             UnitStatus::Timeout => "timeout",
+            UnitStatus::Exhausted => "exhausted",
         }
     }
 
@@ -90,6 +103,7 @@ impl UnitStatus {
             "ok" => Some(UnitStatus::Ok),
             "panic" => Some(UnitStatus::Panic),
             "timeout" => Some(UnitStatus::Timeout),
+            "exhausted" => Some(UnitStatus::Exhausted),
             _ => None,
         }
     }
@@ -104,13 +118,22 @@ pub struct UnitRecord {
     pub stem: usize,
     /// Outcome.
     pub status: UnitStatus,
-    /// Identified faults as `(line, stuck-at-one, c, frame)`; empty
-    /// unless `status` is `Ok`.
+    /// Identified faults as `(line, stuck-at-one, c, frame)`. Empty
+    /// unless `status` is `Ok` or `Exhausted`; for `Exhausted` units
+    /// these are the *partial*, non-final fault sets — kept for
+    /// observability, never merged into redundancy claims.
     pub faults: Vec<(u32, bool, u32, i32)>,
     /// Uncontrollability marks the stem's two processes derived.
     pub marks: u64,
     /// Frames spanned by the wider process.
     pub frames: u64,
+    /// How many failed attempts preceded this terminal record (0 on the
+    /// happy path). Excluded from the canonical report: a retried-then-ok
+    /// unit must merge identically to a first-try-ok one.
+    pub retries: u64,
+    /// Which budget limit stopped the unit; `Some` exactly when `status`
+    /// is `Exhausted`.
+    pub reason: Option<ExhaustionReason>,
     /// Wall-clock seconds this unit took (observability only; excluded
     /// from the canonical report).
     pub seconds: f64,
@@ -231,9 +254,13 @@ fn unit_to_json(u: &UnitRecord) -> Json {
         .set("faults", Json::Arr(faults))
         .set("marks", u.marks)
         .set("frames", u.frames)
+        .set("retries", u.retries)
         .set("seconds", u.seconds)
         .set("phases", Json::Arr(phases))
         .set("metrics", u.metrics.to_json());
+    if let Some(reason) = u.reason {
+        j.set("reason", reason.as_str());
+    }
     j
 }
 
@@ -298,6 +325,19 @@ fn unit_from_json(j: &Json) -> Result<UnitRecord, JobError> {
         Some(m) => RunMetrics::from_json(m)
             .ok_or_else(|| JobError::journal("unit metrics are malformed"))?,
     };
+    let reason = match j.get("reason") {
+        None => None,
+        Some(r) => Some(
+            r.as_str()
+                .and_then(ExhaustionReason::parse)
+                .ok_or_else(|| JobError::journal("unit reason is not a known budget limit"))?,
+        ),
+    };
+    if (status == UnitStatus::Exhausted) != reason.is_some() {
+        return Err(JobError::journal(
+            "unit reason must be present exactly for exhausted units",
+        ));
+    }
     Ok(UnitRecord {
         task: int("task")? as usize,
         stem: int("stem")? as usize,
@@ -305,9 +345,60 @@ fn unit_from_json(j: &Json) -> Result<UnitRecord, JobError> {
         faults,
         marks: int("marks")?,
         frames: int("frames")?,
+        retries: j.get("retries").and_then(Json::as_u64).unwrap_or(0),
+        reason,
         seconds: j.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
         phases,
         metrics,
+    })
+}
+
+/// A non-terminal journal line narrating a retry or degradation on the
+/// way to a unit's terminal record. Pure observability: the canonical
+/// merge ignores events entirely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Index into the header's task list.
+    pub task: usize,
+    /// Index into the task's canonical stem order.
+    pub stem: usize,
+    /// Zero-based attempt the event happened on.
+    pub attempt: u64,
+    /// Machine-readable event kind (`unit-retry`, `journal-retry`, ...).
+    pub what: String,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+fn event_to_json(e: &EventRecord) -> Json {
+    let mut j = Json::object();
+    j.set("kind", "event")
+        .set("task", e.task as u64)
+        .set("stem", e.stem as u64)
+        .set("attempt", e.attempt)
+        .set("what", e.what.clone())
+        .set("detail", e.detail.clone());
+    j
+}
+
+fn event_from_json(j: &Json) -> Result<EventRecord, JobError> {
+    let int = |name: &str| {
+        j.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| JobError::journal(format!("event record field {name:?} missing")))
+    };
+    let text = |name: &str| {
+        j.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| JobError::journal(format!("event record field {name:?} missing")))
+    };
+    Ok(EventRecord {
+        task: int("task")? as usize,
+        stem: int("stem")? as usize,
+        attempt: int("attempt")?,
+        what: text("what")?,
+        detail: text("detail")?,
     })
 }
 
@@ -362,6 +453,38 @@ impl Journal {
         self.append_line(&unit_to_json(unit))
     }
 
+    /// Appends one observability event record (see [`EventRecord`]).
+    pub fn append_event(&mut self, event: &EventRecord) -> Result<(), JobError> {
+        self.append_line(&event_to_json(event))
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Recovers from a failed append so the *next* append starts from
+    /// clean state: any half-buffered line is discarded unflushed, a
+    /// torn on-disk tail is repaired, and the file handle is reopened.
+    ///
+    /// Safe to combine with a retried append. If the failed append in
+    /// fact reached the disk in full, the retry writes a duplicate
+    /// record — harmless, because the merge collapses duplicates; if it
+    /// reached the disk partially, the torn tail is truncated here
+    /// exactly as a crash tail would be on resume.
+    pub fn recover(&mut self) -> Result<(), JobError> {
+        repair_torn_tail(&self.path)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| JobError::io(&self.path, e))?;
+        let stale = std::mem::replace(&mut self.out, BufWriter::new(file));
+        // `into_parts` hands the buffer back without flushing it — the
+        // whole point: the failed line must not leak after the repair.
+        let _ = stale.into_parts();
+        Ok(())
+    }
+
     fn append_line(&mut self, j: &Json) -> Result<(), JobError> {
         let line = j.to_compact();
         debug_assert!(!line.contains('\n'), "compact JSON is single-line");
@@ -407,6 +530,8 @@ pub struct JournalContents {
     pub header: JournalHeader,
     /// Every intact unit record, in append order.
     pub units: Vec<UnitRecord>,
+    /// Every intact event record, in append order (observability only).
+    pub events: Vec<EventRecord>,
     /// `true` when the final line was torn (a crash mid-write) and was
     /// dropped.
     pub torn: bool,
@@ -431,6 +556,7 @@ pub fn read(path: &Path) -> Result<JournalContents, JobError> {
         .map_err(|e| JobError::journal(format!("header line: {e}")))
         .and_then(|j| header_from_json(&j))?;
     let mut units = Vec::new();
+    let mut events = Vec::new();
     let mut torn = false;
     let last_index = text.lines().count() - 1;
     // A crash mid-append leaves a *prefix* of "record\n": never valid
@@ -458,32 +584,41 @@ pub fn read(path: &Path) -> Result<JournalContents, JobError> {
                 )));
             }
         };
-        if j.get("kind").and_then(Json::as_str) != Some("unit") {
-            return Err(JobError::journal(format!(
-                "line {}: record kind is not \"unit\"",
-                i + 1
-            )));
-        }
-        let u = unit_from_json(&j).map_err(|e| {
+        let at_line = |e: JobError, i: usize| {
             let msg = match e {
                 JobError::Journal { message } => message,
                 other => other.to_string(),
             };
             JobError::journal(format!("line {}: {msg}", i + 1))
-        })?;
-        if u.task >= header.tasks.len() || u.stem >= header.tasks[u.task].stems {
-            return Err(JobError::journal(format!(
-                "line {}: unit ({}, {}) is out of range for the header",
-                i + 1,
-                u.task,
-                u.stem
-            )));
+        };
+        match j.get("kind").and_then(Json::as_str) {
+            Some("unit") => {
+                let u = unit_from_json(&j).map_err(|e| at_line(e, i))?;
+                if u.task >= header.tasks.len() || u.stem >= header.tasks[u.task].stems {
+                    return Err(JobError::journal(format!(
+                        "line {}: unit ({}, {}) is out of range for the header",
+                        i + 1,
+                        u.task,
+                        u.stem
+                    )));
+                }
+                units.push(u);
+            }
+            Some("event") => {
+                events.push(event_from_json(&j).map_err(|e| at_line(e, i))?);
+            }
+            _ => {
+                return Err(JobError::journal(format!(
+                    "line {}: record kind is neither \"unit\" nor \"event\"",
+                    i + 1
+                )));
+            }
         }
-        units.push(u);
     }
     Ok(JournalContents {
         header,
         units,
+        events,
         torn,
     })
 }
@@ -576,6 +711,8 @@ mod tests {
             faults: vec![(12, true, 0, 0), (7, false, 2, -1)],
             marks: 41,
             frames: 5,
+            retries: 0,
+            reason: None,
             seconds: 0.002,
             phases: vec![("implication".into(), 0.001), ("validation".into(), 0.001)],
             metrics,
@@ -604,6 +741,87 @@ mod tests {
         assert_eq!(back.units[1].status, UnitStatus::Panic);
         assert!(!back.torn);
         assert!(back.done().contains(&(0, 3)));
+    }
+
+    #[test]
+    fn exhausted_units_and_events_round_trip() {
+        let path = temp("exhausted");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append_event(&EventRecord {
+            task: 0,
+            stem: 5,
+            attempt: 0,
+            what: "unit-retry".into(),
+            detail: "attempt panicked; caches rebuilt".into(),
+        })
+        .unwrap();
+        j.append(&UnitRecord {
+            stem: 5,
+            status: UnitStatus::Exhausted,
+            retries: 1,
+            reason: Some(ExhaustionReason::Steps),
+            ..sample_unit()
+        })
+        .unwrap();
+        drop(j);
+        let back = read(&path).unwrap();
+        assert_eq!(back.units.len(), 1);
+        assert_eq!(back.units[0].status, UnitStatus::Exhausted);
+        assert_eq!(back.units[0].reason, Some(ExhaustionReason::Steps));
+        assert_eq!(back.units[0].retries, 1);
+        assert_eq!(back.events.len(), 1);
+        assert_eq!(back.events[0].what, "unit-retry");
+        // Exhausted units still count as done: resume must not re-run them.
+        assert!(back.done().contains(&(0, 5)));
+    }
+
+    #[test]
+    fn reason_must_match_status() {
+        let path = temp("reason-mismatch");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&UnitRecord {
+            status: UnitStatus::Ok,
+            reason: Some(ExhaustionReason::Steps),
+            ..sample_unit()
+        })
+        .unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        assert!(matches!(read(&path), Err(JobError::Journal { .. })));
+        let path = temp("reason-missing");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&UnitRecord {
+            status: UnitStatus::Exhausted,
+            reason: None,
+            ..sample_unit()
+        })
+        .unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        assert!(matches!(read(&path), Err(JobError::Journal { .. })));
+    }
+
+    #[test]
+    fn recover_repairs_a_torn_tail_and_keeps_appending() {
+        let path = temp("recover");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&sample_unit()).unwrap();
+        // Simulate a failed append that reached the disk partially.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"kind\":\"unit\",\"task\":0,\"ste").unwrap();
+        }
+        j.recover().unwrap();
+        j.append(&UnitRecord {
+            stem: 4,
+            ..sample_unit()
+        })
+        .unwrap();
+        drop(j);
+        let back = read(&path).unwrap();
+        assert!(!back.torn);
+        assert_eq!(back.units.len(), 2);
+        assert!(back.done().contains(&(0, 4)));
     }
 
     #[test]

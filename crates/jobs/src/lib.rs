@@ -9,9 +9,15 @@
 //!   process loses at most the unit in flight, and [`resume`] picks up
 //!   exactly the missing units (the journal header carries circuit
 //!   content hashes so stale journals are refused, not misread).
-//! * **Fault-tolerant** — a unit that panics or overruns its wall-clock
-//!   deadline is recorded and skipped ([`runner`]); one poisoned stem
-//!   never aborts a campaign.
+//! * **Fault-tolerant** — a unit that panics is retried up to
+//!   `--retries` times and quarantined after; one that overruns its
+//!   wall-clock deadline or exhausts its per-stem [`Budget`] is recorded
+//!   and skipped ([`runner`]); transient journal IO errors are retried
+//!   with exponential backoff; one poisoned stem never aborts a
+//!   campaign. A deterministic [`ChaosPlan`] ([`chaos`]) injects panics,
+//!   IO errors and delays so all of this is *testable*.
+//!
+//! [`Budget`]: fires_core::Budget
 //! * **Deterministic** — the merged report ([`merge`]) is a pure
 //!   function of the set of unit records: byte-identical whether the
 //!   campaign ran on 1 thread or 8, uninterrupted or killed-and-resumed
@@ -37,13 +43,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A campaign must degrade gracefully, not abort: library code converts
+// every failure into a typed `JobError` or a journaled unit status.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chaos;
 mod error;
 pub mod journal;
 pub mod merge;
 pub mod runner;
 pub mod spec;
 
+pub use chaos::ChaosPlan;
 pub use error::JobError;
 pub use merge::{CampaignReport, TaskReport};
 pub use runner::{build_engines, resume, run, Injection, RunSummary, RunnerConfig};

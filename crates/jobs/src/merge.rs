@@ -34,6 +34,16 @@ pub struct TaskReport {
     pub units_panicked: usize,
     /// Units journaled as timed out.
     pub units_timed_out: usize,
+    /// Units journaled as exhausted (budget hit). Their partial faults
+    /// are **never** merged into `faults` — exhausted stems must not
+    /// contribute to the redundancy claims `S^i`.
+    pub units_exhausted: usize,
+    /// Units whose terminal record needed at least one retry
+    /// (observability only; not part of the canonical form).
+    pub units_retried: usize,
+    /// Retry/degradation event records journaled for this task
+    /// (observability only; not part of the canonical form).
+    pub retry_events: usize,
     /// Identified faults after per-fault dedup, sorted by
     /// `(line, stuck)`.
     pub faults: Vec<IdentifiedFault>,
@@ -107,6 +117,9 @@ pub fn merge(
             units_ok: 0,
             units_panicked: 0,
             units_timed_out: 0,
+            units_exhausted: 0,
+            units_retried: 0,
+            retry_events: contents.events.iter().filter(|e| e.task == t).count(),
             faults: Vec::new(),
             fault_names: Vec::new(),
             marks: 0,
@@ -127,9 +140,15 @@ pub fn merge(
                 }
             }
             report.metrics.merge(&unit.metrics);
+            if unit.retries > 0 {
+                report.units_retried += 1;
+            }
             match unit.status {
                 UnitStatus::Panic => report.units_panicked += 1,
                 UnitStatus::Timeout => report.units_timed_out += 1,
+                // Partial results stay out of every canonical result
+                // field (faults, marks, frames): only the count is kept.
+                UnitStatus::Exhausted => report.units_exhausted += 1,
                 UnitStatus::Ok => {
                     report.units_ok += 1;
                     report.marks += unit.marks;
@@ -191,6 +210,7 @@ impl CampaignReport {
                 .set("units_ok", t.units_ok as u64)
                 .set("units_panicked", t.units_panicked as u64)
                 .set("units_timed_out", t.units_timed_out as u64)
+                .set("units_exhausted", t.units_exhausted as u64)
                 .set("identified_faults", t.faults.len() as u64)
                 .set("faults", Json::Arr(faults))
                 .set(
@@ -231,6 +251,9 @@ impl CampaignReport {
                     .set_extra("units_ok", t.units_ok as u64)
                     .set_extra("units_panicked", t.units_panicked as u64)
                     .set_extra("units_timed_out", t.units_timed_out as u64)
+                    .set_extra("units_exhausted", t.units_exhausted as u64)
+                    .set_extra("units_retried", t.units_retried as u64)
+                    .set_extra("retry_events", t.retry_events as u64)
                     .set_extra("marks", t.marks)
                     .set_extra("max_frames_used", t.max_frames_used)
                     .set_extra("validated", t.validated);
@@ -245,16 +268,17 @@ impl CampaignReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<12} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8}\n",
-            "circuit", "units", "ok", "bad", "faults", "marks", "max_fr", "seconds"
+            "{:<12} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8}\n",
+            "circuit", "units", "ok", "bad", "exh", "faults", "marks", "max_fr", "seconds"
         ));
         for t in &self.tasks {
             out.push_str(&format!(
-                "{:<12} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8.3}\n",
+                "{:<12} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8.3}\n",
                 t.name,
                 t.units_total,
                 t.units_ok,
                 t.units_panicked + t.units_timed_out,
+                t.units_exhausted,
                 t.faults.len(),
                 t.marks,
                 t.max_frames_used,
@@ -354,6 +378,99 @@ mod tests {
         assert_eq!(merged.tasks[0].units_panicked, 1);
         assert!(!merged.tasks[0].clean());
         assert_eq!(merged.tasks[0].units_ok + 1, merged.tasks[0].units_total);
+    }
+
+    #[test]
+    fn exhausted_partials_never_reach_the_fault_list() {
+        let path = temp("exhausted");
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let mut contents = journal::read(&path).unwrap();
+        // Forge the journal every unit would produce under a budget: same
+        // faults, but flagged exhausted. None of them may be claimed.
+        for u in &mut contents.units {
+            u.status = crate::journal::UnitStatus::Exhausted;
+            u.reason = Some(fires_core::ExhaustionReason::Steps);
+        }
+        let tasks = spec.resolve().unwrap();
+        let merged = merge(&contents, &tasks, &build_engines(&tasks).unwrap());
+        assert_eq!(merged.tasks[0].units_exhausted, merged.tasks[0].units_total);
+        assert_eq!(merged.tasks[0].units_ok, 0);
+        assert!(merged.tasks[0].faults.is_empty());
+        assert_eq!(merged.tasks[0].marks, 0);
+        assert!(merged.canonical_text().contains("\"units_exhausted\""));
+        // The degenerate all-exhausted campaign still renders and rolls
+        // up without panicking.
+        let _ = merged.render_table();
+        let (_, campaign) = merged.run_reports();
+        assert_eq!(
+            campaign.extra.get("task_count").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn retried_units_do_not_change_the_canonical_form() {
+        let path = temp("retried");
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let contents = journal::read(&path).unwrap();
+        let tasks = spec.resolve().unwrap();
+        let engines = build_engines(&tasks).unwrap();
+        let text = merge(&contents, &tasks, &engines).canonical_text();
+
+        let mut retried = contents.clone();
+        for u in &mut retried.units {
+            u.retries = 3;
+        }
+        retried.events.push(crate::journal::EventRecord {
+            task: 0,
+            stem: 0,
+            attempt: 0,
+            what: "unit-retry".into(),
+            detail: "attempt panicked; caches rebuilt".into(),
+        });
+        let merged = merge(&retried, &tasks, &engines);
+        assert_eq!(merged.tasks[0].units_retried, merged.tasks[0].units_total);
+        assert_eq!(merged.tasks[0].retry_events, 1);
+        assert_eq!(merged.canonical_text(), text);
+    }
+
+    #[test]
+    fn all_poisoned_campaign_merges_without_panicking() {
+        let path = temp("all-poisoned");
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let mut contents = journal::read(&path).unwrap();
+        for u in &mut contents.units {
+            u.status = crate::journal::UnitStatus::Panic;
+            u.faults.clear();
+            u.marks = 0;
+            u.frames = 0;
+        }
+        let tasks = spec.resolve().unwrap();
+        let merged = merge(&contents, &tasks, &build_engines(&tasks).unwrap());
+        assert_eq!(merged.tasks[0].units_panicked, merged.tasks[0].units_total);
+        assert!(merged.tasks[0].faults.is_empty());
+        let _ = merged.render_table();
+        let _ = merged.run_reports();
+    }
+
+    #[test]
+    fn zero_unit_campaign_merges_without_panicking() {
+        let path = temp("zero-units");
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let mut contents = journal::read(&path).unwrap();
+        contents.units.clear();
+        contents.events.clear();
+        let tasks = spec.resolve().unwrap();
+        let merged = merge(&contents, &tasks, &build_engines(&tasks).unwrap());
+        assert_eq!(merged.tasks[0].units_ok, 0);
+        assert!(merged.tasks[0].faults.is_empty());
+        let _ = merged.render_table();
+        let (_, campaign) = merged.run_reports();
+        assert_eq!(campaign.total_seconds, 0.0);
     }
 
     #[test]

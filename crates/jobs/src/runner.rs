@@ -8,12 +8,23 @@
 //! interleaving merges to the same report (see
 //! [`IdentifiedFault::wins_over`](fires_core::IdentifiedFault)).
 //!
-//! A unit that panics poisons only itself: the panic is caught, the unit
-//! is journaled with status `panic`, the worker rebuilds its per-task
-//! caches (they may be mid-update) and moves on. A unit that overruns
-//! `stem_deadline` is cancelled cooperatively and journaled as
-//! `timeout`. Both are *recorded* failures — `fires resume` will not
-//! retry them unless the journal is deleted.
+//! A unit that panics poisons only itself: the panic is caught, the
+//! worker rebuilds its per-task caches (they may be mid-update) and —
+//! when [`RunnerConfig::retries`] allows — re-runs the unit, journaling
+//! a retry event per failed attempt. A unit still panicking after its
+//! retries is quarantined: journaled with terminal status `panic` and
+//! never re-run. A unit that overruns `stem_deadline` is cancelled
+//! cooperatively and journaled as `timeout` (not retried: the deadline
+//! would just elapse again); one that trips its [`Budget`] is journaled
+//! as `exhausted` with its partial results (not retried: exhaustion is
+//! deterministic). All three are *recorded* terminal outcomes — `fires
+//! resume` will not retry them unless the journal is deleted.
+//!
+//! Journal appends that fail with a transient IO error are themselves
+//! retried with exponential backoff ([`RunnerConfig::backoff`]), after
+//! repairing any torn tail the failed append left
+//! ([`Journal::recover`]); only a persistently failing journal aborts
+//! the campaign.
 
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
@@ -22,11 +33,22 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use fires_core::{CancelToken, CoreError, Fires, StemCtx};
+use fires_core::{Budget, CancelToken, CoreError, Fires, StemCtx, StemOutcome};
 
+use crate::chaos::ChaosPlan;
 use crate::error::JobError;
-use crate::journal::{self, Journal, JournalContents, UnitRecord, UnitStatus};
+use crate::journal::{self, EventRecord, Journal, JournalContents, UnitRecord, UnitStatus};
 use crate::spec::{CampaignSpec, ResolvedTask};
+
+/// Locks a mutex, tolerating poisoning: a worker that panicked while
+/// holding the lock left data no worse than a kill would, and the
+/// journal protocol is already kill-safe.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// Knobs of one `run`/`resume` invocation (campaign contents live in the
 /// spec/journal, not here).
@@ -41,9 +63,21 @@ pub struct RunnerConfig {
     /// point; production runs leave it `None`.
     pub max_units: Option<usize>,
     /// Fault-injection hook for robustness tests: called before each
-    /// unit, may order the runner to panic inside the unit or sleep past
-    /// the deadline. A plain `fn` pointer so the config stays `Copy`.
+    /// unit attempt, may order the runner to panic inside the unit or
+    /// sleep past the deadline. A plain `fn` pointer so the config stays
+    /// `Copy`.
     pub inject: Option<fn(task: usize, stem: usize) -> Injection>,
+    /// How many times a panicked unit attempt or a failed journal append
+    /// is retried before giving up (quarantine for units, campaign abort
+    /// for the journal). 0 — the default — retries nothing.
+    pub retries: u32,
+    /// Base delay of the exponential backoff between journal-append
+    /// retries (doubles per attempt). Unit retries do not wait: a panic
+    /// is not load.
+    pub backoff: Duration,
+    /// Deterministic fault-injection plan for robustness tests; `None`
+    /// in production.
+    pub chaos: Option<ChaosPlan>,
 }
 
 /// What the [`RunnerConfig::inject`] hook asks a unit to do.
@@ -64,6 +98,9 @@ impl Default for RunnerConfig {
             stem_deadline: None,
             max_units: None,
             inject: None,
+            retries: 0,
+            backoff: Duration::from_millis(10),
+            chaos: None,
         }
     }
 }
@@ -79,6 +116,12 @@ pub struct RunSummary {
     pub panicked: usize,
     /// Units of this invocation that ended in `timeout`.
     pub timed_out: usize,
+    /// Units of this invocation that ended in `exhausted` (budget hit;
+    /// partial results journaled, excluded from redundancy claims).
+    pub exhausted: usize,
+    /// Retry attempts this invocation performed (unit re-runs plus
+    /// journal re-appends), across all units.
+    pub retried: usize,
     /// Units still unprocessed (only nonzero when `max_units` stopped
     /// the run early — or the process was killed harder than that).
     pub remaining: usize,
@@ -104,6 +147,7 @@ pub fn run(
 ) -> Result<RunSummary, JobError> {
     let tasks = spec.resolve()?;
     let engines = build_engines(&tasks)?;
+    let budgets: Vec<Budget> = tasks.iter().map(|t| t.budget).collect();
     let stem_ids: Vec<Vec<fires_netlist::LineId>> = engines.iter().map(|e| e.stems()).collect();
     let stems: Vec<usize> = stem_ids.iter().map(Vec::len).collect();
     let header = journal::header_for(spec, &tasks, &stems);
@@ -111,9 +155,10 @@ pub fn run(
     let fresh = JournalContents {
         header,
         units: Vec::new(),
+        events: Vec::new(),
         torn: false,
     };
-    execute(&engines, &stem_ids, journal, &fresh, rc)
+    execute(&engines, &stem_ids, &budgets, journal, &fresh, rc)
 }
 
 /// Re-opens an existing journal and runs every unit it has no record of.
@@ -126,11 +171,12 @@ pub fn resume(journal_path: &Path, rc: &RunnerConfig) -> Result<RunSummary, JobE
     let contents = journal::read(journal_path)?;
     let tasks = contents.header.spec.resolve()?;
     let engines = build_engines(&tasks)?;
+    let budgets: Vec<Budget> = tasks.iter().map(|t| t.budget).collect();
     let stem_ids: Vec<Vec<fires_netlist::LineId>> = engines.iter().map(|e| e.stems()).collect();
     let stems: Vec<usize> = stem_ids.iter().map(Vec::len).collect();
     journal::verify_header(&contents.header, &tasks, &stems)?;
     let journal = Journal::append_to(journal_path)?;
-    execute(&engines, &stem_ids, journal, &contents, rc)
+    execute(&engines, &stem_ids, &budgets, journal, &contents, rc)
 }
 
 /// Builds one [`Fires`] engine per resolved task, in task order.
@@ -168,6 +214,7 @@ thread_local! {
 fn execute(
     engines: &[Fires],
     stem_ids: &[Vec<fires_netlist::LineId>],
+    budgets: &[Budget],
     journal: Journal,
     prior: &JournalContents,
     rc: &RunnerConfig,
@@ -184,12 +231,14 @@ fn execute(
     let skipped = units.iter().filter(|u| done.contains(u)).count();
 
     let cursor = AtomicUsize::new(0);
-    let budget = AtomicUsize::new(rc.max_units.unwrap_or(usize::MAX));
+    let unit_quota = AtomicUsize::new(rc.max_units.unwrap_or(usize::MAX));
     let journal = Mutex::new(journal);
     let failure: Mutex<Option<JobError>> = Mutex::new(None);
     let executed = AtomicUsize::new(0);
     let panicked = AtomicUsize::new(0);
     let timed_out = AtomicUsize::new(0);
+    let exhausted = AtomicUsize::new(0);
+    let retried = AtomicUsize::new(0);
 
     let worker = || {
         // Implication caches are per-circuit; keyed by task index. A
@@ -204,37 +253,69 @@ fn execute(
             if done.contains(&(task, stem)) {
                 continue;
             }
-            // Claim budget *before* running, so `max_units` cuts the
+            // Claim quota *before* running, so `max_units` cuts the
             // campaign at an exact unit count.
-            if budget
+            if unit_quota
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
                 .is_err()
             {
                 return;
             }
-            let record = run_unit(
+            let (record, events) = run_unit(
                 &engines[task],
                 stem_ids[task][stem],
                 task,
                 stem,
-                ctxs.entry(task).or_default(),
+                ctxs.entry(task)
+                    .or_insert_with(|| StemCtx::with_budget(budgets[task])),
+                budgets[task],
                 rc,
             );
             if record.status == UnitStatus::Panic {
+                // Terminal panic: quarantine the unit and rebuild the
+                // task's caches (the panic may have left them mid-update).
                 ctxs.remove(&task);
                 panicked.fetch_add(1, Ordering::Relaxed);
             }
             if record.status == UnitStatus::Timeout {
                 timed_out.fetch_add(1, Ordering::Relaxed);
             }
+            if record.status == UnitStatus::Exhausted {
+                exhausted.fetch_add(1, Ordering::Relaxed);
+            }
+            retried.fetch_add(record.retries as usize, Ordering::Relaxed);
             executed.fetch_add(1, Ordering::Relaxed);
-            let result = journal
-                .lock()
-                .expect("journal lock poisoned")
-                .append(&record);
-            if let Err(e) = result {
-                *failure.lock().expect("failure lock poisoned") = Some(e);
-                return;
+            for event in &events {
+                match append_with_retry(&journal, rc, task, stem, |j| j.append_event(event)) {
+                    Ok(io_retries) => {
+                        retried.fetch_add(io_retries as usize, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        *lock_unpoisoned(&failure) = Some(e);
+                        return;
+                    }
+                }
+            }
+            match append_with_retry(&journal, rc, task, stem, |j| j.append(&record)) {
+                Ok(0) => {}
+                Ok(io_retries) => {
+                    retried.fetch_add(io_retries as usize, Ordering::Relaxed);
+                    // Journal the recovered degradation (best-effort: the
+                    // unit record itself is already safe on disk).
+                    let _ = lock_unpoisoned(&journal).append_event(&EventRecord {
+                        task,
+                        stem,
+                        attempt: u64::from(io_retries),
+                        what: "journal-retry".into(),
+                        detail: format!(
+                            "append succeeded after {io_retries} transient IO failure(s)"
+                        ),
+                    });
+                }
+                Err(e) => {
+                    *lock_unpoisoned(&failure) = Some(e);
+                    return;
+                }
             }
         }
     };
@@ -250,7 +331,11 @@ fn execute(
         });
     }
 
-    if let Some(e) = failure.into_inner().expect("failure lock poisoned") {
+    let failure = match failure.into_inner() {
+        Ok(f) => f,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(e) = failure {
         return Err(e);
     }
     let executed = executed.into_inner();
@@ -259,19 +344,107 @@ fn execute(
         skipped,
         panicked: panicked.into_inner(),
         timed_out: timed_out.into_inner(),
+        exhausted: exhausted.into_inner(),
+        retried: retried.into_inner(),
         remaining: units.len() - skipped - executed,
     })
 }
 
+/// Exponential backoff delay before IO retry number `attempt`.
+fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(10))
+}
+
+/// Performs one journal write, retrying transient failures with
+/// exponential backoff and tail repair. Chaos-injected failures (keyed
+/// deterministically by `(task, stem, attempt)`) fire *before* any byte
+/// reaches the file. Returns how many retries were needed.
+fn append_with_retry(
+    journal: &Mutex<Journal>,
+    rc: &RunnerConfig,
+    task: usize,
+    stem: usize,
+    write: impl Fn(&mut Journal) -> Result<(), JobError>,
+) -> Result<u32, JobError> {
+    let mut attempt: u32 = 0;
+    loop {
+        let injected = rc
+            .chaos
+            .is_some_and(|plan| plan.journal_append_fails(task, stem, attempt));
+        let result = if injected {
+            Err(JobError::io(
+                lock_unpoisoned(journal).path().to_path_buf(),
+                std::io::Error::other("chaos: injected journal append failure"),
+            ))
+        } else {
+            write(&mut lock_unpoisoned(journal))
+        };
+        match result {
+            Ok(()) => return Ok(attempt),
+            Err(_) if attempt < rc.retries => {
+                if !injected {
+                    // A real failed append may have torn the tail;
+                    // repair before retrying. Recovery failure is not
+                    // fatal here — the retried append will surface it.
+                    let _ = lock_unpoisoned(journal).recover();
+                }
+                std::thread::sleep(backoff_delay(rc.backoff, attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Runs one unit to its terminal record, retrying panicked attempts up
+/// to `rc.retries` times. Also returns the retry events to journal
+/// *before* the terminal record.
 fn run_unit(
     fires: &Fires,
     stem_line: fires_netlist::LineId,
     task: usize,
     stem: usize,
     ctx: &mut StemCtx,
+    budget: Budget,
     rc: &RunnerConfig,
-) -> UnitRecord {
+) -> (UnitRecord, Vec<EventRecord>) {
     let started = Instant::now();
+    let mut events = Vec::new();
+    let mut attempt: u32 = 0;
+    loop {
+        let mut record = run_attempt(fires, stem_line, task, stem, ctx, rc, attempt, started);
+        // Only panics are retried: a timeout would just run out of clock
+        // again, and exhaustion is deterministic by design.
+        if record.status == UnitStatus::Panic && attempt < rc.retries {
+            // The panic may have left the shared implication caches
+            // mid-update; rebuild them before the next attempt.
+            *ctx = StemCtx::with_budget(budget);
+            events.push(EventRecord {
+                task,
+                stem,
+                attempt: u64::from(attempt),
+                what: "unit-retry".into(),
+                detail: "attempt panicked; caches rebuilt".into(),
+            });
+            attempt += 1;
+            continue;
+        }
+        record.retries = u64::from(attempt);
+        return (record, events);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    fires: &Fires,
+    stem_line: fires_netlist::LineId,
+    task: usize,
+    stem: usize,
+    ctx: &mut StemCtx,
+    rc: &RunnerConfig,
+    attempt: u32,
+    started: Instant,
+) -> UnitRecord {
     let cancel = match rc.stem_deadline {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::never(),
@@ -280,12 +453,21 @@ fn run_unit(
         .inject
         .map(|hook| hook(task, stem))
         .unwrap_or(Injection::Run);
+    let chaos = rc.chaos;
     SUPPRESS_PANIC_OUTPUT.with(|f| f.store(true, Ordering::Relaxed));
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         match injection {
             Injection::Run => {}
             Injection::Panic => panic!("injected panic (robustness test)"),
             Injection::Sleep(d) => std::thread::sleep(d),
+        }
+        if let Some(plan) = chaos {
+            if let Some(d) = plan.unit_delay(task, stem, attempt) {
+                std::thread::sleep(d);
+            }
+            if plan.unit_panics(task, stem, attempt) {
+                panic!("chaos: injected unit panic");
+            }
         }
         fires.run_stem(stem_line, ctx, &cancel)
     }));
@@ -298,38 +480,49 @@ fn run_unit(
         faults: Vec::new(),
         marks: 0,
         frames: 0,
+        retries: 0,
+        reason: None,
         seconds,
         phases: Vec::new(),
         metrics: Default::default(),
     };
     match outcome {
-        Ok(Ok(findings)) => UnitRecord {
-            task,
-            stem,
-            status: UnitStatus::Ok,
-            faults: findings
-                .faults
-                .iter()
-                .map(|f| {
-                    (
-                        f.fault.line.index() as u32,
-                        f.fault.stuck.as_bool(),
-                        f.c,
-                        f.frame,
-                    )
-                })
-                .collect(),
-            marks: findings.marks as u64,
-            frames: findings.frames_used as u64,
-            seconds,
-            phases: findings
-                .phase_times
-                .phases
-                .iter()
-                .map(|(name, d)| (name.clone(), d.as_secs_f64()))
-                .collect(),
-            metrics: findings.metrics,
-        },
+        Ok(Ok(stem_outcome)) => {
+            let (status, reason) = match &stem_outcome {
+                StemOutcome::Complete(_) => (UnitStatus::Ok, None),
+                StemOutcome::Exhausted { reason, .. } => (UnitStatus::Exhausted, Some(*reason)),
+            };
+            let findings = stem_outcome.into_findings();
+            UnitRecord {
+                task,
+                stem,
+                status,
+                faults: findings
+                    .faults
+                    .iter()
+                    .map(|f| {
+                        (
+                            f.fault.line.index() as u32,
+                            f.fault.stuck.as_bool(),
+                            f.c,
+                            f.frame,
+                        )
+                    })
+                    .collect(),
+                marks: findings.marks as u64,
+                frames: findings.frames_used as u64,
+                retries: 0,
+                reason,
+                seconds,
+                phases: findings
+                    .phase_times
+                    .phases
+                    .iter()
+                    .map(|(name, d)| (name.clone(), d.as_secs_f64()))
+                    .collect(),
+                metrics: findings.metrics,
+            }
+        }
         Ok(Err(CoreError::Interrupted { .. })) => empty(UnitStatus::Timeout),
         // Any other CoreError here is a bug (stems come from the engine
         // itself), but a campaign must outlive bugs: record and move on.
@@ -474,6 +667,152 @@ mod tests {
             .collect();
         assert_eq!(slow.len(), 1);
         assert_eq!((slow[0].task, slow[0].stem), (1, 0));
+    }
+
+    #[test]
+    fn persistent_panic_is_quarantined_after_retries() {
+        let path = temp("quarantine");
+        fn inject(task: usize, stem: usize) -> Injection {
+            if task == 0 && stem == 1 {
+                Injection::Panic
+            } else {
+                Injection::Run
+            }
+        }
+        let rc = RunnerConfig {
+            inject: Some(inject),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let summary = run(&small_spec(), &path, &rc).unwrap();
+        assert!(summary.complete());
+        // The hook panics on every attempt, so the unit is quarantined
+        // with a terminal panic record after exactly `retries` re-runs.
+        assert_eq!(summary.panicked, 1);
+        assert_eq!(summary.retried, 2);
+        let contents = read(&path).unwrap();
+        let bad: Vec<_> = contents
+            .units
+            .iter()
+            .filter(|u| u.status == UnitStatus::Panic)
+            .collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!((bad[0].task, bad[0].stem), (0, 1));
+        assert_eq!(bad[0].retries, 2);
+        // Each failed attempt left a journaled retry event.
+        assert_eq!(contents.events.len(), 2);
+        assert!(contents.events.iter().all(|e| e.what == "unit-retry"));
+    }
+
+    #[test]
+    fn chaos_panics_converge_with_retries() {
+        // Fault-free baseline.
+        let clean = temp("chaos-clean");
+        run(&small_spec(), &clean, &RunnerConfig::default()).unwrap();
+        let baseline = crate::report(&clean).unwrap().canonical_text();
+
+        // Same campaign under injected panics, IO errors and delays:
+        // with retries, every unit ends Ok and the canonical report is
+        // byte-identical.
+        let path = temp("chaos-faulty");
+        let rc = RunnerConfig {
+            retries: 6,
+            backoff: Duration::from_millis(1),
+            chaos: Some(
+                ChaosPlan::new(0xF17E5)
+                    .with_unit_panics(300)
+                    .with_journal_errors(250)
+                    .with_delays(200, 2),
+            ),
+            ..Default::default()
+        };
+        let summary = run(&small_spec(), &path, &rc).unwrap();
+        assert!(summary.complete());
+        assert_eq!(
+            summary.panicked, 0,
+            "every chaos panic must be retried away"
+        );
+        assert!(summary.retried > 0, "the plan must actually inject faults");
+        assert_eq!(crate::report(&path).unwrap().canonical_text(), baseline);
+    }
+
+    #[test]
+    fn step_budget_exhausts_units_and_campaign_completes() {
+        let clean = temp("budget-clean");
+        let mut spec = small_spec();
+        run(&spec, &clean, &RunnerConfig::default()).unwrap();
+        let baseline = crate::report(&clean).unwrap().canonical_text();
+
+        // A deliberately tiny step budget: stems exhaust instead of
+        // completing, the campaign still finishes, and the exhausted
+        // units are journaled as such with their partial results.
+        for t in &mut spec.tasks {
+            t.step_budget = Some(3);
+        }
+        let path = temp("budget-tiny");
+        let summary = run(&spec, &path, &RunnerConfig::default()).unwrap();
+        assert!(summary.complete());
+        assert!(summary.exhausted > 0, "a 3-step budget must exhaust stems");
+        assert_eq!(summary.panicked, 0);
+        let contents = read(&path).unwrap();
+        let exhausted: Vec<_> = contents
+            .units
+            .iter()
+            .filter(|u| u.status == UnitStatus::Exhausted)
+            .collect();
+        assert_eq!(exhausted.len(), summary.exhausted);
+        assert!(exhausted.iter().all(|u| u.reason.is_some()));
+        // Exhaustion is deterministic: a rerun journals the same terminal
+        // statuses and the same canonical report.
+        let rerun = temp("budget-tiny-rerun");
+        let summary2 = run(&spec, &rerun, &RunnerConfig::default()).unwrap();
+        assert_eq!(summary2.exhausted, summary.exhausted);
+        assert_eq!(
+            crate::report(&path).unwrap().canonical_text(),
+            crate::report(&rerun).unwrap().canonical_text()
+        );
+        // And the budgeted canonical report differs from the unbudgeted
+        // one only through the exhausted counts — never by *extra*
+        // faults: partial results must not leak into redundancy claims.
+        let budgeted = crate::report(&path).unwrap();
+        let clean_report = crate::report(&clean).unwrap();
+        for (b, c) in budgeted.tasks.iter().zip(&clean_report.tasks) {
+            for f in &b.faults {
+                assert!(
+                    c.faults.contains(f),
+                    "budgeted run claimed a fault the clean run did not: {f:?}"
+                );
+            }
+        }
+        assert_ne!(crate::report(&path).unwrap().canonical_text(), baseline);
+    }
+
+    #[test]
+    fn exhausted_units_are_not_rerun_on_resume() {
+        let mut spec = small_spec();
+        for t in &mut spec.tasks {
+            t.step_budget = Some(3);
+        }
+        let path = temp("budget-resume");
+        let rc = RunnerConfig {
+            max_units: Some(2),
+            ..Default::default()
+        };
+        let first = run(&spec, &path, &rc).unwrap();
+        assert_eq!(first.executed, 2);
+        let second = resume(&path, &RunnerConfig::default()).unwrap();
+        assert!(second.complete());
+        assert_eq!(second.skipped, 2);
+        // The resumed half exhausts the same way: the spec (and so the
+        // budget) rides in the journal header.
+        let rerun = temp("budget-resume-rerun");
+        let summary = run(&spec, &rerun, &RunnerConfig::default()).unwrap();
+        assert_eq!(first.exhausted + second.exhausted, summary.exhausted);
+        assert_eq!(
+            crate::report(&path).unwrap().canonical_text(),
+            crate::report(&rerun).unwrap().canonical_text()
+        );
     }
 
     #[test]

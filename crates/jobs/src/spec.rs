@@ -2,7 +2,7 @@
 //! configuration.
 
 use fires_circuits::suite;
-use fires_core::FiresConfig;
+use fires_core::{Budget, FiresConfig};
 use fires_netlist::Circuit;
 use fires_obs::Json;
 
@@ -18,15 +18,24 @@ pub struct TaskSpec {
     pub frames: Option<usize>,
     /// Run the Definition-6 validation step.
     pub validate: bool,
+    /// Implication-step budget per stem (see
+    /// [`Budget::max_steps`]); `None` runs unbudgeted. Only the
+    /// deterministic step limit is spec-level: it changes *results*
+    /// (which stems exhaust), so it must survive the journal round-trip
+    /// for resume to reproduce them; wall-clock limits stay runner
+    /// knobs.
+    pub step_budget: Option<u64>,
 }
 
 impl TaskSpec {
-    /// A task with the suite's default frame budget and validation on.
+    /// A task with the suite's default frame budget, validation on and
+    /// no step budget.
     pub fn new(circuit: impl Into<String>) -> Self {
         TaskSpec {
             circuit: circuit.into(),
             frames: None,
             validate: true,
+            step_budget: None,
         }
     }
 }
@@ -53,6 +62,8 @@ pub struct ResolvedTask {
     pub hash: u64,
     /// The core configuration (frame budget, validation).
     pub config: FiresConfig,
+    /// The per-stem resource budget the task's units run under.
+    pub budget: Budget,
 }
 
 impl CampaignSpec {
@@ -109,12 +120,18 @@ impl CampaignSpec {
                 let mut config = FiresConfig::with_max_frames(t.frames.unwrap_or(entry.frames));
                 config.validate = t.validate;
                 config.check()?;
+                let budget = match t.step_budget {
+                    Some(steps) => Budget::unlimited().with_max_steps(steps),
+                    None => Budget::unlimited(),
+                };
+                budget.check()?;
                 let hash = entry.circuit.content_hash();
                 Ok(ResolvedTask {
                     name: entry.name.to_string(),
                     circuit: entry.circuit,
                     hash,
                     config,
+                    budget,
                 })
             })
             .collect()
@@ -129,6 +146,9 @@ impl CampaignSpec {
                 .set("validate", t.validate);
             if let Some(frames) = t.frames {
                 j.set("frames", frames as u64);
+            }
+            if let Some(steps) = t.step_budget {
+                j.set("step_budget", steps);
             }
             tasks.push(j);
         }
@@ -145,39 +165,46 @@ impl CampaignSpec {
             .and_then(Json::as_str)
             .ok_or_else(|| JobError::journal("spec has no name"))?
             .to_string();
-        let tasks = j
-            .get("tasks")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| JobError::journal("spec has no task array"))?
-            .iter()
-            .map(|t| {
-                let circuit = t
-                    .get("circuit")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| JobError::journal("task has no circuit"))?
-                    .to_string();
-                let validate = t
-                    .get("validate")
-                    .and_then(|v| match v {
-                        Json::Bool(b) => Some(*b),
-                        _ => None,
+        let tasks =
+            j.get("tasks")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| JobError::journal("spec has no task array"))?
+                .iter()
+                .map(|t| {
+                    let circuit = t
+                        .get("circuit")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| JobError::journal("task has no circuit"))?
+                        .to_string();
+                    let validate = t
+                        .get("validate")
+                        .and_then(|v| match v {
+                            Json::Bool(b) => Some(*b),
+                            _ => None,
+                        })
+                        .ok_or_else(|| JobError::journal("task has no validate flag"))?;
+                    let frames = match t.get("frames") {
+                        Some(f) => Some(
+                            f.as_u64()
+                                .ok_or_else(|| JobError::journal("task frames is not an integer"))?
+                                as usize,
+                        ),
+                        None => None,
+                    };
+                    let step_budget = match t.get("step_budget") {
+                        Some(s) => Some(s.as_u64().ok_or_else(|| {
+                            JobError::journal("task step_budget is not an integer")
+                        })?),
+                        None => None,
+                    };
+                    Ok(TaskSpec {
+                        circuit,
+                        frames,
+                        validate,
+                        step_budget,
                     })
-                    .ok_or_else(|| JobError::journal("task has no validate flag"))?;
-                let frames = match t.get("frames") {
-                    Some(f) => Some(
-                        f.as_u64()
-                            .ok_or_else(|| JobError::journal("task frames is not an integer"))?
-                            as usize,
-                    ),
-                    None => None,
-                };
-                Ok(TaskSpec {
-                    circuit,
-                    frames,
-                    validate,
                 })
-            })
-            .collect::<Result<Vec<_>, JobError>>()?;
+                .collect::<Result<Vec<_>, JobError>>()?;
         Ok(CampaignSpec { name, tasks })
     }
 }
@@ -200,9 +227,15 @@ mod tests {
         let mut spec = CampaignSpec::from_circuits("t", ["fig3"]);
         spec.tasks[0].frames = Some(7);
         spec.tasks[0].validate = false;
+        spec.tasks[0].step_budget = Some(500);
         let r = spec.resolve().unwrap();
         assert_eq!(r[0].config.max_frames, 7);
         assert!(!r[0].config.validate);
+        assert_eq!(r[0].budget.max_steps, Some(500));
+        let unbudgeted = CampaignSpec::from_circuits("t", ["fig3"])
+            .resolve()
+            .unwrap();
+        assert!(unbudgeted[0].budget.is_unlimited());
     }
 
     #[test]
@@ -217,6 +250,9 @@ mod tests {
         let mut degenerate = CampaignSpec::from_circuits("t", ["s27"]);
         degenerate.tasks[0].frames = Some(0);
         assert!(matches!(degenerate.resolve(), Err(JobError::Core(_))));
+        let mut zero_budget = CampaignSpec::from_circuits("t", ["s27"]);
+        zero_budget.tasks[0].step_budget = Some(0);
+        assert!(matches!(zero_budget.resolve(), Err(JobError::Core(_))));
     }
 
     #[test]
@@ -224,6 +260,7 @@ mod tests {
         let mut spec = CampaignSpec::suite("small").unwrap();
         spec.tasks[1].frames = Some(9);
         spec.tasks[2].validate = false;
+        spec.tasks[0].step_budget = Some(20_000);
         let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
     }

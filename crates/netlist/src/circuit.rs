@@ -321,9 +321,9 @@ fn topo_order(nodes: &[Node], names: &[String]) -> Result<Vec<NodeId>, NetlistEr
         }
     }
     if order.len() != n {
-        // Invariant, not an input error: an incomplete Kahn order implies at
-        // least one node with a positive residual indegree.
-        let culprit = (0..n).find(|&i| indegree[i] > 0).expect("cycle member");
+        // An incomplete Kahn order implies at least one node with a positive
+        // residual indegree; the fallback index keeps this panic-free.
+        let culprit = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
         return Err(NetlistError::CombinationalCycle {
             name: names[culprit].clone(),
         });

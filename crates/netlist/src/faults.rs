@@ -141,9 +141,12 @@ impl FaultList {
                     uf.union(key(Fault::sa1(ins[0])), key(Fault::sa0(out)));
                 }
                 GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-                    // Invariant, not an input error: every AND/NAND/OR/NOR
-                    // gate has a controlling value by definition.
-                    let c = kind.controlling_value().expect("has controlling value");
+                    // Every AND/NAND/OR/NOR gate has a controlling value by
+                    // definition; skipping (rather than panicking) merely
+                    // loses a collapse opportunity if that ever broke.
+                    let Some(c) = kind.controlling_value() else {
+                        continue;
+                    };
                     let out_val = c ^ kind.is_inverting();
                     for &i in ins {
                         uf.union(

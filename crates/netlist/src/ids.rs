@@ -16,7 +16,10 @@ macro_rules! id_type {
             /// Panics if `index` does not fit in `u32`.
             #[inline]
             pub fn new(index: usize) -> Self {
-                Self(u32::try_from(index).expect("id index overflows u32"))
+                match u32::try_from(index) {
+                    Ok(raw) => Self(raw),
+                    Err(_) => panic!("id index {index} overflows u32"),
+                }
             }
 
             /// Returns the raw index, suitable for indexing a `Vec`.

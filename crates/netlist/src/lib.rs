@@ -42,6 +42,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hostile `.bench` input must surface as `NetlistError`, never a panic;
+// tests may still unwrap for brevity.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bench;
 mod builder;

@@ -1,0 +1,162 @@
+//! Mutation fuzzing of the `.bench` parser: start from *valid* sources
+//! and break them — truncation, byte flips, duplicated definitions,
+//! pathologically deep or wide netlists. Whatever the damage, `parse`
+//! must return `Err` or a circuit whose serialization round-trips; it
+//! must never panic and never hang.
+
+use fires_netlist::{bench, Circuit, LineGraph};
+use proptest::prelude::*;
+
+/// Valid seed sources the mutations start from.
+const SEEDS: &[&str] = &[
+    // Combinational with fanout.
+    "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(y)\nm = NAND(a, b)\nz = NOT(m)\ny = BUFF(m)\n",
+    // Sequential loop through a flip-flop.
+    "INPUT(G0)\nINPUT(G1)\nOUTPUT(G17)\nG5 = DFF(G10)\nG10 = NAND(G0, G5)\n\
+     G11 = NOR(G1, G5)\nG17 = XOR(G10, G11)\n",
+    // Constants and comments.
+    "# header\nINPUT(a)\nOUTPUT(z)\nk = CONST1()\nz = AND(a, k) # trailing\n",
+];
+
+/// Parsing must succeed or fail cleanly; on success the circuit must
+/// survive serialize → reparse with the same shape, and the line graph
+/// must build (downstream layers trust accepted circuits completely).
+fn must_handle(text: &str) {
+    if let Ok(circuit) = bench::parse(text) {
+        let serialized = bench::to_text(&circuit);
+        let round = bench::parse(&serialized).expect("own output parses");
+        assert_eq!(round.num_nodes(), circuit.num_nodes());
+        assert_eq!(round.num_outputs(), circuit.num_outputs());
+        // `to_text` orders inputs first, so one serialization pass
+        // normalizes node ids; after that the text is a fixed point.
+        assert_eq!(bench::to_text(&round), serialized);
+        let _ = LineGraph::build(&circuit);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, .. ProptestConfig::default() })]
+
+    /// Truncating a valid source at any byte never panics the parser.
+    #[test]
+    fn truncation_is_handled(pick in (0..SEEDS.len(), 0..4096usize)) {
+        let (which, cut) = pick;
+        let src = SEEDS[which];
+        let cut = cut.min(src.len());
+        let text = String::from_utf8_lossy(&src.as_bytes()[..cut]);
+        must_handle(&text);
+    }
+
+    /// Flipping arbitrary bytes to arbitrary values never panics.
+    #[test]
+    fn byte_flips_are_handled(
+        pick in (0..SEEDS.len(),
+                 proptest::collection::vec((0..4096usize, 0..256usize), 1..8))
+    ) {
+        let (which, flips) = pick;
+        let mut bytes = SEEDS[which].as_bytes().to_vec();
+        for (pos, value) in flips {
+            let at = pos % bytes.len();
+            bytes[at] = value as u8;
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        must_handle(&text);
+    }
+
+    /// Re-appending lines of a valid source (duplicate INPUT / OUTPUT /
+    /// gate definitions) errors cleanly or round-trips.
+    #[test]
+    fn duplicated_lines_are_handled(
+        pick in (0..SEEDS.len(), proptest::collection::vec(0..16usize, 1..4))
+    ) {
+        let (which, dups) = pick;
+        let src = SEEDS[which];
+        let lines: Vec<&str> = src.lines().collect();
+        let mut text = String::from(src);
+        for d in dups {
+            text.push_str(lines[d % lines.len()]);
+            text.push('\n');
+        }
+        must_handle(&text);
+    }
+
+    /// Splicing a random line from one seed into another never panics
+    /// (undefined signals, arity clashes, redefinitions).
+    #[test]
+    fn spliced_sources_are_handled(
+        pick in (0..SEEDS.len(), 0..SEEDS.len(), 0..16usize, 0..16usize)
+    ) {
+        let (dst, src, take, at) = pick;
+        let donor: Vec<&str> = SEEDS[src].lines().collect();
+        let mut lines: Vec<&str> = SEEDS[dst].lines().collect();
+        lines.insert(at % (lines.len() + 1), donor[take % donor.len()]);
+        must_handle(&lines.join("\n"));
+    }
+}
+
+/// A deep inverter chain parses, builds and levelizes without blowing
+/// the stack or hanging — topological order must be iterative.
+#[test]
+fn deep_chains_do_not_overflow_or_hang() {
+    const DEPTH: usize = 50_000;
+    let mut text = String::from("INPUT(x0)\n");
+    for i in 1..=DEPTH {
+        text.push_str(&format!("x{i} = NOT(x{})\n", i - 1));
+    }
+    text.push_str(&format!("OUTPUT(x{DEPTH})\n"));
+    let circuit = bench::parse(&text).expect("deep chain is valid");
+    assert_eq!(circuit.num_nodes(), DEPTH + 1);
+    let _ = LineGraph::build(&circuit);
+}
+
+/// One gate with a huge fanin list (and its dual: one net with a huge
+/// fanout) parses and builds; wide structures are as legal as deep ones.
+#[test]
+fn wide_fanin_and_fanout_are_handled() {
+    const WIDTH: usize = 5_000;
+    let mut text = String::new();
+    for i in 0..WIDTH {
+        text.push_str(&format!("INPUT(i{i})\n"));
+    }
+    let args: Vec<String> = (0..WIDTH).map(|i| format!("i{i}")).collect();
+    text.push_str(&format!("z = AND({})\n", args.join(", ")));
+    for i in 0..WIDTH {
+        text.push_str(&format!("b{i} = NOT(z)\nOUTPUT(b{i})\n"));
+    }
+    let circuit = bench::parse(&text).expect("wide circuit is valid");
+    assert_eq!(circuit.num_nodes(), 2 * WIDTH + 1);
+    let _ = LineGraph::build(&circuit);
+}
+
+/// A fanin chain that re-reads every earlier net (quadratic reference
+/// structure) stays well within the arity checks.
+#[test]
+fn accumulating_fanin_chain_is_handled() {
+    const DEPTH: usize = 12;
+    let mut text = String::from("INPUT(x0)\n");
+    for i in 1..=DEPTH {
+        let args: Vec<String> = (0..i).map(|j| format!("x{j}")).collect();
+        text.push_str(&format!("x{i} = NAND({})\n", args.join(", ")));
+    }
+    text.push_str(&format!("OUTPUT(x{DEPTH})\n"));
+    match bench::parse(&text) {
+        Ok(circuit) => {
+            let _ = LineGraph::build(&circuit);
+        }
+        Err(e) => {
+            // An arity limit is acceptable; a panic is not.
+            let _ = e.to_string();
+        }
+    }
+}
+
+/// The serializer's output for every seed is a fixed point of
+/// parse ∘ to_text (mutation testing relies on the seeds being valid).
+#[test]
+fn seeds_round_trip() {
+    for (i, seed) in SEEDS.iter().enumerate() {
+        let c: Circuit = bench::parse(seed).unwrap_or_else(|e| panic!("seed {i}: {e}"));
+        let again = bench::parse(&bench::to_text(&c)).expect("serialized seed parses");
+        assert_eq!(again.content_hash(), c.content_hash(), "seed {i}");
+    }
+}

@@ -7,7 +7,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "tool": "fires-bench/table2",
 //!   "subject": "s838_like",
 //!   "total_seconds": 1.234,
@@ -32,7 +32,13 @@ use crate::timer::PhaseTimes;
 /// Version of the JSON layout written by [`RunReport::to_json`]. Bump on
 /// any incompatible change and keep `from_json` accepting old versions
 /// where practical.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version 2 added the campaign degradation counters
+/// (`units_exhausted`, `units_retried`, `retry_events`) to the `extra`
+/// payload written by `fires-jobs`. Version-1 documents are still
+/// readable: `extra` is free-form, so [`RunReport::from_json`] accepts
+/// both.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One run's worth of observability output.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -125,10 +131,10 @@ impl RunReport {
         let version = field("schema_version")?.as_u64().ok_or_else(|| JsonError {
             message: "schema_version is not an integer".into(),
         })?;
-        if version != SCHEMA_VERSION {
+        if version == 0 || version > SCHEMA_VERSION {
             return Err(JsonError {
                 message: format!(
-                    "unsupported schema_version {version} (this build reads {SCHEMA_VERSION})"
+                    "unsupported schema_version {version} (this build reads 1..={SCHEMA_VERSION})"
                 ),
             });
         }
@@ -259,10 +265,18 @@ mod tests {
     fn schema_version_is_stamped_and_enforced() {
         let report = sample();
         let mut j = report.to_json();
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            j.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
         j.set("schema_version", 999u64);
         let err = RunReport::from_json(&j).unwrap_err();
         assert!(err.message.contains("schema_version"), "{err}");
+        // Older documents stay readable; version 0 never existed.
+        j.set("schema_version", 1u64);
+        assert!(RunReport::from_json(&j).is_ok());
+        j.set("schema_version", 0u64);
+        assert!(RunReport::from_json(&j).is_err());
     }
 
     #[test]
