@@ -9,11 +9,12 @@
 //! The trace below is produced by direct engine calls; the final
 //! identification runs as a `fires-jobs` campaign like the other tables.
 
-use fires_bench::{jobs_campaign, JsonOut, TextTable, Threads};
+use fires_bench::{jobs_campaign, JsonOut, TextTable, Threads, TraceOut};
 use fires_core::{Fires, FiresConfig};
 
 fn main() {
     let (json, mut args) = JsonOut::from_env();
+    let trace = TraceOut::extract(&mut args);
     let threads = Threads::extract(&mut args).count();
     let circuit = fires_circuits::figures::figure7();
     let fires = Fires::new(&circuit, FiresConfig::with_max_frames(3));
@@ -68,4 +69,5 @@ fn main() {
     rr.tool = "table1".into();
     rr.subject = "figure7".into();
     json.write(&rr);
+    trace.write();
 }

@@ -17,12 +17,13 @@
 //! (DESIGN.md §10), and `--json <path>` to also write a
 //! machine-readable run report.
 
-use fires_bench::{jobs_campaign_tuned, json_row, CampaignTuning, JsonOut, Threads};
+use fires_bench::{jobs_campaign_tuned, json_row, CampaignTuning, JsonOut, Threads, TraceOut};
 use fires_circuits::suite::table2_suite;
 use fires_obs::{Json, RunReport};
 
 fn main() {
     let (json, mut filter) = JsonOut::from_env();
+    let trace = TraceOut::extract(&mut filter);
     let threads = Threads::extract(&mut filter).count();
     let tuning = CampaignTuning::extract(&mut filter);
     let suite = table2_suite();
@@ -91,6 +92,11 @@ fn main() {
     let (children_v, _) = validated.run_reports();
     let all: Vec<RunReport> = children_u.into_iter().chain(children_v).collect();
     let rollup = RunReport::aggregate("table2/campaigns", "suite", &all);
+    // The rolled-up engine metrics (counters, maxima and the per-stem
+    // histograms) also live at the top level, where `fires compare`
+    // flattens them: the committed perf baseline gates on these.
+    rr.metrics.merge(&rollup.metrics);
     rr.set_extra("campaigns", rollup.to_json());
     json.write(&rr);
+    trace.write();
 }

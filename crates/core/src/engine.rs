@@ -32,6 +32,10 @@ pub struct EngineStats {
     pub blame_cap_rejections: usize,
     /// Times the frame window grew to admit a new indicator.
     pub window_extensions: usize,
+    /// Implications enqueued, uncontrollability and unobservability
+    /// queues combined (total work offered to the fixpoints, where the
+    /// depth fields above only record the high-water marks).
+    pub enqueued: usize,
 }
 
 /// An uncontrollability indicator value: the line *cannot take* this value.
@@ -371,6 +375,9 @@ impl<'c> Implications<'c> {
     #[inline]
     fn budget_tripped(&mut self) -> bool {
         if self.meter.is_unlimited() {
+            // Still count the step: per-stem effort histograms read the
+            // cumulative step count off the meter, budget or not.
+            self.meter.note_step();
             return false;
         }
         let queued = self.queue.len() + self.uqueue.len();
@@ -431,6 +438,7 @@ impl<'c> Implications<'c> {
         });
         self.index.get_mut(&(line, frame)).expect("just inserted")[unc.bit()] = Some(id);
         self.queue.push_back(id);
+        self.stats.enqueued += 1;
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
         Some(id)
     }
@@ -785,6 +793,7 @@ impl<'c> Implications<'c> {
             + blame.len() * std::mem::size_of::<MarkId>();
         self.unobs.insert((line, frame), UnobsInfo { blame });
         self.uqueue.push_back((line, frame));
+        self.stats.enqueued += 1;
         self.stats.max_unobs_queue_depth = self.stats.max_unobs_queue_depth.max(self.uqueue.len());
     }
 

@@ -595,6 +595,7 @@ impl<'c> Fires<'c> {
         if cancel.is_cancelled() {
             return Err(interrupted());
         }
+        let stem_started = std::time::Instant::now();
         // One meter travels through all four fixpoints so the cumulative
         // limits (steps, wall clock) span the stem, exactly once.
         let mut meter = BudgetMeter::new(ctx.budget);
@@ -621,7 +622,7 @@ impl<'c> Fires<'c> {
         meter = p0.take_meter();
         p1.set_meter(meter);
         p1.run_unobservability(&mut ctx.cache);
-        let _ = p1.take_meter();
+        meter = p1.take_meter();
         if p0.interrupted() || p1.interrupted() {
             clock.exit();
             return Err(interrupted());
@@ -650,12 +651,24 @@ impl<'c> Fires<'c> {
         );
         metrics.incr("core.exhausted_stems", u64::from(exhausted.is_some()));
         metrics.observe("core.stem_marks", marks as u64);
+        // Per-stem cost distributions: a handful of pathological stems
+        // dominate wall-clock, and these histograms are how they show up
+        // in reports. The inputs are counted unconditionally on the hot
+        // path (one integer add each); the observations happen once per
+        // stem and compile to no-ops when the `tracing` feature is off.
+        metrics.observe("core.stem_steps", meter.steps());
+        metrics.observe(
+            "core.stem_queued",
+            (p0.stats().enqueued + p1.stats().enqueued) as u64,
+        );
+        metrics.observe("core.stem_frames", frames as u64);
         for stats in [p0.stats(), p1.stats()] {
             metrics.incr(
                 "core.blame_cap_rejections",
                 stats.blame_cap_rejections as u64,
             );
             metrics.incr("core.window_extensions", stats.window_extensions as u64);
+            metrics.incr("core.implications_enqueued", stats.enqueued as u64);
             metrics.set_max("core.max_queue_depth", stats.max_queue_depth as u64);
             metrics.set_max(
                 "core.max_unobs_queue_depth",
@@ -685,6 +698,10 @@ impl<'c> Fires<'c> {
         }
         clock.exit();
         metrics.incr("core.faults_found", found as u64);
+        metrics.observe(
+            "core.stem_micros",
+            stem_started.elapsed().as_micros() as u64,
+        );
         Ok((found, marks, frames, exhausted))
     }
 
@@ -1174,6 +1191,28 @@ mod tests {
         let marks = m.histogram("core.stem_marks").expect("per-stem histogram");
         assert_eq!(marks.count(), report.stems_processed() as u64);
         assert_eq!(marks.sum(), report.marks_created() as u64);
+        // Per-stem cost histograms: one observation per stem, each.
+        let stems = report.stems_processed() as u64;
+        for name in [
+            "core.stem_steps",
+            "core.stem_queued",
+            "core.stem_frames",
+            "core.stem_micros",
+        ] {
+            let h = m
+                .histogram(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(h.count(), stems, "{name}");
+        }
+        // Steps are real queue pops even with no budget configured, and
+        // every enqueued implication is eventually popped (or dropped at
+        // trip time — not here, unlimited budget), so steps ≥ stems and
+        // the enqueued counter matches the per-stem histogram's mass.
+        assert!(m.histogram("core.stem_steps").unwrap().sum() > 0);
+        assert_eq!(
+            m.counter("core.implications_enqueued"),
+            m.histogram("core.stem_queued").unwrap().sum()
+        );
         // Phase breakdown: all three phases present, attribution within
         // the total (single clock, serial run).
         let pt = report.phase_times();

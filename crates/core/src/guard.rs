@@ -218,8 +218,9 @@ impl BudgetMeter {
         self.steps += 1;
     }
 
-    /// Fixpoint steps accounted so far.
-    #[cfg(test)]
+    /// Fixpoint steps accounted so far. Steps are counted in unlimited
+    /// mode too (one integer add per queue pop), so per-stem effort
+    /// histograms work without a budget configured.
     pub(crate) fn steps(&self) -> u64 {
         self.steps
     }

@@ -1,15 +1,27 @@
 //! The `fires` CLI: run, resume and inspect FIRES campaigns.
 //!
 //! ```text
-//! fires run    [--suite small|table2] [--circuit NAME]... [--name N]
-//!              [--out DIR] [--threads N] [--deadline-ms MS]
-//!              [--frames N] [--step-budget N] [--no-validate]
-//!              [--retries N] [--backoff-ms MS] [--json] [chaos flags]
-//! fires resume <journal> [--threads N] [--deadline-ms MS]
-//!              [--retries N] [--backoff-ms MS] [--json] [chaos flags]
-//! fires status <journal>
-//! fires report <journal> [--json]
+//! fires run     [--suite small|table2] [--circuit NAME]... [--name N]
+//!               [--out DIR] [--threads N] [--deadline-ms MS]
+//!               [--frames N] [--step-budget N] [--no-validate]
+//!               [--retries N] [--backoff-ms MS] [--json] [chaos flags]
+//! fires resume  <journal> [--threads N] [--deadline-ms MS]
+//!               [--retries N] [--backoff-ms MS] [--json] [chaos flags]
+//! fires status  <journal> [--json]
+//! fires watch   <journal> [--interval-ms MS] [--once]
+//! fires report  <journal> [--json]
+//! fires compare <baseline.json> <candidate.json>
+//!               [--max-regress-pct P] [--skip-time]
 //! ```
+//!
+//! `status` and `watch` summarise the journal itself (no engines are
+//! built), through the same [`JournalSummary`] path, so they agree with
+//! each other and stay cheap enough to poll against a live journal.
+//! `watch` tail-follows the journal — including across a writer kill and
+//! `fires resume` — and exits when the campaign completes. `compare`
+//! diffs two `RunReport` JSON documents metric-by-metric and exits
+//! nonzero when any cost metric regressed by more than the threshold:
+//! the perf gate CI runs against a committed baseline.
 //!
 //! Chaos flags (deterministic fault injection for robustness testing):
 //! `--chaos-seed N` enables the plan; `--chaos-panic P`,
@@ -26,7 +38,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use fires_jobs::{report, resume, run, CampaignSpec, ChaosPlan, RunSummary, RunnerConfig};
+use fires_jobs::{
+    journal, report, resume, run, CampaignSpec, ChaosPlan, JournalSummary, RunSummary, RunnerConfig,
+};
+use fires_obs::{compare_reports, CompareConfig, DeltaStatus, RunReport};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +53,9 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "resume" => cmd_resume(rest),
         "status" => cmd_status(rest),
+        "watch" => cmd_watch(rest),
         "report" => cmd_report(rest),
+        "compare" => return cmd_compare(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -56,14 +73,17 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  fires run    [--suite small|table2] [--circuit NAME]... [--name N]
-               [--out DIR] [--threads N] [--deadline-ms MS]
-               [--frames N] [--step-budget N] [--no-validate]
-               [--retries N] [--backoff-ms MS] [--json] [chaos flags]
-  fires resume <journal> [--threads N] [--deadline-ms MS]
-               [--retries N] [--backoff-ms MS] [--json] [chaos flags]
-  fires status <journal>
-  fires report <journal> [--json]
+  fires run     [--suite small|table2] [--circuit NAME]... [--name N]
+                [--out DIR] [--threads N] [--deadline-ms MS]
+                [--frames N] [--step-budget N] [--no-validate]
+                [--retries N] [--backoff-ms MS] [--json] [chaos flags]
+  fires resume  <journal> [--threads N] [--deadline-ms MS]
+                [--retries N] [--backoff-ms MS] [--json] [chaos flags]
+  fires status  <journal> [--json]
+  fires watch   <journal> [--interval-ms MS] [--once]
+  fires report  <journal> [--json]
+  fires compare <baseline.json> <candidate.json>
+                [--max-regress-pct P] [--skip-time]
 
 chaos flags (deterministic fault injection; requires --chaos-seed):
   --chaos-seed N       seed of every injection decision
@@ -298,38 +318,154 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
 
 fn cmd_status(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
-    let journal = journal_arg(&mut args)?;
+    let json = take_flag(&mut args, "--json");
+    let journal_path = journal_arg(&mut args)?;
     reject_leftovers(&args)?;
-    let merged = report(&journal).map_err(|e| e.to_string())?;
-    let mut done = 0usize;
-    let mut total = 0usize;
-    emitln(format_args!(
-        "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>8}",
-        "circuit", "ok", "poisoned", "timedout", "exhausted", "retried", "pending"
-    ))?;
-    for t in &merged.tasks {
-        let recorded = t.units_ok + t.units_panicked + t.units_timed_out + t.units_exhausted;
-        done += recorded;
-        total += t.units_total;
+    let contents = journal::read(&journal_path).map_err(|e| e.to_string())?;
+    let summary = JournalSummary::summarize(&contents);
+    if json {
+        emitln(summary.to_json().to_pretty())
+    } else {
+        emit(summary.render_table())
+    }
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    use std::io::IsTerminal;
+    let mut args = args.to_vec();
+    let once = take_flag(&mut args, "--once");
+    let interval = match take_value(&mut args, "--interval-ms")? {
+        Some(ms) => Duration::from_millis(parse_number(&ms, "--interval-ms")?),
+        None => Duration::from_millis(1000),
+    };
+    let journal_path = journal_arg(&mut args)?;
+    reject_leftovers(&args)?;
+
+    // On a terminal each frame repaints in place; piped output gets one
+    // frame per poll, newline-separated, for `fires watch | tee log`.
+    let live = std::io::stdout().is_terminal();
+    loop {
+        // A missing or still-headerless journal is a *waiting* state,
+        // not an error: the watcher may outpace `fires run` creating the
+        // file, and a killed writer leaves a torn tail that read()
+        // already tolerates.
+        let frame = match journal::read(&journal_path) {
+            Ok(contents) => {
+                let summary = JournalSummary::summarize(&contents);
+                let frame = summary.render_watch();
+                if summary.complete() {
+                    if live {
+                        emit(format_args!("\u{1b}[2J\u{1b}[H{frame}"))?;
+                    } else {
+                        emitln(&frame)?;
+                    }
+                    return Ok(());
+                }
+                frame
+            }
+            Err(e) => format!("waiting for journal {}: {e}\n", journal_path.display()),
+        };
+        if live {
+            emit(format_args!("\u{1b}[2J\u{1b}[H{frame}"))?;
+        } else {
+            emitln(&frame)?;
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Loads one `RunReport` JSON document (as written by `fires run` and
+/// the bench binaries).
+fn load_report(path: &Path) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    RunReport::from_json_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    match run_compare(args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("fires: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Diffs two report documents; returns the regression count.
+fn run_compare(args: &[String]) -> Result<usize, String> {
+    let mut args = args.to_vec();
+    let mut config = CompareConfig::default();
+    if let Some(p) = take_value(&mut args, "--max-regress-pct")? {
+        config.max_regress_pct = parse_number(&p, "--max-regress-pct")?;
+    }
+    if take_flag(&mut args, "--skip-time") {
+        config.include_time = false;
+    }
+    if args.len() != 2 {
+        return Err(format!(
+            "compare needs exactly <baseline.json> <candidate.json>\n{USAGE}"
+        ));
+    }
+    let baseline = load_report(Path::new(&args[0]))?;
+    let candidate = load_report(Path::new(&args[1]))?;
+    let outcome = compare_reports(&baseline, &candidate, &config);
+
+    if outcome.subject_mismatch {
         emitln(format_args!(
-            "{:<12} {:>6} {:>9} {:>9} {:>9} {:>8} {:>8}",
-            t.name,
-            t.units_ok,
-            t.units_panicked,
-            t.units_timed_out,
-            t.units_exhausted,
-            t.units_retried,
-            t.units_total - recorded,
+            "warning: reports describe different subjects ({:?} vs {:?})",
+            baseline.subject, candidate.subject
         ))?;
     }
     emitln(format_args!(
-        "{done}/{total} unit(s) journaled; campaign {}",
-        if done == total {
-            "complete"
+        "{:<44} {:>14} {:>14} {:>9} {}",
+        "metric", "baseline", "candidate", "delta", "verdict"
+    ))?;
+    for d in &outcome.deltas {
+        let fmt_value = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.6}")
+                .trim_end_matches('0')
+                .trim_end_matches('.')
+                .to_string(),
+            None => "-".into(),
+        };
+        emitln(format_args!(
+            "{:<44} {:>14} {:>14} {:>9} {}",
+            d.name,
+            fmt_value(d.baseline),
+            fmt_value(d.candidate),
+            match d.pct {
+                Some(pct) => format!("{pct:+.1}%"),
+                None => "-".into(),
+            },
+            d.status.label(),
+        ))?;
+    }
+    let regressions = outcome.regressions();
+    emitln(format_args!(
+        "{} metric(s) compared, {} regressed (threshold {:.1}%{})",
+        outcome.compared(),
+        regressions,
+        config.max_regress_pct,
+        if config.include_time {
+            ""
         } else {
-            "incomplete"
-        }
-    ))
+            "; time metrics skipped"
+        },
+    ))?;
+    if regressions > 0 {
+        let worst: Vec<&str> = outcome
+            .deltas
+            .iter()
+            .filter(|d| d.status == DeltaStatus::Regressed)
+            .map(|d| d.name.as_str())
+            .collect();
+        emitln(format_args!("REGRESSED: {}", worst.join(", ")))?;
+    }
+    Ok(regressions)
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {

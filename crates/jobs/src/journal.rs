@@ -49,7 +49,17 @@ use crate::spec::{CampaignSpec, ResolvedTask};
 ///
 /// Schema 2 added the `exhausted` unit status, the `retries`/`reason`
 /// unit fields, `event` records and the spec's `step_budget` override.
-pub const JOURNAL_SCHEMA: u64 = 2;
+/// Schema 3 added periodic `progress` heartbeat records — pure
+/// observability, ignored by the canonical merge — so a live `fires
+/// watch` can report throughput and worker occupancy without guessing.
+/// Schema-2 journals contain a strict subset of the schema-3 record
+/// kinds, so [`read`] accepts both (see [`JOURNAL_SCHEMA_MIN`]); note a
+/// schema-2 journal *resumed* by this build gains progress records and
+/// is no longer readable by schema-2-only builds.
+pub const JOURNAL_SCHEMA: u64 = 3;
+
+/// Oldest journal schema [`read`] still accepts.
+pub const JOURNAL_SCHEMA_MIN: u64 = 2;
 
 /// Per-task identity facts stored in the header.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -188,9 +198,10 @@ fn header_from_json(j: &Json) -> Result<JournalHeader, JobError> {
         .get("schema")
         .and_then(Json::as_u64)
         .ok_or_else(|| JobError::journal("header has no schema version"))?;
-    if schema != JOURNAL_SCHEMA {
+    if !(JOURNAL_SCHEMA_MIN..=JOURNAL_SCHEMA).contains(&schema) {
         return Err(JobError::journal(format!(
-            "journal schema {schema} unsupported (this build reads {JOURNAL_SCHEMA})"
+            "journal schema {schema} unsupported (this build reads \
+             {JOURNAL_SCHEMA_MIN}..={JOURNAL_SCHEMA})"
         )));
     }
     let spec = CampaignSpec::from_json(
@@ -402,6 +413,81 @@ fn event_from_json(j: &Json) -> Result<EventRecord, JobError> {
     })
 }
 
+/// A periodic heartbeat line describing campaign-wide progress at one
+/// instant of one process's run. Pure observability — ignored by the
+/// canonical merge, consumed by `fires watch`. Counts are cumulative
+/// over the whole journal (a resumed process counts the units already
+/// journaled before it started), so a watcher can compute throughput
+/// and an ETA from any single record plus the header's unit totals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgressRecord {
+    /// Terminal unit records in the journal at heartbeat time.
+    pub done: u64,
+    /// Units still to run (header total minus `done`).
+    pub pending: u64,
+    /// Of `done`: completed normally.
+    pub ok: u64,
+    /// Of `done`: poisoned (panicked out of retries).
+    pub panicked: u64,
+    /// Of `done`: overran their deadline.
+    pub timed_out: u64,
+    /// Of `done`: hit a budget limit.
+    pub exhausted: u64,
+    /// Retry events observed by this process so far.
+    pub retried: u64,
+    /// Seconds since this process's run started.
+    pub elapsed_seconds: f64,
+    /// Units completed by this process divided by `elapsed_seconds`.
+    pub units_per_second: f64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Workers executing a unit at heartbeat time (occupancy).
+    pub busy: u64,
+}
+
+fn progress_to_json(p: &ProgressRecord) -> Json {
+    let mut j = Json::object();
+    j.set("kind", "progress")
+        .set("done", p.done)
+        .set("pending", p.pending)
+        .set("ok", p.ok)
+        .set("panicked", p.panicked)
+        .set("timed_out", p.timed_out)
+        .set("exhausted", p.exhausted)
+        .set("retried", p.retried)
+        .set("elapsed_seconds", p.elapsed_seconds)
+        .set("units_per_second", p.units_per_second)
+        .set("workers", p.workers)
+        .set("busy", p.busy);
+    j
+}
+
+fn progress_from_json(j: &Json) -> Result<ProgressRecord, JobError> {
+    let int = |name: &str| {
+        j.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| JobError::journal(format!("progress record field {name:?} missing")))
+    };
+    let num = |name: &str| {
+        j.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| JobError::journal(format!("progress record field {name:?} missing")))
+    };
+    Ok(ProgressRecord {
+        done: int("done")?,
+        pending: int("pending")?,
+        ok: int("ok")?,
+        panicked: int("panicked")?,
+        timed_out: int("timed_out")?,
+        exhausted: int("exhausted")?,
+        retried: int("retried")?,
+        elapsed_seconds: num("elapsed_seconds")?,
+        units_per_second: num("units_per_second")?,
+        workers: int("workers")?,
+        busy: int("busy")?,
+    })
+}
+
 /// An open journal being appended to.
 #[derive(Debug)]
 pub struct Journal {
@@ -456,6 +542,11 @@ impl Journal {
     /// Appends one observability event record (see [`EventRecord`]).
     pub fn append_event(&mut self, event: &EventRecord) -> Result<(), JobError> {
         self.append_line(&event_to_json(event))
+    }
+
+    /// Appends one progress heartbeat (see [`ProgressRecord`]).
+    pub fn append_progress(&mut self, progress: &ProgressRecord) -> Result<(), JobError> {
+        self.append_line(&progress_to_json(progress))
     }
 
     /// The journal's on-disk path.
@@ -532,6 +623,9 @@ pub struct JournalContents {
     pub units: Vec<UnitRecord>,
     /// Every intact event record, in append order (observability only).
     pub events: Vec<EventRecord>,
+    /// Every intact progress heartbeat, in append order (observability
+    /// only; empty for schema-2 journals).
+    pub progress: Vec<ProgressRecord>,
     /// `true` when the final line was torn (a crash mid-write) and was
     /// dropped.
     pub torn: bool,
@@ -557,6 +651,7 @@ pub fn read(path: &Path) -> Result<JournalContents, JobError> {
         .and_then(|j| header_from_json(&j))?;
     let mut units = Vec::new();
     let mut events = Vec::new();
+    let mut progress = Vec::new();
     let mut torn = false;
     let last_index = text.lines().count() - 1;
     // A crash mid-append leaves a *prefix* of "record\n": never valid
@@ -607,9 +702,12 @@ pub fn read(path: &Path) -> Result<JournalContents, JobError> {
             Some("event") => {
                 events.push(event_from_json(&j).map_err(|e| at_line(e, i))?);
             }
+            Some("progress") => {
+                progress.push(progress_from_json(&j).map_err(|e| at_line(e, i))?);
+            }
             _ => {
                 return Err(JobError::journal(format!(
-                    "line {}: record kind is neither \"unit\" nor \"event\"",
+                    "line {}: record kind is not \"unit\", \"event\" or \"progress\"",
                     i + 1
                 )));
             }
@@ -619,6 +717,7 @@ pub fn read(path: &Path) -> Result<JournalContents, JobError> {
         header,
         units,
         events,
+        progress,
         torn,
     })
 }
@@ -773,6 +872,76 @@ mod tests {
         assert_eq!(back.events[0].what, "unit-retry");
         // Exhausted units still count as done: resume must not re-run them.
         assert!(back.done().contains(&(0, 5)));
+    }
+
+    fn sample_progress() -> ProgressRecord {
+        ProgressRecord {
+            done: 5,
+            pending: 6,
+            ok: 3,
+            panicked: 1,
+            timed_out: 0,
+            exhausted: 1,
+            retried: 2,
+            elapsed_seconds: 1.25,
+            units_per_second: 4.0,
+            workers: 4,
+            busy: 3,
+        }
+    }
+
+    #[test]
+    fn progress_records_round_trip() {
+        let path = temp("progress");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&sample_unit()).unwrap();
+        j.append_progress(&sample_progress()).unwrap();
+        j.append(&UnitRecord {
+            stem: 4,
+            ..sample_unit()
+        })
+        .unwrap();
+        drop(j);
+        let back = read(&path).unwrap();
+        assert_eq!(back.units.len(), 2);
+        assert_eq!(back.progress.len(), 1);
+        assert_eq!(back.progress[0], sample_progress());
+        // Heartbeats never mark work as done.
+        assert!(!back.done().contains(&(0, 5)));
+    }
+
+    #[test]
+    fn schema_2_journals_stay_readable() {
+        // Rewrite the header as a schema-2 build stamped it; the record
+        // kinds it wrote are a strict subset of ours.
+        let path = temp("schema2");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"schema\":3", "\"schema\":2");
+        assert!(text.contains("\"schema\":2"), "header must carry schema 2");
+        std::fs::write(&path, text).unwrap();
+        let back = read(&path).unwrap();
+        assert_eq!(back.units.len(), 1);
+        assert!(back.progress.is_empty());
+        // Schema 1 predates the resumable journal and is refused, as is
+        // anything newer than this build.
+        for bogus in ["\"schema\":1", "\"schema\":4"] {
+            let text = std::fs::read_to_string(&path)
+                .unwrap()
+                .replace("\"schema\":2", bogus);
+            std::fs::write(&path, text).unwrap();
+            assert!(
+                matches!(read(&path), Err(JobError::Journal { .. })),
+                "{bogus}"
+            );
+            let text = std::fs::read_to_string(&path)
+                .unwrap()
+                .replace(bogus, "\"schema\":2");
+            std::fs::write(&path, text).unwrap();
+        }
     }
 
     #[test]

@@ -54,12 +54,14 @@ pub mod journal;
 pub mod merge;
 pub mod runner;
 pub mod spec;
+pub mod summary;
 
 pub use chaos::ChaosPlan;
 pub use error::JobError;
 pub use merge::{CampaignReport, TaskReport};
 pub use runner::{build_engines, resume, run, Injection, RunSummary, RunnerConfig};
 pub use spec::{CampaignSpec, ResolvedTask, TaskSpec};
+pub use summary::{JournalSummary, TaskProgress};
 
 use std::path::Path;
 

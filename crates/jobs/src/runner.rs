@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -37,7 +37,9 @@ use fires_core::{Budget, CancelToken, CoreError, Fires, StemCtx, StemOutcome};
 
 use crate::chaos::ChaosPlan;
 use crate::error::JobError;
-use crate::journal::{self, EventRecord, Journal, JournalContents, UnitRecord, UnitStatus};
+use crate::journal::{
+    self, EventRecord, Journal, JournalContents, ProgressRecord, UnitRecord, UnitStatus,
+};
 use crate::spec::{CampaignSpec, ResolvedTask};
 
 /// Locks a mutex, tolerating poisoning: a worker that panicked while
@@ -78,6 +80,14 @@ pub struct RunnerConfig {
     /// Deterministic fault-injection plan for robustness tests; `None`
     /// in production.
     pub chaos: Option<ChaosPlan>,
+    /// Minimum spacing between journaled progress heartbeats
+    /// ([`ProgressRecord`]); `None` disables them. Heartbeats are
+    /// best-effort observability for `fires watch`: a lost one is
+    /// harmless and the canonical merge ignores them entirely, so they
+    /// cannot perturb report determinism. One final heartbeat is always
+    /// written when the invocation executed any units, so a finished
+    /// campaign's last heartbeat shows `pending == 0`.
+    pub progress_interval: Option<Duration>,
 }
 
 /// What the [`RunnerConfig::inject`] hook asks a unit to do.
@@ -101,6 +111,7 @@ impl Default for RunnerConfig {
             retries: 0,
             backoff: Duration::from_millis(10),
             chaos: None,
+            progress_interval: Some(Duration::from_millis(500)),
         }
     }
 }
@@ -156,6 +167,7 @@ pub fn run(
         header,
         units: Vec::new(),
         events: Vec::new(),
+        progress: Vec::new(),
         torn: false,
     };
     execute(&engines, &stem_ids, &budgets, journal, &fresh, rc)
@@ -240,6 +252,66 @@ fn execute(
     let exhausted = AtomicUsize::new(0);
     let retried = AtomicUsize::new(0);
 
+    // Heartbeat state. Counts in a ProgressRecord are cumulative over
+    // the whole journal, so a resumed run folds in the prior contents.
+    let threads = rc.threads.max(1);
+    let run_started = Instant::now();
+    let last_beat_ms = AtomicU64::new(0);
+    let busy = AtomicUsize::new(0);
+    let prior_counts = {
+        let count = |s: UnitStatus| prior.units.iter().filter(|u| u.status == s).count() as u64;
+        (
+            count(UnitStatus::Ok),
+            count(UnitStatus::Panic),
+            count(UnitStatus::Timeout),
+            count(UnitStatus::Exhausted),
+            prior.units.iter().map(|u| u.retries).sum::<u64>(),
+        )
+    };
+    let heartbeat = || -> ProgressRecord {
+        let (p_ok, p_panic, p_timeout, p_exhausted, p_retried) = prior_counts;
+        let ex = executed.load(Ordering::Relaxed) as u64;
+        let bad = panicked.load(Ordering::Relaxed) as u64
+            + timed_out.load(Ordering::Relaxed) as u64
+            + exhausted.load(Ordering::Relaxed) as u64;
+        let done = skipped as u64 + ex;
+        let elapsed = run_started.elapsed().as_secs_f64();
+        ProgressRecord {
+            done,
+            pending: (units.len() as u64).saturating_sub(done),
+            ok: p_ok + ex.saturating_sub(bad),
+            panicked: p_panic + panicked.load(Ordering::Relaxed) as u64,
+            timed_out: p_timeout + timed_out.load(Ordering::Relaxed) as u64,
+            exhausted: p_exhausted + exhausted.load(Ordering::Relaxed) as u64,
+            retried: p_retried + retried.load(Ordering::Relaxed) as u64,
+            elapsed_seconds: elapsed,
+            units_per_second: if elapsed > 0.0 {
+                ex as f64 / elapsed
+            } else {
+                0.0
+            },
+            workers: threads as u64,
+            busy: busy.load(Ordering::Relaxed) as u64,
+        }
+    };
+    // Best-effort: the winning worker appends one heartbeat per elapsed
+    // interval. A failed append is dropped silently — heartbeats carry
+    // no result data and must never fail a campaign.
+    let maybe_heartbeat = || {
+        let Some(interval) = rc.progress_interval else {
+            return;
+        };
+        let now_ms = run_started.elapsed().as_millis() as u64;
+        let prev = last_beat_ms.load(Ordering::Relaxed);
+        if now_ms.saturating_sub(prev) >= interval.as_millis() as u64
+            && last_beat_ms
+                .compare_exchange(prev, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            let _ = lock_unpoisoned(&journal).append_progress(&heartbeat());
+        }
+    };
+
     let worker = || {
         // Implication caches are per-circuit; keyed by task index. A
         // panicked unit may leave them mid-update, so they are rebuilt
@@ -261,6 +333,7 @@ fn execute(
             {
                 return;
             }
+            busy.fetch_add(1, Ordering::Relaxed);
             let (record, events) = run_unit(
                 &engines[task],
                 stem_ids[task][stem],
@@ -271,6 +344,7 @@ fn execute(
                 budgets[task],
                 rc,
             );
+            busy.fetch_sub(1, Ordering::Relaxed);
             if record.status == UnitStatus::Panic {
                 // Terminal panic: quarantine the unit and rebuild the
                 // task's caches (the panic may have left them mid-update).
@@ -317,10 +391,10 @@ fn execute(
                     return;
                 }
             }
+            maybe_heartbeat();
         }
     };
 
-    let threads = rc.threads.max(1);
     if threads == 1 {
         worker();
     } else {
@@ -329,6 +403,13 @@ fn execute(
                 scope.spawn(worker);
             }
         });
+    }
+
+    // Final heartbeat: a finished (or cleanly stopped) invocation leaves
+    // an up-to-date progress line so `fires watch` converges without
+    // waiting for an interval to elapse.
+    if rc.progress_interval.is_some() && executed.load(Ordering::Relaxed) > 0 {
+        let _ = lock_unpoisoned(&journal).append_progress(&heartbeat());
     }
 
     let failure = match failure.into_inner() {
@@ -812,6 +893,60 @@ mod tests {
         assert_eq!(
             crate::report(&path).unwrap().canonical_text(),
             crate::report(&rerun).unwrap().canonical_text()
+        );
+    }
+
+    #[test]
+    fn progress_heartbeats_are_cumulative_across_resume() {
+        let path = temp("progress");
+        let rc = RunnerConfig {
+            max_units: Some(3),
+            // Zero spacing: every unit completion beats, so even this
+            // fast campaign journals observable progress.
+            progress_interval: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        run(&small_spec(), &path, &rc).unwrap();
+        let contents = read(&path).unwrap();
+        assert!(!contents.progress.is_empty());
+        let total: u64 = contents.header.tasks.iter().map(|t| t.stems as u64).sum();
+        let last = contents.progress.last().unwrap();
+        assert_eq!(last.done, 3);
+        assert_eq!(last.pending, total - 3);
+        assert_eq!(last.workers, 1);
+
+        // Resume finishes the campaign; its heartbeats fold in the
+        // journaled prior so `done` keeps counting from 3, and the final
+        // heartbeat shows the campaign drained.
+        let rc = RunnerConfig {
+            progress_interval: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        resume(&path, &rc).unwrap();
+        let contents = read(&path).unwrap();
+        let last = contents.progress.last().unwrap();
+        assert_eq!(last.done, total);
+        assert_eq!(last.pending, 0);
+        assert_eq!(last.ok, total);
+        assert_eq!(last.panicked + last.timed_out + last.exhausted, 0);
+        // Monotone: done never decreases across the whole journal.
+        let dones: Vec<u64> = contents.progress.iter().map(|p| p.done).collect();
+        assert!(
+            dones.windows(2).all(|w| w[0] <= w[1]),
+            "done regressed: {dones:?}"
+        );
+        // Progress records are pure observability: the canonical report
+        // of this journal matches a heartbeat-free rerun byte-for-byte.
+        let quiet = temp("progress-quiet");
+        let rc = RunnerConfig {
+            progress_interval: None,
+            ..Default::default()
+        };
+        run(&small_spec(), &quiet, &rc).unwrap();
+        assert!(read(&quiet).unwrap().progress.is_empty());
+        assert_eq!(
+            crate::report(&path).unwrap().canonical_text(),
+            crate::report(&quiet).unwrap().canonical_text()
         );
     }
 

@@ -1,0 +1,179 @@
+//! End-to-end tests of the telemetry CLI surface: `fires watch` against
+//! a journal that was killed mid-append and resumed, and the `fires
+//! compare` perf gate's exit codes. Both drive the real binary
+//! (`CARGO_BIN_EXE_fires`), not library shims, so flag parsing and exit
+//! codes are covered too.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use fires_jobs::{journal, resume, run, CampaignSpec, JournalSummary, RunnerConfig};
+use fires_obs::RunReport;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fires-telemetry-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fires() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fires"))
+}
+
+#[test]
+fn watch_follows_a_killed_and_resumed_journal() {
+    let dir = temp_dir("watch");
+    let journal_path = dir.join("campaign.jsonl");
+    let spec = CampaignSpec::from_circuits("watchme", ["s27", "fig3"]);
+
+    // Phase 1: a run that stops early, then a kill mid-append (torn
+    // final line, no newline) — the worst journal a watcher can meet.
+    let rc = RunnerConfig {
+        max_units: Some(2),
+        progress_interval: Some(Duration::ZERO),
+        ..RunnerConfig::default()
+    };
+    run(&spec, &journal_path, &rc).unwrap();
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal_path)
+        .unwrap();
+    f.write_all(b"{\"kind\":\"unit\",\"task\":1,\"st").unwrap();
+    drop(f);
+
+    // The watch read path summarises the torn journal instead of
+    // erroring, and reading never mutates the file.
+    let bytes_before = std::fs::metadata(&journal_path).unwrap().len();
+    let contents = journal::read(&journal_path).unwrap();
+    let summary = JournalSummary::summarize(&contents);
+    assert!(summary.torn);
+    assert!(!summary.complete());
+    assert_eq!(summary.done(), 2);
+    assert_eq!(
+        bytes_before,
+        std::fs::metadata(&journal_path).unwrap().len()
+    );
+
+    // One watch frame over the torn, incomplete journal: exit 0, frame
+    // carries the counts and the torn-tail note.
+    let out = fires()
+        .args(["watch", "--once"])
+        .arg(&journal_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "watch --once failed: {out:?}");
+    let frame = String::from_utf8(out.stdout).unwrap();
+    assert!(frame.contains("campaign watchme"), "frame: {frame}");
+    assert!(frame.contains("2/"), "frame: {frame}");
+    assert!(frame.contains("torn"), "frame: {frame}");
+    assert!(frame.contains("incomplete"), "frame: {frame}");
+
+    // Phase 2: a live watcher tailing the journal while `resume`
+    // finishes the campaign must exit on its own, showing completion —
+    // and must not block or corrupt the writer.
+    let mut watcher = fires()
+        .args(["watch", "--interval-ms", "20"])
+        .arg(&journal_path)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let summary = resume(&journal_path, &RunnerConfig::default()).unwrap();
+    assert!(summary.complete());
+    // The watcher sees the drained journal within a few polls.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(status) = watcher.try_wait().unwrap() {
+            assert!(status.success());
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher did not exit after campaign completion"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut tail = String::new();
+    use std::io::Read;
+    watcher
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut tail)
+        .unwrap();
+    assert!(tail.contains("complete"), "watch tail: {tail}");
+
+    // The resumed journal is intact: a fresh read agrees with status.
+    let contents = journal::read(&journal_path).unwrap();
+    let summary = JournalSummary::summarize(&contents);
+    assert!(summary.complete());
+    assert!(!summary.torn);
+    let out = fires()
+        .args(["status", "--json"])
+        .arg(&journal_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"complete\": true"), "status: {text}");
+}
+
+#[test]
+fn compare_cli_gates_on_a_doctored_regression() {
+    let dir = temp_dir("compare");
+    let baseline_path = dir.join("baseline.json");
+    let candidate_path = dir.join("candidate.json");
+    let doctored_path = dir.join("doctored.json");
+
+    let mut baseline = RunReport::new("test", "gate");
+    baseline.total_seconds = 1.0;
+    baseline.metrics.incr("work.steps", 1_000);
+    for v in [10, 20, 40, 800] {
+        baseline.metrics.observe("work.latency", v);
+    }
+    baseline.write_to_file(&baseline_path).unwrap();
+
+    // Identical candidate: the gate passes.
+    baseline.write_to_file(&candidate_path).unwrap();
+    let status = fires()
+        .arg("compare")
+        .args([&baseline_path, &candidate_path])
+        .arg("--skip-time")
+        .status()
+        .unwrap();
+    assert!(status.success(), "identical reports must pass the gate");
+
+    // Doctored candidate: 50% more steps than the baseline trips the
+    // default 10% threshold and the exit code is nonzero.
+    let mut doctored = RunReport::new("test", "gate");
+    doctored.total_seconds = 1.0;
+    doctored.metrics.incr("work.steps", 1_500);
+    for v in [10, 20, 40, 800] {
+        doctored.metrics.observe("work.latency", v);
+    }
+    doctored.write_to_file(&doctored_path).unwrap();
+    let out = fires()
+        .arg("compare")
+        .args([&baseline_path, &doctored_path])
+        .arg("--skip-time")
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "a 50% step regression must fail the gate"
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("REGRESSED"), "output: {text}");
+    assert!(text.contains("counter.work.steps"), "output: {text}");
+
+    // A generous threshold lets the same pair pass.
+    let status = fires()
+        .arg("compare")
+        .args([&baseline_path, &doctored_path])
+        .args(["--skip-time", "--max-regress-pct", "75"])
+        .status()
+        .unwrap();
+    assert!(status.success(), "75% threshold must tolerate +50%");
+}

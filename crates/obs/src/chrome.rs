@@ -1,0 +1,374 @@
+//! Chrome Trace Event Format export.
+//!
+//! Converts the [`TraceRecord`] stream produced by the tracing facade
+//! into a `trace.json` document loadable in `chrome://tracing` or
+//! Perfetto. The facade's records carry no timestamps or thread
+//! identity (keeping the hot path cheap), so this module provides
+//! [`ChromeTraceSubscriber`]: a collector that stamps every record with
+//! microseconds-since-origin and a small per-thread *lane* number
+//! assigned in first-seen order. Worker threads of the jobs pool each
+//! get their own lane, which Chrome renders as separate tracks.
+//!
+//! Event mapping (see the Trace Event Format spec):
+//!
+//! * span enter → `"ph": "B"` (duration begin) with `args` = fields;
+//! * span exit  → `"ph": "E"` (duration end);
+//! * point event → `"ph": "i"` (instant, thread-scoped) with `args`;
+//! * one `"ph": "M"` metadata event per lane names the track.
+//!
+//! Timestamps (`ts`) are microseconds, as the format requires. All
+//! events share `pid` 1 — the exporter describes one process.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::trace::{lock_unpoisoned, FieldValue, Subscriber, TraceRecord};
+
+/// One facade record stamped with a timestamp and a thread lane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedRecord {
+    /// Microseconds since the subscriber was created.
+    pub ts_us: u64,
+    /// Dense per-thread lane id (0 = first thread seen).
+    pub lane: u64,
+    /// The underlying facade record.
+    pub record: TraceRecord,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    records: Vec<TimedRecord>,
+    lanes: HashMap<ThreadId, u64>,
+}
+
+/// Subscriber that buffers timestamped records for Chrome-trace export.
+///
+/// Unlike [`CollectingSubscriber`](crate::CollectingSubscriber) it
+/// records *when* and *where* (which thread) each span and event
+/// happened, which is exactly the extra information the Trace Event
+/// Format needs. Poisoned locks are recovered, not propagated: a
+/// panicking instrumented thread must not take the collector with it.
+#[derive(Debug)]
+pub struct ChromeTraceSubscriber {
+    origin: Instant,
+    state: Mutex<State>,
+}
+
+impl Default for ChromeTraceSubscriber {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTraceSubscriber {
+    /// An empty collector; timestamps count from this moment.
+    pub fn new() -> Self {
+        ChromeTraceSubscriber {
+            origin: Instant::now(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    fn push(&self, record: TraceRecord) {
+        let ts_us = self.origin.elapsed().as_micros() as u64;
+        let tid = std::thread::current().id();
+        let mut state = lock_unpoisoned(&self.state);
+        let next = state.lanes.len() as u64;
+        let lane = *state.lanes.entry(tid).or_insert(next);
+        state.records.push(TimedRecord {
+            ts_us,
+            lane,
+            record,
+        });
+    }
+
+    /// Snapshot of everything recorded so far, in arrival order.
+    pub fn snapshot(&self) -> Vec<TimedRecord> {
+        lock_unpoisoned(&self.state).records.clone()
+    }
+
+    /// Number of distinct threads seen so far.
+    pub fn lane_count(&self) -> usize {
+        lock_unpoisoned(&self.state).lanes.len()
+    }
+
+    /// The complete Chrome Trace Event Format document.
+    pub fn trace_json(&self) -> Json {
+        trace_events(&self.snapshot())
+    }
+
+    /// Writes the trace document to `path` (pretty-printed JSON).
+    pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.trace_json().to_pretty())
+    }
+}
+
+impl Subscriber for ChromeTraceSubscriber {
+    fn on_span_enter(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        self.push(TraceRecord::SpanEnter {
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+
+    fn on_span_exit(&self, name: &'static str, elapsed: Duration) {
+        self.push(TraceRecord::SpanExit { name, elapsed });
+    }
+
+    fn on_event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        self.push(TraceRecord::Event {
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+}
+
+fn field_to_json(v: &FieldValue) -> Json {
+    match v {
+        FieldValue::U64(n) => Json::Num(*n as f64),
+        FieldValue::I64(n) => Json::Num(*n as f64),
+        FieldValue::F64(n) => Json::Num(*n),
+        FieldValue::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn args_json(fields: &[(&'static str, FieldValue)]) -> Json {
+    let mut args = Json::object();
+    for (k, v) in fields {
+        args.set(*k, field_to_json(v));
+    }
+    args
+}
+
+fn base_event(ph: &str, name: &str, ts_us: u64, lane: u64) -> Json {
+    let mut e = Json::object();
+    e.set("name", name)
+        .set("cat", "fires")
+        .set("ph", ph)
+        .set("ts", ts_us as f64)
+        .set("pid", 1u64)
+        .set("tid", lane);
+    e
+}
+
+/// Pure converter: a timed record stream → the Chrome Trace Event
+/// Format document (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+///
+/// Emits one `thread_name` metadata event per lane so the tracks are
+/// labelled (`lane-0` is the first thread that produced a record —
+/// usually the orchestrator; workers follow in first-seen order).
+pub fn trace_events(records: &[TimedRecord]) -> Json {
+    let mut events = Vec::new();
+    let mut lanes: Vec<u64> = records.iter().map(|r| r.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for lane in lanes {
+        let mut meta = Json::object();
+        let mut args = Json::object();
+        args.set("name", format!("lane-{lane}"));
+        meta.set("name", "thread_name")
+            .set("ph", "M")
+            .set("pid", 1u64)
+            .set("tid", lane)
+            .set("args", args);
+        events.push(meta);
+    }
+    for r in records {
+        let e = match &r.record {
+            TraceRecord::SpanEnter { name, fields } => {
+                let mut e = base_event("B", name, r.ts_us, r.lane);
+                e.set("args", args_json(fields));
+                e
+            }
+            TraceRecord::SpanExit { name, .. } => base_event("E", name, r.ts_us, r.lane),
+            TraceRecord::Event { name, fields } => {
+                let mut e = base_event("i", name, r.ts_us, r.lane);
+                e.set("s", "t").set("args", args_json(fields));
+                e
+            }
+        };
+        events.push(e);
+    }
+    let mut doc = Json::object();
+    doc.set("traceEvents", Json::Arr(events))
+        .set("displayTimeUnit", "ms");
+    doc
+}
+
+/// Creates a [`ChromeTraceSubscriber`], installs it as the process
+/// global subscriber and returns a `'static` handle for export at the
+/// end of the run. Returns `None` when a subscriber is already
+/// installed (the global slot is one-shot).
+///
+/// The subscriber is intentionally leaked — it must outlive every
+/// instrumented thread, and the CLI exports and exits right after.
+pub fn install_chrome_trace() -> Option<&'static ChromeTraceSubscriber> {
+    if crate::trace::subscriber().is_some() {
+        return None;
+    }
+    let collector: &'static ChromeTraceSubscriber =
+        Box::leak(Box::new(ChromeTraceSubscriber::new()));
+    struct Forward(&'static ChromeTraceSubscriber);
+    impl Subscriber for Forward {
+        fn on_span_enter(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+            self.0.on_span_enter(name, fields)
+        }
+        fn on_span_exit(&self, name: &'static str, elapsed: Duration) {
+            self.0.on_span_exit(name, elapsed)
+        }
+        fn on_event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+            self.0.on_event(name, fields)
+        }
+    }
+    match crate::trace::set_subscriber(Box::new(Forward(collector))) {
+        Ok(()) => Some(collector),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans_balanced(events: &[Json]) -> bool {
+        // Per lane, B/E must nest like parentheses.
+        let mut depth: HashMap<u64, i64> = HashMap::new();
+        for e in events {
+            let lane = e.get("tid").and_then(Json::as_u64).unwrap();
+            match e.get("ph").and_then(Json::as_str).unwrap() {
+                "B" => *depth.entry(lane).or_insert(0) += 1,
+                "E" => {
+                    let d = depth.entry(lane).or_insert(0);
+                    *d -= 1;
+                    if *d < 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        depth.values().all(|&d| d == 0)
+    }
+
+    #[test]
+    fn structural_validity_of_exported_trace() {
+        let sub = ChromeTraceSubscriber::new();
+        sub.on_span_enter("stem", &[("id", FieldValue::U64(7))]);
+        sub.on_event("frame", &[("frame", FieldValue::I64(-1))]);
+        sub.on_span_exit("stem", Duration::from_micros(5));
+
+        let doc = sub.trace_json();
+        // Must survive an actual serialize/parse cycle.
+        let doc = Json::parse(&doc.to_pretty()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 1 metadata + 3 records.
+        assert_eq!(events.len(), 4);
+        for e in events {
+            // Required Trace Event Format fields on every entry.
+            assert!(e.get("name").and_then(Json::as_str).is_some());
+            assert!(e.get("ph").and_then(Json::as_str).is_some());
+            assert!(e.get("pid").and_then(Json::as_u64).is_some());
+            assert!(e.get("tid").and_then(Json::as_u64).is_some());
+            if e.get("ph").and_then(Json::as_str) != Some("M") {
+                assert!(e.get("ts").and_then(Json::as_f64).is_some());
+            }
+        }
+        assert!(spans_balanced(events));
+        // The B event carries its fields; the instant event is scoped.
+        let b = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .unwrap();
+        assert_eq!(
+            b.get("args")
+                .and_then(|a| a.get("id"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        let i = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .unwrap();
+        assert_eq!(i.get("s").and_then(Json::as_str), Some("t"));
+    }
+
+    #[test]
+    fn lanes_are_dense_and_per_thread() {
+        let sub = std::sync::Arc::new(ChromeTraceSubscriber::new());
+        sub.on_event("main", &[]);
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let s = std::sync::Arc::clone(&sub);
+            handles.push(std::thread::spawn(move || {
+                s.on_span_enter("work", &[]);
+                s.on_span_exit("work", Duration::ZERO);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sub.lane_count(), 4);
+        let records = sub.snapshot();
+        assert_eq!(records.len(), 7);
+        // Lane ids are dense 0..4 and each thread's records share one.
+        let mut lanes: Vec<u64> = records.iter().map(|r| r.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert_eq!(lanes, vec![0, 1, 2, 3]);
+        // Timestamps never run backwards in arrival order.
+        for pair in records.windows(2) {
+            assert!(pair[0].ts_us <= pair[1].ts_us);
+        }
+    }
+
+    #[test]
+    fn timed_records_round_trip_through_converter() {
+        let records = vec![
+            TimedRecord {
+                ts_us: 10,
+                lane: 0,
+                record: TraceRecord::SpanEnter {
+                    name: "campaign",
+                    fields: vec![("units", FieldValue::U64(3))],
+                },
+            },
+            TimedRecord {
+                ts_us: 90,
+                lane: 1,
+                record: TraceRecord::Event {
+                    name: "unit_done",
+                    fields: vec![("stem", FieldValue::Str("G7".into()))],
+                },
+            },
+            TimedRecord {
+                ts_us: 120,
+                lane: 0,
+                record: TraceRecord::SpanExit {
+                    name: "campaign",
+                    elapsed: Duration::from_micros(110),
+                },
+            },
+        ];
+        let doc = trace_events(&records);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 2 lanes → 2 metadata events, then the 3 records in order.
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[2].get("ts").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(events[3].get("tid").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            events[3]
+                .get("args")
+                .and_then(|a| a.get("stem"))
+                .and_then(Json::as_str),
+            Some("G7")
+        );
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Metric-by-metric comparison of two [`RunReport`]s — the
+//! perf-regression gate behind `fires compare`.
+//!
+//! Both reports are flattened into named scalar *cost* metrics (lower is
+//! better): total and per-phase seconds, every counter and maximum, and
+//! for each histogram its `count`, `sum`, `mean`, `p95` and `max`. A
+//! metric **regresses** when the candidate exceeds the baseline by more
+//! than the allowed percentage.
+//!
+//! Wall-clock-derived metrics (anything whose name mentions `seconds`,
+//! `micros` or `wall`) can be excluded with
+//! [`CompareConfig::include_time`] `= false`: CI runners have noisy
+//! clocks, but implication steps, enqueued work and marks created are
+//! deterministic for a fixed input, so the CI gate compares only those.
+//!
+//! A metric present in only one report never regresses: new
+//! instrumentation appears in every observability PR and losing a metric
+//! is reported as `gone`, both visible in the rendered table but not
+//! fatal.
+
+use crate::report::RunReport;
+
+/// How one metric moved between baseline and candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaStatus {
+    /// Candidate is worse by more than the allowed percentage.
+    Regressed,
+    /// Candidate is lower (by any amount).
+    Improved,
+    /// Within the allowed band.
+    Unchanged,
+    /// Only the candidate has this metric.
+    New,
+    /// Only the baseline has this metric.
+    Gone,
+    /// Excluded wall-clock metric (`include_time` is off).
+    SkippedTime,
+}
+
+impl DeltaStatus {
+    /// Short lower-case label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeltaStatus::Regressed => "REGRESSED",
+            DeltaStatus::Improved => "improved",
+            DeltaStatus::Unchanged => "ok",
+            DeltaStatus::New => "new",
+            DeltaStatus::Gone => "gone",
+            DeltaStatus::SkippedTime => "skipped (time)",
+        }
+    }
+}
+
+/// One flattened metric's movement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDelta {
+    /// Flattened metric name (`phase.validation`, `counter.core.marks_created`,
+    /// `hist.core.stem_steps.p95`, ...).
+    pub name: String,
+    /// Baseline value, if present.
+    pub baseline: Option<f64>,
+    /// Candidate value, if present.
+    pub candidate: Option<f64>,
+    /// Percent change vs baseline (`None` when either side is missing or
+    /// the baseline is zero).
+    pub pct: Option<f64>,
+    /// Verdict for this metric.
+    pub status: DeltaStatus,
+}
+
+/// Comparison policy.
+#[derive(Clone, Copy, Debug)]
+pub struct CompareConfig {
+    /// Maximum allowed increase, in percent, before a metric counts as a
+    /// regression.
+    pub max_regress_pct: f64,
+    /// Compare wall-clock-derived metrics too (off for CI determinism).
+    pub include_time: bool,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            max_regress_pct: 10.0,
+            include_time: true,
+        }
+    }
+}
+
+/// Result of [`compare_reports`].
+#[derive(Clone, Debug, Default)]
+pub struct CompareOutcome {
+    /// Every flattened metric, in name order.
+    pub deltas: Vec<MetricDelta>,
+    /// `true` when the two reports describe different subjects (the
+    /// comparison still runs, but the caller should warn).
+    pub subject_mismatch: bool,
+}
+
+impl CompareOutcome {
+    /// Number of regressed metrics.
+    pub fn regressions(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| d.status == DeltaStatus::Regressed)
+            .count()
+    }
+
+    /// Number of metrics actually compared (both sides present, not
+    /// skipped).
+    pub fn compared(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.status,
+                    DeltaStatus::Regressed | DeltaStatus::Improved | DeltaStatus::Unchanged
+                )
+            })
+            .count()
+    }
+
+    /// `true` when the candidate passes the gate.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+}
+
+/// Whether a flattened metric name measures wall-clock time. Phase
+/// durations are always seconds, whatever the phase is called.
+pub fn is_time_metric(name: &str) -> bool {
+    name.starts_with("phase.")
+        || name.contains("seconds")
+        || name.contains("micros")
+        || name.contains("wall")
+}
+
+fn flatten(report: &RunReport) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    out.push(("total_seconds".to_string(), report.total_seconds));
+    for (name, secs) in &report.phases {
+        out.push((format!("phase.{name}"), *secs));
+    }
+    for (name, v) in report.metrics.counters() {
+        out.push((format!("counter.{name}"), v as f64));
+    }
+    for (name, v) in report.metrics.maxima() {
+        out.push((format!("max.{name}"), v as f64));
+    }
+    for (name, h) in report.metrics.histograms() {
+        out.push((format!("hist.{name}.count"), h.count() as f64));
+        out.push((format!("hist.{name}.sum"), h.sum() as f64));
+        out.push((format!("hist.{name}.mean"), h.mean()));
+        out.push((format!("hist.{name}.p95"), h.p95() as f64));
+        out.push((format!("hist.{name}.max"), h.max() as f64));
+    }
+    out
+}
+
+/// Flattens both reports and classifies every metric. Deterministic:
+/// deltas come back sorted by name.
+pub fn compare_reports(
+    baseline: &RunReport,
+    candidate: &RunReport,
+    cfg: &CompareConfig,
+) -> CompareOutcome {
+    let base: std::collections::BTreeMap<String, f64> = flatten(baseline).into_iter().collect();
+    let cand: std::collections::BTreeMap<String, f64> = flatten(candidate).into_iter().collect();
+    let mut names: Vec<&String> = base.keys().chain(cand.keys()).collect();
+    names.sort();
+    names.dedup();
+
+    let mut deltas = Vec::with_capacity(names.len());
+    for name in names {
+        let b = base.get(name).copied();
+        let c = cand.get(name).copied();
+        let (pct, status) = if !cfg.include_time && is_time_metric(name) {
+            (None, DeltaStatus::SkippedTime)
+        } else {
+            match (b, c) {
+                (None, _) => (None, DeltaStatus::New),
+                (_, None) => (None, DeltaStatus::Gone),
+                (Some(b), Some(c)) => {
+                    if b == 0.0 {
+                        // Zero baseline: any growth is "new territory",
+                        // not a measurable percentage.
+                        let status = if c > 0.0 {
+                            DeltaStatus::New
+                        } else {
+                            DeltaStatus::Unchanged
+                        };
+                        (None, status)
+                    } else {
+                        let pct = (c - b) / b * 100.0;
+                        let status = if pct > cfg.max_regress_pct {
+                            DeltaStatus::Regressed
+                        } else if c < b {
+                            DeltaStatus::Improved
+                        } else {
+                            DeltaStatus::Unchanged
+                        };
+                        (Some(pct), status)
+                    }
+                }
+            }
+        };
+        deltas.push(MetricDelta {
+            name: name.clone(),
+            baseline: b,
+            candidate: c,
+            pct,
+            status,
+        });
+    }
+    CompareOutcome {
+        deltas,
+        subject_mismatch: baseline.subject != candidate.subject,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(marks: u64, steps: &[u64], secs: f64) -> RunReport {
+        let mut r = RunReport::new("fires-bench/table2", "s27");
+        r.total_seconds = secs;
+        r.add_phase("implication", secs * 0.8);
+        r.metrics.incr("core.marks_created", marks);
+        for &s in steps {
+            r.metrics.observe("core.stem_steps", s);
+        }
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report(100, &[5, 9, 30], 1.0);
+        let out = compare_reports(&a, &a.clone(), &CompareConfig::default());
+        assert!(out.passed());
+        assert!(!out.subject_mismatch);
+        assert!(out.compared() > 0);
+        assert!(out
+            .deltas
+            .iter()
+            .all(|d| d.status != DeltaStatus::Regressed));
+    }
+
+    #[test]
+    fn doctored_regression_fails_the_gate() {
+        let base = report(100, &[5, 9, 30], 1.0);
+        // 3× the marks and much heavier stems: well past 10%.
+        let worse = report(300, &[50, 90, 300], 1.05);
+        let out = compare_reports(&base, &worse, &CompareConfig::default());
+        assert!(!out.passed());
+        let names: Vec<&str> = out
+            .deltas
+            .iter()
+            .filter(|d| d.status == DeltaStatus::Regressed)
+            .map(|d| d.name.as_str())
+            .collect();
+        assert!(names.contains(&"counter.core.marks_created"), "{names:?}");
+        assert!(names.contains(&"hist.core.stem_steps.sum"), "{names:?}");
+    }
+
+    #[test]
+    fn time_metrics_are_skippable() {
+        let base = report(100, &[5], 1.0);
+        let slow = report(100, &[5], 100.0); // 100× slower wall clock
+        let cfg = CompareConfig {
+            include_time: false,
+            ..CompareConfig::default()
+        };
+        let out = compare_reports(&base, &slow, &cfg);
+        assert!(out.passed(), "time-only change must pass with time off");
+        assert!(out
+            .deltas
+            .iter()
+            .any(|d| d.status == DeltaStatus::SkippedTime));
+        // And fails when time is included.
+        let out = compare_reports(&base, &slow, &CompareConfig::default());
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn new_and_gone_metrics_do_not_gate() {
+        let mut base = report(100, &[5], 1.0);
+        base.metrics.incr("old.counter", 7);
+        let mut cand = report(100, &[5], 1.0);
+        cand.metrics.incr("brand.new_counter", 1_000_000);
+        let out = compare_reports(&base, &cand, &CompareConfig::default());
+        assert!(out.passed());
+        let by_name = |n: &str| out.deltas.iter().find(|d| d.name == n).unwrap();
+        assert_eq!(by_name("counter.old.counter").status, DeltaStatus::Gone);
+        assert_eq!(
+            by_name("counter.brand.new_counter").status,
+            DeltaStatus::New
+        );
+    }
+
+    #[test]
+    fn threshold_is_a_percentage() {
+        let base = report(100, &[], 1.0);
+        let cand = report(140, &[], 1.0); // +40%
+        let lax = CompareConfig {
+            max_regress_pct: 50.0,
+            ..CompareConfig::default()
+        };
+        assert!(compare_reports(&base, &cand, &lax).passed());
+        let strict = CompareConfig {
+            max_regress_pct: 25.0,
+            ..CompareConfig::default()
+        };
+        let out = compare_reports(&base, &cand, &strict);
+        assert!(!out.passed());
+        let d = out
+            .deltas
+            .iter()
+            .find(|d| d.name == "counter.core.marks_created")
+            .unwrap();
+        assert!((d.pct.unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subject_mismatch_is_flagged() {
+        let a = report(1, &[], 1.0);
+        let mut b = report(1, &[], 1.0);
+        b.subject = "s838_like".into();
+        assert!(compare_reports(&a, &b, &CompareConfig::default()).subject_mismatch);
+    }
+}

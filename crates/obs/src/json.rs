@@ -143,6 +143,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -410,7 +418,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| JsonError {
                     message: "invalid UTF-8 in string".into(),
                 })?;
-                let c = rest.chars().next().unwrap();
+                let Some(c) = rest.chars().next() else {
+                    return err(format!("unexpected end of string at byte {pos}"));
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -429,7 +439,9 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     ) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number");
+    // The scanned range is ASCII digits/signs/dots by construction; an
+    // empty fallback just reports "invalid number" below.
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap_or("");
     match text.parse::<f64>() {
         Ok(n) => Ok(Json::Num(n)),
         Err(_) => err(format!("invalid number {text:?} at byte {start}")),

@@ -23,13 +23,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chrome;
+pub mod compare;
 pub mod json;
 mod metrics;
 mod report;
 mod timer;
 mod trace;
 
+pub use chrome::{install_chrome_trace, ChromeTraceSubscriber, TimedRecord};
+pub use compare::{compare_reports, CompareConfig, CompareOutcome, DeltaStatus, MetricDelta};
 pub use json::Json;
 pub use metrics::{Histogram, RunMetrics};
 pub use report::{RunReport, SCHEMA_VERSION};

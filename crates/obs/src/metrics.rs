@@ -66,6 +66,56 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), by linear interpolation
+    /// inside the log₂ bucket holding the target rank.
+    ///
+    /// Bucket `k` spans values `[2^k - 1, 2^(k+1) - 2]`, so the estimate
+    /// is exact for buckets 0 and 1 and off by at most half a bucket
+    /// width otherwise; the result is always clamped to `[min, max]`,
+    /// which are tracked exactly.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (&k, &c) in &self.buckets {
+            let next = seen + c;
+            if next as f64 >= target {
+                let lo = (1u64 << k) - 1;
+                let hi = if k >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (k + 1)) - 2
+                };
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    ((target - seen as f64) / c as f64).clamp(0.0, 1.0)
+                };
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen = next;
+        }
+        self.max
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -91,7 +141,10 @@ impl Histogram {
             .set("sum", self.sum)
             .set("min", self.min)
             .set("max", self.max)
-            .set("mean", self.mean());
+            .set("mean", self.mean())
+            .set("p50", self.p50())
+            .set("p95", self.p95())
+            .set("p99", self.p99());
         let mut buckets = Json::object();
         for (&b, &c) in &self.buckets {
             buckets.set(format!("{b}"), c);
@@ -100,7 +153,9 @@ impl Histogram {
         j
     }
 
-    /// Inverse of [`to_json`](Self::to_json).
+    /// Inverse of [`to_json`](Self::to_json). The derived fields
+    /// (`mean`, `p50`, `p95`, `p99`) are recomputed, not read, so
+    /// doctored values cannot desynchronize them from the buckets.
     pub fn from_json(j: &Json) -> Option<Histogram> {
         let mut h = Histogram {
             count: j.get("count")?.as_u64()?,
@@ -301,6 +356,43 @@ mod tests {
         assert_eq!(Histogram::bucket_of(3), 2);
         assert_eq!(Histogram::bucket_of(7), 3);
         assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped() {
+        let mut h = Histogram::default();
+        assert_eq!(h.p50(), 0);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((1..=100).contains(&p50));
+        assert!(p99 <= h.max());
+        // A single observation: every quantile is that value.
+        let mut one = Histogram::default();
+        one.observe(42);
+        assert_eq!(one.quantile(0.0), 42);
+        assert_eq!(one.p50(), 42);
+        assert_eq!(one.quantile(1.0), 42);
+        // Small exact buckets (0 and 1) are exact.
+        let mut z = Histogram::default();
+        for _ in 0..10 {
+            z.observe(0);
+        }
+        assert_eq!(z.p99(), 0);
+    }
+
+    #[test]
+    fn quantile_tracks_the_bulk_of_a_skewed_distribution() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.observe(10);
+        }
+        h.observe(100_000);
+        // p50 must stay near the bulk, p99+ may reach the outlier bucket.
+        assert!(h.p50() <= 14, "p50 = {}", h.p50());
+        assert!(h.quantile(1.0) == 100_000);
     }
 
     #[test]

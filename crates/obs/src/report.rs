@@ -7,7 +7,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "tool": "fires-bench/table2",
 //!   "subject": "s838_like",
 //!   "total_seconds": 1.234,
@@ -35,10 +35,16 @@ use crate::timer::PhaseTimes;
 ///
 /// Version 2 added the campaign degradation counters
 /// (`units_exhausted`, `units_retried`, `retry_events`) to the `extra`
-/// payload written by `fires-jobs`. Version-1 documents are still
-/// readable: `extra` is free-form, so [`RunReport::from_json`] accepts
-/// both.
-pub const SCHEMA_VERSION: u64 = 2;
+/// payload written by `fires-jobs`. Version 3 added derived quantile
+/// summaries (`p50`/`p95`/`p99`) to every serialized [`Histogram`] and
+/// the per-stem cost histograms recorded by `fires-core`
+/// (`core.stem_*`). Both changes are additive — quantiles are
+/// recomputed from the buckets on read, never parsed — so version-1 and
+/// version-2 documents are still readable and [`RunReport::from_json`]
+/// accepts `1..=3`.
+///
+/// [`Histogram`]: crate::Histogram
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One run's worth of observability output.
 #[derive(Clone, Debug, Default, PartialEq)]

@@ -8,8 +8,19 @@
 //! nothing.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering the guard if a panicking instrumented thread
+/// poisoned it. A subscriber must keep collecting after a worker panic
+/// (the jobs runner isolates panics and retries the unit); the buffer it
+/// protects is append-only, so there is no torn invariant to fear.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// One field value attached to a span or event.
 #[derive(Clone, Debug, PartialEq)]
@@ -217,27 +228,24 @@ impl CollectingSubscriber {
 
     /// Snapshot of everything recorded so far.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.records.lock().unwrap().clone()
+        lock_unpoisoned(&self.records).clone()
     }
 }
 
 impl Subscriber for CollectingSubscriber {
     fn on_span_enter(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
-        self.records.lock().unwrap().push(TraceRecord::SpanEnter {
+        lock_unpoisoned(&self.records).push(TraceRecord::SpanEnter {
             name,
             fields: fields.to_vec(),
         });
     }
 
     fn on_span_exit(&self, name: &'static str, elapsed: Duration) {
-        self.records
-            .lock()
-            .unwrap()
-            .push(TraceRecord::SpanExit { name, elapsed });
+        lock_unpoisoned(&self.records).push(TraceRecord::SpanExit { name, elapsed });
     }
 
     fn on_event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
-        self.records.lock().unwrap().push(TraceRecord::Event {
+        lock_unpoisoned(&self.records).push(TraceRecord::Event {
             name,
             fields: fields.to_vec(),
         });
@@ -318,6 +326,30 @@ mod tests {
         assert!(matches!(
             &records[2],
             TraceRecord::SpanExit { name: "stem", .. }
+        ));
+    }
+
+    #[test]
+    fn poisoned_collector_keeps_collecting() {
+        let collector = std::sync::Arc::new(CollectingSubscriber::new());
+        // Poison the internal mutex: panic while holding the guard.
+        let poisoner = std::sync::Arc::clone(&collector);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.records.lock().unwrap();
+            panic!("instrumented thread dies mid-record");
+        })
+        .join();
+        assert!(collector.records.is_poisoned());
+        // The subscriber must shrug and keep recording.
+        collector.on_event("after_panic", &[("k", FieldValue::U64(1))]);
+        let records = collector.snapshot();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(
+            &records[0],
+            TraceRecord::Event {
+                name: "after_panic",
+                ..
+            }
         ));
     }
 

@@ -1,0 +1,116 @@
+//! Property tests for `Histogram::merge`: the merge must behave like a
+//! commutative, associative fold that agrees with single-shot recording
+//! across *any* split of the observation stream. These mirror the
+//! journal resume-cut suite in `fires-jobs` — a campaign's metrics are
+//! merged from per-thread, per-resume fragments in whatever order the
+//! scheduler produced them, and the result must not depend on that
+//! order.
+
+use fires_obs::Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn observe_all(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// Values spanning all bucket magnitudes, including the overflow edge.
+fn value_strategy() -> BoxedStrategy<u64> {
+    prop_oneof![
+        0u64..16,
+        16u64..4096,
+        4096u64..1_000_000,
+        (u64::MAX - 8)..u64::MAX,
+    ]
+    .boxed()
+}
+
+/// Values that survive a JSON round trip exactly: the JSON layer stores
+/// numbers as `f64`, so sums must stay below 2^53.
+fn json_exact_strategy() -> BoxedStrategy<u64> {
+    prop_oneof![0u64..16, 16u64..4096, 4096u64..1_000_000_000].boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Splitting the stream anywhere and merging the halves equals
+    /// recording the whole stream into one histogram.
+    #[test]
+    fn merge_agrees_with_single_shot_across_any_split(
+        values in vec(value_strategy(), 0..40),
+        cut_seed in 0usize..1000,
+    ) {
+        let whole = observe_all(&values);
+        let cut = if values.is_empty() { 0 } else { cut_seed % (values.len() + 1) };
+        let mut left = observe_all(&values[..cut]);
+        let right = observe_all(&values[cut..]);
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+    }
+
+    /// a ∪ b == b ∪ a.
+    #[test]
+    fn merge_is_commutative(
+        a in vec(value_strategy(), 0..25),
+        b in vec(value_strategy(), 0..25),
+    ) {
+        let (ha, hb) = (observe_all(&a), observe_all(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in vec(value_strategy(), 0..15),
+        b in vec(value_strategy(), 0..15),
+        c in vec(value_strategy(), 0..15),
+    ) {
+        let (ha, hb, hc) = (observe_all(&a), observe_all(&b), observe_all(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Many-way splits (the realistic campaign shape: one fragment per
+    /// worker per resume) still agree with single-shot recording, and
+    /// the JSON round trip preserves the merged result exactly.
+    #[test]
+    fn multiway_merge_and_round_trip(
+        values in vec(json_exact_strategy(), 1..60),
+        parts in 1usize..8,
+    ) {
+        let whole = observe_all(&values);
+        let mut merged = Histogram::default();
+        for chunk in values.chunks(values.len().div_ceil(parts)) {
+            merged.merge(&observe_all(chunk));
+        }
+        prop_assert_eq!(&merged, &whole);
+        let back = Histogram::from_json(&merged.to_json()).unwrap();
+        prop_assert_eq!(back, whole);
+    }
+
+    /// Quantiles stay bracketed by the exact extremes for any stream.
+    #[test]
+    fn quantiles_stay_in_range(values in vec(value_strategy(), 1..50)) {
+        let h = observe_all(&values);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            let est = h.quantile(q);
+            prop_assert!(est >= h.min() && est <= h.max(), "q={} est={}", q, est);
+        }
+        prop_assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+    }
+}

@@ -1,0 +1,151 @@
+//! RunReport schema migration: documents written by older builds must
+//! stay readable through the current (v3) reader.
+//!
+//! The fixtures below are captured verbatim from the serializers of the
+//! corresponding schema versions: v1 histograms had no derived quantile
+//! fields and v1 campaign extras lacked the degradation counters; v2
+//! added `units_exhausted` / `units_retried` / `retry_events` to
+//! `extra`. v3 adds `p50`/`p95`/`p99` to serialized histograms —
+//! derived fields the reader recomputes, so their absence in old
+//! documents costs nothing.
+
+use fires_obs::{Json, RunReport, SCHEMA_VERSION};
+
+/// A schema_version-1 document as PR 1's serializer wrote it.
+const V1_FIXTURE: &str = r#"{
+  "schema_version": 1,
+  "tool": "fires-bench/table2",
+  "subject": "s27",
+  "total_seconds": 0.125,
+  "phases": {"implication": 0.09, "validation": 0.03},
+  "phase_order": ["implication", "validation"],
+  "metrics": {
+    "counters": {"core.marks_created": 41, "core.stems_processed": 3},
+    "maxima": {"core.max_frames_used": 5},
+    "histograms": {
+      "core.blame_set_size": {
+        "count": 4,
+        "sum": 70,
+        "min": 2,
+        "max": 60,
+        "mean": 17.5,
+        "log2_buckets": {"1": 1, "2": 2, "5": 1}
+      }
+    }
+  },
+  "extra": {"identified_faults": 2}
+}"#;
+
+/// A schema_version-2 document with the campaign degradation counters.
+const V2_FIXTURE: &str = r#"{
+  "schema_version": 2,
+  "tool": "fires-jobs/campaign",
+  "subject": "table2-small",
+  "total_seconds": 3.5,
+  "phases": {"implication": 2.0, "unobservability": 1.0, "validation": 0.5},
+  "phase_order": ["implication", "unobservability", "validation"],
+  "metrics": {
+    "counters": {"core.marks_created": 120},
+    "maxima": {"core.max_queue_depth": 64},
+    "histograms": {
+      "core.stem_marks": {
+        "count": 12,
+        "sum": 120,
+        "min": 1,
+        "max": 40,
+        "mean": 10.0,
+        "log2_buckets": {"1": 4, "3": 6, "5": 2}
+      }
+    }
+  },
+  "extra": {
+    "units_ok": 10,
+    "units_exhausted": 1,
+    "units_retried": 2,
+    "retry_events": 3
+  }
+}"#;
+
+#[test]
+fn v1_document_reads_through_v3_reader() {
+    let report = RunReport::from_json_str(V1_FIXTURE).expect("v1 must stay readable");
+    assert_eq!(report.tool, "fires-bench/table2");
+    assert_eq!(report.subject, "s27");
+    assert_eq!(report.phases.len(), 2);
+    assert_eq!(report.metrics.counter("core.marks_created"), 41);
+    let h = report.metrics.histogram("core.blame_set_size").unwrap();
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.max(), 60);
+    // Quantiles are recomputed from the buckets even though the v1
+    // document never carried them.
+    assert!(h.p95() <= h.max() && h.p50() >= h.min());
+    assert_eq!(
+        report.extra.get("identified_faults").and_then(Json::as_u64),
+        Some(2)
+    );
+}
+
+#[test]
+fn v2_document_reads_through_v3_reader() {
+    let report = RunReport::from_json_str(V2_FIXTURE).expect("v2 must stay readable");
+    assert_eq!(report.tool, "fires-jobs/campaign");
+    assert_eq!(report.metrics.maximum("core.max_queue_depth"), 64);
+    assert_eq!(
+        report.extra.get("units_retried").and_then(Json::as_u64),
+        Some(2)
+    );
+    let h = report.metrics.histogram("core.stem_marks").unwrap();
+    assert_eq!(h.sum(), 120);
+    assert!(h.p50() >= 1 && h.p99() <= 40);
+}
+
+#[test]
+fn migrated_documents_round_trip_at_v3() {
+    // Reading an old document and re-serializing stamps the current
+    // schema and produces a self-consistent v3 document.
+    for fixture in [V1_FIXTURE, V2_FIXTURE] {
+        let report = RunReport::from_json_str(fixture).unwrap();
+        let text = report.to_json_string();
+        let j = Json::parse(&text).unwrap();
+        assert_eq!(
+            j.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        // Serialized histograms now carry the quantile summary fields.
+        let hists = j
+            .get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(Json::as_obj)
+            .unwrap();
+        for h in hists.values() {
+            for field in ["p50", "p95", "p99"] {
+                assert!(h.get(field).and_then(Json::as_u64).is_some(), "{field}");
+            }
+        }
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+}
+
+#[test]
+fn doctored_quantiles_cannot_poison_the_reader() {
+    // p50/p95/p99 are derived on read; a tampered value is ignored.
+    let mut j = Json::parse(V2_FIXTURE).unwrap();
+    let report_before = RunReport::from_json_str(V2_FIXTURE).unwrap();
+    let mut metrics = j.get("metrics").unwrap().clone();
+    let mut hists = metrics.get("histograms").unwrap().clone();
+    let mut h = hists.get("core.stem_marks").unwrap().clone();
+    h.set("p95", 999_999u64);
+    hists.set("core.stem_marks", h);
+    metrics.set("histograms", hists);
+    j.set("metrics", metrics);
+    let report_after = RunReport::from_json(&j).unwrap();
+    assert_eq!(report_after, report_before);
+}
+
+#[test]
+fn future_schema_is_rejected() {
+    let mut j = Json::parse(V2_FIXTURE).unwrap();
+    j.set("schema_version", SCHEMA_VERSION + 1);
+    assert!(RunReport::from_json(&j).is_err());
+}
