@@ -9,12 +9,13 @@
 //! The trace below is produced by direct engine calls; the final
 //! identification runs as a `fires-jobs` campaign like the other tables.
 
-use fires_bench::{jobs_campaign, JsonOut, TextTable, Threads, TraceOut};
+use fires_bench::{jobs_campaign, JsonOut, ProfileOut, TextTable, Threads, TraceOut};
 use fires_core::{Fires, FiresConfig};
 
 fn main() {
     let (json, mut args) = JsonOut::from_env();
     let trace = TraceOut::extract(&mut args);
+    let profile = ProfileOut::extract(&mut args);
     let threads = Threads::extract(&mut args).count();
     let circuit = fires_circuits::figures::figure7();
     let fires = Fires::new(&circuit, FiresConfig::with_max_frames(3));
@@ -69,5 +70,6 @@ fn main() {
     rr.tool = "table1".into();
     rr.subject = "figure7".into();
     json.write(&rr);
+    profile.write(&rr);
     trace.write();
 }

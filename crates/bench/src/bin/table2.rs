@@ -14,16 +14,21 @@
 //! Pass circuit names as arguments to restrict the rows,
 //! `--threads N|auto` to size the worker pool, `--step-budget N` /
 //! `--retries N` to bound per-stem effort and retry panicked units
-//! (DESIGN.md §10), and `--json <path>` to also write a
-//! machine-readable run report.
+//! (DESIGN.md §10), `--json <path>` to also write a machine-readable
+//! run report, and `--profile <path>` to write the engine's per-rule
+//! hotspot profile plus folded stacks for flamegraph tooling
+//! (DESIGN.md §12).
 
-use fires_bench::{jobs_campaign_tuned, json_row, CampaignTuning, JsonOut, Threads, TraceOut};
+use fires_bench::{
+    jobs_campaign_tuned, json_row, CampaignTuning, JsonOut, ProfileOut, Threads, TraceOut,
+};
 use fires_circuits::suite::table2_suite;
 use fires_obs::{Json, RunReport};
 
 fn main() {
     let (json, mut filter) = JsonOut::from_env();
     let trace = TraceOut::extract(&mut filter);
+    let profile = ProfileOut::extract(&mut filter);
     let threads = Threads::extract(&mut filter).count();
     let tuning = CampaignTuning::extract(&mut filter);
     let suite = table2_suite();
@@ -96,7 +101,11 @@ fn main() {
     // histograms) also live at the top level, where `fires compare`
     // flattens them: the committed perf baseline gates on these.
     rr.metrics.merge(&rollup.metrics);
+    // The rolled-up hotspot profile rides at the top level too, where
+    // `--profile` and `fires profile` can reach it.
+    rr.profile = rollup.profile.clone();
     rr.set_extra("campaigns", rollup.to_json());
     json.write(&rr);
+    profile.write(&rr);
     trace.write();
 }

@@ -16,14 +16,15 @@
 
 use fires_atpg::Atpg;
 use fires_bench::{
-    fires_targets, gentest_like, jobs_campaign, record_campaign, JsonOut, TextTable, Threads,
-    TraceOut,
+    fires_targets, gentest_like, jobs_campaign, record_campaign, JsonOut, ProfileOut, TextTable,
+    Threads, TraceOut,
 };
 use fires_netlist::LineGraph;
 
 fn main() {
     let (json, mut args) = JsonOut::from_env();
     let trace = TraceOut::extract(&mut args);
+    let profile = ProfileOut::extract(&mut args);
     let threads = Threads::extract(&mut args).count();
     let name = args.first().map(String::as_str).unwrap_or("s5378_like");
     // Default cap keeps the harness runtime sane on redundancy-rich
@@ -95,5 +96,6 @@ fn main() {
     rr.set_extra("atpg_cpu_seconds", atpg_cpu);
     rr.set_extra("speedup_extrapolated", atpg_cpu_full / fires_cpu.max(1e-9));
     json.write(&rr);
+    profile.write(&rr);
     trace.write();
 }

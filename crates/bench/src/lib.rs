@@ -28,7 +28,9 @@ use fires_netlist::{Circuit, Fault};
 
 mod reporting;
 
-pub use reporting::{json_row, record_campaign, record_fault_sim, JsonOut, Threads, TraceOut};
+pub use reporting::{
+    json_row, record_campaign, record_fault_sim, JsonOut, ProfileOut, Threads, TraceOut,
+};
 
 /// Runs FIRES with the bench-standard thread plumbing: 1 worker uses the
 /// serial driver, anything more the in-process worker pool. Results are

@@ -69,6 +69,80 @@ impl JsonOut {
     }
 }
 
+/// The `--profile <path>` hotspot-profile destination extracted from
+/// the command line.
+///
+/// When requested, [`ProfileOut::write`] saves the report's merged
+/// [`RuleProfile`](fires_obs::RuleProfile) as a standalone JSON document
+/// (readable by `fires profile`) and writes the matching folded stacks —
+/// the input format of `flamegraph.pl`, inferno and speedscope — next to
+/// it under a `.folded` extension.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileOut {
+    path: Option<PathBuf>,
+}
+
+impl ProfileOut {
+    /// Removes a `--profile <path>` or `--profile=<path>` flag from
+    /// `args`, leaving the positional arguments in place.
+    pub fn extract(args: &mut Vec<String>) -> ProfileOut {
+        let mut path = None;
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(p) = args[i].strip_prefix("--profile=") {
+                path = Some(PathBuf::from(p));
+                args.remove(i);
+            } else if args[i] == "--profile" {
+                args.remove(i);
+                if i < args.len() {
+                    path = Some(PathBuf::from(args.remove(i)));
+                } else {
+                    eprintln!("error: --profile needs a file path");
+                    std::process::exit(2);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        ProfileOut { path }
+    }
+
+    /// Whether `--profile` was passed.
+    pub fn requested(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Writes the report's profile and folded stacks if `--profile` was
+    /// passed (otherwise a no-op). An untraced build records no profile;
+    /// that is a warning, not an abort, so one binary serves both
+    /// feature sets. Failing to *write* a requested profile aborts, same
+    /// as [`JsonOut::write`].
+    pub fn write(&self, report: &RunReport) {
+        let Some(path) = &self.path else { return };
+        let Some(profile) = &report.profile else {
+            eprintln!("warning: --profile ignored: the run recorded no profile (untraced build?)");
+            return;
+        };
+        let fail = |p: &std::path::Path, e: std::io::Error| -> ! {
+            eprintln!("error: cannot write {}: {e}", p.display());
+            std::process::exit(2);
+        };
+        let doc = profile.to_json().to_pretty() + "\n";
+        if let Err(e) = std::fs::write(path, doc) {
+            fail(path, e);
+        }
+        let folded_path = path.with_extension("folded");
+        if let Err(e) = std::fs::write(&folded_path, profile.folded_lines(&report.subject)) {
+            fail(&folded_path, e);
+        }
+        println!(
+            "wrote hotspot profile to {} (folded stacks: {})",
+            path.display(),
+            folded_path.display()
+        );
+    }
+}
+
 /// The `--trace <path>` Chrome-trace destination extracted from the
 /// command line.
 ///
@@ -282,6 +356,43 @@ mod tests {
         assert_eq!(args, strings(&["s27", "500"]));
         // write() without a path is a no-op.
         out.write(&RunReport::new("t", "s"));
+    }
+
+    #[test]
+    fn profile_out_writes_profile_and_folded_stacks() {
+        use fires_obs::{ProfileRule, RuleProfile};
+        let dir = std::env::temp_dir().join(format!("fires-profileout-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hotspots.json");
+        let mut args = vec![format!("--profile={}", path.display()), "s27".to_string()];
+        let out = ProfileOut::extract(&mut args);
+        assert!(out.requested());
+        assert_eq!(args, strings(&["s27"]));
+
+        // A report without a profile warns and writes nothing.
+        let mut r = RunReport::new("t", "s27");
+        out.write(&r);
+        assert!(!path.exists());
+
+        let mut p = RuleProfile::new();
+        p.record_many(ProfileRule::FwdInvert, 3);
+        r.profile = Some(p.clone());
+        out.write(&r);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = RuleProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        let folded = std::fs::read_to_string(path.with_extension("folded")).unwrap();
+        assert!(
+            folded.contains("s27;implication;invert;inverter 3\n"),
+            "{folded}"
+        );
+
+        // Without the flag, extraction is inert and write is a no-op.
+        let mut args = strings(&["s27"]);
+        let out = ProfileOut::extract(&mut args);
+        assert!(!out.requested());
+        out.write(&r);
     }
 
     #[test]

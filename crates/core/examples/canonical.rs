@@ -1,0 +1,39 @@
+//! Prints the canonical FIRES results for an embedded netlist.
+//!
+//! CI runs this example with and without `--no-default-features` and
+//! diffs the output byte-for-byte: the identified faults must never
+//! depend on whether instrumentation (and with it the hotspot profiler)
+//! is compiled in.
+
+use fires_core::{Fires, FiresConfig};
+use fires_netlist::bench;
+
+const NETLIST: &str = "\
+INPUT(a)\n\
+INPUT(b)\n\
+OUTPUT(d)\n\
+OUTPUT(c)\n\
+OUTPUT(z)\n\
+OUTPUT(w)\n\
+OUTPUT(x)\n\
+q = DFF(a)\n\
+bq = DFF(a)\n\
+c = DFF(a)\n\
+d = AND(bq, c)\n\
+n = NOT(b)\n\
+z = AND(b, n)\n\
+w = OR(q, z)\n\
+x = XOR(b, n)\n\
+";
+
+fn main() {
+    let circuit = bench::parse(NETLIST).expect("embedded netlist parses");
+    let fires = Fires::new(&circuit, FiresConfig::with_max_frames(5));
+    let report = fires.run();
+    println!("stems_processed {}", report.stems_processed());
+    println!("marks_created {}", report.marks_created());
+    println!("max_frames_used {}", report.max_frames_used());
+    for fault in report.display_faults() {
+        println!("{fault}");
+    }
+}

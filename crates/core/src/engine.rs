@@ -8,7 +8,7 @@ use fires_netlist::{graph, Circuit, GateKind, LineGraph, LineId, LineKind, NodeI
 
 use crate::cancel::CancelToken;
 use crate::guard::{BudgetMeter, ExhaustionReason};
-use crate::instrument::core_event;
+use crate::instrument::{core_event, core_profile, RuleProfile, RuleSteps};
 use crate::window::{Frame, Window};
 use crate::FiresConfig;
 
@@ -134,6 +134,10 @@ pub struct UnobsInfo {
 #[derive(Debug, Default)]
 pub struct DistCache {
     map: HashMap<LineId, Vec<u32>>,
+    // Always-on lookup counters (two integer bumps on a path that is
+    // already a hash probe): the profiler harvests deltas per stem.
+    hits: u64,
+    misses: u64,
 }
 
 impl DistCache {
@@ -142,7 +146,19 @@ impl DistCache {
         Self::default()
     }
 
+    /// `(hits, misses)` of all lookups so far. Hit counts depend on how
+    /// stems share a cache across worker threads, so they are
+    /// observability data, never gated metrics.
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
     fn dist_to(&mut self, circuit: &Circuit, lines: &LineGraph, to: LineId) -> &Vec<u32> {
+        if self.map.contains_key(&to) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
         self.map
             .entry(to)
             .or_insert_with(|| graph::min_ff_distance_rev(circuit, lines, to))
@@ -195,6 +211,7 @@ pub struct Implications<'c> {
     indicator_bytes: usize,
     stats: EngineStats,
     local_cache: DistCache,
+    profile: RuleSteps,
 }
 
 impl<'c> Implications<'c> {
@@ -220,6 +237,7 @@ impl<'c> Implications<'c> {
             indicator_bytes: 0,
             stats: EngineStats::default(),
             local_cache: DistCache::new(),
+            profile: RuleSteps::default(),
         };
         s.ensure_const_axioms();
         s
@@ -333,6 +351,43 @@ impl<'c> Implications<'c> {
     /// Hot-path counters accumulated so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Per-rule hotspot attribution accumulated so far. With the
+    /// `tracing` feature off this is the no-op stub and always empty.
+    pub fn profile(&self) -> RuleProfile {
+        self.build_profile(self.profile)
+    }
+
+    /// Removes the accumulated profile (for folding into per-stem
+    /// findings), leaving an empty step table behind. Call at most once,
+    /// at end of stem: the distributions are re-derived from the mark and
+    /// indicator stores, so a second call would re-count them.
+    pub(crate) fn take_profile(&mut self) -> RuleProfile {
+        let steps = std::mem::take(&mut self.profile);
+        self.build_profile(steps)
+    }
+
+    /// Assembles the full profile from the hot step table plus the
+    /// distributions the hot path never pays for: every created mark and
+    /// unobservability indicator is already stored (with its frame, and
+    /// the indicator with its blame set), so the per-frame-offset and
+    /// blame-set-size distributions fold out of those stores here, once
+    /// per stem, instead of observation by observation inside the loop.
+    #[allow(unused_mut)]
+    fn build_profile(&self, steps: RuleSteps) -> RuleProfile {
+        let mut profile = RuleProfile::from(steps);
+        #[cfg(feature = "tracing")]
+        {
+            for mark in &self.marks {
+                profile.record_frame_offset(u64::from(mark.frame.unsigned_abs()));
+            }
+            for ((_, frame), info) in &self.unobs {
+                profile.record_frame_offset(u64::from(frame.unsigned_abs()));
+                profile.record_blame_size(info.blame.len() as u64);
+            }
+        }
+        profile
     }
 
     /// Leftmost frame of the derivation rooted at `id` (`min_frame`).
@@ -477,23 +532,31 @@ impl<'c> Implications<'c> {
         };
         let lines = self.lines;
         let line = lines.line(line_id);
+        let mut dispatched = false;
 
         // A net carries one value: stem and branches agree.
         for &b in line.branches() {
+            dispatched = true;
+            core_profile!(self.profile, FwdBranchCopy);
             self.add_mark(b, frame, unc, vec![id], false);
         }
         match line.kind() {
             LineKind::Branch { node, .. } => {
+                dispatched = true;
+                core_profile!(self.profile, BwdBranchGather);
                 let stem = self.lines.stem_of(node);
                 self.add_mark(stem, frame, unc, vec![id], false);
             }
             LineKind::Stem { node } => {
                 let kind = self.circuit.node(node).kind();
                 if kind == GateKind::Dff {
+                    dispatched = true;
+                    core_profile!(self.profile, BwdDffShift);
                     // Q cannot be v at t  =>  D cannot be v at t-1.
                     let d = self.lines.in_line(node, 0);
                     self.add_mark(d, frame - 1, unc, vec![id], false);
                 } else if kind.is_logic() {
+                    dispatched = true;
                     self.eval_gate_backward(node, frame);
                 }
             }
@@ -502,16 +565,24 @@ impl<'c> Implications<'c> {
         if let Some((sink, _)) = line.sink_pin() {
             match self.circuit.node(sink).kind() {
                 GateKind::Dff => {
+                    dispatched = true;
+                    core_profile!(self.profile, FwdDffShift);
                     // D cannot be v at t  =>  Q cannot be v at t+1.
                     let q = self.lines.stem_of(sink);
                     self.add_mark(q, frame + 1, unc, vec![id], false);
                 }
                 k if k.is_logic() => {
+                    dispatched = true;
                     self.eval_gate_forward(sink, frame);
                     self.eval_gate_backward(sink, frame);
                 }
                 _ => {}
             }
+        }
+        if !dispatched {
+            // Primary outputs and other sink-less, branch-less lines: the
+            // pop did bookkeeping only, no rule fired.
+            self.profile.note_unattributed();
         }
     }
 
@@ -541,6 +612,10 @@ impl<'c> Implications<'c> {
                 // Work in terms of the AND/OR core: `nc` is the
                 // noncontrolling value, `c` the controlling one.
                 let c = kind.controlling_value().expect("controlling");
+                // Both rules scan the input list whether or not they fire,
+                // so each evaluation counts as one application.
+                core_profile!(self.profile, FwdAndBlockedInput);
+                core_profile!(self.profile, FwdAndAllBlocked);
                 // Core output cannot be the "all-noncontrolling" value nc'
                 // (1 for AND, 0 for OR) if some input cannot be nc.
                 if let Some(&blocked) = ins
@@ -563,6 +638,7 @@ impl<'c> Implications<'c> {
                 }
             }
             GateKind::Not | GateKind::Buf => {
+                core_profile!(self.profile, FwdInvert);
                 for unc in [Unc::Zero, Unc::One] {
                     if let Some(m) = self.mark_at(ins[0], frame, unc) {
                         let v = unc.value() ^ inv;
@@ -571,6 +647,7 @@ impl<'c> Implications<'c> {
                 }
             }
             GateKind::Xor | GateKind::Xnor => {
+                core_profile!(self.profile, FwdXorParity);
                 // Achievable parity mask.
                 let mut achievable: u8 = 0b01; // parity 0 achievable
                 let mut support: Vec<MarkId> = Vec::new();
@@ -618,6 +695,7 @@ impl<'c> Implications<'c> {
                 let c = kind.controlling_value().expect("controlling");
                 // Output cannot show the controlled value => no input may
                 // take the controlling value.
+                core_profile!(self.profile, BwdAndControlledValue);
                 if let Some(m) = self.mark_at(out, frame, Unc::cannot_be(c ^ inv)) {
                     for &i in ins {
                         self.add_mark(i, frame, Unc::cannot_be(c), vec![m], false);
@@ -625,8 +703,10 @@ impl<'c> Implications<'c> {
                 }
                 // Output cannot show the all-noncontrolling value: if every
                 // sibling is pinned at noncontrolling, this input cannot be
-                // noncontrolling either.
+                // noncontrolling either. Only counted when the quadratic
+                // sibling scan actually runs.
                 if let Some(m) = self.mark_at(out, frame, Unc::cannot_be(!c ^ inv)) {
+                    core_profile!(self.profile, BwdAndSibling);
                     for (k, &i) in ins.iter().enumerate() {
                         let siblings: Option<Vec<MarkId>> = ins
                             .iter()
@@ -642,6 +722,7 @@ impl<'c> Implications<'c> {
                 }
             }
             GateKind::Not | GateKind::Buf => {
+                core_profile!(self.profile, BwdInvert);
                 for w in [false, true] {
                     if let Some(m) = self.mark_at(out, frame, Unc::cannot_be(w)) {
                         self.add_mark(ins[0], frame, Unc::cannot_be(w ^ inv), vec![m], false);
@@ -649,6 +730,7 @@ impl<'c> Implications<'c> {
                 }
             }
             GateKind::Xor | GateKind::Xnor => {
+                core_profile!(self.profile, BwdXorPinned);
                 for w_out in [false, true] {
                     let Some(m) = self.mark_at(out, frame, Unc::cannot_be(w_out)) else {
                         continue;
@@ -801,11 +883,15 @@ impl<'c> Implications<'c> {
         let line = self.lines.line(line_id);
         match line.kind() {
             LineKind::Branch { node, .. } => {
+                // Counted per attempt: scanning the sibling branches and
+                // the side condition is the work, whether or not it merges.
+                core_profile!(self.profile, UnobsStemMerge);
                 self.try_stem_merge(node, frame, cache);
             }
             LineKind::Stem { node } => {
                 match self.circuit.node(node).kind() {
                     GateKind::Dff => {
+                        core_profile!(self.profile, UnobsDffShift);
                         // Q unobservable at t => D unobservable at t-1.
                         let blame = self.unobs[&(line_id, frame)].blame.clone();
                         let d = self.lines.in_line(node, 0);
@@ -815,11 +901,12 @@ impl<'c> Implications<'c> {
                         // Gate output unobservable => all inputs are.
                         let blame = self.unobs[&(line_id, frame)].blame.clone();
                         let ins: Vec<LineId> = self.lines.in_lines(node).to_vec();
+                        core_profile!(self.profile, UnobsGateInput, ins.len() as u64);
                         for i in ins {
                             self.add_unobs(i, frame, blame.clone());
                         }
                     }
-                    _ => {}
+                    _ => self.profile.note_unattributed(),
                 }
             }
         }

@@ -9,7 +9,7 @@ use crate::config::ProgressEvent;
 use crate::engine::{DistCache, Implications, MarkId, Unc};
 use crate::error::CoreError;
 use crate::guard::{Budget, BudgetMeter, ExhaustionReason};
-use crate::instrument::{core_span, PhaseClock, PhaseTimes, RunMetrics};
+use crate::instrument::{core_span, PhaseClock, PhaseTimes, RuleProfile, RunMetrics};
 use crate::report::{merge_candidate, FiresReport, IdentifiedFault, ProcessTrace};
 use crate::window::Frame;
 use crate::{FiresConfig, ValidationPolicy};
@@ -17,6 +17,17 @@ use crate::{FiresConfig, ValidationPolicy};
 /// How many validation-loop entries pass between cancellation polls in
 /// [`Fires::run_stem`]'s fault-set assembly.
 const VALIDATION_POLL_STRIDE: u32 = 256;
+
+/// What `process_stem` hands back for one stem.
+struct ProcessedStem {
+    found: usize,
+    marks: usize,
+    frames: usize,
+    exhausted: Option<ExhaustionReason>,
+    /// Per-rule hotspot attribution for this stem (empty without the
+    /// `tracing` feature).
+    profile: RuleProfile,
+}
 
 /// Phase names used by the driver's [`PhaseClock`]; the same strings
 /// appear in `FiresReport::phase_times` and in JSON run reports.
@@ -105,6 +116,11 @@ pub struct StemFindings {
     /// claims, and so must any other consumer (`fires-jobs` journals such
     /// units as `exhausted`).
     pub exhausted: Option<ExhaustionReason>,
+    /// Per-rule hotspot attribution for this stem. Step counts, frame
+    /// offsets and blame sizes are deterministic; the apportioned nanos
+    /// and distance-cache hit counts depend on timing and cache sharing.
+    /// Always empty without the `tracing` feature.
+    pub profile: RuleProfile,
 }
 
 /// Per-stem statistics from a detailed run.
@@ -288,8 +304,15 @@ impl<'c> Fires<'c> {
         let mut clock = PhaseClock::start();
         let mut metrics = RunMetrics::new();
         let mut best: HashMap<Fault, IdentifiedFault> = HashMap::new();
-        let (found, marks, frames, exhausted) =
+        let processed =
             self.process_stem(stem, ctx, &mut best, &mut metrics, &mut clock, cancel)?;
+        let ProcessedStem {
+            found,
+            marks,
+            frames,
+            exhausted,
+            profile,
+        } = processed;
         let mut faults: Vec<IdentifiedFault> = best.into_values().collect();
         faults.sort_by_key(|f| (f.fault.line, f.fault.stuck));
         let findings = StemFindings {
@@ -301,6 +324,7 @@ impl<'c> Fires<'c> {
             metrics,
             phase_times: clock.finish(),
             exhausted,
+            profile,
         };
         Ok(match exhausted {
             None => StemOutcome::Complete(findings),
@@ -377,7 +401,12 @@ impl<'c> Fires<'c> {
         let mut max_frames = 1usize;
         let stems: Vec<LineId> = self.stems();
         for (done, &stem) in stems.iter().enumerate() {
-            let (found, marks, frames, _) = self
+            let ProcessedStem {
+                found,
+                marks,
+                frames,
+                ..
+            } = self
                 .process_stem(stem, &mut ctx, &mut best, &mut metrics, &mut clock, &never)
                 .unwrap_or_else(|_| unreachable!("never-cancelled run cannot be interrupted"));
             marks_total += marks;
@@ -459,7 +488,7 @@ impl<'c> Fires<'c> {
                         let mut marks = 0usize;
                         let mut frames = 1usize;
                         for &stem in part {
-                            let (found, m, f, _) = self
+                            let processed = self
                                 .process_stem(
                                     stem,
                                     &mut ctx,
@@ -471,8 +500,9 @@ impl<'c> Fires<'c> {
                                 .unwrap_or_else(|_| {
                                     unreachable!("never-cancelled run cannot be interrupted")
                                 });
+                            let (found, m) = (processed.found, processed.marks);
                             marks += m;
-                            frames = frames.max(f);
+                            frames = frames.max(processed.frames);
                             if let Some(hook) = self.config.progress {
                                 hook(ProgressEvent {
                                     stems_done: done.fetch_add(1, Ordering::Relaxed) + 1,
@@ -567,7 +597,7 @@ impl<'c> Fires<'c> {
 
     /// Runs both implication processes for one stem and folds the
     /// identified faults into `best` via [`merge_candidate`]. Returns
-    /// `(faults_found, marks, frames_used, exhausted)`.
+    /// `(faults_found, marks, frames_used, exhausted, profile)`.
     ///
     /// Interruption discards all partial work for the stem: `best` is only
     /// updated on the `Ok` path, so a caller that maps
@@ -586,7 +616,7 @@ impl<'c> Fires<'c> {
         metrics: &mut RunMetrics,
         clock: &mut PhaseClock,
         cancel: &CancelToken,
-    ) -> Result<(usize, usize, usize, Option<ExhaustionReason>), CoreError> {
+    ) -> Result<ProcessedStem, CoreError> {
         let _span = core_span!("core.stem", stem = stem.index());
         let interrupted = || CoreError::Interrupted { stem };
         // Upfront check so a token that fired before this unit started
@@ -596,6 +626,7 @@ impl<'c> Fires<'c> {
             return Err(interrupted());
         }
         let stem_started = std::time::Instant::now();
+        let cache_lookups_before = ctx.cache.lookup_stats();
         // One meter travels through all four fixpoints so the cumulative
         // limits (steps, wall clock) span the stem, exactly once.
         let mut meter = BudgetMeter::new(ctx.budget);
@@ -698,11 +729,30 @@ impl<'c> Fires<'c> {
         }
         clock.exit();
         metrics.incr("core.faults_found", found as u64);
-        metrics.observe(
-            "core.stem_micros",
-            stem_started.elapsed().as_micros() as u64,
+        let elapsed = stem_started.elapsed();
+        metrics.observe("core.stem_micros", elapsed.as_micros() as u64);
+        // Harvest the hotspot profile: merge the two processes' rule
+        // tables, fold in this stem's share of distance-cache lookups, and
+        // spread the stem's measured wall-clock across rules by step share
+        // (no per-step timers ever run on the hot path). The deterministic
+        // step counts also become `core.rule.*` counters so regression
+        // gates can hold them; timing and cache rates stay profile-only.
+        let mut profile = p0.take_profile();
+        profile.merge(&p1.take_profile());
+        let (hits, misses) = ctx.cache.lookup_stats();
+        profile.add_dist_cache(
+            hits - cache_lookups_before.0,
+            misses - cache_lookups_before.1,
         );
-        Ok((found, marks, frames, exhausted))
+        profile.apportion_nanos(elapsed.as_nanos() as u64);
+        profile.export_counters(metrics);
+        Ok(ProcessedStem {
+            found,
+            marks,
+            frames,
+            exhausted,
+            profile,
+        })
     }
 
     /// Section 5.2: assemble the per-frame fault sets `S_v^i` from the
@@ -1226,6 +1276,66 @@ mod tests {
         let named: std::time::Duration = pt.phases.iter().map(|(_, d)| *d).sum();
         assert!(named <= pt.total);
         assert_eq!(report.elapsed(), pt.total);
+    }
+
+    #[cfg(feature = "tracing")]
+    #[test]
+    fn profile_attributes_steps_to_named_rules() {
+        use fires_obs::ALL_RULES;
+        let circuit = bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(d)\nOUTPUT(c)\nOUTPUT(z)\nOUTPUT(x)\n\
+             q = DFF(a)\nbq = DFF(a)\nc = DFF(a)\nd = AND(bq, c)\n\
+             n = NOT(b)\nz = AND(b, n)\nw = OR(q, z)\nOUTPUT(w)\n\
+             x = XOR(b, n)\n",
+        )
+        .unwrap();
+        let fires = Fires::new(&circuit, FiresConfig::default());
+        let never = CancelToken::never();
+        let mut ctx = StemCtx::new();
+        let mut merged = fires_obs::RuleProfile::new();
+        for s in fires.stems() {
+            let f = fires.run_stem(s, &mut ctx, &never).unwrap().into_findings();
+            assert!(!f.profile.is_empty(), "stem profile must not be empty");
+            // The exported gate counters are exactly the profile's
+            // deterministic step counts, nothing else.
+            for rule in ALL_RULES {
+                assert_eq!(
+                    f.metrics.counter(&format!("core.rule.{}", rule.name())),
+                    f.profile.steps(rule),
+                    "{}",
+                    rule.name()
+                );
+            }
+            assert_eq!(
+                f.metrics.counter("core.rule.unattributed"),
+                f.profile.unattributed_steps()
+            );
+            merged.merge(&f.profile);
+        }
+        let total = merged.total_steps();
+        let attributed = merged.attributed_steps();
+        assert!(total > 0, "no steps recorded");
+        // The acceptance bar: at least 95% of recorded implication steps
+        // land in named (rule, gate type, direction) buckets.
+        assert!(
+            attributed * 100 >= total * 95,
+            "only {attributed}/{total} steps attributed"
+        );
+        // Apportioned wall-clock never exceeds what was measured, and the
+        // folded export carries every nonzero bucket.
+        assert!(merged.total_nanos() > 0 || merged.entries().count() == 0);
+        let folded = merged.folded_lines("stems");
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("folded shape");
+            assert!(stack.starts_with("stems;"), "{line}");
+            assert!(count.parse::<u64>().is_ok(), "{line}");
+        }
+        assert!(folded.lines().count() >= merged.entries().count());
+        // The hit rate is undefined until the stem-merge side condition
+        // first probes the cache; when defined it is a proper ratio.
+        if let Some(rate) = merged.dist_hit_rate() {
+            assert!((0.0..=1.0).contains(&rate));
+        }
     }
 
     #[cfg(feature = "tracing")]

@@ -9,7 +9,7 @@
 //! instrumentation costs nothing, while every call site stays identical.
 
 #[cfg(feature = "tracing")]
-pub use fires_obs::{PhaseClock, PhaseTimes, RunMetrics};
+pub use fires_obs::{PhaseClock, PhaseTimes, ProfileRule, RuleProfile, RuleSteps, RunMetrics};
 
 /// Opens an instrumentation span (no-op without the `tracing` feature).
 #[cfg(feature = "tracing")]
@@ -44,7 +44,32 @@ macro_rules! core_event {
     };
 }
 
-pub(crate) use {core_event, core_span};
+/// Records one application of a named implication rule into a
+/// [`RuleProfile`] (no-op without the `tracing` feature). The rule is
+/// named by its `ProfileRule` variant so untraced builds never even name
+/// the enum: the whole call vanishes.
+#[cfg(feature = "tracing")]
+macro_rules! core_profile {
+    ($profile:expr, $rule:ident) => {
+        $profile.record($crate::instrument::ProfileRule::$rule)
+    };
+    ($profile:expr, $rule:ident, $n:expr) => {
+        $profile.record_many($crate::instrument::ProfileRule::$rule, $n)
+    };
+}
+
+#[cfg(not(feature = "tracing"))]
+macro_rules! core_profile {
+    ($profile:expr, $rule:ident) => {{
+        let _ = &$profile;
+    }};
+    ($profile:expr, $rule:ident, $n:expr) => {{
+        let _ = &$profile;
+        let _ = || $n;
+    }};
+}
+
+pub(crate) use {core_event, core_profile, core_span};
 
 #[cfg(not(feature = "tracing"))]
 mod stub {
@@ -148,7 +173,84 @@ mod stub {
             self.total
         }
     }
+
+    /// No-op stand-in for `fires_obs::RuleSteps`, the engine's embedded
+    /// hot-path step table. Rule recording goes through the
+    /// `core_profile!` macro (which compiles to nothing here), so only
+    /// the rule-free surface needs mirroring.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct RuleSteps;
+
+    impl RuleSteps {
+        /// Discards an unattributed step.
+        #[inline(always)]
+        pub fn note_unattributed(&mut self) {}
+    }
+
+    impl From<RuleSteps> for RuleProfile {
+        fn from(_: RuleSteps) -> RuleProfile {
+            RuleProfile
+        }
+    }
+
+    /// No-op stand-in for `fires_obs::RuleProfile`. Rule recording goes
+    /// through the `core_profile!` macro (which compiles to nothing
+    /// here), so only the rule-free surface needs mirroring.
+    #[derive(Clone, Debug, Default, PartialEq)]
+    pub struct RuleProfile;
+
+    // Kept API-identical to the real RuleProfile even where this crate
+    // does not currently call every method.
+    #[allow(dead_code)]
+    impl RuleProfile {
+        /// An empty table.
+        pub fn new() -> Self {
+            RuleProfile
+        }
+
+        /// Discards an unattributed step.
+        #[inline(always)]
+        pub fn note_unattributed(&mut self) {}
+
+        /// Discards a cache lookup.
+        #[inline(always)]
+        pub fn record_dist_cache(&mut self, _hit: bool) {}
+
+        /// Discards externally counted cache lookups.
+        #[inline(always)]
+        pub fn add_dist_cache(&mut self, _hits: u64, _misses: u64) {}
+
+        /// Discards a frame offset.
+        #[inline(always)]
+        pub fn record_frame_offset(&mut self, _offset: u64) {}
+
+        /// Discards a blame-set size.
+        #[inline(always)]
+        pub fn record_blame_size(&mut self, _size: u64) {}
+
+        /// Discards the apportionment.
+        #[inline(always)]
+        pub fn apportion_nanos(&mut self, _total_nanos: u64) {}
+
+        /// Merging nothing into nothing.
+        #[inline(always)]
+        pub fn merge(&mut self, _other: &RuleProfile) {}
+
+        /// Always `true` in the stub.
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+
+        /// Always zero in the stub.
+        pub fn total_steps(&self) -> u64 {
+            0
+        }
+
+        /// Nothing to export in the stub.
+        #[inline(always)]
+        pub fn export_counters(&self, _metrics: &mut RunMetrics) {}
+    }
 }
 
 #[cfg(not(feature = "tracing"))]
-pub use stub::{PhaseClock, PhaseTimes, RunMetrics};
+pub use stub::{PhaseClock, PhaseTimes, RuleProfile, RuleSteps, RunMetrics};

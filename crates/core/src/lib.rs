@@ -66,7 +66,7 @@ pub use envelope::{funtest_like, EnvelopeReport};
 pub use fire::{fire, FireReport};
 pub use fires::{Fires, StemCtx, StemFindings, StemOutcome, StemStats};
 pub use guard::{Budget, ExhaustionReason};
-pub use instrument::{PhaseTimes, RunMetrics};
+pub use instrument::{PhaseTimes, RuleProfile, RunMetrics};
 pub use removal::{remove_fault, remove_redundancies, sweep_constants, RemovalOutcome};
 pub use report::{FiresReport, IdentifiedFault, ProcessTrace};
 pub use window::{Frame, Window};

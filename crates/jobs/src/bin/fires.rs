@@ -10,6 +10,7 @@
 //! fires status  <journal> [--json]
 //! fires watch   <journal> [--interval-ms MS] [--once]
 //! fires report  <journal> [--json]
+//! fires profile <report.json|journal> [--top K] [--folded PATH] [--json]
 //! fires compare <baseline.json> <candidate.json>
 //!               [--max-regress-pct P] [--skip-time]
 //! ```
@@ -21,7 +22,11 @@
 //! `fires resume` — and exits when the campaign completes. `compare`
 //! diffs two `RunReport` JSON documents metric-by-metric and exits
 //! nonzero when any cost metric regressed by more than the threshold:
-//! the perf gate CI runs against a committed baseline.
+//! the perf gate CI runs against a committed baseline. `profile` reads
+//! the per-rule engine hotspot attribution out of a `RunReport` (or,
+//! stem by stem, out of a journal) and renders the worst offenders —
+//! `--folded` additionally writes folded stacks for `flamegraph.pl`,
+//! inferno or speedscope.
 //!
 //! Chaos flags (deterministic fault injection for robustness testing):
 //! `--chaos-seed N` enables the plan; `--chaos-panic P`,
@@ -41,7 +46,9 @@ use std::time::Duration;
 use fires_jobs::{
     journal, report, resume, run, CampaignSpec, ChaosPlan, JournalSummary, RunSummary, RunnerConfig,
 };
-use fires_obs::{compare_reports, CompareConfig, DeltaStatus, RunReport};
+use fires_obs::{
+    compare_reports, CompareConfig, CompareOutcome, DeltaStatus, Json, RuleProfile, RunReport,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +62,7 @@ fn main() -> ExitCode {
         "status" => cmd_status(rest),
         "watch" => cmd_watch(rest),
         "report" => cmd_report(rest),
+        "profile" => cmd_profile(rest),
         "compare" => return cmd_compare(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -82,6 +90,7 @@ usage:
   fires status  <journal> [--json]
   fires watch   <journal> [--interval-ms MS] [--once]
   fires report  <journal> [--json]
+  fires profile <report.json|journal> [--top K] [--folded PATH] [--json]
   fires compare <baseline.json> <candidate.json>
                 [--max-regress-pct P] [--skip-time]
 
@@ -384,6 +393,261 @@ fn load_report(path: &Path) -> Result<RunReport, String> {
     RunReport::from_json_str(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// One per-stem row behind `fires profile <journal>`.
+struct StemProfile {
+    label: String,
+    seconds: f64,
+    profile: RuleProfile,
+}
+
+/// What `fires profile` loaded: the merged attribution table plus (for
+/// journal input) the per-stem rows it was merged from.
+struct ProfileSource {
+    subject: String,
+    merged: RuleProfile,
+    stems: Vec<StemProfile>,
+}
+
+/// Accepts either a `RunReport` JSON document or a campaign journal.
+/// The two are told apart by parsing, not by file extension: a report
+/// is one JSON object, a journal is JSONL with a header line.
+fn load_profile_source(path: &Path) -> Result<ProfileSource, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if let Ok(report) = RunReport::from_json_str(&text) {
+        let merged = report.profile.ok_or_else(|| {
+            format!(
+                "{}: report carries no profile (written by an untraced build?)",
+                path.display()
+            )
+        })?;
+        return Ok(ProfileSource {
+            subject: report.subject,
+            merged,
+            stems: Vec::new(),
+        });
+    }
+    let contents = journal::read(path).map_err(|e| {
+        format!(
+            "{}: neither a RunReport document nor a readable journal ({e})",
+            path.display()
+        )
+    })?;
+    let mut merged = RuleProfile::new();
+    let mut stems = Vec::new();
+    for u in &contents.units {
+        let Some(p) = &u.profile else { continue };
+        let task = contents
+            .header
+            .tasks
+            .get(u.task)
+            .map_or("?", |t| t.circuit.as_str());
+        merged.merge(p);
+        stems.push(StemProfile {
+            label: format!("{task}/stem{}", u.stem),
+            seconds: u.seconds,
+            profile: p.clone(),
+        });
+    }
+    if stems.is_empty() {
+        return Err(format!(
+            "{}: no unit in this journal carries a profile (untraced build?)",
+            path.display()
+        ));
+    }
+    Ok(ProfileSource {
+        subject: contents.header.spec.name.clone(),
+        merged,
+        stems,
+    })
+}
+
+/// The `top` slowest journal units, worst first (ties broken by label so
+/// the listing is deterministic), each with its dominant rule and that
+/// rule's share of the unit's steps.
+fn worst_stem_rows(
+    source: &ProfileSource,
+    top: usize,
+) -> Vec<(&StemProfile, Option<(String, f64)>)> {
+    let mut rows: Vec<&StemProfile> = source.stems.iter().collect();
+    rows.sort_by(|a, b| {
+        b.seconds
+            .total_cmp(&a.seconds)
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    rows.truncate(top);
+    rows.into_iter()
+        .map(|s| {
+            let dominant =
+                s.profile
+                    .entries()
+                    .max_by_key(|&(_, steps, _)| steps)
+                    .map(|(rule, steps, _)| {
+                        (
+                            rule.name(),
+                            steps as f64 * 100.0 / s.profile.total_steps().max(1) as f64,
+                        )
+                    });
+            (s, dominant)
+        })
+        .collect()
+}
+
+/// Folded stacks for the whole source: per stem when the input was a
+/// journal, one merged stack per rule when it was a report.
+fn folded_stacks(source: &ProfileSource) -> String {
+    if source.stems.is_empty() {
+        return source.merged.folded_lines(&source.subject);
+    }
+    let mut out = String::new();
+    for s in &source.stems {
+        out.push_str(&s.profile.folded_lines(&s.label));
+    }
+    out
+}
+
+/// Renders nanoseconds with a readable unit.
+fn fmt_nanos(ns: u64) -> String {
+    if ns >= 10_000_000_000 {
+        format!("{:.1}s", ns as f64 / 1e9)
+    } else if ns >= 10_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1}\u{b5}s", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The human-readable hotspot table behind `fires profile`.
+fn render_profile(source: &ProfileSource, top: usize) -> String {
+    use std::fmt::Write;
+    let p = &source.merged;
+    let mut out = String::new();
+    let _ = writeln!(out, "hotspot profile: {}", source.subject);
+    let _ = writeln!(
+        out,
+        "{:<52} {:>12} {:>7} {:>10} {:>7}",
+        "rule", "steps", "steps%", "time", "time%"
+    );
+    let mut rows: Vec<_> = p.entries().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.index().cmp(&b.0.index())));
+    let total_steps = p.total_steps().max(1);
+    let total_nanos = p.total_nanos().max(1);
+    for (rule, steps, nanos) in rows {
+        let _ = writeln!(
+            out,
+            "{:<52} {:>12} {:>6.1}% {:>10} {:>6.1}%",
+            rule.name(),
+            steps,
+            steps as f64 * 100.0 / total_steps as f64,
+            fmt_nanos(nanos),
+            nanos as f64 * 100.0 / total_nanos as f64,
+        );
+    }
+    if p.unattributed_steps() > 0 {
+        let _ = writeln!(
+            out,
+            "{:<52} {:>12} {:>6.1}%",
+            "(unattributed)",
+            p.unattributed_steps(),
+            p.unattributed_steps() as f64 * 100.0 / total_steps as f64,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "attribution: {}/{} step(s) named ({:.1}%)",
+        p.attributed_steps(),
+        p.total_steps(),
+        p.attributed_steps() as f64 * 100.0 / total_steps as f64,
+    );
+    match p.dist_hit_rate() {
+        Some(rate) => {
+            let _ = writeln!(
+                out,
+                "dist cache: {} hit(s), {} miss(es) ({:.1}% hit rate)",
+                p.dist_hits(),
+                p.dist_misses(),
+                rate * 100.0,
+            );
+        }
+        None => {
+            let _ = writeln!(out, "dist cache: no lookups recorded");
+        }
+    }
+    let worst = worst_stem_rows(source, top);
+    if !worst.is_empty() {
+        let _ = writeln!(out, "worst {} stem(s) by wall-clock:", worst.len());
+        for (s, dominant) in worst {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} {:>12} step(s)  {}",
+                s.label,
+                fmt_nanos((s.seconds * 1e9) as u64),
+                s.profile.total_steps(),
+                match dominant {
+                    Some((name, pct)) => format!("dominant: {name} ({pct:.0}%)"),
+                    None => "dominant: (none attributed)".into(),
+                },
+            );
+        }
+    }
+    out
+}
+
+/// The machine-readable form behind `fires profile --json`.
+fn profile_json(source: &ProfileSource, top: usize) -> Json {
+    let mut j = Json::object();
+    j.set("subject", source.subject.clone())
+        .set("profile", source.merged.to_json());
+    let worst = worst_stem_rows(source, top);
+    if !worst.is_empty() {
+        let rows: Vec<Json> = worst
+            .into_iter()
+            .map(|(s, dominant)| {
+                let mut e = Json::object();
+                e.set("stem", s.label.clone())
+                    .set("seconds", s.seconds)
+                    .set("steps", s.profile.total_steps());
+                if let Some((name, pct)) = dominant {
+                    e.set("dominant_rule", name).set("dominant_pct", pct);
+                }
+                e
+            })
+            .collect();
+        j.set("worst_stems", Json::Arr(rows));
+    }
+    j
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let json = take_flag(&mut args, "--json");
+    let top = match take_value(&mut args, "--top")? {
+        Some(k) => parse_number(&k, "--top")?,
+        None => 10usize,
+    };
+    let folded = take_value(&mut args, "--folded")?;
+    if args.is_empty() {
+        return Err(format!("missing <report.json|journal> argument\n{USAGE}"));
+    }
+    let path = PathBuf::from(args.remove(0));
+    reject_leftovers(&args)?;
+    let source = load_profile_source(&path)?;
+    if let Some(folded_path) = folded {
+        let stacks = folded_stacks(&source);
+        std::fs::write(&folded_path, &stacks).map_err(|e| format!("{folded_path}: {e}"))?;
+        emitln(format_args!(
+            "folded stacks: {folded_path} ({} line(s))",
+            stacks.lines().count()
+        ))?;
+    }
+    if json {
+        emitln(profile_json(&source, top).to_pretty())
+    } else {
+        emit(render_profile(&source, top))
+    }
+}
+
 fn cmd_compare(args: &[String]) -> ExitCode {
     match run_compare(args) {
         Ok(0) => ExitCode::SUCCESS,
@@ -420,10 +684,22 @@ fn run_compare(args: &[String]) -> Result<usize, String> {
             baseline.subject, candidate.subject
         ))?;
     }
-    emitln(format_args!(
-        "{:<44} {:>14} {:>14} {:>9} {}",
-        "metric", "baseline", "candidate", "delta", "verdict"
-    ))?;
+    emit(render_compare(&outcome, &config))?;
+    Ok(outcome.regressions())
+}
+
+/// Renders a comparison: the per-metric table, then one grouped listing
+/// per movement class (each sorted by metric name, so two runs of the
+/// gate diff cleanly), then the summary line. Pure so the golden-output
+/// test can hold the format.
+fn render_compare(outcome: &CompareOutcome, config: &CompareConfig) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>14} {:>14} {:>9} verdict",
+        "metric", "baseline", "candidate", "delta"
+    );
     for d in &outcome.deltas {
         let fmt_value = |v: Option<f64>| match v {
             Some(v) => format!("{v:.6}")
@@ -432,7 +708,8 @@ fn run_compare(args: &[String]) -> Result<usize, String> {
                 .to_string(),
             None => "-".into(),
         };
-        emitln(format_args!(
+        let _ = writeln!(
+            out,
             "{:<44} {:>14} {:>14} {:>9} {}",
             d.name,
             fmt_value(d.baseline),
@@ -442,30 +719,39 @@ fn run_compare(args: &[String]) -> Result<usize, String> {
                 None => "-".into(),
             },
             d.status.label(),
-        ))?;
+        );
     }
-    let regressions = outcome.regressions();
-    emitln(format_args!(
+    for (status, heading) in [
+        (DeltaStatus::Regressed, "REGRESSED"),
+        (DeltaStatus::Improved, "improved"),
+        (DeltaStatus::New, "new"),
+        (DeltaStatus::Gone, "gone"),
+    ] {
+        let mut names: Vec<&str> = outcome
+            .deltas
+            .iter()
+            .filter(|d| d.status == status)
+            .map(|d| d.name.as_str())
+            .collect();
+        if names.is_empty() {
+            continue;
+        }
+        names.sort_unstable();
+        let _ = writeln!(out, "{heading} ({}): {}", names.len(), names.join(", "));
+    }
+    let _ = writeln!(
+        out,
         "{} metric(s) compared, {} regressed (threshold {:.1}%{})",
         outcome.compared(),
-        regressions,
+        outcome.regressions(),
         config.max_regress_pct,
         if config.include_time {
             ""
         } else {
             "; time metrics skipped"
         },
-    ))?;
-    if regressions > 0 {
-        let worst: Vec<&str> = outcome
-            .deltas
-            .iter()
-            .filter(|d| d.status == DeltaStatus::Regressed)
-            .map(|d| d.name.as_str())
-            .collect();
-        emitln(format_args!("REGRESSED: {}", worst.join(", ")))?;
-    }
-    Ok(regressions)
+    );
+    out
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
@@ -485,4 +771,146 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fires_obs::MetricDelta;
+
+    /// Holds the exact `fires compare` output shape: fixed-width rows in
+    /// name order, then one name-sorted listing per movement class, then
+    /// the summary. A format change must update this golden on purpose.
+    #[test]
+    fn compare_rendering_is_golden() {
+        let mut base = RunReport::new("fires-bench/table2", "s27");
+        base.total_seconds = 2.0;
+        base.metrics.incr("aa.bottom", 10);
+        base.metrics.incr("core.marks_created", 100);
+        base.metrics.incr("core.steps", 1_000);
+        base.metrics.incr("gone.counter", 5);
+        base.metrics.incr("zz.top", 10);
+        let mut cand = RunReport::new("fires-bench/table2", "s27");
+        cand.total_seconds = 1.0;
+        cand.metrics.incr("aa.bottom", 20);
+        cand.metrics.incr("brand.new", 3);
+        cand.metrics.incr("core.marks_created", 150);
+        cand.metrics.incr("core.steps", 900);
+        cand.metrics.incr("zz.top", 20);
+        let config = CompareConfig {
+            max_regress_pct: 10.0,
+            include_time: false,
+        };
+        let outcome = compare_reports(&base, &cand, &config);
+        let expected = "\
+metric                                             baseline      candidate     delta verdict
+counter.aa.bottom                                        10             20   +100.0% REGRESSED
+counter.brand.new                                         -              3         - new
+counter.core.marks_created                              100            150    +50.0% REGRESSED
+counter.core.steps                                     1000            900    -10.0% improved
+counter.gone.counter                                      5              -         - gone
+counter.zz.top                                           10             20   +100.0% REGRESSED
+total_seconds                                             2              1         - skipped (time)
+REGRESSED (3): counter.aa.bottom, counter.core.marks_created, counter.zz.top
+improved (1): counter.core.steps
+new (1): counter.brand.new
+gone (1): counter.gone.counter
+4 metric(s) compared, 3 regressed (threshold 10.0%; time metrics skipped)
+";
+        assert_eq!(render_compare(&outcome, &config), expected);
+    }
+
+    /// Movement listings are name-sorted even if the delta order ever
+    /// changes upstream.
+    #[test]
+    fn compare_listings_are_name_sorted() {
+        let outcome = CompareOutcome {
+            deltas: vec![
+                MetricDelta {
+                    name: "counter.zeta".into(),
+                    baseline: Some(1.0),
+                    candidate: Some(2.0),
+                    pct: Some(100.0),
+                    status: DeltaStatus::Regressed,
+                },
+                MetricDelta {
+                    name: "counter.alpha".into(),
+                    baseline: Some(1.0),
+                    candidate: Some(2.0),
+                    pct: Some(100.0),
+                    status: DeltaStatus::Regressed,
+                },
+            ],
+            subject_mismatch: false,
+        };
+        let rendered = render_compare(&outcome, &CompareConfig::default());
+        assert!(
+            rendered.contains("REGRESSED (2): counter.alpha, counter.zeta"),
+            "{rendered}"
+        );
+    }
+
+    /// The hotspot table ranks rules by step count and reports coverage.
+    #[test]
+    fn profile_rendering_ranks_rules_and_stems() {
+        use fires_obs::ProfileRule;
+        let mut unit_a = RuleProfile::new();
+        unit_a.record_many(ProfileRule::FwdAndBlockedInput, 90);
+        unit_a.record_many(ProfileRule::BwdInvert, 10);
+        unit_a.note_unattributed();
+        unit_a.apportion_nanos(1_000_000);
+        let mut unit_b = RuleProfile::new();
+        unit_b.record_many(ProfileRule::UnobsGateInput, 40);
+        unit_b.apportion_nanos(4_000_000);
+        let mut merged = unit_a.clone();
+        merged.merge(&unit_b);
+        let source = ProfileSource {
+            subject: "golden".into(),
+            merged,
+            stems: vec![
+                StemProfile {
+                    label: "s27/stem0".into(),
+                    seconds: 0.001,
+                    profile: unit_a,
+                },
+                StemProfile {
+                    label: "s27/stem1".into(),
+                    seconds: 0.004,
+                    profile: unit_b,
+                },
+            ],
+        };
+        let rendered = render_profile(&source, 10);
+        assert!(
+            rendered.starts_with("hotspot profile: golden\n"),
+            "{rendered}"
+        );
+        // Ranked by steps: blocked_input (90) before gate_input (40)
+        // before invert (10).
+        let blocked = rendered.find("blocked_input").unwrap();
+        let gate = rendered.find("gate_input").unwrap();
+        let invert = rendered.find("invert").unwrap();
+        assert!(blocked < gate && gate < invert, "{rendered}");
+        assert!(rendered.contains("attribution: 140/141 step(s) named (99.3%)"));
+        // Worst stems worst-first with their dominant rule.
+        let stem1 = rendered.find("s27/stem1").unwrap();
+        let stem0 = rendered.find("s27/stem0").unwrap();
+        assert!(stem1 < stem0, "{rendered}");
+        assert!(
+            rendered.contains("dominant: unobservability.backward.gate.gate_input (100%)"),
+            "{rendered}"
+        );
+        // The folded export is per-stem for journal input.
+        let folded = folded_stacks(&source);
+        assert!(folded.contains("s27/stem0;implication;blocked_input;and_like 90\n"));
+        assert!(folded.contains("s27/stem1;unobservability;gate_input;gate 40\n"));
+        // JSON carries the merged table plus the ranked stems.
+        let j = profile_json(&source, 1);
+        let worst = j.get("worst_stems").and_then(Json::as_arr).unwrap();
+        assert_eq!(worst.len(), 1);
+        assert_eq!(
+            worst[0].get("stem").and_then(Json::as_str),
+            Some("s27/stem1")
+        );
+    }
 }

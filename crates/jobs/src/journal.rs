@@ -38,7 +38,7 @@ use std::path::Path;
 
 use fires_core::{ExhaustionReason, IdentifiedFault};
 use fires_netlist::{Fault, LineId, StuckValue};
-use fires_obs::{Json, RunMetrics};
+use fires_obs::{Json, RuleProfile, RunMetrics};
 
 use crate::error::JobError;
 use crate::spec::{CampaignSpec, ResolvedTask};
@@ -156,6 +156,11 @@ pub struct UnitRecord {
     /// Deterministic per unit but excluded from the canonical report,
     /// which keeps only the result-bearing fields.
     pub metrics: RunMetrics,
+    /// Per-rule engine hotspot profile for this unit. `None` for units
+    /// run without the `tracing` feature and for journals written before
+    /// the profiler existed; observability only, excluded from the
+    /// canonical report.
+    pub profile: Option<RuleProfile>,
 }
 
 impl UnitRecord {
@@ -272,6 +277,9 @@ fn unit_to_json(u: &UnitRecord) -> Json {
     if let Some(reason) = u.reason {
         j.set("reason", reason.as_str());
     }
+    if let Some(profile) = &u.profile {
+        j.set("profile", profile.to_json());
+    }
     j
 }
 
@@ -336,6 +344,13 @@ fn unit_from_json(j: &Json) -> Result<UnitRecord, JobError> {
         Some(m) => RunMetrics::from_json(m)
             .ok_or_else(|| JobError::journal("unit metrics are malformed"))?,
     };
+    let profile = match j.get("profile") {
+        None => None,
+        Some(p) => Some(
+            RuleProfile::from_json(p)
+                .ok_or_else(|| JobError::journal("unit profile is malformed"))?,
+        ),
+    };
     let reason = match j.get("reason") {
         None => None,
         Some(r) => Some(
@@ -361,6 +376,7 @@ fn unit_from_json(j: &Json) -> Result<UnitRecord, JobError> {
         seconds: j.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
         phases,
         metrics,
+        profile,
     })
 }
 
@@ -815,7 +831,36 @@ mod tests {
             seconds: 0.002,
             phases: vec![("implication".into(), 0.001), ("validation".into(), 0.001)],
             metrics,
+            profile: None,
         }
+    }
+
+    #[test]
+    fn unit_profiles_round_trip_and_reject_malformation() {
+        let path = temp("profile");
+        let mut profile = RuleProfile::new();
+        profile.record(fires_obs::ALL_RULES[0]);
+        profile.record_many(fires_obs::ALL_RULES[3], 7);
+        profile.note_unattributed();
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&UnitRecord {
+            profile: Some(profile.clone()),
+            ..sample_unit()
+        })
+        .unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        let back = read(&path).unwrap();
+        assert_eq!(back.units[0].profile.as_ref(), Some(&profile));
+        assert_eq!(back.units[1].profile, None);
+        // Present-but-malformed is corruption, not a tolerated absence.
+        // The rewrite keeps the line valid JSON (the old object survives
+        // under a junk key) so the failure is the profile check itself.
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"profile\":{", "\"profile\":42,\"junk\":{");
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(read(&path), Err(JobError::Journal { .. })));
     }
 
     #[test]

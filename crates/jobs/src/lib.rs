@@ -61,7 +61,7 @@ pub use error::JobError;
 pub use merge::{CampaignReport, TaskReport};
 pub use runner::{build_engines, resume, run, Injection, RunSummary, RunnerConfig};
 pub use spec::{CampaignSpec, ResolvedTask, TaskSpec};
-pub use summary::{JournalSummary, TaskProgress};
+pub use summary::{JournalSummary, TaskProgress, WorstStem, WORST_STEMS_TOP};
 
 use std::path::Path;
 

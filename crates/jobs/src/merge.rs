@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use fires_core::{Fires, IdentifiedFault};
 use fires_netlist::Fault;
-use fires_obs::{Json, RunMetrics, RunReport};
+use fires_obs::{Json, RuleProfile, RunMetrics, RunReport};
 
 use crate::journal::{JournalContents, UnitStatus};
 use crate::spec::ResolvedTask;
@@ -62,6 +62,10 @@ pub struct TaskReport {
     /// Engine metrics merged across units (observability only; not part
     /// of the canonical form).
     pub metrics: RunMetrics,
+    /// Per-rule engine hotspot profile merged across units that carried
+    /// one; `None` when no unit did (untraced runs, old journals).
+    /// Observability only; not part of the canonical form.
+    pub profile: Option<RuleProfile>,
 }
 
 impl TaskReport {
@@ -127,6 +131,7 @@ pub fn merge(
             seconds: 0.0,
             phases: Vec::new(),
             metrics: RunMetrics::default(),
+            profile: None,
         };
         for unit in contents.units.iter().filter(|u| u.task == t) {
             if !seen.insert((unit.task, unit.stem)) {
@@ -140,6 +145,9 @@ pub fn merge(
                 }
             }
             report.metrics.merge(&unit.metrics);
+            if let Some(p) = &unit.profile {
+                report.profile.get_or_insert_with(RuleProfile::new).merge(p);
+            }
             if unit.retries > 0 {
                 report.units_retried += 1;
             }
@@ -246,6 +254,7 @@ impl CampaignReport {
                 r.total_seconds = t.seconds;
                 r.phases = t.phases.clone();
                 r.metrics = t.metrics.clone();
+                r.profile = t.profile.clone();
                 r.set_extra("identified_faults", t.faults.len() as u64)
                     .set_extra("units_total", t.units_total as u64)
                     .set_extra("units_ok", t.units_ok as u64)
@@ -471,6 +480,43 @@ mod tests {
         let _ = merged.render_table();
         let (_, campaign) = merged.run_reports();
         assert_eq!(campaign.total_seconds, 0.0);
+    }
+
+    #[test]
+    fn profiles_ride_beside_the_canonical_form() {
+        let path = temp("profiles");
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let contents = journal::read(&path).unwrap();
+        let tasks = spec.resolve().unwrap();
+        let engines = build_engines(&tasks).unwrap();
+        let merged = merge(&contents, &tasks, &engines);
+        // This build traces by default, so every unit carried a profile
+        // and the task-level merge accumulated them all.
+        let task_profile = merged.tasks[0].profile.as_ref().expect("merged profile");
+        assert!(task_profile.total_steps() > 0);
+        let unit_steps: u64 = contents
+            .units
+            .iter()
+            .filter_map(|u| u.profile.as_ref())
+            .map(RuleProfile::total_steps)
+            .sum();
+        assert_eq!(task_profile.total_steps(), unit_steps);
+        // The campaign rollup aggregates it into the v4 report...
+        let (children, campaign) = merged.run_reports();
+        assert_eq!(children[0].profile.as_ref(), Some(task_profile));
+        assert_eq!(
+            campaign.profile.as_ref().map(RuleProfile::total_steps),
+            Some(unit_steps)
+        );
+        // ...while the canonical bytes are blind to profiles entirely.
+        let text = merged.canonical_text();
+        assert!(!text.contains("profile"));
+        let mut stripped = contents.clone();
+        for u in &mut stripped.units {
+            u.profile = None;
+        }
+        assert_eq!(merge(&stripped, &tasks, &engines).canonical_text(), text);
     }
 
     #[test]

@@ -566,6 +566,7 @@ fn run_attempt(
         seconds,
         phases: Vec::new(),
         metrics: Default::default(),
+        profile: None,
     };
     match outcome {
         Ok(Ok(stem_outcome)) => {
@@ -574,6 +575,9 @@ fn run_attempt(
                 StemOutcome::Exhausted { reason, .. } => (UnitStatus::Exhausted, Some(*reason)),
             };
             let findings = stem_outcome.into_findings();
+            // Untraced builds produce a permanently empty profile; skip
+            // the field entirely so their journals stay lean.
+            let profile = (!findings.profile.is_empty()).then(|| findings.profile.clone());
             UnitRecord {
                 task,
                 stem,
@@ -602,6 +606,7 @@ fn run_attempt(
                     .map(|(name, d)| (name.clone(), d.as_secs_f64()))
                     .collect(),
                 metrics: findings.metrics,
+                profile,
             }
         }
         Ok(Err(CoreError::Interrupted { .. })) => empty(UnitStatus::Timeout),

@@ -48,6 +48,23 @@ impl TaskProgress {
     }
 }
 
+/// How many of the slowest units [`JournalSummary::worst_stems`] keeps.
+pub const WORST_STEMS_TOP: usize = 5;
+
+/// One entry of the worst-stem list: a unit whose latency puts it in the
+/// campaign's pathological tail.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorstStem {
+    /// Resolved circuit name of the unit's task.
+    pub task: String,
+    /// Index into the task's canonical stem order.
+    pub stem: usize,
+    /// Wall-clock seconds the unit took.
+    pub seconds: f64,
+    /// Implication steps the unit recorded (0 for untraced runs).
+    pub steps: u64,
+}
+
 /// Everything `status`/`watch` show about a journal, computed without
 /// resolving the spec or building engines.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -59,6 +76,10 @@ pub struct JournalSummary {
     /// Per-unit wall-clock latency in microseconds, over every journaled
     /// unit regardless of status.
     pub latency_us: Histogram,
+    /// The [`WORST_STEMS_TOP`] slowest units by wall-clock, worst first
+    /// (ties broken by `(task, stem)` so the list is deterministic for a
+    /// given set of records).
+    pub worst_stems: Vec<WorstStem>,
     /// The newest journaled heartbeat, if any (carries throughput and
     /// worker occupancy of the writing process).
     pub last_progress: Option<ProgressRecord>,
@@ -81,11 +102,21 @@ impl JournalSummary {
             })
             .collect();
         let mut latency_us = Histogram::default();
+        let mut worst_stems: Vec<WorstStem> = Vec::new();
         for u in &contents.units {
             latency_us.observe((u.seconds * 1e6) as u64);
             let Some(t) = tasks.get_mut(u.task) else {
                 continue;
             };
+            worst_stems.push(WorstStem {
+                task: t.name.clone(),
+                stem: u.stem,
+                seconds: u.seconds,
+                steps: u
+                    .metrics
+                    .histogram("core.stem_steps")
+                    .map_or(0, |h| h.sum()),
+            });
             match u.status {
                 UnitStatus::Ok => t.ok += 1,
                 UnitStatus::Panic => t.panicked += 1,
@@ -96,10 +127,17 @@ impl JournalSummary {
                 t.retried += 1;
             }
         }
+        worst_stems.sort_by(|a, b| {
+            b.seconds
+                .total_cmp(&a.seconds)
+                .then_with(|| (&a.task, a.stem).cmp(&(&b.task, b.stem)))
+        });
+        worst_stems.truncate(WORST_STEMS_TOP);
         JournalSummary {
             campaign: contents.header.spec.name.clone(),
             tasks,
             latency_us,
+            worst_stems,
             last_progress: contents.progress.last().cloned(),
             torn: contents.torn,
         }
@@ -147,6 +185,21 @@ impl JournalSummary {
             .set("tasks", Json::Arr(tasks));
         if self.latency_us.count() > 0 {
             j.set("unit_latency_us", self.latency_us.to_json());
+        }
+        if !self.worst_stems.is_empty() {
+            let worst: Vec<Json> = self
+                .worst_stems
+                .iter()
+                .map(|w| {
+                    let mut e = Json::object();
+                    e.set("task", w.task.clone())
+                        .set("stem", w.stem as u64)
+                        .set("seconds", w.seconds)
+                        .set("steps", w.steps);
+                    e
+                })
+                .collect();
+            j.set("worst_stems", Json::Arr(worst));
         }
         if let Some(p) = &self.last_progress {
             let mut beat = Json::object();
@@ -214,6 +267,22 @@ impl JournalSummary {
                 fmt_us(h.max()),
                 h.count(),
             );
+        }
+        if !self.worst_stems.is_empty() {
+            let tail: Vec<String> = self
+                .worst_stems
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{}#{} {} ({} steps)",
+                        w.task,
+                        w.stem,
+                        fmt_us((w.seconds * 1e6) as u64),
+                        w.steps
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "worst stems: {}", tail.join(", "));
         }
         if let Some(p) = &self.last_progress {
             let _ = writeln!(
@@ -296,6 +365,36 @@ mod tests {
         }
         assert!(summary.complete());
         assert_eq!(summary.latency_us.count(), summary.done() as u64);
+    }
+
+    #[test]
+    fn worst_stems_rank_the_latency_tail() {
+        let path = temp("worst");
+        let spec = CampaignSpec::from_circuits("t", ["s27"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let mut contents = read(&path).unwrap();
+        // Forge latencies so the ranking is fully determined.
+        for (i, u) in contents.units.iter_mut().enumerate() {
+            u.seconds = i as f64;
+        }
+        let summary = JournalSummary::summarize(&contents);
+        let worst = &summary.worst_stems;
+        assert_eq!(worst.len(), WORST_STEMS_TOP.min(contents.units.len()));
+        assert!(worst.windows(2).all(|w| w[0].seconds >= w[1].seconds));
+        assert_eq!(worst[0].seconds, (contents.units.len() - 1) as f64);
+        // Traced units carry their step counts into the ranking.
+        assert!(worst.iter().all(|w| w.steps > 0));
+        let json = summary.to_json();
+        let listed = json
+            .get("worst_stems")
+            .and_then(Json::as_arr)
+            .expect("worst_stems in status --json");
+        assert_eq!(listed.len(), worst.len());
+        assert_eq!(
+            listed[0].get("steps").and_then(Json::as_u64),
+            Some(worst[0].steps)
+        );
+        assert!(summary.render_watch().contains("worst stems:"));
     }
 
     #[test]

@@ -77,6 +77,83 @@ fn kill_and_resume_matches_uninterrupted_at_every_cut() {
     }
 }
 
+/// The deterministic face of a campaign's merged profiles: per-rule step
+/// counts, unattributed steps and the frame-offset / blame-size
+/// distributions. Apportioned nanos are timing and `DistCache` hit
+/// counts depend on how workers shared their caches, so neither belongs
+/// in an equality claim across schedules.
+fn profile_fingerprint(report: &fires_jobs::CampaignReport) -> Vec<String> {
+    use fires_obs::ALL_RULES;
+    report
+        .tasks
+        .iter()
+        .map(|t| {
+            let p = t.profile.as_ref().expect("traced build journals profiles");
+            let steps: Vec<String> = ALL_RULES
+                .iter()
+                .map(|&r| format!("{}={}", r.name(), p.steps(r)))
+                .collect();
+            format!(
+                "{}: {} unattributed={} frames={} blames={}",
+                t.name,
+                steps.join(","),
+                p.unattributed_steps(),
+                p.frame_offsets().to_json().to_pretty(),
+                p.blame_sizes().to_json().to_pretty(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn kill_and_resume_preserves_the_merged_profile() {
+    let spec = CampaignSpec::from_circuits("prof", ["s27", "fig3"]);
+    let base_path = temp_journal("prof-base");
+    run(&spec, &base_path, &RunnerConfig::default()).unwrap();
+    let baseline = report(&base_path).unwrap();
+    assert!(
+        baseline.tasks[0]
+            .profile
+            .as_ref()
+            .is_some_and(|p| p.total_steps() > 0),
+        "uninterrupted run must record a nonempty profile"
+    );
+    let base_fp = profile_fingerprint(&baseline);
+    // Kill after a few units (torn tail and all), resume on a different
+    // thread count: the profiles merged out of the fragments must agree
+    // with the uninterrupted run on every deterministic field.
+    for cut in [1, 4] {
+        let path = temp_journal(&format!("prof-cut-{cut}"));
+        run(
+            &spec,
+            &path,
+            &RunnerConfig {
+                max_units: Some(cut),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"kind\":\"unit\",\"task\":0,\"ste").unwrap();
+        }
+        let second = resume(
+            &path,
+            &RunnerConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(second.complete());
+        assert_eq!(profile_fingerprint(&report(&path).unwrap()), base_fp);
+    }
+}
+
 #[test]
 fn failures_then_clean_rerun_still_deterministic() {
     // A campaign with one panicked and one timed-out unit merges

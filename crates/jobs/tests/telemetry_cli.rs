@@ -121,6 +121,71 @@ fn watch_follows_a_killed_and_resumed_journal() {
 }
 
 #[test]
+fn profile_cli_reads_journals_and_reports() {
+    let dir = temp_dir("profile");
+    let journal_path = dir.join("campaign.jsonl");
+    let spec = CampaignSpec::from_circuits("hotspots", ["s27"]);
+    run(&spec, &journal_path, &RunnerConfig::default()).unwrap();
+
+    // Journal input: hotspot table, folded stacks, worst stems.
+    let folded_path = dir.join("stems.folded");
+    let out = fires()
+        .arg("profile")
+        .arg(&journal_path)
+        .args(["--top", "3", "--folded"])
+        .arg(&folded_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "profile <journal> failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("hotspot profile: hotspots"), "{text}");
+    assert!(text.contains("attribution:"), "{text}");
+    assert!(text.contains("dist cache:"), "{text}");
+    assert!(text.contains("worst 3 stem(s) by wall-clock:"), "{text}");
+    assert!(text.contains("dominant:"), "{text}");
+    // Every folded line is `stack;frames count` with per-stem labels.
+    let folded = std::fs::read_to_string(&folded_path).unwrap();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').unwrap();
+        assert!(stack.starts_with("s27/stem"), "label missing: {line}");
+        assert!(stack.split(';').count() >= 3, "stack too shallow: {line}");
+        count.parse::<u64>().unwrap();
+    }
+
+    // Report input: the campaign rollup written next to the journal by
+    // `fires run` also feeds the same table.
+    let report_path = dir.join("campaign.report.json");
+    let (_, campaign) = fires_jobs::report(&journal_path).unwrap().run_reports();
+    campaign.write_to_file(&report_path).unwrap();
+    let out = fires()
+        .args(["profile", "--json"])
+        .arg(&report_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "profile <report> failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"profile\""), "{text}");
+    assert!(text.contains("\"rules\""), "{text}");
+
+    // `fires status --json` carries the same latency tail.
+    let out = fires()
+        .args(["status", "--json"])
+        .arg(&journal_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"worst_stems\""), "{text}");
+
+    // A non-profile JSON file is rejected with a clear error.
+    let bogus = dir.join("bogus.json");
+    std::fs::write(&bogus, "{\"not\": \"a report\"}").unwrap();
+    let out = fires().arg("profile").arg(&bogus).output().unwrap();
+    assert!(!out.status.success(), "bogus input must fail");
+}
+
+#[test]
 fn compare_cli_gates_on_a_doctored_regression() {
     let dir = temp_dir("compare");
     let baseline_path = dir.join("baseline.json");

@@ -30,6 +30,7 @@ pub mod chrome;
 pub mod compare;
 pub mod json;
 mod metrics;
+mod profile;
 mod report;
 mod timer;
 mod trace;
@@ -38,6 +39,7 @@ pub use chrome::{install_chrome_trace, ChromeTraceSubscriber, TimedRecord};
 pub use compare::{compare_reports, CompareConfig, CompareOutcome, DeltaStatus, MetricDelta};
 pub use json::Json;
 pub use metrics::{Histogram, RunMetrics};
+pub use profile::{ProfileRule, RuleProfile, RuleSteps, StepDist, ALL_RULES};
 pub use report::{RunReport, SCHEMA_VERSION};
 pub use timer::{PhaseClock, PhaseTimes};
 pub use trace::{

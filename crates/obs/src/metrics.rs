@@ -9,13 +9,29 @@ use crate::json::Json;
 /// Bucket `k` counts observations `v` with `floor(log2(v+1)) == k`
 /// (bucket 0 holds the value 0). Exact `count`, `sum`, `min` and `max`
 /// are kept alongside, so means and extremes are not bucketed.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The buckets are a fixed 64-slot array so `observe` is a pair of
+/// integer ops with no allocation or tree walk — cheap enough for
+/// per-mark call sites inside the implication engine's hot loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     count: u64,
     sum: u64,
     min: u64,
     max: u64,
-    buckets: BTreeMap<u8, u64>,
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 64],
+        }
+    }
 }
 
 impl Histogram {
@@ -24,6 +40,7 @@ impl Histogram {
     }
 
     /// Records one observation.
+    #[inline]
     pub fn observe(&mut self, v: u64) {
         if self.count == 0 {
             self.min = v;
@@ -34,7 +51,7 @@ impl Histogram {
         }
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
-        *self.buckets.entry(Self::bucket_of(v)).or_insert(0) += 1;
+        self.buckets[Self::bucket_of(v) as usize] += 1;
     }
 
     /// Number of observations.
@@ -79,7 +96,10 @@ impl Histogram {
         }
         let target = q.clamp(0.0, 1.0) * self.count as f64;
         let mut seen = 0u64;
-        for (&k, &c) in &self.buckets {
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
             let next = seen + c;
             if next as f64 >= target {
                 let lo = (1u64 << k) - 1;
@@ -129,8 +149,8 @@ impl Histogram {
         self.max = self.max.max(other.max);
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
-        for (&b, &c) in &other.buckets {
-            *self.buckets.entry(b).or_insert(0) += c;
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
         }
     }
 
@@ -146,8 +166,10 @@ impl Histogram {
             .set("p95", self.p95())
             .set("p99", self.p99());
         let mut buckets = Json::object();
-        for (&b, &c) in &self.buckets {
-            buckets.set(format!("{b}"), c);
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                buckets.set(format!("{b}"), c);
+            }
         }
         j.set("log2_buckets", buckets);
         j
@@ -162,10 +184,14 @@ impl Histogram {
             sum: j.get("sum")?.as_u64()?,
             min: j.get("min")?.as_u64()?,
             max: j.get("max")?.as_u64()?,
-            buckets: BTreeMap::new(),
+            buckets: [0; 64],
         };
         for (k, v) in j.get("log2_buckets")?.as_obj()? {
-            h.buckets.insert(k.parse().ok()?, v.as_u64()?);
+            let bucket: u8 = k.parse().ok()?;
+            if bucket >= 64 {
+                return None;
+            }
+            h.buckets[bucket as usize] = v.as_u64()?;
         }
         Some(h)
     }

@@ -1,0 +1,705 @@
+//! Per-rule hotspot attribution for the implication engine.
+//!
+//! [`RuleProfile`] is a fixed-arity table: one bucket per *implication
+//! rule* — a named (rule, gate type, direction) triple matching the
+//! dispatch sites in `fires-core`'s engine — holding a step count and an
+//! apportioned wall-time share, plus a per-frame-offset step
+//! distribution, a blame-set-size distribution and `DistCache` hit/miss
+//! counters. Like [`Histogram`](crate::Histogram) it merges
+//! associatively, so per-stem profiles can be folded across worker
+//! threads, campaign units and kill/resume fragments in any order and
+//! always yield the same table.
+//!
+//! The step counts are deterministic (a pure function of the circuit and
+//! configuration); the per-rule `nanos` are *apportioned* from the
+//! measured per-stem wall clock by step share — the hot loop never reads
+//! a timer — so they are observability data, not gate-able metrics.
+//!
+//! [`RuleProfile::folded_lines`] renders the table as folded stacks
+//! (`stem;phase;rule;gate_type count`), the input format of
+//! `flamegraph.pl`, inferno and speedscope.
+
+use crate::json::Json;
+use crate::metrics::RunMetrics;
+
+/// A compact log₂-bucketed distribution for the engine's per-mark path.
+///
+/// Bucket `k < 15` counts observations `v` with `floor(log2(v+1)) == k`
+/// (bucket 0 holds the value 0); bucket 15 absorbs everything from
+/// `2^15 - 1` up. The exact sum rides alongside; the count is the bucket
+/// total, derived on demand. Unlike [`Histogram`](crate::Histogram)
+/// there is no per-observe min/max/count bookkeeping and no 64-slot
+/// array to zero — `observe` is a leading-zeros bucket index plus two
+/// adds, and a fresh table is 136 bytes — because this type lives inside
+/// [`RuleProfile`], which the engine re-zeroes for every stem.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepDist {
+    sum: u64,
+    buckets: [u64; 16],
+}
+
+impl StepDist {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        let k = (64 - v.saturating_add(1).leading_zeros() - 1).min(15) as usize;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[k] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Folds another distribution into this one.
+    pub fn merge(&mut self, other: &StepDist) {
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+    }
+
+    /// JSON form (stable field names; part of the RunReport v4 schema).
+    /// `count` and `mean` are derived fields, recomputed on read.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        j.set("count", self.count())
+            .set("sum", self.sum)
+            .set("mean", self.mean());
+        let mut buckets = Json::object();
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                buckets.set(format!("{b}"), c);
+            }
+        }
+        j.set("log2_buckets", buckets);
+        j
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(j: &Json) -> Option<StepDist> {
+        let mut d = StepDist {
+            sum: j.get("sum")?.as_u64()?,
+            buckets: [0; 16],
+        };
+        for (k, v) in j.get("log2_buckets")?.as_obj()? {
+            let bucket: usize = k.parse().ok()?;
+            if bucket >= 16 {
+                return None;
+            }
+            d.buckets[bucket] = v.as_u64()?;
+        }
+        Some(d)
+    }
+}
+
+/// One named implication rule of the engine: what fired, on which gate
+/// class, in which direction.
+///
+/// The set is closed by design — a fixed-arity table keeps the hot-path
+/// cost at one array increment and makes profiles mergeable without any
+/// name hashing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ProfileRule {
+    /// Forward on an AND/NAND/OR/NOR gate: some input cannot carry the
+    /// noncontrolling value, so the output cannot be the all-noncontrolling
+    /// value.
+    FwdAndBlockedInput,
+    /// Forward on an AND/NAND/OR/NOR gate: no input can carry the
+    /// controlling value, so the output cannot be the controlled value.
+    FwdAndAllBlocked,
+    /// Forward through a NOT/BUF: the indicator crosses with (optional)
+    /// inversion.
+    FwdInvert,
+    /// Forward on an XOR/XNOR gate via the achievable-parity mask.
+    FwdXorParity,
+    /// Forward across a flip-flop: D at frame `t` implies Q at `t + 1`.
+    FwdDffShift,
+    /// Forward from a stem onto its branch copies.
+    FwdBranchCopy,
+    /// Backward on an AND/NAND/OR/NOR gate: the output cannot be the
+    /// controlled value, so no input may carry the controlling value.
+    BwdAndControlledValue,
+    /// Backward on an AND/NAND/OR/NOR gate: with every sibling pinned
+    /// noncontrolling, the remaining input inherits the output indicator.
+    BwdAndSibling,
+    /// Backward through a NOT/BUF.
+    BwdInvert,
+    /// Backward on an XOR/XNOR gate with all siblings pinned.
+    BwdXorPinned,
+    /// Backward across a flip-flop: Q at frame `t` implies D at `t - 1`.
+    BwdDffShift,
+    /// Backward from a branch copy onto its stem.
+    BwdBranchGather,
+    /// Unobservability across a gate: an unobservable output marks its
+    /// inputs.
+    UnobsGateInput,
+    /// Unobservability across a flip-flop: unobservable Q at `t` marks D
+    /// at `t - 1`.
+    UnobsDffShift,
+    /// Unobservability stem merge: all branches unobservable and the
+    /// reconvergence side condition holds.
+    UnobsStemMerge,
+}
+
+/// All rules, in table order.
+pub const ALL_RULES: [ProfileRule; ProfileRule::COUNT] = [
+    ProfileRule::FwdAndBlockedInput,
+    ProfileRule::FwdAndAllBlocked,
+    ProfileRule::FwdInvert,
+    ProfileRule::FwdXorParity,
+    ProfileRule::FwdDffShift,
+    ProfileRule::FwdBranchCopy,
+    ProfileRule::BwdAndControlledValue,
+    ProfileRule::BwdAndSibling,
+    ProfileRule::BwdInvert,
+    ProfileRule::BwdXorPinned,
+    ProfileRule::BwdDffShift,
+    ProfileRule::BwdBranchGather,
+    ProfileRule::UnobsGateInput,
+    ProfileRule::UnobsDffShift,
+    ProfileRule::UnobsStemMerge,
+];
+
+impl ProfileRule {
+    /// Number of rules in the table.
+    pub const COUNT: usize = 15;
+
+    /// Table index of this rule.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The rule's own name (unique within its direction × gate type).
+    pub fn rule_name(self) -> &'static str {
+        match self {
+            ProfileRule::FwdAndBlockedInput => "blocked_input",
+            ProfileRule::FwdAndAllBlocked => "all_inputs_blocked",
+            ProfileRule::FwdInvert | ProfileRule::BwdInvert => "invert",
+            ProfileRule::FwdXorParity => "parity_mask",
+            ProfileRule::FwdDffShift | ProfileRule::BwdDffShift | ProfileRule::UnobsDffShift => {
+                "time_shift"
+            }
+            ProfileRule::FwdBranchCopy => "branch_copy",
+            ProfileRule::BwdAndControlledValue => "controlled_value",
+            ProfileRule::BwdAndSibling => "noncontrolling_sibling",
+            ProfileRule::BwdXorPinned => "pinned_sibling",
+            ProfileRule::BwdBranchGather => "branch_gather",
+            ProfileRule::UnobsGateInput => "gate_input",
+            ProfileRule::UnobsStemMerge => "stem_merge",
+        }
+    }
+
+    /// Gate class the rule applies to.
+    pub fn gate_type(self) -> &'static str {
+        match self {
+            ProfileRule::FwdAndBlockedInput
+            | ProfileRule::FwdAndAllBlocked
+            | ProfileRule::BwdAndControlledValue
+            | ProfileRule::BwdAndSibling => "and_like",
+            ProfileRule::FwdInvert | ProfileRule::BwdInvert => "inverter",
+            ProfileRule::FwdXorParity | ProfileRule::BwdXorPinned => "xor_like",
+            ProfileRule::FwdDffShift | ProfileRule::BwdDffShift | ProfileRule::UnobsDffShift => {
+                "dff"
+            }
+            ProfileRule::FwdBranchCopy | ProfileRule::BwdBranchGather => "branch",
+            ProfileRule::UnobsGateInput => "gate",
+            ProfileRule::UnobsStemMerge => "stem",
+        }
+    }
+
+    /// Propagation direction: `forward` or `backward`.
+    pub fn direction(self) -> &'static str {
+        match self {
+            ProfileRule::FwdAndBlockedInput
+            | ProfileRule::FwdAndAllBlocked
+            | ProfileRule::FwdInvert
+            | ProfileRule::FwdXorParity
+            | ProfileRule::FwdDffShift
+            | ProfileRule::FwdBranchCopy => "forward",
+            _ => "backward",
+        }
+    }
+
+    /// Fixpoint the rule belongs to: `implication` (uncontrollability)
+    /// or `unobservability`.
+    pub fn phase(self) -> &'static str {
+        match self {
+            ProfileRule::UnobsGateInput
+            | ProfileRule::UnobsDffShift
+            | ProfileRule::UnobsStemMerge => "unobservability",
+            _ => "implication",
+        }
+    }
+
+    /// Fully qualified bucket name: `phase.direction.gate_type.rule`.
+    pub fn name(self) -> String {
+        format!(
+            "{}.{}.{}.{}",
+            self.phase(),
+            self.direction(),
+            self.gate_type(),
+            self.rule_name()
+        )
+    }
+
+    /// Inverse of [`name`](Self::name); `None` for unknown names (a
+    /// profile written by a newer build stays readable).
+    pub fn from_name(name: &str) -> Option<ProfileRule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// The engine-side hot half of a profile: bare per-rule step counters
+/// and nothing else.
+///
+/// This is what the implication engine embeds and bumps on its hot path
+/// — 16 plain `u64` slots, so construction is a 128-byte zero and every
+/// `record` is a single indexed add. Everything heavier (apportioned
+/// nanos, distributions, cache rates) lives on [`RuleProfile`], which
+/// the engine assembles once per stem at harvest time via `From`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleSteps {
+    steps: [u64; ProfileRule::COUNT],
+    unattributed: u64,
+}
+
+impl RuleSteps {
+    /// Counts one application of `rule`.
+    #[inline]
+    pub fn record(&mut self, rule: ProfileRule) {
+        self.steps[rule.index()] += 1;
+    }
+
+    /// Counts `n` applications of `rule` at once.
+    #[inline]
+    pub fn record_many(&mut self, rule: ProfileRule, n: u64) {
+        self.steps[rule.index()] += n;
+    }
+
+    /// Counts one engine step that dispatched to no named rule.
+    #[inline]
+    pub fn note_unattributed(&mut self) {
+        self.unattributed += 1;
+    }
+}
+
+impl From<RuleSteps> for RuleProfile {
+    fn from(s: RuleSteps) -> RuleProfile {
+        RuleProfile {
+            steps: s.steps,
+            unattributed: s.unattributed,
+            ..RuleProfile::default()
+        }
+    }
+}
+
+/// A fixed-arity per-rule attribution table; see the module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleProfile {
+    steps: [u64; ProfileRule::COUNT],
+    nanos: [u64; ProfileRule::COUNT],
+    unattributed: u64,
+    dist_hits: u64,
+    dist_misses: u64,
+    frame_offsets: StepDist,
+    blame_sizes: StepDist,
+}
+
+impl Default for RuleProfile {
+    fn default() -> Self {
+        RuleProfile {
+            steps: [0; ProfileRule::COUNT],
+            nanos: [0; ProfileRule::COUNT],
+            unattributed: 0,
+            dist_hits: 0,
+            dist_misses: 0,
+            frame_offsets: StepDist::default(),
+            blame_sizes: StepDist::default(),
+        }
+    }
+}
+
+impl RuleProfile {
+    /// An empty table.
+    pub fn new() -> Self {
+        RuleProfile::default()
+    }
+
+    /// Counts one application of `rule`.
+    #[inline]
+    pub fn record(&mut self, rule: ProfileRule) {
+        self.steps[rule.index()] += 1;
+    }
+
+    /// Counts `n` applications of `rule` at once.
+    #[inline]
+    pub fn record_many(&mut self, rule: ProfileRule, n: u64) {
+        self.steps[rule.index()] += n;
+    }
+
+    /// Counts one engine step that dispatched to no named rule (e.g. a
+    /// mark on a primary input, which drives nothing).
+    #[inline]
+    pub fn note_unattributed(&mut self) {
+        self.unattributed += 1;
+    }
+
+    /// Counts one `DistCache` lookup.
+    #[inline]
+    pub fn record_dist_cache(&mut self, hit: bool) {
+        if hit {
+            self.dist_hits += 1;
+        } else {
+            self.dist_misses += 1;
+        }
+    }
+
+    /// Folds externally counted `DistCache` lookups in (the core engine
+    /// counts on the cache itself and harvests the delta per stem).
+    pub fn add_dist_cache(&mut self, hits: u64, misses: u64) {
+        self.dist_hits += hits;
+        self.dist_misses += misses;
+    }
+
+    /// Records the absolute frame offset of one created indicator.
+    #[inline]
+    pub fn record_frame_offset(&mut self, offset: u64) {
+        self.frame_offsets.observe(offset);
+    }
+
+    /// Records the size of a grown blame set.
+    #[inline]
+    pub fn record_blame_size(&mut self, size: u64) {
+        self.blame_sizes.observe(size);
+    }
+
+    /// Steps counted for `rule`.
+    pub fn steps(&self, rule: ProfileRule) -> u64 {
+        self.steps[rule.index()]
+    }
+
+    /// Apportioned wall time of `rule`, in nanoseconds.
+    pub fn nanos(&self, rule: ProfileRule) -> u64 {
+        self.nanos[rule.index()]
+    }
+
+    /// Steps attributed to a named rule bucket.
+    pub fn attributed_steps(&self) -> u64 {
+        self.steps.iter().sum()
+    }
+
+    /// Steps that dispatched to no named rule.
+    pub fn unattributed_steps(&self) -> u64 {
+        self.unattributed
+    }
+
+    /// All recorded steps, attributed or not.
+    pub fn total_steps(&self) -> u64 {
+        self.attributed_steps() + self.unattributed
+    }
+
+    /// Total apportioned wall time, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// `DistCache` hits.
+    pub fn dist_hits(&self) -> u64 {
+        self.dist_hits
+    }
+
+    /// `DistCache` misses.
+    pub fn dist_misses(&self) -> u64 {
+        self.dist_misses
+    }
+
+    /// `DistCache` hit rate in `[0, 1]`; `None` before any lookup.
+    pub fn dist_hit_rate(&self) -> Option<f64> {
+        let total = self.dist_hits + self.dist_misses;
+        (total > 0).then(|| self.dist_hits as f64 / total as f64)
+    }
+
+    /// Distribution of absolute frame offsets of created indicators.
+    pub fn frame_offsets(&self) -> &StepDist {
+        &self.frame_offsets
+    }
+
+    /// Distribution of blame-set sizes at growth points.
+    pub fn blame_sizes(&self) -> &StepDist {
+        &self.blame_sizes
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total_steps() == 0
+            && self.dist_hits == 0
+            && self.dist_misses == 0
+            && self.frame_offsets.count() == 0
+            && self.blame_sizes.count() == 0
+    }
+
+    /// Nonzero buckets in table order: `(rule, steps, nanos)`.
+    pub fn entries(&self) -> impl Iterator<Item = (ProfileRule, u64, u64)> + '_ {
+        ALL_RULES
+            .iter()
+            .copied()
+            .filter(|r| self.steps[r.index()] > 0)
+            .map(|r| (r, self.steps[r.index()], self.nanos[r.index()]))
+    }
+
+    /// Distributes `total_nanos` of measured wall time across the rule
+    /// buckets proportionally to their step counts. The hot loop never
+    /// reads a timer; callers measure one elapsed span (typically a whole
+    /// stem) and apportion it here.
+    pub fn apportion_nanos(&mut self, total_nanos: u64) {
+        let attributed = self.attributed_steps();
+        if attributed == 0 {
+            return;
+        }
+        for i in 0..ProfileRule::COUNT {
+            self.nanos[i] += (u128::from(total_nanos) * u128::from(self.steps[i])
+                / u128::from(attributed)) as u64;
+        }
+    }
+
+    /// Folds `other` into `self`. Commutative and associative: profiles
+    /// merged across threads, units and resume fragments in any order
+    /// agree.
+    pub fn merge(&mut self, other: &RuleProfile) {
+        for i in 0..ProfileRule::COUNT {
+            self.steps[i] += other.steps[i];
+            self.nanos[i] += other.nanos[i];
+        }
+        self.unattributed += other.unattributed;
+        self.dist_hits += other.dist_hits;
+        self.dist_misses += other.dist_misses;
+        self.frame_offsets.merge(&other.frame_offsets);
+        self.blame_sizes.merge(&other.blame_sizes);
+    }
+
+    /// Mirrors the deterministic step counts into `metrics` as
+    /// `core.rule.*` counters, where `fires compare` can gate them. Only
+    /// step counts cross over: apportioned nanos are timing (not
+    /// deterministic) and `DistCache` hit counts depend on worker-thread
+    /// cache sharing, so both stay profile-only.
+    pub fn export_counters(&self, metrics: &mut RunMetrics) {
+        for (rule, steps, _) in self.entries() {
+            metrics.incr(&format!("core.rule.{}", rule.name()), steps);
+        }
+        if self.unattributed > 0 {
+            metrics.incr("core.rule.unattributed", self.unattributed);
+        }
+    }
+
+    /// Renders the table as folded stacks — one
+    /// `label;phase;rule;gate_type count` line per nonzero bucket,
+    /// consumable by `flamegraph.pl`, inferno and speedscope.
+    pub fn folded_lines(&self, label: &str) -> String {
+        let mut out = String::new();
+        for (rule, steps, _) in self.entries() {
+            out.push_str(&format!(
+                "{label};{};{};{} {steps}\n",
+                rule.phase(),
+                rule.rule_name(),
+                rule.gate_type(),
+            ));
+        }
+        if self.unattributed > 0 {
+            out.push_str(&format!(
+                "{label};other;unattributed {}\n",
+                self.unattributed
+            ));
+        }
+        out
+    }
+
+    /// JSON form (stable field names; part of the RunReport v4 schema).
+    pub fn to_json(&self) -> Json {
+        let mut rules = Json::object();
+        for (rule, steps, nanos) in self.entries() {
+            let mut r = Json::object();
+            r.set("steps", steps)
+                .set("nanos", nanos)
+                .set("phase", rule.phase())
+                .set("direction", rule.direction())
+                .set("gate_type", rule.gate_type());
+            rules.set(rule.name(), r);
+        }
+        let mut dist = Json::object();
+        dist.set("hits", self.dist_hits)
+            .set("misses", self.dist_misses);
+        let mut j = Json::object();
+        j.set("rules", rules)
+            .set("unattributed", self.unattributed)
+            .set("dist_cache", dist);
+        if self.frame_offsets.count() > 0 {
+            j.set("frame_offsets", self.frame_offsets.to_json());
+        }
+        if self.blame_sizes.count() > 0 {
+            j.set("blame_sizes", self.blame_sizes.to_json());
+        }
+        j
+    }
+
+    /// Inverse of [`to_json`](Self::to_json). Unknown rule names are
+    /// skipped (a newer build's table stays readable); the taxonomy
+    /// fields (`phase`/`direction`/`gate_type`) are derived on read, so
+    /// tampering with them cannot poison a reader.
+    pub fn from_json(j: &Json) -> Option<RuleProfile> {
+        let mut p = RuleProfile::new();
+        for (name, r) in j.get("rules")?.as_obj()? {
+            let Some(rule) = ProfileRule::from_name(name) else {
+                continue;
+            };
+            p.steps[rule.index()] = r.get("steps")?.as_u64()?;
+            p.nanos[rule.index()] = r.get("nanos").and_then(Json::as_u64).unwrap_or(0);
+        }
+        p.unattributed = j.get("unattributed").and_then(Json::as_u64).unwrap_or(0);
+        if let Some(d) = j.get("dist_cache") {
+            p.dist_hits = d.get("hits").and_then(Json::as_u64).unwrap_or(0);
+            p.dist_misses = d.get("misses").and_then(Json::as_u64).unwrap_or(0);
+        }
+        if let Some(h) = j.get("frame_offsets") {
+            p.frame_offsets = StepDist::from_json(h)?;
+        }
+        if let Some(h) = j.get("blame_sizes") {
+            p.blame_sizes = StepDist::from_json(h)?;
+        }
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_unique_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for rule in ALL_RULES {
+            let name = rule.name();
+            assert!(seen.insert(name.clone()), "duplicate rule name {name}");
+            assert_eq!(ProfileRule::from_name(&name), Some(rule));
+        }
+        assert_eq!(seen.len(), ProfileRule::COUNT);
+        assert!(ProfileRule::from_name("no.such.rule").is_none());
+    }
+
+    #[test]
+    fn record_merge_and_totals() {
+        let mut a = RuleProfile::new();
+        assert!(a.is_empty());
+        a.record(ProfileRule::FwdAndBlockedInput);
+        a.record_many(ProfileRule::BwdDffShift, 4);
+        a.note_unattributed();
+        a.record_dist_cache(true);
+        a.record_frame_offset(2);
+        a.record_blame_size(3);
+        let mut b = RuleProfile::new();
+        b.record(ProfileRule::FwdAndBlockedInput);
+        b.record_dist_cache(false);
+        a.merge(&b);
+        assert_eq!(a.steps(ProfileRule::FwdAndBlockedInput), 2);
+        assert_eq!(a.steps(ProfileRule::BwdDffShift), 4);
+        assert_eq!(a.attributed_steps(), 6);
+        assert_eq!(a.total_steps(), 7);
+        assert_eq!(a.dist_hit_rate(), Some(0.5));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn apportioned_nanos_track_step_share() {
+        let mut p = RuleProfile::new();
+        p.record_many(ProfileRule::FwdAndBlockedInput, 3);
+        p.record_many(ProfileRule::UnobsGateInput, 1);
+        p.apportion_nanos(4_000);
+        assert_eq!(p.nanos(ProfileRule::FwdAndBlockedInput), 3_000);
+        assert_eq!(p.nanos(ProfileRule::UnobsGateInput), 1_000);
+        assert_eq!(p.total_nanos(), 4_000);
+        // Apportioning on an empty table is a no-op, not a division.
+        let mut empty = RuleProfile::new();
+        empty.apportion_nanos(1_000);
+        assert_eq!(empty.total_nanos(), 0);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut p = RuleProfile::new();
+        p.record_many(ProfileRule::FwdXorParity, 7);
+        p.record_many(ProfileRule::UnobsStemMerge, 2);
+        p.note_unattributed();
+        p.record_dist_cache(true);
+        p.record_dist_cache(false);
+        p.record_frame_offset(0);
+        p.record_frame_offset(5);
+        p.record_blame_size(12);
+        p.apportion_nanos(9_000);
+        let back = RuleProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn unknown_rules_in_json_are_skipped() {
+        let mut p = RuleProfile::new();
+        p.record(ProfileRule::FwdInvert);
+        let mut j = p.to_json();
+        let mut rules = j.get("rules").unwrap().clone();
+        let mut fake = Json::object();
+        fake.set("steps", 99u64).set("nanos", 0u64);
+        rules.set("implication.forward.quantum.tunnel", fake);
+        j.set("rules", rules);
+        let back = RuleProfile::from_json(&j).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn folded_lines_have_the_documented_shape() {
+        let mut p = RuleProfile::new();
+        p.record_many(ProfileRule::FwdAndBlockedInput, 5);
+        p.note_unattributed();
+        let folded = p.folded_lines("s27/stem3");
+        assert!(folded.contains("s27/stem3;implication;blocked_input;and_like 5\n"));
+        assert!(folded.contains("s27/stem3;other;unattributed 1\n"));
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            assert!(stack.split(';').count() >= 3, "stack too shallow: {line}");
+            count.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn exported_counters_are_steps_only() {
+        let mut p = RuleProfile::new();
+        p.record_many(ProfileRule::BwdAndControlledValue, 10);
+        p.record_dist_cache(true);
+        p.apportion_nanos(500);
+        let mut m = RunMetrics::new();
+        p.export_counters(&mut m);
+        assert_eq!(
+            m.counter("core.rule.implication.backward.and_like.controlled_value"),
+            10
+        );
+        // Timing and cache-sharing-dependent data never become gated
+        // counters.
+        assert_eq!(m.counters().count(), 1);
+    }
+}

@@ -7,14 +7,15 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "tool": "fires-bench/table2",
 //!   "subject": "s838_like",
 //!   "total_seconds": 1.234,
 //!   "phases": {"implication": 0.9, "validation": 0.3},
 //!   "phase_order": ["implication", "validation"],
 //!   "metrics": {"counters": {...}, "maxima": {...}, "histograms": {...}},
-//!   "extra": { ...free-form experiment payload... }
+//!   "extra": { ...free-form experiment payload... },
+//!   "profile": { ...optional per-rule hotspot table... }
 //! }
 //! ```
 //!
@@ -27,6 +28,7 @@ use std::time::Duration;
 
 use crate::json::{Json, JsonError};
 use crate::metrics::RunMetrics;
+use crate::profile::RuleProfile;
 use crate::timer::PhaseTimes;
 
 /// Version of the JSON layout written by [`RunReport::to_json`]. Bump on
@@ -38,13 +40,16 @@ use crate::timer::PhaseTimes;
 /// payload written by `fires-jobs`. Version 3 added derived quantile
 /// summaries (`p50`/`p95`/`p99`) to every serialized [`Histogram`] and
 /// the per-stem cost histograms recorded by `fires-core`
-/// (`core.stem_*`). Both changes are additive — quantiles are
-/// recomputed from the buckets on read, never parsed — so version-1 and
-/// version-2 documents are still readable and [`RunReport::from_json`]
-/// accepts `1..=3`.
+/// (`core.stem_*`). Version 4 added the optional engine hotspot
+/// `profile` field (a [`RuleProfile`] table) and the deterministic
+/// `core.rule.*` per-rule step counters. Every change is additive —
+/// quantiles are recomputed from the buckets on read, never parsed, and
+/// `profile` is tolerated when absent — so version-1 through version-3
+/// documents are still readable and [`RunReport::from_json`] accepts
+/// `1..=4`.
 ///
 /// [`Histogram`]: crate::Histogram
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One run's worth of observability output.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -59,6 +64,9 @@ pub struct RunReport {
     pub phases: Vec<(String, f64)>,
     /// Counters, maxima and histograms recorded during the run.
     pub metrics: RunMetrics,
+    /// Engine hotspot attribution, when the producing run recorded one
+    /// (schema v4; absent in older documents and untraced runs).
+    pub profile: Option<RuleProfile>,
     /// Free-form experiment payload (rows of the rendered table etc.).
     pub extra: BTreeMap<String, Json>,
 }
@@ -119,6 +127,9 @@ impl RunReport {
             .set("phase_order", Json::Arr(order))
             .set("metrics", self.metrics.to_json())
             .set("extra", Json::Obj(self.extra.clone()));
+        if let Some(profile) = &self.profile {
+            j.set("profile", profile.to_json());
+        }
         j
     }
 
@@ -166,6 +177,14 @@ impl RunReport {
         let metrics = RunMetrics::from_json(field("metrics")?).ok_or_else(|| JsonError {
             message: "malformed metrics".into(),
         })?;
+        // Tolerated when absent (documents up to v3 and untraced runs),
+        // rejected when present but malformed.
+        let profile = match j.get("profile") {
+            None => None,
+            Some(p) => Some(RuleProfile::from_json(p).ok_or_else(|| JsonError {
+                message: "malformed profile".into(),
+            })?),
+        };
         Ok(RunReport {
             tool: field("tool")?
                 .as_str()
@@ -184,6 +203,7 @@ impl RunReport {
             })?,
             phases,
             metrics,
+            profile,
             extra: field("extra")?
                 .as_obj()
                 .ok_or_else(|| JsonError {
@@ -221,6 +241,9 @@ impl RunReport {
                 }
             }
             agg.metrics.merge(&child.metrics);
+            if let Some(p) = &child.profile {
+                agg.profile.get_or_insert_with(RuleProfile::new).merge(p);
+            }
             let mut summary = Json::object();
             summary
                 .set("tool", child.tool.clone())
@@ -265,6 +288,27 @@ mod tests {
         let text = report.to_json_string();
         let back = RunReport::from_json_str(&text).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn profile_round_trips_and_aggregates() {
+        use crate::profile::ProfileRule;
+        let mut a = sample();
+        let mut pa = RuleProfile::new();
+        pa.record_many(ProfileRule::FwdAndBlockedInput, 8);
+        a.profile = Some(pa.clone());
+        let back = RunReport::from_json_str(&a.to_json_string()).unwrap();
+        assert_eq!(back, a);
+        // A profile-free child leaves the aggregate's profile equal to
+        // the sum of those that have one.
+        let b = sample();
+        assert!(b.profile.is_none());
+        let agg = RunReport::aggregate("t", "s", &[a, b]);
+        assert_eq!(agg.profile, Some(pa));
+        // Malformed profile is rejected, absent profile tolerated.
+        let mut j = sample().to_json();
+        j.set("profile", Json::Arr(vec![]));
+        assert!(RunReport::from_json(&j).is_err());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Property tests for `RuleProfile::merge`: like `Histogram::merge`
+//! (see `histogram_props.rs`), the profile merge must behave as a
+//! commutative, associative fold that agrees with single-shot recording
+//! across *any* split of the event stream. That is what lets per-stem
+//! profiles be folded across worker threads, campaign units and
+//! kill/resume fragments in whatever order the scheduler produced them.
+
+use fires_obs::{ProfileRule, RuleProfile, ALL_RULES};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Just;
+
+/// One recording call against a profile. Apportioning is deliberately
+/// *not* an event: it happens once per measured span (per stem), and its
+/// own properties are tested separately below.
+#[derive(Clone, Debug)]
+enum Event {
+    Step(usize),
+    Many(usize, u64),
+    Unattributed,
+    DistCache(bool),
+    FrameOffset(u64),
+    BlameSize(u64),
+}
+
+fn apply(p: &mut RuleProfile, e: &Event) {
+    match *e {
+        Event::Step(i) => p.record(ALL_RULES[i]),
+        Event::Many(i, n) => p.record_many(ALL_RULES[i], n),
+        Event::Unattributed => p.note_unattributed(),
+        Event::DistCache(hit) => p.record_dist_cache(hit),
+        Event::FrameOffset(f) => p.record_frame_offset(f),
+        Event::BlameSize(s) => p.record_blame_size(s),
+    }
+}
+
+fn record_all(events: &[Event]) -> RuleProfile {
+    let mut p = RuleProfile::new();
+    for e in events {
+        apply(&mut p, e);
+    }
+    p
+}
+
+/// Arbitrary recording events. Counts stay below 2^20 per event so that
+/// even 60-event streams keep every total far under 2^53, where the JSON
+/// layer's `f64` numbers are exact.
+fn event_strategy() -> BoxedStrategy<Event> {
+    prop_oneof![
+        (0..ProfileRule::COUNT).prop_map(Event::Step),
+        (0..ProfileRule::COUNT, 1u64..1_000_000).prop_map(|(i, n)| Event::Many(i, n)),
+        Just(Event::Unattributed),
+        any::<bool>().prop_map(Event::DistCache),
+        (0u64..4096).prop_map(Event::FrameOffset),
+        (0u64..4096).prop_map(Event::BlameSize),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Splitting the event stream anywhere and merging the halves equals
+    /// recording the whole stream into one profile.
+    #[test]
+    fn merge_agrees_with_single_shot_across_any_split(
+        events in vec(event_strategy(), 0..40),
+        cut_seed in 0usize..1000,
+    ) {
+        let whole = record_all(&events);
+        let cut = if events.is_empty() { 0 } else { cut_seed % (events.len() + 1) };
+        let mut left = record_all(&events[..cut]);
+        let right = record_all(&events[cut..]);
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+    }
+
+    /// a ∪ b == b ∪ a.
+    #[test]
+    fn merge_is_commutative(
+        a in vec(event_strategy(), 0..25),
+        b in vec(event_strategy(), 0..25),
+    ) {
+        let (pa, pb) = (record_all(&a), record_all(&b));
+        let mut ab = pa.clone();
+        ab.merge(&pb);
+        let mut ba = pb.clone();
+        ba.merge(&pa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in vec(event_strategy(), 0..15),
+        b in vec(event_strategy(), 0..15),
+        c in vec(event_strategy(), 0..15),
+    ) {
+        let (pa, pb, pc) = (record_all(&a), record_all(&b), record_all(&c));
+        let mut left = pa.clone();
+        left.merge(&pb);
+        left.merge(&pc);
+        let mut bc = pb.clone();
+        bc.merge(&pc);
+        let mut right = pa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Many-way splits (the realistic campaign shape: one fragment per
+    /// worker per resume) still agree with single-shot recording, and the
+    /// JSON round trip preserves the merged result exactly — including
+    /// per-fragment apportioned nanos, which merge additively.
+    #[test]
+    fn multiway_merge_and_round_trip(
+        events in vec(event_strategy(), 1..60),
+        parts in 1usize..8,
+        span_nanos in 0u64..1 << 30,
+    ) {
+        let mut merged = RuleProfile::new();
+        let mut expected_steps = 0u64;
+        for chunk in events.chunks(events.len().div_ceil(parts)) {
+            let mut fragment = record_all(chunk);
+            // Each fragment measured its own span, like each stem does.
+            fragment.apportion_nanos(span_nanos);
+            expected_steps += fragment.total_steps();
+            merged.merge(&fragment);
+        }
+        prop_assert_eq!(merged.total_steps(), expected_steps);
+        let back = RuleProfile::from_json(&merged.to_json()).unwrap();
+        prop_assert_eq!(back, merged);
+    }
+
+    /// Apportioning conserves the measured span up to per-bucket floor
+    /// rounding: the per-rule nanos never exceed the span and never lose
+    /// more than one nanosecond per rule bucket.
+    #[test]
+    fn apportioned_nanos_conserve_the_span(
+        events in vec(event_strategy(), 0..40),
+        span_nanos in 0u64..1 << 40,
+    ) {
+        let mut p = record_all(&events);
+        p.apportion_nanos(span_nanos);
+        if p.attributed_steps() == 0 {
+            prop_assert_eq!(p.total_nanos(), 0);
+        } else {
+            prop_assert!(p.total_nanos() <= span_nanos);
+            prop_assert!(
+                span_nanos - p.total_nanos() < ProfileRule::COUNT as u64,
+                "lost {} ns to rounding", span_nanos - p.total_nanos()
+            );
+        }
+    }
+
+    /// The deterministic step counts — and only those — cross over into
+    /// gate-able `core.rule.*` counters, whatever was recorded.
+    #[test]
+    fn exported_counters_mirror_steps_exactly(events in vec(event_strategy(), 0..40)) {
+        let mut p = record_all(&events);
+        p.apportion_nanos(12_345);
+        let mut metrics = fires_obs::RunMetrics::new();
+        p.export_counters(&mut metrics);
+        for rule in ALL_RULES {
+            let name = format!("core.rule.{}", rule.name());
+            prop_assert_eq!(metrics.counter(&name), p.steps(rule));
+        }
+        prop_assert_eq!(metrics.counter("core.rule.unattributed"), p.unattributed_steps());
+        let expected = p.entries().count() + usize::from(p.unattributed_steps() > 0);
+        prop_assert_eq!(metrics.counters().count(), expected);
+    }
+}

@@ -1,13 +1,15 @@
 //! RunReport schema migration: documents written by older builds must
-//! stay readable through the current (v3) reader.
+//! stay readable through the current (v4) reader.
 //!
 //! The fixtures below are captured verbatim from the serializers of the
 //! corresponding schema versions: v1 histograms had no derived quantile
 //! fields and v1 campaign extras lacked the degradation counters; v2
 //! added `units_exhausted` / `units_retried` / `retry_events` to
-//! `extra`. v3 adds `p50`/`p95`/`p99` to serialized histograms —
+//! `extra`; v3 added `p50`/`p95`/`p99` to serialized histograms —
 //! derived fields the reader recomputes, so their absence in old
-//! documents costs nothing.
+//! documents costs nothing. v4 adds the optional engine hotspot
+//! `profile` field, tolerated when absent, so v3 documents (which never
+//! carry one) read unchanged.
 
 use fires_obs::{Json, RunReport, SCHEMA_VERSION};
 
@@ -66,8 +68,37 @@ const V2_FIXTURE: &str = r#"{
   }
 }"#;
 
+/// A schema_version-3 document as PR 5's serializer wrote it: derived
+/// quantiles on histograms, per-stem cost histograms, no `profile`.
+const V3_FIXTURE: &str = r#"{
+  "schema_version": 3,
+  "tool": "table2",
+  "subject": "suite",
+  "total_seconds": 2.25,
+  "phases": {"s208_like": 2.25},
+  "phase_order": ["s208_like"],
+  "metrics": {
+    "counters": {"core.marks_created": 900, "core.stems_processed": 21},
+    "maxima": {"core.max_queue_depth": 48},
+    "histograms": {
+      "core.stem_steps": {
+        "count": 21,
+        "sum": 4200,
+        "min": 40,
+        "max": 900,
+        "mean": 200.0,
+        "p50": 128,
+        "p95": 512,
+        "p99": 900,
+        "log2_buckets": {"5": 6, "7": 10, "9": 5}
+      }
+    }
+  },
+  "extra": {"threads": 1}
+}"#;
+
 #[test]
-fn v1_document_reads_through_v3_reader() {
+fn v1_document_reads_through_current_reader() {
     let report = RunReport::from_json_str(V1_FIXTURE).expect("v1 must stay readable");
     assert_eq!(report.tool, "fires-bench/table2");
     assert_eq!(report.subject, "s27");
@@ -86,7 +117,7 @@ fn v1_document_reads_through_v3_reader() {
 }
 
 #[test]
-fn v2_document_reads_through_v3_reader() {
+fn v2_document_reads_through_current_reader() {
     let report = RunReport::from_json_str(V2_FIXTURE).expect("v2 must stay readable");
     assert_eq!(report.tool, "fires-jobs/campaign");
     assert_eq!(report.metrics.maximum("core.max_queue_depth"), 64);
@@ -100,10 +131,22 @@ fn v2_document_reads_through_v3_reader() {
 }
 
 #[test]
-fn migrated_documents_round_trip_at_v3() {
+fn v3_document_reads_through_current_reader() {
+    let report = RunReport::from_json_str(V3_FIXTURE).expect("v3 must stay readable");
+    assert_eq!(report.tool, "table2");
+    assert_eq!(report.metrics.counter("core.stems_processed"), 21);
+    let h = report.metrics.histogram("core.stem_steps").unwrap();
+    assert_eq!(h.sum(), 4200);
+    // The profile field did not exist before v4; its absence reads as
+    // "not recorded", never as an error.
+    assert!(report.profile.is_none());
+}
+
+#[test]
+fn migrated_documents_round_trip_at_current_version() {
     // Reading an old document and re-serializing stamps the current
-    // schema and produces a self-consistent v3 document.
-    for fixture in [V1_FIXTURE, V2_FIXTURE] {
+    // schema and produces a self-consistent v4 document.
+    for fixture in [V1_FIXTURE, V2_FIXTURE, V3_FIXTURE] {
         let report = RunReport::from_json_str(fixture).unwrap();
         let text = report.to_json_string();
         let j = Json::parse(&text).unwrap();
