@@ -51,6 +51,7 @@ mod error;
 mod fire;
 mod fires;
 mod guard;
+mod hash;
 mod instrument;
 mod removal;
 mod report;
@@ -66,6 +67,7 @@ pub use envelope::{funtest_like, EnvelopeReport};
 pub use fire::{fire, FireReport};
 pub use fires::{Fires, StemCtx, StemFindings, StemOutcome, StemStats};
 pub use guard::{Budget, ExhaustionReason};
+pub use hash::{content_hash, ContentHasher};
 pub use instrument::{PhaseTimes, RuleProfile, RunMetrics};
 pub use removal::{remove_fault, remove_redundancies, sweep_constants, RemovalOutcome};
 pub use report::{FiresReport, IdentifiedFault, ProcessTrace};

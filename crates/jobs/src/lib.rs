@@ -23,8 +23,9 @@
 //!   campaign ran on 1 thread or 8, uninterrupted or killed-and-resumed
 //!   (see [`IdentifiedFault::wins_over`](fires_core::IdentifiedFault)).
 //!
-//! The `fires` binary (in `src/bin/fires.rs`) is the CLI frontend:
-//! `fires run`, `fires resume`, `fires status`, `fires report`.
+//! The `fires` binary (in the `fires-serve` crate) is the CLI frontend:
+//! `fires run`, `fires resume`, `fires status`, `fires report`, plus the
+//! daemon/client commands layered on top of this crate.
 //!
 //! # Example
 //!
@@ -59,7 +60,7 @@ pub mod summary;
 pub use chaos::ChaosPlan;
 pub use error::JobError;
 pub use merge::{CampaignReport, TaskReport};
-pub use runner::{build_engines, resume, run, Injection, RunSummary, RunnerConfig};
+pub use runner::{build_engines, resume, run, run_with_tasks, Injection, RunSummary, RunnerConfig};
 pub use spec::{CampaignSpec, ResolvedTask, TaskSpec};
 pub use summary::{JournalSummary, TaskProgress, WorstStem, WORST_STEMS_TOP};
 
@@ -71,8 +72,23 @@ use std::path::Path;
 pub fn report(journal_path: &Path) -> Result<CampaignReport, JobError> {
     let contents = journal::read(journal_path)?;
     let tasks = contents.header.spec.resolve()?;
-    let engines = runner::build_engines(&tasks)?;
+    report_with_tasks(journal_path, &tasks)
+}
+
+/// [`report`] over an already-resolved task list.
+///
+/// `tasks` must be the resolution of the journal's own spec in this
+/// build (it is re-verified against the journal header here). Resolution
+/// generates every circuit, so callers that already hold one — the
+/// runner that just executed the campaign, or `fires serve`'s
+/// engine-build cache — pass it in instead of resolving again.
+pub fn report_with_tasks(
+    journal_path: &Path,
+    tasks: &[spec::ResolvedTask],
+) -> Result<CampaignReport, JobError> {
+    let contents = journal::read(journal_path)?;
+    let engines = runner::build_engines(tasks)?;
     let stems: Vec<usize> = engines.iter().map(|e| e.stems().len()).collect();
-    journal::verify_header(&contents.header, &tasks, &stems)?;
-    Ok(merge::merge(&contents, &tasks, &engines))
+    journal::verify_header(&contents.header, tasks, &stems)?;
+    Ok(merge::merge(&contents, tasks, &engines))
 }

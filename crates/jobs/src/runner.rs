@@ -157,11 +157,27 @@ pub fn run(
     rc: &RunnerConfig,
 ) -> Result<RunSummary, JobError> {
     let tasks = spec.resolve()?;
-    let engines = build_engines(&tasks)?;
+    run_with_tasks(spec, &tasks, journal_path, rc)
+}
+
+/// [`run`] over an already-resolved task list.
+///
+/// `tasks` must be the output of `spec.resolve()` in this build. Task
+/// resolution generates every circuit and is a campaign's fixed setup
+/// cost, so long-running embedders (`fires serve`'s engine-build cache)
+/// resolve once and pass the shared resolution to each run instead of
+/// paying it per submission.
+pub fn run_with_tasks(
+    spec: &CampaignSpec,
+    tasks: &[ResolvedTask],
+    journal_path: &Path,
+    rc: &RunnerConfig,
+) -> Result<RunSummary, JobError> {
+    let engines = build_engines(tasks)?;
     let budgets: Vec<Budget> = tasks.iter().map(|t| t.budget).collect();
     let stem_ids: Vec<Vec<fires_netlist::LineId>> = engines.iter().map(|e| e.stems()).collect();
     let stems: Vec<usize> = stem_ids.iter().map(Vec::len).collect();
-    let header = journal::header_for(spec, &tasks, &stems);
+    let header = journal::header_for(spec, tasks, &stems);
     let journal = Journal::create(journal_path, &header)?;
     let fresh = JournalContents {
         header,

@@ -1,4 +1,5 @@
-//! The `fires` CLI: run, resume and inspect FIRES campaigns.
+//! The `fires` CLI: run, resume and inspect FIRES campaigns — and host
+//! or talk to a `fires serve` daemon.
 //!
 //! ```text
 //! fires run     [--suite small|table2] [--circuit NAME]... [--name N]
@@ -8,11 +9,22 @@
 //! fires resume  <journal> [--threads N] [--deadline-ms MS]
 //!               [--retries N] [--backoff-ms MS] [--json] [chaos flags]
 //! fires status  <journal> [--json]
-//! fires watch   <journal> [--interval-ms MS] [--once]
+//! fires status  --socket PATH
+//! fires watch   <journal> [--interval-ms MS] [--once] [--timeout-secs S]
+//! fires watch   --remote JOB --socket PATH [--interval-ms MS]
+//!               [--timeout-secs S]
 //! fires report  <journal> [--json]
 //! fires profile <report.json|journal> [--top K] [--folded PATH] [--json]
 //! fires compare <baseline.json> <candidate.json>
 //!               [--max-regress-pct P] [--skip-time]
+//! fires serve   --socket PATH --state-dir DIR [--server-workers N]
+//!               [--cache-bytes N] [--max-queue N] [--tenant-active N]
+//!               [--default-steps N] [--tenant-steps TENANT=N]...
+//!               [runner flags] [chaos flags]
+//! fires submit  --socket PATH (--suite S | --circuit NAME...)
+//!               [--frames N] [--step-budget N] [--no-validate]
+//!               [--tenant T] [--wait] [--interval-ms MS] [--out FILE]
+//! fires shutdown --socket PATH
 //! ```
 //!
 //! `status` and `watch` summarise the journal itself (no engines are
@@ -38,6 +50,15 @@
 //! `RunReport` per task rolled up into a campaign-level aggregate).
 //! After a crash or kill, `fires resume <journal>` completes exactly the
 //! missing work and produces a byte-identical `fires report`.
+//!
+//! `serve` hosts the long-running campaign service (see `fires-serve`):
+//! `submit` sends a campaign to it and — with `--wait` — streams
+//! progress until the canonical report arrives (`--out` writes the
+//! report bytes to a file; a repeat submission is answered from the
+//! content-addressed cache with byte-identical output). `watch
+//! --remote JOB` subscribes to a running job's progress stream, and
+//! `status --socket` fetches the server's metrics as a
+//! `RunReport`-compatible JSON document.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -49,6 +70,7 @@ use fires_jobs::{
 use fires_obs::{
     compare_reports, CompareConfig, CompareOutcome, DeltaStatus, Json, RuleProfile, RunReport,
 };
+use fires_serve::{run_server, Connection, Request, Response, ServeConfig, SubmitRequest};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +85,9 @@ fn main() -> ExitCode {
         "watch" => cmd_watch(rest),
         "report" => cmd_report(rest),
         "profile" => cmd_profile(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "shutdown" => cmd_shutdown(rest),
         "compare" => return cmd_compare(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -88,11 +113,22 @@ usage:
   fires resume  <journal> [--threads N] [--deadline-ms MS]
                 [--retries N] [--backoff-ms MS] [--json] [chaos flags]
   fires status  <journal> [--json]
-  fires watch   <journal> [--interval-ms MS] [--once]
+  fires status  --socket PATH
+  fires watch   <journal> [--interval-ms MS] [--once] [--timeout-secs S]
+  fires watch   --remote JOB --socket PATH [--interval-ms MS]
+                [--timeout-secs S]
   fires report  <journal> [--json]
   fires profile <report.json|journal> [--top K] [--folded PATH] [--json]
   fires compare <baseline.json> <candidate.json>
                 [--max-regress-pct P] [--skip-time]
+  fires serve   --socket PATH --state-dir DIR [--server-workers N]
+                [--cache-bytes N] [--max-queue N] [--tenant-active N]
+                [--default-steps N] [--tenant-steps TENANT=N]...
+                [runner flags] [chaos flags]
+  fires submit  --socket PATH (--suite S | --circuit NAME...)
+                [--frames N] [--step-budget N] [--no-validate]
+                [--tenant T] [--wait] [--interval-ms MS] [--out FILE]
+  fires shutdown --socket PATH
 
 chaos flags (deterministic fault injection; requires --chaos-seed):
   --chaos-seed N       seed of every injection decision
@@ -328,6 +364,15 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
 fn cmd_status(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let json = take_flag(&mut args, "--json");
+    if let Some(socket) = take_value(&mut args, "--socket")? {
+        reject_leftovers(&args)?;
+        // Server status: metrics in RunReport-compatible JSON.
+        return match Connection::request(Path::new(&socket), &Request::Status)? {
+            Response::Status { report } => emitln(report.to_pretty()),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response: {:?}", other.to_json())),
+        };
+    }
     let journal_path = journal_arg(&mut args)?;
     reject_leftovers(&args)?;
     let contents = journal::read(&journal_path).map_err(|e| e.to_string())?;
@@ -347,8 +392,22 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         Some(ms) => Duration::from_millis(parse_number(&ms, "--interval-ms")?),
         None => Duration::from_millis(1000),
     };
+    // A stalled journal (dead writer, abandoned campaign) would hang a
+    // watcher forever; --timeout-secs bounds the wait so CI and
+    // detached watchers always terminate.
+    let timeout = match take_value(&mut args, "--timeout-secs")? {
+        Some(s) => Some(Duration::from_secs(parse_number(&s, "--timeout-secs")?)),
+        None => None,
+    };
+    if let Some(job) = take_value(&mut args, "--remote")? {
+        let socket =
+            take_value(&mut args, "--socket")?.ok_or("watch --remote needs --socket PATH")?;
+        reject_leftovers(&args)?;
+        return watch_remote(Path::new(&socket), &job, interval, timeout);
+    }
     let journal_path = journal_arg(&mut args)?;
     reject_leftovers(&args)?;
+    let deadline = timeout.map(|t| std::time::Instant::now() + t);
 
     // On a terminal each frame repaints in place; piped output gets one
     // frame per poll, newline-separated, for `fires watch | tee log`.
@@ -382,7 +441,52 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         if once {
             return Ok(());
         }
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                return Err(format!(
+                    "watch timed out after {}s; campaign incomplete",
+                    timeout.map_or(0, |t| t.as_secs())
+                ));
+            }
+        }
         std::thread::sleep(interval);
+    }
+}
+
+/// `fires watch --remote JOB`: subscribe to a server job's progress
+/// stream, one compact `JournalSummary` JSON line per event, until the
+/// job completes (or the timeout elapses — checked between events, so
+/// its granularity is the progress interval).
+fn watch_remote(
+    socket: &Path,
+    job: &str,
+    interval: Duration,
+    timeout: Option<Duration>,
+) -> Result<(), String> {
+    let deadline = timeout.map(|t| std::time::Instant::now() + t);
+    let mut conn = Connection::open(socket)?;
+    conn.send(&Request::Watch {
+        job: job.to_string(),
+        interval_ms: interval.as_millis() as u64,
+    })?;
+    loop {
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                return Err(format!(
+                    "watch timed out after {}s; job incomplete",
+                    timeout.map_or(0, |t| t.as_secs())
+                ));
+            }
+        }
+        match conn.recv()? {
+            None => return Err("server closed the connection before the job completed".into()),
+            Some(Response::Progress { summary, .. }) => emitln(summary.to_compact())?,
+            Some(Response::Done { job, .. }) => {
+                return emitln(format_args!("job {job} complete"));
+            }
+            Some(Response::Error { message }) => return Err(message),
+            Some(other) => return Err(format!("unexpected response: {:?}", other.to_json())),
+        }
     }
 }
 
@@ -771,6 +875,136 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `fires serve`: host the campaign service until a shutdown request.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let rc = runner_config(&mut args)?;
+    let socket = take_value(&mut args, "--socket")?.ok_or("serve needs --socket PATH")?;
+    let state_dir = take_value(&mut args, "--state-dir")?.ok_or("serve needs --state-dir DIR")?;
+    let mut cfg = ServeConfig::new(socket, state_dir);
+    cfg.runner = RunnerConfig {
+        // Journaled heartbeats feed the progress stream's throughput
+        // and ETA lines; keep them on unless the operator overrides.
+        progress_interval: Some(Duration::from_millis(500)),
+        ..rc
+    };
+    if let Some(n) = take_value(&mut args, "--server-workers")? {
+        cfg.workers = parse_number(&n, "--server-workers")?;
+    }
+    if let Some(n) = take_value(&mut args, "--cache-bytes")? {
+        cfg.cache_bytes = parse_number(&n, "--cache-bytes")?;
+    }
+    if let Some(n) = take_value(&mut args, "--max-queue")? {
+        cfg.max_queue = parse_number(&n, "--max-queue")?;
+    }
+    if let Some(n) = take_value(&mut args, "--tenant-active")? {
+        cfg.tenant_active = parse_number(&n, "--tenant-active")?;
+    }
+    if let Some(n) = take_value(&mut args, "--default-steps")? {
+        cfg.default_steps = Some(parse_number(&n, "--default-steps")?);
+    }
+    while let Some(pair) = take_value(&mut args, "--tenant-steps")? {
+        let (tenant, steps) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("--tenant-steps expects TENANT=STEPS, got {pair:?}"))?;
+        cfg.tenant_steps
+            .push((tenant.to_string(), parse_number(steps, "--tenant-steps")?));
+    }
+    // Test hook (used by the kill/resume and single-flight suites to
+    // make races deterministic); not part of the stable interface.
+    if let Some(ms) = take_value(&mut args, "--build-delay-ms")? {
+        cfg.build_delay = Some(Duration::from_millis(parse_number(
+            &ms,
+            "--build-delay-ms",
+        )?));
+    }
+    reject_leftovers(&args)?;
+    run_server(cfg)
+}
+
+/// `fires submit`: send one campaign to a server; with `--wait`, stream
+/// progress and write the canonical report.
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let socket = take_value(&mut args, "--socket")?.ok_or("submit needs --socket PATH")?;
+    let out = take_value(&mut args, "--out")?;
+    let mut req = SubmitRequest {
+        suite: take_value(&mut args, "--suite")?,
+        wait: take_flag(&mut args, "--wait"),
+        validate: !take_flag(&mut args, "--no-validate"),
+        ..SubmitRequest::default()
+    };
+    if let Some(t) = take_value(&mut args, "--tenant")? {
+        req.tenant = t;
+    }
+    while let Some(c) = take_value(&mut args, "--circuit")? {
+        req.circuits.push(c);
+    }
+    if let Some(f) = take_value(&mut args, "--frames")? {
+        req.frames = Some(parse_number(&f, "--frames")?);
+    }
+    if let Some(s) = take_value(&mut args, "--step-budget")? {
+        req.step_budget = Some(parse_number(&s, "--step-budget")?);
+    }
+    if let Some(ms) = take_value(&mut args, "--interval-ms")? {
+        req.interval_ms = parse_number(&ms, "--interval-ms")?;
+    }
+    reject_leftovers(&args)?;
+    if out.is_some() && !req.wait {
+        return Err("--out needs --wait (no report arrives without waiting)".into());
+    }
+
+    let deliver = |report: &str| -> Result<(), String> {
+        match &out {
+            Some(path) => {
+                std::fs::write(path, report).map_err(|e| format!("{path}: {e}"))?;
+                emitln(format_args!("report: {path}"))
+            }
+            None => emitln(report),
+        }
+    };
+    let wait = req.wait;
+    let mut conn = Connection::open(Path::new(&socket))?;
+    conn.send(&Request::Submit(req))?;
+    loop {
+        match conn.recv()? {
+            None => return Err("server closed the connection unexpectedly".into()),
+            Some(Response::Hit { job, report }) => {
+                emitln(format_args!("job {job}: cache hit"))?;
+                return deliver(&report);
+            }
+            Some(Response::Accepted { job }) => {
+                emitln(format_args!("job {job} accepted"))?;
+                if !wait {
+                    return Ok(());
+                }
+            }
+            Some(Response::Progress { summary, .. }) => {
+                emitln(format_args!("progress {}", summary.to_compact()))?;
+            }
+            Some(Response::Done { job, report }) => {
+                emitln(format_args!("job {job}: computed"))?;
+                return deliver(&report);
+            }
+            Some(Response::Rejected { reason }) => return Err(format!("rejected: {reason}")),
+            Some(Response::Error { message }) => return Err(message),
+            Some(other) => return Err(format!("unexpected response: {:?}", other.to_json())),
+        }
+    }
+}
+
+/// `fires shutdown`: ask a server to stop once running jobs finish.
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let socket = take_value(&mut args, "--socket")?.ok_or("shutdown needs --socket PATH")?;
+    reject_leftovers(&args)?;
+    match Connection::request(Path::new(&socket), &Request::Shutdown)? {
+        Response::Ok => emitln("server shutting down"),
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response: {:?}", other.to_json())),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! In-memory LRU cache of canonical report texts, bounded by bytes.
+//!
+//! This is the *fast* tier of the server's content-addressed result
+//! store: the durable tier is the journal a job writes under the state
+//! dir, from which any evicted result can be re-merged byte-identically
+//! (the merge is deterministic). So eviction here only ever costs time,
+//! never answers — which is why a plain byte budget with
+//! least-recently-used eviction is enough and no pinning is needed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One cached canonical report text.
+struct Entry {
+    text: Arc<String>,
+    /// Logical clock of the last `get`/`insert`, for LRU ordering.
+    last_use: u64,
+}
+
+/// A byte-budgeted LRU map from content key to canonical report text.
+pub struct ResultCache {
+    budget: usize,
+    entries: HashMap<u64, Entry>,
+    bytes: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache that will hold at most `budget` report bytes.
+    pub fn new(budget: usize) -> ResultCache {
+        ResultCache {
+            budget,
+            entries: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks a report up and marks it most recently used.
+    pub fn get(&mut self, key: u64) -> Option<Arc<String>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|e| {
+            e.last_use = tick;
+            Arc::clone(&e.text)
+        })
+    }
+
+    /// Inserts a report, evicting least-recently-used entries until the
+    /// byte budget holds again. A text larger than the whole budget is
+    /// admitted and immediately evicted (the durable journal still
+    /// serves it), keeping the invariant `bytes() <= budget` simple.
+    pub fn insert(&mut self, key: u64, text: Arc<String>) {
+        self.tick += 1;
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.text.len();
+        }
+        self.bytes += text.len();
+        self.entries.insert(
+            key,
+            Entry {
+                text,
+                last_use: self.tick,
+            },
+        );
+        while self.bytes > self.budget {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_use) else {
+                break;
+            };
+            if let Some(e) = self.entries.remove(&victim) {
+                self.bytes -= e.text.len();
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Number of cached reports.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently held (always `<=` the budget).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Total entries evicted since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = ResultCache::new(6);
+        c.insert(1, text("aaa"));
+        c.insert(2, text("bbb"));
+        assert_eq!(c.bytes(), 6);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(1).is_some());
+        c.insert(3, text("ccc"));
+        assert!(c.get(2).is_none(), "LRU entry evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.evictions(), 1);
+        assert!(c.bytes() <= 6);
+    }
+
+    #[test]
+    fn oversized_entries_do_not_wedge_the_budget() {
+        let mut c = ResultCache::new(4);
+        c.insert(1, text("way too large"));
+        assert!(c.is_empty(), "oversized entry evicted immediately");
+        assert_eq!(c.bytes(), 0);
+        assert!(c.evictions() >= 1);
+        c.insert(2, text("ok"));
+        assert_eq!(c.get(2).as_deref().map(String::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let mut c = ResultCache::new(100);
+        c.insert(1, text("aaaa"));
+        c.insert(1, text("bb"));
+        assert_eq!(c.bytes(), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).as_deref().map(String::as_str), Some("bb"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Thin client side of the serve protocol: one connection, one
+//! request, a stream of response lines.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::proto::{Request, Response};
+
+/// One open connection to a `fires serve` daemon.
+pub struct Connection {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Connection {
+    /// Connects to the daemon's socket.
+    pub fn open(socket: &Path) -> Result<Connection, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("connecting to {}: {e}", socket.display()))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("{}: {e}", socket.display()))?;
+        Ok(Connection {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends the request as one compact JSON line.
+    pub fn send(&mut self, request: &Request) -> Result<(), String> {
+        writeln!(self.writer, "{}", request.to_json().to_compact())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("sending request: {e}"))
+    }
+
+    /// Reads the next response line; `None` once the server closes the
+    /// connection.
+    pub fn recv(&mut self) -> Result<Option<Response>, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading response: {e}"))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        Response::parse(line.trim()).map(Some)
+    }
+
+    /// One-shot helper: connect, send, read exactly one response.
+    pub fn request(socket: &Path, request: &Request) -> Result<Response, String> {
+        let mut conn = Connection::open(socket)?;
+        conn.send(request)?;
+        conn.recv()?
+            .ok_or_else(|| "server closed the connection without responding".into())
+    }
+}

@@ -1,0 +1,390 @@
+//! The line-delimited JSON protocol spoken over the `fires serve`
+//! socket.
+//!
+//! One connection carries one request: the client writes a single
+//! [`Request`] as a compact JSON object terminated by `\n`, then reads
+//! [`Response`] lines until the server closes the connection. Streaming
+//! responses (`progress`) arrive as additional lines on the same
+//! connection before the terminal `done`/`error` line, so a client
+//! never needs to multiplex.
+//!
+//! Reports travel as opaque strings holding the campaign's *canonical
+//! text* (`CampaignReport::canonical_text`), not as re-encoded JSON:
+//! byte-identity between a cached and a freshly computed result is the
+//! service's core guarantee, and re-encoding would put that at the
+//! mercy of the transport.
+
+use fires_obs::Json;
+
+/// Wire form of one `fires submit` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitRequest {
+    /// Tenant the job is accounted against (admission limits, budget
+    /// caps, rejection metrics).
+    pub tenant: String,
+    /// Suite name (`small`/`table2`); mutually exclusive with
+    /// `circuits`.
+    pub suite: Option<String>,
+    /// Explicit circuit names; mutually exclusive with `suite`.
+    pub circuits: Vec<String>,
+    /// Frame-budget override applied to every task.
+    pub frames: Option<usize>,
+    /// Implication-step budget per stem, before the tenant cap.
+    pub step_budget: Option<u64>,
+    /// Run the Definition-6 validation step.
+    pub validate: bool,
+    /// Stream progress and the final report on this connection instead
+    /// of returning after admission.
+    pub wait: bool,
+    /// Progress-event interval for `wait` streaming, in milliseconds.
+    pub interval_ms: u64,
+}
+
+impl Default for SubmitRequest {
+    fn default() -> Self {
+        SubmitRequest {
+            tenant: "default".into(),
+            suite: None,
+            circuits: Vec::new(),
+            frames: None,
+            step_budget: None,
+            validate: true,
+            wait: false,
+            interval_ms: 500,
+        }
+    }
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a campaign for execution (or a cache lookup).
+    Submit(SubmitRequest),
+    /// Stream progress of an existing job until it completes.
+    Watch {
+        /// Job id (16 hex digits, as returned by `accepted`).
+        job: String,
+        /// Progress-event interval in milliseconds.
+        interval_ms: u64,
+    },
+    /// Fetch server metrics as a `RunReport`-compatible document.
+    Status,
+    /// Stop accepting work and exit once running jobs finish.
+    Shutdown,
+}
+
+/// One server response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The job was admitted; `job` is its content-addressed id.
+    Accepted {
+        /// Job id (16 hex digits of the content key).
+        job: String,
+    },
+    /// The result was already cached; `report` is the canonical text.
+    Hit {
+        /// Job id.
+        job: String,
+        /// Canonical report text, byte-identical to a cold run's.
+        report: String,
+    },
+    /// A watched or awaited job finished; `report` is the canonical
+    /// text.
+    Done {
+        /// Job id.
+        job: String,
+        /// Canonical report text.
+        report: String,
+    },
+    /// A `JournalSummary`-shaped progress event (`summary` is its
+    /// `to_json` form; `{"waiting": true}` before the journal exists).
+    Progress {
+        /// Job id.
+        job: String,
+        /// `JournalSummary::to_json` of the job's journal.
+        summary: Json,
+    },
+    /// Admission control refused the job.
+    Rejected {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Server metrics (a `RunReport`-compatible JSON document).
+    Status {
+        /// The `RunReport` JSON.
+        report: Json,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Acknowledgement with no payload (shutdown).
+    Ok,
+}
+
+/// Reads an optional `u64` field, failing on a wrong type.
+fn opt_u64(j: &Json, key: &str) -> Result<Option<u64>, String> {
+    match j.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("{key} is not an integer")),
+    }
+}
+
+fn req_str(j: &Json, key: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+impl Request {
+    /// Compact single-line JSON form.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        match self {
+            Request::Submit(s) => {
+                j.set("type", "submit")
+                    .set("tenant", s.tenant.clone())
+                    .set("validate", s.validate)
+                    .set("wait", s.wait)
+                    .set("interval_ms", s.interval_ms);
+                if let Some(suite) = &s.suite {
+                    j.set("suite", suite.clone());
+                }
+                if !s.circuits.is_empty() {
+                    let names: Vec<Json> =
+                        s.circuits.iter().map(|c| Json::from(c.clone())).collect();
+                    j.set("circuits", Json::Arr(names));
+                }
+                if let Some(frames) = s.frames {
+                    j.set("frames", frames as u64);
+                }
+                if let Some(steps) = s.step_budget {
+                    j.set("step_budget", steps);
+                }
+            }
+            Request::Watch { job, interval_ms } => {
+                j.set("type", "watch")
+                    .set("job", job.clone())
+                    .set("interval_ms", *interval_ms);
+            }
+            Request::Status => {
+                j.set("type", "status");
+            }
+            Request::Shutdown => {
+                j.set("type", "shutdown");
+            }
+        }
+        j
+    }
+
+    /// Parses one request line.
+    pub fn from_json(j: &Json) -> Result<Request, String> {
+        match j.get("type").and_then(Json::as_str) {
+            Some("submit") => {
+                let mut s = SubmitRequest {
+                    tenant: req_str(j, "tenant")?,
+                    ..SubmitRequest::default()
+                };
+                s.suite = j.get("suite").and_then(Json::as_str).map(str::to_string);
+                if let Some(arr) = j.get("circuits").and_then(Json::as_arr) {
+                    s.circuits = arr
+                        .iter()
+                        .map(|c| {
+                            c.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "circuits entries must be strings".to_string())
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                s.frames = opt_u64(j, "frames")?.map(|f| f as usize);
+                s.step_budget = opt_u64(j, "step_budget")?;
+                if let Some(v) = j.get("validate") {
+                    s.validate = v.as_bool().ok_or("validate is not a bool")?;
+                }
+                if let Some(v) = j.get("wait") {
+                    s.wait = v.as_bool().ok_or("wait is not a bool")?;
+                }
+                if let Some(ms) = opt_u64(j, "interval_ms")? {
+                    s.interval_ms = ms;
+                }
+                Ok(Request::Submit(s))
+            }
+            Some("watch") => Ok(Request::Watch {
+                job: req_str(j, "job")?,
+                interval_ms: opt_u64(j, "interval_ms")?.unwrap_or(500),
+            }),
+            Some("status") => Ok(Request::Status),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(format!("unknown request type {other:?}")),
+            None => Err("request has no type".into()),
+        }
+    }
+
+    /// Parses one request line of text.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let j = Json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        Request::from_json(&j)
+    }
+}
+
+impl Response {
+    /// Compact single-line JSON form.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        match self {
+            Response::Accepted { job } => {
+                j.set("type", "accepted").set("job", job.clone());
+            }
+            Response::Hit { job, report } => {
+                j.set("type", "hit")
+                    .set("job", job.clone())
+                    .set("report", report.clone());
+            }
+            Response::Done { job, report } => {
+                j.set("type", "done")
+                    .set("job", job.clone())
+                    .set("report", report.clone());
+            }
+            Response::Progress { job, summary } => {
+                j.set("type", "progress")
+                    .set("job", job.clone())
+                    .set("summary", summary.clone());
+            }
+            Response::Rejected { reason } => {
+                j.set("type", "rejected").set("reason", reason.clone());
+            }
+            Response::Status { report } => {
+                j.set("type", "status").set("report", report.clone());
+            }
+            Response::Error { message } => {
+                j.set("type", "error").set("message", message.clone());
+            }
+            Response::Ok => {
+                j.set("type", "ok");
+            }
+        }
+        j
+    }
+
+    /// Parses one response line.
+    pub fn from_json(j: &Json) -> Result<Response, String> {
+        match j.get("type").and_then(Json::as_str) {
+            Some("accepted") => Ok(Response::Accepted {
+                job: req_str(j, "job")?,
+            }),
+            Some("hit") => Ok(Response::Hit {
+                job: req_str(j, "job")?,
+                report: req_str(j, "report")?,
+            }),
+            Some("done") => Ok(Response::Done {
+                job: req_str(j, "job")?,
+                report: req_str(j, "report")?,
+            }),
+            Some("progress") => Ok(Response::Progress {
+                job: req_str(j, "job")?,
+                summary: j.get("summary").cloned().ok_or("progress has no summary")?,
+            }),
+            Some("rejected") => Ok(Response::Rejected {
+                reason: req_str(j, "reason")?,
+            }),
+            Some("status") => Ok(Response::Status {
+                report: j.get("report").cloned().ok_or("status has no report")?,
+            }),
+            Some("error") => Ok(Response::Error {
+                message: req_str(j, "message")?,
+            }),
+            Some("ok") => Ok(Response::Ok),
+            Some(other) => Err(format!("unknown response type {other:?}")),
+            None => Err("response has no type".into()),
+        }
+    }
+
+    /// Parses one response line of text.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let j = Json::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+        Response::from_json(&j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Submit(SubmitRequest {
+                tenant: "ci".into(),
+                suite: Some("small".into()),
+                wait: true,
+                interval_ms: 50,
+                ..SubmitRequest::default()
+            }),
+            Request::Submit(SubmitRequest {
+                tenant: "t".into(),
+                circuits: vec!["fig3".into(), "s27".into()],
+                frames: Some(7),
+                step_budget: Some(1000),
+                validate: false,
+                ..SubmitRequest::default()
+            }),
+            Request::Watch {
+                job: "00ff00ff00ff00ff".into(),
+                interval_ms: 250,
+            },
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = r.to_json().to_compact();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::parse(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut summary = Json::object();
+        summary.set("done", 3u64).set("total", 9u64);
+        let resps = vec![
+            Response::Accepted { job: "ab".into() },
+            Response::Hit {
+                job: "ab".into(),
+                report: "{\n  \"multi\": \"line\"\n}".into(),
+            },
+            Response::Done {
+                job: "ab".into(),
+                report: "text".into(),
+            },
+            Response::Progress {
+                job: "ab".into(),
+                summary,
+            },
+            Response::Rejected {
+                reason: "queue full".into(),
+            },
+            Response::Error {
+                message: "no such job".into(),
+            },
+            Response::Ok,
+        ];
+        for r in resps {
+            let line = r.to_json().to_compact();
+            assert!(!line.contains('\n'), "embedded newline must be escaped");
+            assert_eq!(Response::parse(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"type\":\"nope\"}").is_err());
+        assert!(Request::parse("{}").is_err());
+        assert!(Response::parse("{\"type\":\"hit\"}").is_err());
+    }
+}

@@ -1,0 +1,732 @@
+//! The `fires serve` daemon: a long-running campaign service over a
+//! Unix-domain socket.
+//!
+//! # Architecture
+//!
+//! One accept loop hands each connection to a short-lived handler
+//! thread; a fixed pool of worker threads drains a bounded admission
+//! queue of jobs. A *job* is a campaign keyed by the stable content
+//! hash of its resolved tasks ([`fires_core::content_hash`] per task,
+//! folded with the per-stem step budget), so two submissions that would
+//! produce byte-identical canonical reports share one key — and one
+//! execution (single-flight: a duplicate submitted while the first is
+//! queued or running just attaches to it).
+//!
+//! # Result store
+//!
+//! The store is two-tier and content-addressed. The durable tier is the
+//! job's ordinary campaign journal at `<state_dir>/jobs/<key>.jsonl`:
+//! the deterministic merge re-derives the canonical report from it at
+//! any time, byte-identically. The fast tier is an in-memory
+//! [`ResultCache`] of canonical texts with LRU byte-budget eviction; an
+//! evicted result is re-merged from its journal on the next hit. On
+//! startup the server scans the jobs directory: complete journals are
+//! re-indexed as cache-servable results, incomplete ones (a previous
+//! server was killed mid-campaign) are re-queued as resumes, so a
+//! SIGKILLed server finishes its in-flight work after restart with the
+//! same canonical bytes an uninterrupted run would have produced.
+//!
+//! # Tenancy
+//!
+//! Every submission names a tenant. Admission enforces a global queue
+//! bound and a per-tenant active-job limit, and a tenant's configured
+//! step cap clamps the per-stem [`Budget`](fires_core::Budget) of its
+//! jobs (the clamp changes the content key, as budgets change results).
+//! Rejections are counted per tenant in the server metrics, which
+//! `fires status --socket` exposes as a `RunReport`-compatible JSON
+//! document.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use fires_core::ContentHasher;
+use fires_jobs::{
+    journal, report_with_tasks, resume, run_with_tasks, CampaignSpec, JournalSummary, ResolvedTask,
+    RunnerConfig,
+};
+use fires_obs::{Json, RunReport};
+
+use crate::cache::ResultCache;
+use crate::proto::{Request, Response, SubmitRequest};
+
+/// Domain tag of the job content key ("job" in ASCII), so job keys can
+/// never collide with the per-task hashes they are folded from.
+const DOMAIN_JOB: u64 = 0x6a_6f_62;
+
+/// The stable content key of a resolved campaign: per-task
+/// `content_hash(circuit, config)` plus the per-stem step budget (which
+/// changes results, so it must change the key), folded in task order.
+pub fn job_key(tasks: &[ResolvedTask]) -> u64 {
+    let mut h = ContentHasher::new(DOMAIN_JOB);
+    h.write_usize(tasks.len());
+    for t in tasks {
+        h.write_u64(fires_core::content_hash(&t.circuit, &t.config));
+        match t.budget.max_steps {
+            Some(steps) => {
+                h.write_u64(1).write_u64(steps);
+            }
+            None => {
+                h.write_u64(0);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Everything `fires serve` is configured with.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix-domain socket path the daemon listens on.
+    pub socket: PathBuf,
+    /// State directory; journals live under `<state_dir>/jobs/`.
+    pub state_dir: PathBuf,
+    /// Worker threads draining the job queue (each job then runs on
+    /// `runner.threads` threads of its own).
+    pub workers: usize,
+    /// Runner knobs every job executes under.
+    pub runner: RunnerConfig,
+    /// Byte budget of the in-memory result cache.
+    pub cache_bytes: usize,
+    /// Maximum queued (admitted but not yet running) jobs.
+    pub max_queue: usize,
+    /// Maximum queued-or-running jobs per tenant.
+    pub tenant_active: usize,
+    /// Step cap applied to tenants without an explicit entry in
+    /// `tenant_steps`; `None` leaves them unclamped.
+    pub default_steps: Option<u64>,
+    /// Per-tenant step caps, clamping each job's per-stem budget.
+    pub tenant_steps: Vec<(String, u64)>,
+    /// Test hook: sleep this long before executing each job, so tests
+    /// can deterministically overlap submissions with a running build.
+    pub build_delay: Option<Duration>,
+}
+
+impl ServeConfig {
+    /// A configuration with production-shaped defaults for the given
+    /// socket and state directory.
+    pub fn new(socket: impl Into<PathBuf>, state_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            socket: socket.into(),
+            state_dir: state_dir.into(),
+            workers: 2,
+            runner: RunnerConfig {
+                progress_interval: Some(Duration::from_millis(500)),
+                ..RunnerConfig::default()
+            },
+            cache_bytes: 8 << 20,
+            max_queue: 64,
+            tenant_active: 4,
+            default_steps: None,
+            tenant_steps: Vec::new(),
+            build_delay: None,
+        }
+    }
+
+    /// The step cap of one tenant: its explicit entry, else the
+    /// default cap.
+    fn tenant_cap(&self, tenant: &str) -> Option<u64> {
+        self.tenant_steps
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|(_, s)| *s)
+            .or(self.default_steps)
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug)]
+enum Phase {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+}
+
+/// One known job: its normalized spec, resolved tasks (shared with the
+/// worker and any re-merge) and lifecycle phase.
+struct JobEntry {
+    spec: CampaignSpec,
+    tasks: Arc<Vec<ResolvedTask>>,
+    tenant: String,
+    phase: Phase,
+}
+
+/// Everything behind the state mutex.
+struct State {
+    jobs: HashMap<u64, JobEntry>,
+    queue: VecDeque<u64>,
+    cache: ResultCache,
+    metrics: fires_obs::RunMetrics,
+    /// Queued-or-running jobs per tenant, for the admission limit.
+    active: HashMap<String, usize>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    /// Wakes workers when the queue grows or the server stops.
+    wake: Condvar,
+    /// Wakes waiters/watchers when any job reaches a terminal phase.
+    done: Condvar,
+    stopping: AtomicBool,
+}
+
+/// What admission decided about one submission.
+enum Admission {
+    Hit { job: String, report: Arc<String> },
+    Accepted { key: u64, job: String },
+    Rejected { reason: String },
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    fn jobs_dir(&self) -> PathBuf {
+        self.cfg.state_dir.join("jobs")
+    }
+
+    fn journal_path(&self, job_id: &str) -> PathBuf {
+        self.jobs_dir().join(format!("{job_id}.jsonl"))
+    }
+
+    /// Builds the normalized spec of one submission: overrides applied,
+    /// tenant step cap clamped in, name replaced by the content key so
+    /// the canonical report is independent of what the client called
+    /// the campaign.
+    fn normalize(
+        &self,
+        s: &SubmitRequest,
+    ) -> Result<(CampaignSpec, Arc<Vec<ResolvedTask>>, u64), String> {
+        let mut spec = match (&s.suite, s.circuits.is_empty()) {
+            (Some(suite), true) => CampaignSpec::suite(suite).map_err(|e| e.to_string())?,
+            (None, false) => CampaignSpec::from_circuits("job", s.circuits.clone()),
+            (Some(_), false) => return Err("suite and circuits are mutually exclusive".into()),
+            (None, true) => return Err("nothing to run: pass suite or circuits".into()),
+        };
+        let cap = self.cfg.tenant_cap(&s.tenant);
+        for t in &mut spec.tasks {
+            if let Some(f) = s.frames {
+                t.frames = Some(f);
+            }
+            t.validate = s.validate;
+            t.step_budget = match (s.step_budget, cap) {
+                (Some(req), Some(cap)) => Some(req.min(cap)),
+                (Some(req), None) => Some(req),
+                (None, cap) => cap,
+            };
+        }
+        let tasks = spec.resolve().map_err(|e| e.to_string())?;
+        let key = job_key(&tasks);
+        spec.name = format!("{key:016x}");
+        Ok((spec, Arc::new(tasks), key))
+    }
+
+    /// Admission control: cache lookup, single-flight attach, queue and
+    /// tenant limits, enqueue.
+    fn admit(&self, s: &SubmitRequest) -> Result<Admission, String> {
+        let (spec, tasks, key) = self.normalize(s)?;
+        let job_id = spec.name.clone();
+        let mut st = self.lock();
+        st.metrics.incr("serve.submissions", 1);
+
+        if let Some(report) = st.cache.get(key) {
+            st.metrics.incr("serve.cache_hits", 1);
+            return Ok(Admission::Hit {
+                job: job_id,
+                report,
+            });
+        }
+        match st.jobs.get(&key).map(|j| j.phase.clone()) {
+            Some(Phase::Done) => {
+                // Durable tier: the complete journal re-merges to the
+                // same canonical bytes the evicted entry held.
+                let report = self.report_text_locked(&mut st, key)?;
+                st.metrics.incr("serve.cache_hits", 1);
+                return Ok(Admission::Hit {
+                    job: job_id,
+                    report,
+                });
+            }
+            Some(Phase::Queued) | Some(Phase::Running) => {
+                // Single-flight: attach to the in-flight execution.
+                st.metrics.incr("serve.deduped", 1);
+                return Ok(Admission::Accepted { key, job: job_id });
+            }
+            Some(Phase::Failed(_)) | None => {}
+        }
+        // Tenant limit before queue bound: a tenant over its own limit
+        // is told so even when the shared queue also happens to be
+        // full, so the rejection reason is actionable (and stable).
+        let tenant_active = st.active.get(&s.tenant).copied().unwrap_or(0);
+        if tenant_active >= self.cfg.tenant_active {
+            st.metrics.incr(&format!("serve.rejected.{}", s.tenant), 1);
+            return Ok(Admission::Rejected {
+                reason: format!(
+                    "tenant {:?} at its active-job limit ({})",
+                    s.tenant, self.cfg.tenant_active
+                ),
+            });
+        }
+        if st.queue.len() >= self.cfg.max_queue {
+            st.metrics.incr(&format!("serve.rejected.{}", s.tenant), 1);
+            return Ok(Admission::Rejected {
+                reason: format!("admission queue full ({} queued)", st.queue.len()),
+            });
+        }
+        st.metrics.incr("serve.cache_misses", 1);
+        st.jobs.insert(
+            key,
+            JobEntry {
+                spec,
+                tasks,
+                tenant: s.tenant.clone(),
+                phase: Phase::Queued,
+            },
+        );
+        st.queue.push_back(key);
+        *st.active.entry(s.tenant.clone()).or_insert(0) += 1;
+        self.wake.notify_one();
+        Ok(Admission::Accepted { key, job: job_id })
+    }
+
+    /// The canonical report text of a `Done` job: the memory tier if
+    /// present, else re-merged from the journal (and re-cached).
+    fn report_text_locked(&self, st: &mut State, key: u64) -> Result<Arc<String>, String> {
+        if let Some(text) = st.cache.get(key) {
+            return Ok(text);
+        }
+        let (job_id, tasks) = {
+            let job = st
+                .jobs
+                .get(&key)
+                .ok_or_else(|| format!("unknown job {key:016x}"))?;
+            (job.spec.name.clone(), Arc::clone(&job.tasks))
+        };
+        let report = report_with_tasks(&self.journal_path(&job_id), &tasks)
+            .map_err(|e| format!("re-merging job {job_id}: {e}"))?;
+        let text = Arc::new(report.canonical_text());
+        st.cache.insert(key, Arc::clone(&text));
+        st.metrics.incr("serve.remerges", 1);
+        Ok(text)
+    }
+
+    /// One worker: drain the queue until shutdown.
+    fn worker(&self) {
+        loop {
+            let mut st = self.lock();
+            let key = loop {
+                if self.stopping() {
+                    return;
+                }
+                if let Some(k) = st.queue.pop_front() {
+                    break k;
+                }
+                st = self.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+            };
+            let Some((job_id, spec, tasks)) = st.jobs.get_mut(&key).map(|job| {
+                job.phase = Phase::Running;
+                (
+                    job.spec.name.clone(),
+                    job.spec.clone(),
+                    Arc::clone(&job.tasks),
+                )
+            }) else {
+                continue;
+            };
+            st.metrics.incr("serve.engine_builds", 1);
+            drop(st);
+
+            if let Some(delay) = self.cfg.build_delay {
+                std::thread::sleep(delay);
+            }
+            let path = self.journal_path(&job_id);
+            // An existing journal means a previous attempt (possibly a
+            // killed server) already ran part of this campaign: resume
+            // completes exactly the missing units and the merge stays
+            // byte-identical to an uninterrupted run.
+            let ran = if path.exists() {
+                resume(&path, &self.cfg.runner)
+            } else {
+                run_with_tasks(&spec, &tasks, &path, &self.cfg.runner)
+            };
+            let outcome = ran.map_err(|e| e.to_string()).and_then(|summary| {
+                if summary.complete() {
+                    report_with_tasks(&path, &tasks)
+                        .map(|r| Arc::new(r.canonical_text()))
+                        .map_err(|e| e.to_string())
+                } else {
+                    Err(format!(
+                        "{} unit(s) still pending after run",
+                        summary.remaining
+                    ))
+                }
+            });
+
+            let mut st = self.lock();
+            let tenant = match st.jobs.get_mut(&key) {
+                Some(job) => {
+                    match &outcome {
+                        Ok(_) => job.phase = Phase::Done,
+                        Err(m) => job.phase = Phase::Failed(m.clone()),
+                    }
+                    job.tenant.clone()
+                }
+                None => String::new(),
+            };
+            match outcome {
+                Ok(text) => {
+                    st.cache.insert(key, text);
+                    st.metrics.incr("serve.completed", 1);
+                }
+                Err(_) => {
+                    st.metrics.incr("serve.failed", 1);
+                }
+            }
+            if let Some(n) = st.active.get_mut(&tenant) {
+                *n = n.saturating_sub(1);
+            }
+            drop(st);
+            self.done.notify_all();
+        }
+    }
+
+    /// Streams `JournalSummary`-shaped progress lines for one job until
+    /// it reaches a terminal phase, then sends `done` (with the
+    /// canonical report) or `error`. At least one progress event is
+    /// always sent, so a waiter observes the stream even for a job that
+    /// finishes instantly.
+    fn stream_job(
+        &self,
+        out: &mut UnixStream,
+        key: u64,
+        job_id: &str,
+        interval: Duration,
+    ) -> Result<(), String> {
+        let interval = interval.clamp(Duration::from_millis(10), Duration::from_secs(10));
+        let path = self.journal_path(job_id);
+        loop {
+            // The progress event is read from the journal itself — the
+            // same spec-free summary path `fires watch` uses — so the
+            // stream agrees with on-disk state even across a resume.
+            let summary = match journal::read(&path) {
+                Ok(contents) => JournalSummary::summarize(&contents).to_json(),
+                Err(_) => {
+                    let mut j = Json::object();
+                    j.set("waiting", true);
+                    j
+                }
+            };
+            if send(
+                out,
+                &Response::Progress {
+                    job: job_id.to_string(),
+                    summary,
+                },
+            )
+            .is_err()
+            {
+                return Ok(()); // subscriber hung up; nothing to report
+            }
+            let mut st = self.lock();
+            match st.jobs.get(&key).map(|j| j.phase.clone()) {
+                Some(Phase::Done) => {
+                    let report = self.report_text_locked(&mut st, key)?;
+                    drop(st);
+                    let _ = send(
+                        out,
+                        &Response::Done {
+                            job: job_id.to_string(),
+                            report: report.as_ref().clone(),
+                        },
+                    );
+                    return Ok(());
+                }
+                Some(Phase::Failed(message)) => {
+                    drop(st);
+                    let _ = send(
+                        out,
+                        &Response::Error {
+                            message: format!("job {job_id} failed: {message}"),
+                        },
+                    );
+                    return Ok(());
+                }
+                None => return Err(format!("unknown job {job_id}")),
+                Some(Phase::Queued) | Some(Phase::Running) => {
+                    if self.stopping() {
+                        drop(st);
+                        let _ = send(
+                            out,
+                            &Response::Error {
+                                message: "server shutting down".into(),
+                            },
+                        );
+                        return Ok(());
+                    }
+                    // Re-check on completion signal or after the
+                    // interval, whichever comes first.
+                    let _ = self
+                        .done
+                        .wait_timeout(st, interval)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Server metrics as a `RunReport`-compatible JSON document, so the
+    /// existing report tooling (`fires compare`, dashboards) can read
+    /// them unchanged.
+    fn status_report(&self) -> Json {
+        let st = self.lock();
+        let running = st
+            .jobs
+            .values()
+            .filter(|j| matches!(j.phase, Phase::Running))
+            .count();
+        let mut report = RunReport::new("fires-serve", "server");
+        report.metrics = st.metrics.clone();
+        report
+            .set_extra("queue_depth", st.queue.len() as u64)
+            .set_extra("running", running as u64)
+            .set_extra("jobs_known", st.jobs.len() as u64)
+            .set_extra("cache_entries", st.cache.len() as u64)
+            .set_extra("cache_bytes", st.cache.bytes() as u64)
+            .set_extra("cache_evictions", st.cache.evictions())
+            .set_extra("workers", self.cfg.workers as u64);
+        report.to_json()
+    }
+
+    /// Handles one connection: one request line, one or more response
+    /// lines.
+    fn handle(self: &Arc<Self>, stream: UnixStream) {
+        let mut out = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_err() {
+            return;
+        }
+        let request = match Request::parse(line.trim()) {
+            Ok(r) => r,
+            Err(message) => {
+                let _ = send(&mut out, &Response::Error { message });
+                return;
+            }
+        };
+        match request {
+            Request::Submit(s) => match self.admit(&s) {
+                Ok(Admission::Hit { job, report }) => {
+                    let _ = send(
+                        &mut out,
+                        &Response::Hit {
+                            job,
+                            report: report.as_ref().clone(),
+                        },
+                    );
+                }
+                Ok(Admission::Rejected { reason }) => {
+                    let _ = send(&mut out, &Response::Rejected { reason });
+                }
+                Ok(Admission::Accepted { key, job }) => {
+                    if send(&mut out, &Response::Accepted { job: job.clone() }).is_err() {
+                        return;
+                    }
+                    if s.wait {
+                        let interval = Duration::from_millis(s.interval_ms);
+                        if let Err(message) = self.stream_job(&mut out, key, &job, interval) {
+                            let _ = send(&mut out, &Response::Error { message });
+                        }
+                    }
+                }
+                Err(message) => {
+                    let _ = send(&mut out, &Response::Error { message });
+                }
+            },
+            Request::Watch { job, interval_ms } => {
+                let key = match u64::from_str_radix(&job, 16) {
+                    Ok(k) if job.len() == 16 => k,
+                    _ => {
+                        let _ = send(
+                            &mut out,
+                            &Response::Error {
+                                message: format!("malformed job id {job:?} (want 16 hex digits)"),
+                            },
+                        );
+                        return;
+                    }
+                };
+                let interval = Duration::from_millis(interval_ms);
+                if let Err(message) = self.stream_job(&mut out, key, &job, interval) {
+                    let _ = send(&mut out, &Response::Error { message });
+                }
+            }
+            Request::Status => {
+                let _ = send(
+                    &mut out,
+                    &Response::Status {
+                        report: self.status_report(),
+                    },
+                );
+            }
+            Request::Shutdown => {
+                let _ = send(&mut out, &Response::Ok);
+                self.stopping.store(true, Ordering::SeqCst);
+                self.wake.notify_all();
+                self.done.notify_all();
+                // Poke the accept loop so it observes `stopping`.
+                let _ = UnixStream::connect(&self.cfg.socket);
+            }
+        }
+    }
+
+    /// Startup recovery: re-index every journal under the jobs dir.
+    /// Complete journals become cache-servable `Done` jobs; incomplete
+    /// ones — a previous server died mid-campaign — are re-queued so
+    /// their resume finishes the missing units.
+    fn recover(&self) -> Result<(), String> {
+        let dir = self.jobs_dir();
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+                continue;
+            }
+            let indexed = journal::read(&path).ok().and_then(|contents| {
+                let spec = contents.header.spec.clone();
+                let tasks = spec.resolve().ok()?;
+                let key = job_key(&tasks);
+                // The filename is the content key; a mismatch means a
+                // foreign or tampered file, which must not be served
+                // under a key it does not hash to.
+                if path.file_stem().and_then(|s| s.to_str()) != Some(&format!("{key:016x}")) {
+                    return None;
+                }
+                Some((spec, tasks, key, JournalSummary::summarize(&contents)))
+            });
+            let mut st = self.lock();
+            match indexed {
+                Some((spec, tasks, key, summary)) => {
+                    let complete = summary.complete();
+                    st.jobs.insert(
+                        key,
+                        JobEntry {
+                            spec,
+                            tasks: Arc::new(tasks),
+                            tenant: "recovered".into(),
+                            phase: if complete { Phase::Done } else { Phase::Queued },
+                        },
+                    );
+                    if complete {
+                        st.metrics.incr("serve.recovered", 1);
+                    } else {
+                        st.queue.push_back(key);
+                        *st.active.entry("recovered".into()).or_insert(0) += 1;
+                        st.metrics.incr("serve.resumed", 1);
+                    }
+                }
+                None => {
+                    st.metrics.incr("serve.scan_errors", 1);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes one response line and flushes it (line-delimited protocol).
+fn send(out: &mut UnixStream, response: &Response) -> std::io::Result<()> {
+    writeln!(out, "{}", response.to_json().to_compact())?;
+    out.flush()
+}
+
+/// Runs the daemon until a `shutdown` request: binds the socket,
+/// recovers journaled state, serves connections. Blocks the calling
+/// thread; returns once every worker has exited and the socket file is
+/// removed.
+pub fn run_server(cfg: ServeConfig) -> Result<(), String> {
+    let jobs_dir = cfg.state_dir.join("jobs");
+    std::fs::create_dir_all(&jobs_dir).map_err(|e| format!("{}: {e}", jobs_dir.display()))?;
+    if cfg.socket.exists() {
+        // A live server answers on its socket; a stale file from a
+        // killed one refuses connections and is safe to replace.
+        if UnixStream::connect(&cfg.socket).is_ok() {
+            return Err(format!(
+                "{}: a server is already listening",
+                cfg.socket.display()
+            ));
+        }
+        std::fs::remove_file(&cfg.socket).map_err(|e| format!("{}: {e}", cfg.socket.display()))?;
+    }
+    let listener =
+        UnixListener::bind(&cfg.socket).map_err(|e| format!("{}: {e}", cfg.socket.display()))?;
+
+    let workers = cfg.workers.max(1);
+    let cache = ResultCache::new(cfg.cache_bytes);
+    let inner = Arc::new(Inner {
+        cfg,
+        state: Mutex::new(State {
+            jobs: HashMap::new(),
+            queue: VecDeque::new(),
+            cache,
+            metrics: fires_obs::RunMetrics::new(),
+            active: HashMap::new(),
+        }),
+        wake: Condvar::new(),
+        done: Condvar::new(),
+        stopping: AtomicBool::new(false),
+    });
+    inner.recover()?;
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("fires-serve-worker-{i}"))
+            .spawn(move || inner.worker())
+            .map_err(|e| format!("spawning worker: {e}"))?;
+        worker_handles.push(handle);
+    }
+
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(
+            stdout,
+            "fires-serve listening on {}",
+            inner.cfg.socket.display()
+        );
+        let _ = stdout.flush();
+    }
+
+    for stream in listener.incoming() {
+        if inner.stopping() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let inner = Arc::clone(&inner);
+        let _ = std::thread::Builder::new()
+            .name("fires-serve-conn".into())
+            .spawn(move || inner.handle(stream));
+    }
+
+    inner.wake.notify_all();
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    let _ = std::fs::remove_file(&inner.cfg.socket);
+    Ok(())
+}
