@@ -137,19 +137,35 @@ impl ChaosPlan {
     }
 
     fn roll(&self, site: u64, task: usize, stem: usize, attempt: u32) -> u64 {
-        let mut x = self.seed ^ site.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        x = splitmix64(x);
-        x ^= (task as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        x = splitmix64(x);
-        x ^= (stem as u64).wrapping_mul(0x94d0_49bb_1331_11eb);
-        x = splitmix64(x);
-        x ^= u64::from(attempt);
-        splitmix64(x)
+        site_roll(
+            self.seed,
+            site,
+            task as u64,
+            stem as u64,
+            u64::from(attempt),
+        )
     }
 }
 
+/// One deterministic chaos decision: a well-mixed `u64` drawn from
+/// `(seed, site, a, b, c)` and nothing else. The shared primitive under
+/// every fault plan in the workspace — [`ChaosPlan`] keys its rolls by
+/// `(task, stem, attempt)`, the serve-level chaos facility by a
+/// per-site event index — so all plans inherit the same properties:
+/// replayable from the seed alone, and independent streams per site tag.
+pub fn site_roll(seed: u64, site: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut x = seed ^ site.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = splitmix64(x);
+    x ^= a.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = splitmix64(x);
+    x ^= b.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x = splitmix64(x);
+    x ^= c;
+    splitmix64(x)
+}
+
 /// The splitmix64 finalizer: cheap, well-mixed, dependency-free.
-fn splitmix64(mut x: u64) -> u64 {
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -228,6 +244,20 @@ mod tests {
         let differs = (0..64)
             .any(|stem| plan.unit_panics(0, stem, 0) != plan.journal_append_fails(0, stem, 0));
         assert!(differs);
+    }
+
+    #[test]
+    fn site_roll_matches_plan_rolls() {
+        // The exposed primitive IS the plan's roll: embedders deriving
+        // their own streams (the serve-level chaos facility) stay
+        // consistent with the fault schedules CI has pinned by seed.
+        let plan = ChaosPlan::new(99).with_unit_panics(500);
+        for stem in 0..32 {
+            assert_eq!(
+                plan.unit_panics(1, stem, 2),
+                site_roll(99, 0x70_61_6e_69, 1, stem as u64, 2) % 1000 < 500
+            );
+        }
     }
 
     #[test]

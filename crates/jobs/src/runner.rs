@@ -80,6 +80,15 @@ pub struct RunnerConfig {
     /// Deterministic fault-injection plan for robustness tests; `None`
     /// in production.
     pub chaos: Option<ChaosPlan>,
+    /// Cooperative stop flag for long-running embedders (`fires serve`
+    /// draining on SIGTERM): once the flag is set, workers stop
+    /// *claiming* new units. Units already in flight finish and are
+    /// journaled, so the journal left behind is a clean checkpoint —
+    /// [`resume`] completes exactly the unclaimed remainder and the
+    /// merged report stays byte-identical to an uninterrupted run. A
+    /// `&'static` reference keeps the config `Copy`; embedders hold a
+    /// process-lifetime flag (a `static` or one intentional leak).
+    pub stop: Option<&'static AtomicBool>,
     /// Minimum spacing between journaled progress heartbeats
     /// ([`ProgressRecord`]); `None` disables them. Heartbeats are
     /// best-effort observability for `fires watch`: a lost one is
@@ -111,6 +120,7 @@ impl Default for RunnerConfig {
             retries: 0,
             backoff: Duration::from_millis(10),
             chaos: None,
+            stop: None,
             progress_interval: Some(Duration::from_millis(500)),
         }
     }
@@ -334,6 +344,11 @@ fn execute(
         // after every catch.
         let mut ctxs: HashMap<usize, StemCtx> = HashMap::new();
         loop {
+            // Checked before the claim so a drained unit stays
+            // unclaimed for the resume, not skipped by a dead cursor.
+            if rc.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                return;
+            }
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(&(task, stem)) = units.get(i) else {
                 return;
@@ -969,6 +984,37 @@ mod tests {
             crate::report(&path).unwrap().canonical_text(),
             crate::report(&quiet).unwrap().canonical_text()
         );
+    }
+
+    #[test]
+    fn stop_flag_checkpoints_cleanly_for_resume() {
+        // The cooperative stop: the first unit's inject hook raises the
+        // flag, so that unit finishes and is journaled but nothing new
+        // is claimed — exactly the drain semantics `fires serve` needs.
+        static STOP: AtomicBool = AtomicBool::new(false);
+        fn raise(_: usize, _: usize) -> Injection {
+            STOP.store(true, Ordering::SeqCst);
+            Injection::Run
+        }
+        let clean = temp("stop-clean");
+        run(&small_spec(), &clean, &RunnerConfig::default()).unwrap();
+        let baseline = crate::report(&clean).unwrap().canonical_text();
+
+        let path = temp("stop");
+        let rc = RunnerConfig {
+            inject: Some(raise),
+            stop: Some(&STOP),
+            ..Default::default()
+        };
+        let first = run(&small_spec(), &path, &rc).unwrap();
+        assert_eq!(first.executed, 1, "in-flight unit finishes, no new claims");
+        assert!(!first.complete());
+        // The journal is a clean checkpoint: resume completes the
+        // unclaimed remainder and the report is byte-identical.
+        let second = resume(&path, &RunnerConfig::default()).unwrap();
+        assert!(second.complete());
+        assert_eq!(second.skipped, 1);
+        assert_eq!(crate::report(&path).unwrap().canonical_text(), baseline);
     }
 
     #[test]

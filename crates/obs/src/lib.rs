@@ -30,6 +30,7 @@ pub mod chrome;
 pub mod compare;
 pub mod json;
 mod metrics;
+pub mod names;
 mod profile;
 mod report;
 mod timer;

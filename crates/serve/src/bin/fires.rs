@@ -20,11 +20,14 @@
 //! fires serve   --socket PATH --state-dir DIR [--server-workers N]
 //!               [--cache-bytes N] [--max-queue N] [--tenant-active N]
 //!               [--default-steps N] [--tenant-steps TENANT=N]...
-//!               [runner flags] [chaos flags]
+//!               [--drain-timeout-secs S] [runner flags] [chaos flags]
+//!               [serve chaos flags]
 //! fires submit  --socket PATH (--suite S | --circuit NAME...)
 //!               [--frames N] [--step-budget N] [--no-validate]
 //!               [--tenant T] [--wait] [--interval-ms MS] [--out FILE]
-//! fires shutdown --socket PATH
+//!               [--reconnect N]
+//! fires health  --socket PATH [--ready]
+//! fires shutdown --socket PATH [--drain]
 //! ```
 //!
 //! `status` and `watch` summarise the journal itself (no engines are
@@ -43,7 +46,12 @@
 //! Chaos flags (deterministic fault injection for robustness testing):
 //! `--chaos-seed N` enables the plan; `--chaos-panic P`,
 //! `--chaos-journal P` and `--chaos-delay P` set per-mille fault rates,
-//! `--chaos-delay-ms MS` bounds an injected delay.
+//! `--chaos-delay-ms MS` bounds an injected delay. `fires serve`
+//! additionally takes service-layer chaos rates sharing the same seed:
+//! `--chaos-accept P`, `--chaos-read P`, `--chaos-write P` (socket
+//! faults), `--chaos-stall P` + `--chaos-stall-ms MS` (client stalls),
+//! `--chaos-disk P` (injected ENOSPC on cache/heartbeat writes) and
+//! `--chaos-wakeup-ms MS` (delayed worker wakeups).
 //!
 //! `run` journals to `<out>/<name>.jsonl` and writes machine-readable
 //! observability reports next to it (`<name>.report.json`, one
@@ -70,7 +78,9 @@ use fires_jobs::{
 use fires_obs::{
     compare_reports, CompareConfig, CompareOutcome, DeltaStatus, Json, RuleProfile, RunReport,
 };
-use fires_serve::{run_server, Connection, Request, Response, ServeConfig, SubmitRequest};
+use fires_serve::{
+    run_server, Connection, Request, Response, ServeChaos, ServeConfig, SubmitRequest,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,6 +97,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
+        "health" => cmd_health(rest),
         "shutdown" => cmd_shutdown(rest),
         "compare" => return cmd_compare(rest),
         "--help" | "-h" | "help" => {
@@ -124,18 +135,30 @@ usage:
   fires serve   --socket PATH --state-dir DIR [--server-workers N]
                 [--cache-bytes N] [--max-queue N] [--tenant-active N]
                 [--default-steps N] [--tenant-steps TENANT=N]...
-                [runner flags] [chaos flags]
+                [--drain-timeout-secs S] [runner flags] [chaos flags]
+                [serve chaos flags]
   fires submit  --socket PATH (--suite S | --circuit NAME...)
                 [--frames N] [--step-budget N] [--no-validate]
                 [--tenant T] [--wait] [--interval-ms MS] [--out FILE]
-  fires shutdown --socket PATH
+                [--reconnect N]
+  fires health  --socket PATH [--ready]
+  fires shutdown --socket PATH [--drain]
 
 chaos flags (deterministic fault injection; requires --chaos-seed):
   --chaos-seed N       seed of every injection decision
   --chaos-panic P      per-mille rate of injected unit panics
   --chaos-journal P    per-mille rate of injected journal IO errors
   --chaos-delay P      per-mille rate of injected unit delays
-  --chaos-delay-ms MS  upper bound of an injected delay";
+  --chaos-delay-ms MS  upper bound of an injected delay
+
+serve chaos flags (fires serve only; share --chaos-seed):
+  --chaos-accept P     per-mille rate of dropped accepted connections
+  --chaos-read P       per-mille rate of abandoned request reads
+  --chaos-write P      per-mille rate of failed response writes
+  --chaos-stall P      per-mille rate of injected client stalls
+  --chaos-stall-ms MS  duration of an injected stall
+  --chaos-disk P       per-mille rate of injected ENOSPC disk faults
+  --chaos-wakeup-ms MS fixed delay on every worker wakeup";
 
 /// Pulls `--flag VALUE` out of `args`, mutating the vector.
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -216,6 +239,58 @@ fn chaos_plan(args: &mut Vec<String>) -> Result<Option<ChaosPlan>, String> {
     };
     if rate > 0 {
         plan = plan.with_delays(rate, bound);
+    }
+    Ok(Some(plan))
+}
+
+/// Parses the serve-level chaos flags into a [`ServeChaos`] plan. The
+/// seed is shared with the runner plan (`--chaos-seed`), which
+/// [`runner_config`] consumes later, so the caller peeks it and passes
+/// it in. `None` when no serve-level rate is set — a seed alone keeps
+/// the service layer quiet.
+fn serve_chaos(args: &mut Vec<String>, seed: Option<u64>) -> Result<Option<ServeChaos>, String> {
+    let accept = take_value(args, "--chaos-accept")?;
+    let read = take_value(args, "--chaos-read")?;
+    let write = take_value(args, "--chaos-write")?;
+    let stall = take_value(args, "--chaos-stall")?;
+    let stall_ms = take_value(args, "--chaos-stall-ms")?;
+    let disk = take_value(args, "--chaos-disk")?;
+    let wakeup_ms = take_value(args, "--chaos-wakeup-ms")?;
+    let any = [&accept, &read, &write, &stall, &stall_ms, &disk, &wakeup_ms]
+        .iter()
+        .any(|v| v.is_some());
+    if !any {
+        return Ok(None);
+    }
+    let Some(seed) = seed else {
+        return Err("serve chaos rates need --chaos-seed".into());
+    };
+    let mut plan = ServeChaos::new(seed);
+    if let Some(p) = accept {
+        plan = plan.with_accept_faults(parse_number(&p, "--chaos-accept")?);
+    }
+    if let Some(p) = read {
+        plan = plan.with_read_faults(parse_number(&p, "--chaos-read")?);
+    }
+    if let Some(p) = write {
+        plan = plan.with_write_faults(parse_number(&p, "--chaos-write")?);
+    }
+    let stall_rate = match stall {
+        Some(p) => parse_number(&p, "--chaos-stall")?,
+        None => 0,
+    };
+    let stall_bound = match stall_ms {
+        Some(ms) => parse_number(&ms, "--chaos-stall-ms")?,
+        None => 20,
+    };
+    if stall_rate > 0 {
+        plan = plan.with_stalls(stall_rate, stall_bound);
+    }
+    if let Some(p) = disk {
+        plan = plan.with_disk_faults(parse_number(&p, "--chaos-disk")?);
+    }
+    if let Some(ms) = wakeup_ms {
+        plan = plan.with_wakeup_delay(parse_number(&ms, "--chaos-wakeup-ms")?);
     }
     Ok(Some(plan))
 }
@@ -407,7 +482,12 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
     }
     let journal_path = journal_arg(&mut args)?;
     reject_leftovers(&args)?;
-    let deadline = timeout.map(|t| std::time::Instant::now() + t);
+    // The timeout bounds *stall*, not total runtime: any growth of the
+    // journal file (unit completions, but also progress heartbeats)
+    // pushes the deadline out, so a slow-but-alive campaign is never
+    // killed while a wedged one still times out.
+    let mut deadline = timeout.map(|t| std::time::Instant::now() + t);
+    let mut last_len: u64 = 0;
 
     // On a terminal each frame repaints in place; piped output gets one
     // frame per poll, newline-separated, for `fires watch | tee log`.
@@ -441,6 +521,11 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         if once {
             return Ok(());
         }
+        let len = std::fs::metadata(&journal_path).map_or(0, |m| m.len());
+        if len != last_len {
+            last_len = len;
+            deadline = timeout.map(|t| std::time::Instant::now() + t);
+        }
         if let Some(d) = deadline {
             if std::time::Instant::now() >= d {
                 return Err(format!(
@@ -463,7 +548,12 @@ fn watch_remote(
     interval: Duration,
     timeout: Option<Duration>,
 ) -> Result<(), String> {
-    let deadline = timeout.map(|t| std::time::Instant::now() + t);
+    // Stall detection, not a total-runtime cap: any *changed* progress
+    // frame (heartbeats bump elapsed_seconds even when no unit
+    // finished) resets the deadline, so only a genuinely silent or
+    // frozen stream times out.
+    let mut deadline = timeout.map(|t| std::time::Instant::now() + t);
+    let mut last_frame = String::new();
     let mut conn = Connection::open(socket)?;
     conn.send(&Request::Watch {
         job: job.to_string(),
@@ -480,9 +570,19 @@ fn watch_remote(
         }
         match conn.recv()? {
             None => return Err("server closed the connection before the job completed".into()),
-            Some(Response::Progress { summary, .. }) => emitln(summary.to_compact())?,
+            Some(Response::Progress { summary, .. }) => {
+                let frame = summary.to_compact();
+                if frame != last_frame {
+                    last_frame = frame.clone();
+                    deadline = timeout.map(|t| std::time::Instant::now() + t);
+                }
+                emitln(frame)?;
+            }
             Some(Response::Done { job, .. }) => {
                 return emitln(format_args!("job {job} complete"));
+            }
+            Some(Response::Draining { reason }) => {
+                return Err(format!("server draining: {reason}"));
             }
             Some(Response::Error { message }) => return Err(message),
             Some(other) => return Err(format!("unexpected response: {:?}", other.to_json())),
@@ -877,9 +977,22 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `fires serve`: host the campaign service until a shutdown request.
+/// `fires serve`: host the campaign service until a shutdown request
+/// or SIGTERM (which starts a graceful drain).
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
+    // The service-layer chaos plan shares --chaos-seed with the runner
+    // plan, and runner_config() consumes that flag — so peek the seed
+    // first, then pull the serve-only rates out before the runner
+    // flags are parsed.
+    let chaos_seed = match args.iter().position(|a| a == "--chaos-seed") {
+        Some(i) => Some(parse_number::<u64>(
+            args.get(i + 1).ok_or("--chaos-seed needs a value")?,
+            "--chaos-seed",
+        )?),
+        None => None,
+    };
+    let chaos = serve_chaos(&mut args, chaos_seed)?;
     let rc = runner_config(&mut args)?;
     let socket = take_value(&mut args, "--socket")?.ok_or("serve needs --socket PATH")?;
     let state_dir = take_value(&mut args, "--state-dir")?.ok_or("serve needs --state-dir DIR")?;
@@ -890,6 +1003,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         progress_interval: Some(Duration::from_millis(500)),
         ..rc
     };
+    cfg.chaos = chaos;
+    if let Some(secs) = take_value(&mut args, "--drain-timeout-secs")? {
+        cfg.drain_timeout = Duration::from_secs(parse_number(&secs, "--drain-timeout-secs")?);
+    }
     if let Some(n) = take_value(&mut args, "--server-workers")? {
         cfg.workers = parse_number(&n, "--server-workers")?;
     }
@@ -926,10 +1043,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 /// `fires submit`: send one campaign to a server; with `--wait`, stream
 /// progress and write the canonical report.
+///
+/// `--reconnect N` (default 5) bounds recovery from a daemon restart
+/// mid-stream: on EOF or a `draining` notice the client backs off
+/// (100 ms doubling to 2 s) and re-submits. Re-submitting is safe
+/// because jobs are content-addressed — the retry attaches to the
+/// single-flight execution, resumes the checkpointed journal, or hits
+/// the cache, and the report bytes are identical in every case. The
+/// retry budget resets whenever a response actually arrives, so N
+/// bounds *consecutive* failures, not the life of a long stream.
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let socket = take_value(&mut args, "--socket")?.ok_or("submit needs --socket PATH")?;
     let out = take_value(&mut args, "--out")?;
+    let reconnect: u32 = match take_value(&mut args, "--reconnect")? {
+        Some(n) => parse_number(&n, "--reconnect")?,
+        None => 5,
+    };
     let mut req = SubmitRequest {
         suite: take_value(&mut args, "--suite")?,
         wait: take_flag(&mut args, "--wait"),
@@ -966,42 +1096,125 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         }
     };
     let wait = req.wait;
-    let mut conn = Connection::open(Path::new(&socket))?;
-    conn.send(&Request::Submit(req))?;
-    loop {
-        match conn.recv()? {
-            None => return Err("server closed the connection unexpectedly".into()),
-            Some(Response::Hit { job, report }) => {
-                emitln(format_args!("job {job}: cache hit"))?;
-                return deliver(&report);
-            }
-            Some(Response::Accepted { job }) => {
-                emitln(format_args!("job {job} accepted"))?;
-                if !wait {
-                    return Ok(());
+    let socket = Path::new(&socket);
+    // Retry budget for the whole exchange; refilled on every received
+    // response, spent on EOF/draining gaps.
+    let mut attempts_left = reconnect;
+    let mut backoff = Duration::from_millis(100);
+    let mut announced = false;
+    // One reconnect attempt per iteration of the outer loop.
+    'reconnect: loop {
+        let mut conn = Connection::open_with_retry(socket, attempts_left)?;
+        conn.send(&Request::Submit(req.clone()))?;
+        loop {
+            let received = match conn.recv() {
+                Ok(r) => r,
+                Err(e) if wait && attempts_left > 0 => {
+                    attempts_left -= 1;
+                    emitln(format_args!("connection lost ({e}); reconnecting"))?;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_secs(2));
+                    continue 'reconnect;
                 }
+                Err(e) => return Err(e),
+            };
+            match received {
+                None => {
+                    if wait && attempts_left > 0 {
+                        attempts_left -= 1;
+                        emitln("connection lost; reconnecting")?;
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_secs(2));
+                        continue 'reconnect;
+                    }
+                    return Err("server closed the connection unexpectedly".into());
+                }
+                Some(Response::Hit { job, report }) => {
+                    emitln(format_args!("job {job}: cache hit"))?;
+                    return deliver(&report);
+                }
+                Some(Response::Accepted { job }) => {
+                    // Print once even when a reconnect re-attaches.
+                    if !announced {
+                        emitln(format_args!("job {job} accepted"))?;
+                        announced = true;
+                    }
+                    if !wait {
+                        return Ok(());
+                    }
+                    attempts_left = reconnect;
+                    backoff = Duration::from_millis(100);
+                }
+                Some(Response::Progress { summary, .. }) => {
+                    emitln(format_args!("progress {}", summary.to_compact()))?;
+                    attempts_left = reconnect;
+                    backoff = Duration::from_millis(100);
+                }
+                Some(Response::Done { job, report }) => {
+                    emitln(format_args!("job {job}: computed"))?;
+                    return deliver(&report);
+                }
+                Some(Response::Draining { reason }) => {
+                    // The daemon is restarting; the job (if admitted)
+                    // is checkpointed. Back off and re-submit against
+                    // the next incarnation.
+                    if attempts_left > 0 {
+                        attempts_left -= 1;
+                        emitln(format_args!("server draining; retrying: {reason}"))?;
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_secs(2));
+                        continue 'reconnect;
+                    }
+                    return Err(format!("server draining: {reason}"));
+                }
+                Some(Response::Rejected { reason }) => return Err(format!("rejected: {reason}")),
+                Some(Response::Error { message }) => return Err(message),
+                Some(other) => return Err(format!("unexpected response: {:?}", other.to_json())),
             }
-            Some(Response::Progress { summary, .. }) => {
-                emitln(format_args!("progress {}", summary.to_compact()))?;
-            }
-            Some(Response::Done { job, report }) => {
-                emitln(format_args!("job {job}: computed"))?;
-                return deliver(&report);
-            }
-            Some(Response::Rejected { reason }) => return Err(format!("rejected: {reason}")),
-            Some(Response::Error { message }) => return Err(message),
-            Some(other) => return Err(format!("unexpected response: {:?}", other.to_json())),
         }
     }
 }
 
-/// `fires shutdown`: ask a server to stop once running jobs finish.
+/// `fires health`: liveness (default) or readiness (`--ready`) probe.
+/// Exits nonzero when the daemon is unreachable or not ready, so the
+/// command slots directly into scripts and supervisors.
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let socket = take_value(&mut args, "--socket")?.ok_or("health needs --socket PATH")?;
+    let ready = take_flag(&mut args, "--ready");
+    reject_leftovers(&args)?;
+    if ready {
+        return match Connection::request(Path::new(&socket), &Request::Ready)? {
+            Response::Ready { ready: true, .. } => emitln("ready"),
+            Response::Ready {
+                ready: false,
+                reason,
+            } => Err(format!("not ready: {reason}")),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response: {:?}", other.to_json())),
+        };
+    }
+    match Connection::request(Path::new(&socket), &Request::Health)? {
+        Response::Health { report } => emitln(report.to_pretty()),
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response: {:?}", other.to_json())),
+    }
+}
+
+/// `fires shutdown`: stop a server — immediately by default, or with
+/// `--drain` gracefully (admission closes, in-flight jobs checkpoint,
+/// subscribers are flushed, exit within the server's drain timeout).
 fn cmd_shutdown(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let socket = take_value(&mut args, "--socket")?.ok_or("shutdown needs --socket PATH")?;
+    let drain = take_flag(&mut args, "--drain");
     reject_leftovers(&args)?;
-    match Connection::request(Path::new(&socket), &Request::Shutdown)? {
-        Response::Ok => emitln("server shutting down"),
+    match Connection::request(Path::new(&socket), &Request::Shutdown { drain })? {
+        Response::Ok => emitln(if drain {
+            "server draining"
+        } else {
+            "server shutting down"
+        }),
         Response::Error { message } => Err(message),
         other => Err(format!("unexpected response: {:?}", other.to_json())),
     }

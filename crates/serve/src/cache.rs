@@ -52,7 +52,11 @@ impl ResultCache {
     /// byte budget holds again. A text larger than the whole budget is
     /// admitted and immediately evicted (the durable journal still
     /// serves it), keeping the invariant `bytes() <= budget` simple.
-    pub fn insert(&mut self, key: u64, text: Arc<String>) {
+    ///
+    /// Returns whether the new entry is still resident after budget
+    /// enforcement — `false` means the job will be served journal-only,
+    /// which the server counts as a degraded-mode event.
+    pub fn insert(&mut self, key: u64, text: Arc<String>) -> bool {
         self.tick += 1;
         if let Some(old) = self.entries.remove(&key) {
             self.bytes -= old.text.len();
@@ -74,6 +78,7 @@ impl ResultCache {
                 self.evictions += 1;
             }
         }
+        self.entries.contains_key(&key)
     }
 
     /// Number of cached reports.
@@ -108,8 +113,8 @@ mod tests {
     #[test]
     fn evicts_least_recently_used_first() {
         let mut c = ResultCache::new(6);
-        c.insert(1, text("aaa"));
-        c.insert(2, text("bbb"));
+        assert!(c.insert(1, text("aaa")));
+        assert!(c.insert(2, text("bbb")));
         assert_eq!(c.bytes(), 6);
         // Touch 1 so 2 becomes the LRU victim.
         assert!(c.get(1).is_some());
@@ -124,7 +129,10 @@ mod tests {
     #[test]
     fn oversized_entries_do_not_wedge_the_budget() {
         let mut c = ResultCache::new(4);
-        c.insert(1, text("way too large"));
+        assert!(
+            !c.insert(1, text("way too large")),
+            "insert reports the entry did not stick"
+        );
         assert!(c.is_empty(), "oversized entry evicted immediately");
         assert_eq!(c.bytes(), 0);
         assert!(c.evictions() >= 1);

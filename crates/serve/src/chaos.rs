@@ -1,0 +1,264 @@
+//! Deterministic fault injection for the service layer.
+//!
+//! [`ServeChaos`] is the daemon-side sibling of
+//! [`ChaosPlan`](fires_jobs::ChaosPlan): the same seeded
+//! splitmix64-derived decision stream ([`fires_jobs::site_roll`]), but
+//! keyed by a per-site *event index* rather than `(task, stem, attempt)`
+//! — a socket accept has no stem. The daemon owns one monotonic counter
+//! per site ([`ChaosCounters`]); decision `n` at a site is a pure
+//! function of `(seed, site, n)`, so a soak run is replayable from its
+//! seed and the sites draw independent streams.
+//!
+//! Faults injected here are *absorbed* faults: each site's handler
+//! counts a `serve.degraded.*` metric and keeps serving. The chaos soak
+//! asserts both halves — the metrics prove the fault paths fired, the
+//! byte-identical final report proves they didn't corrupt anything.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use fires_jobs::site_roll;
+
+/// Injection-site tags (ASCII, like `ChaosPlan`'s) so each fault kind
+/// draws an independent stream from one seed.
+const SITE_ACCEPT: u64 = 0x61_63_70_74; // "acpt"
+const SITE_READ: u64 = 0x7265_6164; // "read"
+const SITE_WRITE: u64 = 0x77_72_69_74; // "writ"
+const SITE_STALL: u64 = 0x73_74_61_6c; // "stal"
+const SITE_DISK: u64 = 0x64_69_73_6b; // "disk"
+
+/// A deterministic service-layer fault plan. `Copy`, carried inside
+/// [`ServeConfig`](crate::ServeConfig).
+///
+/// Rates are per-mille (0–1000), one per injection site:
+///
+/// * **accept** — the accepted connection is dropped on the floor;
+/// * **read** — the request read is abandoned as if the socket died;
+/// * **write** — a response write fails mid-stream;
+/// * **stall** — the client connection stalls for `stall_ms` before its
+///   request is handled (a slow client, not an error);
+/// * **disk** — a cache insert or heartbeat write fails as if the disk
+///   were full (ENOSPC); the job falls back to journal-only serving.
+///
+/// `wakeup_ms` is not a rate: when nonzero, every worker wakeup is
+/// delayed by that many milliseconds, widening the window in which a
+/// drain or kill can catch a job mid-flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeChaos {
+    /// Seed of every decision this plan makes.
+    pub seed: u64,
+    /// Per-mille probability that an accepted connection is dropped.
+    pub accept_permille: u16,
+    /// Per-mille probability that a request read is abandoned.
+    pub read_permille: u16,
+    /// Per-mille probability that a response write fails.
+    pub write_permille: u16,
+    /// Per-mille probability that a connection stalls before handling.
+    pub stall_permille: u16,
+    /// Duration of an injected stall, in milliseconds.
+    pub stall_ms: u16,
+    /// Per-mille probability that a cache/heartbeat disk write fails.
+    pub disk_permille: u16,
+    /// Fixed delay imposed on every worker wakeup, in milliseconds.
+    pub wakeup_ms: u16,
+}
+
+impl ServeChaos {
+    /// A quiet plan: decisions are seeded but every rate is zero.
+    pub fn new(seed: u64) -> Self {
+        ServeChaos {
+            seed,
+            accept_permille: 0,
+            read_permille: 0,
+            write_permille: 0,
+            stall_permille: 0,
+            stall_ms: 0,
+            disk_permille: 0,
+            wakeup_ms: 0,
+        }
+    }
+
+    /// Sets the accepted-connection drop rate (per-mille).
+    pub fn with_accept_faults(mut self, permille: u16) -> Self {
+        self.accept_permille = permille;
+        self
+    }
+
+    /// Sets the request-read abandon rate (per-mille).
+    pub fn with_read_faults(mut self, permille: u16) -> Self {
+        self.read_permille = permille;
+        self
+    }
+
+    /// Sets the response-write failure rate (per-mille).
+    pub fn with_write_faults(mut self, permille: u16) -> Self {
+        self.write_permille = permille;
+        self
+    }
+
+    /// Sets the client-stall rate (per-mille) and stall duration.
+    pub fn with_stalls(mut self, permille: u16, stall_ms: u16) -> Self {
+        self.stall_permille = permille;
+        self.stall_ms = stall_ms;
+        self
+    }
+
+    /// Sets the disk-fault (injected ENOSPC) rate (per-mille).
+    pub fn with_disk_faults(mut self, permille: u16) -> Self {
+        self.disk_permille = permille;
+        self
+    }
+
+    /// Sets the fixed worker-wakeup delay, in milliseconds.
+    pub fn with_wakeup_delay(mut self, ms: u16) -> Self {
+        self.wakeup_ms = ms;
+        self
+    }
+
+    /// `true` when the plan can never inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.accept_permille == 0
+            && self.read_permille == 0
+            && self.write_permille == 0
+            && (self.stall_permille == 0 || self.stall_ms == 0)
+            && self.disk_permille == 0
+            && self.wakeup_ms == 0
+    }
+
+    /// Should accept event `n` drop the connection?
+    pub fn accept_fails(&self, n: u64) -> bool {
+        self.hits(self.accept_permille, SITE_ACCEPT, n)
+    }
+
+    /// Should read event `n` abandon the request?
+    pub fn read_fails(&self, n: u64) -> bool {
+        self.hits(self.read_permille, SITE_READ, n)
+    }
+
+    /// Should write event `n` fail the response?
+    pub fn write_fails(&self, n: u64) -> bool {
+        self.hits(self.write_permille, SITE_WRITE, n)
+    }
+
+    /// Stall to impose before handling connection event `n`, if any.
+    pub fn stall(&self, n: u64) -> Option<Duration> {
+        if self.stall_ms == 0 || !self.hits(self.stall_permille, SITE_STALL, n) {
+            return None;
+        }
+        Some(Duration::from_millis(u64::from(self.stall_ms)))
+    }
+
+    /// Should disk-write event `n` fail as if the disk were full?
+    pub fn disk_fails(&self, n: u64) -> bool {
+        self.hits(self.disk_permille, SITE_DISK, n)
+    }
+
+    /// Delay to impose on every worker wakeup, if any.
+    pub fn wakeup_delay(&self) -> Option<Duration> {
+        (self.wakeup_ms > 0).then(|| Duration::from_millis(u64::from(self.wakeup_ms)))
+    }
+
+    fn hits(&self, permille: u16, site: u64, n: u64) -> bool {
+        permille > 0 && site_roll(self.seed, site, n, 0, 0) % 1000 < u64::from(permille.min(1000))
+    }
+}
+
+/// One monotonic event counter per injection site. The counters live in
+/// the server's shared state; `next()` hands out the event index that
+/// keys the corresponding [`ServeChaos`] decision.
+#[derive(Debug, Default)]
+pub struct ChaosCounters {
+    /// Accept events seen.
+    pub accepts: AtomicU64,
+    /// Request-read events seen.
+    pub reads: AtomicU64,
+    /// Response-write events seen.
+    pub writes: AtomicU64,
+    /// Connection-stall decision points seen.
+    pub stalls: AtomicU64,
+    /// Disk-write events seen (cache inserts + heartbeats).
+    pub disks: AtomicU64,
+}
+
+/// Claims the next event index from a site counter.
+pub fn next(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_replayable() {
+        let a = ServeChaos::new(7)
+            .with_accept_faults(300)
+            .with_read_faults(200)
+            .with_write_faults(200)
+            .with_stalls(100, 5)
+            .with_disk_faults(400);
+        let b = a;
+        for n in 0..256 {
+            assert_eq!(a.accept_fails(n), b.accept_fails(n));
+            assert_eq!(a.read_fails(n), b.read_fails(n));
+            assert_eq!(a.write_fails(n), b.write_fails(n));
+            assert_eq!(a.stall(n), b.stall(n));
+            assert_eq!(a.disk_fails(n), b.disk_fails(n));
+        }
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = ServeChaos::new(3);
+        assert!(plan.is_quiet());
+        for n in 0..100 {
+            assert!(!plan.accept_fails(n));
+            assert!(!plan.read_fails(n));
+            assert!(!plan.write_fails(n));
+            assert_eq!(plan.stall(n), None);
+            assert!(!plan.disk_fails(n));
+        }
+        assert_eq!(plan.wakeup_delay(), None);
+        assert!(!plan.with_disk_faults(1).is_quiet());
+        assert!(!plan.with_wakeup_delay(1).is_quiet());
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let plan = ServeChaos::new(5)
+            .with_accept_faults(500)
+            .with_read_faults(500)
+            .with_disk_faults(500);
+        let differs = (0..64).any(|n| plan.accept_fails(n) != plan.read_fails(n))
+            && (0..64).any(|n| plan.read_fails(n) != plan.disk_fails(n));
+        assert!(differs);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = ServeChaos::new(1).with_disk_faults(250);
+        let hits = (0..4000).filter(|&n| plan.disk_fails(n)).count();
+        assert!((700..1300).contains(&hits), "hit rate way off: {hits}/4000");
+    }
+
+    #[test]
+    fn rolls_match_the_shared_primitive() {
+        // The plan is a thin policy over `site_roll` — pin the mapping so
+        // a refactor can't silently re-seed the soak's fault schedule.
+        let plan = ServeChaos::new(42).with_accept_faults(500);
+        for n in 0..64 {
+            assert_eq!(
+                plan.accept_fails(n),
+                site_roll(42, 0x61_63_70_74, n, 0, 0) % 1000 < 500
+            );
+        }
+    }
+
+    #[test]
+    fn counters_hand_out_monotonic_indices() {
+        let counters = ChaosCounters::default();
+        assert_eq!(next(&counters.accepts), 0);
+        assert_eq!(next(&counters.accepts), 1);
+        assert_eq!(next(&counters.disks), 0);
+    }
+}

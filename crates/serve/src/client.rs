@@ -4,8 +4,15 @@
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 use crate::proto::{Request, Response};
+
+/// First retry delay of [`Connection::open_with_retry`]; doubles per
+/// attempt up to [`RETRY_BACKOFF_CAP`].
+pub const RETRY_BACKOFF_START: Duration = Duration::from_millis(100);
+/// Upper bound on a single retry delay.
+pub const RETRY_BACKOFF_CAP: Duration = Duration::from_secs(2);
 
 /// One open connection to a `fires serve` daemon.
 pub struct Connection {
@@ -46,6 +53,28 @@ impl Connection {
             return Ok(None);
         }
         Response::parse(line.trim()).map(Some)
+    }
+
+    /// Connects with bounded exponential backoff: up to `retries`
+    /// additional attempts after the first, sleeping 100 ms, 200 ms, …
+    /// (capped at 2 s) between them. This is how `fires submit --wait`
+    /// survives a daemon restart mid-stream: the socket vanishes while
+    /// the old process drains and reappears when the new one binds, and
+    /// a content-addressed re-submit is idempotent.
+    pub fn open_with_retry(socket: &Path, retries: u32) -> Result<Connection, String> {
+        let mut delay = RETRY_BACKOFF_START;
+        let mut last_err = String::new();
+        for attempt in 0..=retries {
+            match Connection::open(socket) {
+                Ok(conn) => return Ok(conn),
+                Err(e) => last_err = e,
+            }
+            if attempt < retries {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(RETRY_BACKOFF_CAP);
+            }
+        }
+        Err(format!("{last_err} (after {} attempts)", retries + 1))
     }
 
     /// One-shot helper: connect, send, read exactly one response.

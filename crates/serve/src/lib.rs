@@ -25,7 +25,9 @@
 //! run_server(cfg).unwrap(); // blocks until a shutdown request
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SIGTERM latch ([`signal`]) needs exactly one
+// FFI call to register its handler, opted in with a scoped allow there.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // A service degrades, it does not abort: failures become protocol
 // `error` lines or job `Failed` phases, never panics.
@@ -33,11 +35,16 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod signal;
+pub mod subscribers;
 
 pub use cache::ResultCache;
+pub use chaos::ServeChaos;
 pub use client::Connection;
 pub use proto::{Request, Response, SubmitRequest};
 pub use server::{job_key, run_server, ServeConfig};
+pub use subscribers::ProgressQueue;

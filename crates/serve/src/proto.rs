@@ -69,8 +69,20 @@ pub enum Request {
     },
     /// Fetch server metrics as a `RunReport`-compatible document.
     Status,
-    /// Stop accepting work and exit once running jobs finish.
-    Shutdown,
+    /// Liveness probe: a small health document (status, uptime,
+    /// watchdog heartbeat age). Answered even while draining.
+    Health,
+    /// Readiness probe: is the daemon accepting new work right now?
+    Ready,
+    /// Stop the daemon. With `drain: false` (the default on the wire)
+    /// the server exits as soon as the accept loop notices; with
+    /// `drain: true` it first stops admission, lets in-flight jobs
+    /// checkpoint and flushes subscribers, bounded by the server's
+    /// drain timeout.
+    Shutdown {
+        /// Request a graceful drain instead of an immediate stop.
+        drain: bool,
+    },
 }
 
 /// One server response line.
@@ -109,10 +121,31 @@ pub enum Response {
         /// Human-readable refusal reason.
         reason: String,
     },
+    /// The daemon is draining: admission is closed and streams are
+    /// being flushed. Distinct from [`Response::Rejected`] so clients
+    /// can tell "retry elsewhere/later" (draining is transient — the
+    /// daemon is restarting) from a policy refusal.
+    Draining {
+        /// Human-readable drain notice.
+        reason: String,
+    },
     /// Server metrics (a `RunReport`-compatible JSON document).
     Status {
         /// The `RunReport` JSON.
         report: Json,
+    },
+    /// Liveness document answering [`Request::Health`].
+    Health {
+        /// Health JSON: `status` (`"ok"`/`"draining"`),
+        /// `uptime_seconds`, `heartbeat_age_ms`, `heartbeat_stale`.
+        report: Json,
+    },
+    /// Readiness verdict answering [`Request::Ready`].
+    Ready {
+        /// `true` when the daemon is accepting new work.
+        ready: bool,
+        /// Why not, when `ready` is false (e.g. `"draining"`).
+        reason: String,
     },
     /// The request failed.
     Error {
@@ -175,8 +208,17 @@ impl Request {
             Request::Status => {
                 j.set("type", "status");
             }
-            Request::Shutdown => {
+            Request::Health => {
+                j.set("type", "health");
+            }
+            Request::Ready => {
+                j.set("type", "ready");
+            }
+            Request::Shutdown { drain } => {
                 j.set("type", "shutdown");
+                if *drain {
+                    j.set("drain", true);
+                }
             }
         }
         j
@@ -219,7 +261,17 @@ impl Request {
                 interval_ms: opt_u64(j, "interval_ms")?.unwrap_or(500),
             }),
             Some("status") => Ok(Request::Status),
-            Some("shutdown") => Ok(Request::Shutdown),
+            Some("health") => Ok(Request::Health),
+            Some("ready") => Ok(Request::Ready),
+            // `drain` is optional on the wire so pre-drain clients keep
+            // working: a bare shutdown stays an immediate stop.
+            Some("shutdown") => Ok(Request::Shutdown {
+                drain: j
+                    .get("drain")
+                    .map(|v| v.as_bool().ok_or("drain is not a bool"))
+                    .transpose()?
+                    .unwrap_or(false),
+            }),
             Some(other) => Err(format!("unknown request type {other:?}")),
             None => Err("request has no type".into()),
         }
@@ -258,8 +310,20 @@ impl Response {
             Response::Rejected { reason } => {
                 j.set("type", "rejected").set("reason", reason.clone());
             }
+            Response::Draining { reason } => {
+                j.set("type", "draining").set("reason", reason.clone());
+            }
             Response::Status { report } => {
                 j.set("type", "status").set("report", report.clone());
+            }
+            Response::Health { report } => {
+                j.set("type", "health").set("report", report.clone());
+            }
+            Response::Ready { ready, reason } => {
+                j.set("type", "ready").set("ready", *ready);
+                if !reason.is_empty() {
+                    j.set("reason", reason.clone());
+                }
             }
             Response::Error { message } => {
                 j.set("type", "error").set("message", message.clone());
@@ -292,8 +356,25 @@ impl Response {
             Some("rejected") => Ok(Response::Rejected {
                 reason: req_str(j, "reason")?,
             }),
+            Some("draining") => Ok(Response::Draining {
+                reason: req_str(j, "reason")?,
+            }),
             Some("status") => Ok(Response::Status {
                 report: j.get("report").cloned().ok_or("status has no report")?,
+            }),
+            Some("health") => Ok(Response::Health {
+                report: j.get("report").cloned().ok_or("health has no report")?,
+            }),
+            Some("ready") => Ok(Response::Ready {
+                ready: j
+                    .get("ready")
+                    .and_then(Json::as_bool)
+                    .ok_or("ready has no verdict")?,
+                reason: j
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
             }),
             Some("error") => Ok(Response::Error {
                 message: req_str(j, "message")?,
@@ -338,7 +419,10 @@ mod tests {
                 interval_ms: 250,
             },
             Request::Status,
-            Request::Shutdown,
+            Request::Health,
+            Request::Ready,
+            Request::Shutdown { drain: false },
+            Request::Shutdown { drain: true },
         ];
         for r in reqs {
             let line = r.to_json().to_compact();
@@ -368,6 +452,24 @@ mod tests {
             Response::Rejected {
                 reason: "queue full".into(),
             },
+            Response::Draining {
+                reason: "server is draining".into(),
+            },
+            Response::Health {
+                report: {
+                    let mut h = Json::object();
+                    h.set("status", "ok").set("uptime_seconds", 12u64);
+                    h
+                },
+            },
+            Response::Ready {
+                ready: true,
+                reason: String::new(),
+            },
+            Response::Ready {
+                ready: false,
+                reason: "draining".into(),
+            },
             Response::Error {
                 message: "no such job".into(),
             },
@@ -386,5 +488,17 @@ mod tests {
         assert!(Request::parse("{\"type\":\"nope\"}").is_err());
         assert!(Request::parse("{}").is_err());
         assert!(Response::parse("{\"type\":\"hit\"}").is_err());
+        assert!(Request::parse("{\"type\":\"shutdown\",\"drain\":3}").is_err());
+        assert!(Response::parse("{\"type\":\"ready\"}").is_err());
+    }
+
+    #[test]
+    fn bare_shutdown_stays_immediate() {
+        // Wire compatibility: a pre-drain client's shutdown line must
+        // keep meaning "stop now".
+        assert_eq!(
+            Request::parse("{\"type\":\"shutdown\"}").unwrap(),
+            Request::Shutdown { drain: false }
+        );
     }
 }

@@ -22,9 +22,37 @@
 //! evicted result is re-merged from its journal on the next hit. On
 //! startup the server scans the jobs directory: complete journals are
 //! re-indexed as cache-servable results, incomplete ones (a previous
-//! server was killed mid-campaign) are re-queued as resumes, so a
-//! SIGKILLed server finishes its in-flight work after restart with the
-//! same canonical bytes an uninterrupted run would have produced.
+//! server was killed mid-campaign) are re-queued as resumes, and
+//! unreadable ones are renamed `<key>.jsonl.quarantined` — never
+//! silently skipped — so a SIGKILLed server finishes its in-flight work
+//! after restart with the same canonical bytes an uninterrupted run
+//! would have produced.
+//!
+//! # Failure model
+//!
+//! The daemon degrades instead of failing, and every degradation is a
+//! counted `serve.degraded.*` metric:
+//!
+//! * a slow or dead subscriber is bounded by a per-subscriber
+//!   [`ProgressQueue`] (progress frames coalesce latest-wins) and a
+//!   socket write deadline — it can lose progress granularity and
+//!   eventually its connection, never stall a worker or the accept
+//!   loop;
+//! * a result that cannot enter the memory tier (injected ENOSPC, or
+//!   larger than the whole budget) is served journal-only from then on;
+//! * SIGTERM (or `shutdown --drain`) starts a *graceful drain*:
+//!   admission answers with a typed `draining` line, workers stop
+//!   claiming new units so in-flight jobs checkpoint via their
+//!   journals, subscribers are flushed a final frame, and the process
+//!   exits within `drain_timeout` (`serve.drained`,
+//!   `serve.drain_timeouts`);
+//! * a deterministic [`ServeChaos`] plan (`--chaos-*` flags) injects
+//!   accept/read/write socket faults, client stalls, disk faults and
+//!   delayed worker wakeups so all of the above is exercised by tests
+//!   rather than trusted;
+//! * a watchdog journals a heartbeat to `<state_dir>/heartbeat.json`
+//!   and the `health`/`ready` verbs report liveness, staleness and
+//!   drain state.
 //!
 //! # Tenancy
 //!
@@ -37,22 +65,25 @@
 //! document.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fires_core::ContentHasher;
 use fires_jobs::{
     journal, report_with_tasks, resume, run_with_tasks, CampaignSpec, JournalSummary, ResolvedTask,
     RunnerConfig,
 };
-use fires_obs::{Json, RunReport};
+use fires_obs::{names, Json, RunReport};
 
 use crate::cache::ResultCache;
+use crate::chaos::{self, ChaosCounters, ServeChaos};
 use crate::proto::{Request, Response, SubmitRequest};
+use crate::signal;
+use crate::subscribers::ProgressQueue;
 
 /// Domain tag of the job content key ("job" in ASCII), so job keys can
 /// never collide with the per-task hashes they are folded from.
@@ -104,6 +135,21 @@ pub struct ServeConfig {
     /// Test hook: sleep this long before executing each job, so tests
     /// can deterministically overlap submissions with a running build.
     pub build_delay: Option<Duration>,
+    /// Bound on a graceful drain: once elapsed, the server exits even
+    /// if a worker has not checkpointed (its journal is still
+    /// torn-tail-safe; the restart resumes it).
+    pub drain_timeout: Duration,
+    /// Deterministic service-layer fault plan; `None` in production.
+    pub chaos: Option<ServeChaos>,
+    /// Capacity of each subscriber's bounded progress queue.
+    pub subscriber_queue: usize,
+    /// Per-frame write deadline for subscribers; a client that cannot
+    /// take a frame within this long is disconnected.
+    pub write_timeout: Duration,
+    /// Watchdog heartbeat interval.
+    pub heartbeat_interval: Duration,
+    /// Maximum length of one protocol request line, in bytes.
+    pub max_line_bytes: usize,
 }
 
 impl ServeConfig {
@@ -124,6 +170,12 @@ impl ServeConfig {
             default_steps: None,
             tenant_steps: Vec::new(),
             build_delay: None,
+            drain_timeout: Duration::from_secs(30),
+            chaos: None,
+            subscriber_queue: 8,
+            write_timeout: Duration::from_secs(10),
+            heartbeat_interval: Duration::from_secs(2),
+            max_line_bytes: 256 << 10,
         }
     }
 
@@ -173,7 +225,24 @@ struct Inner {
     wake: Condvar,
     /// Wakes waiters/watchers when any job reaches a terminal phase.
     done: Condvar,
+    /// Exit now: workers return, the accept loop breaks.
     stopping: AtomicBool,
+    /// Admission is closed and in-flight jobs are checkpointing; the
+    /// accept loop turns this into `stopping` once workers finish or
+    /// the drain timeout elapses.
+    draining: AtomicBool,
+    /// Cooperative stop flag shared with every job's `RunnerConfig`
+    /// (`&'static` because `RunnerConfig` is `Copy`); setting it makes
+    /// runner workers stop *claiming* units, which is what turns "let
+    /// in-flight jobs checkpoint" into a bounded wait.
+    runner_stop: &'static AtomicBool,
+    /// Workers still inside [`Inner::worker`].
+    live_workers: AtomicUsize,
+    /// Per-site event counters keying [`ServeChaos`] decisions.
+    counters: ChaosCounters,
+    started: Instant,
+    /// Last watchdog beat, for staleness reporting.
+    last_beat: Mutex<Instant>,
 }
 
 /// What admission decided about one submission.
@@ -181,6 +250,16 @@ enum Admission {
     Hit { job: String, report: Arc<String> },
     Accepted { key: u64, job: String },
     Rejected { reason: String },
+    Draining,
+}
+
+/// How one job execution ended, from the worker's point of view.
+enum RunOutcome {
+    Done(Arc<String>),
+    /// The run stopped incomplete *because the server is draining*: the
+    /// journal is a clean checkpoint and the restart resumes it.
+    Checkpointed,
+    Failed(String),
 }
 
 impl Inner {
@@ -192,12 +271,66 @@ impl Inner {
         self.stopping.load(Ordering::SeqCst)
     }
 
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
     fn jobs_dir(&self) -> PathBuf {
         self.cfg.state_dir.join("jobs")
     }
 
     fn journal_path(&self, job_id: &str) -> PathBuf {
         self.jobs_dir().join(format!("{job_id}.jsonl"))
+    }
+
+    /// Starts shutting down. `drain: false` exits as soon as every
+    /// thread notices; `drain: true` closes admission and lets the
+    /// accept loop orchestrate a bounded checkpoint-and-exit.
+    fn begin_shutdown(&self, drain: bool) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.runner_stop.store(true, Ordering::SeqCst);
+        if !drain {
+            self.stopping.store(true, Ordering::SeqCst);
+        }
+        self.wake.notify_all();
+        self.done.notify_all();
+    }
+
+    /// Should disk-write event `n` fail? One roll per *attempted*
+    /// durable write outside the journal (cache inserts, heartbeats).
+    fn disk_fault(&self) -> bool {
+        self.cfg
+            .chaos
+            .is_some_and(|c| c.disk_fails(chaos::next(&self.counters.disks)))
+    }
+
+    /// Inserts into the memory tier, absorbing injected ENOSPC and
+    /// over-budget evictions as degraded (journal-only) operation.
+    fn cache_insert_locked(&self, st: &mut State, key: u64, text: Arc<String>) {
+        if self.disk_fault() {
+            st.metrics.incr(names::DEGRADED_DISK_FAULTS, 1);
+            st.metrics.incr(names::DEGRADED_CACHE_INSERT_FAILURES, 1);
+            return;
+        }
+        if !st.cache.insert(key, text) {
+            st.metrics.incr(names::DEGRADED_CACHE_INSERT_FAILURES, 1);
+        }
+    }
+
+    /// Writes one response line, with injected write faults. An
+    /// injected fault reports the client as gone — the degraded path a
+    /// real `EPIPE` would take.
+    fn send(&self, out: &mut UnixStream, response: &Response) -> std::io::Result<()> {
+        if let Some(c) = self.cfg.chaos {
+            if c.write_fails(chaos::next(&self.counters.writes)) {
+                self.lock().metrics.incr(names::DEGRADED_WRITE_FAULTS, 1);
+                return Err(std::io::Error::new(
+                    ErrorKind::BrokenPipe,
+                    "injected write fault",
+                ));
+            }
+        }
+        send(out, response)
     }
 
     /// Builds the normalized spec of one submission: overrides applied,
@@ -232,16 +365,25 @@ impl Inner {
         Ok((spec, Arc::new(tasks), key))
     }
 
-    /// Admission control: cache lookup, single-flight attach, queue and
-    /// tenant limits, enqueue.
+    /// Admission control: drain gate, cache lookup, single-flight
+    /// attach, queue and tenant limits, enqueue.
     fn admit(&self, s: &SubmitRequest) -> Result<Admission, String> {
+        if self.draining() || self.stopping() {
+            // Typed, not an `error`: the client knows the daemon is
+            // going away (transient) rather than refusing it (policy),
+            // and retries against the restarted instance.
+            let mut st = self.lock();
+            st.metrics.incr(names::SUBMISSIONS, 1);
+            st.metrics.incr(names::REJECTED_DRAINING, 1);
+            return Ok(Admission::Draining);
+        }
         let (spec, tasks, key) = self.normalize(s)?;
         let job_id = spec.name.clone();
         let mut st = self.lock();
-        st.metrics.incr("serve.submissions", 1);
+        st.metrics.incr(names::SUBMISSIONS, 1);
 
         if let Some(report) = st.cache.get(key) {
-            st.metrics.incr("serve.cache_hits", 1);
+            st.metrics.incr(names::CACHE_HITS, 1);
             return Ok(Admission::Hit {
                 job: job_id,
                 report,
@@ -252,7 +394,7 @@ impl Inner {
                 // Durable tier: the complete journal re-merges to the
                 // same canonical bytes the evicted entry held.
                 let report = self.report_text_locked(&mut st, key)?;
-                st.metrics.incr("serve.cache_hits", 1);
+                st.metrics.incr(names::CACHE_HITS, 1);
                 return Ok(Admission::Hit {
                     job: job_id,
                     report,
@@ -260,7 +402,7 @@ impl Inner {
             }
             Some(Phase::Queued) | Some(Phase::Running) => {
                 // Single-flight: attach to the in-flight execution.
-                st.metrics.incr("serve.deduped", 1);
+                st.metrics.incr(names::DEDUPED, 1);
                 return Ok(Admission::Accepted { key, job: job_id });
             }
             Some(Phase::Failed(_)) | None => {}
@@ -270,7 +412,8 @@ impl Inner {
         // full, so the rejection reason is actionable (and stable).
         let tenant_active = st.active.get(&s.tenant).copied().unwrap_or(0);
         if tenant_active >= self.cfg.tenant_active {
-            st.metrics.incr(&format!("serve.rejected.{}", s.tenant), 1);
+            st.metrics
+                .incr(&format!("{}{}", names::REJECTED_PREFIX, s.tenant), 1);
             return Ok(Admission::Rejected {
                 reason: format!(
                     "tenant {:?} at its active-job limit ({})",
@@ -279,12 +422,13 @@ impl Inner {
             });
         }
         if st.queue.len() >= self.cfg.max_queue {
-            st.metrics.incr(&format!("serve.rejected.{}", s.tenant), 1);
+            st.metrics
+                .incr(&format!("{}{}", names::REJECTED_PREFIX, s.tenant), 1);
             return Ok(Admission::Rejected {
                 reason: format!("admission queue full ({} queued)", st.queue.len()),
             });
         }
-        st.metrics.incr("serve.cache_misses", 1);
+        st.metrics.incr(names::CACHE_MISSES, 1);
         st.jobs.insert(
             key,
             JobEntry {
@@ -316,17 +460,19 @@ impl Inner {
         let report = report_with_tasks(&self.journal_path(&job_id), &tasks)
             .map_err(|e| format!("re-merging job {job_id}: {e}"))?;
         let text = Arc::new(report.canonical_text());
-        st.cache.insert(key, Arc::clone(&text));
-        st.metrics.incr("serve.remerges", 1);
+        self.cache_insert_locked(st, key, Arc::clone(&text));
+        st.metrics.incr(names::REMERGES, 1);
         Ok(text)
     }
 
-    /// One worker: drain the queue until shutdown.
+    /// One worker: drain the queue until shutdown or drain.
     fn worker(&self) {
         loop {
             let mut st = self.lock();
             let key = loop {
-                if self.stopping() {
+                // Draining counts too: a drained worker must not start
+                // *new* jobs, only let its current one checkpoint.
+                if self.stopping() || self.draining() {
                     return;
                 }
                 if let Some(k) = st.queue.pop_front() {
@@ -344,9 +490,14 @@ impl Inner {
             }) else {
                 continue;
             };
-            st.metrics.incr("serve.engine_builds", 1);
+            st.metrics.incr(names::ENGINE_BUILDS, 1);
             drop(st);
 
+            if let Some(delay) = self.cfg.chaos.and_then(|c| c.wakeup_delay()) {
+                // Injected late wakeup: widens the window in which a
+                // drain or kill catches this job mid-flight.
+                std::thread::sleep(delay);
+            }
             if let Some(delay) = self.cfg.build_delay {
                 std::thread::sleep(delay);
             }
@@ -360,41 +511,57 @@ impl Inner {
             } else {
                 run_with_tasks(&spec, &tasks, &path, &self.cfg.runner)
             };
-            let outcome = ran.map_err(|e| e.to_string()).and_then(|summary| {
-                if summary.complete() {
-                    report_with_tasks(&path, &tasks)
-                        .map(|r| Arc::new(r.canonical_text()))
-                        .map_err(|e| e.to_string())
-                } else {
-                    Err(format!(
-                        "{} unit(s) still pending after run",
-                        summary.remaining
-                    ))
+            let outcome = match ran {
+                Err(e) => RunOutcome::Failed(e.to_string()),
+                Ok(summary) if summary.complete() => match report_with_tasks(&path, &tasks) {
+                    Ok(r) => RunOutcome::Done(Arc::new(r.canonical_text())),
+                    Err(e) => RunOutcome::Failed(e.to_string()),
+                },
+                Ok(summary) => {
+                    if self.draining() || self.stopping() {
+                        RunOutcome::Checkpointed
+                    } else {
+                        RunOutcome::Failed(format!(
+                            "{} unit(s) still pending after run",
+                            summary.remaining
+                        ))
+                    }
                 }
-            });
+            };
 
+            let checkpointed = matches!(outcome, RunOutcome::Checkpointed);
             let mut st = self.lock();
             let tenant = match st.jobs.get_mut(&key) {
                 Some(job) => {
                     match &outcome {
-                        Ok(_) => job.phase = Phase::Done,
-                        Err(m) => job.phase = Phase::Failed(m.clone()),
+                        RunOutcome::Done(_) => job.phase = Phase::Done,
+                        // Back to `Queued`: the journal is a clean
+                        // checkpoint, not a failure — the restarted
+                        // server's recovery scan resumes it.
+                        RunOutcome::Checkpointed => job.phase = Phase::Queued,
+                        RunOutcome::Failed(m) => job.phase = Phase::Failed(m.clone()),
                     }
                     job.tenant.clone()
                 }
                 None => String::new(),
             };
             match outcome {
-                Ok(text) => {
-                    st.cache.insert(key, text);
-                    st.metrics.incr("serve.completed", 1);
+                RunOutcome::Done(text) => {
+                    self.cache_insert_locked(&mut st, key, text);
+                    st.metrics.incr(names::COMPLETED, 1);
                 }
-                Err(_) => {
-                    st.metrics.incr("serve.failed", 1);
+                RunOutcome::Checkpointed => {}
+                RunOutcome::Failed(_) => {
+                    st.metrics.incr(names::FAILED, 1);
                 }
             }
-            if let Some(n) = st.active.get_mut(&tenant) {
-                *n = n.saturating_sub(1);
+            // A checkpointed job is still the tenant's active job — it
+            // resumes on restart — so only terminal outcomes release
+            // the admission slot.
+            if !checkpointed {
+                if let Some(n) = st.active.get_mut(&tenant) {
+                    *n = n.saturating_sub(1);
+                }
             }
             drop(st);
             self.done.notify_all();
@@ -403,9 +570,17 @@ impl Inner {
 
     /// Streams `JournalSummary`-shaped progress lines for one job until
     /// it reaches a terminal phase, then sends `done` (with the
-    /// canonical report) or `error`. At least one progress event is
-    /// always sent, so a waiter observes the stream even for a job that
-    /// finishes instantly.
+    /// canonical report), `error`, or — when the server drains first —
+    /// the typed `draining` notice, so subscribers are always flushed a
+    /// final frame. At least one progress event is always sent, so a
+    /// waiter observes the stream even for a job that finishes
+    /// instantly.
+    ///
+    /// Subscriber isolation: frames pass through a bounded
+    /// [`ProgressQueue`] (progress coalesces latest-wins; drops are
+    /// counted) and every socket write carries the configured write
+    /// deadline — a dead or slow client loses granularity, then its
+    /// connection, and never holds the state lock while blocked.
     fn stream_job(
         &self,
         out: &mut UnixStream,
@@ -414,7 +589,10 @@ impl Inner {
         interval: Duration,
     ) -> Result<(), String> {
         let interval = interval.clamp(Duration::from_millis(10), Duration::from_secs(10));
+        let _ = out.set_write_timeout(Some(self.cfg.write_timeout));
         let path = self.journal_path(job_id);
+        let mut queue = ProgressQueue::new(self.cfg.subscriber_queue);
+        let mut drops_counted = 0;
         loop {
             // The progress event is read from the journal itself — the
             // same spec-free summary path `fires watch` uses — so the
@@ -427,61 +605,74 @@ impl Inner {
                     j
                 }
             };
-            if send(
-                out,
-                &Response::Progress {
-                    job: job_id.to_string(),
-                    summary,
-                },
-            )
-            .is_err()
-            {
-                return Ok(()); // subscriber hung up; nothing to report
-            }
-            let mut st = self.lock();
-            match st.jobs.get(&key).map(|j| j.phase.clone()) {
+            queue.push(Response::Progress {
+                job: job_id.to_string(),
+                summary,
+            });
+
+            // Decide the terminal frame (if any) under the lock, but
+            // never write to the subscriber while holding it.
+            let phase = self.lock().jobs.get(&key).map(|j| j.phase.clone());
+            let terminal = match phase {
                 Some(Phase::Done) => {
+                    let mut st = self.lock();
                     let report = self.report_text_locked(&mut st, key)?;
                     drop(st);
-                    let _ = send(
-                        out,
-                        &Response::Done {
-                            job: job_id.to_string(),
-                            report: report.as_ref().clone(),
-                        },
-                    );
-                    return Ok(());
+                    Some(Response::Done {
+                        job: job_id.to_string(),
+                        report: report.as_ref().clone(),
+                    })
                 }
-                Some(Phase::Failed(message)) => {
-                    drop(st);
-                    let _ = send(
-                        out,
-                        &Response::Error {
-                            message: format!("job {job_id} failed: {message}"),
-                        },
-                    );
-                    return Ok(());
-                }
+                Some(Phase::Failed(message)) => Some(Response::Error {
+                    message: format!("job {job_id} failed: {message}"),
+                }),
                 None => return Err(format!("unknown job {job_id}")),
                 Some(Phase::Queued) | Some(Phase::Running) => {
-                    if self.stopping() {
-                        drop(st);
-                        let _ = send(
-                            out,
-                            &Response::Error {
-                                message: "server shutting down".into(),
-                            },
-                        );
-                        return Ok(());
+                    if self.stopping() || self.draining() {
+                        Some(Response::Draining {
+                            reason: format!(
+                                "server is draining; job {job_id} is checkpointed and resumes \
+                                 on restart"
+                            ),
+                        })
+                    } else {
+                        None
                     }
-                    // Re-check on completion signal or after the
-                    // interval, whichever comes first.
-                    let _ = self
-                        .done
-                        .wait_timeout(st, interval)
-                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let is_terminal = terminal.is_some();
+            if let Some(frame) = terminal {
+                queue.push(frame);
+            }
+
+            while let Some(frame) = queue.pop() {
+                if let Err(e) = self.send(out, &frame) {
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                        self.lock()
+                            .metrics
+                            .incr(names::DEGRADED_SLOW_SUBSCRIBERS, 1);
+                    }
+                    return Ok(()); // subscriber dead or too slow: disconnect
                 }
             }
+            if queue.dropped() > drops_counted {
+                self.lock().metrics.incr(
+                    names::DEGRADED_DROPPED_PROGRESS,
+                    queue.dropped() - drops_counted,
+                );
+                drops_counted = queue.dropped();
+            }
+            if is_terminal {
+                return Ok(());
+            }
+
+            // Re-check on completion signal or after the interval,
+            // whichever comes first.
+            let st = self.lock();
+            let _ = self
+                .done
+                .wait_timeout(st, interval)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -489,6 +680,7 @@ impl Inner {
     /// existing report tooling (`fires compare`, dashboards) can read
     /// them unchanged.
     fn status_report(&self) -> Json {
+        let beat_age = self.beat_age();
         let st = self.lock();
         let running = st
             .jobs
@@ -504,33 +696,138 @@ impl Inner {
             .set_extra("cache_entries", st.cache.len() as u64)
             .set_extra("cache_bytes", st.cache.bytes() as u64)
             .set_extra("cache_evictions", st.cache.evictions())
-            .set_extra("workers", self.cfg.workers as u64);
+            .set_extra("workers", self.cfg.workers as u64)
+            .set_extra(
+                "workers_live",
+                self.live_workers.load(Ordering::SeqCst) as u64,
+            )
+            .set_extra("draining", u64::from(self.draining()))
+            .set_extra("uptime_seconds", self.started.elapsed().as_secs())
+            .set_extra("watchdog_age_ms", beat_age.as_millis() as u64)
+            .set_extra("watchdog_stale", u64::from(self.beat_stale(beat_age)));
         report.to_json()
+    }
+
+    fn beat_age(&self) -> Duration {
+        self.last_beat
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .elapsed()
+    }
+
+    /// A heartbeat older than three intervals means the watchdog (or
+    /// the whole process) is wedged.
+    fn beat_stale(&self, age: Duration) -> bool {
+        age > self.cfg.heartbeat_interval * 3
+    }
+
+    /// The `health` document: liveness, drain state, heartbeat age.
+    fn health_report(&self) -> Json {
+        let age = self.beat_age();
+        let mut j = Json::object();
+        j.set("status", if self.draining() { "draining" } else { "ok" })
+            .set("uptime_seconds", self.started.elapsed().as_secs())
+            .set("heartbeat_age_ms", age.as_millis() as u64)
+            .set("heartbeat_stale", self.beat_stale(age))
+            .set(
+                "workers_live",
+                self.live_workers.load(Ordering::SeqCst) as u64,
+            );
+        j
+    }
+
+    /// The watchdog: beats every `heartbeat_interval`, journaling each
+    /// beat to `<state_dir>/heartbeat.json` so an outside observer
+    /// (`fires status --socket`, or a plain `cat` when the socket is
+    /// wedged) can tell a live daemon from a stuck one by file age.
+    fn watchdog(&self) {
+        let mut seq = 0u64;
+        let path = self.cfg.state_dir.join("heartbeat.json");
+        while !self.stopping() {
+            {
+                let mut beat = self
+                    .last_beat
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                *beat = Instant::now();
+            }
+            seq += 1;
+            if self.disk_fault() {
+                // Injected ENOSPC: the in-memory beat above still
+                // happened, so `health` stays accurate; only the
+                // on-disk journaled copy is stale this round.
+                self.lock().metrics.incr(names::DEGRADED_DISK_FAULTS, 1);
+            } else {
+                let epoch = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                let mut j = Json::object();
+                j.set("seq", seq)
+                    .set("epoch_seconds", epoch)
+                    .set("status", if self.draining() { "draining" } else { "ok" });
+                let _ = std::fs::write(&path, format!("{}\n", j.to_compact()));
+            }
+            self.lock().metrics.incr(names::HEARTBEATS, 1);
+            // Sleep in short slices so shutdown is not delayed by a
+            // full interval.
+            let deadline = Instant::now() + self.cfg.heartbeat_interval;
+            while Instant::now() < deadline && !self.stopping() {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
     }
 
     /// Handles one connection: one request line, one or more response
     /// lines.
     fn handle(self: &Arc<Self>, stream: UnixStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        if let Some(c) = self.cfg.chaos {
+            if let Some(stall) = c.stall(chaos::next(&self.counters.stalls)) {
+                // An artificially slow client: the handler thread wears
+                // the stall, the accept loop and workers never notice.
+                self.lock().metrics.incr(names::DEGRADED_STALLS, 1);
+                std::thread::sleep(stall);
+            }
+            if c.read_fails(chaos::next(&self.counters.reads)) {
+                self.lock().metrics.incr(names::DEGRADED_READ_FAULTS, 1);
+                return; // as if the socket died before the request
+            }
+        }
         let mut out = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => return,
         };
-        let mut reader = BufReader::new(stream);
+        // The reader is capped one byte past the line bound: a client
+        // can make us buffer `max_line_bytes + 1`, never more — a
+        // malformed or hostile line costs a typed error, not an OOM.
+        let max = self.cfg.max_line_bytes;
+        let mut reader = BufReader::new(stream.take(max as u64 + 1));
         let mut line = String::new();
         if reader.read_line(&mut line).is_err() {
+            return;
+        }
+        if line.len() > max {
+            self.lock().metrics.incr(names::OVERSIZED_REQUESTS, 1);
+            let _ = self.send(
+                &mut out,
+                &Response::Error {
+                    message: format!("request line exceeds {max} bytes"),
+                },
+            );
             return;
         }
         let request = match Request::parse(line.trim()) {
             Ok(r) => r,
             Err(message) => {
-                let _ = send(&mut out, &Response::Error { message });
+                let _ = self.send(&mut out, &Response::Error { message });
                 return;
             }
         };
         match request {
             Request::Submit(s) => match self.admit(&s) {
                 Ok(Admission::Hit { job, report }) => {
-                    let _ = send(
+                    let _ = self.send(
                         &mut out,
                         &Response::Hit {
                             job,
@@ -539,28 +836,39 @@ impl Inner {
                     );
                 }
                 Ok(Admission::Rejected { reason }) => {
-                    let _ = send(&mut out, &Response::Rejected { reason });
+                    let _ = self.send(&mut out, &Response::Rejected { reason });
+                }
+                Ok(Admission::Draining) => {
+                    let _ = self.send(
+                        &mut out,
+                        &Response::Draining {
+                            reason: "server is draining; retry after restart".into(),
+                        },
+                    );
                 }
                 Ok(Admission::Accepted { key, job }) => {
-                    if send(&mut out, &Response::Accepted { job: job.clone() }).is_err() {
+                    if self
+                        .send(&mut out, &Response::Accepted { job: job.clone() })
+                        .is_err()
+                    {
                         return;
                     }
                     if s.wait {
                         let interval = Duration::from_millis(s.interval_ms);
                         if let Err(message) = self.stream_job(&mut out, key, &job, interval) {
-                            let _ = send(&mut out, &Response::Error { message });
+                            let _ = self.send(&mut out, &Response::Error { message });
                         }
                     }
                 }
                 Err(message) => {
-                    let _ = send(&mut out, &Response::Error { message });
+                    let _ = self.send(&mut out, &Response::Error { message });
                 }
             },
             Request::Watch { job, interval_ms } => {
                 let key = match u64::from_str_radix(&job, 16) {
                     Ok(k) if job.len() == 16 => k,
                     _ => {
-                        let _ = send(
+                        let _ = self.send(
                             &mut out,
                             &Response::Error {
                                 message: format!("malformed job id {job:?} (want 16 hex digits)"),
@@ -571,24 +879,42 @@ impl Inner {
                 };
                 let interval = Duration::from_millis(interval_ms);
                 if let Err(message) = self.stream_job(&mut out, key, &job, interval) {
-                    let _ = send(&mut out, &Response::Error { message });
+                    let _ = self.send(&mut out, &Response::Error { message });
                 }
             }
             Request::Status => {
-                let _ = send(
+                let _ = self.send(
                     &mut out,
                     &Response::Status {
                         report: self.status_report(),
                     },
                 );
             }
-            Request::Shutdown => {
-                let _ = send(&mut out, &Response::Ok);
-                self.stopping.store(true, Ordering::SeqCst);
-                self.wake.notify_all();
-                self.done.notify_all();
-                // Poke the accept loop so it observes `stopping`.
-                let _ = UnixStream::connect(&self.cfg.socket);
+            Request::Health => {
+                let _ = self.send(
+                    &mut out,
+                    &Response::Health {
+                        report: self.health_report(),
+                    },
+                );
+            }
+            Request::Ready => {
+                let draining = self.draining() || self.stopping();
+                let _ = self.send(
+                    &mut out,
+                    &Response::Ready {
+                        ready: !draining,
+                        reason: if draining {
+                            "draining".into()
+                        } else {
+                            String::new()
+                        },
+                    },
+                );
+            }
+            Request::Shutdown { drain } => {
+                let _ = self.send(&mut out, &Response::Ok);
+                self.begin_shutdown(drain);
             }
         }
     }
@@ -596,7 +922,11 @@ impl Inner {
     /// Startup recovery: re-index every journal under the jobs dir.
     /// Complete journals become cache-servable `Done` jobs; incomplete
     /// ones — a previous server died mid-campaign — are re-queued so
-    /// their resume finishes the missing units.
+    /// their resume finishes the missing units; unreadable or
+    /// mis-keyed ones are renamed `<name>.jsonl.quarantined` so a
+    /// corrupt file is preserved for inspection, never silently
+    /// re-scanned forever, and a fresh submit of the same key
+    /// recomputes cleanly.
     fn recover(&self) -> Result<(), String> {
         let dir = self.jobs_dir();
         let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
@@ -631,15 +961,21 @@ impl Inner {
                         },
                     );
                     if complete {
-                        st.metrics.incr("serve.recovered", 1);
+                        st.metrics.incr(names::RECOVERED, 1);
                     } else {
                         st.queue.push_back(key);
                         *st.active.entry("recovered".into()).or_insert(0) += 1;
-                        st.metrics.incr("serve.resumed", 1);
+                        st.metrics.incr(names::RESUMED, 1);
                     }
                 }
                 None => {
-                    st.metrics.incr("serve.scan_errors", 1);
+                    st.metrics.incr(names::SCAN_ERRORS, 1);
+                    drop(st);
+                    let mut quarantined = path.clone().into_os_string();
+                    quarantined.push(".quarantined");
+                    if std::fs::rename(&path, PathBuf::from(quarantined)).is_ok() {
+                        self.lock().metrics.incr(names::QUARANTINED, 1);
+                    }
                 }
             }
         }
@@ -653,11 +989,14 @@ fn send(out: &mut UnixStream, response: &Response) -> std::io::Result<()> {
     out.flush()
 }
 
-/// Runs the daemon until a `shutdown` request: binds the socket,
-/// recovers journaled state, serves connections. Blocks the calling
-/// thread; returns once every worker has exited and the socket file is
-/// removed.
-pub fn run_server(cfg: ServeConfig) -> Result<(), String> {
+/// Runs the daemon until a `shutdown` request or SIGTERM: binds the
+/// socket, recovers journaled state, serves connections. Blocks the
+/// calling thread; returns once the workers have exited (or the drain
+/// timeout gave up on them) and the socket file is removed. A final
+/// metrics snapshot is written to `<state_dir>/exit.report.json` so
+/// post-mortem tooling can read the drain and degraded counters of a
+/// process that no longer answers its socket.
+pub fn run_server(mut cfg: ServeConfig) -> Result<(), String> {
     let jobs_dir = cfg.state_dir.join("jobs");
     std::fs::create_dir_all(&jobs_dir).map_err(|e| format!("{}: {e}", jobs_dir.display()))?;
     if cfg.socket.exists() {
@@ -673,6 +1012,20 @@ pub fn run_server(cfg: ServeConfig) -> Result<(), String> {
     }
     let listener =
         UnixListener::bind(&cfg.socket).map_err(|e| format!("{}: {e}", cfg.socket.display()))?;
+    // Non-blocking so the accept loop can poll the SIGTERM latch and
+    // orchestrate the drain; accepted streams are switched back to
+    // blocking before handlers touch them.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("{}: {e}", cfg.socket.display()))?;
+    signal::install_sigterm_latch();
+
+    // The cooperative stop flag shared with every job's runner. Leaked
+    // once per server so the `Copy` `RunnerConfig` can hold a
+    // `&'static` — bounded by servers started in this process (one, in
+    // the daemon; a handful in tests).
+    let runner_stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    cfg.runner.stop = Some(runner_stop);
 
     let workers = cfg.workers.max(1);
     let cache = ResultCache::new(cfg.cache_bytes);
@@ -688,6 +1041,12 @@ pub fn run_server(cfg: ServeConfig) -> Result<(), String> {
         wake: Condvar::new(),
         done: Condvar::new(),
         stopping: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        runner_stop,
+        live_workers: AtomicUsize::new(workers),
+        counters: ChaosCounters::default(),
+        started: Instant::now(),
+        last_beat: Mutex::new(Instant::now()),
     });
     inner.recover()?;
 
@@ -696,10 +1055,20 @@ pub fn run_server(cfg: ServeConfig) -> Result<(), String> {
         let inner = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
             .name(format!("fires-serve-worker-{i}"))
-            .spawn(move || inner.worker())
+            .spawn(move || {
+                inner.worker();
+                inner.live_workers.fetch_sub(1, Ordering::SeqCst);
+            })
             .map_err(|e| format!("spawning worker: {e}"))?;
         worker_handles.push(handle);
     }
+    let watchdog_handle = {
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("fires-serve-watchdog".into())
+            .spawn(move || inner.watchdog())
+            .map_err(|e| format!("spawning watchdog: {e}"))?
+    };
 
     {
         use std::io::Write as _;
@@ -712,21 +1081,78 @@ pub fn run_server(cfg: ServeConfig) -> Result<(), String> {
         let _ = stdout.flush();
     }
 
-    for stream in listener.incoming() {
+    let mut drain_deadline: Option<Instant> = None;
+    let mut drained_cleanly = false;
+    loop {
+        if signal::take_sigterm() {
+            inner.begin_shutdown(true);
+        }
         if inner.stopping() {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        let inner = Arc::clone(&inner);
-        let _ = std::thread::Builder::new()
-            .name("fires-serve-conn".into())
-            .spawn(move || inner.handle(stream));
+        if inner.draining() {
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + inner.cfg.drain_timeout);
+            let workers_done = inner.live_workers.load(Ordering::SeqCst) == 0;
+            let timed_out = Instant::now() >= deadline;
+            if workers_done || timed_out {
+                let mut st = inner.lock();
+                st.metrics.incr(names::DRAINED, 1);
+                if timed_out && !workers_done {
+                    st.metrics.incr(names::DRAIN_TIMEOUTS, 1);
+                }
+                drop(st);
+                drained_cleanly = workers_done;
+                inner.stopping.store(true, Ordering::SeqCst);
+                inner.wake.notify_all();
+                inner.done.notify_all();
+                break;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                if let Some(c) = inner.cfg.chaos {
+                    if c.accept_fails(chaos::next(&inner.counters.accepts)) {
+                        // Drop the accepted connection on the floor:
+                        // the client sees EOF and retries; the loop
+                        // keeps accepting.
+                        inner.lock().metrics.incr(names::DEGRADED_ACCEPT_FAULTS, 1);
+                        continue;
+                    }
+                }
+                let inner = Arc::clone(&inner);
+                let _ = std::thread::Builder::new()
+                    .name("fires-serve-conn".into())
+                    .spawn(move || inner.handle(stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(_) => continue,
+        }
     }
 
     inner.wake.notify_all();
-    for handle in worker_handles {
-        let _ = handle.join();
+    inner.done.notify_all();
+    if drain_deadline.is_none() || drained_cleanly {
+        // Immediate shutdown or clean drain: every worker is exiting on
+        // its own; join them so the journals are fully flushed.
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+    } else {
+        // Drain timeout: a worker is stuck mid-unit. Joining it would
+        // turn the bounded drain into an unbounded wait, so leave it to
+        // process teardown — its journal is torn-tail-safe by design.
+        drop(worker_handles);
     }
+    let _ = watchdog_handle.join();
+    let exit_path = inner.cfg.state_dir.join("exit.report.json");
+    let _ = std::fs::write(
+        &exit_path,
+        format!("{}\n", inner.status_report().to_compact()),
+    );
     let _ = std::fs::remove_file(&inner.cfg.socket);
     Ok(())
 }

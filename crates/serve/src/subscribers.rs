@@ -1,0 +1,173 @@
+//! Bounded per-subscriber progress queues.
+//!
+//! A `watch`/`submit --wait` subscriber is a socket the daemon writes
+//! progress frames into. Two failure modes must never propagate inward
+//! from a subscriber:
+//!
+//! * a **slow** client must not make the daemon buffer unboundedly —
+//!   progress frames are *coalescible*, so the queue holds at most
+//!   `capacity` frames and replaces the newest pending progress frame
+//!   instead of growing (latest-wins; every replacement is counted so
+//!   `serve.degraded.dropped_progress` reports the pressure);
+//! * a **dead** client must not block a write forever — the streaming
+//!   loop pairs this queue with a socket write deadline and disconnects
+//!   the subscriber on timeout (`serve.degraded.slow_subscribers`).
+//!
+//! The drop policy, precisely: progress frames are droppable, terminal
+//! frames ([`Response::Done`], [`Response::Error`], and the drain
+//! notice) are not. A push that would exceed capacity first coalesces
+//! into a pending progress frame, then evicts the oldest droppable
+//! frame; a terminal frame with no droppable frame to evict is admitted
+//! over capacity (there is at most one terminal frame per subscriber,
+//! so "over" is bounded by one). A subscriber therefore always observes
+//! the newest progress it had bandwidth for, and never misses how its
+//! job ended.
+
+use std::collections::VecDeque;
+
+use crate::proto::Response;
+
+/// A bounded queue of responses destined for one subscriber.
+#[derive(Debug)]
+pub struct ProgressQueue {
+    items: VecDeque<Response>,
+    capacity: usize,
+    dropped: u64,
+}
+
+fn droppable(r: &Response) -> bool {
+    matches!(r, Response::Progress { .. })
+}
+
+impl ProgressQueue {
+    /// An empty queue holding at most `capacity` frames (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ProgressQueue {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Enqueues a frame under the drop policy documented on the module.
+    pub fn push(&mut self, r: Response) {
+        if droppable(&r) {
+            // Coalesce: a pending progress tail is superseded outright.
+            if self.items.back().is_some_and(droppable) {
+                self.items.pop_back();
+                self.dropped += 1;
+            } else if self.items.len() >= self.capacity {
+                // Full of non-progress frames ahead of us: the new frame
+                // is the one that loses.
+                self.dropped += 1;
+                return;
+            }
+        } else if self.items.len() >= self.capacity {
+            // Make room for a terminal frame by evicting the oldest
+            // droppable one; admit over capacity if there is none.
+            if let Some(i) = self.items.iter().position(droppable) {
+                self.items.remove(i);
+                self.dropped += 1;
+            }
+        }
+        self.items.push_back(r);
+    }
+
+    /// Dequeues the oldest frame.
+    pub fn pop(&mut self) -> Option<Response> {
+        self.items.pop_front()
+    }
+
+    /// Frames dropped or coalesced away so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress(n: u64) -> Response {
+        let mut summary = fires_obs::Json::object();
+        summary.set("done", n);
+        Response::Progress {
+            job: format!("{n:016x}"),
+            summary,
+        }
+    }
+
+    fn done(n: u64) -> Response {
+        Response::Done {
+            job: format!("{n:016x}"),
+            report: "{}".into(),
+        }
+    }
+
+    #[test]
+    fn progress_coalesces_latest_wins() {
+        let mut q = ProgressQueue::new(4);
+        for n in 0..10 {
+            q.push(progress(n));
+        }
+        // Back-to-back progress frames collapse to the newest one.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.dropped(), 9);
+        assert_eq!(q.pop(), Some(progress(9)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn terminal_frames_are_never_dropped() {
+        let mut q = ProgressQueue::new(2);
+        q.push(progress(0));
+        q.push(done(0));
+        q.push(progress(1)); // over capacity, droppable: lost
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.pop(), Some(progress(0)));
+        assert_eq!(q.pop(), Some(done(0)));
+    }
+
+    #[test]
+    fn terminal_frame_evicts_oldest_progress_when_full() {
+        let mut q = ProgressQueue::new(1);
+        q.push(progress(0));
+        q.push(done(7));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.pop(), Some(done(7)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn terminal_frame_admitted_over_capacity_as_last_resort() {
+        let mut q = ProgressQueue::new(1);
+        q.push(done(1));
+        q.push(done(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 0);
+        assert_eq!(q.pop(), Some(done(1)));
+        assert_eq!(q.pop(), Some(done(2)));
+    }
+
+    #[test]
+    fn interleaving_preserves_order_and_newest_progress() {
+        let mut q = ProgressQueue::new(8);
+        q.push(progress(0));
+        q.push(progress(1));
+        q.push(done(0));
+        assert_eq!(q.pop(), Some(progress(1)));
+        assert_eq!(q.pop(), Some(done(0)));
+        assert_eq!(q.pop(), None);
+    }
+}

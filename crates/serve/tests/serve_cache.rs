@@ -32,7 +32,7 @@ fn start(cfg: ServeConfig) -> (PathBuf, JoinHandle<Result<(), String>>) {
 }
 
 fn shutdown(socket: &Path, handle: JoinHandle<Result<(), String>>) {
-    let resp = Connection::request(socket, &Request::Shutdown).unwrap();
+    let resp = Connection::request(socket, &Request::Shutdown { drain: false }).unwrap();
     assert_eq!(resp, Response::Ok);
     handle.join().unwrap().unwrap();
     assert!(!socket.exists(), "socket file removed on clean shutdown");

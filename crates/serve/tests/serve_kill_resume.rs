@@ -74,7 +74,7 @@ fn submit_to_completion(socket: &Path) -> (String, String) {
 }
 
 fn shutdown(socket: &Path, mut child: Child) {
-    let resp = Connection::request(socket, &Request::Shutdown).unwrap();
+    let resp = Connection::request(socket, &Request::Shutdown { drain: false }).unwrap();
     assert_eq!(resp, Response::Ok);
     let status = child.wait().unwrap();
     assert!(status.success(), "server exited uncleanly: {status}");

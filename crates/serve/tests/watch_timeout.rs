@@ -66,6 +66,53 @@ fn watch_times_out_on_a_stalled_incomplete_journal() {
 }
 
 #[test]
+fn heartbeats_reset_the_stall_deadline() {
+    let dir = temp_dir("heartbeat");
+    let journal = dir.join("campaign.jsonl");
+    // Same stalled shape as above: incomplete, writer gone.
+    let rc = RunnerConfig {
+        max_units: Some(2),
+        ..RunnerConfig::default()
+    };
+    run(&CampaignSpec::from_circuits("beat", ["s27"]), &journal, &rc).unwrap();
+
+    // A live-but-slow writer: append a few bytes (a growing torn tail,
+    // which journal reads tolerate) every 300 ms for well over the
+    // 1-second timeout. The timeout measures *stall*, so the watcher
+    // must survive these heartbeats and only expire once they stop.
+    let appender_journal = journal.clone();
+    let appender = std::thread::spawn(move || {
+        use std::io::Write;
+        for _ in 0..8 {
+            std::thread::sleep(Duration::from_millis(300));
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&appender_journal)
+                .unwrap();
+            f.write_all(b"#").unwrap();
+        }
+    });
+
+    let started = Instant::now();
+    let out = fires()
+        .args(["watch", "--timeout-secs", "1", "--interval-ms", "50"])
+        .arg(&journal)
+        .stdout(std::process::Stdio::null())
+        .output()
+        .unwrap();
+    appender.join().unwrap();
+    assert!(!out.status.success(), "still times out once beats stop");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("campaign incomplete"), "stderr: {stderr}");
+    assert!(
+        started.elapsed() > Duration::from_millis(2300),
+        "heartbeats must push the deadline past the bare 1s timeout, \
+         elapsed {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
 fn watch_still_exits_zero_when_the_campaign_completes_in_time() {
     let dir = temp_dir("completes");
     let journal = dir.join("campaign.jsonl");
