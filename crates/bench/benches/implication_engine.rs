@@ -2,7 +2,7 @@
 //! loop the paper's polynomial-complexity claim rests on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fires_core::{FiresConfig, Implications, Unc};
+use fires_core::{FiresConfig, Implications, IndicatorView, ProcessScratch, Unc};
 use fires_netlist::LineGraph;
 
 fn single_stem(c: &mut Criterion) {
@@ -20,11 +20,21 @@ fn single_stem(c: &mut Criterion) {
             BenchmarkId::from_parameter(name),
             &(&entry.circuit, &lines),
             |b, (circuit, lines)| {
+                // Reuse the scratch pool across iterations, exactly as
+                // `Fires::run_stem` reuses it across a campaign's stems.
+                let mut scratch = ProcessScratch::default();
                 b.iter(|| {
-                    let mut imp = Implications::new(circuit, lines, config);
+                    let mut imp = Implications::with_scratch(
+                        circuit,
+                        lines,
+                        config,
+                        std::mem::take(&mut scratch),
+                    );
                     imp.assume(stem, Unc::Zero);
                     imp.propagate();
-                    imp.marks().len()
+                    let n = imp.num_marks();
+                    scratch = imp.into_scratch();
+                    n
                 });
             },
         );
@@ -43,11 +53,19 @@ fn frame_budget_scaling(c: &mut Criterion) {
     for tm in [1usize, 5, 10, 15] {
         let config = FiresConfig::with_max_frames(tm);
         group.bench_with_input(BenchmarkId::from_parameter(tm), &tm, |b, _| {
+            let mut scratch = ProcessScratch::default();
             b.iter(|| {
-                let mut imp = Implications::new(&entry.circuit, &lines, config);
+                let mut imp = Implications::with_scratch(
+                    &entry.circuit,
+                    &lines,
+                    config,
+                    std::mem::take(&mut scratch),
+                );
                 imp.assume(stem, Unc::One);
                 imp.propagate();
-                imp.marks().len()
+                let n = imp.num_marks();
+                scratch = imp.into_scratch();
+                n
             });
         });
     }

@@ -10,7 +10,7 @@
 //! identification runs as a `fires-jobs` campaign like the other tables.
 
 use fires_bench::{jobs_campaign, JsonOut, ProfileOut, TextTable, Threads, TraceOut};
-use fires_core::{Fires, FiresConfig};
+use fires_core::{Fires, FiresConfig, IndicatorView};
 
 fn main() {
     let (json, mut args) = JsonOut::from_env();

@@ -1,8 +1,14 @@
 //! The sequential implication engine: uncontrollability and
 //! unobservability propagation over a bounded window of time frames
 //! (paper Sections 2 and 5.1).
+//!
+//! Indicators live in a dense struct-of-arrays store: one bit-packed
+//! `u64` bitset per frame per indicator kind (`0̄`, `1̄`, unobservable)
+//! over the line graph's dense [`LineId`] space, with mark metadata in
+//! parallel slab vectors (see DESIGN.md §14). Queries go through the
+//! [`IndicatorView`] trait; the old map accessors are gone.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use fires_netlist::{graph, Circuit, GateKind, LineGraph, LineId, LineKind, NodeId};
 
@@ -17,6 +23,17 @@ use crate::FiresConfig;
 /// at this stride the overhead is unmeasurable while a deadline is still
 /// noticed within microseconds of engine work.
 const CANCEL_POLL_STRIDE: u32 = 128;
+
+/// Deterministic per-mark footprint estimate used for the indicator-byte
+/// budget: the slab row (line, frame, unc, min_frame, axiom flag, parent
+/// span) plus the mark's slot in the per-frame id plane. Independent of
+/// the allocator and of `std` type layouts, so budget trips are
+/// reproducible across platforms.
+pub const MARK_FOOTPRINT_BYTES: usize = 32;
+
+/// Deterministic per-unobservability-indicator footprint estimate: the
+/// blame span plus the indicator's presence bit and plane slot.
+pub const UNOBS_FOOTPRINT_BYTES: usize = 16;
 
 /// Always-on hot-path counters of one implication process. Plain integer
 /// bumps — cheap enough to keep unconditionally; the FIRES driver folds
@@ -78,7 +95,7 @@ impl Unc {
     }
 }
 
-/// Identifies a [`Mark`] within one [`Implications`] process.
+/// Identifies a mark within one [`Implications`] process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MarkId(u32);
 
@@ -89,8 +106,8 @@ impl MarkId {
     }
 
     /// Rebuilds an id from a raw index. Marks are stored densely in
-    /// derivation order, so the `i`-th element of
-    /// [`Implications::marks`] has id `i`.
+    /// derivation order, so the `i`-th of
+    /// [`num_marks`](IndicatorView::num_marks) ids is `i`.
     ///
     /// # Panics
     ///
@@ -100,9 +117,12 @@ impl MarkId {
     }
 }
 
-/// One uncontrollability indicator, with the derivation that produced it.
-#[derive(Clone, Debug)]
-pub struct Mark {
+/// A borrowed view of one uncontrollability indicator, with the
+/// derivation that produced it. Replaces the owned `Mark` record of the
+/// sparse engine: the fields now live in parallel slab vectors and this
+/// view borrows them in place.
+#[derive(Clone, Copy, Debug)]
+pub struct MarkView<'a> {
     /// The marked line.
     pub line: LineId,
     /// The time frame of the indicator.
@@ -111,7 +131,7 @@ pub struct Mark {
     pub unc: Unc,
     /// The marks this one was derived from (empty for the stem assumption
     /// and for constant-driver axioms).
-    pub parents: Vec<MarkId>,
+    pub parents: &'a [MarkId],
     /// Leftmost frame appearing anywhere in this mark's derivation — the
     /// `l` of the paper's `c_f` rule.
     pub min_frame: Frame,
@@ -120,12 +140,87 @@ pub struct Mark {
     pub axiom: bool,
 }
 
-/// An unobservability indicator on a line/frame.
-#[derive(Clone, Debug, Default)]
-pub struct UnobsInfo {
-    /// The *blame set*: the uncontrollability marks `{p^j}` whose blocking
-    /// makes the line unobservable. Sorted and duplicate-free.
-    pub blame: Vec<MarkId>,
+/// Iterator over the mark ids of a process, in derivation order. The
+/// concrete return type of [`IndicatorView::mark_ids`].
+#[derive(Clone, Debug)]
+pub struct MarkIds {
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for MarkIds {
+    type Item = MarkId;
+
+    fn next(&mut self) -> Option<MarkId> {
+        if self.next == self.end {
+            return None;
+        }
+        let id = MarkId(self.next);
+        self.next += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MarkIds {}
+
+/// Read access to the indicators derived by an implication process.
+///
+/// This is the query surface of the engine: every consumer (the FIRES
+/// driver, cross-checkers, benches) reads marks and unobservability
+/// indicators through these methods instead of reaching into storage.
+/// The trait is also implemented by the sparse reference engine in the
+/// equivalence test-suite, which is what keeps the dense rewrite honest.
+pub trait IndicatorView {
+    /// The frame window actually used.
+    fn window(&self) -> &Window;
+
+    /// Number of marks derived so far.
+    fn num_marks(&self) -> usize;
+
+    /// The mark with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    fn mark(&self, id: MarkId) -> MarkView<'_>;
+
+    /// The mark on `line` at `frame` for `unc`, if derived.
+    fn unc_mark(&self, line: LineId, frame: Frame, unc: Unc) -> Option<MarkId>;
+
+    /// `true` if `line` is unobservable at `frame`.
+    fn is_unobs(&self, line: LineId, frame: Frame) -> bool;
+
+    /// The *blame set* of the unobservability indicator on `line` at
+    /// `frame`: the uncontrollability marks `{p^j}` whose blocking makes
+    /// the line unobservable. Sorted and duplicate-free; empty when the
+    /// line is unconditionally unobservable (dangling) **or** when no
+    /// indicator exists — gate existence with
+    /// [`is_unobs`](Self::is_unobs).
+    fn blame(&self, line: LineId, frame: Frame) -> &[MarkId];
+
+    /// `true` if the indicator "`line` cannot be `unc`'s value at
+    /// `frame`" was derived.
+    fn is_unc(&self, line: LineId, frame: Frame, unc: Unc) -> bool {
+        self.unc_mark(line, frame, unc).is_some()
+    }
+
+    /// All mark ids in derivation order.
+    fn mark_ids(&self) -> MarkIds {
+        MarkIds {
+            next: 0,
+            end: u32::try_from(self.num_marks()).expect("mark count overflows u32"),
+        }
+    }
+
+    /// Leftmost frame of the derivation rooted at `id` (`min_frame`).
+    fn min_frame_of(&self, id: MarkId) -> Frame {
+        self.mark(id).min_frame
+    }
 }
 
 /// Shared cache of reverse minimum-flip-flop distances, keyed by target
@@ -165,6 +260,204 @@ impl DistCache {
     }
 }
 
+/// Mark metadata in parallel slab vectors (struct-of-arrays): one row
+/// per mark, parent lists packed end-to-end in a shared arena addressed
+/// by `(offset, len)` spans. No per-mark heap allocation.
+#[derive(Debug, Default)]
+struct MarkSlab {
+    line: Vec<LineId>,
+    frame: Vec<Frame>,
+    unc: Vec<Unc>,
+    min_frame: Vec<Frame>,
+    axiom: Vec<bool>,
+    parent_span: Vec<(u32, u32)>,
+    parent_arena: Vec<MarkId>,
+}
+
+impl MarkSlab {
+    fn len(&self) -> usize {
+        self.line.len()
+    }
+
+    fn clear(&mut self) {
+        self.line.clear();
+        self.frame.clear();
+        self.unc.clear();
+        self.min_frame.clear();
+        self.axiom.clear();
+        self.parent_span.clear();
+        self.parent_arena.clear();
+    }
+
+    fn push(
+        &mut self,
+        line: LineId,
+        frame: Frame,
+        unc: Unc,
+        min_frame: Frame,
+        axiom: bool,
+        parents: &[MarkId],
+    ) -> MarkId {
+        let id = MarkId(self.line.len() as u32);
+        let off = self.parent_arena.len() as u32;
+        self.parent_arena.extend_from_slice(parents);
+        self.line.push(line);
+        self.frame.push(frame);
+        self.unc.push(unc);
+        self.min_frame.push(min_frame);
+        self.axiom.push(axiom);
+        self.parent_span.push((off, parents.len() as u32));
+        id
+    }
+
+    fn parents(&self, index: usize) -> &[MarkId] {
+        let (off, len) = self.parent_span[index];
+        &self.parent_arena[off as usize..off as usize + len as usize]
+    }
+
+    fn view(&self, index: usize) -> MarkView<'_> {
+        MarkView {
+            line: self.line[index],
+            frame: self.frame[index],
+            unc: self.unc[index],
+            parents: self.parents(index),
+            min_frame: self.min_frame[index],
+            axiom: self.axiom[index],
+        }
+    }
+}
+
+/// One frame's worth of dense indicator storage: a presence bitset per
+/// indicator kind over the line-id space, plus the per-line payloads
+/// (mark id, blame span) those bits gate.
+///
+/// Planes are recycled by epoch: a plane whose `epoch` differs from the
+/// engine's is logically empty, and only its three bitsets are cleared
+/// when first written in a new epoch — the payload vectors keep stale
+/// data that is unreachable while its presence bit is 0.
+#[derive(Debug, Default)]
+struct FramePlane {
+    epoch: u32,
+    unc_bits: [Vec<u64>; 2],
+    unc_ids: [Vec<u32>; 2],
+    unobs_bits: Vec<u64>,
+    unobs_span: Vec<(u32, u32)>,
+}
+
+impl FramePlane {
+    /// Forgets everything, including the payload vectors' stale data.
+    /// Only used on epoch-counter wraparound, where "stale" epochs could
+    /// otherwise collide with fresh ones.
+    fn hard_clear(&mut self) {
+        self.epoch = 0;
+        self.unc_bits[0].clear();
+        self.unc_bits[1].clear();
+        self.unc_ids[0].clear();
+        self.unc_ids[1].clear();
+        self.unobs_bits.clear();
+        self.unobs_span.clear();
+    }
+}
+
+#[inline]
+fn bit_is_set(bits: &[u64], index: usize) -> bool {
+    bits[index / 64] >> (index % 64) & 1 == 1
+}
+
+#[inline]
+fn set_bit(bits: &mut [u64], index: usize) {
+    bits[index / 64] |= 1u64 << (index % 64);
+}
+
+/// `true` iff every bit in `first..=last` is set. Word-parallel: whole
+/// interior words compare against `!0`, the two boundary words against
+/// partial masks.
+fn all_bits_set(bits: &[u64], first: usize, last: usize) -> bool {
+    let (fw, fb) = (first / 64, first % 64);
+    let (lw, lb) = (last / 64, last % 64);
+    if fw == lw {
+        let width = lb - fb + 1;
+        let mask = if width == 64 {
+            !0
+        } else {
+            ((1u64 << width) - 1) << fb
+        };
+        return bits[fw] & mask == mask;
+    }
+    let head = !0u64 << fb;
+    if bits[fw] & head != head {
+        return false;
+    }
+    if bits[fw + 1..lw].iter().any(|&w| w != !0) {
+        return false;
+    }
+    let tail = if lb == 63 { !0 } else { (1u64 << (lb + 1)) - 1 };
+    bits[lw] & tail == tail
+}
+
+/// Iterator over the set bit positions of a bitset, ascending.
+struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> SetBits<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        SetBits {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+/// Reusable allocation pool for one implication process: the frame
+/// planes, mark slab, blame arena, work queues and rule scratch buffers.
+/// Hand it to [`Implications::with_scratch`] to build a process that
+/// reuses these allocations, and reclaim it with
+/// [`Implications::into_scratch`] when the process is done. A
+/// `Default`-constructed scratch is simply empty.
+#[derive(Debug, Default)]
+pub struct ProcessScratch {
+    planes: Vec<FramePlane>,
+    epoch: u32,
+    marks: MarkSlab,
+    blame_arena: Vec<MarkId>,
+    queue: Vec<MarkId>,
+    uqueue: Vec<(LineId, Frame)>,
+    parent_buf: Vec<MarkId>,
+    blame_buf: Vec<MarkId>,
+    const_frames_done: Vec<Frame>,
+}
+
+/// Scratch for both implication processes of a stem (the `0̄` and `1̄`
+/// lanes). One `EngineScratch` is carried in a
+/// [`StemCtx`](crate::StemCtx) and reused across every stem a worker
+/// processes, so steady-state stem analysis allocates nothing.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    pub(crate) zero: ProcessScratch,
+    pub(crate) one: ProcessScratch,
+}
+
 /// One *sequential implication* process (paper Section 5.2): starting from
 /// an assumption such as "stem `s` cannot be 0 at frame 0", computes the
 /// fixpoint of uncontrollability indicators across the frame window, then
@@ -173,7 +466,7 @@ impl DistCache {
 /// # Example
 ///
 /// ```
-/// use fires_core::{Implications, FiresConfig, Unc};
+/// use fires_core::{Implications, IndicatorView, FiresConfig, Unc};
 /// use fires_netlist::{bench, LineGraph};
 ///
 /// # fn main() -> Result<(), fires_netlist::NetlistError> {
@@ -186,8 +479,8 @@ impl DistCache {
 /// // Then q cannot be 1 in the next frame, and z can never be 1.
 /// let q = lines.stem_of(c.find("q").unwrap());
 /// let z = lines.stem_of(c.find("z").unwrap());
-/// assert!(imp.mark_at(q, 1, Unc::One).is_some());
-/// assert!(imp.mark_at(z, 0, Unc::One).is_some());
+/// assert!(imp.unc_mark(q, 1, Unc::One).is_some());
+/// assert!(imp.unc_mark(z, 0, Unc::One).is_some());
 /// # Ok(())
 /// # }
 /// ```
@@ -197,11 +490,26 @@ pub struct Implications<'c> {
     lines: &'c LineGraph,
     config: FiresConfig,
     window: Window,
-    marks: Vec<Mark>,
-    index: HashMap<(LineId, Frame), [Option<MarkId>; 2]>,
-    queue: VecDeque<MarkId>,
-    unobs: HashMap<(LineId, Frame), UnobsInfo>,
-    uqueue: VecDeque<(LineId, Frame)>,
+    // Dense indicator storage. `planes[frame mod slots]` holds the
+    // indicators of `frame`; the mapping is collision-free because the
+    // window spans at most `slots` contiguous frames.
+    planes: Vec<FramePlane>,
+    slots: usize,
+    words: usize,
+    num_lines: usize,
+    epoch: u32,
+    marks: MarkSlab,
+    blame_arena: Vec<MarkId>,
+    // Work queues as vec + head cursor: pending items are
+    // `queue[qhead..]`, "clearing" just advances the cursor.
+    queue: Vec<MarkId>,
+    qhead: usize,
+    uqueue: Vec<(LineId, Frame)>,
+    uqhead: usize,
+    // Rule scratch, reused across rule firings via mem::take.
+    parent_buf: Vec<MarkId>,
+    blame_buf: Vec<MarkId>,
+    consts: Vec<(LineId, Unc)>,
     const_frames_done: Vec<Frame>,
     truncated: bool,
     cancel: CancelToken,
@@ -215,20 +523,82 @@ pub struct Implications<'c> {
 }
 
 impl<'c> Implications<'c> {
-    /// Creates an idle process over `circuit`.
+    /// Creates an idle process over `circuit` with fresh allocations.
     pub fn new(circuit: &'c Circuit, lines: &'c LineGraph, config: FiresConfig) -> Self {
+        Self::with_scratch(circuit, lines, config, ProcessScratch::default())
+    }
+
+    /// Creates an idle process over `circuit` reusing the allocations in
+    /// `scratch` (from a previous process's
+    /// [`into_scratch`](Self::into_scratch)). Results are identical to
+    /// [`new`](Self::new); only the allocation traffic differs.
+    pub fn with_scratch(
+        circuit: &'c Circuit,
+        lines: &'c LineGraph,
+        config: FiresConfig,
+        scratch: ProcessScratch,
+    ) -> Self {
         let window = Window::new(config.max_frames.max(1));
+        let slots = config.max_frames.max(1);
+        let num_lines = lines.num_lines();
+        let words = num_lines.div_ceil(64);
+        let ProcessScratch {
+            mut planes,
+            epoch,
+            mut marks,
+            mut blame_arena,
+            mut queue,
+            mut uqueue,
+            mut parent_buf,
+            mut blame_buf,
+            mut const_frames_done,
+        } = scratch;
+        // A new epoch invalidates every plane at once; planes are
+        // re-cleared lazily on first write. On wraparound (epoch 0 is
+        // reserved for never-touched planes) fall back to a hard clear.
+        let mut epoch = epoch.wrapping_add(1);
+        if epoch == 0 {
+            for p in &mut planes {
+                p.hard_clear();
+            }
+            epoch = 1;
+        }
+        planes.resize_with(slots, FramePlane::default);
+        marks.clear();
+        blame_arena.clear();
+        queue.clear();
+        uqueue.clear();
+        parent_buf.clear();
+        blame_buf.clear();
+        const_frames_done.clear();
+        let consts: Vec<(LineId, Unc)> = circuit
+            .node_ids()
+            .filter_map(|n| match circuit.node(n).kind() {
+                GateKind::Const0 => Some((lines.stem_of(n), Unc::One)),
+                GateKind::Const1 => Some((lines.stem_of(n), Unc::Zero)),
+                _ => None,
+            })
+            .collect();
         let mut s = Implications {
             circuit,
             lines,
             config,
             window,
-            marks: Vec::new(),
-            index: HashMap::new(),
-            queue: VecDeque::new(),
-            unobs: HashMap::new(),
-            uqueue: VecDeque::new(),
-            const_frames_done: Vec::new(),
+            planes,
+            slots,
+            words,
+            num_lines,
+            epoch,
+            marks,
+            blame_arena,
+            queue,
+            qhead: 0,
+            uqueue,
+            uqhead: 0,
+            parent_buf,
+            blame_buf,
+            consts,
+            const_frames_done,
             truncated: false,
             cancel: CancelToken::never(),
             interrupted: false,
@@ -243,9 +613,26 @@ impl<'c> Implications<'c> {
         s
     }
 
+    /// Tears the process down to its reusable allocation pool. The next
+    /// [`with_scratch`](Self::with_scratch) call recycles the planes,
+    /// slab and queues without reallocating.
+    pub fn into_scratch(self) -> ProcessScratch {
+        ProcessScratch {
+            planes: self.planes,
+            epoch: self.epoch,
+            marks: self.marks,
+            blame_arena: self.blame_arena,
+            queue: self.queue,
+            uqueue: self.uqueue,
+            parent_buf: self.parent_buf,
+            blame_buf: self.blame_buf,
+            const_frames_done: self.const_frames_done,
+        }
+    }
+
     /// Seeds the assumption "`line` cannot take `unc`'s value at frame 0".
     pub fn assume(&mut self, line: LineId, unc: Unc) {
-        self.add_mark(line, 0, unc, Vec::new(), false);
+        self.add_mark(line, 0, unc, &[], false);
     }
 
     /// Runs both fixpoints (uncontrollability, then unobservability) using
@@ -263,38 +650,35 @@ impl<'c> Implications<'c> {
         self.run_unobservability(cache);
     }
 
-    /// The mark on `line` at `frame` for `unc`, if derived.
-    pub fn mark_at(&self, line: LineId, frame: Frame, unc: Unc) -> Option<MarkId> {
-        self.index.get(&(line, frame)).and_then(|e| e[unc.bit()])
+    /// Iterates over all unobservability indicators, frame-major with
+    /// ascending line ids within a frame (a deterministic order, unlike
+    /// the map iteration of the sparse engine).
+    pub fn unobs_iter(&self) -> impl Iterator<Item = (LineId, Frame, &[MarkId])> + '_ {
+        (self.window.leftmost()..=self.window.rightmost()).flat_map(move |frame| {
+            let plane = self.plane(frame);
+            let bits = plane.map_or(&[][..], |p| p.unobs_bits.as_slice());
+            SetBits::new(bits).map(move |i| {
+                let (off, len) = plane.expect("bits imply plane").unobs_span[i];
+                (
+                    LineId::new(i),
+                    frame,
+                    &self.blame_arena[off as usize..off as usize + len as usize],
+                )
+            })
+        })
     }
 
-    /// The mark with the given id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is out of range.
-    pub fn mark(&self, id: MarkId) -> &Mark {
-        &self.marks[id.index()]
-    }
-
-    /// All derived marks, in derivation order.
-    pub fn marks(&self) -> &[Mark] {
-        &self.marks
-    }
-
-    /// The unobservability indicator on `line` at `frame`, if derived.
-    pub fn unobs_at(&self, line: LineId, frame: Frame) -> Option<&UnobsInfo> {
-        self.unobs.get(&(line, frame))
-    }
-
-    /// Iterates over all unobservability indicators.
-    pub fn unobs_iter(&self) -> impl Iterator<Item = (LineId, Frame, &UnobsInfo)> + '_ {
-        self.unobs.iter().map(|(&(l, f), info)| (l, f, info))
-    }
-
-    /// The frame window actually used.
-    pub fn window(&self) -> &Window {
-        &self.window
+    /// Iterates over the uncontrollability indicators set at `frame`, in
+    /// ascending line order, `0̄` before `1̄` per line.
+    pub fn unc_frame_iter(&self, frame: Frame) -> impl Iterator<Item = (LineId, Unc, MarkId)> + '_ {
+        let plane = self.plane(frame);
+        (0..self.num_lines).flat_map(move |i| {
+            [Unc::Zero, Unc::One].into_iter().filter_map(move |unc| {
+                let p = plane?;
+                bit_is_set(&p.unc_bits[unc.bit()], i)
+                    .then(|| (LineId::new(i), unc, MarkId(p.unc_ids[unc.bit()][i])))
+            })
+        })
     }
 
     /// `true` if the mark budget was exhausted (results remain sound; some
@@ -341,8 +725,9 @@ impl<'c> Implications<'c> {
     }
 
     /// Estimated bytes of indicator storage (marks, derivation parents,
-    /// blame sets) allocated so far. Tracked incrementally and
-    /// deterministically; compared against
+    /// blame sets) accounted so far. Tracked incrementally from the
+    /// deterministic footprint constants ([`MARK_FOOTPRINT_BYTES`],
+    /// [`UNOBS_FOOTPRINT_BYTES`]); compared against
     /// [`Budget::max_indicator_bytes`](crate::Budget).
     pub fn indicator_bytes(&self) -> usize {
         self.indicator_bytes
@@ -379,20 +764,72 @@ impl<'c> Implications<'c> {
         let mut profile = RuleProfile::from(steps);
         #[cfg(feature = "tracing")]
         {
-            for mark in &self.marks {
-                profile.record_frame_offset(u64::from(mark.frame.unsigned_abs()));
-            }
-            for ((_, frame), info) in &self.unobs {
+            for &frame in &self.marks.frame {
                 profile.record_frame_offset(u64::from(frame.unsigned_abs()));
-                profile.record_blame_size(info.blame.len() as u64);
+            }
+            for (_, frame, blame) in self.unobs_iter() {
+                profile.record_frame_offset(u64::from(frame.unsigned_abs()));
+                profile.record_blame_size(blame.len() as u64);
             }
         }
         profile
     }
 
-    /// Leftmost frame of the derivation rooted at `id` (`min_frame`).
-    pub fn min_frame_of(&self, id: MarkId) -> Frame {
-        self.marks[id.index()].min_frame
+    // ------------------------------------------------------------------
+    // Dense storage plumbing
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn slot(&self, frame: Frame) -> usize {
+        frame.rem_euclid(self.slots as i32) as usize
+    }
+
+    /// Read access to the plane of `frame`, or `None` when the frame is
+    /// outside the window or its plane was never written this epoch.
+    /// Both checks are load-bearing: an out-of-window frame may alias the
+    /// slot of an in-window one, and a stale plane holds another epoch's
+    /// bits.
+    #[inline]
+    fn plane(&self, frame: Frame) -> Option<&FramePlane> {
+        if !self.window.contains(frame) {
+            return None;
+        }
+        let p = &self.planes[self.slot(frame)];
+        (p.epoch == self.epoch).then_some(p)
+    }
+
+    /// Write access to the plane of `frame`, clearing it first if it was
+    /// last written in an earlier epoch. Callers must have checked the
+    /// window already.
+    fn touch_plane(&mut self, frame: Frame) -> &mut FramePlane {
+        debug_assert!(self.window.contains(frame));
+        let slot = frame.rem_euclid(self.slots as i32) as usize;
+        let p = &mut self.planes[slot];
+        if p.epoch != self.epoch {
+            p.epoch = self.epoch;
+            // Only the presence bitsets need clearing: the payload
+            // vectors are gated by them and may keep stale entries.
+            for half in &mut p.unc_bits {
+                half.clear();
+                half.resize(self.words, 0);
+            }
+            p.unobs_bits.clear();
+            p.unobs_bits.resize(self.words, 0);
+            for ids in &mut p.unc_ids {
+                if ids.len() < self.num_lines {
+                    ids.resize(self.num_lines, 0);
+                }
+            }
+            if p.unobs_span.len() < self.num_lines {
+                p.unobs_span.resize(self.num_lines, (0, 0));
+            }
+        }
+        p
+    }
+
+    fn unobs_span(&self, line: LineId, frame: Frame) -> Option<(u32, u32)> {
+        let p = self.plane(frame)?;
+        bit_is_set(&p.unobs_bits, line.index()).then(|| p.unobs_span[line.index()])
     }
 
     // ------------------------------------------------------------------
@@ -401,9 +838,11 @@ impl<'c> Implications<'c> {
 
     pub(crate) fn run_uncontrollability(&mut self) {
         let mut since_poll = 0u32;
-        while let Some(id) = self.queue.pop_front() {
+        while self.qhead < self.queue.len() {
+            let id = self.queue[self.qhead];
+            self.qhead += 1;
             if self.truncated {
-                self.queue.clear();
+                self.qhead = self.queue.len();
                 break;
             }
             since_poll += 1;
@@ -411,12 +850,12 @@ impl<'c> Implications<'c> {
                 since_poll = 0;
                 if self.cancel.is_cancelled() {
                     self.interrupted = true;
-                    self.queue.clear();
+                    self.qhead = self.queue.len();
                     break;
                 }
             }
             if self.budget_tripped() {
-                self.queue.clear();
+                self.qhead = self.queue.len();
                 break;
             }
             self.process_mark(id);
@@ -435,7 +874,7 @@ impl<'c> Implications<'c> {
             self.meter.note_step();
             return false;
         }
-        let queued = self.queue.len() + self.uqueue.len();
+        let queued = (self.queue.len() - self.qhead) + (self.uqueue.len() - self.uqhead);
         if let Some(reason) = self.meter.exceeded(queued, self.indicator_bytes) {
             self.exhausted = Some(reason);
             core_event!("core.budget_exhausted", reason = reason.as_str());
@@ -450,7 +889,7 @@ impl<'c> Implications<'c> {
         line: LineId,
         frame: Frame,
         unc: Unc,
-        parents: Vec<MarkId>,
+        parents: &[MarkId],
         axiom: bool,
     ) -> Option<MarkId> {
         if !self.window.contains(frame) {
@@ -465,9 +904,11 @@ impl<'c> Implications<'c> {
             );
             self.ensure_const_axioms();
         }
-        let entry = self.index.entry((line, frame)).or_default();
-        if let Some(existing) = entry[unc.bit()] {
-            return Some(existing);
+        let bit = unc.bit();
+        let idx = line.index();
+        let plane = self.touch_plane(frame);
+        if bit_is_set(&plane.unc_bits[bit], idx) {
+            return Some(MarkId(plane.unc_ids[bit][idx]));
         }
         if self.marks.len() >= self.config.mark_budget {
             self.truncated = true;
@@ -475,42 +916,37 @@ impl<'c> Implications<'c> {
         }
         let min_frame = parents
             .iter()
-            .map(|p| self.marks[p.index()].min_frame)
+            .map(|p| self.marks.min_frame[p.index()])
             .fold(frame, Frame::min);
-        // Deterministic footprint estimate: the mark record, its parent
-        // list, and its slot in the (line, frame) index.
-        self.indicator_bytes += std::mem::size_of::<Mark>()
-            + parents.len() * std::mem::size_of::<MarkId>()
-            + std::mem::size_of::<((LineId, Frame), [Option<MarkId>; 2])>();
-        let id = MarkId(self.marks.len() as u32);
-        self.marks.push(Mark {
-            line,
-            frame,
-            unc,
-            parents,
-            min_frame,
-            axiom,
-        });
-        self.index.get_mut(&(line, frame)).expect("just inserted")[unc.bit()] = Some(id);
-        self.queue.push_back(id);
+        self.indicator_bytes += MARK_FOOTPRINT_BYTES + std::mem::size_of_val(parents);
+        let id = self.marks.push(line, frame, unc, min_frame, axiom, parents);
+        let plane = self.touch_plane(frame);
+        set_bit(&mut plane.unc_bits[bit], idx);
+        plane.unc_ids[bit][idx] = id.0;
+        self.queue.push(id);
         self.stats.enqueued += 1;
-        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+        self.stats.max_queue_depth = self
+            .stats
+            .max_queue_depth
+            .max(self.queue.len() - self.qhead);
         Some(id)
+    }
+
+    /// [`add_mark`](Self::add_mark) with the parents taken from
+    /// `parent_buf`. The buffer is left intact (callers clear it before
+    /// filling; the XOR forward rule reuses one support set for both
+    /// output polarities).
+    fn add_mark_from_buf(&mut self, line: LineId, frame: Frame, unc: Unc) -> Option<MarkId> {
+        let buf = std::mem::take(&mut self.parent_buf);
+        let id = self.add_mark(line, frame, unc, &buf, false);
+        self.parent_buf = buf;
+        id
     }
 
     /// Adds the permanent facts about constant drivers for every frame of
     /// the (possibly just grown) window.
     fn ensure_const_axioms(&mut self) {
-        let consts: Vec<(NodeId, Unc)> = self
-            .circuit
-            .node_ids()
-            .filter_map(|n| match self.circuit.node(n).kind() {
-                GateKind::Const0 => Some((n, Unc::One)),
-                GateKind::Const1 => Some((n, Unc::Zero)),
-                _ => None,
-            })
-            .collect();
-        if consts.is_empty() {
+        if self.consts.is_empty() {
             return;
         }
         for t in self.window.leftmost()..=self.window.rightmost() {
@@ -518,18 +954,21 @@ impl<'c> Implications<'c> {
                 continue;
             }
             self.const_frames_done.push(t);
-            for &(n, unc) in &consts {
-                let stem = self.lines.stem_of(n);
-                self.add_mark(stem, t, unc, Vec::new(), true);
+            let consts = std::mem::take(&mut self.consts);
+            for &(stem, unc) in &consts {
+                self.add_mark(stem, t, unc, &[], true);
             }
+            self.consts = consts;
         }
     }
 
     fn process_mark(&mut self, id: MarkId) {
-        let (line_id, frame, unc) = {
-            let m = &self.marks[id.index()];
-            (m.line, m.frame, m.unc)
-        };
+        let idx = id.index();
+        let (line_id, frame, unc) = (
+            self.marks.line[idx],
+            self.marks.frame[idx],
+            self.marks.unc[idx],
+        );
         let lines = self.lines;
         let line = lines.line(line_id);
         let mut dispatched = false;
@@ -538,14 +977,14 @@ impl<'c> Implications<'c> {
         for &b in line.branches() {
             dispatched = true;
             core_profile!(self.profile, FwdBranchCopy);
-            self.add_mark(b, frame, unc, vec![id], false);
+            self.add_mark(b, frame, unc, &[id], false);
         }
         match line.kind() {
             LineKind::Branch { node, .. } => {
                 dispatched = true;
                 core_profile!(self.profile, BwdBranchGather);
-                let stem = self.lines.stem_of(node);
-                self.add_mark(stem, frame, unc, vec![id], false);
+                let stem = lines.stem_of(node);
+                self.add_mark(stem, frame, unc, &[id], false);
             }
             LineKind::Stem { node } => {
                 let kind = self.circuit.node(node).kind();
@@ -553,8 +992,8 @@ impl<'c> Implications<'c> {
                     dispatched = true;
                     core_profile!(self.profile, BwdDffShift);
                     // Q cannot be v at t  =>  D cannot be v at t-1.
-                    let d = self.lines.in_line(node, 0);
-                    self.add_mark(d, frame - 1, unc, vec![id], false);
+                    let d = lines.in_line(node, 0);
+                    self.add_mark(d, frame - 1, unc, &[id], false);
                 } else if kind.is_logic() {
                     dispatched = true;
                     self.eval_gate_backward(node, frame);
@@ -568,8 +1007,8 @@ impl<'c> Implications<'c> {
                     dispatched = true;
                     core_profile!(self.profile, FwdDffShift);
                     // D cannot be v at t  =>  Q cannot be v at t+1.
-                    let q = self.lines.stem_of(sink);
-                    self.add_mark(q, frame + 1, unc, vec![id], false);
+                    let q = lines.stem_of(sink);
+                    self.add_mark(q, frame + 1, unc, &[id], false);
                 }
                 k if k.is_logic() => {
                     dispatched = true;
@@ -587,16 +1026,17 @@ impl<'c> Implications<'c> {
     }
 
     /// Possible-value mask of a line at a frame: bit0 = "can be 0",
-    /// bit1 = "can be 1".
+    /// bit1 = "can be 1". Two bit probes into the frame's plane.
     fn possible_mask(&self, line: LineId, frame: Frame) -> u8 {
-        let mut mask = 0b11;
-        if self.mark_at(line, frame, Unc::Zero).is_some() {
-            mask &= !0b01;
+        match self.plane(frame) {
+            None => 0b11,
+            Some(p) => {
+                let idx = line.index();
+                let z = bit_is_set(&p.unc_bits[0], idx) as u8;
+                let o = bit_is_set(&p.unc_bits[1], idx) as u8;
+                0b11 & !(z | (o << 1))
+            }
         }
-        if self.mark_at(line, frame, Unc::One).is_some() {
-            mask &= !0b10;
-        }
-        mask
     }
 
     /// Forward rules (paper Figures 1 and 4): derive output indicators
@@ -618,45 +1058,50 @@ impl<'c> Implications<'c> {
                 core_profile!(self.profile, FwdAndAllBlocked);
                 // Core output cannot be the "all-noncontrolling" value nc'
                 // (1 for AND, 0 for OR) if some input cannot be nc.
-                if let Some(&blocked) = ins
+                if let Some(m) = ins
                     .iter()
-                    .find(|&&i| self.mark_at(i, frame, Unc::cannot_be(!c)).is_some())
+                    .find_map(|&i| self.unc_mark(i, frame, Unc::cannot_be(!c)))
                 {
-                    let m = self
-                        .mark_at(blocked, frame, Unc::cannot_be(!c))
-                        .expect("just found");
-                    self.add_mark(out, frame, Unc::cannot_be(!c ^ inv), vec![m], false);
+                    self.add_mark(out, frame, Unc::cannot_be(!c ^ inv), &[m], false);
                 }
                 // Core output cannot be the controlled value c if *no*
                 // input can be c.
-                let all: Option<Vec<MarkId>> = ins
-                    .iter()
-                    .map(|&i| self.mark_at(i, frame, Unc::cannot_be(c)))
-                    .collect();
-                if let Some(parents) = all {
-                    self.add_mark(out, frame, Unc::cannot_be(c ^ inv), parents, false);
+                self.parent_buf.clear();
+                let mut all = true;
+                for &i in ins {
+                    match self.unc_mark(i, frame, Unc::cannot_be(c)) {
+                        Some(m) => self.parent_buf.push(m),
+                        None => {
+                            all = false;
+                            break;
+                        }
+                    }
+                }
+                if all {
+                    self.add_mark_from_buf(out, frame, Unc::cannot_be(c ^ inv));
                 }
             }
             GateKind::Not | GateKind::Buf => {
                 core_profile!(self.profile, FwdInvert);
                 for unc in [Unc::Zero, Unc::One] {
-                    if let Some(m) = self.mark_at(ins[0], frame, unc) {
+                    if let Some(m) = self.unc_mark(ins[0], frame, unc) {
                         let v = unc.value() ^ inv;
-                        self.add_mark(out, frame, Unc::cannot_be(v), vec![m], false);
+                        self.add_mark(out, frame, Unc::cannot_be(v), &[m], false);
                     }
                 }
             }
             GateKind::Xor | GateKind::Xnor => {
                 core_profile!(self.profile, FwdXorParity);
-                // Achievable parity mask.
+                // Achievable parity mask; the support set (every pinning
+                // mark seen) is shared by both banned output polarities.
                 let mut achievable: u8 = 0b01; // parity 0 achievable
-                let mut support: Vec<MarkId> = Vec::new();
+                self.parent_buf.clear();
                 let mut contradiction = false;
                 for &i in ins {
                     let pm = self.possible_mask(i, frame);
                     for unc in [Unc::Zero, Unc::One] {
-                        if let Some(m) = self.mark_at(i, frame, unc) {
-                            support.push(m);
+                        if let Some(m) = self.unc_mark(i, frame, unc) {
+                            self.parent_buf.push(m);
                         }
                     }
                     achievable = match pm {
@@ -674,8 +1119,8 @@ impl<'c> Implications<'c> {
                 }
                 for w in [false, true] {
                     let reachable = achievable >> usize::from(w) & 1 == 1;
-                    if !reachable && !support.is_empty() {
-                        self.add_mark(out, frame, Unc::cannot_be(w ^ inv), support.clone(), false);
+                    if !reachable && !self.parent_buf.is_empty() {
+                        self.add_mark_from_buf(out, frame, Unc::cannot_be(w ^ inv));
                     }
                 }
             }
@@ -696,27 +1141,35 @@ impl<'c> Implications<'c> {
                 // Output cannot show the controlled value => no input may
                 // take the controlling value.
                 core_profile!(self.profile, BwdAndControlledValue);
-                if let Some(m) = self.mark_at(out, frame, Unc::cannot_be(c ^ inv)) {
+                if let Some(m) = self.unc_mark(out, frame, Unc::cannot_be(c ^ inv)) {
                     for &i in ins {
-                        self.add_mark(i, frame, Unc::cannot_be(c), vec![m], false);
+                        self.add_mark(i, frame, Unc::cannot_be(c), &[m], false);
                     }
                 }
                 // Output cannot show the all-noncontrolling value: if every
                 // sibling is pinned at noncontrolling, this input cannot be
                 // noncontrolling either. Only counted when the quadratic
                 // sibling scan actually runs.
-                if let Some(m) = self.mark_at(out, frame, Unc::cannot_be(!c ^ inv)) {
+                if let Some(m) = self.unc_mark(out, frame, Unc::cannot_be(!c ^ inv)) {
                     core_profile!(self.profile, BwdAndSibling);
                     for (k, &i) in ins.iter().enumerate() {
-                        let siblings: Option<Vec<MarkId>> = ins
-                            .iter()
-                            .enumerate()
-                            .filter(|&(j, _)| j != k)
-                            .map(|(_, &j)| self.mark_at(j, frame, Unc::cannot_be(c)))
-                            .collect();
-                        if let Some(mut parents) = siblings {
-                            parents.push(m);
-                            self.add_mark(i, frame, Unc::cannot_be(!c), parents, false);
+                        self.parent_buf.clear();
+                        let mut pinned = true;
+                        for (j, &lj) in ins.iter().enumerate() {
+                            if j == k {
+                                continue;
+                            }
+                            match self.unc_mark(lj, frame, Unc::cannot_be(c)) {
+                                Some(s) => self.parent_buf.push(s),
+                                None => {
+                                    pinned = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if pinned {
+                            self.parent_buf.push(m);
+                            self.add_mark_from_buf(i, frame, Unc::cannot_be(!c));
                         }
                     }
                 }
@@ -724,15 +1177,15 @@ impl<'c> Implications<'c> {
             GateKind::Not | GateKind::Buf => {
                 core_profile!(self.profile, BwdInvert);
                 for w in [false, true] {
-                    if let Some(m) = self.mark_at(out, frame, Unc::cannot_be(w)) {
-                        self.add_mark(ins[0], frame, Unc::cannot_be(w ^ inv), vec![m], false);
+                    if let Some(m) = self.unc_mark(out, frame, Unc::cannot_be(w)) {
+                        self.add_mark(ins[0], frame, Unc::cannot_be(w ^ inv), &[m], false);
                     }
                 }
             }
             GateKind::Xor | GateKind::Xnor => {
                 core_profile!(self.profile, BwdXorPinned);
                 for w_out in [false, true] {
-                    let Some(m) = self.mark_at(out, frame, Unc::cannot_be(w_out)) else {
+                    let Some(m) = self.unc_mark(out, frame, Unc::cannot_be(w_out)) else {
                         continue;
                     };
                     let w_core = w_out ^ inv;
@@ -740,7 +1193,8 @@ impl<'c> Implications<'c> {
                         // The other inputs must all be pinned to single
                         // values for input k's value to force the output.
                         let mut parity = false;
-                        let mut parents = vec![m];
+                        self.parent_buf.clear();
+                        self.parent_buf.push(m);
                         let mut pinned = true;
                         for (j, &lj) in ins.iter().enumerate() {
                             if j == k {
@@ -748,11 +1202,13 @@ impl<'c> Implications<'c> {
                             }
                             match self.possible_mask(lj, frame) {
                                 0b01 => {
-                                    parents.push(self.mark_at(lj, frame, Unc::One).expect("mask"));
+                                    let p = self.unc_mark(lj, frame, Unc::One).expect("mask");
+                                    self.parent_buf.push(p);
                                 }
                                 0b10 => {
                                     parity ^= true;
-                                    parents.push(self.mark_at(lj, frame, Unc::Zero).expect("mask"));
+                                    let p = self.unc_mark(lj, frame, Unc::Zero).expect("mask");
+                                    self.parent_buf.push(p);
                                 }
                                 _ => {
                                     pinned = false;
@@ -764,7 +1220,7 @@ impl<'c> Implications<'c> {
                             // input k = v gives core output v ^ parity; the
                             // value hitting the impossible w_core is banned.
                             let banned = w_core ^ parity;
-                            self.add_mark(i, frame, Unc::cannot_be(banned), parents, false);
+                            self.add_mark_from_buf(i, frame, Unc::cannot_be(banned));
                         }
                     }
                 }
@@ -787,18 +1243,20 @@ impl<'c> Implications<'c> {
         self.seed_blocked_pins();
         self.seed_dangling_lines();
         let mut since_poll = 0u32;
-        while let Some((line, frame)) = self.uqueue.pop_front() {
+        while self.uqhead < self.uqueue.len() {
+            let (line, frame) = self.uqueue[self.uqhead];
+            self.uqhead += 1;
             since_poll += 1;
             if since_poll >= CANCEL_POLL_STRIDE {
                 since_poll = 0;
                 if self.cancel.is_cancelled() {
                     self.interrupted = true;
-                    self.uqueue.clear();
+                    self.uqhead = self.uqueue.len();
                     break;
                 }
             }
             if self.budget_tripped() {
-                self.uqueue.clear();
+                self.uqhead = self.uqueue.len();
                 break;
             }
             self.process_unobs(line, frame, cache);
@@ -808,12 +1266,15 @@ impl<'c> Implications<'c> {
     /// A side input that cannot take the gate's noncontrolling value blocks
     /// every other input of that gate.
     fn seed_blocked_pins(&mut self) {
+        let lines = self.lines;
         for mid in (0..self.marks.len()).map(|i| MarkId(i as u32)) {
-            let (line_id, frame, unc) = {
-                let m = &self.marks[mid.index()];
-                (m.line, m.frame, m.unc)
-            };
-            let Some((sink, pin)) = self.lines.line(line_id).sink_pin() else {
+            let idx = mid.index();
+            let (line_id, frame, unc) = (
+                self.marks.line[idx],
+                self.marks.frame[idx],
+                self.marks.unc[idx],
+            );
+            let Some((sink, pin)) = lines.line(line_id).sink_pin() else {
                 continue;
             };
             let kind = self.circuit.node(sink).kind();
@@ -824,10 +1285,10 @@ impl<'c> Implications<'c> {
             if unc != Unc::cannot_be(!c) {
                 continue;
             }
-            let ins: Vec<LineId> = self.lines.in_lines(sink).to_vec();
+            let ins: &[LineId] = lines.in_lines(sink);
             for (j, &other) in ins.iter().enumerate() {
                 if j != pin {
-                    self.add_unobs(other, frame, vec![mid]);
+                    self.add_unobs(other, frame, &[mid]);
                 }
             }
         }
@@ -836,25 +1297,27 @@ impl<'c> Implications<'c> {
     /// Lines with no consumers and no observation are trivially
     /// unobservable in every frame.
     fn seed_dangling_lines(&mut self) {
-        let dangling: Vec<LineId> = self
-            .lines
-            .line_ids()
-            .filter(|&l| {
-                let line = self.lines.line(l);
-                line.is_stem()
-                    && line.branches().is_empty()
-                    && line.sink_pin().is_none()
-                    && !self.circuit.is_output(line.driver())
-            })
-            .collect();
-        for l in dangling {
+        let lines = self.lines;
+        for l in lines.line_ids() {
+            let line = lines.line(l);
+            let dangling = line.is_stem()
+                && line.branches().is_empty()
+                && line.sink_pin().is_none()
+                && !self.circuit.is_output(line.driver());
+            if !dangling {
+                continue;
+            }
             for t in self.window.leftmost()..=self.window.rightmost() {
-                self.add_unobs(l, t, Vec::new());
+                self.add_unobs(l, t, &[]);
             }
         }
     }
 
-    fn add_unobs(&mut self, line: LineId, frame: Frame, blame: Vec<MarkId>) {
+    /// Stores the unobservability indicator `(line, frame)` with the given
+    /// blame set (raw: possibly unsorted, with duplicates — the cap is
+    /// checked on the raw length, then the stored copy is sorted and
+    /// deduplicated in place at the arena tail).
+    fn add_unobs(&mut self, line: LineId, frame: Frame, blame: &[MarkId]) {
         if !self.window.contains(frame) {
             if !self.window.try_extend_to(frame) {
                 return;
@@ -865,22 +1328,69 @@ impl<'c> Implications<'c> {
             self.stats.blame_cap_rejections += 1;
             return;
         }
-        if self.unobs.contains_key(&(line, frame)) {
+        let idx = line.index();
+        if bit_is_set(&self.touch_plane(frame).unobs_bits, idx) {
             return;
         }
-        let mut blame = blame;
-        blame.sort_unstable();
-        blame.dedup();
-        self.indicator_bytes += std::mem::size_of::<((LineId, Frame), UnobsInfo)>()
-            + blame.len() * std::mem::size_of::<MarkId>();
-        self.unobs.insert((line, frame), UnobsInfo { blame });
-        self.uqueue.push_back((line, frame));
+        let off = self.blame_arena.len();
+        self.blame_arena.extend_from_slice(blame);
+        self.blame_arena[off..].sort_unstable();
+        // In-place dedup of the arena tail via a write cursor.
+        let mut w = off;
+        for r in off..self.blame_arena.len() {
+            if w == off || self.blame_arena[r] != self.blame_arena[w - 1] {
+                self.blame_arena[w] = self.blame_arena[r];
+                w += 1;
+            }
+        }
+        self.blame_arena.truncate(w);
+        self.finish_unobs(line, frame, (off as u32, (w - off) as u32));
+    }
+
+    /// Stores the unobservability indicator `(line, frame)` whose blame is
+    /// an already-stored span — the span is *shared*, not copied, since
+    /// spans are immutable once stored and the arena only grows. This is
+    /// the zero-copy fan-down path (DFF shift, gate inputs).
+    fn add_unobs_from_span(&mut self, line: LineId, frame: Frame, span: (u32, u32)) {
+        if !self.window.contains(frame) {
+            if !self.window.try_extend_to(frame) {
+                return;
+            }
+            self.stats.window_extensions += 1;
+        }
+        if span.1 as usize > self.config.blame_cap {
+            // Unreachable today (stored spans already satisfy the cap) but
+            // kept so both insert paths enforce the same contract.
+            self.stats.blame_cap_rejections += 1;
+            return;
+        }
+        let idx = line.index();
+        if bit_is_set(&self.touch_plane(frame).unobs_bits, idx) {
+            return;
+        }
+        self.finish_unobs(line, frame, span);
+    }
+
+    /// Shared tail of the two insert paths: byte accounting, presence bit,
+    /// span slot, queueing and stats. The presence bit must be unset.
+    fn finish_unobs(&mut self, line: LineId, frame: Frame, span: (u32, u32)) {
+        self.indicator_bytes +=
+            UNOBS_FOOTPRINT_BYTES + span.1 as usize * std::mem::size_of::<MarkId>();
+        let idx = line.index();
+        let plane = self.touch_plane(frame);
+        set_bit(&mut plane.unobs_bits, idx);
+        plane.unobs_span[idx] = span;
+        self.uqueue.push((line, frame));
         self.stats.enqueued += 1;
-        self.stats.max_unobs_queue_depth = self.stats.max_unobs_queue_depth.max(self.uqueue.len());
+        self.stats.max_unobs_queue_depth = self
+            .stats
+            .max_unobs_queue_depth
+            .max(self.uqueue.len() - self.uqhead);
     }
 
     fn process_unobs(&mut self, line_id: LineId, frame: Frame, cache: &mut DistCache) {
-        let line = self.lines.line(line_id);
+        let lines = self.lines;
+        let line = lines.line(line_id);
         match line.kind() {
             LineKind::Branch { node, .. } => {
                 // Counted per attempt: scanning the sibling branches and
@@ -893,22 +1403,46 @@ impl<'c> Implications<'c> {
                     GateKind::Dff => {
                         core_profile!(self.profile, UnobsDffShift);
                         // Q unobservable at t => D unobservable at t-1.
-                        let blame = self.unobs[&(line_id, frame)].blame.clone();
-                        let d = self.lines.in_line(node, 0);
-                        self.add_unobs(d, frame - 1, blame);
+                        let span = self.unobs_span(line_id, frame).expect("queued => stored");
+                        let d = lines.in_line(node, 0);
+                        self.add_unobs_from_span(d, frame - 1, span);
                     }
                     k if k.is_logic() => {
-                        // Gate output unobservable => all inputs are.
-                        let blame = self.unobs[&(line_id, frame)].blame.clone();
-                        let ins: Vec<LineId> = self.lines.in_lines(node).to_vec();
+                        // Gate output unobservable => all inputs are. The
+                        // blame span is shared across every input — no
+                        // clone at all, where the sparse engine cloned the
+                        // blame vector once plus once per fanin.
+                        let span = self.unobs_span(line_id, frame).expect("queued => stored");
+                        let ins: &[LineId] = lines.in_lines(node);
                         core_profile!(self.profile, UnobsGateInput, ins.len() as u64);
-                        for i in ins {
-                            self.add_unobs(i, frame, blame.clone());
+                        for &i in ins {
+                            self.add_unobs_from_span(i, frame, span);
                         }
                     }
                     _ => self.profile.note_unattributed(),
                 }
             }
+        }
+    }
+
+    /// `true` iff every line in `branches` is unobservable at `frame`.
+    /// Branch lines of a stem occupy consecutive [`LineId`]s (the line
+    /// graph allocates them together), so the common case is a single
+    /// word-parallel all-ones test over the bit range; non-contiguous
+    /// slices fall back to per-bit probes.
+    fn all_unobs(&self, branches: &[LineId], frame: Frame) -> bool {
+        let Some(p) = self.plane(frame) else {
+            return branches.is_empty();
+        };
+        match branches {
+            [] => true,
+            [only] => bit_is_set(&p.unobs_bits, only.index()),
+            [first, .., last] if last.index() - first.index() + 1 == branches.len() => {
+                all_bits_set(&p.unobs_bits, first.index(), last.index())
+            }
+            _ => branches
+                .iter()
+                .all(|b| bit_is_set(&p.unobs_bits, b.index())),
         }
     }
 
@@ -920,41 +1454,80 @@ impl<'c> Implications<'c> {
         if self.circuit.is_output(node) {
             return; // the stem is directly observed
         }
-        let stem = self.lines.stem_of(node);
-        if self.unobs.contains_key(&(stem, frame)) {
+        let lines = self.lines;
+        let stem = lines.stem_of(node);
+        if self.is_unobs(stem, frame) {
             return;
         }
-        let branches: Vec<LineId> = self.lines.line(stem).branches().to_vec();
-        let mut blame: Vec<MarkId> = Vec::new();
-        for &b in &branches {
-            match self.unobs.get(&(b, frame)) {
-                Some(info) => blame.extend_from_slice(&info.blame),
-                None => return, // some branch still observable
-            }
+        let branches: &[LineId] = lines.line(stem).branches();
+        if !self.all_unobs(branches, frame) {
+            return; // some branch still observable
+        }
+        let mut blame = std::mem::take(&mut self.blame_buf);
+        blame.clear();
+        for &b in branches {
+            let (off, len) = self.unobs_span(b, frame).expect("all_unobs checked");
+            blame.extend_from_slice(&self.blame_arena[off as usize..(off + len) as usize]);
         }
         blame.sort_unstable();
         blame.dedup();
         if blame.len() > self.config.blame_cap {
             self.stats.blame_cap_rejections += 1;
+            self.blame_buf = blame;
             return;
         }
         // Side condition: no sequential path from the stem (frames
         // `frame..=j`) to any blocking line `p` at frame `j`.
         for &mid in &blame {
-            let (p_line, j) = {
-                let m = &self.marks[mid.index()];
-                (m.line, m.frame)
-            };
+            let (p_line, j) = (self.marks.line[mid.index()], self.marks.frame[mid.index()]);
             if j < frame {
                 continue; // no frame k with frame <= k <= j exists
             }
-            let dist = cache.dist_to(self.circuit, self.lines, p_line);
+            let dist = cache.dist_to(self.circuit, lines, p_line);
             let allowed = (j - frame) as u32;
             if dist[stem.index()] <= allowed {
+                self.blame_buf = blame;
                 return; // the fault effect could disturb the block
             }
         }
-        self.add_unobs(stem, frame, blame);
+        self.add_unobs(stem, frame, &blame);
+        self.blame_buf = blame;
+    }
+}
+
+impl IndicatorView for Implications<'_> {
+    fn window(&self) -> &Window {
+        &self.window
+    }
+
+    fn num_marks(&self) -> usize {
+        self.marks.len()
+    }
+
+    fn mark(&self, id: MarkId) -> MarkView<'_> {
+        self.marks.view(id.index())
+    }
+
+    fn unc_mark(&self, line: LineId, frame: Frame, unc: Unc) -> Option<MarkId> {
+        let p = self.plane(frame)?;
+        let idx = line.index();
+        bit_is_set(&p.unc_bits[unc.bit()], idx).then(|| MarkId(p.unc_ids[unc.bit()][idx]))
+    }
+
+    fn is_unobs(&self, line: LineId, frame: Frame) -> bool {
+        self.plane(frame)
+            .is_some_and(|p| bit_is_set(&p.unobs_bits, line.index()))
+    }
+
+    fn blame(&self, line: LineId, frame: Frame) -> &[MarkId] {
+        match self.unobs_span(line, frame) {
+            Some((off, len)) => &self.blame_arena[off as usize..(off + len) as usize],
+            None => &[],
+        }
+    }
+
+    fn min_frame_of(&self, id: MarkId) -> Frame {
+        self.marks.min_frame[id.index()]
     }
 }
 
@@ -1001,14 +1574,14 @@ mod tests {
         let z = lg.stem_of(c.find("z").unwrap());
 
         let i = imp(&c, &lg, "a", Unc::One, 1);
-        assert!(i.mark_at(z, 0, Unc::Zero).is_some());
-        assert!(i.mark_at(z, 0, Unc::One).is_none());
+        assert!(i.unc_mark(z, 0, Unc::Zero).is_some());
+        assert!(i.unc_mark(z, 0, Unc::One).is_none());
 
         let cb = bench::parse("INPUT(a)\nOUTPUT(z)\nz = NAND(a, a2)\na2 = BUFF(a)\n").unwrap();
         let lgb = LineGraph::build(&cb);
         let zb = lgb.stem_of(cb.find("z").unwrap());
         let ib = imp(&cb, &lgb, "a", Unc::Zero, 1);
-        assert!(ib.mark_at(zb, 0, Unc::One).is_some());
+        assert!(ib.unc_mark(zb, 0, Unc::One).is_some());
     }
 
     #[test]
@@ -1019,8 +1592,8 @@ mod tests {
         let i = imp(&c, &lg, "z", Unc::Zero, 1);
         let a = lg.stem_of(c.find("a").unwrap());
         let b = lg.stem_of(c.find("b").unwrap());
-        assert!(i.mark_at(a, 0, Unc::Zero).is_some());
-        assert!(i.mark_at(b, 0, Unc::Zero).is_some());
+        assert!(i.unc_mark(a, 0, Unc::Zero).is_some());
+        assert!(i.unc_mark(b, 0, Unc::Zero).is_some());
     }
 
     #[test]
@@ -1030,8 +1603,8 @@ mod tests {
         let i = imp(&c, &lg, "a", Unc::Zero, 1);
         let m = lg.stem_of(c.find("m").unwrap());
         let z = lg.stem_of(c.find("z").unwrap());
-        assert!(i.mark_at(m, 0, Unc::One).is_some());
-        assert!(i.mark_at(z, 0, Unc::One).is_some());
+        assert!(i.unc_mark(m, 0, Unc::One).is_some());
+        assert!(i.unc_mark(z, 0, Unc::One).is_some());
     }
 
     #[test]
@@ -1041,8 +1614,8 @@ mod tests {
         let z = lg.stem_of(c.find("z").unwrap());
         // One pinned input says nothing about an XOR output.
         let i = imp(&c, &lg, "a", Unc::One, 1);
-        assert!(i.mark_at(z, 0, Unc::Zero).is_none());
-        assert!(i.mark_at(z, 0, Unc::One).is_none());
+        assert!(i.unc_mark(z, 0, Unc::Zero).is_none());
+        assert!(i.unc_mark(z, 0, Unc::One).is_none());
     }
 
     #[test]
@@ -1056,7 +1629,7 @@ mod tests {
         i.assume(lg.stem_of(c.find("z").unwrap()), Unc::One);
         i.propagate();
         let a = lg.stem_of(c.find("a").unwrap());
-        assert!(i.mark_at(a, 0, Unc::One).is_some());
+        assert!(i.unc_mark(a, 0, Unc::One).is_some());
     }
 
     #[test]
@@ -1066,13 +1639,16 @@ mod tests {
         let i = imp(&c, &lg, "a", Unc::One, 5);
         let q = lg.stem_of(c.find("q").unwrap());
         // Forward: a cannot be 1 at 0 => q cannot be 1 at +1.
-        assert!(i.mark_at(q, 1, Unc::One).is_some());
+        assert!(i.unc_mark(q, 1, Unc::One).is_some());
 
         let i2 = imp(&c, &lg, "q", Unc::Zero, 5);
         let a = lg.stem_of(c.find("a").unwrap());
         // Backward: q cannot be 0 at 0 => a cannot be 0 at -1.
-        assert!(i2.mark_at(a, -1, Unc::Zero).is_some());
-        assert_eq!(i2.mark(i2.mark_at(a, -1, Unc::Zero).unwrap()).min_frame, -1);
+        assert!(i2.unc_mark(a, -1, Unc::Zero).is_some());
+        assert_eq!(
+            i2.mark(i2.unc_mark(a, -1, Unc::Zero).unwrap()).min_frame,
+            -1
+        );
     }
 
     #[test]
@@ -1085,8 +1661,8 @@ mod tests {
         let i = imp(&c, &lg, "a", Unc::One, 2);
         let q2 = lg.stem_of(c.find("q2").unwrap());
         let q1 = lg.stem_of(c.find("q1").unwrap());
-        assert!(i.mark_at(q1, 1, Unc::One).is_some());
-        assert!(i.mark_at(q2, 2, Unc::One).is_none()); // frame 2 refused
+        assert!(i.unc_mark(q1, 1, Unc::One).is_some());
+        assert!(i.unc_mark(q2, 2, Unc::One).is_none()); // frame 2 refused
         assert_eq!(i.window().len(), 2);
     }
 
@@ -1098,7 +1674,7 @@ mod tests {
         let i = imp(&c, &lg, "en", Unc::One, 8);
         // t cannot be 1 at every frame reachable forward.
         let t = lg.stem_of(c.find("t").unwrap());
-        assert!(i.mark_at(t, 0, Unc::One).is_some());
+        assert!(i.unc_mark(t, 0, Unc::One).is_some());
         assert!(!i.truncated());
     }
 
@@ -1111,10 +1687,10 @@ mod tests {
         i.propagate();
         let k = lg.stem_of(c.find("k").unwrap());
         let z = lg.stem_of(c.find("z").unwrap());
-        assert!(i.mark_at(k, 0, Unc::One).is_some());
-        assert!(i.mark(i.mark_at(k, 0, Unc::One).unwrap()).axiom);
+        assert!(i.unc_mark(k, 0, Unc::One).is_some());
+        assert!(i.mark(i.unc_mark(k, 0, Unc::One).unwrap()).axiom);
         // a can't be 1 and k is 0 => z can't be 1.
-        assert!(i.mark_at(z, 0, Unc::One).is_some());
+        assert!(i.unc_mark(z, 0, Unc::One).is_some());
     }
 
     #[test]
@@ -1124,9 +1700,10 @@ mod tests {
         let lg = LineGraph::build(&c);
         let i = imp(&c, &lg, "a", Unc::One, 1);
         let b = lg.stem_of(c.find("b").unwrap());
-        let info = i.unobs_at(b, 0).expect("b is blocked");
-        assert_eq!(info.blame.len(), 1);
-        let blamed = i.mark(info.blame[0]);
+        assert!(i.is_unobs(b, 0), "b is blocked");
+        let blame = i.blame(b, 0);
+        assert_eq!(blame.len(), 1);
+        let blamed = i.mark(blame[0]);
         assert_eq!(blamed.line, lg.stem_of(c.find("a").unwrap()));
     }
 
@@ -1142,9 +1719,9 @@ mod tests {
         let y = lg.stem_of(c.find("y").unwrap());
         let q = lg.stem_of(c.find("q").unwrap());
         let a = lg.stem_of(c.find("a").unwrap());
-        assert!(i.unobs_at(y, 0).is_some());
-        assert!(i.unobs_at(q, 0).is_some());
-        assert!(i.unobs_at(a, -1).is_some(), "crosses the FF backwards");
+        assert!(i.is_unobs(y, 0));
+        assert!(i.is_unobs(q, 0));
+        assert!(i.is_unobs(a, -1), "crosses the FF backwards");
     }
 
     #[test]
@@ -1160,9 +1737,9 @@ mod tests {
         let i = imp(&c, &lg, "b", Unc::One, 1);
         let s = lg.stem_of(c.find("s").unwrap());
         for &br in lg.line(s).branches() {
-            assert!(i.unobs_at(br, 0).is_some());
+            assert!(i.is_unobs(br, 0));
         }
-        assert!(i.unobs_at(s, 0).is_none());
+        assert!(!i.is_unobs(s, 0));
     }
 
     #[test]
@@ -1188,11 +1765,11 @@ mod tests {
             .line(s)
             .branches()
             .iter()
-            .filter(|&&b| i.unobs_at(b, 0).is_some())
+            .filter(|&&b| i.is_unobs(b, 0))
             .collect();
         assert_eq!(blocked.len(), 2);
         // ...but the stem keeps its observability because n is in s's cone.
-        assert!(i.unobs_at(s, 0).is_none());
+        assert!(!i.is_unobs(s, 0));
     }
 
     #[test]
@@ -1201,7 +1778,8 @@ mod tests {
         let lg = LineGraph::build(&c);
         let i = imp(&c, &lg, "a", Unc::One, 2);
         let dead = lg.stem_of(c.find("dead").unwrap());
-        assert!(i.unobs_at(dead, 0).is_some());
+        assert!(i.is_unobs(dead, 0));
+        assert!(i.blame(dead, 0).is_empty());
     }
 
     #[test]
@@ -1217,8 +1795,8 @@ mod tests {
         i.assume(lg.stem_of(cc.find("b").unwrap()), Unc::One);
         i.propagate();
         let z = lg.stem_of(cc.find("z").unwrap());
-        assert!(i.mark_at(z, 0, Unc::Zero).is_none());
-        assert!(i.mark_at(z, 0, Unc::One).is_none());
+        assert!(i.unc_mark(z, 0, Unc::Zero).is_none());
+        assert!(i.unc_mark(z, 0, Unc::One).is_none());
         // Pin c too: now z is fully determined (1 ^ 0 ^ 0 = 1) -> z can't
         // be 0.
         let mut i2 = Implications::new(&cc, &lg, FiresConfig::with_max_frames(1));
@@ -1226,8 +1804,8 @@ mod tests {
         i2.assume(lg.stem_of(cc.find("b").unwrap()), Unc::One);
         i2.assume(lg.stem_of(cc.find("c").unwrap()), Unc::One);
         i2.propagate();
-        assert!(i2.mark_at(z, 0, Unc::Zero).is_some());
-        assert!(i2.mark_at(z, 0, Unc::One).is_none());
+        assert!(i2.unc_mark(z, 0, Unc::Zero).is_some());
+        assert!(i2.unc_mark(z, 0, Unc::One).is_none());
     }
 
     #[test]
@@ -1240,7 +1818,7 @@ mod tests {
         i.propagate();
         // a = b = 1 forced: XNOR = 1, so z can't be 0.
         let z = lg.stem_of(cc.find("z").unwrap());
-        assert!(i.mark_at(z, 0, Unc::Zero).is_some());
+        assert!(i.unc_mark(z, 0, Unc::Zero).is_some());
     }
 
     #[test]
@@ -1255,8 +1833,8 @@ mod tests {
         i.assume(a, Unc::One);
         i.propagate();
         let z = lg.stem_of(cc.find("z").unwrap());
-        assert!(i.mark_at(z, 0, Unc::Zero).is_some());
-        assert!(i.mark_at(z, 0, Unc::One).is_some());
+        assert!(i.unc_mark(z, 0, Unc::Zero).is_some());
+        assert!(i.unc_mark(z, 0, Unc::One).is_some());
         assert!(!i.truncated());
     }
 
@@ -1276,7 +1854,7 @@ mod tests {
         i.assume(lg.stem_of(cc.find("a").unwrap()), Unc::One);
         i.propagate();
         assert!(i.truncated());
-        assert!(i.marks().len() <= 3);
+        assert!(i.num_marks() <= 3);
     }
 
     #[test]
@@ -1291,8 +1869,8 @@ mod tests {
         i.propagate();
         let a = lg.stem_of(cc.find("a").unwrap());
         let z = lg.stem_of(cc.find("z").unwrap());
-        assert_eq!(i.mark(i.mark_at(a, -1, Unc::Zero).unwrap()).min_frame, -1);
-        assert_eq!(i.mark(i.mark_at(z, 0, Unc::Zero).unwrap()).min_frame, 0);
+        assert_eq!(i.mark(i.unc_mark(a, -1, Unc::Zero).unwrap()).min_frame, -1);
+        assert_eq!(i.mark(i.unc_mark(z, 0, Unc::Zero).unwrap()).min_frame, 0);
     }
 
     #[test]
@@ -1312,7 +1890,7 @@ mod tests {
             i.set_meter(BudgetMeter::new(Budget::unlimited().with_max_steps(steps)));
             i.assume(lg.stem_of(cc.find("en").unwrap()), Unc::One);
             i.propagate();
-            (i.exhausted(), i.marks().len())
+            (i.exhausted(), i.num_marks())
         };
         let (reason, marks) = run_with(2);
         assert_eq!(reason, Some(ExhaustionReason::Steps));
@@ -1332,13 +1910,13 @@ mod tests {
         let lg = LineGraph::build(&cc);
         let mut i = Implications::new(&cc, &lg, FiresConfig::with_max_frames(8));
         i.set_meter(BudgetMeter::new(
-            Budget::unlimited().with_max_indicator_bytes(std::mem::size_of::<Mark>()),
+            Budget::unlimited().with_max_indicator_bytes(MARK_FOOTPRINT_BYTES),
         ));
         i.assume(lg.stem_of(cc.find("en").unwrap()), Unc::One);
         i.propagate();
         assert_eq!(i.exhausted(), Some(ExhaustionReason::IndicatorMemory));
-        assert!(!i.marks().is_empty());
-        assert!(i.indicator_bytes() >= std::mem::size_of::<Mark>());
+        assert!(i.num_marks() > 0);
+        assert!(i.indicator_bytes() >= MARK_FOOTPRINT_BYTES);
     }
 
     #[test]
@@ -1352,6 +1930,106 @@ mod tests {
         metered.assume(lg.stem_of(cc.find("en").unwrap()), Unc::One);
         metered.propagate();
         assert_eq!(metered.exhausted(), None);
-        assert_eq!(metered.marks().len(), baseline.marks().len());
+        assert_eq!(metered.num_marks(), baseline.num_marks());
+    }
+
+    type MarkRows = Vec<(LineId, Frame, Unc, Frame, bool, Vec<MarkId>)>;
+    type UnobsRows = Vec<(LineId, Frame, Vec<MarkId>)>;
+
+    /// Captures everything observable about a finished process.
+    fn snapshot(i: &Implications<'_>) -> (MarkRows, UnobsRows, EngineStats) {
+        let marks = i
+            .mark_ids()
+            .map(|id| {
+                let m = i.mark(id);
+                (
+                    m.line,
+                    m.frame,
+                    m.unc,
+                    m.min_frame,
+                    m.axiom,
+                    m.parents.to_vec(),
+                )
+            })
+            .collect();
+        let unobs = i.unobs_iter().map(|(l, f, b)| (l, f, b.to_vec())).collect();
+        (marks, unobs, i.stats())
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        // Run the same analysis with a fresh engine and with a scratch
+        // recycled through several unrelated runs: identical results.
+        let c1 = bench::parse("INPUT(en)\nOUTPUT(q)\nq = DFF(t)\nt = AND(q, en)\n").unwrap();
+        let lg1 = LineGraph::build(&c1);
+        let c2 = bench::parse(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(w)\nq = DFF(a)\ny = NOT(q)\n\
+             z = AND(y, b)\nw = AND(y, b)\ndead = NOT(b)\n",
+        )
+        .unwrap();
+        let lg2 = LineGraph::build(&c2);
+
+        let fresh = imp(&c2, &lg2, "b", Unc::One, 4);
+        let want = snapshot(&fresh);
+
+        // Dirty the scratch on a different circuit/config first.
+        let mut scratch = ProcessScratch::default();
+        for _ in 0..3 {
+            let mut i =
+                Implications::with_scratch(&c1, &lg1, FiresConfig::with_max_frames(8), scratch);
+            i.assume(lg1.stem_of(c1.find("en").unwrap()), Unc::One);
+            i.propagate();
+            scratch = i.into_scratch();
+        }
+        let mut reused =
+            Implications::with_scratch(&c2, &lg2, FiresConfig::with_max_frames(4), scratch);
+        reused.assume(lg2.stem_of(c2.find("b").unwrap()), Unc::One);
+        reused.propagate();
+        assert_eq!(snapshot(&reused), want);
+    }
+
+    #[test]
+    fn unc_frame_iter_lists_set_indicators_in_line_order() {
+        let c = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n").unwrap();
+        let lg = LineGraph::build(&c);
+        let i = imp(&c, &lg, "z", Unc::Zero, 1);
+        let got: Vec<(LineId, Unc, MarkId)> = i.unc_frame_iter(0).collect();
+        assert!(!got.is_empty());
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0), "ascending lines");
+        for &(l, unc, id) in &got {
+            assert_eq!(i.unc_mark(l, 0, unc), Some(id));
+        }
+        // Out-of-window frames list nothing.
+        assert_eq!(i.unc_frame_iter(7).count(), 0);
+    }
+
+    #[test]
+    fn word_parallel_branch_test_handles_wide_fanout() {
+        // A stem with > 64 branches exercises the multi-word all-ones
+        // path of the stem-merge rule.
+        let n = 70;
+        let mut src = String::from("INPUT(a)\nINPUT(b)\n");
+        for k in 0..n {
+            src.push_str(&format!("OUTPUT(z{k})\n"));
+        }
+        src.push_str("s = BUFF(a)\n");
+        for k in 0..n {
+            src.push_str(&format!("z{k} = AND(s, b)\n"));
+        }
+        let c = bench::parse(&src).unwrap();
+        let lg = LineGraph::build(&c);
+        let mut config = FiresConfig::with_max_frames(1);
+        config.blame_cap = 4 * n; // the merged blame set holds one mark per branch
+        let mut i = Implications::new(&c, &lg, config);
+        i.assume(lg.stem_of(c.find("b").unwrap()), Unc::One);
+        i.propagate();
+        let s = lg.stem_of(c.find("s").unwrap());
+        assert_eq!(lg.line(s).branches().len(), n);
+        assert!(
+            i.is_unobs(s, 0),
+            "all branches blocked => stem unobservable"
+        );
+        let blame = i.blame(s, 0);
+        assert!(blame.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
     }
 }

@@ -6,7 +6,7 @@ use fires_netlist::{Circuit, Fault, GateKind, LineGraph, LineId, StuckValue};
 
 use crate::cancel::CancelToken;
 use crate::config::ProgressEvent;
-use crate::engine::{DistCache, Implications, MarkId, Unc};
+use crate::engine::{DistCache, EngineScratch, Implications, IndicatorView, MarkId, Unc};
 use crate::error::CoreError;
 use crate::guard::{Budget, BudgetMeter, ExhaustionReason};
 use crate::instrument::{core_span, PhaseClock, PhaseTimes, RuleProfile, RunMetrics};
@@ -41,9 +41,11 @@ pub(crate) mod phase {
 }
 
 /// Reusable per-worker scratch state for stem-granular runs: the shared
-/// flip-flop-distance cache and the per-fault forced-line closures. Both
-/// are circuit-static memoizations — sharing one `StemCtx` across many
-/// [`Fires::run_stem`] calls only changes speed, never results.
+/// flip-flop-distance cache, the per-fault forced-line closures, and the
+/// implication engines' allocation pool ([`EngineScratch`]). The caches
+/// are circuit-static memoizations and the scratch is pure allocation
+/// reuse — sharing one `StemCtx` across many [`Fires::run_stem`] calls
+/// only changes speed, never results.
 ///
 /// Not `Send` (the closures are `Rc`-shared); give each worker thread its
 /// own. After catching a panic from `run_stem`, drop the context and start
@@ -52,18 +54,36 @@ pub(crate) mod phase {
 /// The context also carries the [`Budget`] applied to each
 /// [`Fires::run_stem`] call (unlimited by default). Budgets bound *effort*,
 /// not results: two runs of the same stem under the same budget produce
-/// identical outcomes, cache reuse included.
+/// identical outcomes, cache and scratch reuse included.
+///
+/// Construct via [`StemCtx::new`] or, when setting fields, the builder:
+///
+/// ```
+/// use fires_core::{Budget, StemCtx};
+/// let ctx = StemCtx::builder()
+///     .budget(Budget::unlimited().with_max_steps(10_000))
+///     .build();
+/// assert_eq!(ctx.budget().max_steps, Some(10_000));
+/// ```
 #[derive(Default)]
 pub struct StemCtx {
     cache: DistCache,
     forced: ForcedCache,
     budget: Budget,
+    scratch: EngineScratch,
 }
 
 impl StemCtx {
     /// Creates an empty context with an unlimited budget.
     pub fn new() -> Self {
         StemCtx::default()
+    }
+
+    /// Starts building a context field by field. Prefer this over
+    /// positional constructors: new fields (like the engine scratch) get
+    /// defaults without breaking existing call sites.
+    pub fn builder() -> StemCtxBuilder {
+        StemCtxBuilder::default()
     }
 
     /// Creates an empty context that applies `budget` to every
@@ -83,6 +103,38 @@ impl StemCtx {
     /// The budget applied to each stem run through this context.
     pub fn budget(&self) -> Budget {
         self.budget
+    }
+}
+
+/// Builder for [`StemCtx`]; see [`StemCtx::builder`].
+#[derive(Default)]
+pub struct StemCtxBuilder {
+    budget: Budget,
+    scratch: EngineScratch,
+}
+
+impl StemCtxBuilder {
+    /// Sets the [`Budget`] applied to every stem run (default: unlimited).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Seeds the engine allocation pool, e.g. one reclaimed from another
+    /// context (default: empty — allocations grow on first use).
+    pub fn scratch(mut self, scratch: EngineScratch) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Finishes the context.
+    pub fn build(self) -> StemCtx {
+        StemCtx {
+            cache: DistCache::new(),
+            forced: ForcedCache::default(),
+            budget: self.budget,
+            scratch: self.scratch,
+        }
     }
 }
 
@@ -570,8 +622,8 @@ impl<'c> Fires<'c> {
     /// Renders an implication process for human inspection.
     pub fn trace(&self, imp: &Implications<'_>) -> ProcessTrace {
         let mut uncontrollable: Vec<(Frame, String, bool)> = imp
-            .marks()
-            .iter()
+            .mark_ids()
+            .map(|id| imp.mark(id))
             .filter(|m| !m.axiom)
             .map(|m| {
                 (
@@ -631,13 +683,19 @@ impl<'c> Fires<'c> {
         // limits (steps, wall clock) span the stem, exactly once.
         let mut meter = BudgetMeter::new(ctx.budget);
         clock.enter(phase::IMPLICATION);
-        let mut p0 = Implications::new(self.circuit, &self.lines, self.config);
+        // Each process recycles its lane of the context's allocation pool;
+        // the lanes are reclaimed on the Ok path below. On the error paths
+        // the engines are dropped and the pool simply starts over empty —
+        // correctness never depends on the reuse.
+        let scratch0 = std::mem::take(&mut ctx.scratch.zero);
+        let mut p0 = Implications::with_scratch(self.circuit, &self.lines, self.config, scratch0);
         p0.set_cancel(cancel.clone());
         p0.set_meter(meter);
         p0.assume(stem, Unc::Zero);
         p0.run_uncontrollability();
         meter = p0.take_meter();
-        let mut p1 = Implications::new(self.circuit, &self.lines, self.config);
+        let scratch1 = std::mem::take(&mut ctx.scratch.one);
+        let mut p1 = Implications::with_scratch(self.circuit, &self.lines, self.config, scratch1);
         p1.set_cancel(cancel.clone());
         p1.set_meter(meter);
         p1.assume(stem, Unc::One);
@@ -672,7 +730,7 @@ impl<'c> Fires<'c> {
             return Err(interrupted());
         };
 
-        let marks = p0.marks().len() + p1.marks().len();
+        let marks = p0.num_marks() + p1.num_marks();
         let frames = p0.window().len().max(p1.window().len());
         metrics.incr("core.stems_processed", 1);
         metrics.incr("core.marks_created", marks as u64);
@@ -746,6 +804,8 @@ impl<'c> Fires<'c> {
         );
         profile.apportion_nanos(elapsed.as_nanos() as u64);
         profile.export_counters(metrics);
+        ctx.scratch.zero = p0.into_scratch();
+        ctx.scratch.one = p1.into_scratch();
         Ok(ProcessedStem {
             found,
             marks,
@@ -779,7 +839,7 @@ impl<'c> Fires<'c> {
 
         // Uncontrollable faults: a line that can never be v hosts an
         // unactivatable stuck-at: 0-bar -> s-a-1, 1-bar -> s-a-0.
-        for (i, m) in imp.marks().iter().enumerate() {
+        for id in imp.mark_ids() {
             since_poll += 1;
             if since_poll >= VALIDATION_POLL_STRIDE {
                 since_poll = 0;
@@ -787,7 +847,7 @@ impl<'c> Fires<'c> {
                     return None;
                 }
             }
-            let id = MarkId::from_index(i);
+            let m = imp.mark(id);
             let stuck = match m.unc {
                 Unc::Zero => StuckValue::One,
                 Unc::One => StuckValue::Zero,
@@ -811,14 +871,15 @@ impl<'c> Fires<'c> {
 
         // Unobservable faults: both stuck values, provided every blame
         // indicator survives in the faulty circuit. Iterated in sorted
-        // (line, frame) order — the indicators live in a HashMap, and the
-        // validity cache's sweep cap means iteration order could otherwise
-        // decide *which* candidates are conservatively dropped once the
-        // cap is hit. Sorting makes the fault sets a pure function of the
-        // process, which the deterministic-merge guarantee rests on.
-        let mut unobs: Vec<(LineId, Frame, &crate::engine::UnobsInfo)> = imp.unobs_iter().collect();
+        // (line, frame) order — the engine yields frame-major order, and
+        // the validity cache's sweep cap means iteration order could
+        // otherwise decide *which* candidates are conservatively dropped
+        // once the cap is hit. Sorting makes the fault sets a pure
+        // function of the process, which the deterministic-merge
+        // guarantee rests on.
+        let mut unobs: Vec<(LineId, Frame, &[MarkId])> = imp.unobs_iter().collect();
         unobs.sort_unstable_by_key(|&(line, frame, _)| (line, frame));
-        for (line, frame, info) in unobs {
+        for (line, frame, blame) in unobs {
             since_poll += 1;
             if since_poll >= VALIDATION_POLL_STRIDE {
                 since_poll = 0;
@@ -826,12 +887,11 @@ impl<'c> Fires<'c> {
                     return None;
                 }
             }
-            metrics.observe("core.blame_set_size", info.blame.len() as u64);
+            metrics.observe("core.blame_set_size", blame.len() as u64);
             for stuck in [StuckValue::Zero, StuckValue::One] {
                 let fault = Fault::new(line, stuck);
                 if self.config.validate
-                    && !info
-                        .blame
+                    && !blame
                         .iter()
                         .all(|&b| validity.valid(self, imp, forced_cache, fault, frame, b))
                 {
@@ -839,8 +899,7 @@ impl<'c> Fires<'c> {
                     continue;
                 }
                 metrics.incr("core.validation_accepts", 1);
-                let min_unc_frame = info
-                    .blame
+                let min_unc_frame = blame
                     .iter()
                     .map(|&b| imp.min_frame_of(b))
                     .min()
@@ -977,13 +1036,18 @@ impl ValidityCache {
             // Derivation steps that cross the faulty line against the
             // signal flow are unsound regardless of frame policy.
             bad.extend(cut_edge_marks(fires, imp, fault));
-            let marks = imp.marks();
-            let mut invalid = vec![false; marks.len()];
+            let mut invalid = vec![false; imp.num_marks()];
             for id in bad {
                 invalid[id.index()] = true;
             }
-            for i in 0..marks.len() {
-                if !invalid[i] && marks[i].parents.iter().any(|p| invalid[p.index()]) {
+            for i in 0..invalid.len() {
+                if !invalid[i]
+                    && imp
+                        .mark(MarkId::from_index(i))
+                        .parents
+                        .iter()
+                        .any(|p| invalid[p.index()])
+                {
                     invalid[i] = true;
                 }
             }
@@ -1018,7 +1082,7 @@ fn cut_edge_marks(fires: &Fires<'_>, imp: &Implications<'_>, fault: Fault) -> Ve
     for &line in &driver_side {
         for frame in window.leftmost()..=window.rightmost() {
             for unc in [Unc::Zero, Unc::One] {
-                let Some(id) = imp.mark_at(line, frame, unc) else {
+                let Some(id) = imp.unc_mark(line, frame, unc) else {
                     continue;
                 };
                 if imp
@@ -1046,7 +1110,7 @@ fn bad_marks(
     let mut bad: Vec<MarkId> = Vec::new();
     let window = imp.window();
     // Two equivalent strategies; pick the cheaper one for this process.
-    if forced.len() * window.len() * 2 < imp.marks().len() {
+    if forced.len() * window.len() * 2 < imp.num_marks() {
         for (&line, flags) in forced {
             for v in [false, true] {
                 if !flags[v as usize] {
@@ -1056,20 +1120,21 @@ fn bad_marks(
                     if key_frame != Frame::MIN && frame >= key_frame {
                         continue;
                     }
-                    if let Some(id) = imp.mark_at(line, frame, Unc::cannot_be(v)) {
+                    if let Some(id) = imp.unc_mark(line, frame, Unc::cannot_be(v)) {
                         bad.push(id);
                     }
                 }
             }
         }
     } else {
-        for (i, m) in imp.marks().iter().enumerate() {
+        for id in imp.mark_ids() {
+            let m = imp.mark(id);
             if key_frame != Frame::MIN && m.frame >= key_frame {
                 continue;
             }
             if let Some(flags) = forced.get(&m.line) {
                 if flags[m.unc.value() as usize] {
-                    bad.push(MarkId::from_index(i));
+                    bad.push(id);
                 }
             }
         }

@@ -59,13 +59,16 @@ mod window;
 
 pub use cancel::CancelToken;
 pub use config::{FiresConfig, ProgressEvent, ValidationPolicy};
-pub use engine::{DistCache, EngineStats, Implications, Mark, MarkId, Unc, UnobsInfo};
+pub use engine::{
+    DistCache, EngineScratch, EngineStats, Implications, IndicatorView, MarkId, MarkIds, MarkView,
+    ProcessScratch, Unc, MARK_FOOTPRINT_BYTES, UNOBS_FOOTPRINT_BYTES,
+};
 pub use error::CoreError;
 // With the `tracing` feature these are the `fires-obs` types; without it,
 // no-op stubs with the same API (see `instrument.rs`).
 pub use envelope::{funtest_like, EnvelopeReport};
 pub use fire::{fire, FireReport};
-pub use fires::{Fires, StemCtx, StemFindings, StemOutcome, StemStats};
+pub use fires::{Fires, StemCtx, StemCtxBuilder, StemFindings, StemOutcome, StemStats};
 pub use guard::{Budget, ExhaustionReason};
 pub use hash::{content_hash, ContentHasher};
 pub use instrument::{PhaseTimes, RuleProfile, RunMetrics};

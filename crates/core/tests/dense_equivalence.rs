@@ -1,0 +1,634 @@
+//! Property test: the bit-packed dense implication engine is observably
+//! identical to the paper-literal sparse engine it replaced.
+//!
+//! `sparse_ref` below is a deliberately naive reimplementation of the
+//! engine as it existed before the dense storage redesign: `HashMap`
+//! indicator maps, `VecDeque` worklists, per-mark `Vec` parent and blame
+//! sets. It keeps the exact rule application order, worklist discipline,
+//! and [`EngineStats`] counting points, so any divergence in the dense
+//! engine — indicator sets, blame sets, mark derivations, stats — fails
+//! the property. The reference skips only budgets, cancellation, and
+//! profiling, none of which fire under the unlimited defaults used here.
+
+use std::collections::{HashMap, VecDeque};
+
+use fires_circuits::generators::{random_sequential, RandomConfig};
+use fires_core::{
+    EngineStats, FiresConfig, Frame, Implications, IndicatorView, ProcessScratch, Unc, Window,
+};
+use fires_netlist::graph::min_ff_distance_rev;
+use fires_netlist::{Circuit, GateKind, LineGraph, LineId, LineKind, NodeId};
+use proptest::prelude::*;
+
+fn bit(unc: Unc) -> usize {
+    usize::from(unc.value())
+}
+
+fn swap_bits(mask: u8) -> u8 {
+    ((mask & 0b01) << 1) | ((mask & 0b10) >> 1)
+}
+
+/// A mark in the reference engine, mirroring the old `Mark` struct.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RefMark {
+    line: LineId,
+    frame: Frame,
+    unc: Unc,
+    parents: Vec<u32>,
+    min_frame: Frame,
+    axiom: bool,
+}
+
+mod sparse_ref {
+    use super::*;
+
+    pub struct SparseEngine<'c> {
+        circuit: &'c Circuit,
+        lines: &'c LineGraph,
+        config: FiresConfig,
+        pub window: Window,
+        pub marks: Vec<RefMark>,
+        index: HashMap<(LineId, Frame), [Option<u32>; 2]>,
+        queue: VecDeque<u32>,
+        pub unobs: HashMap<(LineId, Frame), Vec<u32>>,
+        uqueue: VecDeque<(LineId, Frame)>,
+        const_frames_done: Vec<Frame>,
+        truncated: bool,
+        pub stats: EngineStats,
+        dist: HashMap<LineId, Vec<u32>>,
+    }
+
+    impl<'c> SparseEngine<'c> {
+        pub fn new(circuit: &'c Circuit, lines: &'c LineGraph, config: FiresConfig) -> Self {
+            let window = Window::new(config.max_frames.max(1));
+            let mut s = SparseEngine {
+                circuit,
+                lines,
+                config,
+                window,
+                marks: Vec::new(),
+                index: HashMap::new(),
+                queue: VecDeque::new(),
+                unobs: HashMap::new(),
+                uqueue: VecDeque::new(),
+                const_frames_done: Vec::new(),
+                truncated: false,
+                stats: EngineStats::default(),
+                dist: HashMap::new(),
+            };
+            s.ensure_const_axioms();
+            s
+        }
+
+        pub fn assume(&mut self, line: LineId, unc: Unc) {
+            self.add_mark(line, 0, unc, Vec::new(), false);
+        }
+
+        pub fn propagate(&mut self) {
+            self.run_uncontrollability();
+            self.run_unobservability();
+        }
+
+        pub fn mark_at(&self, line: LineId, frame: Frame, unc: Unc) -> Option<u32> {
+            self.index.get(&(line, frame)).and_then(|e| e[bit(unc)])
+        }
+
+        fn run_uncontrollability(&mut self) {
+            while let Some(id) = self.queue.pop_front() {
+                if self.truncated {
+                    self.queue.clear();
+                    break;
+                }
+                self.process_mark(id);
+            }
+        }
+
+        fn add_mark(
+            &mut self,
+            line: LineId,
+            frame: Frame,
+            unc: Unc,
+            parents: Vec<u32>,
+            axiom: bool,
+        ) -> Option<u32> {
+            if !self.window.contains(frame) {
+                if !self.window.try_extend_to(frame) {
+                    return None;
+                }
+                self.stats.window_extensions += 1;
+                self.ensure_const_axioms();
+            }
+            let entry = self.index.entry((line, frame)).or_default();
+            if let Some(existing) = entry[bit(unc)] {
+                return Some(existing);
+            }
+            if self.marks.len() >= self.config.mark_budget {
+                self.truncated = true;
+                return None;
+            }
+            let min_frame = parents
+                .iter()
+                .map(|&p| self.marks[p as usize].min_frame)
+                .fold(frame, Frame::min);
+            let id = self.marks.len() as u32;
+            self.marks.push(RefMark {
+                line,
+                frame,
+                unc,
+                parents,
+                min_frame,
+                axiom,
+            });
+            self.index.get_mut(&(line, frame)).expect("just inserted")[bit(unc)] = Some(id);
+            self.queue.push_back(id);
+            self.stats.enqueued += 1;
+            self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+            Some(id)
+        }
+
+        fn ensure_const_axioms(&mut self) {
+            let consts: Vec<(NodeId, Unc)> = self
+                .circuit
+                .node_ids()
+                .filter_map(|n| match self.circuit.node(n).kind() {
+                    GateKind::Const0 => Some((n, Unc::One)),
+                    GateKind::Const1 => Some((n, Unc::Zero)),
+                    _ => None,
+                })
+                .collect();
+            if consts.is_empty() {
+                return;
+            }
+            for t in self.window.leftmost()..=self.window.rightmost() {
+                if self.const_frames_done.contains(&t) {
+                    continue;
+                }
+                self.const_frames_done.push(t);
+                for &(n, unc) in &consts {
+                    let stem = self.lines.stem_of(n);
+                    self.add_mark(stem, t, unc, Vec::new(), true);
+                }
+            }
+        }
+
+        fn process_mark(&mut self, id: u32) {
+            let (line_id, frame, unc) = {
+                let m = &self.marks[id as usize];
+                (m.line, m.frame, m.unc)
+            };
+            let lines = self.lines;
+            let line = lines.line(line_id);
+            for &b in line.branches() {
+                self.add_mark(b, frame, unc, vec![id], false);
+            }
+            match line.kind() {
+                LineKind::Branch { node, .. } => {
+                    let stem = self.lines.stem_of(node);
+                    self.add_mark(stem, frame, unc, vec![id], false);
+                }
+                LineKind::Stem { node } => {
+                    let kind = self.circuit.node(node).kind();
+                    if kind == GateKind::Dff {
+                        let d = self.lines.in_line(node, 0);
+                        self.add_mark(d, frame - 1, unc, vec![id], false);
+                    } else if kind.is_logic() {
+                        self.eval_gate_backward(node, frame);
+                    }
+                }
+            }
+            if let Some((sink, _)) = line.sink_pin() {
+                match self.circuit.node(sink).kind() {
+                    GateKind::Dff => {
+                        let q = self.lines.stem_of(sink);
+                        self.add_mark(q, frame + 1, unc, vec![id], false);
+                    }
+                    k if k.is_logic() => {
+                        self.eval_gate_forward(sink, frame);
+                        self.eval_gate_backward(sink, frame);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        fn possible_mask(&self, line: LineId, frame: Frame) -> u8 {
+            let mut mask = 0b11;
+            if self.mark_at(line, frame, Unc::Zero).is_some() {
+                mask &= !0b01;
+            }
+            if self.mark_at(line, frame, Unc::One).is_some() {
+                mask &= !0b10;
+            }
+            mask
+        }
+
+        fn eval_gate_forward(&mut self, gate: NodeId, frame: Frame) {
+            let kind = self.circuit.node(gate).kind();
+            let lines = self.lines;
+            let out = lines.stem_of(gate);
+            let ins: Vec<LineId> = lines.in_lines(gate).to_vec();
+            let inv = kind.is_inverting();
+            match kind {
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let c = kind.controlling_value().expect("controlling");
+                    if let Some(&blocked) = ins
+                        .iter()
+                        .find(|&&i| self.mark_at(i, frame, Unc::cannot_be(!c)).is_some())
+                    {
+                        let m = self
+                            .mark_at(blocked, frame, Unc::cannot_be(!c))
+                            .expect("just found");
+                        self.add_mark(out, frame, Unc::cannot_be(!c ^ inv), vec![m], false);
+                    }
+                    let all: Option<Vec<u32>> = ins
+                        .iter()
+                        .map(|&i| self.mark_at(i, frame, Unc::cannot_be(c)))
+                        .collect();
+                    if let Some(parents) = all {
+                        self.add_mark(out, frame, Unc::cannot_be(c ^ inv), parents, false);
+                    }
+                }
+                GateKind::Not | GateKind::Buf => {
+                    for unc in [Unc::Zero, Unc::One] {
+                        if let Some(m) = self.mark_at(ins[0], frame, unc) {
+                            let v = unc.value() ^ inv;
+                            self.add_mark(out, frame, Unc::cannot_be(v), vec![m], false);
+                        }
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let mut achievable: u8 = 0b01;
+                    let mut support: Vec<u32> = Vec::new();
+                    let mut contradiction = false;
+                    for &i in &ins {
+                        let pm = self.possible_mask(i, frame);
+                        for unc in [Unc::Zero, Unc::One] {
+                            if let Some(m) = self.mark_at(i, frame, unc) {
+                                support.push(m);
+                            }
+                        }
+                        achievable = match pm {
+                            0b00 => {
+                                contradiction = true;
+                                break;
+                            }
+                            0b01 => achievable,
+                            0b10 => swap_bits(achievable),
+                            _ => achievable | swap_bits(achievable),
+                        };
+                    }
+                    if contradiction {
+                        achievable = 0;
+                    }
+                    for w in [false, true] {
+                        let reachable = achievable >> usize::from(w) & 1 == 1;
+                        if !reachable && !support.is_empty() {
+                            self.add_mark(
+                                out,
+                                frame,
+                                Unc::cannot_be(w ^ inv),
+                                support.clone(),
+                                false,
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn eval_gate_backward(&mut self, gate: NodeId, frame: Frame) {
+            let kind = self.circuit.node(gate).kind();
+            let lines = self.lines;
+            let out = lines.stem_of(gate);
+            let ins: Vec<LineId> = lines.in_lines(gate).to_vec();
+            let inv = kind.is_inverting();
+            match kind {
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let c = kind.controlling_value().expect("controlling");
+                    if let Some(m) = self.mark_at(out, frame, Unc::cannot_be(c ^ inv)) {
+                        for &i in &ins {
+                            self.add_mark(i, frame, Unc::cannot_be(c), vec![m], false);
+                        }
+                    }
+                    if let Some(m) = self.mark_at(out, frame, Unc::cannot_be(!c ^ inv)) {
+                        for (k, &i) in ins.iter().enumerate() {
+                            let siblings: Option<Vec<u32>> = ins
+                                .iter()
+                                .enumerate()
+                                .filter(|&(j, _)| j != k)
+                                .map(|(_, &j)| self.mark_at(j, frame, Unc::cannot_be(c)))
+                                .collect();
+                            if let Some(mut parents) = siblings {
+                                parents.push(m);
+                                self.add_mark(i, frame, Unc::cannot_be(!c), parents, false);
+                            }
+                        }
+                    }
+                }
+                GateKind::Not | GateKind::Buf => {
+                    for w in [false, true] {
+                        if let Some(m) = self.mark_at(out, frame, Unc::cannot_be(w)) {
+                            self.add_mark(ins[0], frame, Unc::cannot_be(w ^ inv), vec![m], false);
+                        }
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    for w_out in [false, true] {
+                        let Some(m) = self.mark_at(out, frame, Unc::cannot_be(w_out)) else {
+                            continue;
+                        };
+                        let w_core = w_out ^ inv;
+                        for (k, &i) in ins.iter().enumerate() {
+                            let mut parity = false;
+                            let mut parents = vec![m];
+                            let mut pinned = true;
+                            for (j, &lj) in ins.iter().enumerate() {
+                                if j == k {
+                                    continue;
+                                }
+                                match self.possible_mask(lj, frame) {
+                                    0b01 => {
+                                        parents
+                                            .push(self.mark_at(lj, frame, Unc::One).expect("mask"));
+                                    }
+                                    0b10 => {
+                                        parity ^= true;
+                                        parents.push(
+                                            self.mark_at(lj, frame, Unc::Zero).expect("mask"),
+                                        );
+                                    }
+                                    _ => {
+                                        pinned = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if pinned {
+                                let banned = w_core ^ parity;
+                                self.add_mark(i, frame, Unc::cannot_be(banned), parents, false);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn run_unobservability(&mut self) {
+            self.seed_blocked_pins();
+            self.seed_dangling_lines();
+            while let Some((line, frame)) = self.uqueue.pop_front() {
+                self.process_unobs(line, frame);
+            }
+        }
+
+        fn seed_blocked_pins(&mut self) {
+            for mid in 0..self.marks.len() as u32 {
+                let (line_id, frame, unc) = {
+                    let m = &self.marks[mid as usize];
+                    (m.line, m.frame, m.unc)
+                };
+                let Some((sink, pin)) = self.lines.line(line_id).sink_pin() else {
+                    continue;
+                };
+                let kind = self.circuit.node(sink).kind();
+                let Some(c) = kind.controlling_value() else {
+                    continue;
+                };
+                if unc != Unc::cannot_be(!c) {
+                    continue;
+                }
+                let ins: Vec<LineId> = self.lines.in_lines(sink).to_vec();
+                for (j, &other) in ins.iter().enumerate() {
+                    if j != pin {
+                        self.add_unobs(other, frame, vec![mid]);
+                    }
+                }
+            }
+        }
+
+        fn seed_dangling_lines(&mut self) {
+            let dangling: Vec<LineId> = self
+                .lines
+                .line_ids()
+                .filter(|&l| {
+                    let line = self.lines.line(l);
+                    line.is_stem()
+                        && line.branches().is_empty()
+                        && line.sink_pin().is_none()
+                        && !self.circuit.is_output(line.driver())
+                })
+                .collect();
+            for l in dangling {
+                for t in self.window.leftmost()..=self.window.rightmost() {
+                    self.add_unobs(l, t, Vec::new());
+                }
+            }
+        }
+
+        fn add_unobs(&mut self, line: LineId, frame: Frame, blame: Vec<u32>) {
+            if !self.window.contains(frame) {
+                if !self.window.try_extend_to(frame) {
+                    return;
+                }
+                self.stats.window_extensions += 1;
+            }
+            if blame.len() > self.config.blame_cap {
+                self.stats.blame_cap_rejections += 1;
+                return;
+            }
+            if self.unobs.contains_key(&(line, frame)) {
+                return;
+            }
+            let mut blame = blame;
+            blame.sort_unstable();
+            blame.dedup();
+            self.unobs.insert((line, frame), blame);
+            self.uqueue.push_back((line, frame));
+            self.stats.enqueued += 1;
+            self.stats.max_unobs_queue_depth =
+                self.stats.max_unobs_queue_depth.max(self.uqueue.len());
+        }
+
+        fn process_unobs(&mut self, line_id: LineId, frame: Frame) {
+            let line = self.lines.line(line_id);
+            match line.kind() {
+                LineKind::Branch { node, .. } => self.try_stem_merge(node, frame),
+                LineKind::Stem { node } => match self.circuit.node(node).kind() {
+                    GateKind::Dff => {
+                        let blame = self.unobs[&(line_id, frame)].clone();
+                        let d = self.lines.in_line(node, 0);
+                        self.add_unobs(d, frame - 1, blame);
+                    }
+                    k if k.is_logic() => {
+                        let blame = self.unobs[&(line_id, frame)].clone();
+                        let ins: Vec<LineId> = self.lines.in_lines(node).to_vec();
+                        for i in ins {
+                            self.add_unobs(i, frame, blame.clone());
+                        }
+                    }
+                    _ => {}
+                },
+            }
+        }
+
+        fn try_stem_merge(&mut self, node: NodeId, frame: Frame) {
+            if self.circuit.is_output(node) {
+                return;
+            }
+            let stem = self.lines.stem_of(node);
+            if self.unobs.contains_key(&(stem, frame)) {
+                return;
+            }
+            let branches: Vec<LineId> = self.lines.line(stem).branches().to_vec();
+            let mut blame: Vec<u32> = Vec::new();
+            for &b in &branches {
+                match self.unobs.get(&(b, frame)) {
+                    Some(info) => blame.extend_from_slice(info),
+                    None => return,
+                }
+            }
+            blame.sort_unstable();
+            blame.dedup();
+            if blame.len() > self.config.blame_cap {
+                self.stats.blame_cap_rejections += 1;
+                return;
+            }
+            for &mid in &blame {
+                let (p_line, j) = {
+                    let m = &self.marks[mid as usize];
+                    (m.line, m.frame)
+                };
+                if j < frame {
+                    continue;
+                }
+                let dist = self
+                    .dist
+                    .entry(p_line)
+                    .or_insert_with(|| min_ff_distance_rev(self.circuit, self.lines, p_line));
+                let allowed = (j - frame) as u32;
+                if dist[stem.index()] <= allowed {
+                    return;
+                }
+            }
+            self.add_unobs(stem, frame, blame);
+        }
+    }
+}
+
+/// Runs the dense engine with a (possibly dirty) scratch pool and asserts
+/// it is observably identical to the sparse reference on the same input.
+fn assert_equivalent(
+    circuit: &Circuit,
+    lines: &LineGraph,
+    config: FiresConfig,
+    stem: LineId,
+    unc: Unc,
+    scratch: ProcessScratch,
+) -> Result<ProcessScratch, TestCaseError> {
+    let mut reference = sparse_ref::SparseEngine::new(circuit, lines, config);
+    reference.assume(stem, unc);
+    reference.propagate();
+
+    let mut dense = Implications::with_scratch(circuit, lines, config, scratch);
+    dense.assume(stem, unc);
+    dense.propagate();
+
+    prop_assert_eq!(dense.window().leftmost(), reference.window.leftmost());
+    prop_assert_eq!(dense.window().rightmost(), reference.window.rightmost());
+
+    // Mark-for-mark identity: same derivation order, parents, min-frames.
+    prop_assert_eq!(dense.num_marks(), reference.marks.len());
+    for id in dense.mark_ids() {
+        let got = dense.mark(id);
+        let want = &reference.marks[id.index()];
+        prop_assert_eq!(got.line, want.line);
+        prop_assert_eq!(got.frame, want.frame);
+        prop_assert_eq!(got.unc, want.unc);
+        prop_assert_eq!(got.min_frame, want.min_frame);
+        prop_assert_eq!(got.axiom, want.axiom);
+        let got_parents: Vec<u32> = got.parents.iter().map(|p| p.index() as u32).collect();
+        prop_assert_eq!(&got_parents, &want.parents);
+    }
+
+    // Identical uncontrollability indicator sets, probed point-wise.
+    for l in lines.line_ids() {
+        for t in reference.window.leftmost()..=reference.window.rightmost() {
+            for u in [Unc::Zero, Unc::One] {
+                let want = reference.mark_at(l, t, u);
+                let got = dense.unc_mark(l, t, u).map(|m| m.index() as u32);
+                prop_assert_eq!(got, want, "unc disagreement at {:?}@{} {:?}", l, t, u);
+            }
+        }
+    }
+
+    // Identical unobservability sets with identical sorted blame.
+    let dense_unobs: Vec<((LineId, Frame), Vec<u32>)> = dense
+        .unobs_iter()
+        .map(|(l, t, blame)| ((l, t), blame.iter().map(|m| m.index() as u32).collect()))
+        .collect();
+    prop_assert_eq!(dense_unobs.len(), reference.unobs.len());
+    for ((l, t), blame) in &dense_unobs {
+        let want = reference.unobs.get(&(*l, *t));
+        prop_assert_eq!(Some(blame), want, "unobs disagreement at {:?}@{}", l, t);
+    }
+
+    prop_assert_eq!(dense.stats(), reference.stats);
+    Ok(dense.into_scratch())
+}
+
+fn random_case(seed: u64, frames: usize) -> (Circuit, FiresConfig) {
+    let circuit = random_sequential(&RandomConfig {
+        seed,
+        inputs: 1 + (seed % 5) as usize,
+        gates: 4 + (seed % 29) as usize,
+        ffs: (seed % 5) as usize,
+        outputs: 1 + (seed % 3) as usize,
+        fig3: (seed % 2) as usize,
+        chains: ((seed % 2) as usize, 1 + (seed % 3) as usize),
+        conflicts: (seed % 2) as usize,
+    });
+    (circuit, FiresConfig::with_max_frames(frames))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn dense_engine_matches_sparse_reference(
+        seed in 0u64..10_000,
+        frames in 1usize..6,
+        stem_pick in 0usize..8,
+        assume_one in 0u8..2,
+    ) {
+        let (circuit, config) = random_case(seed, frames);
+        let lines = LineGraph::build(&circuit);
+        let stems: Vec<LineId> = lines.fanout_stems(&circuit).collect();
+        prop_assume!(!stems.is_empty());
+        let stem = stems[stem_pick % stems.len()];
+        let unc = if assume_one == 1 { Unc::One } else { Unc::Zero };
+        assert_equivalent(&circuit, &lines, config, stem, unc, ProcessScratch::default())?;
+    }
+
+    /// The scratch pool must never leak state between runs: chain three
+    /// unrelated random cases through one pool and hold equivalence with
+    /// a from-scratch sparse reference each time.
+    #[test]
+    fn scratch_pool_reuse_stays_equivalent(
+        seed_a in 0u64..10_000,
+        seed_b in 0u64..10_000,
+        seed_c in 0u64..10_000,
+        frames in 1usize..5,
+    ) {
+        let mut scratch = ProcessScratch::default();
+        for seed in [seed_a, seed_b, seed_c] {
+            let (circuit, config) = random_case(seed, frames);
+            let lines = LineGraph::build(&circuit);
+            let stems: Vec<LineId> = lines.fanout_stems(&circuit).collect();
+            let Some(&stem) = stems.first() else { continue };
+            let unc = if seed % 2 == 0 { Unc::Zero } else { Unc::One };
+            scratch = assert_equivalent(&circuit, &lines, config, stem, unc, scratch)?;
+        }
+    }
+}

@@ -371,7 +371,7 @@ fn execute(
                 task,
                 stem,
                 ctxs.entry(task)
-                    .or_insert_with(|| StemCtx::with_budget(budgets[task])),
+                    .or_insert_with(|| StemCtx::builder().budget(budgets[task]).build()),
                 budgets[task],
                 rc,
             );
@@ -529,8 +529,9 @@ fn run_unit(
         // again, and exhaustion is deterministic by design.
         if record.status == UnitStatus::Panic && attempt < rc.retries {
             // The panic may have left the shared implication caches
-            // mid-update; rebuild them before the next attempt.
-            *ctx = StemCtx::with_budget(budget);
+            // mid-update; rebuild them (and drop the scratch pool)
+            // before the next attempt.
+            *ctx = StemCtx::builder().budget(budget).build();
             events.push(EventRecord {
                 task,
                 stem,

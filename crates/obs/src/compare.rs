@@ -69,13 +69,24 @@ pub struct MetricDelta {
 }
 
 /// Comparison policy.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CompareConfig {
     /// Maximum allowed increase, in percent, before a metric counts as a
     /// regression.
     pub max_regress_pct: f64,
     /// Compare wall-clock-derived metrics too (off for CI determinism).
     pub include_time: bool,
+    /// Histogram names (e.g. `core.stem_micros`) whose `p95` stays gated
+    /// even when `include_time` is off, against
+    /// [`max_time_regress_pct`](Self::max_time_regress_pct). The p95 of a
+    /// per-stem wall-clock histogram is stable enough on a quiet runner to
+    /// catch order-of-magnitude slowdowns that the deterministic counters
+    /// cannot see (e.g. an accidental quadratic rebuild per stem), while
+    /// the generous separate threshold keeps clock noise from flaking.
+    pub gated_time_hists: Vec<String>,
+    /// Allowed increase, in percent, for the gated time histograms'
+    /// `p95` metrics. Deliberately looser than `max_regress_pct`.
+    pub max_time_regress_pct: f64,
 }
 
 impl Default for CompareConfig {
@@ -83,6 +94,8 @@ impl Default for CompareConfig {
         CompareConfig {
             max_regress_pct: 10.0,
             include_time: true,
+            gated_time_hists: Vec::new(),
+            max_time_regress_pct: 100.0,
         }
     }
 }
@@ -174,7 +187,17 @@ pub fn compare_reports(
     for name in names {
         let b = base.get(name).copied();
         let c = cand.get(name).copied();
-        let (pct, status) = if !cfg.include_time && is_time_metric(name) {
+        let time_gated = !cfg.include_time
+            && cfg
+                .gated_time_hists
+                .iter()
+                .any(|h| *name == format!("hist.{h}.p95"));
+        let threshold = if time_gated {
+            cfg.max_time_regress_pct
+        } else {
+            cfg.max_regress_pct
+        };
+        let (pct, status) = if !cfg.include_time && is_time_metric(name) && !time_gated {
             (None, DeltaStatus::SkippedTime)
         } else {
             match (b, c) {
@@ -192,7 +215,7 @@ pub fn compare_reports(
                         (None, status)
                     } else {
                         let pct = (c - b) / b * 100.0;
-                        let status = if pct > cfg.max_regress_pct {
+                        let status = if pct > threshold {
                             DeltaStatus::Regressed
                         } else if c < b {
                             DeltaStatus::Improved
@@ -319,6 +342,53 @@ mod tests {
             .find(|d| d.name == "counter.core.marks_created")
             .unwrap();
         assert!((d.pct.unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gated_time_hist_p95_survives_skip_time() {
+        let mut base = report(100, &[5], 1.0);
+        base.metrics.observe("core.stem_micros", 100);
+        let mut cand = report(100, &[5], 1.0);
+        cand.metrics.observe("core.stem_micros", 500); // 5x slower stems
+        let cfg = CompareConfig {
+            include_time: false,
+            gated_time_hists: vec!["core.stem_micros".into()],
+            max_time_regress_pct: 200.0,
+            ..CompareConfig::default()
+        };
+        let out = compare_reports(&base, &cand, &cfg);
+        assert!(!out.passed(), "5x p95 must trip a 200% time gate");
+        let p95 = out
+            .deltas
+            .iter()
+            .find(|d| d.name == "hist.core.stem_micros.p95")
+            .unwrap();
+        assert_eq!(p95.status, DeltaStatus::Regressed);
+        // The rest of the wall-clock metrics (sum, mean, total_seconds,
+        // phases) stay skipped.
+        for d in &out.deltas {
+            if is_time_metric(&d.name) && d.name != "hist.core.stem_micros.p95" {
+                assert_eq!(d.status, DeltaStatus::SkippedTime, "{}", d.name);
+            }
+        }
+        // Within the generous band the gate passes even though the
+        // strict counter threshold would have tripped.
+        let mut mild = report(100, &[5], 1.0);
+        mild.metrics.observe("core.stem_micros", 150); // +50%
+        assert!(compare_reports(&base, &mild, &cfg).passed());
+    }
+
+    #[test]
+    fn ungated_runs_keep_skipping_all_time_metrics() {
+        let mut base = report(100, &[5], 1.0);
+        base.metrics.observe("core.stem_micros", 100);
+        let mut cand = report(100, &[5], 1.0);
+        cand.metrics.observe("core.stem_micros", 10_000);
+        let cfg = CompareConfig {
+            include_time: false,
+            ..CompareConfig::default()
+        };
+        assert!(compare_reports(&base, &cand, &cfg).passed());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! fires profile <report.json|journal> [--top K] [--folded PATH] [--json]
 //! fires compare <baseline.json> <candidate.json>
 //!               [--max-regress-pct P] [--skip-time]
+//!               [--gate-time-hist-p95 HIST]... [--max-time-regress-pct P]
 //! fires serve   --socket PATH --state-dir DIR [--server-workers N]
 //!               [--cache-bytes N] [--max-queue N] [--tenant-active N]
 //!               [--default-steps N] [--tenant-steps TENANT=N]...
@@ -132,6 +133,7 @@ usage:
   fires profile <report.json|journal> [--top K] [--folded PATH] [--json]
   fires compare <baseline.json> <candidate.json>
                 [--max-regress-pct P] [--skip-time]
+                [--gate-time-hist-p95 HIST]... [--max-time-regress-pct P]
   fires serve   --socket PATH --state-dir DIR [--server-workers N]
                 [--cache-bytes N] [--max-queue N] [--tenant-active N]
                 [--default-steps N] [--tenant-steps TENANT=N]...
@@ -873,6 +875,14 @@ fn run_compare(args: &[String]) -> Result<usize, String> {
     if take_flag(&mut args, "--skip-time") {
         config.include_time = false;
     }
+    // Repeatable: each occurrence gates one histogram's p95 through
+    // --skip-time at the (looser) time threshold.
+    while let Some(h) = take_value(&mut args, "--gate-time-hist-p95")? {
+        config.gated_time_hists.push(h);
+    }
+    if let Some(p) = take_value(&mut args, "--max-time-regress-pct")? {
+        config.max_time_regress_pct = parse_number(&p, "--max-time-regress-pct")?;
+    }
     if args.len() != 2 {
         return Err(format!(
             "compare needs exactly <baseline.json> <candidate.json>\n{USAGE}"
@@ -943,17 +953,24 @@ fn render_compare(outcome: &CompareOutcome, config: &CompareConfig) -> String {
         names.sort_unstable();
         let _ = writeln!(out, "{heading} ({}): {}", names.len(), names.join(", "));
     }
+    let time_note = if config.include_time {
+        String::new()
+    } else if config.gated_time_hists.is_empty() {
+        "; time metrics skipped".into()
+    } else {
+        format!(
+            "; time metrics skipped except {} p95 (threshold {:.1}%)",
+            config.gated_time_hists.join(", "),
+            config.max_time_regress_pct
+        )
+    };
     let _ = writeln!(
         out,
         "{} metric(s) compared, {} regressed (threshold {:.1}%{})",
         outcome.compared(),
         outcome.regressions(),
         config.max_regress_pct,
-        if config.include_time {
-            ""
-        } else {
-            "; time metrics skipped"
-        },
+        time_note,
     );
     out
 }
@@ -1247,6 +1264,7 @@ mod tests {
         let config = CompareConfig {
             max_regress_pct: 10.0,
             include_time: false,
+            ..CompareConfig::default()
         };
         let outcome = compare_reports(&base, &cand, &config);
         let expected = "\
@@ -1265,6 +1283,31 @@ gone (1): counter.gone.counter
 4 metric(s) compared, 3 regressed (threshold 10.0%; time metrics skipped)
 ";
         assert_eq!(render_compare(&outcome, &config), expected);
+    }
+
+    /// With a gated time histogram the summary names the exception and
+    /// its threshold; without one the wording is unchanged (held by the
+    /// golden test above).
+    #[test]
+    fn compare_summary_names_gated_time_hists() {
+        let mut base = RunReport::new("fires-bench/table2", "s27");
+        base.metrics.observe("core.stem_micros", 100);
+        let mut cand = RunReport::new("fires-bench/table2", "s27");
+        cand.metrics.observe("core.stem_micros", 120);
+        let config = CompareConfig {
+            include_time: false,
+            gated_time_hists: vec!["core.stem_micros".into()],
+            max_time_regress_pct: 200.0,
+            ..CompareConfig::default()
+        };
+        let outcome = compare_reports(&base, &cand, &config);
+        let rendered = render_compare(&outcome, &config);
+        assert!(
+            rendered
+                .contains("time metrics skipped except core.stem_micros p95 (threshold 200.0%)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("hist.core.stem_micros.p95"), "{rendered}");
     }
 
     /// Movement listings are name-sorted even if the delta order ever

@@ -766,7 +766,12 @@ impl Inner {
                 j.set("seq", seq)
                     .set("epoch_seconds", epoch)
                     .set("status", if self.draining() { "draining" } else { "ok" });
-                let _ = std::fs::write(&path, format!("{}\n", j.to_compact()));
+                // Write-then-rename: a reader polling the file must
+                // never observe a truncated beat.
+                let tmp = self.cfg.state_dir.join("heartbeat.json.tmp");
+                if std::fs::write(&tmp, format!("{}\n", j.to_compact())).is_ok() {
+                    let _ = std::fs::rename(&tmp, &path);
+                }
             }
             self.lock().metrics.incr(names::HEARTBEATS, 1);
             // Sleep in short slices so shutdown is not delayed by a
