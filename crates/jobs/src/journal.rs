@@ -9,7 +9,7 @@
 //! ```json
 //! {"kind":"header","schema":2,"spec":{...},"tasks":[{"circuit":"s27","hash":"93ab...","stems":9}]}
 //! {"kind":"unit","task":0,"stem":3,"status":"ok","faults":[[12,1,0,0]],"marks":41,"frames":5,"retries":0,"seconds":0.002,"phases":[["implication",0.001]],"metrics":{...}}
-//! {"kind":"event","task":0,"stem":4,"attempt":0,"what":"unit-retry","detail":"attempt panicked; caches rebuilt"}
+//! {"kind":"event","seq":0,"task":0,"stem":4,"attempt":0,"what":"unit-retry","detail":"attempt panicked; caches rebuilt"}
 //! {"kind":"unit","task":0,"stem":4,"status":"panic","faults":[],"marks":0,"frames":0,"retries":1,"seconds":0.001,"phases":[],"metrics":{...}}
 //! ```
 //!
@@ -56,7 +56,13 @@ use crate::spec::{CampaignSpec, ResolvedTask};
 /// kinds, so [`read`] accepts both (see [`JOURNAL_SCHEMA_MIN`]); note a
 /// schema-2 journal *resumed* by this build gains progress records and
 /// is no longer readable by schema-2-only builds.
-pub const JOURNAL_SCHEMA: u64 = 3;
+/// Schema 4 added the monotonic `seq` field on `event` records —
+/// assigned by the [`Journal`] at append time and continued across
+/// resumes — so interleaved retry events from concurrent workers can be
+/// totally ordered on replay. Older journals' events read back with
+/// `seq` 0 (see [`EventRecord::seq`]); a resumed older journal gains
+/// sequenced events from 1 onward.
+pub const JOURNAL_SCHEMA: u64 = 4;
 
 /// Oldest journal schema [`read`] still accepts.
 pub const JOURNAL_SCHEMA_MIN: u64 = 2;
@@ -385,6 +391,12 @@ fn unit_from_json(j: &Json) -> Result<UnitRecord, JobError> {
 /// merge ignores events entirely.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EventRecord {
+    /// Monotonic per-journal sequence number (schema ≥ 4). Assigned by
+    /// [`Journal::append_event`] — the value a caller constructs is
+    /// overwritten at append time — and continued across resumes, so
+    /// events interleaved by concurrent workers are totally ordered on
+    /// replay. Events read from older journals carry 0.
+    pub seq: u64,
     /// Index into the header's task list.
     pub task: usize,
     /// Index into the task's canonical stem order.
@@ -400,6 +412,7 @@ pub struct EventRecord {
 fn event_to_json(e: &EventRecord) -> Json {
     let mut j = Json::object();
     j.set("kind", "event")
+        .set("seq", e.seq)
         .set("task", e.task as u64)
         .set("stem", e.stem as u64)
         .set("attempt", e.attempt)
@@ -421,6 +434,8 @@ fn event_from_json(j: &Json) -> Result<EventRecord, JobError> {
             .ok_or_else(|| JobError::journal(format!("event record field {name:?} missing")))
     };
     Ok(EventRecord {
+        // Absent before schema 4; 0 keeps old journals readable.
+        seq: j.get("seq").and_then(Json::as_u64).unwrap_or(0),
         task: int("task")? as usize,
         stem: int("stem")? as usize,
         attempt: int("attempt")?,
@@ -509,6 +524,8 @@ fn progress_from_json(j: &Json) -> Result<ProgressRecord, JobError> {
 pub struct Journal {
     out: BufWriter<File>,
     path: std::path::PathBuf,
+    /// Sequence number the next appended event record receives.
+    next_event_seq: u64,
 }
 
 impl Journal {
@@ -523,6 +540,7 @@ impl Journal {
         let mut j = Journal {
             out: BufWriter::new(file),
             path: path.to_path_buf(),
+            next_event_seq: 0,
         };
         j.append_line(&header_to_json(header))?;
         Ok(j)
@@ -539,6 +557,7 @@ impl Journal {
     /// fragment and is truncated away — the same line [`read`] drops.
     pub fn append_to(path: &Path) -> Result<Journal, JobError> {
         repair_torn_tail(path)?;
+        let next_event_seq = next_event_seq_of(path)?;
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -546,6 +565,7 @@ impl Journal {
         Ok(Journal {
             out: BufWriter::new(file),
             path: path.to_path_buf(),
+            next_event_seq,
         })
     }
 
@@ -555,9 +575,19 @@ impl Journal {
         self.append_line(&unit_to_json(unit))
     }
 
-    /// Appends one observability event record (see [`EventRecord`]).
-    pub fn append_event(&mut self, event: &EventRecord) -> Result<(), JobError> {
-        self.append_line(&event_to_json(event))
+    /// Appends one observability event record (see [`EventRecord`]),
+    /// stamping its `seq` with this journal's next sequence number —
+    /// whatever the caller put there is overwritten, so sequence
+    /// assignment has exactly one owner. Returns the assigned number.
+    pub fn append_event(&mut self, event: &EventRecord) -> Result<u64, JobError> {
+        let seq = self.next_event_seq;
+        let stamped = EventRecord {
+            seq,
+            ..event.clone()
+        };
+        self.append_line(&event_to_json(&stamped))?;
+        self.next_event_seq += 1;
+        Ok(seq)
     }
 
     /// Appends one progress heartbeat (see [`ProgressRecord`]).
@@ -628,6 +658,31 @@ fn repair_torn_tail(path: &Path) -> Result<(), JobError> {
             .map_err(|e| JobError::io(path, e))?;
     }
     Ok(())
+}
+
+/// The sequence number the next event appended to `path` should carry:
+/// one past the largest already journaled, or 0 for an event-free file.
+///
+/// Called after [`repair_torn_tail`], so every line parses. Lines are
+/// pre-filtered on the raw `"kind":"event"` byte string before the JSON
+/// parse — inside a JSON string value those quotes would be escaped, so
+/// the filter can only over-match (and the parse then disambiguates),
+/// never miss an event line our writer produced.
+fn next_event_seq_of(path: &Path) -> Result<u64, JobError> {
+    let text = std::fs::read_to_string(path).map_err(|e| JobError::io(path, e))?;
+    let mut next = 0u64;
+    for line in text.lines() {
+        if !line.contains("\"kind\":\"event\"") {
+            continue;
+        }
+        let Ok(j) = Json::parse(line) else { continue };
+        if j.get("kind").and_then(Json::as_str) != Some("event") {
+            continue;
+        }
+        let seq = j.get("seq").and_then(Json::as_u64).unwrap_or(0);
+        next = next.max(seq + 1);
+    }
+    Ok(next)
 }
 
 /// Everything read back from a journal file.
@@ -892,6 +947,7 @@ mod tests {
         let path = temp("exhausted");
         let mut j = Journal::create(&path, &sample_header()).unwrap();
         j.append_event(&EventRecord {
+            seq: 0,
             task: 0,
             stem: 5,
             attempt: 0,
@@ -965,7 +1021,7 @@ mod tests {
         drop(j);
         let text = std::fs::read_to_string(&path)
             .unwrap()
-            .replace("\"schema\":3", "\"schema\":2");
+            .replace("\"schema\":4", "\"schema\":2");
         assert!(text.contains("\"schema\":2"), "header must carry schema 2");
         std::fs::write(&path, text).unwrap();
         let back = read(&path).unwrap();
@@ -973,7 +1029,7 @@ mod tests {
         assert!(back.progress.is_empty());
         // Schema 1 predates the resumable journal and is refused, as is
         // anything newer than this build.
-        for bogus in ["\"schema\":1", "\"schema\":4"] {
+        for bogus in ["\"schema\":1", "\"schema\":5"] {
             let text = std::fs::read_to_string(&path)
                 .unwrap()
                 .replace("\"schema\":2", bogus);
@@ -987,6 +1043,56 @@ mod tests {
                 .replace(bogus, "\"schema\":2");
             std::fs::write(&path, text).unwrap();
         }
+    }
+
+    #[test]
+    fn schema_3_events_without_seq_read_back_as_zero() {
+        // A schema-3 build journaled events with no seq field; they must
+        // stay readable, carrying 0.
+        let path = temp("schema3-events");
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        let mut text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"schema\":4", "\"schema\":3");
+        text.push_str(
+            "{\"kind\":\"event\",\"task\":0,\"stem\":5,\"attempt\":0,\
+             \"what\":\"unit-retry\",\"detail\":\"old build\"}\n",
+        );
+        std::fs::write(&path, text).unwrap();
+        let back = read(&path).unwrap();
+        assert_eq!(back.events.len(), 1);
+        assert_eq!(back.events[0].seq, 0);
+        assert_eq!(back.events[0].what, "unit-retry");
+    }
+
+    #[test]
+    fn event_seqs_are_monotonic_and_survive_resume() {
+        let path = temp("event-seq");
+        let ev = |what: &str| EventRecord {
+            // A deliberately wrong caller-side seq: append_event owns
+            // sequence assignment and must overwrite it.
+            seq: 999,
+            task: 0,
+            stem: 1,
+            attempt: 0,
+            what: what.into(),
+            detail: String::new(),
+        };
+        let mut j = Journal::create(&path, &sample_header()).unwrap();
+        assert_eq!(j.append_event(&ev("first")).unwrap(), 0);
+        assert_eq!(j.append_event(&ev("second")).unwrap(), 1);
+        j.append(&sample_unit()).unwrap();
+        drop(j);
+        // A resume continues the numbering where the file left off.
+        let mut j2 = Journal::append_to(&path).unwrap();
+        assert_eq!(j2.append_event(&ev("third")).unwrap(), 2);
+        drop(j2);
+        let back = read(&path).unwrap();
+        let seqs: Vec<u64> = back.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(back.events[2].what, "third");
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub mod summary;
 pub use chaos::{site_roll, splitmix64, ChaosPlan};
 pub use error::JobError;
 pub use merge::{CampaignReport, TaskReport};
-pub use runner::{build_engines, resume, run, run_with_tasks, Injection, RunSummary, RunnerConfig};
+pub use runner::{
+    build_engines, resume, run, run_with_tasks, Injection, RunSummary, RunnerConfig, UnitObserver,
+};
 pub use spec::{CampaignSpec, ResolvedTask, TaskSpec};
 pub use summary::{JournalSummary, TaskProgress, WorstStem, WORST_STEMS_TOP};
 

@@ -433,6 +433,7 @@ mod tests {
             u.retries = 3;
         }
         retried.events.push(crate::journal::EventRecord {
+            seq: 0,
             task: 0,
             stem: 0,
             attempt: 0,

@@ -52,6 +52,34 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
+/// Hooks into per-unit execution milestones, for embedders that
+/// correlate runner activity with outside context (the `fires serve`
+/// request tracer). Every method has an empty default body, so an
+/// observer implements only what it needs; `None` in the config — the
+/// default — costs one branch per milestone and nothing else.
+///
+/// Methods are called from worker threads, concurrently; `token` is
+/// [`RunnerConfig::trace_token`], passed through verbatim so one
+/// process-wide observer can demultiplex runs without interior state
+/// in the `Copy` config.
+pub trait UnitObserver: Sync + std::fmt::Debug {
+    /// A worker claimed `(task, stem)` and is about to execute it.
+    fn unit_claimed(&self, token: u64, task: usize, stem: usize) {
+        let _ = (token, task, stem);
+    }
+
+    /// The unit reached its terminal outcome after `seconds` of
+    /// wall-clock (any status — the observer sees retries as one unit).
+    fn unit_finished(&self, token: u64, task: usize, stem: usize, seconds: f64) {
+        let _ = (token, task, stem, seconds);
+    }
+
+    /// The unit's terminal record is durably journaled (flushed).
+    fn unit_journaled(&self, token: u64, task: usize, stem: usize) {
+        let _ = (token, task, stem);
+    }
+}
+
 /// Knobs of one `run`/`resume` invocation (campaign contents live in the
 /// spec/journal, not here).
 #[derive(Clone, Copy, Debug)]
@@ -97,6 +125,17 @@ pub struct RunnerConfig {
     /// written when the invocation executed any units, so a finished
     /// campaign's last heartbeat shows `pending == 0`.
     pub progress_interval: Option<Duration>,
+    /// Observer notified at per-unit milestones (claim, finish,
+    /// journaled); `None` — the default — is zero-cost. A `&'static`
+    /// reference for the same reason as [`stop`](Self::stop): the
+    /// config stays `Copy` and embedders leak one process-lifetime
+    /// observer.
+    pub observer: Option<&'static dyn UnitObserver>,
+    /// Opaque token handed to every [`observer`](Self::observer) call,
+    /// so one shared observer can attribute milestones to the run that
+    /// produced them (`fires serve` passes the job key). Meaningless
+    /// without an observer.
+    pub trace_token: u64,
 }
 
 /// What the [`RunnerConfig::inject`] hook asks a unit to do.
@@ -122,6 +161,8 @@ impl Default for RunnerConfig {
             chaos: None,
             stop: None,
             progress_interval: Some(Duration::from_millis(500)),
+            observer: None,
+            trace_token: 0,
         }
     }
 }
@@ -365,6 +406,9 @@ fn execute(
                 return;
             }
             busy.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = rc.observer {
+                o.unit_claimed(rc.trace_token, task, stem);
+            }
             let (record, events) = run_unit(
                 &engines[task],
                 stem_ids[task][stem],
@@ -376,6 +420,9 @@ fn execute(
                 rc,
             );
             busy.fetch_sub(1, Ordering::Relaxed);
+            if let Some(o) = rc.observer {
+                o.unit_finished(rc.trace_token, task, stem, record.seconds);
+            }
             if record.status == UnitStatus::Panic {
                 // Terminal panic: quarantine the unit and rebuild the
                 // task's caches (the panic may have left them mid-update).
@@ -391,7 +438,9 @@ fn execute(
             retried.fetch_add(record.retries as usize, Ordering::Relaxed);
             executed.fetch_add(1, Ordering::Relaxed);
             for event in &events {
-                match append_with_retry(&journal, rc, task, stem, |j| j.append_event(event)) {
+                match append_with_retry(&journal, rc, task, stem, |j| {
+                    j.append_event(event).map(|_seq| ())
+                }) {
                     Ok(io_retries) => {
                         retried.fetch_add(io_retries as usize, Ordering::Relaxed);
                     }
@@ -408,6 +457,7 @@ fn execute(
                     // Journal the recovered degradation (best-effort: the
                     // unit record itself is already safe on disk).
                     let _ = lock_unpoisoned(&journal).append_event(&EventRecord {
+                        seq: 0,
                         task,
                         stem,
                         attempt: u64::from(io_retries),
@@ -421,6 +471,9 @@ fn execute(
                     *lock_unpoisoned(&failure) = Some(e);
                     return;
                 }
+            }
+            if let Some(o) = rc.observer {
+                o.unit_journaled(rc.trace_token, task, stem);
             }
             maybe_heartbeat();
         }
@@ -533,6 +586,7 @@ fn run_unit(
             // before the next attempt.
             *ctx = StemCtx::builder().budget(budget).build();
             events.push(EventRecord {
+                seq: 0,
                 task,
                 stem,
                 attempt: u64::from(attempt),
@@ -1016,6 +1070,55 @@ mod tests {
         assert!(second.complete());
         assert_eq!(second.skipped, 1);
         assert_eq!(crate::report(&path).unwrap().canonical_text(), baseline);
+    }
+
+    #[test]
+    fn observer_sees_every_unit_milestone_with_its_token() {
+        #[derive(Debug, Default)]
+        struct Counting {
+            claimed: AtomicUsize,
+            finished: AtomicUsize,
+            journaled: AtomicUsize,
+            bad_token: AtomicBool,
+        }
+        impl UnitObserver for Counting {
+            fn unit_claimed(&self, token: u64, _: usize, _: usize) {
+                if token != 42 {
+                    self.bad_token.store(true, Ordering::Relaxed);
+                }
+                self.claimed.fetch_add(1, Ordering::Relaxed);
+            }
+            fn unit_finished(&self, _: u64, _: usize, _: usize, seconds: f64) {
+                assert!(seconds >= 0.0);
+                self.finished.fetch_add(1, Ordering::Relaxed);
+            }
+            fn unit_journaled(&self, _: u64, _: usize, _: usize) {
+                self.journaled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let obs: &'static Counting = Box::leak(Box::new(Counting::default()));
+        let path = temp("observer");
+        let rc = RunnerConfig {
+            threads: 4,
+            observer: Some(obs),
+            trace_token: 42,
+            ..Default::default()
+        };
+        let summary = run(&small_spec(), &path, &rc).unwrap();
+        assert!(summary.complete());
+        let total = summary.executed;
+        assert_eq!(obs.claimed.load(Ordering::Relaxed), total);
+        assert_eq!(obs.finished.load(Ordering::Relaxed), total);
+        assert_eq!(obs.journaled.load(Ordering::Relaxed), total);
+        assert!(!obs.bad_token.load(Ordering::Relaxed));
+        // The observer is pure observability: the canonical report
+        // matches an unobserved run byte-for-byte.
+        let quiet = temp("observer-quiet");
+        run(&small_spec(), &quiet, &RunnerConfig::default()).unwrap();
+        assert_eq!(
+            crate::report(&path).unwrap().canonical_text(),
+            crate::report(&quiet).unwrap().canonical_text()
+        );
     }
 
     #[test]

@@ -83,6 +83,12 @@ pub struct JournalSummary {
     /// The newest journaled heartbeat, if any (carries throughput and
     /// worker occupancy of the writing process).
     pub last_progress: Option<ProgressRecord>,
+    /// Journaled `event` records (retries, journal IO faults, …).
+    pub events: usize,
+    /// Highest `seq` among the journal's events, if any were recorded.
+    /// Events written before schema 4 all carry seq 0, so a resumed old
+    /// journal reports `Some(0)` here rather than a fresh counter.
+    pub last_event_seq: Option<u64>,
     /// `true` when the journal's final line was torn and dropped.
     pub torn: bool,
 }
@@ -139,6 +145,8 @@ impl JournalSummary {
             latency_us,
             worst_stems,
             last_progress: contents.progress.last().cloned(),
+            events: contents.events.len(),
+            last_event_seq: contents.events.iter().map(|e| e.seq).max(),
             torn: contents.torn,
         }
     }
@@ -200,6 +208,12 @@ impl JournalSummary {
                 })
                 .collect();
             j.set("worst_stems", Json::Arr(worst));
+        }
+        if self.events > 0 {
+            j.set("events", self.events as u64);
+            if let Some(seq) = self.last_event_seq {
+                j.set("last_event_seq", seq);
+            }
         }
         if let Some(p) = &self.last_progress {
             let mut beat = Json::object();
@@ -296,6 +310,14 @@ impl JournalSummary {
                     Some(eta) => format!(", ETA {eta:.0}s"),
                     None => String::new(),
                 }
+            );
+        }
+        if self.events > 0 {
+            let _ = writeln!(
+                out,
+                "events: {} journaled (last seq {})",
+                self.events,
+                self.last_event_seq.unwrap_or(0),
             );
         }
         if self.torn {
@@ -395,6 +417,40 @@ mod tests {
             Some(worst[0].steps)
         );
         assert!(summary.render_watch().contains("worst stems:"));
+    }
+
+    #[test]
+    fn event_count_and_last_seq_surface_in_watch_and_json() {
+        let path = temp("events");
+        let spec = CampaignSpec::from_circuits("t", ["fig3"]);
+        run(&spec, &path, &RunnerConfig::default()).unwrap();
+        let mut contents = read(&path).unwrap();
+        // An untroubled run journals no events and renders no event line.
+        let quiet = JournalSummary::summarize(&contents);
+        assert_eq!(quiet.events, 0);
+        assert_eq!(quiet.last_event_seq, None);
+        assert!(!quiet.render_watch().contains("events:"));
+        assert!(quiet.to_json().get("events").is_none());
+        // Forge journaled events (a retry and a journal IO fault).
+        for (seq, what) in [(0u64, "unit-retry"), (1, "journal-retry")] {
+            contents.events.push(crate::journal::EventRecord {
+                seq,
+                task: 0,
+                stem: 0,
+                attempt: 1,
+                what: what.into(),
+                detail: "injected".into(),
+            });
+        }
+        let summary = JournalSummary::summarize(&contents);
+        assert_eq!(summary.events, 2);
+        assert_eq!(summary.last_event_seq, Some(1));
+        assert!(summary
+            .render_watch()
+            .contains("events: 2 journaled (last seq 1)"));
+        let json = summary.to_json();
+        assert_eq!(json.get("events").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("last_event_seq").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

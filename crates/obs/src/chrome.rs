@@ -162,6 +162,16 @@ fn base_event(ph: &str, name: &str, ts_us: u64, lane: u64) -> Json {
 /// labelled (`lane-0` is the first thread that produced a record —
 /// usually the orchestrator; workers follow in first-seen order).
 pub fn trace_events(records: &[TimedRecord]) -> Json {
+    trace_events_named(records, &[])
+}
+
+/// [`trace_events`] with caller-supplied lane names.
+///
+/// `lane_names` maps lane ids to track labels; lanes not listed keep
+/// the `lane-{n}` default. The serve layer uses this to label a
+/// request lane with its trace id (`request 7b1f…`), so the rendered
+/// track answers "whose submit is this" without opening the args.
+pub fn trace_events_named(records: &[TimedRecord], lane_names: &[(u64, &str)]) -> Json {
     let mut events = Vec::new();
     let mut lanes: Vec<u64> = records.iter().map(|r| r.lane).collect();
     lanes.sort_unstable();
@@ -169,7 +179,12 @@ pub fn trace_events(records: &[TimedRecord]) -> Json {
     for lane in lanes {
         let mut meta = Json::object();
         let mut args = Json::object();
-        args.set("name", format!("lane-{lane}"));
+        let label = lane_names
+            .iter()
+            .find(|(l, _)| *l == lane)
+            .map(|(_, n)| (*n).to_string())
+            .unwrap_or_else(|| format!("lane-{lane}"));
+        args.set("name", label);
         meta.set("name", "thread_name")
             .set("ph", "M")
             .set("pid", 1u64)
@@ -370,5 +385,40 @@ mod tests {
             doc.get("displayTimeUnit").and_then(Json::as_str),
             Some("ms")
         );
+    }
+
+    #[test]
+    fn named_lanes_override_the_default_label() {
+        let records = vec![
+            TimedRecord {
+                ts_us: 1,
+                lane: 0,
+                record: TraceRecord::Event {
+                    name: "submit",
+                    fields: vec![],
+                },
+            },
+            TimedRecord {
+                ts_us: 2,
+                lane: 1,
+                record: TraceRecord::Event {
+                    name: "unit",
+                    fields: vec![],
+                },
+            },
+        ];
+        let doc = trace_events_named(&records, &[(0, "request 7b1f")]);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let label = |i: usize| {
+            events[i]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        };
+        // Lane 0 takes the supplied name; lane 1 keeps the default.
+        assert_eq!(label(0), "request 7b1f");
+        assert_eq!(label(1), "lane-1");
     }
 }

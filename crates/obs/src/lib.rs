@@ -33,15 +33,17 @@ mod metrics;
 pub mod names;
 mod profile;
 mod report;
+pub mod series;
 mod timer;
 mod trace;
 
-pub use chrome::{install_chrome_trace, ChromeTraceSubscriber, TimedRecord};
+pub use chrome::{install_chrome_trace, trace_events_named, ChromeTraceSubscriber, TimedRecord};
 pub use compare::{compare_reports, CompareConfig, CompareOutcome, DeltaStatus, MetricDelta};
 pub use json::Json;
 pub use metrics::{Histogram, RunMetrics};
 pub use profile::{ProfileRule, RuleProfile, RuleSteps, StepDist, ALL_RULES};
 pub use report::{RunReport, SCHEMA_VERSION};
+pub use series::{prom_name, render_prometheus, SeriesRegistry};
 pub use timer::{PhaseClock, PhaseTimes};
 pub use trace::{
     emit_event, set_subscriber, subscriber, tracing_enabled, CollectingSubscriber, FieldValue,

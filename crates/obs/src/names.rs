@@ -54,6 +54,25 @@ pub const DRAIN_TIMEOUTS: &str = "serve.drain_timeouts";
 pub const HEARTBEATS: &str = "serve.heartbeats";
 /// Request lines rejected for exceeding the protocol line bound.
 pub const OVERSIZED_REQUESTS: &str = "serve.oversized_requests";
+/// Prometheus snapshot files written under `<state-dir>/metrics/`.
+pub const METRIC_SNAPSHOTS: &str = "serve.metric_snapshots";
+/// Flight-recorder dumps written (crash triggers plus `debug-dump`).
+pub const FLIGHT_DUMPS: &str = "serve.flight_dumps";
+/// Per-request Chrome trace files written under `<state-dir>/traces/`.
+pub const TRACES_WRITTEN: &str = "serve.traces_written";
+/// Queue depth at scrape time (exposition-only gauge; not in reports).
+pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Daemon uptime at scrape time (exposition-only gauge; not in reports).
+pub const UPTIME_SECONDS: &str = "serve.uptime_seconds";
+
+/// Labeled counter: submissions by `tenant`.
+pub const TENANT_SUBMISSIONS: &str = "serve.tenant.submissions";
+/// Labeled counter: completed jobs by `tenant`.
+pub const TENANT_COMPLETED: &str = "serve.tenant.completed";
+/// Labeled histogram: wall-clock per job (`tenant`, `job`), ms.
+pub const JOB_WALL_MS: &str = "serve.job.wall_ms";
+/// Labeled histogram: queue wait per job (`tenant`, `job`), ms.
+pub const JOB_QUEUE_WAIT_MS: &str = "serve.job.queue_wait_ms";
 
 /// Result-cache inserts that did not stick (injected ENOSPC or an entry
 /// over the whole byte budget); the job serves journal-only from then on.
@@ -95,6 +114,15 @@ mod tests {
             super::DRAIN_TIMEOUTS,
             super::HEARTBEATS,
             super::OVERSIZED_REQUESTS,
+            super::METRIC_SNAPSHOTS,
+            super::FLIGHT_DUMPS,
+            super::TRACES_WRITTEN,
+            super::QUEUE_DEPTH,
+            super::UPTIME_SECONDS,
+            super::TENANT_SUBMISSIONS,
+            super::TENANT_COMPLETED,
+            super::JOB_WALL_MS,
+            super::JOB_QUEUE_WAIT_MS,
             super::DEGRADED_CACHE_INSERT_FAILURES,
             super::DEGRADED_SLOW_SUBSCRIBERS,
             super::DEGRADED_DROPPED_PROGRESS,

@@ -1,0 +1,320 @@
+//! Prometheus text exposition over the metrics registry.
+//!
+//! [`RunMetrics`] keeps the canonical dotted names (`serve.cache_hits`)
+//! that CI greps out of reports; Prometheus requires `[a-zA-Z0-9_:]`
+//! metric names. The mangling therefore happens *here*, at render time
+//! — the registry, the reports and the journal never see the mangled
+//! form, so canonical outputs stay byte-identical whether or not
+//! anything ever scrapes the daemon.
+//!
+//! Two sources feed one exposition document:
+//!
+//! * the flat [`RunMetrics`] registry — counters render as `counter`,
+//!   maxima as `gauge`, histograms as `summary` (quantiles plus
+//!   `_sum`/`_count`, the closest native Prometheus shape for a
+//!   pre-aggregated log₂ histogram);
+//! * a [`SeriesRegistry`] of *labeled* series — the same three kinds
+//!   keyed additionally by label pairs (`tenant`, `job`), so per-tenant
+//!   and per-job attribution is a PromQL `sum by (tenant)` away.
+//!
+//! Rendering is deterministic: metric names in lexicographic order,
+//! label sets in lexicographic order within a name, label keys sorted
+//! within a set. Two scrapes of the same state are byte-identical.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, RunMetrics};
+
+/// Mangles a dotted metric name into the Prometheus charset.
+///
+/// Every byte outside `[a-zA-Z0-9_:]` becomes `_`; a leading digit is
+/// prefixed with `_`. `serve.cache_hits` → `serve_cache_hits`.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, b) in name.bytes().enumerate() {
+        let ok = b.is_ascii_alphanumeric() || b == b'_' || b == b':';
+        if i == 0 && b.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { b as char } else { '_' });
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a sorted label set as `{k="v",...}` (empty string when no
+/// labels). `extra` appends one more pair (used for `quantile`).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// A labeled series key: metric name plus sorted label pairs.
+///
+/// Ordered (name first, then label sets), so a `BTreeMap` keyed by it
+/// iterates grouped by metric name — exactly the order the exposition
+/// format wants (`# TYPE` once per name, then every label set).
+type SeriesKey = (String, Vec<(String, String)>);
+
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    let mut pairs: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    pairs.sort();
+    (name.to_string(), pairs)
+}
+
+/// A registry of labeled time series (counters, gauges, histograms).
+///
+/// The labeled twin of [`RunMetrics`]: where the flat registry answers
+/// "how many cache hits", this one answers "how many cache hits *for
+/// tenant X*" and "how long did *job Y* wait in the queue". Kept
+/// separate so the flat registry — which rides inside canonical
+/// reports — never grows label-dependent entries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeriesRegistry {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, u64>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
+}
+
+impl SeriesRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SeriesRegistry::default()
+    }
+
+    /// Adds `by` to counter `name` with `labels` (creating it at 0).
+    pub fn incr(&mut self, name: &str, labels: &[(&str, &str)], by: u64) {
+        *self.counters.entry(series_key(name, labels)).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name` with `labels` to `v` (last write wins).
+    pub fn set(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.gauges.insert(series_key(name, labels), v);
+    }
+
+    /// Records `v` into histogram `name` with `labels`.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.histograms
+            .entry(series_key(name, labels))
+            .or_default()
+            .observe(v);
+    }
+
+    /// The value of counter `name` with `labels` (0 when absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&series_key(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct labeled series of all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Appends `# TYPE` once per metric name as the iteration crosses into
+/// a new name.
+fn type_line(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        last.clear();
+        last.push_str(name);
+    }
+}
+
+fn render_summary(out: &mut String, name: &str, labels: &[(String, String)], h: &Histogram) {
+    for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+        let block = label_block(labels, Some(("quantile", q)));
+        let _ = writeln!(out, "{name}{block} {v}");
+    }
+    let block = label_block(labels, None);
+    let _ = writeln!(out, "{name}_sum{block} {}", h.sum());
+    let _ = writeln!(out, "{name}_count{block} {}", h.count());
+}
+
+/// Renders the flat registry plus the labeled registry as one
+/// Prometheus text exposition document (version 0.0.4).
+///
+/// Flat metrics render first (no labels), then labeled series; within
+/// each section counters, then gauges, then summaries, each in name
+/// order. The output is a pure function of the inputs — no timestamps
+/// — so snapshot files diff cleanly between beats.
+pub fn render_prometheus(flat: &RunMetrics, series: &SeriesRegistry) -> String {
+    let mut out = String::new();
+    let mut last = String::new();
+    for (name, v) in flat.counters() {
+        let name = prom_name(name);
+        type_line(&mut out, &mut last, &name, "counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in flat.maxima() {
+        let name = prom_name(name);
+        type_line(&mut out, &mut last, &name, "gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, h) in flat.histograms() {
+        let name = prom_name(name);
+        type_line(&mut out, &mut last, &name, "summary");
+        render_summary(&mut out, &name, &[], h);
+    }
+    for ((name, labels), v) in &series.counters {
+        let name = prom_name(name);
+        type_line(&mut out, &mut last, &name, "counter");
+        let _ = writeln!(out, "{name}{} {v}", label_block(labels, None));
+    }
+    for ((name, labels), v) in &series.gauges {
+        let name = prom_name(name);
+        type_line(&mut out, &mut last, &name, "gauge");
+        let _ = writeln!(out, "{name}{} {v}", label_block(labels, None));
+    }
+    for ((name, labels), h) in &series.histograms {
+        let name = prom_name(name);
+        type_line(&mut out, &mut last, &name, "summary");
+        render_summary(&mut out, &name, labels, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_mangled_into_the_prometheus_charset() {
+        assert_eq!(prom_name("serve.cache_hits"), "serve_cache_hits");
+        assert_eq!(
+            prom_name("serve.degraded.disk_faults"),
+            "serve_degraded_disk_faults"
+        );
+        assert_eq!(prom_name("0weird-name"), "_0weird_name");
+        assert_eq!(prom_name("already_fine:ok"), "already_fine:ok");
+    }
+
+    #[test]
+    fn flat_registry_renders_counters_gauges_and_summaries() {
+        let mut m = RunMetrics::new();
+        m.incr("serve.submissions", 3);
+        m.set_max("serve.queue.depth", 2);
+        for v in [1, 2, 3] {
+            m.observe("serve.wait_ms", v);
+        }
+        let text = render_prometheus(&m, &SeriesRegistry::new());
+        assert!(text.contains("# TYPE serve_submissions counter\nserve_submissions 3\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 2\n"));
+        assert!(text.contains("# TYPE serve_wait_ms summary\n"));
+        assert!(text.contains("serve_wait_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("serve_wait_ms_sum 6\n"));
+        assert!(text.contains("serve_wait_ms_count 3\n"));
+    }
+
+    #[test]
+    fn labeled_series_render_sorted_label_blocks() {
+        let mut s = SeriesRegistry::new();
+        // Insert with unsorted label order; the block must sort keys.
+        s.incr("serve.tenant.submissions", &[("tenant", "acme")], 2);
+        s.observe(
+            "serve.job.wall_ms",
+            &[("tenant", "acme"), ("job", "00000000deadbeef")],
+            40,
+        );
+        s.set("serve.job.units", &[("job", "00000000deadbeef")], 7);
+        let text = render_prometheus(&RunMetrics::new(), &s);
+        assert!(
+            text.contains("serve_tenant_submissions{tenant=\"acme\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "serve_job_wall_ms{job=\"00000000deadbeef\",tenant=\"acme\",quantile=\"0.5\"}"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_job_wall_ms_count{job=\"00000000deadbeef\",tenant=\"acme\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "# TYPE serve_job_units gauge\nserve_job_units{job=\"00000000deadbeef\"} 7\n"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut s = SeriesRegistry::new();
+        s.incr("serve.tenant.submissions", &[("tenant", "a\"b\\c\nd")], 1);
+        let text = render_prometheus(&RunMetrics::new(), &s);
+        assert!(text.contains("tenant=\"a\\\"b\\\\c\\nd\""), "{text}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_type_lines_are_unique() {
+        let mut m = RunMetrics::new();
+        m.incr("serve.b", 1);
+        m.incr("serve.a", 1);
+        let mut s = SeriesRegistry::new();
+        s.incr("serve.t", &[("tenant", "b")], 1);
+        s.incr("serve.t", &[("tenant", "a")], 1);
+        let a = render_prometheus(&m, &s);
+        let b = render_prometheus(&m, &s);
+        assert_eq!(a, b);
+        // One TYPE line per name even with several label sets.
+        assert_eq!(a.matches("# TYPE serve_t counter").count(), 1);
+        // Name order, then label-set order.
+        let ia = a.find("serve_a 1").unwrap();
+        let ib = a.find("serve_b 1").unwrap();
+        assert!(ia < ib, "{a}");
+        let ta = a.find("serve_t{tenant=\"a\"}").unwrap();
+        let tb = a.find("serve_t{tenant=\"b\"}").unwrap();
+        assert!(ta < tb, "{a}");
+    }
+
+    #[test]
+    fn counter_accumulates_and_len_counts_kinds() {
+        let mut s = SeriesRegistry::new();
+        assert!(s.is_empty());
+        s.incr("serve.x", &[("tenant", "t")], 1);
+        s.incr("serve.x", &[("tenant", "t")], 2);
+        assert_eq!(s.counter("serve.x", &[("tenant", "t")]), 3);
+        assert_eq!(s.counter("serve.x", &[("tenant", "other")]), 0);
+        s.set("serve.g", &[], 5);
+        s.observe("serve.h", &[], 9);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -103,6 +103,57 @@ proptest! {
         prop_assert_eq!(back, whole);
     }
 
+    /// Merging histograms that each went through a JSON
+    /// serialize/parse/deserialize cycle stays associative and agrees
+    /// with merging the in-memory originals — the path a server takes
+    /// when it re-merges fragments recovered from journals on disk.
+    #[test]
+    fn merge_after_json_round_trip_is_associative(
+        a in vec(json_exact_strategy(), 0..15),
+        b in vec(json_exact_strategy(), 0..15),
+        c in vec(json_exact_strategy(), 0..15),
+    ) {
+        let reload = |h: &Histogram| {
+            let text = h.to_json().to_pretty();
+            Histogram::from_json(&fires_obs::Json::parse(&text).unwrap()).unwrap()
+        };
+        let (ha, hb, hc) = (observe_all(&a), observe_all(&b), observe_all(&c));
+        let (ra, rb, rc) = (reload(&ha), reload(&hb), reload(&hc));
+        // (a ∪ b) ∪ c through the round trip...
+        let mut left = ra.clone();
+        left.merge(&rb);
+        left.merge(&rc);
+        // ...equals a ∪ (b ∪ c) through the round trip...
+        let mut bc = rb.clone();
+        bc.merge(&rc);
+        let mut right = ra;
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // ...and both equal the merge of the in-memory originals.
+        let mut direct = ha;
+        direct.merge(&hb);
+        direct.merge(&hc);
+        prop_assert_eq!(left, direct);
+    }
+
+    /// Every reported quantile is unchanged by a JSON round trip: the
+    /// derived fields are recomputed from the buckets on read, so the
+    /// estimate must land on the same value.
+    #[test]
+    fn quantiles_are_stable_across_json_round_trip(
+        values in vec(json_exact_strategy(), 1..50),
+    ) {
+        let h = observe_all(&values);
+        let text = h.to_json().to_pretty();
+        let back = Histogram::from_json(&fires_obs::Json::parse(&text).unwrap()).unwrap();
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(back.quantile(q), h.quantile(q), "q={}", q);
+        }
+        prop_assert_eq!(back.p50(), h.p50());
+        prop_assert_eq!(back.p95(), h.p95());
+        prop_assert_eq!(back.p99(), h.p99());
+    }
+
     /// Quantiles stay bracketed by the exact extremes for any stream.
     #[test]
     fn quantiles_stay_in_range(values in vec(value_strategy(), 1..50)) {

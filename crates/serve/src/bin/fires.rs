@@ -21,13 +21,15 @@
 //! fires serve   --socket PATH --state-dir DIR [--server-workers N]
 //!               [--cache-bytes N] [--max-queue N] [--tenant-active N]
 //!               [--default-steps N] [--tenant-steps TENANT=N]...
-//!               [--drain-timeout-secs S] [runner flags] [chaos flags]
-//!               [serve chaos flags]
+//!               [--drain-timeout-secs S] [--flight-capacity N]
+//!               [runner flags] [chaos flags] [serve chaos flags]
 //! fires submit  --socket PATH (--suite S | --circuit NAME...)
 //!               [--frames N] [--step-budget N] [--no-validate]
 //!               [--tenant T] [--wait] [--interval-ms MS] [--out FILE]
 //!               [--reconnect N]
 //! fires health  --socket PATH [--ready]
+//! fires metrics --socket PATH
+//! fires debug-dump --socket PATH
 //! fires shutdown --socket PATH [--drain]
 //! ```
 //!
@@ -67,7 +69,12 @@
 //! content-addressed cache with byte-identical output). `watch
 //! --remote JOB` subscribes to a running job's progress stream, and
 //! `status --socket` fetches the server's metrics as a
-//! `RunReport`-compatible JSON document.
+//! `RunReport`-compatible JSON document. `metrics --socket` scrapes
+//! the same counters (plus the labeled tenant/job series) as a
+//! Prometheus text exposition, and `debug-dump --socket` makes the
+//! daemon write its flight-recorder ring to a `flight-<ts>.jsonl`
+//! under the state dir — the dump it would produce on a drain timeout
+//! or panic.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -99,6 +106,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
         "health" => cmd_health(rest),
+        "metrics" => cmd_metrics(rest),
+        "debug-dump" => cmd_debug_dump(rest),
         "shutdown" => cmd_shutdown(rest),
         "compare" => return cmd_compare(rest),
         "--help" | "-h" | "help" => {
@@ -137,13 +146,15 @@ usage:
   fires serve   --socket PATH --state-dir DIR [--server-workers N]
                 [--cache-bytes N] [--max-queue N] [--tenant-active N]
                 [--default-steps N] [--tenant-steps TENANT=N]...
-                [--drain-timeout-secs S] [runner flags] [chaos flags]
-                [serve chaos flags]
+                [--drain-timeout-secs S] [--flight-capacity N]
+                [runner flags] [chaos flags] [serve chaos flags]
   fires submit  --socket PATH (--suite S | --circuit NAME...)
                 [--frames N] [--step-budget N] [--no-validate]
                 [--tenant T] [--wait] [--interval-ms MS] [--out FILE]
                 [--reconnect N]
   fires health  --socket PATH [--ready]
+  fires metrics --socket PATH
+  fires debug-dump --socket PATH
   fires shutdown --socket PATH [--drain]
 
 chaos flags (deterministic fault injection; requires --chaos-seed):
@@ -572,13 +583,22 @@ fn watch_remote(
         }
         match conn.recv()? {
             None => return Err("server closed the connection before the job completed".into()),
-            Some(Response::Progress { summary, .. }) => {
+            Some(Response::Progress {
+                summary, coalesced, ..
+            }) => {
                 let frame = summary.to_compact();
+                // Stall detection compares the summary frame alone: a
+                // rising coalesced count means frames were *dropped*,
+                // not that the job progressed.
                 if frame != last_frame {
                     last_frame = frame.clone();
                     deadline = timeout.map(|t| std::time::Instant::now() + t);
                 }
-                emitln(frame)?;
+                if coalesced > 0 {
+                    emitln(format_args!("{frame} coalesced: {coalesced}"))?;
+                } else {
+                    emitln(frame)?;
+                }
             }
             Some(Response::Done { job, .. }) => {
                 return emitln(format_args!("job {job} complete"));
@@ -1036,6 +1056,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(n) = take_value(&mut args, "--tenant-active")? {
         cfg.tenant_active = parse_number(&n, "--tenant-active")?;
     }
+    if let Some(n) = take_value(&mut args, "--flight-capacity")? {
+        cfg.flight_capacity = parse_number(&n, "--flight-capacity")?;
+    }
     if let Some(n) = take_value(&mut args, "--default-steps")? {
         cfg.default_steps = Some(parse_number(&n, "--default-steps")?);
     }
@@ -1213,6 +1236,36 @@ fn cmd_health(args: &[String]) -> Result<(), String> {
     }
     match Connection::request(Path::new(&socket), &Request::Health)? {
         Response::Health { report } => emitln(report.to_pretty()),
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response: {:?}", other.to_json())),
+    }
+}
+
+/// `fires metrics`: scrape the server's Prometheus text exposition —
+/// the flat counters `fires status --socket` reports, plus the labeled
+/// per-tenant/per-job series and process gauges.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let socket = take_value(&mut args, "--socket")?.ok_or("metrics needs --socket PATH")?;
+    reject_leftovers(&args)?;
+    match Connection::request(Path::new(&socket), &Request::Metrics)? {
+        Response::Metrics { text } => emit(text),
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response: {:?}", other.to_json())),
+    }
+}
+
+/// `fires debug-dump`: ask the server to write its flight-recorder ring
+/// to a `flight-<ts>.jsonl` file under the state dir, on demand — the
+/// same dump a drain timeout, quarantine, or panic produces.
+fn cmd_debug_dump(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let socket = take_value(&mut args, "--socket")?.ok_or("debug-dump needs --socket PATH")?;
+    reject_leftovers(&args)?;
+    match Connection::request(Path::new(&socket), &Request::DebugDump)? {
+        Response::Dumped { path, events } => emitln(format_args!(
+            "flight dump written: {path} ({events} event(s))"
+        )),
         Response::Error { message } => Err(message),
         other => Err(format!("unexpected response: {:?}", other.to_json())),
     }

@@ -1,0 +1,276 @@
+//! The flight recorder: an always-on, fixed-size ring of structured
+//! service events, dumped to disk when something goes wrong.
+//!
+//! Post-mortems of a daemon rarely fail for lack of *metrics* — the
+//! counters say a drain timed out — they fail for lack of *sequence*:
+//! which admissions, rejections, chaos absorptions and phase
+//! transitions led up to it, in what order. The [`FlightRecorder`]
+//! keeps the last [`FlightRecorder::capacity`] events in memory at all
+//! times (recording is a mutex push, ~zero cost when idle) and writes
+//! them out as one `flight-<epoch_ms>.jsonl` file only on a trigger:
+//! drain timeout, recovery quarantine, a panicking service thread, or
+//! an operator's explicit `fires debug-dump`.
+//!
+//! Every event carries a monotonic `seq` assigned at record time, so a
+//! dump replays in exact recording order even though the ring has long
+//! since dropped its oldest entries — the first `seq` in a dump tells
+//! the reader how much history was lost. Dumps never touch job
+//! journals or canonical reports; the recorder is observe-only.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use fires_obs::Json;
+
+/// Schema tag written on every dump's header line, bumped when the
+/// event shape changes.
+pub const FLIGHT_SCHEMA: u64 = 1;
+
+/// One recorded service event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number, assigned at record time. Never
+    /// reused or reordered; gaps at the front of a dump mean the ring
+    /// wrapped.
+    pub seq: u64,
+    /// Milliseconds since the recorder was created.
+    pub ts_ms: u64,
+    /// Event kind (`"admit"`, `"reject"`, `"drain"`, `"beat"`, …).
+    pub what: &'static str,
+    /// Structured payload, event-kind specific.
+    pub detail: Json,
+}
+
+impl FlightEvent {
+    fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        j.set("seq", self.seq)
+            .set("ts_ms", self.ts_ms)
+            .set("what", self.what)
+            .set("detail", self.detail.clone());
+        j
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    next_seq: u64,
+}
+
+/// Fixed-capacity ring buffer of [`FlightEvent`]s.
+///
+/// Thread-safe and poison-tolerant: a panicking recorder thread is the
+/// *reason* a dump exists, so the lock recovers instead of propagating.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    origin: Instant,
+    cap: usize,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` events (oldest dropped first).
+    /// Capacity 0 is clamped to 1 so `record` never has to special-case
+    /// an unbuffered ring.
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            origin: Instant::now(),
+            cap: cap.max(1),
+            ring: Mutex::new(Ring {
+                events: VecDeque::new(),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Ring> {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Maximum events the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently buffered (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+
+    /// Total events ever recorded (`len()` plus whatever the ring has
+    /// dropped).
+    pub fn recorded(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// Records one event, returning its assigned `seq`.
+    pub fn record(&self, what: &'static str, detail: Json) -> u64 {
+        let ts_ms = self.origin.elapsed().as_millis() as u64;
+        let mut ring = self.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.cap {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(FlightEvent {
+            seq,
+            ts_ms,
+            what,
+            detail,
+        });
+        seq
+    }
+
+    /// Snapshot of the buffered events, oldest (lowest `seq`) first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Renders the dump document: one header line (schema, reason,
+    /// counts), then one line per event in `seq` order.
+    pub fn render(&self, reason: &str) -> String {
+        let events = self.snapshot();
+        let mut header = Json::object();
+        header
+            .set("schema", FLIGHT_SCHEMA)
+            .set("reason", reason)
+            .set("events", events.len() as u64)
+            .set("recorded", self.recorded())
+            .set("first_seq", events.first().map_or(0, |e| e.seq))
+            .set("last_seq", events.last().map_or(0, |e| e.seq));
+        let mut out = String::new();
+        out.push_str(&header.to_compact());
+        out.push('\n');
+        for e in &events {
+            out.push_str(&e.to_json().to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the dump to `<dir>/flight-<epoch_ms>.jsonl` (tmp+rename,
+    /// so a reader never observes a truncated dump) and returns the
+    /// path and the number of events written.
+    ///
+    /// Dumping is best-effort by design: it runs on crash paths, where
+    /// a second failure (full disk, missing dir) must not mask the
+    /// first — hence the typed error instead of a panic.
+    pub fn dump(&self, dir: &Path, reason: &str) -> Result<(PathBuf, usize), String> {
+        let events = self.len();
+        let epoch_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = dir.join(format!("flight-{epoch_ms}.jsonl"));
+        let tmp = dir.join(format!("flight-{epoch_ms}.jsonl.tmp"));
+        std::fs::write(&tmp, self.render(reason)).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok((path, events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detail(n: u64) -> Json {
+        let mut j = Json::object();
+        j.set("n", n);
+        j
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events_and_global_seqs() {
+        let r = FlightRecorder::new(4);
+        assert!(r.is_empty());
+        for n in 0..10u64 {
+            assert_eq!(r.record("tick", detail(n)), n);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 10);
+        let snap = r.snapshot();
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // Timestamps never run backwards in seq order.
+        assert!(snap.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+    }
+
+    #[test]
+    fn render_is_replayable_jsonl_in_seq_order() {
+        let r = FlightRecorder::new(8);
+        r.record("admit", detail(1));
+        r.record("reject", detail(2));
+        let text = r.render("unit-test");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(Json::as_u64),
+            Some(FLIGHT_SCHEMA)
+        );
+        assert_eq!(
+            header.get("reason").and_then(Json::as_str),
+            Some("unit-test")
+        );
+        assert_eq!(header.get("events").and_then(Json::as_u64), Some(2));
+        let mut last = None;
+        for line in &lines[1..] {
+            let j = Json::parse(line).unwrap();
+            let seq = j.get("seq").and_then(Json::as_u64).unwrap();
+            assert!(last.is_none_or(|l| seq > l), "seq order broken");
+            last = Some(seq);
+            assert!(j.get("what").and_then(Json::as_str).is_some());
+            assert!(j.get("detail").is_some());
+        }
+    }
+
+    #[test]
+    fn dump_writes_one_file_and_reports_event_count() {
+        let dir = std::env::temp_dir().join(format!("fires-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = FlightRecorder::new(8);
+        r.record("drain", detail(7));
+        let (path, events) = r.dump(&dir, "drain-timeout").unwrap();
+        assert_eq!(events, 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"reason\":\"drain-timeout\""));
+        assert!(path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap()
+            .starts_with("flight-"));
+        // No tmp file left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn recording_is_safe_across_threads() {
+        let r = std::sync::Arc::new(FlightRecorder::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = std::sync::Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for n in 0..25u64 {
+                    r.record("tick", detail(n));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.recorded(), 100);
+        assert_eq!(r.len(), 64);
+        // Seqs are globally unique and ordered in the snapshot.
+        let seqs: Vec<u64> = r.snapshot().iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -37,14 +37,18 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod flight;
 pub mod proto;
 pub mod server;
 pub mod signal;
 pub mod subscribers;
+pub mod trace;
 
 pub use cache::ResultCache;
 pub use chaos::ServeChaos;
 pub use client::Connection;
+pub use flight::{FlightEvent, FlightRecorder, FLIGHT_SCHEMA};
 pub use proto::{Request, Response, SubmitRequest};
 pub use server::{job_key, run_server, ServeConfig};
 pub use subscribers::ProgressQueue;
+pub use trace::{TraceStore, TRACE_SCHEMA};

@@ -69,6 +69,11 @@ pub enum Request {
     },
     /// Fetch server metrics as a `RunReport`-compatible document.
     Status,
+    /// Fetch server metrics as a Prometheus text exposition document.
+    Metrics,
+    /// Dump the flight recorder to `<state-dir>/flight-<ts>.jsonl` and
+    /// report the path — the operator's on-demand post-mortem.
+    DebugDump,
     /// Liveness probe: a small health document (status, uptime,
     /// watchdog heartbeat age). Answered even while draining.
     Health,
@@ -115,6 +120,10 @@ pub enum Response {
         job: String,
         /// `JournalSummary::to_json` of the job's journal.
         summary: Json,
+        /// Progress frames coalesced away (latest-wins) on this stream
+        /// so far; 0 is omitted on the wire, so pre-existing clients
+        /// and servers interoperate unchanged.
+        coalesced: u64,
     },
     /// Admission control refused the job.
     Rejected {
@@ -133,6 +142,21 @@ pub enum Response {
     Status {
         /// The `RunReport` JSON.
         report: Json,
+    },
+    /// Prometheus text exposition answering [`Request::Metrics`]. The
+    /// document travels as an opaque string — exposition format is
+    /// line-oriented text, not JSON.
+    Metrics {
+        /// The full exposition document.
+        text: String,
+    },
+    /// A flight-recorder dump was written, answering
+    /// [`Request::DebugDump`].
+    Dumped {
+        /// Path of the dump file on the server's filesystem.
+        path: String,
+        /// Events the dump contains.
+        events: u64,
     },
     /// Liveness document answering [`Request::Health`].
     Health {
@@ -208,6 +232,12 @@ impl Request {
             Request::Status => {
                 j.set("type", "status");
             }
+            Request::Metrics => {
+                j.set("type", "metrics");
+            }
+            Request::DebugDump => {
+                j.set("type", "debug-dump");
+            }
             Request::Health => {
                 j.set("type", "health");
             }
@@ -261,6 +291,8 @@ impl Request {
                 interval_ms: opt_u64(j, "interval_ms")?.unwrap_or(500),
             }),
             Some("status") => Ok(Request::Status),
+            Some("metrics") => Ok(Request::Metrics),
+            Some("debug-dump") => Ok(Request::DebugDump),
             Some("health") => Ok(Request::Health),
             Some("ready") => Ok(Request::Ready),
             // `drain` is optional on the wire so pre-drain clients keep
@@ -302,10 +334,17 @@ impl Response {
                     .set("job", job.clone())
                     .set("report", report.clone());
             }
-            Response::Progress { job, summary } => {
+            Response::Progress {
+                job,
+                summary,
+                coalesced,
+            } => {
                 j.set("type", "progress")
                     .set("job", job.clone())
                     .set("summary", summary.clone());
+                if *coalesced > 0 {
+                    j.set("coalesced", *coalesced);
+                }
             }
             Response::Rejected { reason } => {
                 j.set("type", "rejected").set("reason", reason.clone());
@@ -315,6 +354,14 @@ impl Response {
             }
             Response::Status { report } => {
                 j.set("type", "status").set("report", report.clone());
+            }
+            Response::Metrics { text } => {
+                j.set("type", "metrics").set("text", text.clone());
+            }
+            Response::Dumped { path, events } => {
+                j.set("type", "dumped")
+                    .set("path", path.clone())
+                    .set("events", *events);
             }
             Response::Health { report } => {
                 j.set("type", "health").set("report", report.clone());
@@ -352,6 +399,7 @@ impl Response {
             Some("progress") => Ok(Response::Progress {
                 job: req_str(j, "job")?,
                 summary: j.get("summary").cloned().ok_or("progress has no summary")?,
+                coalesced: opt_u64(j, "coalesced")?.unwrap_or(0),
             }),
             Some("rejected") => Ok(Response::Rejected {
                 reason: req_str(j, "reason")?,
@@ -361,6 +409,13 @@ impl Response {
             }),
             Some("status") => Ok(Response::Status {
                 report: j.get("report").cloned().ok_or("status has no report")?,
+            }),
+            Some("metrics") => Ok(Response::Metrics {
+                text: req_str(j, "text")?,
+            }),
+            Some("dumped") => Ok(Response::Dumped {
+                path: req_str(j, "path")?,
+                events: opt_u64(j, "events")?.unwrap_or(0),
             }),
             Some("health") => Ok(Response::Health {
                 report: j.get("report").cloned().ok_or("health has no report")?,
@@ -419,6 +474,8 @@ mod tests {
                 interval_ms: 250,
             },
             Request::Status,
+            Request::Metrics,
+            Request::DebugDump,
             Request::Health,
             Request::Ready,
             Request::Shutdown { drain: false },
@@ -447,10 +504,23 @@ mod tests {
             },
             Response::Progress {
                 job: "ab".into(),
+                summary: summary.clone(),
+                coalesced: 0,
+            },
+            Response::Progress {
+                job: "ab".into(),
                 summary,
+                coalesced: 17,
             },
             Response::Rejected {
                 reason: "queue full".into(),
+            },
+            Response::Metrics {
+                text: "# TYPE serve_submissions counter\nserve_submissions 3\n".into(),
+            },
+            Response::Dumped {
+                path: "/state/flight-170.jsonl".into(),
+                events: 42,
             },
             Response::Draining {
                 reason: "server is draining".into(),
@@ -490,6 +560,24 @@ mod tests {
         assert!(Response::parse("{\"type\":\"hit\"}").is_err());
         assert!(Request::parse("{\"type\":\"shutdown\",\"drain\":3}").is_err());
         assert!(Response::parse("{\"type\":\"ready\"}").is_err());
+    }
+
+    #[test]
+    fn progress_without_coalesced_reads_back_as_zero() {
+        // Wire compatibility: a pre-telemetry server's progress line
+        // (no `coalesced` field) must parse, and a zero count must not
+        // add bytes to every frame.
+        let line = "{\"type\":\"progress\",\"job\":\"ab\",\"summary\":{\"done\":1}}";
+        match Response::parse(line).unwrap() {
+            Response::Progress { coalesced, .. } => assert_eq!(coalesced, 0),
+            other => panic!("{other:?}"),
+        }
+        let zero = Response::Progress {
+            job: "ab".into(),
+            summary: Json::object(),
+            coalesced: 0,
+        };
+        assert!(!zero.to_json().to_compact().contains("coalesced"));
     }
 
     #[test]

@@ -75,15 +75,17 @@ use std::time::{Duration, Instant};
 use fires_core::ContentHasher;
 use fires_jobs::{
     journal, report_with_tasks, resume, run_with_tasks, CampaignSpec, JournalSummary, ResolvedTask,
-    RunnerConfig,
+    RunnerConfig, UnitObserver,
 };
-use fires_obs::{names, Json, RunReport};
+use fires_obs::{names, render_prometheus, FieldValue, Json, RunReport, SeriesRegistry};
 
 use crate::cache::ResultCache;
 use crate::chaos::{self, ChaosCounters, ServeChaos};
+use crate::flight::FlightRecorder;
 use crate::proto::{Request, Response, SubmitRequest};
 use crate::signal;
 use crate::subscribers::ProgressQueue;
+use crate::trace::TraceStore;
 
 /// Domain tag of the job content key ("job" in ASCII), so job keys can
 /// never collide with the per-task hashes they are folded from.
@@ -150,6 +152,8 @@ pub struct ServeConfig {
     pub heartbeat_interval: Duration,
     /// Maximum length of one protocol request line, in bytes.
     pub max_line_bytes: usize,
+    /// Events the flight recorder retains (oldest dropped first).
+    pub flight_capacity: usize,
 }
 
 impl ServeConfig {
@@ -176,6 +180,7 @@ impl ServeConfig {
             write_timeout: Duration::from_secs(10),
             heartbeat_interval: Duration::from_secs(2),
             max_line_bytes: 256 << 10,
+            flight_capacity: 256,
         }
     }
 
@@ -206,6 +211,8 @@ struct JobEntry {
     tasks: Arc<Vec<ResolvedTask>>,
     tenant: String,
     phase: Phase,
+    /// When the job last entered the queue, for the queue-wait series.
+    queued_at: Instant,
 }
 
 /// Everything behind the state mutex.
@@ -214,6 +221,8 @@ struct State {
     queue: VecDeque<u64>,
     cache: ResultCache,
     metrics: fires_obs::RunMetrics,
+    /// Labeled (tenant/job) exposition series; never enters reports.
+    series: SeriesRegistry,
     /// Queued-or-running jobs per tenant, for the admission limit.
     active: HashMap<String, usize>,
 }
@@ -243,6 +252,12 @@ struct Inner {
     started: Instant,
     /// Last watchdog beat, for staleness reporting.
     last_beat: Mutex<Instant>,
+    /// Always-on ring of structured service events, dumped on crash
+    /// triggers and `debug-dump` (`Arc` so the panic hook can hold it).
+    flight: Arc<FlightRecorder>,
+    /// Per-request trace collector (`Arc` shared with the leaked
+    /// [`UnitObserver`] every job's runner reports into).
+    trace: Arc<TraceStore>,
 }
 
 /// What admission decided about one submission.
@@ -260,6 +275,44 @@ enum RunOutcome {
     /// journal is a clean checkpoint and the restart resumes it.
     Checkpointed,
     Failed(String),
+}
+
+/// The bridge from runner unit milestones into the request trace: one
+/// instant per completed unit and per journal append, keyed by the
+/// `trace_token` the worker set to the job's content key. Leaked once
+/// per server (the `Copy` [`RunnerConfig`] needs a `&'static`).
+#[derive(Debug)]
+struct TraceObserver(Arc<TraceStore>);
+
+impl UnitObserver for TraceObserver {
+    fn unit_finished(&self, token: u64, task: usize, stem: usize, seconds: f64) {
+        if !self.0.tracing(token) {
+            return; // idle or unwatched job: one map lookup, no alloc
+        }
+        self.0.instant(
+            token,
+            "unit",
+            vec![
+                ("task", FieldValue::U64(task as u64)),
+                ("stem", FieldValue::U64(stem as u64)),
+                ("ms", FieldValue::F64(seconds * 1e3)),
+            ],
+        );
+    }
+
+    fn unit_journaled(&self, token: u64, task: usize, stem: usize) {
+        if !self.0.tracing(token) {
+            return;
+        }
+        self.0.instant(
+            token,
+            "journal_append",
+            vec![
+                ("task", FieldValue::U64(task as u64)),
+                ("stem", FieldValue::U64(stem as u64)),
+            ],
+        );
+    }
 }
 
 impl Inner {
@@ -283,10 +336,48 @@ impl Inner {
         self.jobs_dir().join(format!("{job_id}.jsonl"))
     }
 
+    fn traces_dir(&self) -> PathBuf {
+        self.cfg.state_dir.join("traces")
+    }
+
+    /// Dumps the flight recorder to `<state_dir>/flight-<ts>.jsonl`,
+    /// recording the trigger itself first so the dump ends with its own
+    /// cause. Best-effort: a failed dump is counted nowhere — it runs
+    /// on crash paths where nothing may panic.
+    fn flight_dump(&self, reason: &'static str) -> Result<(PathBuf, usize), String> {
+        self.flight.record("dump", {
+            let mut d = Json::object();
+            d.set("reason", reason);
+            d
+        });
+        let dumped = self.flight.dump(&self.cfg.state_dir, reason)?;
+        self.lock().metrics.incr(names::FLIGHT_DUMPS, 1);
+        Ok(dumped)
+    }
+
+    /// The Prometheus text exposition document: the flat metrics
+    /// registry plus the labeled tenant/job series, with the
+    /// scrape-time gauges (queue depth, uptime) set on the way out.
+    /// The gauges live only in the rendered document — the flat
+    /// registry that rides inside status/exit reports never sees them.
+    fn metrics_text(&self) -> String {
+        let uptime = self.started.elapsed().as_secs();
+        let st = self.lock();
+        let mut series = st.series.clone();
+        series.set(names::QUEUE_DEPTH, &[], st.queue.len() as u64);
+        series.set(names::UPTIME_SECONDS, &[], uptime);
+        render_prometheus(&st.metrics, &series)
+    }
+
     /// Starts shutting down. `drain: false` exits as soon as every
     /// thread notices; `drain: true` closes admission and lets the
     /// accept loop orchestrate a bounded checkpoint-and-exit.
     fn begin_shutdown(&self, drain: bool) {
+        self.flight.record("shutdown", {
+            let mut d = Json::object();
+            d.set("drain", drain);
+            d
+        });
         self.draining.store(true, Ordering::SeqCst);
         self.runner_stop.store(true, Ordering::SeqCst);
         if !drain {
@@ -310,10 +401,12 @@ impl Inner {
         if self.disk_fault() {
             st.metrics.incr(names::DEGRADED_DISK_FAULTS, 1);
             st.metrics.incr(names::DEGRADED_CACHE_INSERT_FAILURES, 1);
+            self.flight_absorbed("cache-insert-disk-fault", &format!("{key:016x}"));
             return;
         }
         if !st.cache.insert(key, text) {
             st.metrics.incr(names::DEGRADED_CACHE_INSERT_FAILURES, 1);
+            self.flight_absorbed("cache-insert-failure", &format!("{key:016x}"));
         }
     }
 
@@ -324,6 +417,7 @@ impl Inner {
         if let Some(c) = self.cfg.chaos {
             if c.write_fails(chaos::next(&self.counters.writes)) {
                 self.lock().metrics.incr(names::DEGRADED_WRITE_FAULTS, 1);
+                self.flight_absorbed("write-fault", "");
                 return Err(std::io::Error::new(
                     ErrorKind::BrokenPipe,
                     "injected write fault",
@@ -365,9 +459,38 @@ impl Inner {
         Ok((spec, Arc::new(tasks), key))
     }
 
+    /// One structured flight event for an absorbed degradation — the
+    /// flight-recorder twin of a `serve.degraded.*` counter bump.
+    fn flight_absorbed(&self, kind: &str, detail: &str) {
+        self.flight.record("absorbed", {
+            let mut d = Json::object();
+            d.set("kind", kind);
+            if !detail.is_empty() {
+                d.set("detail", detail);
+            }
+            d
+        });
+    }
+
+    /// One structured flight event for an admission decision.
+    fn flight_admission(&self, what: &'static str, tenant: &str, job: Option<&str>, note: &str) {
+        let mut d = Json::object();
+        d.set("tenant", tenant);
+        if let Some(job) = job {
+            d.set("job", job);
+        }
+        if !note.is_empty() {
+            d.set("note", note);
+        }
+        self.flight.record(what, d);
+    }
+
     /// Admission control: drain gate, cache lookup, single-flight
     /// attach, queue and tenant limits, enqueue.
     fn admit(&self, s: &SubmitRequest) -> Result<Admission, String> {
+        // Stamped before any work so the `submit` span covers
+        // normalization (spec resolution builds every circuit).
+        let submit_ts = self.trace.now_us();
         if self.draining() || self.stopping() {
             // Typed, not an `error`: the client knows the daemon is
             // going away (transient) rather than refusing it (policy),
@@ -375,37 +498,54 @@ impl Inner {
             let mut st = self.lock();
             st.metrics.incr(names::SUBMISSIONS, 1);
             st.metrics.incr(names::REJECTED_DRAINING, 1);
+            drop(st);
+            self.flight_admission("reject", &s.tenant, None, "draining");
             return Ok(Admission::Draining);
         }
         let (spec, tasks, key) = self.normalize(s)?;
         let job_id = spec.name.clone();
+        let trace_id = self.trace.mint(key);
         let mut st = self.lock();
         st.metrics.incr(names::SUBMISSIONS, 1);
+        st.series
+            .incr(names::TENANT_SUBMISSIONS, &[("tenant", &s.tenant)], 1);
 
-        if let Some(report) = st.cache.get(key) {
+        let hit = match st.cache.get(key) {
+            Some(report) => Some(report),
+            None if matches!(st.jobs.get(&key).map(|j| &j.phase), Some(Phase::Done)) => {
+                // Durable tier: the complete journal re-merges to the
+                // same canonical bytes the evicted entry held.
+                Some(self.report_text_locked(&mut st, key)?)
+            }
+            None => None,
+        };
+        if let Some(report) = hit {
             st.metrics.incr(names::CACHE_HITS, 1);
+            drop(st);
+            if self
+                .trace
+                .write_cache_hit(&self.traces_dir(), trace_id, &s.tenant, key, submit_ts)
+                .is_some()
+            {
+                self.lock().metrics.incr(names::TRACES_WRITTEN, 1);
+            }
+            self.flight_admission("admit", &s.tenant, Some(&job_id), "cache-hit");
             return Ok(Admission::Hit {
                 job: job_id,
                 report,
             });
         }
-        match st.jobs.get(&key).map(|j| j.phase.clone()) {
-            Some(Phase::Done) => {
-                // Durable tier: the complete journal re-merges to the
-                // same canonical bytes the evicted entry held.
-                let report = self.report_text_locked(&mut st, key)?;
-                st.metrics.incr(names::CACHE_HITS, 1);
-                return Ok(Admission::Hit {
-                    job: job_id,
-                    report,
-                });
-            }
-            Some(Phase::Queued) | Some(Phase::Running) => {
-                // Single-flight: attach to the in-flight execution.
-                st.metrics.incr(names::DEDUPED, 1);
-                return Ok(Admission::Accepted { key, job: job_id });
-            }
-            Some(Phase::Failed(_)) | None => {}
+        if matches!(
+            st.jobs.get(&key).map(|j| &j.phase),
+            Some(Phase::Queued) | Some(Phase::Running)
+        ) {
+            // Single-flight: attach to the in-flight execution.
+            st.metrics.incr(names::DEDUPED, 1);
+            drop(st);
+            self.trace.attach(key, trace_id, &s.tenant);
+            self.trace.instant(key, "deduped", Vec::new());
+            self.flight_admission("admit", &s.tenant, Some(&job_id), "deduped");
+            return Ok(Admission::Accepted { key, job: job_id });
         }
         // Tenant limit before queue bound: a tenant over its own limit
         // is told so even when the shared queue also happens to be
@@ -414,6 +554,8 @@ impl Inner {
         if tenant_active >= self.cfg.tenant_active {
             st.metrics
                 .incr(&format!("{}{}", names::REJECTED_PREFIX, s.tenant), 1);
+            drop(st);
+            self.flight_admission("reject", &s.tenant, Some(&job_id), "tenant-limit");
             return Ok(Admission::Rejected {
                 reason: format!(
                     "tenant {:?} at its active-job limit ({})",
@@ -424,8 +566,11 @@ impl Inner {
         if st.queue.len() >= self.cfg.max_queue {
             st.metrics
                 .incr(&format!("{}{}", names::REJECTED_PREFIX, s.tenant), 1);
+            let queued = st.queue.len();
+            drop(st);
+            self.flight_admission("reject", &s.tenant, Some(&job_id), "queue-full");
             return Ok(Admission::Rejected {
-                reason: format!("admission queue full ({} queued)", st.queue.len()),
+                reason: format!("admission queue full ({queued} queued)"),
             });
         }
         st.metrics.incr(names::CACHE_MISSES, 1);
@@ -436,10 +581,15 @@ impl Inner {
                 tasks,
                 tenant: s.tenant.clone(),
                 phase: Phase::Queued,
+                queued_at: Instant::now(),
             },
         );
         st.queue.push_back(key);
         *st.active.entry(s.tenant.clone()).or_insert(0) += 1;
+        drop(st);
+        self.trace.attach(key, trace_id, &s.tenant);
+        self.trace.submitted(key, submit_ts, &job_id);
+        self.flight_admission("admit", &s.tenant, Some(&job_id), "queued");
         self.wake.notify_one();
         Ok(Admission::Accepted { key, job: job_id })
     }
@@ -480,18 +630,31 @@ impl Inner {
                 }
                 st = self.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
             };
-            let Some((job_id, spec, tasks)) = st.jobs.get_mut(&key).map(|job| {
+            let Some((job_id, spec, tasks, tenant, queued_at)) = st.jobs.get_mut(&key).map(|job| {
                 job.phase = Phase::Running;
                 (
                     job.spec.name.clone(),
                     job.spec.clone(),
                     Arc::clone(&job.tasks),
+                    job.tenant.clone(),
+                    job.queued_at,
                 )
             }) else {
                 continue;
             };
             st.metrics.incr(names::ENGINE_BUILDS, 1);
+            st.series.observe(
+                names::JOB_QUEUE_WAIT_MS,
+                &[("tenant", &tenant), ("job", &job_id)],
+                queued_at.elapsed().as_millis() as u64,
+            );
             drop(st);
+            self.trace.claimed(key);
+            self.flight.record("claim", {
+                let mut d = Json::object();
+                d.set("job", job_id.as_str()).set("tenant", tenant.as_str());
+                d
+            });
 
             if let Some(delay) = self.cfg.chaos.and_then(|c| c.wakeup_delay()) {
                 // Injected late wakeup: widens the window in which a
@@ -502,21 +665,32 @@ impl Inner {
                 std::thread::sleep(delay);
             }
             let path = self.journal_path(&job_id);
+            // The runner reports unit milestones into the request trace
+            // through the observer; the token routes them to this job.
+            let mut rc = self.cfg.runner;
+            rc.trace_token = key;
+            let claimed_at = Instant::now();
             // An existing journal means a previous attempt (possibly a
             // killed server) already ran part of this campaign: resume
             // completes exactly the missing units and the merge stays
             // byte-identical to an uninterrupted run.
             let ran = if path.exists() {
-                resume(&path, &self.cfg.runner)
+                resume(&path, &rc)
             } else {
-                run_with_tasks(&spec, &tasks, &path, &self.cfg.runner)
+                run_with_tasks(&spec, &tasks, &path, &rc)
             };
+            self.trace.engine_done(key);
             let outcome = match ran {
                 Err(e) => RunOutcome::Failed(e.to_string()),
-                Ok(summary) if summary.complete() => match report_with_tasks(&path, &tasks) {
-                    Ok(r) => RunOutcome::Done(Arc::new(r.canonical_text())),
-                    Err(e) => RunOutcome::Failed(e.to_string()),
-                },
+                Ok(summary) if summary.complete() => {
+                    self.trace.merge_begin(key);
+                    let merged = report_with_tasks(&path, &tasks);
+                    self.trace.merge_end(key);
+                    match merged {
+                        Ok(r) => RunOutcome::Done(Arc::new(r.canonical_text())),
+                        Err(e) => RunOutcome::Failed(e.to_string()),
+                    }
+                }
                 Ok(summary) => {
                     if self.draining() || self.stopping() {
                         RunOutcome::Checkpointed
@@ -530,25 +704,40 @@ impl Inner {
             };
 
             let checkpointed = matches!(outcome, RunOutcome::Checkpointed);
-            let mut st = self.lock();
-            let tenant = match st.jobs.get_mut(&key) {
-                Some(job) => {
-                    match &outcome {
-                        RunOutcome::Done(_) => job.phase = Phase::Done,
-                        // Back to `Queued`: the journal is a clean
-                        // checkpoint, not a failure — the restarted
-                        // server's recovery scan resumes it.
-                        RunOutcome::Checkpointed => job.phase = Phase::Queued,
-                        RunOutcome::Failed(m) => job.phase = Phase::Failed(m.clone()),
-                    }
-                    job.tenant.clone()
-                }
-                None => String::new(),
+            let note = match &outcome {
+                RunOutcome::Done(_) => "done",
+                RunOutcome::Checkpointed => "checkpointed",
+                RunOutcome::Failed(_) => "failed",
             };
+            // The request traces close before the terminal phase is
+            // published, so a watcher that sees `done` can already read
+            // its trace file.
+            let traces = self.trace.finish(key, &self.traces_dir());
+            let mut st = self.lock();
+            if !traces.is_empty() {
+                st.metrics.incr(names::TRACES_WRITTEN, traces.len() as u64);
+            }
+            if let Some(job) = st.jobs.get_mut(&key) {
+                match &outcome {
+                    RunOutcome::Done(_) => job.phase = Phase::Done,
+                    // Back to `Queued`: the journal is a clean
+                    // checkpoint, not a failure — the restarted
+                    // server's recovery scan resumes it.
+                    RunOutcome::Checkpointed => job.phase = Phase::Queued,
+                    RunOutcome::Failed(m) => job.phase = Phase::Failed(m.clone()),
+                }
+            }
             match outcome {
                 RunOutcome::Done(text) => {
                     self.cache_insert_locked(&mut st, key, text);
                     st.metrics.incr(names::COMPLETED, 1);
+                    st.series
+                        .incr(names::TENANT_COMPLETED, &[("tenant", &tenant)], 1);
+                    st.series.observe(
+                        names::JOB_WALL_MS,
+                        &[("tenant", &tenant), ("job", &job_id)],
+                        claimed_at.elapsed().as_millis() as u64,
+                    );
                 }
                 RunOutcome::Checkpointed => {}
                 RunOutcome::Failed(_) => {
@@ -564,6 +753,13 @@ impl Inner {
                 }
             }
             drop(st);
+            self.flight.record("job", {
+                let mut d = Json::object();
+                d.set("job", job_id.as_str())
+                    .set("tenant", tenant.as_str())
+                    .set("outcome", note);
+                d
+            });
             self.done.notify_all();
         }
     }
@@ -608,6 +804,10 @@ impl Inner {
             queue.push(Response::Progress {
                 job: job_id.to_string(),
                 summary,
+                // Tells the client how many frames coalesced away so
+                // far, so `fires watch --remote` can surface the
+                // degradation instead of silently smoothing over it.
+                coalesced: queue.dropped(),
             });
 
             // Decide the terminal frame (if any) under the lock, but
@@ -651,6 +851,7 @@ impl Inner {
                         self.lock()
                             .metrics
                             .incr(names::DEGRADED_SLOW_SUBSCRIBERS, 1);
+                        self.flight_absorbed("slow-subscriber", job_id);
                     }
                     return Ok(()); // subscriber dead or too slow: disconnect
                 }
@@ -661,6 +862,7 @@ impl Inner {
                     queue.dropped() - drops_counted,
                 );
                 drops_counted = queue.dropped();
+                self.flight_absorbed("dropped-progress", job_id);
             }
             if is_terminal {
                 return Ok(());
@@ -774,6 +976,24 @@ impl Inner {
                 }
             }
             self.lock().metrics.incr(names::HEARTBEATS, 1);
+            self.flight.record("beat", {
+                let mut d = Json::object();
+                d.set("seq", seq);
+                d
+            });
+            // Each beat also snapshots the Prometheus exposition to
+            // `<state_dir>/metrics/serve.prom` (write-then-rename, like
+            // the heartbeat) so dashboards without socket access can
+            // scrape a file. Counted *before* rendering so the snapshot
+            // numbers itself.
+            self.lock().metrics.incr(names::METRIC_SNAPSHOTS, 1);
+            let metrics_dir = self.cfg.state_dir.join("metrics");
+            if std::fs::create_dir_all(&metrics_dir).is_ok() {
+                let tmp = metrics_dir.join("serve.prom.tmp");
+                if std::fs::write(&tmp, self.metrics_text()).is_ok() {
+                    let _ = std::fs::rename(&tmp, metrics_dir.join("serve.prom"));
+                }
+            }
             // Sleep in short slices so shutdown is not delayed by a
             // full interval.
             let deadline = Instant::now() + self.cfg.heartbeat_interval;
@@ -792,10 +1012,12 @@ impl Inner {
                 // An artificially slow client: the handler thread wears
                 // the stall, the accept loop and workers never notice.
                 self.lock().metrics.incr(names::DEGRADED_STALLS, 1);
+                self.flight_absorbed("stall", "");
                 std::thread::sleep(stall);
             }
             if c.read_fails(chaos::next(&self.counters.reads)) {
                 self.lock().metrics.incr(names::DEGRADED_READ_FAULTS, 1);
+                self.flight_absorbed("read-fault", "");
                 return; // as if the socket died before the request
             }
         }
@@ -895,6 +1117,28 @@ impl Inner {
                     },
                 );
             }
+            Request::Metrics => {
+                let _ = self.send(
+                    &mut out,
+                    &Response::Metrics {
+                        text: self.metrics_text(),
+                    },
+                );
+            }
+            Request::DebugDump => match self.flight_dump("debug-dump") {
+                Ok((path, events)) => {
+                    let _ = self.send(
+                        &mut out,
+                        &Response::Dumped {
+                            path: path.display().to_string(),
+                            events: events as u64,
+                        },
+                    );
+                }
+                Err(message) => {
+                    let _ = self.send(&mut out, &Response::Error { message });
+                }
+            },
             Request::Health => {
                 let _ = self.send(
                     &mut out,
@@ -963,6 +1207,7 @@ impl Inner {
                             tasks: Arc::new(tasks),
                             tenant: "recovered".into(),
                             phase: if complete { Phase::Done } else { Phase::Queued },
+                            queued_at: Instant::now(),
                         },
                     );
                     if complete {
@@ -972,6 +1217,13 @@ impl Inner {
                         *st.active.entry("recovered".into()).or_insert(0) += 1;
                         st.metrics.incr(names::RESUMED, 1);
                     }
+                    drop(st);
+                    self.flight.record("recover", {
+                        let mut d = Json::object();
+                        d.set("job", format!("{key:016x}"))
+                            .set("outcome", if complete { "indexed" } else { "requeued" });
+                        d
+                    });
                 }
                 None => {
                     st.metrics.incr(names::SCAN_ERRORS, 1);
@@ -980,6 +1232,15 @@ impl Inner {
                     quarantined.push(".quarantined");
                     if std::fs::rename(&path, PathBuf::from(quarantined)).is_ok() {
                         self.lock().metrics.incr(names::QUARANTINED, 1);
+                        self.flight.record("quarantine", {
+                            let mut d = Json::object();
+                            d.set("path", path.display().to_string());
+                            d
+                        });
+                        // A quarantine is a crash trigger: dump the
+                        // flight so the post-mortem has the scan's own
+                        // event sequence.
+                        let _ = self.flight_dump("quarantine");
                     }
                 }
             }
@@ -1032,6 +1293,35 @@ pub fn run_server(mut cfg: ServeConfig) -> Result<(), String> {
     let runner_stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
     cfg.runner.stop = Some(runner_stop);
 
+    // The trace store and its runner-side observer. Leaked like
+    // `runner_stop` and for the same reason: the `Copy` `RunnerConfig`
+    // carries a `&'static dyn UnitObserver`.
+    let trace = Arc::new(TraceStore::new());
+    let observer: &'static TraceObserver = Box::leak(Box::new(TraceObserver(Arc::clone(&trace))));
+    cfg.runner.observer = Some(observer);
+
+    let flight = Arc::new(FlightRecorder::new(cfg.flight_capacity));
+    // A panic in a service thread dumps the flight before unwinding
+    // continues. The filter keeps runner-level unit panics (injected by
+    // chaos plans and *caught* by the runner's retry path) from
+    // spraying dumps: only named service threads and the accept loop's
+    // own thread count as a service crash.
+    {
+        let flight = Arc::clone(&flight);
+        let state_dir = cfg.state_dir.clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let name = std::thread::current().name().map(str::to_string);
+            let service = name
+                .as_deref()
+                .is_some_and(|n| n.starts_with("fires-serve") || n == "main");
+            if service {
+                let _ = flight.dump(&state_dir, "panic");
+            }
+            prev(info);
+        }));
+    }
+
     let workers = cfg.workers.max(1);
     let cache = ResultCache::new(cfg.cache_bytes);
     let inner = Arc::new(Inner {
@@ -1041,6 +1331,7 @@ pub fn run_server(mut cfg: ServeConfig) -> Result<(), String> {
             queue: VecDeque::new(),
             cache,
             metrics: fires_obs::RunMetrics::new(),
+            series: SeriesRegistry::new(),
             active: HashMap::new(),
         }),
         wake: Condvar::new(),
@@ -1052,6 +1343,8 @@ pub fn run_server(mut cfg: ServeConfig) -> Result<(), String> {
         counters: ChaosCounters::default(),
         started: Instant::now(),
         last_beat: Mutex::new(Instant::now()),
+        flight,
+        trace,
     });
     inner.recover()?;
 
@@ -1107,6 +1400,12 @@ pub fn run_server(mut cfg: ServeConfig) -> Result<(), String> {
                     st.metrics.incr(names::DRAIN_TIMEOUTS, 1);
                 }
                 drop(st);
+                if timed_out && !workers_done {
+                    // A drain timeout is exactly the situation the
+                    // flight recorder exists for: what led up to the
+                    // worker that never checkpointed?
+                    let _ = inner.flight_dump("drain-timeout");
+                }
                 drained_cleanly = workers_done;
                 inner.stopping.store(true, Ordering::SeqCst);
                 inner.wake.notify_all();

@@ -104,6 +104,7 @@ mod tests {
         Response::Progress {
             job: format!("{n:016x}"),
             summary,
+            coalesced: 0,
         }
     }
 

@@ -37,6 +37,19 @@ fn shutdown_now(socket: &Path, handle: JoinHandle<Result<(), String>>) {
     handle.join().unwrap().unwrap();
 }
 
+/// Flight-recorder dump files written under `state`.
+fn flight_dumps(state: &Path) -> impl Iterator<Item = PathBuf> {
+    std::fs::read_dir(state)
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy())
+                .is_some_and(|n| n.starts_with("flight-") && n.ends_with(".jsonl"))
+        })
+}
+
 fn counter(report: &Json, name: &str) -> u64 {
     report
         .get("metrics")
@@ -261,6 +274,77 @@ fn oversized_request_lines_get_a_typed_error() {
 }
 
 #[test]
+fn drain_timeout_dumps_the_flight_recorder() {
+    let dir = temp_dir("timeout");
+    let state = dir.join("state");
+    let mut cfg = ServeConfig::new(dir.join("sock"), state.clone());
+    cfg.workers = 1;
+    // The build-delay hook wedges the worker in an uninterruptible
+    // sleep after it claims — far beyond the drain budget, so the
+    // drain must time out.
+    cfg.build_delay = Some(Duration::from_secs(30));
+    cfg.drain_timeout = Duration::from_millis(200);
+    let (socket, handle) = start(cfg);
+
+    let mut conn = Connection::open(&socket).unwrap();
+    conn.send(&Request::Submit(submit(&["s27"], false)))
+        .unwrap();
+    match conn.recv().unwrap().expect("stream closed") {
+        Response::Accepted { .. } => {}
+        other => panic!("expected acceptance: {other:?}"),
+    }
+    // Wait for the worker to claim the job, then drain into the wall.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "job never claimed");
+        let Response::Status { report } = Connection::request(&socket, &Request::Status).unwrap()
+        else {
+            panic!("status failed");
+        };
+        let running = report
+            .get("extra")
+            .and_then(|e| e.get("running"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if running >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let resp = Connection::request(&socket, &Request::Shutdown { drain: true }).unwrap();
+    assert_eq!(resp, Response::Ok);
+    handle.join().unwrap().unwrap();
+
+    // The timeout is counted and the flight recorder hit the disk —
+    // the post-mortem record of what the stuck worker was doing.
+    let exit = std::fs::read_to_string(state.join("exit.report.json")).unwrap();
+    let report = Json::parse(&exit).unwrap();
+    assert_eq!(counter(&report, "serve.drain_timeouts"), 1, "{exit}");
+    assert_eq!(counter(&report, "serve.flight_dumps"), 1, "{exit}");
+    let dump = flight_dumps(&state).next().expect("flight dump written");
+    let text = std::fs::read_to_string(&dump).unwrap();
+    let header = Json::parse(text.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        header.get("reason").and_then(Json::as_str),
+        Some("drain-timeout"),
+        "{text}"
+    );
+    // The ring replays in order and remembers the admission and the
+    // shutdown that started the drain.
+    let mut last_seq = None;
+    let mut whats = Vec::new();
+    for line in text.lines().skip(1) {
+        let e = Json::parse(line).unwrap();
+        let seq = e.get("seq").and_then(Json::as_u64).unwrap();
+        assert!(last_seq.is_none_or(|p| seq > p), "{text}");
+        last_seq = Some(seq);
+        whats.push(e.get("what").and_then(Json::as_str).unwrap().to_string());
+    }
+    assert!(whats.iter().any(|w| w == "admit"), "{whats:?}");
+    assert!(whats.iter().any(|w| w == "shutdown"), "{whats:?}");
+}
+
+#[test]
 fn recovery_scan_quarantines_unreadable_journals() {
     let dir = temp_dir("quarantine");
     let state = dir.join("state");
@@ -289,6 +373,12 @@ fn recovery_scan_quarantines_unreadable_journals() {
         "truncated journal renamed aside"
     );
     assert!(!jobs.join("00000000deadbeef.jsonl").exists());
+    // Quarantine is a flight-dump trigger: the recorder's view of the
+    // recovery scan lands on disk without anyone asking.
+    assert!(
+        flight_dumps(&state).count() >= 1,
+        "quarantine must dump the flight recorder"
+    );
 
     // A fresh submission recomputes from scratch, unbothered.
     let resp = submit_and_finish(&socket, submit(&["fig3"], true));
